@@ -1,0 +1,196 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation.
+// One benchmark per experiment, on a reduced sweep so `go test -bench=.`
+// completes quickly; run cmd/benchrun for the full paper-scale sweeps.
+package crowdmax_test
+
+import (
+	"testing"
+
+	"crowdmax/internal/experiment"
+)
+
+// benchSweep is a reduced version of the paper's 1000..5000 sweep.
+func benchSweep(un, ue int) experiment.Sweep {
+	return experiment.Sweep{Ns: []int{500, 1000}, Un: un, Ue: ue, Trials: 2, Seed: 2015}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, err := experiment.Fig2(experiment.Fig2Config{
+			Seed: uint64(i), PairsPerBand: 10, Repeats: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		un, ue int
+	}{{"un10ue5", 10, 5}, {"un50ue10", 50, 10}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := benchSweep(cfg.un, cfg.ue)
+				s.Seed = uint64(i)
+				if _, err := experiment.Fig3(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSweep(10, 5)
+		s.Seed = uint64(i)
+		if _, err := experiment.Fig4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig5(experiment.CostConfig{
+			Sweep: benchSweep(10, 5), CE: 10,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig6(experiment.Fig6Config{
+			Sweep: benchSweep(10, 5),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig7(experiment.FactorCostConfig{
+			CostConfig: experiment.CostConfig{Sweep: benchSweep(10, 5), CE: 20},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig9(experiment.CostConfig{
+			Sweep: benchSweep(10, 5), CE: 50,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig10(experiment.FactorCostConfig{
+			CostConfig: experiment.CostConfig{Sweep: benchSweep(10, 5), CE: 50},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Retention(experiment.Fig6Config{
+			Sweep:   benchSweep(10, 5),
+			Factors: []float64{0.2, 0.5, 0.8, 1},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Table1(experiment.CrowdConfig{
+			Seed: uint64(i), Spammers: 3,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.Table2(experiment.CrowdConfig{
+			Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchEval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.SearchEval(experiment.SearchConfig{
+			Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMajorityBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.MajorityBound(experiment.MajorityConfig{
+			Seed: uint64(i), Trials: 300,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEpsilonSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.EpsilonSweep(experiment.EpsilonConfig{
+			Sweep:    experiment.Sweep{Ns: []int{500}, Un: 8, Ue: 3, Trials: 2, Seed: uint64(i)},
+			Epsilons: []float64{0, 0.2, 0.4},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCascade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.CascadeExperiment(experiment.CascadeConfig{
+			Ns: []int{500}, Us: [3]int{20, 6, 2}, PriceRatio: 50,
+			Trials: 2, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStepsExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.StepsExperiment(experiment.Sweep{
+			Ns: []int{500}, Un: 8, Ue: 3, Trials: 2, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBracketAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.BracketAccuracy(experiment.BracketConfig{
+			Sweep: experiment.Sweep{Ns: []int{500}, Un: 8, Ue: 3, Trials: 2, Seed: uint64(i)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

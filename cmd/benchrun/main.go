@@ -1,0 +1,320 @@
+// Command benchrun regenerates the tables and figures of the paper's
+// evaluation (Section 5 and Appendix C) on the simulated substrate and
+// prints them as text tables (or CSV).
+//
+// Usage:
+//
+//	benchrun [flags] <experiment> [<experiment>...]
+//	benchrun all
+//
+// Experiments: fig2, fig3, fig4, fig5, fig6, fig7, fig9, fig10,
+// retention, table1, table2, search, majority, plus the extensions epsilon
+// (residual-error robustness), cascade (multi-class workers), steps (the
+// Section 3 time model) and bracket (the single-elimination baseline under
+// both error models).
+//
+// Figures with multiple panels (3, 4, 5, 6, 7, 9, 10) print one block per
+// panel, matching the paper's layout: (un, ue) ∈ {(10, 5), (50, 10)} and,
+// for the cost figures, ce ∈ {10, 20, 50}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crowdmax/internal/experiment"
+)
+
+var (
+	trials  = flag.Int("trials", 10, "random instances per data point")
+	seed    = flag.Uint64("seed", 2015, "root random seed")
+	quick   = flag.Bool("quick", false, "smaller sweep for a fast smoke run")
+	csvOut  = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
+	jsonOut = flag.Bool("json", false, "emit figures as JSON instead of text tables")
+	maxSize = flag.Int("nmax", 5000, "largest input size in sweeps")
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+			"fig9", "fig10", "retention", "table1", "table2", "search",
+			"majority", "epsilon", "cascade", "steps", "bracket"}
+	}
+	for _, name := range names {
+		if err := run(strings.ToLower(name)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: benchrun [flags] <experiment>...
+
+experiments:
+  fig2       worker accuracy vs panel size, DOTS and CARS regimes
+  fig3       accuracy (avg true rank) vs n, three approaches
+  fig4       comparison counts vs n, avg and worst case
+  fig5       average cost vs n (ce = 10, 20, 50)
+  fig6       accuracy vs n under mis-estimated un
+  fig7       average cost vs n under mis-estimated un
+  fig9       worst-case cost vs n (Appendix C)
+  fig10      worst-case cost vs n under mis-estimated un (Appendix C)
+  retention  Section 5.2 phase-1 max-retention statistics
+  table1     DOTS last-round ranking on the simulated platform
+  table2     CARS last-round ranking on the simulated platform
+  search     Section 5.3 search-result evaluation
+  majority   Section 3.2 majority-vote error vs Chernoff bound
+  epsilon    extension: accuracy degradation under residual error ε > 0
+  cascade    extension: three-class worker cascade vs two-level Algorithm 1
+  steps      extension: logical steps (the Section 3 time model) vs n
+  bracket    extension: single-elimination baseline under both error models
+  all        everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+// sweeps returns the paper's two (un, ue) panel configurations.
+func sweeps() []experiment.Sweep {
+	ns := []int{1000, 2000, 3000, 4000, 5000}
+	tr := *trials
+	if *quick {
+		ns = []int{400, 800}
+		if tr > 4 {
+			tr = 4
+		}
+	}
+	var kept []int
+	for _, n := range ns {
+		if n <= *maxSize {
+			kept = append(kept, n)
+		}
+	}
+	if len(kept) == 0 {
+		kept = ns[:1]
+	}
+	return []experiment.Sweep{
+		{Ns: kept, Un: 10, Ue: 5, Trials: tr, Seed: *seed},
+		{Ns: kept, Un: 50, Ue: 10, Trials: tr, Seed: *seed},
+	}
+}
+
+func emit(fig experiment.Figure) error {
+	if *jsonOut {
+		return fig.WriteJSON(os.Stdout)
+	}
+	if *csvOut {
+		return fig.WriteCSV(os.Stdout)
+	}
+	if err := fig.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func run(name string) error {
+	switch name {
+	case "fig2":
+		cfg := experiment.Fig2Config{Seed: *seed}
+		if *quick {
+			cfg.PairsPerBand, cfg.Repeats = 10, 5
+		}
+		dots, cars, err := experiment.Fig2(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(dots); err != nil {
+			return err
+		}
+		return emit(cars)
+	case "fig3":
+		for _, s := range sweeps() {
+			fig, err := experiment.Fig3(s)
+			if err != nil {
+				return err
+			}
+			if err := emit(fig); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig4":
+		for _, s := range sweeps() {
+			fig, err := experiment.Fig4(s)
+			if err != nil {
+				return err
+			}
+			if err := emit(fig); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig5", "fig9":
+		for _, s := range sweeps() {
+			for _, ce := range []float64{10, 20, 50} {
+				var fig experiment.Figure
+				var err error
+				if name == "fig5" {
+					fig, err = experiment.Fig5(experiment.CostConfig{Sweep: s, CE: ce})
+				} else {
+					fig, err = experiment.Fig9(experiment.CostConfig{Sweep: s, CE: ce})
+				}
+				if err != nil {
+					return err
+				}
+				if err := emit(fig); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case "fig6":
+		for _, s := range sweeps() {
+			fig, err := experiment.Fig6(experiment.Fig6Config{Sweep: s})
+			if err != nil {
+				return err
+			}
+			if err := emit(fig); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig7", "fig10":
+		for _, s := range sweeps() {
+			for _, ce := range []float64{10, 20, 50} {
+				cfg := experiment.FactorCostConfig{CostConfig: experiment.CostConfig{Sweep: s, CE: ce}}
+				var fig experiment.Figure
+				var err error
+				if name == "fig7" {
+					fig, err = experiment.Fig7(cfg)
+				} else {
+					fig, err = experiment.Fig10(cfg)
+				}
+				if err != nil {
+					return err
+				}
+				if err := emit(fig); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case "retention":
+		for _, s := range sweeps() {
+			res, err := experiment.Retention(experiment.Fig6Config{Sweep: s})
+			if err != nil {
+				return err
+			}
+			if err := res.WriteText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case "table1":
+		tab, err := experiment.Table1(experiment.CrowdConfig{Seed: *seed, Spammers: 3})
+		if err != nil {
+			return err
+		}
+		if err := tab.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	case "table2":
+		tab, _, err := experiment.Table2(experiment.CrowdConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := tab.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	case "search":
+		res, err := experiment.SearchEval(experiment.SearchConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	case "majority":
+		cfg := experiment.MajorityConfig{Seed: *seed}
+		if *quick {
+			cfg.Trials = 300
+		}
+		res, err := experiment.MajorityBound(cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	case "epsilon":
+		for _, s := range sweeps() {
+			fig, err := experiment.EpsilonSweep(experiment.EpsilonConfig{Sweep: s})
+			if err != nil {
+				return err
+			}
+			if err := emit(fig); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "steps":
+		for _, s := range sweeps() {
+			fig, err := experiment.StepsExperiment(s)
+			if err != nil {
+				return err
+			}
+			if err := emit(fig); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "bracket":
+		for _, s := range sweeps() {
+			fig, err := experiment.BracketAccuracy(experiment.BracketConfig{Sweep: s})
+			if err != nil {
+				return err
+			}
+			if err := emit(fig); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "cascade":
+		cfg := experiment.CascadeConfig{Seed: *seed, Trials: *trials, PriceRatio: 50}
+		if *quick {
+			cfg.Ns = []int{400, 800}
+			cfg.Us = [3]int{20, 6, 2}
+			if cfg.Trials > 4 {
+				cfg.Trials = 4
+			}
+		}
+		fig, err := experiment.CascadeExperiment(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(fig)
+	default:
+		return fmt.Errorf("unknown experiment %q (run benchrun without arguments for the list)", name)
+	}
+}

@@ -1,0 +1,169 @@
+// Command maxcrowd runs the expert-aware max-finding algorithm (or one of
+// its single-class baselines) on a generated problem instance and reports
+// the result, its true rank, the comparison counts, and the monetary cost.
+//
+// Examples:
+//
+//	maxcrowd -n 2000 -un 10 -ue 5
+//	maxcrowd -dataset cars -algo 2mf-naive
+//	maxcrowd -n 5000 -un 20 -estimate -ce 50
+//	maxcrowd -input mydata.csv -un 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crowdmax"
+	"crowdmax/internal/dataset"
+)
+
+var (
+	n       = flag.Int("n", 1000, "instance size (uniform dataset)")
+	un      = flag.Int("un", 10, "target un(n): elements naive-indistinguishable from the max")
+	ue      = flag.Int("ue", 5, "target ue(n): elements expert-indistinguishable from the max")
+	algo    = flag.String("algo", "alg1", "algorithm: alg1, 2mf-naive, 2mf-expert, randomized, bracket")
+	reps    = flag.Int("rep", 1, "answers per match for -algo bracket (odd)")
+	data    = flag.String("dataset", "uniform", "dataset: uniform, cars, dots, search")
+	input   = flag.String("input", "", "CSV file of label,value rows (overrides -dataset)")
+	ce      = flag.Float64("ce", 10, "price of one expert comparison (cn = 1)")
+	seed    = flag.Uint64("seed", 1, "random seed")
+	estimat = flag.Bool("estimate", false, "estimate un from a training split (Algorithm 4) instead of using the true value")
+	topk    = flag.Int("topk", 0, "with -algo alg1: return the top-k elements instead of just the max")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "maxcrowd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	r := crowdmax.NewRand(*seed)
+
+	set, err := buildDataset(r.Child("data"))
+	if err != nil {
+		return err
+	}
+	deltaN, err := set.DeltaForU(min(*un, set.Len()))
+	if err != nil {
+		return err
+	}
+	deltaE, err := set.DeltaForU(min(*ue, set.Len()))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: %d elements, max %q (value %.4g)\n",
+		*data, set.Len(), label(set.Max()), set.Max().Value)
+	fmt.Printf("thresholds: δn=%.4g (un=%d), δe=%.4g (ue=%d)\n", deltaN, *un, deltaE, *ue)
+
+	naive := crowdmax.NewThresholdWorker(deltaN, 0, r.Child("naive"))
+	expert := crowdmax.NewThresholdWorker(deltaE, 0, r.Child("expert"))
+	prices := crowdmax.Prices{Naive: 1, Expert: *ce}
+
+	unEst := *un
+	if *estimat {
+		ledger := crowdmax.NewLedger()
+		no := crowdmax.NewOracle(naive, crowdmax.Naive, ledger, nil)
+		est, err := crowdmax.EstimateUn(set.Items(), no, crowdmax.EstimateUnOptions{
+			Perr: 0.5, N: set.Len(),
+		})
+		if err != nil {
+			return err
+		}
+		if est > set.Len()/4 {
+			est = set.Len() / 4
+		}
+		if est < 1 {
+			est = 1
+		}
+		fmt.Printf("Algorithm 4 estimated un=%d (%d training comparisons)\n", est, ledger.Naive())
+		unEst = est
+	}
+
+	ledger := crowdmax.NewLedger()
+	no := crowdmax.NewOracle(naive, crowdmax.Naive, ledger, crowdmax.NewMemo())
+	eo := crowdmax.NewOracle(expert, crowdmax.Expert, ledger, crowdmax.NewMemo())
+
+	var best crowdmax.Item
+	switch *algo {
+	case "alg1":
+		if *topk > 1 {
+			top, err := crowdmax.TopK(set.Items(), no, eo, crowdmax.TopKOptions{K: *topk, U: unEst})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("top %d (best first):\n", len(top))
+			for i, it := range top {
+				fmt.Printf("  %d. %q (value %.4g, true rank %d)\n", i+1, label(it), it.Value, set.Rank(it.ID))
+			}
+			best = top[0]
+			break
+		}
+		res, err := crowdmax.FindMax(set.Items(), no, eo, crowdmax.FindMaxOptions{Un: unEst})
+		if err != nil {
+			return err
+		}
+		best = res.Best
+		fmt.Printf("phase 1 kept %d candidates\n", len(res.Candidates))
+	case "2mf-naive":
+		best, err = crowdmax.TwoMaxFind(set.Items(), no)
+	case "2mf-expert":
+		best, err = crowdmax.TwoMaxFind(set.Items(), eo)
+	case "randomized":
+		best, err = crowdmax.RandomizedMaxFind(set.Items(), eo, crowdmax.RandomizedOptions{R: r.Child("p2")})
+	case "bracket":
+		// Repetition needs fresh answers: use a non-memoized oracle.
+		plain := crowdmax.NewOracle(naive, crowdmax.Naive, ledger, nil)
+		best, err = crowdmax.TournamentMax(set.Items(), plain, crowdmax.BracketOptions{Repetitions: *reps})
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("returned %q (value %.4g), true rank %d of %d\n",
+		label(best), best.Value, set.Rank(best.ID), set.Len())
+	fmt.Printf("comparisons: %d naive, %d expert; cost C(n) = %.0f (cn=1, ce=%g)\n",
+		ledger.Naive(), ledger.Expert(), ledger.Cost(prices), *ce)
+	return nil
+}
+
+func buildDataset(r *crowdmax.Rand) (*crowdmax.Set, error) {
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return crowdmax.ReadCSV(f)
+	}
+	switch *data {
+	case "uniform":
+		return dataset.Uniform(*n, 0, 1, r), nil
+	case "cars":
+		set, _, err := dataset.Cars(dataset.CarsConfig{}, r)
+		return set, err
+	case "dots":
+		size := *n
+		if size > 71 {
+			size = 50 // the paper's DOTS grid has 71 points; default to 50
+		}
+		return dataset.Dots(size), nil
+	case "search":
+		return dataset.SearchResults(dataset.QueryAsymmetricTSP, min(*n, 100), 0.05, r)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", *data)
+	}
+}
+
+func label(it crowdmax.Item) string {
+	if it.Label != "" {
+		return it.Label
+	}
+	return fmt.Sprintf("item-%d", it.ID)
+}

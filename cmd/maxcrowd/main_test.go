@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureRun(t *testing.T) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	errRun := run()
+	w.Close()
+	os.Stdout = old
+	return <-done, errRun
+}
+
+func setFlags(t *testing.T, nv int, algoV, dataV string, unV, ueV int, est bool) {
+	t.Helper()
+	oldN, oldAlgo, oldData, oldUn, oldUe, oldEst := *n, *algo, *data, *un, *ue, *estimat
+	*n, *algo, *data, *un, *ue, *estimat = nv, algoV, dataV, unV, ueV, est
+	t.Cleanup(func() { *n, *algo, *data, *un, *ue, *estimat = oldN, oldAlgo, oldData, oldUn, oldUe, oldEst })
+}
+
+func TestRunAlg1Uniform(t *testing.T) {
+	setFlags(t, 300, "alg1", "uniform", 6, 3, false)
+	out, err := captureRun(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"phase 1 kept", "true rank", "cost C(n)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBaselinesAndDatasets(t *testing.T) {
+	cases := []struct{ algo, data string }{
+		{"2mf-naive", "uniform"},
+		{"2mf-expert", "cars"},
+		{"randomized", "uniform"},
+		{"alg1", "dots"},
+		{"alg1", "search"},
+	}
+	for _, tc := range cases {
+		setFlags(t, 200, tc.algo, tc.data, 5, 2, false)
+		out, err := captureRun(t)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.algo, tc.data, err)
+		}
+		if !strings.Contains(out, "returned") {
+			t.Fatalf("%s/%s: output missing result line:\n%s", tc.algo, tc.data, out)
+		}
+	}
+}
+
+func TestRunWithEstimation(t *testing.T) {
+	setFlags(t, 400, "alg1", "uniform", 8, 3, true)
+	out, err := captureRun(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Algorithm 4 estimated un=") {
+		t.Fatalf("estimation line missing:\n%s", out)
+	}
+}
+
+func TestRunRejectsUnknowns(t *testing.T) {
+	setFlags(t, 100, "bogus", "uniform", 5, 2, false)
+	if _, err := captureRun(t); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	setFlags(t, 100, "alg1", "bogus", 5, 2, false)
+	if _, err := captureRun(t); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunWithCSVInput(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/data.csv"
+	csv := "label,value\n"
+	for i := 0; i < 60; i++ {
+		csv += fmt.Sprintf("thing-%d,%d\n", i, i*10)
+	}
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldInput := *input
+	*input = path
+	t.Cleanup(func() { *input = oldInput })
+	setFlags(t, 0, "alg1", "uniform", 4, 2, false)
+	out, err := captureRun(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "thing-59") {
+		t.Fatalf("CSV max not reported:\n%s", out)
+	}
+}
+
+func TestRunTopK(t *testing.T) {
+	oldTopK := *topk
+	*topk = 4
+	t.Cleanup(func() { *topk = oldTopK })
+	setFlags(t, 300, "alg1", "uniform", 6, 3, false)
+	out, err := captureRun(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "top 4 (best first):") {
+		t.Fatalf("top-k output missing:\n%s", out)
+	}
+}

@@ -1,0 +1,262 @@
+// Package crowdmax finds the maximum of a set of elements using two classes
+// of crowd workers — cheap naïve workers and scarce, expensive experts — as
+// introduced in "The Importance of Being Expert: Efficient Max-Finding in
+// Crowdsourcing" (Anagnostopoulos, Becchetti, Fazzone, Mele, Riondato;
+// SIGMOD 2015).
+//
+// # Model
+//
+// Workers compare two elements at a time and follow the threshold model
+// T(δ, ε): when the elements' values differ by more than δ the worker
+// returns the larger one with probability 1 − ε; when they are within δ the
+// answer is arbitrary, and no amount of repetition or majority voting can
+// recover the truth. Naïve workers have a large threshold δn; experts have
+// δe ≪ δn and cost ce ≫ cn per comparison.
+//
+// # Algorithm
+//
+// FindMax runs the paper's two-phase algorithm: naïve workers filter the n
+// elements down to at most 2·un − 1 candidates guaranteed (for ε = 0) to
+// contain the maximum, using at most 4·n·un comparisons, where un counts
+// the elements naïve-indistinguishable from the maximum; experts then
+// extract an element within 2·δe of the maximum from the candidates using
+// O(un^{3/2}) comparisons. Both phases are optimal up to constant factors.
+//
+// # Quick start
+//
+//	set := crowdmax.NewSet(values)
+//	session, err := crowdmax.NewSession(crowdmax.Config{
+//		Naive:  crowdmax.NewThresholdWorker(0.1, 0, rand1),
+//		Expert: crowdmax.NewThresholdWorker(0.01, 0, rand2),
+//		Un:     10,
+//		Prices: crowdmax.Prices{Naive: 1, Expert: 50},
+//	})
+//	res, err := session.FindMax(set.Items())
+//	// res.Best, res.Candidates, res.Cost, ...
+//
+// The subpackages under internal implement the full system: worker error
+// models (including the empirical pair-bias model fitted to the paper's
+// CrowdFlower measurements), a crowdsourcing-platform simulator with gold
+// questions and spam filtering, dataset generators, and a harness that
+// regenerates every table and figure of the paper's evaluation (see
+// cmd/benchrun).
+package crowdmax
+
+import (
+	"crowdmax/internal/core"
+	"crowdmax/internal/cost"
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/tournament"
+	"crowdmax/internal/worker"
+)
+
+// Item is one element of the universe: an ID, a ground-truth value v(e),
+// and an optional label.
+type Item = item.Item
+
+// Set is an immutable collection of items with precomputed order
+// statistics (true ranks, un/ue counts, threshold calibration).
+type Set = item.Set
+
+// NewSet builds a Set from raw values; items receive IDs 0..n−1.
+func NewSet(values []float64) *Set { return item.NewSet(values) }
+
+// NewSetItems builds a Set from labelled items, reassigning dense IDs.
+func NewSetItems(items []Item) *Set { return item.NewSetItems(items) }
+
+// Distance returns d(a, b) = |v(a) − v(b)|.
+func Distance(a, b Item) float64 { return item.Distance(a, b) }
+
+// Rand is a deterministic, splittable random stream; see NewRand.
+type Rand = rng.Source
+
+// NewRand returns a Rand seeded with seed. Use Child/ChildN to derive
+// independent streams for workers and trials.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Comparator is any source of pairwise comparison answers — typically a
+// simulated worker, or an adapter calling out to a real crowdsourcing
+// platform.
+type Comparator = worker.Comparator
+
+// ComparatorFunc adapts a function to the Comparator interface.
+type ComparatorFunc = worker.Func
+
+// Class identifies a worker's billing/accuracy class.
+type Class = worker.Class
+
+// Worker classes.
+const (
+	Naive  = worker.Naive
+	Expert = worker.Expert
+)
+
+// Truth is the infallible comparator (δ = 0, ε = 0); useful for tests and
+// as a stand-in for a perfect expert.
+var Truth = worker.Truth
+
+// ThresholdWorker is a worker following the threshold model T(δ, ε).
+type ThresholdWorker = worker.Threshold
+
+// NewThresholdWorker returns a T(δ, ε) worker with uniformly random
+// tie-breaking below the threshold, the paper's simulation default.
+func NewThresholdWorker(delta, epsilon float64, r *Rand) *ThresholdWorker {
+	return worker.NewThreshold(delta, epsilon, r)
+}
+
+// NewProbabilisticWorker returns a worker with a fixed error probability p
+// on every comparison — the probabilistic error model of prior work, i.e.
+// T(0, p).
+func NewProbabilisticWorker(p float64, r *Rand) *ThresholdWorker {
+	return worker.NewProbabilistic(p, r)
+}
+
+// LogisticWorker is the Thurstone / Bradley–Terry psychometric comparator:
+// P(correct) = 1/(1+exp(−d/Scale)), smooth in the value difference, with no
+// hard indistinguishability radius.
+type LogisticWorker = worker.Logistic
+
+// NewLogisticWorker returns a Bradley–Terry comparator with the given
+// discrimination scale.
+func NewLogisticWorker(scale float64, r *Rand) *LogisticWorker {
+	return worker.NewLogistic(scale, r)
+}
+
+// Prices holds the per-comparison prices cn and ce of the cost model
+// C(n) = xe·ce + xn·cn.
+type Prices = cost.Prices
+
+// Ledger accumulates comparison counts, memoization hits and logical steps.
+type Ledger = cost.Ledger
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return cost.NewLedger() }
+
+// Phase2Algorithm selects the expert phase: TwoMaxFind (default, the
+// paper's practical choice), Randomized (the asymptotically optimal
+// Algorithm 5), or AllPlayAll (the quadratic baseline).
+type Phase2Algorithm = core.Phase2Algorithm
+
+// Phase-2 algorithm choices.
+const (
+	TwoMaxFindPhase2 = core.Phase2TwoMaxFind
+	RandomizedPhase2 = core.Phase2Randomized
+	AllPlayAllPhase2 = core.Phase2AllPlayAll
+)
+
+// FindMaxResult reports the outcome of a two-phase run.
+type FindMaxResult = core.FindMaxResult
+
+// Oracle answers comparison requests through a worker, billing a ledger and
+// optionally memoizing answers (Appendix A optimization).
+type Oracle = tournament.Oracle
+
+// Memo caches comparison answers per worker class.
+type Memo = tournament.Memo
+
+// NewMemo returns an empty memo table.
+func NewMemo() *Memo { return tournament.NewMemo() }
+
+// NewOracle binds a comparator of the given class to a ledger; memo may be
+// nil to disable memoization.
+func NewOracle(cmp Comparator, class Class, ledger *Ledger, memo *Memo) *Oracle {
+	return tournament.NewOracle(cmp, class, ledger, memo)
+}
+
+// FindMax runs Algorithm 1 with explicit oracles. Most callers should use
+// Session.FindMax instead.
+func FindMax(items []Item, naive, expert *Oracle, opt core.FindMaxOptions) (FindMaxResult, error) {
+	return core.FindMax(items, naive, expert, opt)
+}
+
+// FindMaxOptions configures FindMax; see core.FindMaxOptions.
+type FindMaxOptions = core.FindMaxOptions
+
+// Filter runs phase 1 alone (Algorithm 2): it returns at most 2·un − 1
+// candidates guaranteed to contain the maximum under T(δn, 0).
+func Filter(items []Item, naive *Oracle, opt core.FilterOptions) ([]Item, error) {
+	return core.Filter(items, naive, opt)
+}
+
+// FilterOptions configures Filter; see core.FilterOptions.
+type FilterOptions = core.FilterOptions
+
+// TwoMaxFind runs the deterministic 2-MaxFind of Ajtai et al. over items:
+// O(s^{3/2}) comparisons, result within 2δ of the maximum under T(δ, 0).
+func TwoMaxFind(items []Item, o *Oracle) (Item, error) {
+	return core.TwoMaxFind(items, o)
+}
+
+// RandomizedMaxFind runs the randomized Algorithm 5 of Ajtai et al.: Θ(s)
+// comparisons (large constants), result within 3δ of the maximum w.h.p.
+func RandomizedMaxFind(items []Item, o *Oracle, opt core.RandomizedOptions) (Item, error) {
+	return core.RandomizedMaxFind(items, o, opt)
+}
+
+// RandomizedOptions configures RandomizedMaxFind.
+type RandomizedOptions = core.RandomizedOptions
+
+// EstimateUn runs Algorithm 4: it estimates an upper bound for un(N) from a
+// training set with known maximum (gold data).
+func EstimateUn(training []Item, naive *Oracle, opt core.EstimateUnOptions) (int, error) {
+	return core.EstimateUn(training, naive, opt)
+}
+
+// EstimateUnOptions configures EstimateUn.
+type EstimateUnOptions = core.EstimateUnOptions
+
+// EstimatePerr estimates the under-threshold error probability perr from
+// consensus probes on training data (Section 4.4).
+func EstimatePerr(training []Item, naive *Oracle, opt core.EstimatePerrOptions) (float64, error) {
+	return core.EstimatePerr(training, naive, opt)
+}
+
+// EstimatePerrOptions configures EstimatePerr.
+type EstimatePerrOptions = core.EstimatePerrOptions
+
+// TopKOptions configures TopK.
+type TopKOptions = core.TopKOptions
+
+// TopK returns k elements ordered best-first by running the two-phase
+// algorithm k times, removing each round's winner — turning max-finding
+// into the ranking tasks the paper's introduction motivates. Memoized
+// oracles make later rounds substantially cheaper.
+func TopK(items []Item, naive, expert *Oracle, opt TopKOptions) ([]Item, error) {
+	return core.TopK(items, naive, expert, opt)
+}
+
+// RankByWins orders items by win count in one all-play-all tournament,
+// best first — the "last round" ranking of the paper's Tables 1–2.
+func RankByWins(items []Item, o *Oracle) []Item {
+	return core.RankByWins(items, o)
+}
+
+// BracketOptions configures TournamentMax.
+type BracketOptions = core.BracketOptions
+
+// TournamentMax runs the classic single-elimination tournament baseline
+// (related work, Venetis et al.): (n−1)·Repetitions comparisons, ⌈log2 n⌉
+// logical steps, no accuracy guarantee under the threshold model.
+func TournamentMax(items []Item, o *Oracle, opt BracketOptions) (Item, error) {
+	return core.TournamentMax(items, o, opt)
+}
+
+// Level is one expertise class in the multi-class cascade extension: its
+// oracle and its u(δ) value.
+type Level = core.Level
+
+// CascadeOptions configures CascadeFindMax.
+type CascadeOptions = core.CascadeOptions
+
+// CascadeResult reports a cascade run.
+type CascadeResult = core.CascadeResult
+
+// CascadeFindMax generalizes the two-phase algorithm to any number of
+// worker classes ordered from least to most expert (Section 3.3's
+// multi-class extension): every level but the last filters its input with
+// Algorithm 2, and the last level extracts the maximum. With exactly two
+// levels this is Algorithm 1.
+func CascadeFindMax(items []Item, opt CascadeOptions) (CascadeResult, error) {
+	return core.CascadeFindMax(items, opt)
+}

@@ -1,0 +1,42 @@
+package crowdmax_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example end to end and checks its headline
+// output, so the examples can never silently rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile and run full scenarios; skipped in -short mode")
+	}
+	cases := []struct {
+		dir   string
+		wants []string
+	}{
+		{"./examples/quickstart", []string{"two-phase result", "savings from prefiltering"}},
+		{"./examples/bestcar", []string{"finalists after the crowd phase", "expert's pick", "simulated expert's pick"}},
+		{"./examples/dotcount", []string{"result: dots-100", "quality control banned"}},
+		{"./examples/searcheval", []string{"two-phase: found the best result", "naive-only 2-MaxFind"}},
+		{"./examples/cascade", []string{"funnel:", "professional-only baseline"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", tc.dir)
+			cmd.Dir = "." // module root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module crowdmax
+
+go 1.22

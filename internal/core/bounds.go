@@ -1,0 +1,62 @@
+package core
+
+import "math"
+
+// The functions in this file evaluate the closed-form comparison bounds of
+// Sections 4.2–4.3. The experiments use them for the paper's worst-case
+// curves ("For our algorithm we considered the upper bound predicted by the
+// theory"), and the tests use them to check that measured comparison counts
+// never exceed the proven bounds.
+
+// Phase1UpperBound returns 4·n·un, Lemma 3's bound on the naïve comparisons
+// performed by Algorithm 2.
+func Phase1UpperBound(n, un int) float64 {
+	return 4 * float64(n) * float64(un)
+}
+
+// Phase1LowerBound returns n·un/4, Corollary 1's lower bound on the naïve
+// comparisons any algorithm needs to return a guaranteed candidate set of
+// size at most n/2.
+func Phase1LowerBound(n, un int) float64 {
+	return float64(n) * float64(un) / 4
+}
+
+// CandidateSetBound returns 2·un − 1, Lemma 3's bound on |S|.
+func CandidateSetBound(un int) int {
+	return 2*un - 1
+}
+
+// TwoMaxFindUpperBound returns 2·s^{3/2}, the bound on 2-MaxFind's
+// comparisons over s elements used in Theorem 1.
+func TwoMaxFindUpperBound(s int) float64 {
+	return 2 * math.Pow(float64(s), 1.5)
+}
+
+// Phase2ExpertUpperBound returns Theorem 1's bound on the expert
+// comparisons of Algorithm 1 with a 2-MaxFind phase 2: 2·un^{3/2} evaluated
+// on the worst-case candidate set size 2·un − 1 would double-count, so the
+// paper states it directly as 2·un(n)^{3/2} with the candidate bound
+// folded in; here we evaluate 2·(2·un−1)^{3/2}, the bound for the actual
+// candidate set delivered by phase 1.
+func Phase2ExpertUpperBound(un int) float64 {
+	return TwoMaxFindUpperBound(CandidateSetBound(un))
+}
+
+// Phase2DeterministicLowerBound returns Ω(un^{4/3}) evaluated with constant
+// 1 — Lemma 6's lower bound on expert comparisons for any deterministic
+// algorithm returning an element within 2δe of the maximum.
+func Phase2DeterministicLowerBound(un int) float64 {
+	return math.Pow(float64(un), 4.0/3.0)
+}
+
+// RandomizedExpertBound returns Lemma 5's expert-comparison bound for the
+// randomized phase 2, un^{1.7} + un^{0.6}·log²(un), evaluated with constant
+// 1 (natural log).
+func RandomizedExpertBound(un int) float64 {
+	u := float64(un)
+	if u < 1 {
+		return 0
+	}
+	lg := math.Log(u)
+	return math.Pow(u, 1.7) + math.Pow(u, 0.6)*lg*lg
+}

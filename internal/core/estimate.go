@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/tournament"
+)
+
+// EstimateUnOptions configures Algorithm 4.
+type EstimateUnOptions struct {
+	// Perr is the probability that a naïve worker errs on an
+	// under-threshold comparison (Assumption 2 of Section 4.4). It can
+	// itself be estimated from consensus data with EstimatePerr.
+	Perr float64
+	// C tunes the confidence of the returned upper bound (the constant c
+	// in Algorithm 4's "c·ln n" floor); defaults to 1.
+	C float64
+	// N is the size of the actual dataset the estimate will be used on;
+	// the training-set count is scaled by N/|training| (Assumption 1).
+	N int
+}
+
+// EstimateUn is Algorithm 4: it estimates an upper bound on un(N) from a
+// training set whose maximum is known (gold data). Every training element is
+// compared once against the training maximum by a naïve worker; under
+// Assumption 2, elements within δn of the maximum err with probability Perr,
+// so 2·#errors/Perr upper-bounds un(n̂) w.h.p., and the count is scaled to
+// the target size N under Assumption 1. The returned estimate is always at
+// least 1.
+//
+// Overestimates only increase cost; underestimates may lose the maximum
+// (Section 5.2 quantifies both).
+func EstimateUn(training []item.Item, naive *tournament.Oracle, opt EstimateUnOptions) (int, error) {
+	nhat := len(training)
+	if nhat == 0 {
+		return 0, ErrNoItems
+	}
+	if opt.Perr <= 0 || opt.Perr >= 1 {
+		return 0, fmt.Errorf("core: EstimateUn requires perr in (0,1), got %g", opt.Perr)
+	}
+	if opt.N <= 0 {
+		return 0, fmt.Errorf("core: EstimateUn requires target size N ≥ 1, got %d", opt.N)
+	}
+	c := opt.C
+	if c <= 0 {
+		c = 1
+	}
+
+	// Locate the training maximum M̂ (known ground truth for gold data).
+	mhat := training[0]
+	for _, it := range training[1:] {
+		if it.Value > mhat.Value {
+			mhat = it
+		}
+	}
+
+	errCount := 0
+	for _, x := range training {
+		if x.ID == mhat.ID {
+			continue
+		}
+		// The worker "made an error" iff it preferred the element with
+		// the lower value over the known maximum.
+		if naive.Compare(x, mhat).ID != mhat.ID {
+			errCount++
+		}
+	}
+
+	bound := math.Max(c*math.Log(float64(opt.N)), 2*float64(errCount)/opt.Perr)
+	est := int(math.Ceil(float64(opt.N) / float64(nhat) * bound))
+	if est < 1 {
+		est = 1
+	}
+	return est, nil
+}
+
+// EstimatePerrOptions configures EstimatePerr.
+type EstimatePerrOptions struct {
+	// Pairs is the number of random training pairs to probe; defaults
+	// to 50.
+	Pairs int
+	// Votes is the number of independent workers asked per pair;
+	// defaults to 7.
+	Votes int
+	// R drives the pair sampling. Required.
+	R *rng.Source
+}
+
+// EstimatePerr implements the Section 4.4 procedure for estimating perr from
+// training data: random pairs are each judged by several independent naïve
+// workers; unanimous pairs are taken to be above the threshold and excluded;
+// on the remaining (presumed under-threshold) pairs the empirical rate of
+// wrong answers estimates perr. The oracle must not be memoized, since the
+// procedure relies on repeated independent answers to the same pair.
+//
+// It returns an error if the training set has fewer than two elements, and
+// falls back to 0.5 (the uninformative prior) when every probed pair is
+// unanimous.
+func EstimatePerr(training []item.Item, naive *tournament.Oracle, opt EstimatePerrOptions) (float64, error) {
+	if len(training) < 2 {
+		return 0, fmt.Errorf("core: EstimatePerr needs at least 2 training elements, got %d", len(training))
+	}
+	if opt.R == nil {
+		return 0, errNilRNG
+	}
+	pairs := opt.Pairs
+	if pairs <= 0 {
+		pairs = 50
+	}
+	votes := opt.Votes
+	if votes <= 0 {
+		votes = 7
+	}
+
+	wrong, total := 0, 0
+	for p := 0; p < pairs; p++ {
+		i := opt.R.Intn(len(training))
+		j := opt.R.Intn(len(training) - 1)
+		if j >= i {
+			j++
+		}
+		a, b := training[i], training[j]
+		hi := a
+		if b.Value > a.Value {
+			hi = b
+		}
+		wins := 0
+		for v := 0; v < votes; v++ {
+			if naive.Compare(a, b).ID == hi.ID {
+				wins++
+			}
+		}
+		if wins == votes || wins == 0 {
+			// Consensus: presumed above threshold, uninformative for perr.
+			continue
+		}
+		wrong += votes - wins
+		total += votes
+	}
+	if total == 0 {
+		return 0.5, nil
+	}
+	return float64(wrong) / float64(total), nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"crowdmax/internal/dataset"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/worker"
+)
+
+func TestEstimateUnValidation(t *testing.T) {
+	r := rng.New(1)
+	o := naiveOracle(0.1, worker.RandomTie{R: r}, nil, r)
+	training := dataset.Uniform(50, 0, 1, r).Items()
+	if _, err := EstimateUn(nil, o, EstimateUnOptions{Perr: 0.5, N: 100}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	for _, perr := range []float64{0, 1, -0.3, 2} {
+		if _, err := EstimateUn(training, o, EstimateUnOptions{Perr: perr, N: 100}); err == nil {
+			t.Fatalf("perr=%g accepted", perr)
+		}
+	}
+	if _, err := EstimateUn(training, o, EstimateUnOptions{Perr: 0.5, N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestEstimateUnUpperBoundsTrueUn(t *testing.T) {
+	// The guarantee of Section 4.4 is probabilistic: w.h.p. the estimate
+	// upper-bounds the true un. We use the full instance as training
+	// (Assumption 1 trivially satisfied) and tolerate at most one
+	// below-target estimate across 20 seeded trials.
+	root := rng.New(2)
+	failures, sum := 0, 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		r := root.ChildN("t", trial)
+		n := 2000
+		trueUn := 20
+		cal, err := dataset.UniformCalibrated(n, trueUn, 5, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := naiveOracle(cal.DeltaN, worker.RandomTie{R: r}, nil, r)
+		est, err := EstimateUn(cal.Set.Items(), o, EstimateUnOptions{Perr: 0.5, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < trueUn {
+			failures++
+		}
+		sum += est
+	}
+	if failures > 3 {
+		t.Fatalf("estimate fell below true un in %d/%d trials", failures, trials)
+	}
+	// In expectation the estimate is 2·E[errors]/perr = 2·(un−1): a clear
+	// overestimate, as Section 4.4 intends.
+	if mean := float64(sum) / trials; mean < 30 {
+		t.Fatalf("mean estimate %.1f, want ≥ 1.5× the true un of 20", mean)
+	}
+}
+
+func TestEstimateUnNeverBelowOne(t *testing.T) {
+	// A perfectly separable training set yields zero errors; the estimate
+	// falls back to the c·ln n floor and is still usable.
+	r := rng.New(3)
+	training := dataset.Uniform(100, 0, 1000, r).Items() // huge gaps vs δ=1e-6
+	o := naiveOracle(1e-6, worker.RandomTie{R: r}, nil, r)
+	est, err := EstimateUn(training, o, EstimateUnOptions{Perr: 0.5, N: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 1 {
+		t.Fatalf("estimate = %d", est)
+	}
+	// Floor: (N/n̂)·c·ln N = 10·ln(1000) ≈ 69.
+	want := int(math.Ceil(10 * math.Log(1000)))
+	if est != want {
+		t.Fatalf("estimate = %d, want c·ln n floor %d", est, want)
+	}
+}
+
+func TestEstimateUnScalesWithN(t *testing.T) {
+	// Assumption 1: the training count scales by N/n̂.
+	r := rng.New(4)
+	cal, err := dataset.UniformCalibrated(500, 15, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := naiveOracle(cal.DeltaN, worker.RandomTie{R: r.Child("w")}, nil, r.Child("w"))
+	estSmall, err := EstimateUn(cal.Set.Items(), o, EstimateUnOptions{Perr: 0.5, N: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := naiveOracle(cal.DeltaN, worker.RandomTie{R: r.Child("w")}, nil, r.Child("w"))
+	estBig, err := EstimateUn(cal.Set.Items(), o2, EstimateUnOptions{Perr: 0.5, N: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estBig < 5*estSmall {
+		t.Fatalf("estimate did not scale: N=500 → %d, N=5000 → %d", estSmall, estBig)
+	}
+}
+
+func TestEstimatePerrValidation(t *testing.T) {
+	r := rng.New(5)
+	o := naiveOracle(0.1, worker.RandomTie{R: r}, nil, r)
+	one := dataset.Uniform(1, 0, 1, r).Items()
+	if _, err := EstimatePerr(one, o, EstimatePerrOptions{R: r}); err == nil {
+		t.Fatal("single-element training accepted")
+	}
+	two := dataset.Uniform(2, 0, 1, r).Items()
+	if _, err := EstimatePerr(two, o, EstimatePerrOptions{}); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+}
+
+func TestEstimatePerrRecoversModelValue(t *testing.T) {
+	// Under the threshold model with random tie-breaking, under-threshold
+	// answers err with probability 1/2; the consensus-based estimator
+	// should land near 0.5.
+	r := rng.New(6)
+	// Tight cluster: everything under threshold → every pair hard.
+	s, err := dataset.AdversarialIndistinguishable(50, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := naiveOracle(1.0, worker.RandomTie{R: r.Child("w")}, nil, r.Child("w"))
+	perr, err := EstimatePerr(s.Items(), o, EstimatePerrOptions{Pairs: 200, Votes: 9, R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(perr-0.5) > 0.06 {
+		t.Fatalf("perr estimate = %.3f, want ≈0.5", perr)
+	}
+}
+
+func TestEstimatePerrAllConsensusFallsBack(t *testing.T) {
+	// Perfectly separable data: every pair reaches consensus, estimator
+	// returns the uninformative prior.
+	r := rng.New(7)
+	s := dataset.Uniform(30, 0, 1000, r)
+	o := naiveOracle(1e-9, worker.RandomTie{R: r}, nil, r)
+	perr, err := EstimatePerr(s.Items(), o, EstimatePerrOptions{Pairs: 50, Votes: 5, R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perr != 0.5 {
+		t.Fatalf("fallback perr = %g, want 0.5", perr)
+	}
+}
+
+func TestEstimatePipelineEndToEnd(t *testing.T) {
+	// Full Section 4.4 workflow: estimate perr from consensus data, feed
+	// it to Algorithm 4, run Algorithm 1 with the estimated un, and check
+	// the accuracy guarantee still holds (overestimation is safe).
+	r := rng.New(8)
+	n := 1500
+	cal, err := dataset.UniformCalibrated(n, 12, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	training, err := dataset.SampleSet(cal.Set, 300, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oEst := naiveOracle(cal.DeltaN, worker.RandomTie{R: r.Child("est")}, nil, r.Child("est"))
+	perr, err := EstimatePerr(training.Items(), oEst, EstimatePerrOptions{Pairs: 150, Votes: 9, R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perr < 0.2 { // guard: estimator degenerated
+		perr = 0.5
+	}
+	est, err := EstimateUn(training.Items(), oEst, EstimateUnOptions{Perr: perr, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est > n/4 {
+		est = n / 4 // un must stay o(n) for the filter to be useful
+	}
+	no, eo := oracles(cal, r, nil, nil)
+	res, err := FindMax(cal.Set.Items(), no, eo, FindMaxOptions{Un: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cal.Set.Max().Value - res.Best.Value; d > 2*cal.DeltaE {
+		t.Fatalf("estimated-un run returned d = %g > 2δe = %g", d, 2*cal.DeltaE)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/tournament"
+)
+
+var errNilRNG = errors.New("core: randomized algorithm requires a random source")
+
+// RandomizedOptions configures Algorithm 5.
+type RandomizedOptions struct {
+	// C is the confidence constant c of Algorithm 5: group sizes are
+	// 80·(C+2) and the failure probability is s^{−c}. Defaults to 1.
+	C int
+	// R drives the random sampling and partitioning. Required.
+	R *rng.Source
+}
+
+// RandomizedMaxFind is Algorithm 5 (from Ajtai et al. Section 3.2): a
+// randomized max-finding algorithm that, under the threshold model T(δ, 0),
+// returns an element within 3δ of the maximum with probability at least
+// 1 − s^{−c}, using Θ(s) comparisons — but with constants so large
+// (all-play-all tournaments in groups of 80·(c+2) elements, each round
+// removing one element per group) that 2-MaxFind is cheaper at the input
+// sizes the paper considers. The experiments of Section 5.1 reproduce this
+// crossover.
+//
+// Each round samples s^{0.3} random elements into a reserve W, partitions
+// the survivors into groups of 80·(C+2), plays an all-play-all tournament in
+// each group, and removes each group's minimal element (fewest wins). When
+// fewer than s^{0.3} survivors remain they join W, and a final all-play-all
+// tournament over W picks the winner.
+func RandomizedMaxFind(items []item.Item, o *tournament.Oracle, opt RandomizedOptions) (item.Item, error) {
+	s := len(items)
+	if s == 0 {
+		return item.Item{}, ErrNoItems
+	}
+	if s == 1 {
+		return items[0], nil
+	}
+	if opt.R == nil {
+		return item.Item{}, errNilRNG
+	}
+	c := opt.C
+	if c < 1 {
+		c = 1
+	}
+	groupSize := 80 * (c + 2)
+	cutoff := math.Pow(float64(s), 0.3)
+	sampleSize := int(math.Ceil(cutoff))
+
+	ni := make([]item.Item, s)
+	copy(ni, items)
+	reserve := make(map[int]item.Item)
+
+	for float64(len(ni)) >= cutoff && len(ni) > 1 {
+		// Sample s^0.3 elements at random into the reserve W.
+		for _, idx := range opt.R.Perm(len(ni))[:min(sampleSize, len(ni))] {
+			it := ni[idx]
+			reserve[it.ID] = it
+		}
+		// Randomly partition into groups of 80(c+2) and drop each
+		// group's minimal element.
+		opt.R.Shuffle(len(ni), func(i, j int) { ni[i], ni[j] = ni[j], ni[i] })
+		drop := make(map[int]bool)
+		for start := 0; start < len(ni); start += groupSize {
+			end := start + groupSize
+			if end > len(ni) {
+				end = len(ni)
+			}
+			group := ni[start:end]
+			if len(group) < 2 {
+				continue
+			}
+			res := tournament.RoundRobin(group, o)
+			drop[res.MinByWins().ID] = true
+		}
+		if len(drop) == 0 {
+			break // single survivor group of size 1
+		}
+		kept := ni[:0]
+		for _, it := range ni {
+			if !drop[it.ID] {
+				kept = append(kept, it)
+			}
+		}
+		ni = kept
+	}
+
+	for _, it := range ni {
+		reserve[it.ID] = it
+	}
+	finalists := make([]item.Item, 0, len(reserve))
+	for _, it := range reserve {
+		finalists = append(finalists, it)
+	}
+	// Deterministic order for reproducibility (map iteration is random).
+	sort.Slice(finalists, func(i, j int) bool { return finalists[i].ID < finalists[j].ID })
+	final := tournament.RoundRobin(finalists, o)
+	return final.TopByWins(), nil
+}

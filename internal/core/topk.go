@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/tournament"
+)
+
+// TopKOptions configures TopK.
+type TopKOptions struct {
+	// K is the number of elements to return, best first.
+	K int
+	// U must upper-bound, for every prefix maximum encountered (the
+	// overall maximum, the maximum after removing it, and so on K times),
+	// the number of elements naïve-indistinguishable from it. The single
+	// un(n) of the max-finding problem suffices when the top-K elements
+	// have neighbourhoods of similar size; otherwise overestimate — as
+	// with Algorithm 1, overestimation costs money, never accuracy.
+	U int
+	// Phase2 selects the expert extraction algorithm per round.
+	Phase2 Phase2Algorithm
+	// TrackLosses enables the Appendix A loss counters per round.
+	TrackLosses bool
+	// Randomized configures Algorithm 5 when Phase2 is Phase2Randomized.
+	Randomized RandomizedOptions
+}
+
+// TopK returns k elements ordered best-first by running the two-phase
+// expert-aware algorithm k times, removing each round's winner — the
+// selection-sort composition that turns max-finding into the ranking tasks
+// the paper's introduction motivates ("ranking of search results,
+// evaluation of web-page relevance").
+//
+// Guarantee under T(δ, 0) workers with a 2-MaxFind phase 2 and a valid U:
+// the i-th returned element is within 2·δe of the true maximum of the set
+// with the previous i−1 returns removed. Cost: at most k·4·n·U naïve and
+// k·2·(2U−1)^{3/2} expert comparisons. Memoized oracles make later rounds
+// substantially cheaper, since most pairs repeat.
+func TopK(items []item.Item, naive, expert *tournament.Oracle, opt TopKOptions) ([]item.Item, error) {
+	if len(items) == 0 {
+		return nil, ErrNoItems
+	}
+	if opt.K < 1 || opt.K > len(items) {
+		return nil, fmt.Errorf("core: TopK requires 1 ≤ k ≤ n, got k=%d n=%d", opt.K, len(items))
+	}
+	if opt.U < 1 {
+		return nil, fmt.Errorf("core: TopK requires U ≥ 1, got %d", opt.U)
+	}
+
+	remaining := make([]item.Item, len(items))
+	copy(remaining, items)
+	out := make([]item.Item, 0, opt.K)
+	for round := 0; round < opt.K; round++ {
+		if len(remaining) == 1 {
+			out = append(out, remaining[0])
+			remaining = remaining[:0]
+			continue
+		}
+		res, err := FindMax(remaining, naive, expert, FindMaxOptions{
+			Un:          opt.U,
+			Phase2:      opt.Phase2,
+			TrackLosses: opt.TrackLosses,
+			Randomized:  opt.Randomized,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("round %d: %w", round+1, err)
+		}
+		out = append(out, res.Best)
+		kept := remaining[:0]
+		for _, it := range remaining {
+			if it.ID != res.Best.ID {
+				kept = append(kept, it)
+			}
+		}
+		remaining = kept
+	}
+	return out, nil
+}
+
+// RankByWins orders items by their win counts in an all-play-all tournament
+// under the oracle, best first (stable on ties). This is the "last round"
+// ranking procedure of the paper's Tables 1 and 2.
+func RankByWins(items []item.Item, o *tournament.Oracle) []item.Item {
+	if len(items) == 0 {
+		return nil
+	}
+	res := tournament.RoundRobin(items, o)
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return res.Wins[order[a]] > res.Wins[order[b]] })
+	out := make([]item.Item, len(items))
+	for i, idx := range order {
+		out[i] = items[idx]
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/tournament"
+)
+
+// TwoMaxFind is Algorithm 3 (2-MaxFind, from Ajtai et al. Section 3.1): a
+// deterministic max-finding algorithm that, under the threshold model
+// T(δ, 0), returns an element within 2δ of the maximum using O(s^{3/2})
+// comparisons on s elements.
+//
+// While more than ⌈√s⌉ candidates remain, an arbitrary set of ⌈√s⌉
+// candidates plays an all-play-all tournament; the element x with the most
+// wins is compared against every candidate, and candidates losing to x are
+// eliminated. A final all-play-all tournament among the at most ⌈√s⌉
+// survivors returns the element with the most wins.
+//
+// The sample-tournament results are reused in the elimination pass (the
+// first Appendix A optimization): besides saving comparisons, this is what
+// guarantees progress — and hence the O(s^{3/2}) bound — even against
+// adversarial tie-breaking, because x's tournament victims stay eliminated.
+func TwoMaxFind(items []item.Item, o *tournament.Oracle) (item.Item, error) {
+	s := len(items)
+	if s == 0 {
+		return item.Item{}, ErrNoItems
+	}
+	if s == 1 {
+		return items[0], nil
+	}
+	k := int(math.Ceil(math.Sqrt(float64(s))))
+	if k < 2 {
+		k = 2
+	}
+	candidates := make([]item.Item, s)
+	copy(candidates, items)
+
+	for len(candidates) > k {
+		sample := candidates[:k]
+		res := tournament.RoundRobin(sample, o)
+		x := res.TopByWins()
+
+		// Eliminate x's tournament victims directly: those comparisons
+		// were already performed and must not be re-asked (their answers
+		// could flip below the threshold).
+		beaten := make(map[int]bool)
+		for i := range sample {
+			for _, w := range res.Losers[i] {
+				if w == x.ID {
+					beaten[sample[i].ID] = true
+				}
+			}
+		}
+		remaining := candidates[:0]
+		for _, c := range candidates {
+			if !beaten[c.ID] {
+				remaining = append(remaining, c)
+			}
+		}
+		candidates, _ = tournament.PivotPass(x, remaining, o)
+	}
+
+	final := tournament.RoundRobin(candidates, o)
+	return final.TopByWins(), nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crowdmax/internal/cost"
+	"crowdmax/internal/dataset"
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/tournament"
+	"crowdmax/internal/worker"
+)
+
+func TestTwoMaxFindEdges(t *testing.T) {
+	r := rng.New(1)
+	o := naiveOracle(0, worker.RandomTie{R: r}, nil, r)
+	if _, err := TwoMaxFind(nil, o); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	single := []item.Item{{ID: 3, Value: 7}}
+	got, err := TwoMaxFind(single, o)
+	if err != nil || got.ID != 3 {
+		t.Fatalf("singleton: %v, %v", got, err)
+	}
+}
+
+func TestTwoMaxFindTruthfulOracleExact(t *testing.T) {
+	// With δ = 0, ε = 0 the guarantee d(M, e) ≤ 2δ means the exact max.
+	root := rng.New(2)
+	for trial := 0; trial < 25; trial++ {
+		r := root.ChildN("t", trial)
+		n := 2 + r.Intn(300)
+		s := dataset.Uniform(n, 0, 1, r)
+		o := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
+		got, err := TwoMaxFind(s.Items(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != s.Max().ID {
+			t.Fatalf("trial %d: returned rank %d", trial, s.Rank(got.ID))
+		}
+	}
+}
+
+func TestTwoMaxFindGuaranteeUnderThresholdModel(t *testing.T) {
+	// Ajtai et al.: the returned element is within 2δ of the maximum.
+	root := rng.New(3)
+	for trial := 0; trial < 40; trial++ {
+		r := root.ChildN("t", trial)
+		n := 2 + r.Intn(200)
+		delta := 0.05 + r.Float64()*0.1
+		s := dataset.Uniform(n, 0, 1, r)
+		w := &worker.Threshold{Delta: delta, Tie: worker.RandomTie{R: r}, R: r}
+		o := tournament.NewOracle(w, worker.Expert, nil, nil)
+		got, err := TwoMaxFind(s.Items(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := item.Distance(s.Max(), got); d > 2*delta {
+			t.Fatalf("trial %d: d(M, e) = %g > 2δ = %g", trial, d, 2*delta)
+		}
+	}
+}
+
+func TestTwoMaxFindGuaranteeAgainstAdversary(t *testing.T) {
+	// The 2δ guarantee must hold against adversarial tie-breaking too —
+	// and the run must terminate (progress is guaranteed by reusing the
+	// pivot's tournament results).
+	root := rng.New(4)
+	for trial := 0; trial < 25; trial++ {
+		r := root.ChildN("t", trial)
+		n := 2 + r.Intn(150)
+		delta := 0.2
+		s := dataset.Uniform(n, 0, 1, r)
+		w := &worker.Threshold{Delta: delta, Tie: worker.AdversarialTie{}, R: r}
+		o := tournament.NewOracle(w, worker.Expert, nil, nil)
+		got, err := TwoMaxFind(s.Items(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := item.Distance(s.Max(), got); d > 2*delta {
+			t.Fatalf("trial %d: adversarial d(M, e) = %g > %g", trial, d, 2*delta)
+		}
+	}
+}
+
+func TestTwoMaxFindAllIndistinguishableTerminates(t *testing.T) {
+	// Worst case: every pair under threshold, adversary in control. Any
+	// answer is within 2δ; the point is termination and the comparison
+	// bound.
+	s, err := dataset.AdversarialIndistinguishable(100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	l := cost.NewLedger()
+	w := &worker.Threshold{Delta: 1.0, Tie: worker.AdversarialTie{}, R: r}
+	o := tournament.NewOracle(w, worker.Expert, l, nil)
+	if _, err := TwoMaxFind(s.Items(), o); err != nil {
+		t.Fatal(err)
+	}
+	if float64(l.Expert()) > TwoMaxFindUpperBound(100) {
+		t.Fatalf("%d comparisons exceed 2·s^1.5 = %g", l.Expert(), TwoMaxFindUpperBound(100))
+	}
+}
+
+func TestTwoMaxFindComparisonBound(t *testing.T) {
+	root := rng.New(6)
+	for _, n := range []int{10, 50, 100, 400, 1000} {
+		r := root.ChildN("n", n)
+		s := dataset.Uniform(n, 0, 1, r)
+		l := cost.NewLedger()
+		w := &worker.Threshold{Delta: 0.05, Tie: worker.RandomTie{R: r}, R: r}
+		o := tournament.NewOracle(w, worker.Expert, l, nil)
+		if _, err := TwoMaxFind(s.Items(), o); err != nil {
+			t.Fatal(err)
+		}
+		if float64(l.Expert()) > TwoMaxFindUpperBound(n) {
+			t.Fatalf("n=%d: %d comparisons > %g", n, l.Expert(), TwoMaxFindUpperBound(n))
+		}
+	}
+}
+
+func TestTwoMaxFindDoesNotMutateInput(t *testing.T) {
+	r := rng.New(7)
+	s := dataset.Uniform(50, 0, 1, r)
+	in := s.Items()
+	want := s.Items()
+	o := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
+	if _, err := TwoMaxFind(in, o); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != want[i] {
+			t.Fatal("input slice mutated")
+		}
+	}
+}
+
+func TestTwoMaxFindProperty(t *testing.T) {
+	root := rng.New(8)
+	trial := 0
+	f := func(nRaw uint8, deltaRaw uint8) bool {
+		trial++
+		r := root.ChildN("q", trial)
+		n := int(nRaw)%120 + 2
+		delta := float64(deltaRaw%50)/100 + 0.01
+		s := dataset.Uniform(n, 0, 1, r)
+		l := cost.NewLedger()
+		w := &worker.Threshold{Delta: delta, Tie: worker.RandomTie{R: r}, R: r}
+		o := tournament.NewOracle(w, worker.Expert, l, nil)
+		got, err := TwoMaxFind(s.Items(), o)
+		if err != nil {
+			return false
+		}
+		return item.Distance(s.Max(), got) <= 2*delta &&
+			float64(l.Expert()) <= TwoMaxFindUpperBound(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

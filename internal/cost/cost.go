@@ -1,0 +1,162 @@
+// Package cost implements the paper's monetary cost model (Section 3.4).
+//
+// Workers are paid per comparison; naïve and expert comparisons have
+// different unit prices cn and ce with ce ≫ cn. An algorithm performing
+// xn naïve and xe expert comparisons costs
+//
+//	C(n) = xe·ce + xn·cn.
+//
+// The ledger also tracks logical steps — the batch rounds of Venetis et
+// al.'s execution model (Section 3) that the paper treats as the time
+// complexity measure — and memoization hits, so the Appendix A
+// optimizations can be quantified.
+package cost
+
+import (
+	"fmt"
+	"strings"
+
+	"crowdmax/internal/worker"
+)
+
+// Prices holds per-comparison prices by worker class.
+type Prices struct {
+	// Naive is cn, the price of one naïve comparison.
+	Naive float64
+	// Expert is ce, the price of one expert comparison; the paper's
+	// regime of interest is Expert ≫ Naive.
+	Expert float64
+}
+
+// Unit returns the price of one comparison by the given class. Classes
+// beyond Expert (the multi-class extension) are priced like experts.
+func (p Prices) Unit(c worker.Class) float64 {
+	if c == worker.Naive {
+		return p.Naive
+	}
+	return p.Expert
+}
+
+// Ledger accumulates the resource consumption of an algorithm run:
+// comparisons by worker class, memoization hits (answers served from the
+// comparison table of Appendix A at zero cost), and logical steps (batches
+// submitted to the platform). The zero value is an empty ledger.
+type Ledger struct {
+	comparisons map[worker.Class]int64
+	memoHits    map[worker.Class]int64
+	steps       int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		comparisons: make(map[worker.Class]int64),
+		memoHits:    make(map[worker.Class]int64),
+	}
+}
+
+func (l *Ledger) init() {
+	if l.comparisons == nil {
+		l.comparisons = make(map[worker.Class]int64)
+		l.memoHits = make(map[worker.Class]int64)
+	}
+}
+
+// Charge records one paid comparison by the given class.
+func (l *Ledger) Charge(c worker.Class) {
+	l.init()
+	l.comparisons[c]++
+}
+
+// MemoHit records a comparison answered from the memo table (free).
+func (l *Ledger) MemoHit(c worker.Class) {
+	l.init()
+	l.memoHits[c]++
+}
+
+// Step records one logical step (one batch round).
+func (l *Ledger) Step() { l.steps++ }
+
+// Comparisons returns the number of paid comparisons by class.
+func (l *Ledger) Comparisons(c worker.Class) int64 {
+	if l.comparisons == nil {
+		return 0
+	}
+	return l.comparisons[c]
+}
+
+// MemoHits returns the number of memoized (free) comparisons by class.
+func (l *Ledger) MemoHits(c worker.Class) int64 {
+	if l.memoHits == nil {
+		return 0
+	}
+	return l.memoHits[c]
+}
+
+// Naive returns xn, the paid naïve comparisons.
+func (l *Ledger) Naive() int64 { return l.Comparisons(worker.Naive) }
+
+// Expert returns xe, the paid comparisons of every non-naïve class.
+func (l *Ledger) Expert() int64 {
+	if l.comparisons == nil {
+		return 0
+	}
+	var n int64
+	for c, v := range l.comparisons {
+		if c != worker.Naive {
+			n += v
+		}
+	}
+	return n
+}
+
+// Steps returns the number of logical steps recorded.
+func (l *Ledger) Steps() int64 { return l.steps }
+
+// Cost returns C(n) = Σ_class comparisons(class)·price(class).
+func (l *Ledger) Cost(p Prices) float64 {
+	if l.comparisons == nil {
+		return 0
+	}
+	var c float64
+	for cl, n := range l.comparisons {
+		c += float64(n) * p.Unit(cl)
+	}
+	return c
+}
+
+// Add accumulates another ledger into this one (used to merge per-phase
+// ledgers into a run total).
+func (l *Ledger) Add(o *Ledger) {
+	l.init()
+	if o == nil || o.comparisons == nil {
+		if o != nil {
+			l.steps += o.steps
+		}
+		return
+	}
+	for c, n := range o.comparisons {
+		l.comparisons[c] += n
+	}
+	for c, n := range o.memoHits {
+		l.memoHits[c] += n
+	}
+	l.steps += o.steps
+}
+
+// Reset empties the ledger.
+func (l *Ledger) Reset() {
+	l.comparisons = make(map[worker.Class]int64)
+	l.memoHits = make(map[worker.Class]int64)
+	l.steps = 0
+}
+
+// String renders a one-line summary.
+func (l *Ledger) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "naive=%d expert=%d steps=%d", l.Naive(), l.Expert(), l.Steps())
+	if h := l.MemoHits(worker.Naive) + l.MemoHits(worker.Expert); h > 0 {
+		fmt.Fprintf(&b, " memo=%d", h)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crowdmax/internal/worker"
+)
+
+func TestZeroValueLedgerUsable(t *testing.T) {
+	var l Ledger
+	if l.Naive() != 0 || l.Expert() != 0 || l.Steps() != 0 {
+		t.Fatal("zero ledger not empty")
+	}
+	if l.Cost(Prices{Naive: 1, Expert: 10}) != 0 {
+		t.Fatal("zero ledger has nonzero cost")
+	}
+	l.Charge(worker.Naive) // must not panic
+	if l.Naive() != 1 {
+		t.Fatal("charge on zero-value ledger lost")
+	}
+}
+
+func TestChargeAndCost(t *testing.T) {
+	l := NewLedger()
+	for i := 0; i < 7; i++ {
+		l.Charge(worker.Naive)
+	}
+	for i := 0; i < 3; i++ {
+		l.Charge(worker.Expert)
+	}
+	if l.Naive() != 7 || l.Expert() != 3 {
+		t.Fatalf("counts = %d/%d", l.Naive(), l.Expert())
+	}
+	// C(n) = xe·ce + xn·cn = 3·50 + 7·1 = 157.
+	if got := l.Cost(Prices{Naive: 1, Expert: 50}); got != 157 {
+		t.Fatalf("Cost = %g, want 157", got)
+	}
+}
+
+func TestCostLinearity(t *testing.T) {
+	f := func(xn, xe uint16, cn, ce uint16) bool {
+		l := NewLedger()
+		for i := 0; i < int(xn)%500; i++ {
+			l.Charge(worker.Naive)
+		}
+		for i := 0; i < int(xe)%500; i++ {
+			l.Charge(worker.Expert)
+		}
+		p := Prices{Naive: float64(cn), Expert: float64(ce)}
+		want := float64(l.Naive())*float64(cn) + float64(l.Expert())*float64(ce)
+		return l.Cost(p) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiClassBilledAsExpert(t *testing.T) {
+	l := NewLedger()
+	l.Charge(worker.Class(2)) // third expertise level
+	if l.Expert() != 1 {
+		t.Fatal("extended classes should count as expert comparisons")
+	}
+	if got := l.Cost(Prices{Naive: 1, Expert: 20}); got != 20 {
+		t.Fatalf("extended class cost = %g, want 20", got)
+	}
+}
+
+func TestMemoHitsAreFree(t *testing.T) {
+	l := NewLedger()
+	l.Charge(worker.Expert)
+	l.MemoHit(worker.Expert)
+	l.MemoHit(worker.Expert)
+	if l.Expert() != 1 {
+		t.Fatal("memo hits were billed")
+	}
+	if l.MemoHits(worker.Expert) != 2 {
+		t.Fatalf("memo hits = %d", l.MemoHits(worker.Expert))
+	}
+	if got := l.Cost(Prices{Naive: 1, Expert: 10}); got != 10 {
+		t.Fatalf("Cost with memo hits = %g, want 10", got)
+	}
+}
+
+func TestSteps(t *testing.T) {
+	l := NewLedger()
+	l.Step()
+	l.Step()
+	if l.Steps() != 2 {
+		t.Fatalf("steps = %d", l.Steps())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a, b := NewLedger(), NewLedger()
+	a.Charge(worker.Naive)
+	a.Step()
+	b.Charge(worker.Expert)
+	b.Charge(worker.Expert)
+	b.MemoHit(worker.Naive)
+	b.Step()
+	a.Add(b)
+	if a.Naive() != 1 || a.Expert() != 2 || a.Steps() != 2 || a.MemoHits(worker.Naive) != 1 {
+		t.Fatalf("merged ledger wrong: %s", a)
+	}
+	// Adding nil or empty must be safe.
+	a.Add(nil)
+	var empty Ledger
+	a.Add(&empty)
+	if a.Naive() != 1 {
+		t.Fatal("Add(nil/empty) corrupted ledger")
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLedger()
+	l.Charge(worker.Naive)
+	l.Step()
+	l.Reset()
+	if l.Naive() != 0 || l.Steps() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestPricesUnit(t *testing.T) {
+	p := Prices{Naive: 2, Expert: 30}
+	if p.Unit(worker.Naive) != 2 || p.Unit(worker.Expert) != 30 || p.Unit(worker.Class(3)) != 30 {
+		t.Fatal("Unit pricing wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	l := NewLedger()
+	l.Charge(worker.Naive)
+	l.MemoHit(worker.Expert)
+	s := l.String()
+	if !strings.Contains(s, "naive=1") || !strings.Contains(s, "memo=1") {
+		t.Fatalf("String() = %q", s)
+	}
+}

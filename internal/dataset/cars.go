@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"fmt"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+)
+
+// Car describes one car in the synthetic catalogue. The paper's CARS
+// dataset was scraped from cars.com and cleaned to 110 cars priced between
+// $14K and $130K with every pair at least $500 apart; this generator
+// reproduces that statistical envelope with synthetic make/model metadata.
+type Car struct {
+	Make      string
+	Model     string
+	BodyStyle string
+	Doors     int
+	Price     float64
+}
+
+// String renders "2013 Make Model (body) — $price".
+func (c Car) String() string {
+	return fmt.Sprintf("2013 %s %s (%s) — $%.0f", c.Make, c.Model, c.BodyStyle, c.Price)
+}
+
+var carMakes = []string{
+	"BMW", "Audi", "Mercedes-Benz", "Porsche", "Lexus", "Jaguar",
+	"Chevrolet", "Land Rover", "Cadillac", "Infiniti", "Ford", "Toyota",
+	"Honda", "Nissan", "Volkswagen", "Volvo", "Acura", "Subaru",
+	"Hyundai", "Kia", "Mazda", "Lincoln",
+}
+
+var carModels = []string{
+	"M6", "S8", "ML63", "SL550", "Cayenne", "750Li", "A8L", "LS460",
+	"XJL", "Corvette", "Range Sport", "Escalade", "550i", "QX56", "A7",
+	"GTS", "RS7", "Panamera", "GS350", "Q70", "CTS-V", "XTS", "MKZ",
+	"Avalon", "Accord", "Maxima", "Passat", "S60", "TLX", "Legacy",
+	"Genesis", "Cadenza", "CX-9", "Continental",
+}
+
+var carBodies = []string{"sedan", "coupe", "SUV", "convertible", "wagon"}
+
+// CarsConfig tunes the synthetic catalogue; zero values reproduce the
+// paper's envelope.
+type CarsConfig struct {
+	// N is the catalogue size (paper: 110).
+	N int
+	// MinPrice and MaxPrice bound the price range (paper: 14000–130000).
+	MinPrice, MaxPrice float64
+	// MinGap is the minimum pairwise price difference (paper: 500).
+	MinGap float64
+}
+
+func (c CarsConfig) withDefaults() CarsConfig {
+	if c.N == 0 {
+		c.N = 110
+	}
+	if c.MinPrice == 0 {
+		c.MinPrice = 14000
+	}
+	if c.MaxPrice == 0 {
+		c.MaxPrice = 130000
+	}
+	if c.MinGap == 0 {
+		c.MinGap = 500
+	}
+	return c
+}
+
+// Cars generates the synthetic car catalogue. Prices follow the shape of
+// the paper's cleaned cars.com data: right-skewed — most cars cheap, few
+// expensive, so price gaps widen toward the luxury end — with every
+// pairwise gap at least MinGap ("For every pair of cars the difference in
+// price is at least $500"). Make/model pairs do not repeat, matching the
+// paper's de-duplication.
+//
+// Concretely, sorted prices are MinPrice + i·MinGap + extra·(i/(n−1))³,
+// where extra is the span left after the mandatory gaps, plus a jitter
+// bounded by the local slack so ordering and gaps are preserved.
+func Cars(cfg CarsConfig, r *rng.Source) (*item.Set, []Car, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.N
+	if n < 2 {
+		return nil, nil, fmt.Errorf("dataset: need at least 2 cars, got %d", n)
+	}
+	if n > len(carMakes)*len(carModels) {
+		return nil, nil, fmt.Errorf("dataset: at most %d distinct make/model pairs available, need %d",
+			len(carMakes)*len(carModels), n)
+	}
+	span := cfg.MaxPrice - cfg.MinPrice
+	extra := span - cfg.MinGap*float64(n-1)
+	if extra < 0 {
+		return nil, nil, fmt.Errorf("dataset: %d cars cannot keep a $%.0f gap within [$%.0f, $%.0f]",
+			n, cfg.MinGap, cfg.MinPrice, cfg.MaxPrice)
+	}
+	weight := func(i int) float64 {
+		f := float64(i) / float64(n-1)
+		return f * f * f
+	}
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = cfg.MinPrice + float64(i)*cfg.MinGap + extra*weight(i)
+	}
+
+	cars := make([]Car, n)
+	items := make([]item.Item, n)
+	used := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		// Jitter within 45% of the local slack above the mandatory gap,
+		// so adjacent cars keep at least MinGap between them.
+		slack := extra
+		if i > 0 {
+			s := base[i] - base[i-1] - cfg.MinGap
+			if s < slack {
+				slack = s
+			}
+		}
+		if i < n-1 {
+			s := base[i+1] - base[i] - cfg.MinGap
+			if s < slack {
+				slack = s
+			}
+		}
+		price := base[i]
+		if slack > 0 {
+			lo, hi := -0.45*slack, 0.45*slack
+			if i == 0 {
+				lo = 0 // keep the cheapest car at or above MinPrice
+			}
+			if i == n-1 {
+				hi = 0 // keep the priciest car at or below MaxPrice
+			}
+			price += r.UniformIn(lo, hi)
+		}
+		var mk, md string
+		for {
+			mk = carMakes[r.Intn(len(carMakes))]
+			md = carModels[r.Intn(len(carModels))]
+			if !used[mk+"/"+md] {
+				used[mk+"/"+md] = true
+				break
+			}
+		}
+		cars[i] = Car{
+			Make:      mk,
+			Model:     md,
+			BodyStyle: carBodies[r.Intn(len(carBodies))],
+			Doors:     2 + 2*r.Intn(2),
+			Price:     price,
+		}
+		items[i] = item.Item{Value: price, Label: cars[i].String()}
+	}
+	return item.NewSetItems(items), cars, nil
+}
+
+// SampleSet draws a uniform random subsample of size k from s, re-indexed as
+// its own Set (used to downsample the 110-car catalogue to the 50-element
+// experiment instances of Section 5.3).
+func SampleSet(s *item.Set, k int, r *rng.Source) (*item.Set, error) {
+	if k < 1 || k > s.Len() {
+		return nil, fmt.Errorf("dataset: cannot sample %d of %d items", k, s.Len())
+	}
+	perm := r.Perm(s.Len())[:k]
+	items := make([]item.Item, k)
+	for i, idx := range perm {
+		items[i] = s.Item(idx)
+	}
+	return item.NewSetItems(items), nil
+}

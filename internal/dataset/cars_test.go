@@ -1,0 +1,156 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+)
+
+func TestCarsDefaults(t *testing.T) {
+	r := rng.New(1)
+	s, cars, err := Cars(CarsConfig{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 110 || len(cars) != 110 {
+		t.Fatalf("catalogue size = %d/%d", s.Len(), len(cars))
+	}
+	for _, c := range cars {
+		if c.Price < 14000 || c.Price > 130000 {
+			t.Fatalf("price $%.0f outside paper envelope", c.Price)
+		}
+	}
+}
+
+func TestCarsMinimumGap(t *testing.T) {
+	r := rng.New(2)
+	s, _, err := Cars(CarsConfig{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := s.Items()
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			if d := item.Distance(items[i], items[j]); d < 500 {
+				t.Fatalf("pair gap $%.0f < $500", d)
+			}
+		}
+	}
+}
+
+func TestCarsUniqueMakeModel(t *testing.T) {
+	r := rng.New(3)
+	_, cars, err := Cars(CarsConfig{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, c := range cars {
+		k := c.Make + "/" + c.Model
+		if seen[k] {
+			t.Fatalf("duplicate make/model %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestCarsLabels(t *testing.T) {
+	r := rng.New(4)
+	s, cars, err := Cars(CarsConfig{N: 10}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range s.Items() {
+		if it.Label != cars[i].String() {
+			t.Fatalf("label mismatch: %q vs %q", it.Label, cars[i].String())
+		}
+		if !strings.Contains(it.Label, "$") {
+			t.Fatalf("label %q missing price", it.Label)
+		}
+		if it.Value != cars[i].Price {
+			t.Fatal("item value != car price")
+		}
+	}
+}
+
+func TestCarsValidation(t *testing.T) {
+	r := rng.New(5)
+	if _, _, err := Cars(CarsConfig{N: 1}, r); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	// 300 cars in a $20K range cannot keep $500 gaps.
+	if _, _, err := Cars(CarsConfig{N: 300, MinPrice: 10000, MaxPrice: 30000}, r); err == nil {
+		t.Fatal("infeasible gap constraint accepted")
+	}
+	if _, _, err := Cars(CarsConfig{N: 1000}, r); err == nil {
+		t.Fatal("more cars than make/model pairs accepted")
+	}
+}
+
+func TestCarsDeterministicPerSeed(t *testing.T) {
+	s1, _, err := Cars(CarsConfig{}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := Cars(CarsConfig{}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s1.Len(); i++ {
+		if s1.Item(i) != s2.Item(i) {
+			t.Fatal("same seed produced different catalogues")
+		}
+	}
+}
+
+func TestSearchResultsShape(t *testing.T) {
+	r := rng.New(6)
+	s, err := SearchResults(QueryAsymmetricTSP, 50, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 50 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	// One clear best, separated by at least the configured gap.
+	best, second := s.ByRank(1), s.ByRank(2)
+	if item.Distance(best, second) < 0.0499 {
+		t.Fatalf("best gap = %g < 0.05", item.Distance(best, second))
+	}
+	if !strings.Contains(best.Label, "current best result") {
+		t.Fatalf("best label = %q", best.Label)
+	}
+	if !strings.Contains(best.Label, string(QueryAsymmetricTSP)) {
+		t.Fatalf("label missing query: %q", best.Label)
+	}
+}
+
+func TestSearchResultsDefaultsAndValidation(t *testing.T) {
+	r := rng.New(7)
+	if _, err := SearchResults(QuerySteinerTree, 1, 0, r); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	s, err := SearchResults(QuerySteinerTree, 10, 0, r) // default gap
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item.Distance(s.ByRank(1), s.ByRank(2)) < 0.0499 {
+		t.Fatal("default gap not applied")
+	}
+}
+
+func TestSearchResultsRelevanceDecaysInRank(t *testing.T) {
+	r := rng.New(8)
+	s, err := SearchResults(QueryAsymmetricTSP, 50, 0.05, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The noise is ±0.05 around a decaying curve: the first-listed result
+	// (smallest original rank) should be worth more than the last.
+	first, last := s.Item(0), s.Item(s.Len()-1)
+	if first.Value <= last.Value {
+		t.Fatalf("relevance did not decay: first %g, last %g", first.Value, last.Value)
+	}
+}

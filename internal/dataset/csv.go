@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"crowdmax/internal/item"
+)
+
+// ReadCSV loads a Set from CSV rows of the form "label,value" (or just
+// "value"). A header row is skipped automatically when its value column
+// does not parse as a number. This is how real datasets — the analogue of
+// the paper's cars.com scrape — enter the tool chain.
+func ReadCSV(r io.Reader) (*item.Set, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // allow 1- and 2-column rows
+	cr.TrimLeadingSpace = true
+
+	var items []item.Item
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) == 0 {
+			continue
+		}
+		label, valueField := "", rec[0]
+		if len(rec) >= 2 {
+			label, valueField = rec[0], rec[1]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(valueField), 64)
+		if err != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("dataset: csv line %d: value %q is not a number", line, valueField)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("dataset: csv line %d: value %q is not finite", line, valueField)
+		}
+		items = append(items, item.Item{Value: v, Label: label})
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("dataset: csv contained no data rows")
+	}
+	return item.NewSetItems(items), nil
+}
+
+// WriteCSV writes a Set as "label,value" rows with a header, the inverse of
+// ReadCSV.
+func WriteCSV(w io.Writer, s *item.Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"label", "value"}); err != nil {
+		return err
+	}
+	for _, it := range s.Items() {
+		label := it.Label
+		if label == "" {
+			label = fmt.Sprintf("item-%d", it.ID)
+		}
+		if err := cw.Write([]string{label, strconv.FormatFloat(it.Value, 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

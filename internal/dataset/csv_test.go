@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"crowdmax/internal/rng"
+)
+
+func TestReadCSVWithHeaderAndLabels(t *testing.T) {
+	in := "label,value\ncar A,10000\ncar B,25000\ncar C,18000\n"
+	s, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Max().Label != "car B" || s.Max().Value != 25000 {
+		t.Fatalf("max = %+v", s.Max())
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	in := "a,1\nb,3\nc,2\n"
+	s, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Max().Label != "b" {
+		t.Fatalf("set = %d items, max %q", s.Len(), s.Max().Label)
+	}
+}
+
+func TestReadCSVValueOnlyColumn(t *testing.T) {
+	in := "5\n9\n1\n"
+	s, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Max().Value != 9 {
+		t.Fatalf("set = %d items, max %g", s.Len(), s.Max().Value)
+	}
+	if s.Max().Label != "" {
+		t.Fatalf("value-only rows should have empty labels, got %q", s.Max().Label)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("label,value\n")); err == nil {
+		t.Fatal("header-only input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,1\nb,not-a-number\n")); err == nil {
+		t.Fatal("bad value accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	orig, _, err := Cars(CarsConfig{N: 20}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip changed size: %d vs %d", back.Len(), orig.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if back.Item(i).Value != orig.Item(i).Value {
+			t.Fatalf("item %d value changed: %g vs %g", i, back.Item(i).Value, orig.Item(i).Value)
+		}
+		if back.Item(i).Label != orig.Item(i).Label {
+			t.Fatalf("item %d label changed", i)
+		}
+	}
+}
+
+func TestWriteCSVFillsEmptyLabels(t *testing.T) {
+	s := Uniform(3, 0, 1, rng.New(2))
+	var sb strings.Builder
+	if err := WriteCSV(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "item-0") {
+		t.Fatalf("missing generated label:\n%s", sb.String())
+	}
+}
+
+func TestReadCSVRejectsNonFinite(t *testing.T) {
+	for _, bad := range []string{"a,NaN\n", "a,+Inf\n", "a,-Inf\n"} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("non-finite value %q accepted", strings.TrimSpace(bad))
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+)
+
+func TestUniformRange(t *testing.T) {
+	r := rng.New(1)
+	s := Uniform(500, 10, 20, r)
+	if s.Len() != 500 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for _, it := range s.Items() {
+		if it.Value < 10 || it.Value >= 20 {
+			t.Fatalf("value %g outside [10, 20)", it.Value)
+		}
+	}
+}
+
+func TestUniformCalibratedHitsTargets(t *testing.T) {
+	root := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		r := root.ChildN("t", trial)
+		n := 100 + r.Intn(1000)
+		un := 2 + r.Intn(20)
+		ue := 1 + r.Intn(un)
+		cal, err := UniformCalibrated(n, un, ue, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cal.Set.UCount(cal.DeltaN); got != un {
+			t.Fatalf("trial %d: UCount(δn) = %d, want %d", trial, got, un)
+		}
+		if got := cal.Set.UCount(cal.DeltaE); got != ue {
+			t.Fatalf("trial %d: UCount(δe) = %d, want %d", trial, got, ue)
+		}
+		if cal.DeltaE > cal.DeltaN {
+			t.Fatalf("trial %d: δe %g > δn %g", trial, cal.DeltaE, cal.DeltaN)
+		}
+	}
+}
+
+func TestUniformCalibratedValidation(t *testing.T) {
+	r := rng.New(3)
+	bad := []struct{ n, un, ue int }{
+		{100, 0, 1}, {100, 5, 0}, {100, 5, 6}, {100, 101, 1}, {10, 5, -1},
+	}
+	for _, tc := range bad {
+		if _, err := UniformCalibrated(tc.n, tc.un, tc.ue, r); err == nil {
+			t.Errorf("UniformCalibrated(%d, %d, %d) accepted", tc.n, tc.un, tc.ue)
+		}
+	}
+}
+
+func TestDots(t *testing.T) {
+	s := Dots(50)
+	if s.Len() != 50 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	// Minimum dots = maximum value; the best image has 100 dots.
+	if DotCount(s.Max()) != 100 {
+		t.Fatalf("best image has %d dots, want 100", DotCount(s.Max()))
+	}
+	// Counts follow the 20-step grid of the paper.
+	for i, it := range s.Items() {
+		if DotCount(it) != 100+20*i {
+			t.Fatalf("item %d has %d dots", i, DotCount(it))
+		}
+	}
+	if !strings.Contains(s.Item(0).Label, "dots-100") {
+		t.Fatalf("label = %q", s.Item(0).Label)
+	}
+}
+
+func TestDotsGold(t *testing.T) {
+	gold := DotsGold()
+	if len(gold) != 30 {
+		t.Fatalf("gold size = %d", len(gold))
+	}
+	if DotCount(gold[0]) != 200 || DotCount(gold[29]) != 780 {
+		t.Fatalf("gold range = %d..%d", DotCount(gold[0]), DotCount(gold[29]))
+	}
+	// Ranks 2(b): gold counts step by 20.
+	for i := 1; i < len(gold); i++ {
+		if DotCount(gold[i])-DotCount(gold[i-1]) != 20 {
+			t.Fatal("gold grid step wrong")
+		}
+	}
+}
+
+func TestSampleSet(t *testing.T) {
+	r := rng.New(4)
+	s := Uniform(100, 0, 1, r)
+	sub, err := SampleSet(s, 30, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 30 {
+		t.Fatalf("sample size = %d", sub.Len())
+	}
+	// Every sampled value must exist in the source.
+	src := make(map[float64]bool, s.Len())
+	for _, it := range s.Items() {
+		src[it.Value] = true
+	}
+	for _, it := range sub.Items() {
+		if !src[it.Value] {
+			t.Fatalf("sampled value %g not in source", it.Value)
+		}
+	}
+	// No duplicates (sampling without replacement).
+	seen := make(map[float64]bool)
+	for _, it := range sub.Items() {
+		if seen[it.Value] {
+			t.Fatalf("duplicate sample %g", it.Value)
+		}
+		seen[it.Value] = true
+	}
+}
+
+func TestSampleSetValidation(t *testing.T) {
+	r := rng.New(5)
+	s := Uniform(10, 0, 1, r)
+	for _, k := range []int{0, -1, 11} {
+		if _, err := SampleSet(s, k, r); err == nil {
+			t.Errorf("SampleSet(%d) accepted", k)
+		}
+	}
+	if sub, err := SampleSet(s, 10, r); err != nil || sub.Len() != 10 {
+		t.Fatal("full-size sample should work")
+	}
+}
+
+func TestClusteredStructure(t *testing.T) {
+	s, err := Clustered(12, 3, 0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 12 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	// Within a cluster: distances ≤ (clusterSize−1)·spread = 0.02.
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				d := item.Distance(s.Item(3*c+i), s.Item(3*c+j))
+				if d > 0.021 {
+					t.Fatalf("within-cluster distance %g", d)
+				}
+			}
+		}
+	}
+	// Across clusters: at least gap − within-spread.
+	if d := item.Distance(s.Item(0), s.Item(3)); d < 9.9 {
+		t.Fatalf("cross-cluster distance %g", d)
+	}
+}
+
+func TestClusteredValidation(t *testing.T) {
+	if _, err := Clustered(0, 3, 1, 10); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Clustered(10, 0, 1, 10); err == nil {
+		t.Fatal("clusterSize=0 accepted")
+	}
+}
+
+func TestAdversarialIndistinguishable(t *testing.T) {
+	delta := 0.5
+	s, err := AdversarialIndistinguishable(40, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pair within delta.
+	if got := s.UCount(delta); got != 40 {
+		t.Fatalf("UCount(δ) = %d, want 40 (all indistinguishable)", got)
+	}
+	max, min := s.ByRank(1), s.ByRank(40)
+	if item.Distance(max, min) >= delta {
+		t.Fatalf("spread %g ≥ δ", item.Distance(max, min))
+	}
+	// Values must still be strictly increasing (a valid partial order).
+	for i := 1; i < 40; i++ {
+		if s.Item(i).Value <= s.Item(i-1).Value {
+			t.Fatal("values not strictly increasing")
+		}
+	}
+}
+
+func TestAdversarialIndistinguishableValidation(t *testing.T) {
+	if _, err := AdversarialIndistinguishable(0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := AdversarialIndistinguishable(5, 0); err == nil {
+		t.Fatal("δ=0 accepted")
+	}
+	if _, err := AdversarialIndistinguishable(5, -1); err == nil {
+		t.Fatal("δ<0 accepted")
+	}
+}
+
+func TestUniformCalibratedProperty(t *testing.T) {
+	root := rng.New(6)
+	trial := 0
+	f := func(nRaw uint16, unRaw, ueRaw uint8) bool {
+		trial++
+		r := root.ChildN("q", trial)
+		n := int(nRaw)%400 + 50
+		un := int(unRaw)%15 + 1
+		ue := int(ueRaw)%un + 1
+		cal, err := UniformCalibrated(n, un, ue, r)
+		if err != nil {
+			return true
+		}
+		return cal.Set.UCount(cal.DeltaN) == un &&
+			cal.Set.UCount(cal.DeltaE) == ue &&
+			cal.DeltaE <= cal.DeltaN &&
+			!math.IsNaN(cal.DeltaN)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

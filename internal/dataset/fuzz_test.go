@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary byte soup never panics the CSV loader
+// and that every successfully parsed set satisfies the Set invariants.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("label,value\na,1\nb,2\n")
+	f.Add("5\n9\n1\n")
+	f.Add("x")
+	f.Add(",,,\n")
+	f.Add("a,1\na,1\na,1\n")
+	f.Add("\"quoted,label\",3.5\n")
+	f.Add("h,NaN\n")
+	f.Add("a,1e309\nb,2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if s.Len() == 0 {
+			t.Fatal("successful parse produced empty set")
+		}
+		// Max is consistent with ranks.
+		m := s.Max()
+		if s.Rank(m.ID) != 1 {
+			t.Fatalf("Max has rank %d", s.Rank(m.ID))
+		}
+		for _, it := range s.Items() {
+			if it.Value > m.Value {
+				t.Fatalf("item %v above reported max %v", it, m)
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"fmt"
+
+	"crowdmax/internal/item"
+)
+
+// Lemma7Instance builds the lower-bound instance of Lemma 7 / Figure 8: a
+// designated element e, a set E1 of n − un elements spread evenly in an
+// interval of length 0.1·δ centred at distance 1.5·δ below e, and a set E2
+// of un − 1 elements arranged similarly at distance 0.8·δ below e.
+//
+// Its properties (verified by tests) are exactly what the proof needs:
+// e is the maximum and wins every comparison against E1 (distance > δ),
+// while every other pair of elements — within E1, within E2, across
+// E1 × E2, and e against E2 — is within δ, so their comparison outcomes
+// are arbitrary and carry no information. Any algorithm that lets e take
+// part in fewer than un comparisons therefore cannot rule e out as the
+// maximum, which yields Corollary 1's n·un/4 lower bound.
+//
+// The returned set places e first (ID 0), then E2, then E1.
+func Lemma7Instance(n, un int, delta float64) (*item.Set, error) {
+	if un < 1 || un > n-1 {
+		return nil, fmt.Errorf("dataset: lemma 7 instance needs 1 ≤ un ≤ n−1, got un=%d n=%d", un, n)
+	}
+	if delta <= 0 {
+		return nil, fmt.Errorf("dataset: delta must be positive, got %g", delta)
+	}
+	items := make([]item.Item, 0, n)
+	const top = 0.0 // v(e); everything else sits below
+	items = append(items, item.Item{Value: top, Label: "e (designated maximum)"})
+
+	// E2: un − 1 elements evenly spread in an interval of length 0.1·δ
+	// centred at distance 0.8·δ.
+	items = append(items, spread(top-0.8*delta, 0.1*delta, un-1, "E2")...)
+	// E1: n − un elements likewise at distance 1.5·δ.
+	items = append(items, spread(top-1.5*delta, 0.1*delta, n-un, "E1")...)
+	return item.NewSetItems(items), nil
+}
+
+// spread returns k distinct items evenly placed in the interval of the
+// given length centred at centre.
+func spread(centre, length float64, k int, label string) []item.Item {
+	out := make([]item.Item, k)
+	for i := range out {
+		offset := 0.0
+		if k > 1 {
+			offset = length * (float64(i)/float64(k-1) - 0.5)
+		}
+		out[i] = item.Item{Value: centre + offset, Label: fmt.Sprintf("%s-%d", label, i)}
+	}
+	return out
+}

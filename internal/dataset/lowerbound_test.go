@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crowdmax/internal/item"
+)
+
+func TestLemma7InstanceValidation(t *testing.T) {
+	if _, err := Lemma7Instance(10, 0, 1); err == nil {
+		t.Fatal("un=0 accepted")
+	}
+	if _, err := Lemma7Instance(10, 10, 1); err == nil {
+		t.Fatal("un=n accepted")
+	}
+	if _, err := Lemma7Instance(10, 3, 0); err == nil {
+		t.Fatal("delta=0 accepted")
+	}
+}
+
+func TestLemma7InstanceStructure(t *testing.T) {
+	const (
+		n     = 40
+		un    = 6
+		delta = 1.0
+	)
+	s, err := Lemma7Instance(n, un, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != n {
+		t.Fatalf("size = %d", s.Len())
+	}
+	e := s.Item(0)
+	if !strings.Contains(e.Label, "designated maximum") || s.Max().ID != e.ID {
+		t.Fatal("designated element is not the maximum")
+	}
+	// Exactly un elements (e included) are within δ of e.
+	if got := s.UCount(delta); got != un {
+		t.Fatalf("UCount(δ) = %d, want %d", got, un)
+	}
+	// e beats every E1 element with certainty: distance > δ.
+	for _, it := range s.Items()[un:] {
+		if item.Distance(e, it) <= delta {
+			t.Fatalf("E1 element %q within δ of e", it.Label)
+		}
+	}
+	// Every pair NOT involving e is within δ (their outcomes carry no
+	// information about the maximum) — the heart of the proof.
+	items := s.Items()
+	for i := 1; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			if item.Distance(items[i], items[j]) > delta {
+				t.Fatalf("non-e pair (%q, %q) distinguishable: d=%g",
+					items[i].Label, items[j].Label, item.Distance(items[i], items[j]))
+			}
+		}
+	}
+	// e vs E2 is within δ too.
+	for _, it := range items[1:un] {
+		if item.Distance(e, it) > delta {
+			t.Fatalf("E2 element %q distinguishable from e", it.Label)
+		}
+	}
+}
+
+func TestLemma7InstanceProperty(t *testing.T) {
+	f := func(nRaw, unRaw uint8) bool {
+		n := int(nRaw)%200 + 3
+		un := int(unRaw)%(n-1) + 1
+		s, err := Lemma7Instance(n, un, 2.5)
+		if err != nil {
+			return false
+		}
+		return s.Len() == n && s.UCount(2.5) == un && s.Max().ID == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma7EdgeSizes(t *testing.T) {
+	// un = 1: E2 empty; un = n−1: E1 has a single element.
+	s, err := Lemma7Instance(5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UCount(1) != 1 {
+		t.Fatalf("un=1 instance has UCount %d", s.UCount(1))
+	}
+	s, err = Lemma7Instance(5, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UCount(1) != 4 {
+		t.Fatalf("un=4 instance has UCount %d", s.UCount(1))
+	}
+}

@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+)
+
+// SearchQuery names one of the Section 5.3 evaluation queries. The paper
+// used two queries from approximation algorithms, chosen because "there is a
+// clear best result for the majority of the searches".
+type SearchQuery string
+
+// The two queries of Section 5.3.
+const (
+	QueryAsymmetricTSP SearchQuery = "asymmetric tsp best approximation"
+	QuerySteinerTree   SearchQuery = "steiner tree best approximation"
+)
+
+// SearchResults generates the synthetic stand-in for a query's result list:
+// n results sampled uniformly among the top-100 ranks of a search engine
+// ("50 results from Google, distributed uniformly among the top-100
+// results"), with ground-truth relevance decaying in the original rank plus
+// per-result noise — so results are "relevant to the queries in different
+// extents" — and a single clearly best result (the paper's recently
+// published best approximation ratio) separated from the runner-up by
+// bestGap. Labels carry the query and original rank.
+func SearchResults(query SearchQuery, n int, bestGap float64, r *rng.Source) (*item.Set, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 search results, got %d", n)
+	}
+	if bestGap <= 0 {
+		bestGap = 0.05
+	}
+	ranks := r.Perm(100)[:n]
+	sort.Ints(ranks)
+	items := make([]item.Item, n)
+	for i, rank := range ranks {
+		// Relevance decays with rank; noise makes neighbours overlap.
+		rel := 1.0/(1.0+float64(rank)/15.0) + r.UniformIn(-0.05, 0.05)
+		items[i] = item.Item{
+			Value: rel,
+			Label: fmt.Sprintf("%s #%d", query, rank+1),
+		}
+	}
+	// Promote the most relevant result to a clear best.
+	best, second := 0, -1
+	for i := 1; i < n; i++ {
+		if items[i].Value > items[best].Value {
+			second = best
+			best = i
+		} else if second < 0 || items[i].Value > items[second].Value {
+			second = i
+		}
+	}
+	if items[best].Value-items[second].Value < bestGap {
+		items[best].Value = items[second].Value + bestGap
+	}
+	items[best].Label += " (current best result)"
+	return item.NewSetItems(items), nil
+}
+
+// Clustered generates the adversarial instance family used for worst-case
+// measurements: n elements arranged in clusters of clusterSize; within a
+// cluster, consecutive values are `spread` apart (choose clusterSize·spread
+// ≤ δ to make whole clusters indistinguishable), and cluster bases are
+// `gap` apart (choose gap > δ + clusterSize·spread to make distinct
+// clusters distinguishable). Together with worker.AdversarialTie this
+// maximizes the number of comparisons of 2-MaxFind, which is how the paper
+// builds its worst-case curves ("The adversarial data were created so as to
+// maximize the number of comparisons of the 2-MaxFind algorithm").
+func Clustered(n, clusterSize int, spread, gap float64) (*item.Set, error) {
+	if n < 1 || clusterSize < 1 {
+		return nil, fmt.Errorf("dataset: invalid clustered instance n=%d clusterSize=%d", n, clusterSize)
+	}
+	values := make([]float64, n)
+	for i := range values {
+		cluster := i / clusterSize
+		within := i % clusterSize
+		values[i] = float64(cluster)*gap + float64(within)*spread
+	}
+	return item.NewSet(values), nil
+}
+
+// AdversarialIndistinguishable generates the single-cluster worst case: all
+// n values within a total spread strictly below delta, so every comparison
+// falls under the threshold and the tie-break policy fully controls the
+// outcome.
+func AdversarialIndistinguishable(n int, delta float64) (*item.Set, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dataset: invalid instance size %d", n)
+	}
+	if delta <= 0 {
+		return nil, fmt.Errorf("dataset: delta must be positive, got %g", delta)
+	}
+	values := make([]float64, n)
+	step := delta / math.Max(float64(2*n), 2)
+	for i := range values {
+		values[i] = float64(i) * step
+	}
+	return item.NewSet(values), nil
+}

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+
+	"crowdmax/internal/core"
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/stats"
+	"crowdmax/internal/tournament"
+	"crowdmax/internal/worker"
+)
+
+// BracketConfig configures the bracket-baseline experiment.
+type BracketConfig struct {
+	Sweep
+	// Repetitions are the per-match panel sizes compared (odd); defaults
+	// to {1, 7}.
+	Repetitions []int
+	// ErrorProb is the per-comparison error of the probabilistic-model
+	// workers; defaults to 0.2.
+	ErrorProb float64
+}
+
+func (c BracketConfig) withDefaults() BracketConfig {
+	c.Sweep = c.Sweep.withDefaults()
+	if len(c.Repetitions) == 0 {
+		c.Repetitions = []int{1, 7}
+	}
+	if c.ErrorProb == 0 {
+		c.ErrorProb = 0.2
+	}
+	return c
+}
+
+// BracketAccuracy quantifies the argument of Sections 2–3.2 with the
+// single-elimination bracket baseline: under the *probabilistic* error
+// model, repeating each match and majority-voting drives the bracket's
+// accuracy toward perfect — so experts would be unnecessary; under the
+// *threshold* model, the same repetitions buy nothing, because matches
+// between indistinguishable elements stay coin flips. One curve per
+// (model, repetitions) pair; y is the average true rank of the bracket's
+// winner. Algorithm 1's rank on the same instances is included for
+// reference.
+func BracketAccuracy(cfg BracketConfig) (Figure, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Figure{}, err
+	}
+	for _, rep := range cfg.Repetitions {
+		if rep < 1 || rep%2 == 0 {
+			return Figure{}, fmt.Errorf("experiment: repetitions must be odd and ≥ 1, got %d", rep)
+		}
+	}
+	if cfg.ErrorProb < 0 || cfg.ErrorProb >= 0.5 {
+		return Figure{}, fmt.Errorf("experiment: error probability %g outside [0, 0.5)", cfg.ErrorProb)
+	}
+
+	fig := Figure{
+		Title: fmt.Sprintf("Bracket baseline under both error models (un=%d, ue=%d, p=%g)",
+			cfg.Un, cfg.Ue, cfg.ErrorProb),
+		XLabel: "n",
+		YLabel: "average real rank of max",
+	}
+	type cell struct {
+		name string
+		run  func(cal instanceData, r *rng.Source) (int, error)
+	}
+	// Build the curve set: per repetitions × {probabilistic, threshold},
+	// plus Alg 1 for reference.
+	var cells []cell
+	for _, rep := range cfg.Repetitions {
+		rep := rep
+		cells = append(cells, cell{
+			name: fmt.Sprintf("bracket rep=%d (probabilistic)", rep),
+			run: func(cal instanceData, r *rng.Source) (int, error) {
+				w := worker.NewProbabilistic(cfg.ErrorProb, r.Child("w"))
+				o := tournament.NewOracle(w, worker.Naive, nil, nil)
+				best, err := core.TournamentMax(cal.items, o, core.BracketOptions{Repetitions: rep})
+				if err != nil {
+					return 0, err
+				}
+				return cal.rank(best.ID), nil
+			},
+		})
+		cells = append(cells, cell{
+			name: fmt.Sprintf("bracket rep=%d (threshold)", rep),
+			run: func(cal instanceData, r *rng.Source) (int, error) {
+				w := &worker.Threshold{Delta: cal.deltaN,
+					Tie: worker.RandomTie{R: r.Child("w")}, R: r.Child("w")}
+				o := tournament.NewOracle(w, worker.Naive, nil, nil)
+				best, err := core.TournamentMax(cal.items, o, core.BracketOptions{Repetitions: rep})
+				if err != nil {
+					return 0, err
+				}
+				return cal.rank(best.ID), nil
+			},
+		})
+	}
+	cells = append(cells, cell{
+		name: "Alg 1 (threshold)",
+		run: func(cal instanceData, r *rng.Source) (int, error) {
+			nw := &worker.Threshold{Delta: cal.deltaN,
+				Tie: worker.RandomTie{R: r.Child("n")}, R: r.Child("n")}
+			ew := &worker.Threshold{Delta: cal.deltaE,
+				Tie: worker.RandomTie{R: r.Child("e")}, R: r.Child("e")}
+			no := tournament.NewOracle(nw, worker.Naive, nil, nil)
+			eo := tournament.NewOracle(ew, worker.Expert, nil, nil)
+			res, err := core.FindMax(cal.items, no, eo, core.FindMaxOptions{Un: cfg.Un})
+			if err != nil {
+				return 0, err
+			}
+			return cal.rank(res.Best.ID), nil
+		},
+	})
+
+	sums := make([][]stats.Summary, len(cells))
+	for i := range sums {
+		sums[i] = make([]stats.Summary, len(cfg.Ns))
+	}
+	for ni, n := range cfg.Ns {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			cal, r, err := cfg.instance(n, trial)
+			if err != nil {
+				return Figure{}, err
+			}
+			data := instanceData{
+				items:  cal.Set.Items(),
+				deltaN: cal.DeltaN,
+				deltaE: cal.DeltaE,
+				rank:   cal.Set.Rank,
+			}
+			for ci, c := range cells {
+				rank, err := c.run(data, r.Child(c.name))
+				if err != nil {
+					return Figure{}, err
+				}
+				sums[ci][ni].Add(float64(rank))
+			}
+		}
+	}
+	xs := nsToFloats(cfg.Ns)
+	for ci, c := range cells {
+		ys := make([]float64, len(cfg.Ns))
+		errs := make([]float64, len(cfg.Ns))
+		for ni := range cfg.Ns {
+			ys[ni] = sums[ci][ni].Mean()
+			errs[ni] = sums[ci][ni].StdErr()
+		}
+		fig.Curves = append(fig.Curves, Curve{Name: c.name, X: xs, Y: ys, Err: errs})
+	}
+	return fig, nil
+}
+
+// instanceData carries one calibrated instance into a cell runner.
+type instanceData struct {
+	items          []item.Item
+	deltaN, deltaE float64
+	rank           func(id int) int
+}

@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"fmt"
+
+	"crowdmax/internal/core"
+	"crowdmax/internal/cost"
+	"crowdmax/internal/dataset"
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/stats"
+	"crowdmax/internal/tournament"
+	"crowdmax/internal/worker"
+)
+
+// CascadeConfig configures the multi-class extension experiment
+// (Section 3.3's "a natural extension models multiple classes of workers
+// with different expertise levels"): a three-level cascade — coarse, medium,
+// fine — against the two-level Algorithm 1 that skips the middle class, at
+// prices growing with expertise.
+type CascadeConfig struct {
+	// Ns are the input sizes.
+	Ns []int
+	// Us are the per-level u values, coarse to fine (three levels).
+	Us [3]int
+	// PriceRatio scales prices across adjacent levels: level l costs
+	// PriceRatio^l per comparison. Defaults to 10.
+	PriceRatio float64
+	// Trials is the number of random instances per point.
+	Trials int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c CascadeConfig) withDefaults() CascadeConfig {
+	if len(c.Ns) == 0 {
+		c.Ns = []int{1000, 2000, 3000, 4000, 5000}
+	}
+	if c.Us == [3]int{} {
+		c.Us = [3]int{50, 10, 3}
+	}
+	if c.PriceRatio == 0 {
+		c.PriceRatio = 10
+	}
+	if c.Trials == 0 {
+		c.Trials = 10
+	}
+	return c
+}
+
+// CascadeExperiment compares the three-level cascade against the two-level
+// Algorithm 1 on the same instances: average cost (per-level prices 1, R,
+// R²) and average true rank. The two-level baseline uses the coarse workers
+// for phase 1 and the fine workers for phase 2 — i.e. it pays the fine
+// price for everything the middle class would have absorbed.
+func CascadeExperiment(cfg CascadeConfig) (Figure, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Us[0] < cfg.Us[1] || cfg.Us[1] < cfg.Us[2] || cfg.Us[2] < 1 {
+		return Figure{}, fmt.Errorf("experiment: cascade u values must be non-increasing and ≥ 1, got %v", cfg.Us)
+	}
+	for _, n := range cfg.Ns {
+		if n < 4*cfg.Us[0] {
+			return Figure{}, fmt.Errorf("experiment: n=%d too small for u1=%d", n, cfg.Us[0])
+		}
+	}
+	prices := [3]float64{1, cfg.PriceRatio, cfg.PriceRatio * cfg.PriceRatio}
+
+	fig := Figure{
+		Title:  fmt.Sprintf("Multi-class cascade vs two-level (us=%v, price ratio %g)", cfg.Us, cfg.PriceRatio),
+		XLabel: "n",
+		YLabel: "C(n)",
+	}
+	cascadeCost := make([]float64, len(cfg.Ns))
+	twoLevelCost := make([]float64, len(cfg.Ns))
+	cascadeRank := make([]float64, len(cfg.Ns))
+	twoLevelRank := make([]float64, len(cfg.Ns))
+
+	for ni, n := range cfg.Ns {
+		var cCost, tCost, cRank, tRank stats.Summary
+		for trial := 0; trial < cfg.Trials; trial++ {
+			r := rng.New(cfg.Seed).ChildN(fmt.Sprintf("cascade-n%d", n), trial)
+			set, deltas, err := threeLevelData(n, cfg.Us, r.Child("data"))
+			if err != nil {
+				return Figure{}, err
+			}
+
+			// Three-level cascade, each level billed at its price.
+			ledgers := [3]*cost.Ledger{cost.NewLedger(), cost.NewLedger(), cost.NewLedger()}
+			levels := make([]core.Level, 3)
+			for l := 0; l < 3; l++ {
+				w := &worker.Threshold{Delta: deltas[l],
+					Tie: worker.RandomTie{R: r.ChildN("cw", l)}, R: r.ChildN("cw", l)}
+				levels[l] = core.Level{
+					Oracle: tournament.NewOracle(w, worker.Class(l), ledgers[l], nil),
+					U:      cfg.Us[l],
+				}
+			}
+			cres, err := core.CascadeFindMax(set.Items(), core.CascadeOptions{Levels: levels})
+			if err != nil {
+				return Figure{}, err
+			}
+			total := 0.0
+			for l := 0; l < 3; l++ {
+				total += float64(ledgers[l].Comparisons(worker.Class(l))) * prices[l]
+			}
+			cCost.Add(total)
+			cRank.Add(float64(set.Rank(cres.Best.ID)))
+
+			// Two-level baseline: coarse filter at u1, fine phase 2.
+			ln, le := cost.NewLedger(), cost.NewLedger()
+			nw := &worker.Threshold{Delta: deltas[0],
+				Tie: worker.RandomTie{R: r.Child("tn")}, R: r.Child("tn")}
+			ew := &worker.Threshold{Delta: deltas[2],
+				Tie: worker.RandomTie{R: r.Child("te")}, R: r.Child("te")}
+			no := tournament.NewOracle(nw, worker.Naive, ln, nil)
+			eo := tournament.NewOracle(ew, worker.Expert, le, nil)
+			tres, err := core.FindMax(set.Items(), no, eo, core.FindMaxOptions{Un: cfg.Us[0]})
+			if err != nil {
+				return Figure{}, err
+			}
+			tCost.Add(float64(ln.Naive())*prices[0] + float64(le.Expert())*prices[2])
+			tRank.Add(float64(set.Rank(tres.Best.ID)))
+		}
+		cascadeCost[ni] = cCost.Mean()
+		twoLevelCost[ni] = tCost.Mean()
+		cascadeRank[ni] = cRank.Mean()
+		twoLevelRank[ni] = tRank.Mean()
+	}
+	xs := nsToFloats(cfg.Ns)
+	fig.Curves = []Curve{
+		{Name: "3-level cascade cost", X: xs, Y: cascadeCost},
+		{Name: "2-level (Alg 1) cost", X: xs, Y: twoLevelCost},
+		{Name: "3-level cascade rank", X: xs, Y: cascadeRank},
+		{Name: "2-level (Alg 1) rank", X: xs, Y: twoLevelRank},
+	}
+	return fig, nil
+}
+
+// threeLevelData builds a uniform instance with three calibrated
+// thresholds.
+func threeLevelData(n int, us [3]int, r *rng.Source) (*item.Set, [3]float64, error) {
+	for attempt := 0; attempt < 100; attempt++ {
+		s := dataset.Uniform(n, 0, 1, r)
+		var deltas [3]float64
+		ok := true
+		for i, u := range us {
+			d, err := s.DeltaForU(u)
+			if err != nil {
+				ok = false
+				break
+			}
+			deltas[i] = d
+		}
+		if ok {
+			return s, deltas, nil
+		}
+	}
+	return nil, [3]float64{}, fmt.Errorf("experiment: could not calibrate three-level instance (us=%v)", us)
+}

@@ -1,0 +1,175 @@
+package experiment
+
+import (
+	"fmt"
+
+	"crowdmax/internal/core"
+	"crowdmax/internal/cost"
+	"crowdmax/internal/stats"
+)
+
+// CostConfig configures the cost figures (5, 7, 9, 10): a sweep plus the
+// price of an expert comparison. The paper fixes cn = 1 and varies
+// ce ∈ {10, 20, 50}.
+type CostConfig struct {
+	Sweep
+	// CE is the expert price ce; cn is fixed to 1 as in the paper.
+	CE float64
+}
+
+func (c CostConfig) withDefaults() CostConfig {
+	c.Sweep = c.Sweep.withDefaults()
+	if c.CE == 0 {
+		c.CE = 10
+	}
+	return c
+}
+
+func (c CostConfig) prices() cost.Prices {
+	return cost.Prices{Naive: 1, Expert: c.CE}
+}
+
+// Fig5 reproduces one panel of Figure 5: average monetary cost
+// C(n) = xe·ce + xn·cn as a function of n for the three approaches.
+func Fig5(cfg CostConfig) (Figure, error) {
+	cfg = cfg.withDefaults()
+	points, err := measureComparisons(cfg.Sweep)
+	if err != nil {
+		return Figure{}, err
+	}
+	ce := cfg.CE
+	fig := Figure{
+		Title:  fmt.Sprintf("Figure 5 (avg cost, ce=%g, un=%d, ue=%d)", ce, cfg.Un, cfg.Ue),
+		XLabel: "n",
+		YLabel: "C(n)",
+	}
+	xs := nsToFloats(cfg.Ns)
+	curve := func(name string, f func(comparisonsPoint) float64) Curve {
+		ys := make([]float64, len(points))
+		for i, p := range points {
+			ys[i] = f(p)
+		}
+		return Curve{Name: name, X: xs, Y: ys}
+	}
+	fig.Curves = []Curve{
+		curve("2-MaxFind-expert (avg)", func(p comparisonsPoint) float64 { return ce * p.TwoMFExpertAvg }),
+		curve("Alg 1 (avg)", func(p comparisonsPoint) float64 { return p.Alg1NaiveAvg + ce*p.Alg1ExpertAvg }),
+		curve("2-MaxFind-naive (avg)", func(p comparisonsPoint) float64 { return p.TwoMFNaiveAvg }),
+	}
+	return fig, nil
+}
+
+// Fig9 reproduces one panel of Figure 9 (Appendix C): worst-case cost as a
+// function of n for the three approaches — theory bounds for Alg 1,
+// measured adversarial instances for 2-MaxFind.
+func Fig9(cfg CostConfig) (Figure, error) {
+	cfg = cfg.withDefaults()
+	points, err := measureComparisons(cfg.Sweep)
+	if err != nil {
+		return Figure{}, err
+	}
+	ce := cfg.CE
+	fig := Figure{
+		Title:  fmt.Sprintf("Figure 9 (wc cost, ce=%g, un=%d, ue=%d)", ce, cfg.Un, cfg.Ue),
+		XLabel: "n",
+		YLabel: "C(n)",
+	}
+	xs := nsToFloats(cfg.Ns)
+	curve := func(name string, f func(comparisonsPoint) float64) Curve {
+		ys := make([]float64, len(points))
+		for i, p := range points {
+			ys[i] = f(p)
+		}
+		return Curve{Name: name, X: xs, Y: ys}
+	}
+	fig.Curves = []Curve{
+		curve("2-MaxFind-expert (wc)", func(p comparisonsPoint) float64 { return ce * p.TwoMFWC }),
+		curve("Alg 1 (wc)", func(p comparisonsPoint) float64 { return p.Alg1NaiveWC + ce*p.Alg1ExpertWC }),
+		curve("2-MaxFind-naive (wc)", func(p comparisonsPoint) float64 { return p.TwoMFWC }),
+	}
+	return fig, nil
+}
+
+// FactorCostConfig configures the estimation-factor cost figures (7 and 10).
+type FactorCostConfig struct {
+	CostConfig
+	// Factors are the estimation factors; defaults to the paper's
+	// {0.2, 0.5, 0.8, 1, 1.2, 2}.
+	Factors []float64
+}
+
+func (c FactorCostConfig) withDefaults() FactorCostConfig {
+	c.CostConfig = c.CostConfig.withDefaults()
+	if len(c.Factors) == 0 {
+		c.Factors = []float64{0.2, 0.5, 0.8, 1, 1.2, 2}
+	}
+	return c
+}
+
+// Fig7 reproduces one panel of Figure 7: average cost of Alg 1 as a function
+// of n for each estimation factor. The paper's observation — cost scales
+// smoothly and roughly linearly in the factor — is the target shape.
+func Fig7(cfg FactorCostConfig) (Figure, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		Title:  fmt.Sprintf("Figure 7 (avg cost, ce=%g, un=%d, ue=%d)", cfg.CE, cfg.Un, cfg.Ue),
+		XLabel: "n",
+		YLabel: "C(n)",
+	}
+	prices := cfg.prices()
+	for _, factor := range cfg.Factors {
+		unEst := estimatedUn(cfg.Un, factor)
+		ys := make([]float64, len(cfg.Ns))
+		for ni, n := range cfg.Ns {
+			var sum stats.Summary
+			for trial := 0; trial < cfg.Trials; trial++ {
+				cal, r, err := cfg.instance(n, trial)
+				if err != nil {
+					return Figure{}, err
+				}
+				tr, err := runTrial(Alg1, cal, unEst, r.Child(fmt.Sprintf("cost-f%g", factor)))
+				if err != nil {
+					return Figure{}, err
+				}
+				sum.Add(float64(tr.NaiveComparisons)*prices.Naive + float64(tr.ExpertComparisons)*prices.Expert)
+			}
+			ys[ni] = sum.Mean()
+		}
+		fig.Curves = append(fig.Curves, Curve{
+			Name: factorLabel(factor) + " (avg)",
+			X:    nsToFloats(cfg.Ns),
+			Y:    ys,
+		})
+	}
+	return fig, nil
+}
+
+// Fig10 reproduces one panel of Figure 10: worst-case (theory) cost of Alg 1
+// as a function of n for each estimation factor.
+func Fig10(cfg FactorCostConfig) (Figure, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		Title:  fmt.Sprintf("Figure 10 (wc cost, ce=%g, un=%d, ue=%d)", cfg.CE, cfg.Un, cfg.Ue),
+		XLabel: "n",
+		YLabel: "C(n)",
+	}
+	for _, factor := range cfg.Factors {
+		unEst := estimatedUn(cfg.Un, factor)
+		ys := make([]float64, len(cfg.Ns))
+		for ni, n := range cfg.Ns {
+			ys[ni] = core.Phase1UpperBound(n, unEst) + cfg.CE*core.Phase2ExpertUpperBound(unEst)
+		}
+		fig.Curves = append(fig.Curves, Curve{
+			Name: factorLabel(factor) + " (wc)",
+			X:    nsToFloats(cfg.Ns),
+			Y:    ys,
+		})
+	}
+	return fig, nil
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+
+	"crowdmax/internal/core"
+	"crowdmax/internal/stats"
+	"crowdmax/internal/tournament"
+	"crowdmax/internal/worker"
+)
+
+// EpsilonConfig configures the residual-error robustness sweep. The paper's
+// analysis assumes εn = εe = 0 and remarks that "our results can be
+// extended to any value less than 1/2" (Section 4); this experiment
+// measures how the accuracy of Algorithm 1 degrades as the residual error
+// grows, holding everything else at the Figure 3 setup.
+type EpsilonConfig struct {
+	Sweep
+	// Epsilons are the residual error probabilities applied to BOTH
+	// worker classes; defaults to {0, 0.05, 0.1, 0.2, 0.3, 0.4}.
+	Epsilons []float64
+}
+
+func (c EpsilonConfig) withDefaults() EpsilonConfig {
+	c.Sweep = c.Sweep.withDefaults()
+	if len(c.Epsilons) == 0 {
+		c.Epsilons = []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4}
+	}
+	return c
+}
+
+// EpsilonSweep measures the average true rank returned by Algorithm 1 as a
+// function of the residual error ε, one curve per input size.
+func EpsilonSweep(cfg EpsilonConfig) (Figure, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Figure{}, err
+	}
+	for _, eps := range cfg.Epsilons {
+		if eps < 0 || eps >= 0.5 {
+			return Figure{}, fmt.Errorf("experiment: ε=%g outside [0, 0.5)", eps)
+		}
+	}
+	fig := Figure{
+		Title:  fmt.Sprintf("Residual-error robustness (un=%d, ue=%d)", cfg.Un, cfg.Ue),
+		XLabel: "epsilon",
+		YLabel: "average real rank of max",
+	}
+	for _, n := range cfg.Ns {
+		ys := make([]float64, len(cfg.Epsilons))
+		errs := make([]float64, len(cfg.Epsilons))
+		for ei, eps := range cfg.Epsilons {
+			var sum stats.Summary
+			for trial := 0; trial < cfg.Trials; trial++ {
+				cal, r, err := cfg.instance(n, trial)
+				if err != nil {
+					return Figure{}, err
+				}
+				er := r.Child(fmt.Sprintf("eps%g", eps))
+				nw := &worker.Threshold{Delta: cal.DeltaN, Epsilon: eps,
+					Tie: worker.RandomTie{R: er.Child("n")}, R: er.Child("n")}
+				ew := &worker.Threshold{Delta: cal.DeltaE, Epsilon: eps,
+					Tie: worker.RandomTie{R: er.Child("e")}, R: er.Child("e")}
+				no := tournament.NewOracle(nw, worker.Naive, nil, nil)
+				eo := tournament.NewOracle(ew, worker.Expert, nil, nil)
+				res, err := core.FindMax(cal.Set.Items(), no, eo, core.FindMaxOptions{Un: cfg.Un})
+				if err != nil {
+					return Figure{}, err
+				}
+				sum.Add(float64(cal.Set.Rank(res.Best.ID)))
+			}
+			ys[ei] = sum.Mean()
+			errs[ei] = sum.StdErr()
+		}
+		fig.Curves = append(fig.Curves, Curve{
+			Name: fmt.Sprintf("n=%d", n),
+			X:    append([]float64(nil), cfg.Epsilons...),
+			Y:    ys,
+			Err:  errs,
+		})
+	}
+	return fig, nil
+}

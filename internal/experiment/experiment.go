@@ -1,0 +1,170 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section 5 and Appendix C) on the simulated substrate.
+//
+// Each experiment has a Config with paper defaults, a Run function that
+// produces a structured result, and text rendering that prints the same
+// rows/series the paper reports. Absolute numbers differ from the paper
+// (whose workers were humans on CrowdFlower); the shapes — who wins, by
+// what factor, where crossovers fall — are the reproduction target and are
+// recorded against the paper in EXPERIMENTS.md.
+package experiment
+
+import (
+	"fmt"
+
+	"crowdmax/internal/core"
+	"crowdmax/internal/cost"
+	"crowdmax/internal/dataset"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/tournament"
+	"crowdmax/internal/worker"
+)
+
+// Approach identifies one of the three algorithms compared throughout
+// Section 5.1.
+type Approach int
+
+const (
+	// Alg1 is the paper's two-phase algorithm: naïve filter + expert
+	// 2-MaxFind.
+	Alg1 Approach = iota
+	// TwoMaxFindNaive runs 2-MaxFind over the whole input with naïve
+	// workers only.
+	TwoMaxFindNaive
+	// TwoMaxFindExpert runs 2-MaxFind over the whole input with expert
+	// workers only.
+	TwoMaxFindExpert
+)
+
+// String returns the curve label used in the paper's figures.
+func (a Approach) String() string {
+	switch a {
+	case Alg1:
+		return "Alg 1"
+	case TwoMaxFindNaive:
+		return "2-MaxFind-naive"
+	case TwoMaxFindExpert:
+		return "2-MaxFind-expert"
+	default:
+		return fmt.Sprintf("approach(%d)", int(a))
+	}
+}
+
+// Approaches lists the three compared algorithms in figure-legend order.
+var Approaches = []Approach{TwoMaxFindExpert, Alg1, TwoMaxFindNaive}
+
+// Trial is the outcome of one algorithm run on one random instance.
+type Trial struct {
+	// Rank is the true rank of the returned element (1 = the maximum),
+	// the accuracy measure of Section 5.1.
+	Rank int
+	// NaiveComparisons and ExpertComparisons are the paid comparison
+	// counts xn and xe.
+	NaiveComparisons, ExpertComparisons int64
+	// MaxRetained reports whether the true maximum survived phase 1
+	// (always true for the single-phase baselines).
+	MaxRetained bool
+}
+
+// runTrial executes one approach on a calibrated instance. unEst is the
+// un(n) estimate given to Alg 1 (ignored by the baselines); tie breaking is
+// uniformly random, matching the paper's simulation setup.
+func runTrial(a Approach, cal dataset.Calibrated, unEst int, r *rng.Source) (Trial, error) {
+	ledger := cost.NewLedger()
+	naive := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r.Child("naive")}, R: r.Child("naive")}
+	expert := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("expert")}, R: r.Child("expert")}
+	no := tournament.NewOracle(naive, worker.Naive, ledger, nil)
+	eo := tournament.NewOracle(expert, worker.Expert, ledger, nil)
+	items := cal.Set.Items()
+
+	var (
+		bestID   int
+		retained = true
+	)
+	switch a {
+	case Alg1:
+		res, err := core.FindMax(items, no, eo, core.FindMaxOptions{Un: unEst})
+		if err != nil {
+			return Trial{}, err
+		}
+		bestID = res.Best.ID
+		retained = false
+		for _, c := range res.Candidates {
+			if c.ID == cal.Set.Max().ID {
+				retained = true
+			}
+		}
+	case TwoMaxFindNaive:
+		best, err := core.TwoMaxFind(items, no)
+		if err != nil {
+			return Trial{}, err
+		}
+		bestID = best.ID
+	case TwoMaxFindExpert:
+		best, err := core.TwoMaxFind(items, eo)
+		if err != nil {
+			return Trial{}, err
+		}
+		bestID = best.ID
+	default:
+		return Trial{}, fmt.Errorf("experiment: unknown approach %d", int(a))
+	}
+	return Trial{
+		Rank:              cal.Set.Rank(bestID),
+		NaiveComparisons:  ledger.Naive(),
+		ExpertComparisons: ledger.Expert(),
+		MaxRetained:       retained,
+	}, nil
+}
+
+// Sweep is the shared parameter sweep of the Section 5.1–5.2 experiments.
+type Sweep struct {
+	// Ns are the input sizes; the paper sweeps 1000..5000.
+	Ns []int
+	// Un and Ue are the target un(n) and ue(n); the paper uses (10, 5)
+	// and (50, 10).
+	Un, Ue int
+	// Trials is the number of random instances averaged per point.
+	Trials int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (s Sweep) withDefaults() Sweep {
+	if len(s.Ns) == 0 {
+		s.Ns = []int{1000, 2000, 3000, 4000, 5000}
+	}
+	if s.Un == 0 {
+		s.Un = 10
+	}
+	if s.Ue == 0 {
+		s.Ue = 5
+	}
+	if s.Trials == 0 {
+		s.Trials = 10
+	}
+	return s
+}
+
+// Validate reports configuration errors early.
+func (s Sweep) validate() error {
+	if s.Un < 1 || s.Ue < 1 || s.Ue > s.Un {
+		return fmt.Errorf("experiment: invalid un=%d ue=%d", s.Un, s.Ue)
+	}
+	for _, n := range s.Ns {
+		if n < 4*s.Un {
+			return fmt.Errorf("experiment: n=%d too small for un=%d", n, s.Un)
+		}
+	}
+	if s.Trials < 1 {
+		return fmt.Errorf("experiment: trials=%d", s.Trials)
+	}
+	return nil
+}
+
+// instance generates the calibrated random instance for one (n, trial) cell.
+func (s Sweep) instance(n, trial int) (dataset.Calibrated, *rng.Source, error) {
+	r := rng.New(s.Seed).ChildN(fmt.Sprintf("n%d", n), trial)
+	cal, err := dataset.UniformCalibrated(n, s.Un, s.Ue, r.Child("data"))
+	return cal, r, err
+}

@@ -1,0 +1,315 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"crowdmax/internal/dataset"
+	"crowdmax/internal/rng"
+)
+
+// smallSweep keeps unit-test runtime reasonable.
+func smallSweep() Sweep {
+	return Sweep{Ns: []int{200, 400}, Un: 6, Ue: 3, Trials: 3, Seed: 11}
+}
+
+func TestApproachString(t *testing.T) {
+	if Alg1.String() != "Alg 1" ||
+		TwoMaxFindNaive.String() != "2-MaxFind-naive" ||
+		TwoMaxFindExpert.String() != "2-MaxFind-expert" {
+		t.Fatal("approach names wrong")
+	}
+	if !strings.Contains(Approach(7).String(), "7") {
+		t.Fatal("unknown approach name")
+	}
+}
+
+func TestSweepDefaults(t *testing.T) {
+	s := Sweep{}.withDefaults()
+	if len(s.Ns) != 5 || s.Un != 10 || s.Ue != 5 || s.Trials != 10 {
+		t.Fatalf("defaults = %+v", s)
+	}
+}
+
+func TestSweepValidate(t *testing.T) {
+	bad := []Sweep{
+		{Ns: []int{100}, Un: 0, Ue: 1, Trials: 1},
+		{Ns: []int{100}, Un: 5, Ue: 6, Trials: 1},
+		{Ns: []int{10}, Un: 5, Ue: 2, Trials: 1}, // n < 4·un
+		{Ns: []int{100}, Un: 5, Ue: 2, Trials: 0},
+	}
+	for i, s := range bad {
+		if err := s.validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+	if err := smallSweep().validate(); err != nil {
+		t.Fatalf("good sweep rejected: %v", err)
+	}
+}
+
+func TestRunTrialAllApproaches(t *testing.T) {
+	r := rng.New(1)
+	cal, err := dataset.UniformCalibrated(300, 6, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Approaches {
+		tr, err := runTrial(a, cal, 6, r.Child(a.String()))
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if tr.Rank < 1 || tr.Rank > 300 {
+			t.Fatalf("%v: rank %d", a, tr.Rank)
+		}
+		switch a {
+		case Alg1:
+			if tr.NaiveComparisons == 0 || tr.ExpertComparisons == 0 {
+				t.Fatalf("Alg 1 used %d naive / %d expert comparisons",
+					tr.NaiveComparisons, tr.ExpertComparisons)
+			}
+		case TwoMaxFindNaive:
+			if tr.ExpertComparisons != 0 || tr.NaiveComparisons == 0 {
+				t.Fatalf("naive-only run billed experts")
+			}
+		case TwoMaxFindExpert:
+			if tr.NaiveComparisons != 0 || tr.ExpertComparisons == 0 {
+				t.Fatalf("expert-only run billed naives")
+			}
+		}
+	}
+}
+
+func TestRunTrialUnknownApproach(t *testing.T) {
+	r := rng.New(2)
+	cal, err := dataset.UniformCalibrated(100, 3, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runTrial(Approach(42), cal, 3, r); err == nil {
+		t.Fatal("unknown approach accepted")
+	}
+}
+
+func TestRunTrialDeterministicPerSeed(t *testing.T) {
+	r1 := rng.New(3)
+	cal1, err := dataset.UniformCalibrated(300, 6, 3, r1.Child("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := runTrial(Alg1, cal1, 6, r1.Child("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := rng.New(3)
+	cal2, err := dataset.UniformCalibrated(300, 6, 3, r2.Child("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := runTrial(Alg1, cal2, 6, r2.Child("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1 != tr2 {
+		t.Fatalf("same seed, different trials: %+v vs %+v", tr1, tr2)
+	}
+}
+
+func TestFig3ShapeAndOrdering(t *testing.T) {
+	s := Sweep{Ns: []int{300, 600}, Un: 8, Ue: 3, Trials: 8, Seed: 5}
+	fig, err := Fig3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 3 {
+		t.Fatalf("curves = %d", len(fig.Curves))
+	}
+	byName := map[string]Curve{}
+	for _, c := range fig.Curves {
+		byName[c.Name] = c
+	}
+	// Paper shape: the expert-only baseline and Alg 1 are accurate (small
+	// rank); the naïve-only baseline is clearly worse on average.
+	avg := func(c Curve) float64 {
+		s := 0.0
+		for _, y := range c.Y {
+			s += y
+		}
+		return s / float64(len(c.Y))
+	}
+	expert, alg1, naive := avg(byName["2-MaxFind-expert"]), avg(byName["Alg 1"]), avg(byName["2-MaxFind-naive"])
+	if naive <= expert || naive <= alg1 {
+		t.Fatalf("naive-only (%.2f) should be worst; expert %.2f, alg1 %.2f", naive, expert, alg1)
+	}
+	if expert > float64(s.Ue)+1 {
+		t.Fatalf("expert-only rank %.2f too high for ue=%d", expert, s.Ue)
+	}
+}
+
+func TestFig4BoundsRespected(t *testing.T) {
+	s := smallSweep()
+	fig, err := Fig4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Curve{}
+	for _, c := range fig.Curves {
+		byName[c.Name] = c
+	}
+	for i := range s.Ns {
+		if byName["Alg 1 naive (avg)"].Y[i] > byName["Alg 1 naive (wc)"].Y[i] {
+			t.Fatal("Alg 1 naive average exceeds its worst case")
+		}
+		if byName["Alg 1 expert (avg)"].Y[i] > byName["Alg 1 expert (wc)"].Y[i] {
+			t.Fatal("Alg 1 expert average exceeds its worst case")
+		}
+		if byName["2-MaxFind-naive (avg)"].Y[i] > byName["2-MaxFind-naive (wc)"].Y[i] {
+			t.Fatal("2-MaxFind average exceeds adversarial worst case")
+		}
+		// The headline claim: Alg 1's expert comparisons do not grow
+		// with n (they depend only on un).
+		if byName["Alg 1 expert (avg)"].Y[i] > byName["2-MaxFind-expert (avg)"].Y[i] {
+			t.Fatal("Alg 1 should use fewer expert comparisons than expert-only 2-MaxFind")
+		}
+	}
+}
+
+func TestFig5CrossoverWithExpertPrice(t *testing.T) {
+	// Section 5.1: "if the ratio is less than 10, then our algorithm has
+	// a higher cost in the average case. As the cost of an expert worker
+	// becomes much higher ... the savings can become tremendous." With a
+	// high ce, Alg 1 must beat 2-MaxFind-expert; with ce = 1 it must not.
+	s := Sweep{Ns: []int{600}, Un: 6, Ue: 3, Trials: 6, Seed: 7}
+	cheap, err := Fig5(CostConfig{Sweep: s, CE: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := Fig5(CostConfig{Sweep: s, CE: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(f Figure, name string) float64 {
+		for _, c := range f.Curves {
+			if c.Name == name {
+				return c.Y[0]
+			}
+		}
+		t.Fatalf("curve %q missing", name)
+		return 0
+	}
+	if get(cheap, "Alg 1 (avg)") <= get(cheap, "2-MaxFind-expert (avg)") {
+		t.Fatal("with ce=cn, Alg 1 should cost more than expert-only")
+	}
+	if get(costly, "Alg 1 (avg)") >= get(costly, "2-MaxFind-expert (avg)") {
+		t.Fatal("with ce≫cn, Alg 1 should cost less than expert-only")
+	}
+}
+
+func TestFig6UnderestimationDegradesAccuracy(t *testing.T) {
+	cfg := Fig6Config{
+		Sweep:   Sweep{Ns: []int{400}, Un: 10, Ue: 5, Trials: 12, Seed: 9},
+		Factors: []float64{0.2, 1, 2},
+	}
+	fig, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Curve{}
+	for _, c := range fig.Curves {
+		byName[c.Name] = c
+	}
+	under := byName["Alg 1 (0.2*un)"].Y[0]
+	exact := byName["Alg 1"].Y[0]
+	over := byName["Alg 1 (2*un)"].Y[0]
+	if under <= exact {
+		t.Fatalf("underestimation (%.2f) should degrade accuracy vs exact (%.2f)", under, exact)
+	}
+	// Overestimation must not significantly degrade accuracy (Section 4.4).
+	if over > exact+2 {
+		t.Fatalf("overestimation degraded accuracy: %.2f vs %.2f", over, exact)
+	}
+}
+
+func TestFig7CostScalesWithFactor(t *testing.T) {
+	cfg := FactorCostConfig{
+		CostConfig: CostConfig{Sweep: Sweep{Ns: []int{400}, Un: 8, Ue: 3, Trials: 4, Seed: 13}, CE: 10},
+		Factors:    []float64{0.5, 1, 2},
+	}
+	fig, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 3 {
+		t.Fatalf("curves = %d", len(fig.Curves))
+	}
+	// Cost increases with the estimation factor (roughly linearly).
+	if !(fig.Curves[0].Y[0] < fig.Curves[1].Y[0] && fig.Curves[1].Y[0] < fig.Curves[2].Y[0]) {
+		t.Fatalf("costs not increasing in factor: %v %v %v",
+			fig.Curves[0].Y[0], fig.Curves[1].Y[0], fig.Curves[2].Y[0])
+	}
+}
+
+func TestFig9And10WorstCases(t *testing.T) {
+	s := smallSweep()
+	f9, err := Fig9(CostConfig{Sweep: s, CE: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f9.Curves) != 3 {
+		t.Fatalf("fig9 curves = %d", len(f9.Curves))
+	}
+	f10, err := Fig10(FactorCostConfig{CostConfig: CostConfig{Sweep: s, CE: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f10.Curves) != 6 {
+		t.Fatalf("fig10 curves = %d", len(f10.Curves))
+	}
+	// Fig10 worst cases are pure theory: monotone in both n and factor.
+	for _, c := range f10.Curves {
+		for i := 1; i < len(c.Y); i++ {
+			if c.Y[i] < c.Y[i-1] {
+				t.Fatalf("curve %q not monotone in n", c.Name)
+			}
+		}
+	}
+}
+
+func TestRetentionShape(t *testing.T) {
+	cfg := Fig6Config{
+		Sweep:   Sweep{Ns: []int{400, 800}, Un: 10, Ue: 5, Trials: 15, Seed: 17},
+		Factors: []float64{0.2, 0.8, 1},
+	}
+	res, err := Retention(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Retention) != 3 {
+		t.Fatalf("retention entries = %d", len(res.Retention))
+	}
+	// Section 5.2 shape: retention falls as the factor shrinks; exact
+	// estimation retains (essentially) always.
+	if res.Retention[2] < 0.99 {
+		t.Fatalf("exact estimation retention = %.2f", res.Retention[2])
+	}
+	if res.Retention[0] >= res.Retention[2] {
+		t.Fatalf("factor 0.2 retention %.2f not below factor 1 retention %.2f",
+			res.Retention[0], res.Retention[2])
+	}
+	var sb strings.Builder
+	if err := res.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "estimation factor") {
+		t.Fatal("retention rendering missing header")
+	}
+}
+
+func TestEstimatedUnClamping(t *testing.T) {
+	if estimatedUn(10, 0.01) != 1 {
+		t.Fatal("estimate should clamp at 1")
+	}
+	if estimatedUn(10, 1.2) != 12 || estimatedUn(10, 0.5) != 5 {
+		t.Fatal("estimate rounding wrong")
+	}
+}

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/stats"
+	"crowdmax/internal/worker"
+)
+
+// Fig2Config configures the Figure 2 reproduction: majority-vote accuracy as
+// a function of the number of workers, bucketed by the relative value
+// difference of the compared pair, for the DOTS (wisdom-of-crowds) and CARS
+// (expertise-barrier) regimes.
+type Fig2Config struct {
+	// PairsPerBand is the number of random pairs sampled per difficulty
+	// band (the paper submitted 105 DOTS and 154 CARS pairs overall).
+	PairsPerBand int
+	// Repeats is the number of independent worker panels per pair.
+	Repeats int
+	// MaxWorkers is the largest panel size (the paper requested "at
+	// least 21 answers" per pair).
+	MaxWorkers int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c Fig2Config) withDefaults() Fig2Config {
+	if c.PairsPerBand == 0 {
+		c.PairsPerBand = 30
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 20
+	}
+	if c.MaxWorkers == 0 {
+		c.MaxWorkers = 21
+	}
+	return c
+}
+
+// band is one relative-difference bucket of Figure 2.
+type band struct {
+	lo, hi float64 // (lo, hi]; lo = 0 means [0, hi]
+	label  string
+}
+
+var dotsBands = []band{
+	{0, 0.1, "[0,0.1]"},
+	{0.1, 0.2, "(0.1,0.2]"},
+	{0.2, 0.3, "(0.2,0.3]"},
+	{0.3, 1, "(0.3,+inf)"},
+}
+
+var carsBands = []band{
+	{0, 0.1, "[0,0.1]"},
+	{0.1, 0.2, "(0.1,0.2]"},
+	{0.2, 0.5, "(0.2,0.5]"},
+	{0.5, 1, "(0.5,+inf)"},
+}
+
+// Fig2 runs both panels of Figure 2 and returns them as figures whose curves
+// are the difficulty bands and whose x-axis is the (odd) panel size 1..21.
+func Fig2(cfg Fig2Config) (dots, cars Figure, err error) {
+	cfg = cfg.withDefaults()
+	root := rng.New(cfg.Seed)
+
+	dots, err = fig2Panel("Figure 2(a) DOTS", dotsBands,
+		worker.WisdomRegime{Sharpness: 5}, 100, 1500, cfg, root.Child("dots"))
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	cars, err = fig2Panel("Figure 2(b) CARS", carsBands,
+		worker.PlateauRegime{Threshold: 0.2, Epsilon: 0.05}, 14000, 130000, cfg, root.Child("cars"))
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	return dots, cars, nil
+}
+
+func fig2Panel(title string, bands []band, regime worker.Regime, lo, hi float64, cfg Fig2Config, r *rng.Source) (Figure, error) {
+	fig := Figure{Title: title, XLabel: "workers", YLabel: "majority accuracy"}
+	var ks []float64
+	for k := 1; k <= cfg.MaxWorkers; k += 2 {
+		ks = append(ks, float64(k))
+	}
+	for bi, b := range bands {
+		world := worker.NewWorld(regime, r.ChildN("world", bi))
+		accs := make([]*stats.Summary, len(ks))
+		for i := range accs {
+			accs[i] = &stats.Summary{}
+		}
+		for p := 0; p < cfg.PairsPerBand; p++ {
+			pr := r.ChildN(fmt.Sprintf("band%d-pair", bi), p)
+			a, bIt, err := pairInBand(b, lo, hi, 2*p, pr)
+			if err != nil {
+				return Figure{}, err
+			}
+			hiIt := a
+			if bIt.Value > a.Value {
+				hiIt = bIt
+			}
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				w := world.Worker(pr.ChildN("panel", rep))
+				// Ask MaxWorkers workers once, reuse prefixes for
+				// smaller panels, like the paper ("ordered by time
+				// of response").
+				votesHi := 0
+				ki := 0
+				for k := 1; k <= cfg.MaxWorkers; k++ {
+					if w.Compare(a, bIt).ID == hiIt.ID {
+						votesHi++
+					}
+					if k%2 == 1 {
+						correct := 0.0
+						if 2*votesHi > k {
+							correct = 1
+						} else if 2*votesHi == k {
+							correct = 0.5
+						}
+						accs[ki].Add(correct)
+						ki++
+					}
+				}
+			}
+		}
+		ys := make([]float64, len(ks))
+		errs := make([]float64, len(ks))
+		for i, s := range accs {
+			ys[i] = s.Mean()
+			errs[i] = s.StdErr()
+		}
+		fig.Curves = append(fig.Curves, Curve{
+			Name: b.label + fmt.Sprintf(",%d", cfg.PairsPerBand),
+			X:    append([]float64(nil), ks...),
+			Y:    ys,
+			Err:  errs,
+		})
+	}
+	return fig, nil
+}
+
+// pairInBand constructs a pair of items whose relative difference lies in
+// the band, with values inside [lo, hi].
+func pairInBand(b band, lo, hi float64, baseID int, r *rng.Source) (item.Item, item.Item, error) {
+	bandHi := b.hi
+	if bandHi > 0.9 {
+		bandHi = 0.9 // keep the smaller value positive and in range
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		rel := r.UniformIn(b.lo, bandHi)
+		if rel <= b.lo && b.lo > 0 { // bands are (lo, hi]
+			continue
+		}
+		big := r.UniformIn(lo, hi)
+		small := big * (1 - rel)
+		if small < lo {
+			continue
+		}
+		return item.Item{ID: baseID, Value: small}, item.Item{ID: baseID + 1, Value: big}, nil
+	}
+	return item.Item{}, item.Item{}, fmt.Errorf("experiment: no pair in band %s within [%g,%g]", b.label, lo, hi)
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmax/internal/stats"
+)
+
+// Fig3 reproduces Figure 3: accuracy (average true rank of the returned
+// element) as a function of the input size n, for the three approaches of
+// Section 5.1, at fixed (un, ue). Rank 1 is perfect.
+func Fig3(s Sweep) (Figure, error) {
+	s = s.withDefaults()
+	if err := s.validate(); err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		Title:  fmt.Sprintf("Figure 3 (un=%d, ue=%d)", s.Un, s.Ue),
+		XLabel: "n",
+		YLabel: "average real rank of max",
+	}
+	perApproach := make(map[Approach][]*stats.Summary)
+	for _, a := range Approaches {
+		perApproach[a] = make([]*stats.Summary, len(s.Ns))
+		for i := range perApproach[a] {
+			perApproach[a][i] = &stats.Summary{}
+		}
+	}
+	for ni, n := range s.Ns {
+		for trial := 0; trial < s.Trials; trial++ {
+			cal, r, err := s.instance(n, trial)
+			if err != nil {
+				return Figure{}, err
+			}
+			for _, a := range Approaches {
+				tr, err := runTrial(a, cal, s.Un, r.Child(a.String()))
+				if err != nil {
+					return Figure{}, err
+				}
+				perApproach[a][ni].Add(float64(tr.Rank))
+			}
+		}
+	}
+	xs := nsToFloats(s.Ns)
+	for _, a := range Approaches {
+		ys := make([]float64, len(s.Ns))
+		errs := make([]float64, len(s.Ns))
+		for i, sum := range perApproach[a] {
+			ys[i] = sum.Mean()
+			errs[i] = sum.StdErr()
+		}
+		fig.Curves = append(fig.Curves, Curve{Name: a.String(), X: xs, Y: ys, Err: errs})
+	}
+	return fig, nil
+}
+
+// Fig6Config extends the sweep with the estimation factors of Section 5.2.
+type Fig6Config struct {
+	Sweep
+	// Factors are the ratios estimated/true un; the paper uses
+	// {0.2, 0.5, 0.8, 1, 1.2, 2}.
+	Factors []float64
+}
+
+func (c Fig6Config) withDefaults() Fig6Config {
+	c.Sweep = c.Sweep.withDefaults()
+	if len(c.Factors) == 0 {
+		c.Factors = []float64{0.2, 0.5, 0.8, 1, 1.2, 2}
+	}
+	return c
+}
+
+// Fig6 reproduces Figure 6: accuracy of Alg 1 as a function of n when un is
+// mis-estimated by each factor. Overestimation costs money but not
+// accuracy; underestimation degrades accuracy because the maximum may be
+// filtered out.
+func Fig6(cfg Fig6Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		Title:  fmt.Sprintf("Figure 6 (un=%d, ue=%d)", cfg.Un, cfg.Ue),
+		XLabel: "n",
+		YLabel: "average real rank of max",
+	}
+	for _, factor := range cfg.Factors {
+		unEst := estimatedUn(cfg.Un, factor)
+		ys := make([]float64, len(cfg.Ns))
+		errs := make([]float64, len(cfg.Ns))
+		for ni, n := range cfg.Ns {
+			var sum stats.Summary
+			for trial := 0; trial < cfg.Trials; trial++ {
+				cal, r, err := cfg.instance(n, trial)
+				if err != nil {
+					return Figure{}, err
+				}
+				tr, err := runTrial(Alg1, cal, unEst, r.Child(fmt.Sprintf("f%g", factor)))
+				if err != nil {
+					return Figure{}, err
+				}
+				sum.Add(float64(tr.Rank))
+			}
+			ys[ni] = sum.Mean()
+			errs[ni] = sum.StdErr()
+		}
+		fig.Curves = append(fig.Curves, Curve{
+			Name: factorLabel(factor),
+			X:    nsToFloats(cfg.Ns),
+			Y:    ys,
+			Err:  errs,
+		})
+	}
+	return fig, nil
+}
+
+// estimatedUn applies an estimation factor, clamping at 1 (the filter
+// requires un ≥ 1).
+func estimatedUn(un int, factor float64) int {
+	est := int(math.Round(float64(un) * factor))
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+func factorLabel(f float64) string {
+	if f == 1 {
+		return "Alg 1"
+	}
+	return fmt.Sprintf("Alg 1 (%g*un)", f)
+}
+
+func nsToFloats(ns []int) []float64 {
+	xs := make([]float64, len(ns))
+	for i, n := range ns {
+		xs[i] = float64(n)
+	}
+	return xs
+}

@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"fmt"
+
+	"crowdmax/internal/core"
+	"crowdmax/internal/cost"
+	"crowdmax/internal/dataset"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/stats"
+	"crowdmax/internal/tournament"
+	"crowdmax/internal/worker"
+)
+
+// comparisonsPoint holds the per-n measurements behind Figures 4, 5, 9 (and
+// 7, 10 via the estimation-factor variant): average and worst-case naïve and
+// expert comparison counts for each approach.
+type comparisonsPoint struct {
+	N int
+
+	Alg1NaiveAvg, Alg1ExpertAvg float64
+	Alg1NaiveWC, Alg1ExpertWC   float64 // theory upper bounds, per the paper
+
+	TwoMFNaiveAvg, TwoMFExpertAvg float64
+	TwoMFWC                       float64 // measured on adversarial instances
+}
+
+// measureComparisons runs the sweep once and returns per-n comparison
+// counts; it is shared by Fig4 and the cost figures.
+func measureComparisons(s Sweep) ([]comparisonsPoint, error) {
+	s = s.withDefaults()
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	points := make([]comparisonsPoint, len(s.Ns))
+	for ni, n := range s.Ns {
+		p := comparisonsPoint{N: n}
+		var a1n, a1e, tn, te stats.Summary
+		for trial := 0; trial < s.Trials; trial++ {
+			cal, r, err := s.instance(n, trial)
+			if err != nil {
+				return nil, err
+			}
+			trA, err := runTrial(Alg1, cal, s.Un, r.Child("alg1"))
+			if err != nil {
+				return nil, err
+			}
+			a1n.Add(float64(trA.NaiveComparisons))
+			a1e.Add(float64(trA.ExpertComparisons))
+			trN, err := runTrial(TwoMaxFindNaive, cal, s.Un, r.Child("2mf-naive"))
+			if err != nil {
+				return nil, err
+			}
+			tn.Add(float64(trN.NaiveComparisons))
+			trE, err := runTrial(TwoMaxFindExpert, cal, s.Un, r.Child("2mf-expert"))
+			if err != nil {
+				return nil, err
+			}
+			te.Add(float64(trE.ExpertComparisons))
+		}
+		p.Alg1NaiveAvg = a1n.Mean()
+		p.Alg1ExpertAvg = a1e.Mean()
+		p.TwoMFNaiveAvg = tn.Mean()
+		p.TwoMFExpertAvg = te.Mean()
+
+		// Worst cases, following Section 5: "For our algorithm we
+		// considered the upper bound predicted by the theory"; for
+		// 2-MaxFind, adversarial instances maximizing its comparisons.
+		p.Alg1NaiveWC = core.Phase1UpperBound(n, s.Un)
+		p.Alg1ExpertWC = core.Phase2ExpertUpperBound(s.Un)
+		wc, err := adversarialTwoMaxFind(n, rng.New(s.Seed).ChildN("wc", n))
+		if err != nil {
+			return nil, err
+		}
+		p.TwoMFWC = wc
+		points[ni] = p
+	}
+	return points, nil
+}
+
+// adversarialTwoMaxFind measures 2-MaxFind's comparison count on the
+// worst-case instance: all elements mutually indistinguishable and the
+// paper's pivot-loses tie-breaking, which keeps every candidate alive
+// through the elimination passes and drives the count to the Θ(s^{3/2})
+// bound.
+func adversarialTwoMaxFind(n int, r *rng.Source) (float64, error) {
+	s, err := dataset.AdversarialIndistinguishable(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	ledger := cost.NewLedger()
+	w := &worker.Threshold{Delta: 1, Tie: worker.FirstLosesTie{}, R: r}
+	o := tournament.NewOracle(w, worker.Naive, ledger, nil)
+	if _, err := core.TwoMaxFind(s.Items(), o); err != nil {
+		return 0, err
+	}
+	return float64(ledger.Naive()), nil
+}
+
+// Fig4 reproduces Figure 4: naïve and expert comparison counts (log scale in
+// the paper) as a function of n, average and worst case, for the three
+// approaches. The paper plots the average 2-MaxFind counts of the naïve-only
+// and expert-only variants as one curve because they nearly coincide; we
+// keep them separate.
+func Fig4(s Sweep) (Figure, error) {
+	points, err := measureComparisons(s)
+	if err != nil {
+		return Figure{}, err
+	}
+	s = s.withDefaults()
+	fig := Figure{
+		Title:  fmt.Sprintf("Figure 4 (un=%d, ue=%d)", s.Un, s.Ue),
+		XLabel: "n",
+		YLabel: "# of comparisons",
+	}
+	xs := nsToFloats(s.Ns)
+	get := func(f func(comparisonsPoint) float64) []float64 {
+		ys := make([]float64, len(points))
+		for i, p := range points {
+			ys[i] = f(p)
+		}
+		return ys
+	}
+	fig.Curves = []Curve{
+		{Name: "Alg 1 naive (wc)", X: xs, Y: get(func(p comparisonsPoint) float64 { return p.Alg1NaiveWC })},
+		{Name: "Alg 1 naive (avg)", X: xs, Y: get(func(p comparisonsPoint) float64 { return p.Alg1NaiveAvg })},
+		{Name: "2-MaxFind-naive (wc)", X: xs, Y: get(func(p comparisonsPoint) float64 { return p.TwoMFWC })},
+		{Name: "2-MaxFind-naive (avg)", X: xs, Y: get(func(p comparisonsPoint) float64 { return p.TwoMFNaiveAvg })},
+		{Name: "2-MaxFind-expert (wc)", X: xs, Y: get(func(p comparisonsPoint) float64 { return p.TwoMFWC })},
+		{Name: "2-MaxFind-expert (avg)", X: xs, Y: get(func(p comparisonsPoint) float64 { return p.TwoMFExpertAvg })},
+		{Name: "Alg 1 expert (wc)", X: xs, Y: get(func(p comparisonsPoint) float64 { return p.Alg1ExpertWC })},
+		{Name: "Alg 1 expert (avg)", X: xs, Y: get(func(p comparisonsPoint) float64 { return p.Alg1ExpertAvg })},
+	}
+	return fig, nil
+}

@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Curve is one series of a figure.
+type Curve struct {
+	// Name is the legend label.
+	Name string `json:"name"`
+	// X and Y are the data points, parallel slices.
+	X []float64 `json:"x"`
+	Y []float64 `json:"y"`
+	// Err holds per-point standard errors (optional; nil when the curve
+	// is deterministic, e.g. a theory bound).
+	Err []float64 `json:"err,omitempty"`
+}
+
+// Figure is a reproduced paper figure: a set of curves over a shared x-axis.
+type Figure struct {
+	// Title names the figure after the paper (e.g. "Figure 3(a)").
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Curves are the series, in legend order.
+	Curves []Curve
+}
+
+// WriteText renders the figure as an aligned text table: one row per x
+// value, one column per curve, matching the series the paper plots.
+func (f Figure) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s vs %s\n", f.Title, f.YLabel, f.XLabel); err != nil {
+		return err
+	}
+	headers := []string{f.XLabel}
+	for _, c := range f.Curves {
+		headers = append(headers, c.Name)
+	}
+	var rows [][]string
+	for i := 0; i < f.pointCount(); i++ {
+		row := []string{formatNum(f.xAt(i))}
+		for _, c := range f.Curves {
+			if i < len(c.Y) {
+				cell := formatNum(c.Y[i])
+				if c.Err != nil && i < len(c.Err) && c.Err[i] > 0 {
+					cell += fmt.Sprintf("±%s", formatNum(c.Err[i]))
+				}
+				row = append(row, cell)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return WriteTable(w, headers, rows)
+}
+
+// WriteCSV renders the figure as CSV with the same layout as WriteText.
+func (f Figure) WriteCSV(w io.Writer) error {
+	cols := []string{csvEscape(f.XLabel)}
+	for _, c := range f.Curves {
+		cols = append(cols, csvEscape(c.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < f.pointCount(); i++ {
+		row := []string{fmt.Sprintf("%g", f.xAt(i))}
+		for _, c := range f.Curves {
+			if i < len(c.Y) {
+				row = append(row, fmt.Sprintf("%g", c.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the figure as indented JSON, for downstream plotting
+// tools.
+func (f Figure) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(figureJSON{
+		Title:  f.Title,
+		XLabel: f.XLabel,
+		YLabel: f.YLabel,
+		Curves: f.Curves,
+	})
+}
+
+type figureJSON struct {
+	Title  string  `json:"title"`
+	XLabel string  `json:"xLabel"`
+	YLabel string  `json:"yLabel"`
+	Curves []Curve `json:"curves"`
+}
+
+func (f Figure) pointCount() int {
+	n := 0
+	for _, c := range f.Curves {
+		if len(c.X) > n {
+			n = len(c.X)
+		}
+	}
+	return n
+}
+
+func (f Figure) xAt(i int) float64 {
+	for _, c := range f.Curves {
+		if i < len(c.X) {
+			return c.X[i]
+		}
+	}
+	return 0
+}
+
+// WriteTable renders an aligned text table.
+func WriteTable(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

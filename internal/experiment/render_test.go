@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		Title:  "Sample",
+		XLabel: "n",
+		YLabel: "value",
+		Curves: []Curve{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}, Err: []float64{0.5, 0, 1}},
+			{Name: "b,quoted", X: []float64{1, 2}, Y: []float64{5, 6}},
+		},
+	}
+}
+
+func TestFigureWriteTextRaggedCurves(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleFigure().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# Sample", "a", "b,quoted", "10±0.5", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text rendering missing %q:\n%s", want, out)
+		}
+	}
+	// The shorter curve's missing third point renders as "-".
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(last, "-") {
+		t.Fatalf("ragged row = %q", last)
+	}
+}
+
+func TestFigureWriteCSVEscaping(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleFigure().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"b,quoted"`) {
+		t.Fatalf("comma-bearing name not quoted:\n%s", out)
+	}
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if len(rows) != 4 { // header + 3 points
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Ragged column is empty, not "-".
+	if !strings.HasSuffix(rows[3], ",") {
+		t.Fatalf("ragged CSV row = %q", rows[3])
+	}
+}
+
+func TestFigureWriteJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleFigure().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got figureJSON
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "Sample" || len(got.Curves) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Curves[0].Err == nil || got.Curves[1].Err != nil {
+		t.Fatal("err fields not preserved/omitted correctly")
+	}
+}
+
+func TestWriteTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTable(&sb, []string{"col", "long header"}, [][]string{
+		{"a-very-long-cell", "1"},
+		{"b", "22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Separator matches the widest cell in each column.
+	if !strings.HasPrefix(lines[1], strings.Repeat("-", len("a-very-long-cell"))) {
+		t.Fatalf("separator = %q", lines[1])
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"},
+		{40000, "40000"},
+		{-12, "-12"},
+		{0.123456, "0.123"},
+		{1234.5, "1234"}, // %.0f rounds half to even
+		{0.5, "0.5"},
+	}
+	for _, tc := range tests {
+		if got := formatNum(tc.v); got != tc.want {
+			t.Errorf("formatNum(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	var sb strings.Builder
+	empty := Figure{Title: "empty", XLabel: "x", YLabel: "y"}
+	if err := empty.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"fmt"
+
+	"crowdmax/internal/core"
+	"crowdmax/internal/cost"
+	"crowdmax/internal/stats"
+	"crowdmax/internal/tournament"
+	"crowdmax/internal/worker"
+)
+
+// StepsExperiment measures the *time* complexity of the approaches under
+// the paper's execution model (Section 3, following Venetis et al.): the
+// number of logical steps — batch rounds submitted to the platform — as a
+// function of n. Comparisons within a tournament round are independent and
+// run in one batch, so logical steps capture wall-clock time when the
+// worker pool is large.
+//
+// Expected shapes: the single-elimination bracket takes exactly ⌈log2 n⌉
+// steps; Algorithm 1's filter takes one step per group per iteration (the
+// groups of one iteration could be merged into one batch — we count the
+// conservative per-group figure); 2-MaxFind takes two steps per pivot
+// round.
+func StepsExperiment(s Sweep) (Figure, error) {
+	s = s.withDefaults()
+	if err := s.validate(); err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		Title:  fmt.Sprintf("Logical steps (un=%d, ue=%d)", s.Un, s.Ue),
+		XLabel: "n",
+		YLabel: "logical steps",
+	}
+	type series struct {
+		name string
+		ys   []float64
+	}
+	curves := []series{
+		{name: "Alg 1"}, {name: "2-MaxFind-expert"}, {name: "bracket"},
+	}
+	for _, n := range s.Ns {
+		sums := make([]stats.Summary, 3)
+		for trial := 0; trial < s.Trials; trial++ {
+			cal, r, err := s.instance(n, trial)
+			if err != nil {
+				return Figure{}, err
+			}
+			items := cal.Set.Items()
+
+			l := cost.NewLedger()
+			nw := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r.Child("a")}, R: r.Child("a")}
+			ew := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("b")}, R: r.Child("b")}
+			no := tournament.NewOracle(nw, worker.Naive, l, nil)
+			eo := tournament.NewOracle(ew, worker.Expert, l, nil)
+			if _, err := core.FindMax(items, no, eo, core.FindMaxOptions{Un: s.Un}); err != nil {
+				return Figure{}, err
+			}
+			sums[0].Add(float64(l.Steps()))
+
+			l2 := cost.NewLedger()
+			ew2 := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("c")}, R: r.Child("c")}
+			eo2 := tournament.NewOracle(ew2, worker.Expert, l2, nil)
+			if _, err := core.TwoMaxFind(items, eo2); err != nil {
+				return Figure{}, err
+			}
+			sums[1].Add(float64(l2.Steps()))
+
+			l3 := cost.NewLedger()
+			nw3 := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r.Child("d")}, R: r.Child("d")}
+			no3 := tournament.NewOracle(nw3, worker.Naive, l3, nil)
+			if _, err := core.TournamentMax(items, no3, core.BracketOptions{}); err != nil {
+				return Figure{}, err
+			}
+			sums[2].Add(float64(l3.Steps()))
+		}
+		for i := range curves {
+			curves[i].ys = append(curves[i].ys, sums[i].Mean())
+		}
+	}
+	xs := nsToFloats(s.Ns)
+	for _, c := range curves {
+		fig.Curves = append(fig.Curves, Curve{Name: c.name, X: xs, Y: c.ys})
+	}
+	return fig, nil
+}

@@ -1,0 +1,273 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1PaperShape(t *testing.T) {
+	tab, err := Table1(CrowdConfig{Seed: 1, Spammers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Survivors) != 2 {
+		t.Fatalf("experiments = %d", len(tab.Survivors))
+	}
+	for e := 0; e < 2; e++ {
+		// Wisdom-of-crowds regime: the simulated experts identify the
+		// minimum in both experiments ("the final results were almost
+		// perfect").
+		if !tab.BestFound[e] {
+			t.Fatalf("experiment %d: best not ranked first", e+1)
+		}
+		if tab.Survivors[e] < 1 || tab.Survivors[e] > 9 { // 2·un−1 = 9
+			t.Fatalf("experiment %d: %d survivors", e+1, tab.Survivors[e])
+		}
+		// The true best element must appear in the last round at rank 1.
+		if tab.Rows[0].LastRound[e] != 1 {
+			t.Fatalf("experiment %d: best at last-round position %d", e+1, tab.Rows[0].LastRound[e])
+		}
+	}
+	// Survivor positions are nearly the true order: every surviving
+	// top-9 element's last-round position differs from its true rank by
+	// at most 1 (the paper saw a single adjacent swap).
+	for _, row := range tab.Rows {
+		for e, pos := range row.LastRound {
+			if pos == 0 {
+				continue
+			}
+			diff := pos - row.TrueRank
+			if diff < -1 || diff > 1 {
+				t.Fatalf("experiment %d: %s true rank %d ranked %d",
+					e+1, row.Label, row.TrueRank, pos)
+			}
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	tab, err := Table1(CrowdConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "dots-100", "Exp. 1", "Exp. 2", "survivors"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2PaperShape(t *testing.T) {
+	// The expertise barrier is statistical: each experiment's simulated
+	// experts identify the top car only if every latent pair-lean happens
+	// to favour it. We check the paper's two claims across several seeded
+	// replications: the top car is ALWAYS promoted to the last round, and
+	// the simulated experts fail to rank it first in a clear majority of
+	// experiments (in the paper, they failed in all).
+	experiments, failures, promoted := 0, 0, 0
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		tab, set, err := Table2(CrowdConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.Len() != 50 {
+			t.Fatalf("sample size = %d", set.Len())
+		}
+		for e := 0; e < 2; e++ {
+			// Paper: "in both cases the most expensive car passed to
+			// the second round".
+			if tab.Rows[0].LastRound[e] != 0 {
+				promoted++
+			}
+			if tab.Survivors[e] > 9 {
+				t.Fatalf("seed %d experiment %d: %d survivors > 2·un−1", seed, e+1, tab.Survivors[e])
+			}
+			experiments++
+			if !tab.BestFound[e] {
+				failures++
+			}
+		}
+	}
+	if promoted < experiments-1 {
+		t.Fatalf("most expensive car promoted in only %d/%d experiments", promoted, experiments)
+	}
+	if failures*2 < experiments {
+		t.Fatalf("simulated experts failed only %d/%d experiments; the expertise barrier did not bind",
+			failures, experiments)
+	}
+}
+
+func TestTable2TopRowsAreExpensiveCars(t *testing.T) {
+	tab, set, err := Table2(CrowdConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 19 { // the paper reports the top-19 cars
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if row.TrueRank != i+1 {
+			t.Fatalf("row %d has true rank %d", i, row.TrueRank)
+		}
+		if !strings.Contains(row.Label, "$") {
+			t.Fatalf("row label %q missing price", row.Label)
+		}
+	}
+	if set.Max().Label != tab.Rows[0].Label {
+		t.Fatal("first row is not the most expensive car")
+	}
+}
+
+func TestCrowdConfigDefaults(t *testing.T) {
+	cfg := CrowdConfig{}.withDefaults()
+	if cfg.N != 50 || cfg.Un != 5 || cfg.ExpertVotes != 7 || cfg.NaiveVotes != 21 ||
+		cfg.Experiments != 2 || cfg.Workers != 30 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestSearchEvalPaperShape(t *testing.T) {
+	res, err := SearchEval(SearchConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 { // 2 queries × 3 un values
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// Paper: "In both queries and for all these values of un(50) the
+		// maximum was promoted to the second round (and the experts
+		// identified it, of course)."
+		if !r.Promoted {
+			t.Fatalf("query %q un=%d: best not promoted", r.Query, r.Un)
+		}
+		if !r.ExpertFound {
+			t.Fatalf("query %q un=%d: experts missed the best", r.Query, r.Un)
+		}
+	}
+	if len(res.NaiveOnly) != 4 {
+		t.Fatalf("naive-only runs = %d", len(res.NaiveOnly))
+	}
+	found := 0
+	for _, r := range res.NaiveOnly {
+		if r.Found {
+			found++
+		}
+	}
+	// Paper: "naïve users were able to identify the best result only in
+	// one of the four cases". The reproduction target is the shape: the
+	// naïve-only approach fails in most runs.
+	if found > 2 {
+		t.Fatalf("naive-only succeeded %d/4 times; expertise barrier did not bind", found)
+	}
+	var sb strings.Builder
+	if err := res.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "naive-only 2-MaxFind runs") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestMajorityBoundHolds(t *testing.T) {
+	res, err := MajorityBound(MajorityConfig{Seed: 7, Trials: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		// The Chernoff bound dominates the exact error everywhere, and
+		// the empirical frequency tracks the exact value within noise.
+		if row.Exact > row.Chernoff+1e-9 {
+			t.Fatalf("exact %.4f above bound %.4f at p=%g k=%d", row.Exact, row.Chernoff, row.P, row.K)
+		}
+		if diff := row.Empirical - row.Exact; diff > 0.05 || diff < -0.05 {
+			t.Fatalf("empirical %.4f far from exact %.4f at p=%g k=%d", row.Empirical, row.Exact, row.P, row.K)
+		}
+	}
+}
+
+func TestMajorityBoundValidation(t *testing.T) {
+	if _, err := MajorityBound(MajorityConfig{Ps: []float64{0.6}}); err == nil {
+		t.Fatal("p ≥ 0.5 accepted")
+	}
+}
+
+func TestFig2PaperShapes(t *testing.T) {
+	dots, cars, err := Fig2(Fig2Config{Seed: 9, PairsPerBand: 25, Repeats: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dots.Curves) != 4 || len(cars.Curves) != 4 {
+		t.Fatalf("bands = %d/%d", len(dots.Curves), len(cars.Curves))
+	}
+	last := func(c Curve) float64 { return c.Y[len(c.Y)-1] }
+	first := func(c Curve) float64 { return c.Y[0] }
+
+	// DOTS: every band improves with workers and ends high; even the
+	// hardest band clearly beats its single-worker accuracy.
+	for _, c := range dots.Curves {
+		if last(c) < first(c) {
+			t.Fatalf("DOTS band %s did not improve: %.2f → %.2f", c.Name, first(c), last(c))
+		}
+	}
+	if last(dots.Curves[3]) < 0.95 {
+		t.Fatalf("easy DOTS band ends at %.2f, want ≈1", last(dots.Curves[3]))
+	}
+	if last(dots.Curves[0]) < first(dots.Curves[0])+0.1 {
+		t.Fatalf("hard DOTS band barely improved: %.2f → %.2f",
+			first(dots.Curves[0]), last(dots.Curves[0]))
+	}
+
+	// CARS: the two hard bands plateau below 0.8 no matter how many
+	// workers vote; the easy bands approach 1.
+	if last(cars.Curves[0]) > 0.8 || last(cars.Curves[1]) > 0.85 {
+		t.Fatalf("hard CARS bands exceeded their plateau: %.2f, %.2f",
+			last(cars.Curves[0]), last(cars.Curves[1]))
+	}
+	if last(cars.Curves[3]) < 0.9 {
+		t.Fatalf("easy CARS band ends at %.2f, want ≈1", last(cars.Curves[3]))
+	}
+}
+
+func TestFig2Rendering(t *testing.T) {
+	dots, _, err := Fig2(Fig2Config{Seed: 10, PairsPerBand: 5, Repeats: 3, MaxWorkers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := dots.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "majority accuracy") {
+		t.Fatal("figure rendering missing y label")
+	}
+	var csv strings.Builder
+	if err := dots.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "workers,") {
+		t.Fatalf("CSV header = %q", strings.SplitN(csv.String(), "\n", 2)[0])
+	}
+}
+
+func TestMajorityBoundRendering(t *testing.T) {
+	res, err := MajorityBound(MajorityConfig{Seed: 8, Trials: 100, Ps: []float64{0.2}, Ks: []int{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Chernoff bound") {
+		t.Fatal("majority rendering missing header")
+	}
+}

@@ -1,0 +1,258 @@
+package item
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		a, b float64
+		want float64
+	}{
+		{0, 0, 0},
+		{1, 3, 2},
+		{3, 1, 2},
+		{-2, 2, 4},
+		{-5, -1, 4},
+		{1.5, 1.5, 0},
+	}
+	for _, tc := range tests {
+		got := Distance(Item{Value: tc.a}, Item{Value: tc.b})
+		if got != tc.want {
+			t.Errorf("Distance(%g, %g) = %g, want %g", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		x, y := Item{Value: a}, Item{Value: b}
+		return Distance(x, y) == Distance(y, x) && Distance(x, y) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSetAssignsDenseIDs(t *testing.T) {
+	s := NewSet([]float64{5, 2, 9})
+	for i := 0; i < s.Len(); i++ {
+		if s.Item(i).ID != i {
+			t.Errorf("Item(%d).ID = %d", i, s.Item(i).ID)
+		}
+	}
+}
+
+func TestNewSetItemsReassignsIDs(t *testing.T) {
+	s := NewSetItems([]Item{{ID: 42, Value: 1, Label: "a"}, {ID: 42, Value: 2, Label: "b"}})
+	if s.Item(0).ID != 0 || s.Item(1).ID != 1 {
+		t.Fatalf("IDs not reassigned: %d, %d", s.Item(0).ID, s.Item(1).ID)
+	}
+	if s.Item(0).Label != "a" || s.Item(1).Label != "b" {
+		t.Fatal("labels not preserved")
+	}
+}
+
+func TestMax(t *testing.T) {
+	s := NewSet([]float64{3, 7, 1, 7, 2})
+	m := s.Max()
+	if m.Value != 7 {
+		t.Fatalf("Max().Value = %g, want 7", m.Value)
+	}
+	if m.ID != 1 {
+		t.Fatalf("Max() tie should resolve to first occurrence, got ID %d", m.ID)
+	}
+}
+
+func TestMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max on empty set did not panic")
+		}
+	}()
+	NewSet(nil).Max()
+}
+
+func TestRank(t *testing.T) {
+	s := NewSet([]float64{10, 30, 20})
+	wantRanks := map[int]int{0: 3, 1: 1, 2: 2}
+	for id, want := range wantRanks {
+		if got := s.Rank(id); got != want {
+			t.Errorf("Rank(%d) = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestRankTiesStable(t *testing.T) {
+	s := NewSet([]float64{5, 5, 5})
+	for id := 0; id < 3; id++ {
+		if got := s.Rank(id); got != id+1 {
+			t.Errorf("Rank(%d) = %d, want %d (stable tie order)", id, got, id+1)
+		}
+	}
+}
+
+func TestByRankRoundTrip(t *testing.T) {
+	s := NewSet([]float64{0.3, 0.9, 0.1, 0.5})
+	for r := 1; r <= s.Len(); r++ {
+		if got := s.Rank(s.ByRank(r).ID); got != r {
+			t.Errorf("Rank(ByRank(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestByRankOutOfRangePanics(t *testing.T) {
+	s := NewSet([]float64{1, 2})
+	for _, r := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ByRank(%d) did not panic", r)
+				}
+			}()
+			s.ByRank(r)
+		}()
+	}
+}
+
+func TestByRankIsSortedDescending(t *testing.T) {
+	f := func(values []float64) bool {
+		clean := values[:0]
+		for _, v := range values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := NewSet(clean)
+		for r := 2; r <= s.Len(); r++ {
+			if s.ByRank(r).Value > s.ByRank(r-1).Value {
+				return false
+			}
+		}
+		return s.ByRank(1).Value == s.Max().Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUCount(t *testing.T) {
+	// Max = 10; distances: 0, 1, 3, 6, 10.
+	s := NewSet([]float64{10, 9, 7, 4, 0})
+	tests := []struct {
+		delta float64
+		want  int
+	}{
+		{0, 1},
+		{0.5, 1},
+		{1, 2},
+		{3, 3},
+		{5.9, 3},
+		{6, 4},
+		{10, 5},
+		{100, 5},
+	}
+	for _, tc := range tests {
+		if got := s.UCount(tc.delta); got != tc.want {
+			t.Errorf("UCount(%g) = %d, want %d", tc.delta, got, tc.want)
+		}
+	}
+}
+
+func TestUCountEmpty(t *testing.T) {
+	if got := NewSet(nil).UCount(1); got != 0 {
+		t.Fatalf("UCount on empty set = %d", got)
+	}
+}
+
+func TestDeltaForU(t *testing.T) {
+	s := NewSet([]float64{10, 9, 7, 4, 0})
+	for u := 1; u <= 5; u++ {
+		d, err := s.DeltaForU(u)
+		if err != nil {
+			t.Fatalf("DeltaForU(%d): %v", u, err)
+		}
+		if got := s.UCount(d); got != u {
+			t.Errorf("UCount(DeltaForU(%d)=%g) = %d", u, d, got)
+		}
+	}
+}
+
+func TestDeltaForUInvalid(t *testing.T) {
+	s := NewSet([]float64{1, 2, 3})
+	for _, u := range []int{0, -1, 4} {
+		if _, err := s.DeltaForU(u); err == nil {
+			t.Errorf("DeltaForU(%d) succeeded, want error", u)
+		}
+	}
+}
+
+func TestDeltaForUTies(t *testing.T) {
+	// Two elements at the same distance from the max: u=2 is unachievable.
+	s := NewSet([]float64{10, 8, 8})
+	if _, err := s.DeltaForU(2); err == nil {
+		t.Fatal("DeltaForU with tied distances succeeded, want error")
+	}
+	if _, err := s.DeltaForU(3); err != nil {
+		t.Fatalf("DeltaForU(3): %v", err)
+	}
+}
+
+func TestDeltaForUProperty(t *testing.T) {
+	f := func(raw []float64, uRaw uint8) bool {
+		values := raw[:0]
+		for _, v := range raw {
+			// Keep magnitudes where pairwise distances cannot overflow.
+			if !math.IsNaN(v) && math.Abs(v) < 1e300 {
+				values = append(values, v)
+			}
+		}
+		if len(values) == 0 {
+			return true
+		}
+		s := NewSet(values)
+		u := int(uRaw)%s.Len() + 1
+		d, err := s.DeltaForU(u)
+		if err != nil {
+			return true // ties: correctly refused
+		}
+		return s.UCount(d) == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemsAndSubsetCopy(t *testing.T) {
+	s := NewSet([]float64{1, 2, 3})
+	items := s.Items()
+	items[0].Value = 99
+	if s.Item(0).Value != 1 {
+		t.Fatal("Items() did not copy")
+	}
+	sub := s.Subset([]int{2, 0})
+	if len(sub) != 2 || sub[0].ID != 2 || sub[1].ID != 0 {
+		t.Fatalf("Subset = %+v", sub)
+	}
+}
+
+func TestIDs(t *testing.T) {
+	s := NewSet([]float64{4, 4, 4, 4})
+	ids := s.IDs()
+	if len(ids) != 4 {
+		t.Fatalf("IDs length = %d", len(ids))
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("IDs[%d] = %d", i, id)
+		}
+	}
+}

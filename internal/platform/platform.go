@@ -1,0 +1,392 @@
+// Package platform simulates a crowdsourcing platform in the style of
+// CrowdFlower as used in Sections 3.1 and 5.3 of the paper.
+//
+// A Platform owns a pool of worker accounts, each backed by one of the
+// error models in internal/worker. Algorithms interact with it exactly the
+// way the paper's execution model prescribes (Section 3, following Venetis
+// et al.): comparisons are submitted in batches — one batch per logical
+// step — and the platform expands each batch into physical steps according
+// to how many workers are active.
+//
+// Quality control mirrors the paper's CrowdFlower setup: a configurable
+// fraction of the queries served to each worker are gold questions with a
+// known answer, and "responses of workers whose performance on gold
+// comparisons has accuracy less than 70% are ignored" — such workers are
+// banned and their assignments rerouted.
+//
+// The platform can also aggregate several independent answers to the same
+// question by majority vote, which is how the paper simulates an expert
+// when the platform has none: "simulating each expert query by 7 naïve
+// queries and selecting the answer that received most votes".
+package platform
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/worker"
+)
+
+// Pair is one comparison task.
+type Pair struct {
+	A, B item.Item
+}
+
+// Answer is one worker's response to a task.
+type Answer struct {
+	Pair
+	// Winner is the element the worker reported as larger.
+	Winner item.Item
+	// WorkerID identifies the responding worker account.
+	WorkerID int
+}
+
+// Config tunes a Platform. Zero values select the paper's setup.
+type Config struct {
+	// GoldFraction is the fraction of served queries that are gold
+	// questions (the paper uses 15%).
+	GoldFraction float64
+	// GoldAccuracyFloor bans workers whose gold accuracy falls below it
+	// (the paper's CrowdFlower setting is 70%).
+	GoldAccuracyFloor float64
+	// MinGoldSeen delays banning until a worker has answered this many
+	// gold questions (default 4), so a single unlucky answer does not
+	// ban an honest worker.
+	MinGoldSeen int
+	// R drives worker assignment and gold injection. Required.
+	R *rng.Source
+}
+
+func (c Config) withDefaults() Config {
+	if c.GoldFraction == 0 {
+		c.GoldFraction = 0.15
+	}
+	if c.GoldAccuracyFloor == 0 {
+		c.GoldAccuracyFloor = 0.70
+	}
+	if c.MinGoldSeen == 0 {
+		c.MinGoldSeen = 4
+	}
+	return c
+}
+
+type account struct {
+	cmp         worker.Comparator
+	goldCorrect int
+	goldTotal   int
+	banned      bool
+}
+
+// Platform is a simulated crowdsourcing platform. Not safe for concurrent
+// use; algorithms drive it from a single goroutine, as the batch model
+// implies.
+type Platform struct {
+	cfg      Config
+	accounts []*account
+	gold     []Pair
+
+	logicalSteps  int64
+	physicalSteps int64
+	servedTasks   int64
+	servedGold    int64
+}
+
+// New creates a Platform.
+func New(cfg Config) (*Platform, error) {
+	cfg = cfg.withDefaults()
+	if cfg.R == nil {
+		return nil, errors.New("platform: Config.R is required")
+	}
+	if cfg.GoldFraction < 0 || cfg.GoldFraction >= 1 {
+		return nil, fmt.Errorf("platform: GoldFraction %g outside [0,1)", cfg.GoldFraction)
+	}
+	return &Platform{cfg: cfg}, nil
+}
+
+// AddWorker registers a worker account backed by cmp and returns its ID.
+func (p *Platform) AddWorker(cmp worker.Comparator) int {
+	p.accounts = append(p.accounts, &account{cmp: cmp})
+	return len(p.accounts) - 1
+}
+
+// SetGold installs the gold questions used for quality control. Gold pairs
+// should have distinct values so the correct answer is well defined.
+func (p *Platform) SetGold(gold []Pair) {
+	p.gold = append([]Pair(nil), gold...)
+}
+
+// ActiveWorkers returns the number of workers not banned by quality control.
+func (p *Platform) ActiveWorkers() int {
+	n := 0
+	for _, a := range p.accounts {
+		if !a.banned {
+			n++
+		}
+	}
+	return n
+}
+
+// BannedWorkers returns the number of workers banned by quality control.
+func (p *Platform) BannedWorkers() int { return len(p.accounts) - p.ActiveWorkers() }
+
+// LogicalSteps returns the number of batches submitted so far — the time
+// complexity measure of the paper's execution model.
+func (p *Platform) LogicalSteps() int64 { return p.logicalSteps }
+
+// PhysicalSteps returns the number of physical time steps consumed: each
+// batch takes ⌈batch size / active workers⌉ physical steps.
+func (p *Platform) PhysicalSteps() int64 { return p.physicalSteps }
+
+// ServedTasks returns the number of real (non-gold) task answers served.
+func (p *Platform) ServedTasks() int64 { return p.servedTasks }
+
+// ServedGold returns the number of gold questions served.
+func (p *Platform) ServedGold() int64 { return p.servedGold }
+
+// WorkerStats summarizes one worker account's quality-control record.
+type WorkerStats struct {
+	// ID is the worker's account ID.
+	ID int
+	// GoldSeen and GoldCorrect count the worker's gold questions and
+	// correct answers to them.
+	GoldSeen, GoldCorrect int
+	// Banned reports whether quality control has excluded the worker.
+	Banned bool
+}
+
+// GoldAccuracy returns the worker's accuracy on gold questions (1 when it
+// has seen none — no evidence against it yet).
+func (s WorkerStats) GoldAccuracy() float64 {
+	if s.GoldSeen == 0 {
+		return 1
+	}
+	return float64(s.GoldCorrect) / float64(s.GoldSeen)
+}
+
+// Stats returns every worker's quality-control record, in account order.
+// Platforms use exactly this view to decide whose answers to trust; it is
+// also the raw material for the reliability-estimation literature the paper
+// cites as complementary ("our work is orthogonal and complementary").
+func (p *Platform) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(p.accounts))
+	for i, a := range p.accounts {
+		out[i] = WorkerStats{
+			ID:          i,
+			GoldSeen:    a.goldTotal,
+			GoldCorrect: a.goldCorrect,
+			Banned:      a.banned,
+		}
+	}
+	return out
+}
+
+// pickActive returns a random active worker ID, or -1 if none remain.
+func (p *Platform) pickActive() int {
+	n := p.ActiveWorkers()
+	if n == 0 {
+		return -1
+	}
+	k := p.cfg.R.Intn(n)
+	for id, a := range p.accounts {
+		if a.banned {
+			continue
+		}
+		if k == 0 {
+			return id
+		}
+		k--
+	}
+	return -1
+}
+
+// serveGoldMaybe serves a gold question to the worker with the configured
+// probability and updates its quality-control state.
+func (p *Platform) serveGoldMaybe(id int) {
+	if len(p.gold) == 0 || p.cfg.GoldFraction <= 0 {
+		return
+	}
+	// With q = GoldFraction, issuing one gold question per real question
+	// with probability q/(1−q) makes gold questions a q-fraction of all
+	// served queries in expectation.
+	if !p.cfg.R.Bernoulli(p.cfg.GoldFraction / (1 - p.cfg.GoldFraction)) {
+		return
+	}
+	g := p.gold[p.cfg.R.Intn(len(p.gold))]
+	a := p.accounts[id]
+	ans := a.cmp.Compare(g.A, g.B)
+	correct := g.A
+	if g.B.Value > g.A.Value {
+		correct = g.B
+	}
+	a.goldTotal++
+	p.servedGold++
+	if ans.ID == correct.ID {
+		a.goldCorrect++
+	}
+	if a.goldTotal >= p.cfg.MinGoldSeen &&
+		float64(a.goldCorrect)/float64(a.goldTotal) < p.cfg.GoldAccuracyFloor {
+		a.banned = true
+	}
+}
+
+// ErrNoWorkers is returned when quality control has banned the entire pool.
+var ErrNoWorkers = errors.New("platform: no active workers remain")
+
+// SubmitBatch serves one batch of comparison tasks — one logical step — each
+// answered by one randomly assigned active worker. Gold questions are
+// interleaved per the configured fraction; a worker banned mid-batch stops
+// receiving assignments (its earlier answers in the batch stand, as on the
+// real platform where filtering is retroactive only across jobs).
+func (p *Platform) SubmitBatch(pairs []Pair) ([]Answer, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	p.logicalSteps++
+	active := p.ActiveWorkers()
+	if active == 0 {
+		return nil, ErrNoWorkers
+	}
+	p.physicalSteps += int64((len(pairs) + active - 1) / active)
+
+	answers := make([]Answer, 0, len(pairs))
+	for _, pr := range pairs {
+		id := p.pickActive()
+		if id < 0 {
+			return answers, ErrNoWorkers
+		}
+		p.serveGoldMaybe(id)
+		if p.accounts[id].banned {
+			// Reassign: the worker was banned by the gold question it
+			// just answered.
+			id = p.pickActive()
+			if id < 0 {
+				return answers, ErrNoWorkers
+			}
+		}
+		w := p.accounts[id].cmp.Compare(pr.A, pr.B)
+		p.servedTasks++
+		answers = append(answers, Answer{Pair: pr, Winner: w, WorkerID: id})
+	}
+	return answers, nil
+}
+
+// MajorityVote asks k independent workers to compare a and b (one batch) and
+// returns the element winning the most votes, ties broken uniformly at
+// random. This is the wisdom-of-crowds aggregation of Sections 3.1–3.2.
+func (p *Platform) MajorityVote(a, b item.Item, k int) (item.Item, error) {
+	if k < 1 {
+		k = 1
+	}
+	pairs := make([]Pair, k)
+	for i := range pairs {
+		pairs[i] = Pair{A: a, B: b}
+	}
+	answers, err := p.SubmitBatch(pairs)
+	if err != nil {
+		return item.Item{}, err
+	}
+	votesA := 0
+	for _, ans := range answers {
+		if ans.Winner.ID == a.ID {
+			votesA++
+		}
+	}
+	switch {
+	case 2*votesA > len(answers):
+		return a, nil
+	case 2*votesA < len(answers):
+		return b, nil
+	case p.cfg.R.Bool():
+		return a, nil
+	default:
+		return b, nil
+	}
+}
+
+// Comparator adapts the platform to the worker.Comparator interface: each
+// Compare call becomes a job answered by votes workers and aggregated by
+// majority. votes = 1 models ordinary single-answer tasks; votes = 7
+// reproduces the paper's "simulated expert". If the worker pool is
+// exhausted by quality control, the comparator panics — tests exercise this
+// via CheckedComparator instead.
+func (p *Platform) Comparator(votes int) worker.Comparator {
+	return worker.Func(func(a, b item.Item) item.Item {
+		w, err := p.MajorityVote(a, b, votes)
+		if err != nil {
+			panic(fmt.Sprintf("platform: %v", err))
+		}
+		return w
+	})
+}
+
+// CheckedComparator is like Comparator but reports pool exhaustion through
+// the returned error channel function instead of panicking.
+func (p *Platform) CheckedComparator(votes int) func(a, b item.Item) (item.Item, error) {
+	return func(a, b item.Item) (item.Item, error) {
+		return p.MajorityVote(a, b, votes)
+	}
+}
+
+// batchComparator adapts the platform to tournament.BatchComparator.
+type batchComparator struct {
+	p     *Platform
+	votes int
+}
+
+// Compare answers a single comparison as a one-pair batch.
+func (b batchComparator) Compare(x, y item.Item) item.Item {
+	return b.CompareBatch([][2]item.Item{{x, y}})[0]
+}
+
+// CompareBatch submits all the pairs' jobs — votes answers per pair — as
+// ONE platform batch (one logical step) and majority-aggregates each pair.
+// Like Comparator, it panics if quality control exhausts the worker pool.
+func (b batchComparator) CompareBatch(pairs [][2]item.Item) []item.Item {
+	if len(pairs) == 0 {
+		return nil
+	}
+	jobs := make([]Pair, 0, len(pairs)*b.votes)
+	for _, pr := range pairs {
+		for v := 0; v < b.votes; v++ {
+			jobs = append(jobs, Pair{A: pr[0], B: pr[1]})
+		}
+	}
+	answers, err := b.p.SubmitBatch(jobs)
+	if err != nil {
+		panic(fmt.Sprintf("platform: %v", err))
+	}
+	winners := make([]item.Item, len(pairs))
+	for i, pr := range pairs {
+		votesA := 0
+		for v := 0; v < b.votes; v++ {
+			if answers[i*b.votes+v].Winner.ID == pr[0].ID {
+				votesA++
+			}
+		}
+		switch {
+		case 2*votesA > b.votes:
+			winners[i] = pr[0]
+		case 2*votesA < b.votes:
+			winners[i] = pr[1]
+		case b.p.cfg.R.Bool():
+			winners[i] = pr[0]
+		default:
+			winners[i] = pr[1]
+		}
+	}
+	return winners
+}
+
+// BatchComparator adapts the platform to the tournament batch interface:
+// each CompareBatch call becomes one platform batch in which every pair is
+// answered by votes workers and majority-aggregated. Tournaments routed
+// through it consume one logical step per round, matching the paper's time
+// model; the per-call Comparator costs one logical step per comparison.
+func (p *Platform) BatchComparator(votes int) worker.Comparator {
+	if votes < 1 {
+		votes = 1
+	}
+	return batchComparator{p: p, votes: votes}
+}

@@ -1,0 +1,387 @@
+package platform
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/worker"
+)
+
+func it(id int, v float64) item.Item { return item.Item{ID: id, Value: v} }
+
+func newPlatform(t *testing.T, cfg Config) *Platform {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func goldPairs(n int) []Pair {
+	gold := make([]Pair, n)
+	for i := range gold {
+		gold[i] = Pair{A: it(1000+2*i, float64(i)), B: it(1001+2*i, float64(i)+100)}
+	}
+	return gold
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+	if _, err := New(Config{R: rng.New(1), GoldFraction: 1.5}); err == nil {
+		t.Fatal("GoldFraction ≥ 1 accepted")
+	}
+	if _, err := New(Config{R: rng.New(1), GoldFraction: -0.1}); err == nil {
+		t.Fatal("negative GoldFraction accepted")
+	}
+}
+
+func TestSubmitBatchBasics(t *testing.T) {
+	r := rng.New(1)
+	p := newPlatform(t, Config{R: r})
+	p.AddWorker(worker.Truth)
+	p.AddWorker(worker.Truth)
+
+	pairs := []Pair{
+		{A: it(0, 1), B: it(1, 2)},
+		{A: it(2, 5), B: it(3, 4)},
+	}
+	answers, err := p.SubmitBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	if answers[0].Winner.ID != 1 || answers[1].Winner.ID != 2 {
+		t.Fatalf("truthful workers gave wrong answers: %+v", answers)
+	}
+	if p.LogicalSteps() != 1 {
+		t.Fatalf("logical steps = %d", p.LogicalSteps())
+	}
+	if p.PhysicalSteps() != 1 { // 2 tasks / 2 workers
+		t.Fatalf("physical steps = %d", p.PhysicalSteps())
+	}
+	if p.ServedTasks() != 2 {
+		t.Fatalf("served = %d", p.ServedTasks())
+	}
+}
+
+func TestSubmitBatchEmpty(t *testing.T) {
+	p := newPlatform(t, Config{R: rng.New(2)})
+	p.AddWorker(worker.Truth)
+	answers, err := p.SubmitBatch(nil)
+	if err != nil || answers != nil {
+		t.Fatalf("empty batch: %v, %v", answers, err)
+	}
+	if p.LogicalSteps() != 0 {
+		t.Fatal("empty batch consumed a logical step")
+	}
+}
+
+func TestSubmitBatchNoWorkers(t *testing.T) {
+	p := newPlatform(t, Config{R: rng.New(3)})
+	_, err := p.SubmitBatch([]Pair{{A: it(0, 1), B: it(1, 2)}})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPhysicalStepExpansion(t *testing.T) {
+	r := rng.New(4)
+	p := newPlatform(t, Config{R: r})
+	for i := 0; i < 3; i++ {
+		p.AddWorker(worker.Truth)
+	}
+	pairs := make([]Pair, 10)
+	for i := range pairs {
+		pairs[i] = Pair{A: it(2*i, 1), B: it(2*i+1, 2)}
+	}
+	if _, err := p.SubmitBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	// ⌈10/3⌉ = 4 physical steps for one logical step.
+	if p.PhysicalSteps() != 4 {
+		t.Fatalf("physical steps = %d, want 4", p.PhysicalSteps())
+	}
+	if p.LogicalSteps() != 1 {
+		t.Fatalf("logical steps = %d, want 1", p.LogicalSteps())
+	}
+}
+
+func TestSpamFilterBansSpammers(t *testing.T) {
+	r := rng.New(5)
+	p := newPlatform(t, Config{R: r.Child("p"), GoldFraction: 0.3})
+	p.AddWorker(worker.Truth)
+	p.AddWorker(worker.Spammer{R: r.Child("spam")})
+	p.SetGold(goldPairs(20))
+
+	pairs := make([]Pair, 400)
+	for i := range pairs {
+		pairs[i] = Pair{A: it(2*i, 1), B: it(2*i+1, 2)}
+	}
+	if _, err := p.SubmitBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if p.BannedWorkers() != 1 {
+		t.Fatalf("banned = %d, want 1 (the spammer)", p.BannedWorkers())
+	}
+	if p.ActiveWorkers() != 1 {
+		t.Fatalf("active = %d", p.ActiveWorkers())
+	}
+	if p.ServedGold() == 0 {
+		t.Fatal("no gold questions served")
+	}
+}
+
+func TestSpamFilterKeepsHonestWorkers(t *testing.T) {
+	r := rng.New(6)
+	p := newPlatform(t, Config{R: r.Child("p"), GoldFraction: 0.3})
+	// Honest-but-imperfect: 10% error, safely above the 70% floor.
+	for i := 0; i < 4; i++ {
+		p.AddWorker(worker.NewProbabilistic(0.1, r.ChildN("w", i)))
+	}
+	p.SetGold(goldPairs(20))
+	pairs := make([]Pair, 500)
+	for i := range pairs {
+		pairs[i] = Pair{A: it(2*i, 1), B: it(2*i+1, 2)}
+	}
+	if _, err := p.SubmitBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if p.BannedWorkers() != 0 {
+		t.Fatalf("banned %d honest workers", p.BannedWorkers())
+	}
+}
+
+func TestGoldFractionApproximate(t *testing.T) {
+	r := rng.New(7)
+	p := newPlatform(t, Config{R: r, GoldFraction: 0.15})
+	p.AddWorker(worker.Truth)
+	p.SetGold(goldPairs(10))
+	pairs := make([]Pair, 4000)
+	for i := range pairs {
+		pairs[i] = Pair{A: it(2*i, 1), B: it(2*i+1, 2)}
+	}
+	if _, err := p.SubmitBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(p.ServedGold()) / float64(p.ServedGold()+p.ServedTasks())
+	if math.Abs(frac-0.15) > 0.02 {
+		t.Fatalf("gold fraction = %.3f, want ≈0.15", frac)
+	}
+}
+
+func TestNoGoldConfigured(t *testing.T) {
+	r := rng.New(8)
+	p := newPlatform(t, Config{R: r})
+	p.AddWorker(worker.Truth)
+	pairs := make([]Pair, 100)
+	for i := range pairs {
+		pairs[i] = Pair{A: it(2*i, 1), B: it(2*i+1, 2)}
+	}
+	if _, err := p.SubmitBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if p.ServedGold() != 0 {
+		t.Fatal("gold served without a golden set")
+	}
+}
+
+func TestMajorityVoteAggregates(t *testing.T) {
+	r := rng.New(9)
+	p := newPlatform(t, Config{R: r.Child("p")})
+	// Seven workers, each 30% wrong: majority of 7 is right ≈ 87%+.
+	for i := 0; i < 7; i++ {
+		p.AddWorker(worker.NewProbabilistic(0.3, r.ChildN("w", i)))
+	}
+	a, b := it(0, 1), it(1, 2)
+	correct := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		w, err := p.MajorityVote(a, b, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.ID == 1 {
+			correct++
+		}
+	}
+	f := float64(correct) / trials
+	single := 0.7
+	if f <= single {
+		t.Fatalf("majority accuracy %.3f not above single-worker %.3f", f, single)
+	}
+}
+
+func TestMajorityVoteMinOneVote(t *testing.T) {
+	r := rng.New(10)
+	p := newPlatform(t, Config{R: r})
+	p.AddWorker(worker.Truth)
+	w, err := p.MajorityVote(it(0, 1), it(1, 2), 0)
+	if err != nil || w.ID != 1 {
+		t.Fatalf("k=0 vote: %v, %v", w, err)
+	}
+}
+
+func TestComparatorAdapter(t *testing.T) {
+	r := rng.New(11)
+	p := newPlatform(t, Config{R: r})
+	p.AddWorker(worker.Truth)
+	cmp := p.Comparator(3)
+	if cmp.Compare(it(0, 5), it(1, 3)).ID != 0 {
+		t.Fatal("comparator adapter wrong")
+	}
+}
+
+func TestCheckedComparatorReportsExhaustion(t *testing.T) {
+	r := rng.New(12)
+	p := newPlatform(t, Config{R: r.Child("p"), GoldFraction: 0.5, MinGoldSeen: 2})
+	p.AddWorker(worker.Spammer{R: r.Child("s")})
+	p.SetGold(goldPairs(10))
+	cmp := p.CheckedComparator(1)
+	var sawErr bool
+	for i := 0; i < 200; i++ {
+		if _, err := cmp(it(2*i, 1), it(2*i+1, 2)); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("pool exhaustion never reported")
+	}
+}
+
+func TestComparatorPanicsOnExhaustion(t *testing.T) {
+	r := rng.New(13)
+	p := newPlatform(t, Config{R: r.Child("p"), GoldFraction: 0.5, MinGoldSeen: 2})
+	p.AddWorker(worker.Spammer{R: r.Child("s")})
+	p.SetGold(goldPairs(10))
+	cmp := p.Comparator(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on pool exhaustion")
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		cmp.Compare(it(2*i, 1), it(2*i+1, 2))
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.GoldFraction != 0.15 || cfg.GoldAccuracyFloor != 0.70 || cfg.MinGoldSeen != 4 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestBatchComparatorOneLogicalStepPerBatch(t *testing.T) {
+	r := rng.New(14)
+	p := newPlatform(t, Config{R: r})
+	for i := 0; i < 5; i++ {
+		p.AddWorker(worker.Truth)
+	}
+	bc := p.BatchComparator(3).(interface {
+		CompareBatch(pairs [][2]item.Item) []item.Item
+	})
+	pairs := [][2]item.Item{
+		{it(0, 1), it(1, 2)},
+		{it(2, 5), it(3, 4)},
+		{it(4, 7), it(5, 9)},
+	}
+	winners := bc.CompareBatch(pairs)
+	if winners[0].ID != 1 || winners[1].ID != 2 || winners[2].ID != 5 {
+		t.Fatalf("winners = %v", winners)
+	}
+	if p.LogicalSteps() != 1 {
+		t.Fatalf("logical steps = %d, want 1 for the whole batch", p.LogicalSteps())
+	}
+	// 3 pairs × 3 votes = 9 jobs over 5 workers → ⌈9/5⌉ = 2 physical steps.
+	if p.PhysicalSteps() != 2 {
+		t.Fatalf("physical steps = %d, want 2", p.PhysicalSteps())
+	}
+	if p.ServedTasks() != 9 {
+		t.Fatalf("served = %d, want 9", p.ServedTasks())
+	}
+}
+
+func TestBatchComparatorMajorityAggregates(t *testing.T) {
+	r := rng.New(15)
+	p := newPlatform(t, Config{R: r.Child("p")})
+	for i := 0; i < 9; i++ {
+		p.AddWorker(worker.NewProbabilistic(0.3, r.ChildN("w", i)))
+	}
+	cmp := p.BatchComparator(9)
+	correct := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		if cmp.Compare(it(0, 1), it(1, 2)).ID == 1 {
+			correct++
+		}
+	}
+	if f := float64(correct) / trials; f <= 0.7 {
+		t.Fatalf("9-vote batch majority accuracy %.3f not above single-worker 0.7", f)
+	}
+}
+
+func TestBatchComparatorEmptyAndClamp(t *testing.T) {
+	r := rng.New(16)
+	p := newPlatform(t, Config{R: r})
+	p.AddWorker(worker.Truth)
+	bc := p.BatchComparator(0) // clamps to 1 vote
+	if got := bc.Compare(it(0, 1), it(1, 2)); got.ID != 1 {
+		t.Fatalf("clamped comparator wrong: %v", got)
+	}
+	batch := p.BatchComparator(2).(interface {
+		CompareBatch(pairs [][2]item.Item) []item.Item
+	})
+	if got := batch.CompareBatch(nil); got != nil {
+		t.Fatalf("empty batch returned %v", got)
+	}
+}
+
+func TestWorkerStats(t *testing.T) {
+	r := rng.New(17)
+	p := newPlatform(t, Config{R: r.Child("p"), GoldFraction: 0.3})
+	p.AddWorker(worker.Truth)
+	p.AddWorker(worker.Spammer{R: r.Child("s")})
+	p.SetGold(goldPairs(10))
+	pairs := make([]Pair, 300)
+	for i := range pairs {
+		pairs[i] = Pair{A: it(2*i, 1), B: it(2*i+1, 2)}
+	}
+	if _, err := p.SubmitBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	stats := p.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats entries = %d", len(stats))
+	}
+	honest, spammer := stats[0], stats[1]
+	if honest.Banned {
+		t.Fatal("honest worker banned")
+	}
+	if honest.GoldSeen == 0 || honest.GoldAccuracy() != 1 {
+		t.Fatalf("honest worker stats = %+v", honest)
+	}
+	if !spammer.Banned {
+		t.Fatal("spammer not banned")
+	}
+	if spammer.GoldAccuracy() >= 0.7 {
+		t.Fatalf("spammer gold accuracy = %.2f, should be below the floor", spammer.GoldAccuracy())
+	}
+}
+
+func TestWorkerStatsNoGoldSeen(t *testing.T) {
+	p := newPlatform(t, Config{R: rng.New(18)})
+	p.AddWorker(worker.Truth)
+	s := p.Stats()[0]
+	if s.GoldAccuracy() != 1 || s.Banned {
+		t.Fatalf("fresh worker stats = %+v", s)
+	}
+}

@@ -1,0 +1,178 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("same-seed sources diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different-seed sources agreed on %d/100 draws", same)
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if got := New(7).Seed(); got != 7 {
+		t.Fatalf("Seed() = %d, want 7", got)
+	}
+}
+
+func TestChildDeterminism(t *testing.T) {
+	a := New(99).Child("trial")
+	b := New(99).Child("trial")
+	for i := 0; i < 50; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("same-label children diverged at draw %d", i)
+		}
+	}
+}
+
+func TestChildLabelsIndependent(t *testing.T) {
+	root := New(99)
+	a, b := root.Child("alpha"), root.Child("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("children with distinct labels agreed on %d/100 draws", same)
+	}
+}
+
+func TestChildNDistinct(t *testing.T) {
+	root := New(5)
+	seen := make(map[int64]bool)
+	for i := 0; i < 100; i++ {
+		v := root.ChildN("trial", i).Int63()
+		if seen[v] {
+			t.Fatalf("ChildN streams collided at index %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestChildDoesNotConsumeParent(t *testing.T) {
+	a, b := New(3), New(3)
+	a.Child("x") // derivation must not advance the parent stream
+	if a.Int63() != b.Int63() {
+		t.Fatal("Child() advanced the parent stream")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 20; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(123)
+	const trials = 20000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) frequency = %.3f", got)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(7)
+	const trials = 20000
+	trues := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	got := float64(trues) / trials
+	if math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("Bool() frequency = %.3f", got)
+	}
+}
+
+func TestUniformInRange(t *testing.T) {
+	r := New(11)
+	f := func(lo, hi float64) bool {
+		// Keep magnitudes where hi−lo cannot overflow.
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.Abs(lo) > 1e307 || math.Abs(hi) > 1e307 {
+			return true
+		}
+		if lo >= hi {
+			lo, hi = hi-1, lo+1
+		}
+		v := r.UniformIn(lo, hi)
+		// Allow v == hi: rounding of lo + (hi−lo)·f can land exactly on
+		// hi for extreme ranges even though f < 1.
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformInMean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		sum += r.UniformIn(10, 20)
+	}
+	mean := sum / trials
+	if math.Abs(mean-15) > 0.1 {
+		t.Fatalf("UniformIn(10,20) mean = %.3f", mean)
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := mix(0xdeadbeef)
+	total := 0
+	for bit := 0; bit < 64; bit++ {
+		diff := base ^ mix(0xdeadbeef^(1<<bit))
+		n := 0
+		for d := diff; d != 0; d &= d - 1 {
+			n++
+		}
+		total += n
+	}
+	avg := float64(total) / 64
+	if avg < 24 || avg > 40 {
+		t.Fatalf("mix avalanche average = %.1f bits, want ≈32", avg)
+	}
+}

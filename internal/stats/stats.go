@@ -1,0 +1,162 @@
+// Package stats provides the probability and aggregation helpers used by the
+// paper's analysis and experiments: exact majority-vote success
+// probabilities, the Chernoff bound of Section 3.2, and mean/stderr
+// summaries for trial aggregation.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MajorityCorrectProb returns the probability that a strict majority of k
+// independent voters, each correct with probability p, selects the correct
+// element, with exact ties broken uniformly at random (the paper's model:
+// "taking the element that won the majority of the comparisons, or an
+// arbitrary element in case of a tie").
+func MajorityCorrectProb(p float64, k int) float64 {
+	if k <= 0 {
+		return 0.5
+	}
+	win, tie := 0.0, 0.0
+	for c := 0; c <= k; c++ {
+		pc := BinomialPMF(k, c, p)
+		switch {
+		case 2*c > k:
+			win += pc
+		case 2*c == k:
+			tie += pc
+		}
+	}
+	return win + tie/2
+}
+
+// BinomialPMF returns P(Bin(n, p) = k), computed in log space for stability.
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+// BinomialTailGE returns P(Bin(n, p) ≥ k).
+func BinomialTailGE(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	sum := 0.0
+	for c := k; c <= n; c++ {
+		sum += BinomialPMF(n, c, p)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+func logChoose(n, k int) float64 {
+	return lgamma(float64(n)+1) - lgamma(float64(k)+1) - lgamma(float64(n-k)+1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// ChernoffMajorityBound returns the paper's Section 3.2 upper bound on the
+// probability that the element with lower value receives the majority of k
+// votes when each voter errs independently with probability p < 1/2:
+//
+//	exp(−(1−2p)²·k / (8(1−p)))
+//
+// It returns 1 when p ≥ 1/2 (the bound is vacuous there).
+func ChernoffMajorityBound(p float64, k int) float64 {
+	if p >= 0.5 || k <= 0 {
+		return 1
+	}
+	num := (1 - 2*p) * (1 - 2*p) * float64(k)
+	return math.Exp(-num / (8 * (1 - p)))
+}
+
+// Summary accumulates scalar observations and reports mean, standard
+// deviation, standard error, min and max. The zero value is ready to use.
+type Summary struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sumSq += x * x
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Var returns the unbiased sample variance (0 for fewer than 2 observations).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := (s.sumSq - float64(s.n)*m*m) / float64(s.n-1)
+	if v < 0 {
+		v = 0 // numerical guard
+	}
+	return v
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 { return s.max }
+
+// String renders "mean ± stderr (n=k)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.StdErr(), s.n)
+}

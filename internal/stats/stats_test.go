@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBinomialPMFKnownValues(t *testing.T) {
+	tests := []struct {
+		n, k int
+		p    float64
+		want float64
+	}{
+		{1, 0, 0.5, 0.5},
+		{1, 1, 0.5, 0.5},
+		{2, 1, 0.5, 0.5},
+		{4, 2, 0.5, 0.375},
+		{3, 0, 0.2, 0.512},
+		{3, 3, 0.2, 0.008},
+		{10, 5, 0.3, 0.10291934520},
+	}
+	for _, tc := range tests {
+		got := BinomialPMF(tc.n, tc.k, tc.p)
+		if !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("BinomialPMF(%d,%d,%g) = %.12f, want %.12f", tc.n, tc.k, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestBinomialPMFEdges(t *testing.T) {
+	if BinomialPMF(5, -1, 0.5) != 0 || BinomialPMF(5, 6, 0.5) != 0 {
+		t.Fatal("out-of-range k should have probability 0")
+	}
+	if BinomialPMF(5, 0, 0) != 1 || BinomialPMF(5, 3, 0) != 0 {
+		t.Fatal("p=0 edge wrong")
+	}
+	if BinomialPMF(5, 5, 1) != 1 || BinomialPMF(5, 3, 1) != 0 {
+		t.Fatal("p=1 edge wrong")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	f := func(nRaw uint8, p float64) bool {
+		n := int(nRaw)%50 + 1
+		p = math.Mod(math.Abs(p), 1)
+		sum := 0.0
+		for k := 0; k <= n; k++ {
+			sum += BinomialPMF(n, k, p)
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialTailGE(t *testing.T) {
+	if got := BinomialTailGE(2, 1, 0.5); !almostEqual(got, 0.75, 1e-12) {
+		t.Fatalf("P(Bin(2,.5)≥1) = %g, want 0.75", got)
+	}
+	if BinomialTailGE(5, 0, 0.3) != 1 {
+		t.Fatal("tail at k=0 should be 1")
+	}
+	if BinomialTailGE(5, 6, 0.3) != 0 {
+		t.Fatal("tail beyond n should be 0")
+	}
+}
+
+func TestMajorityCorrectProbSingleVoter(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if got := MajorityCorrectProb(p, 1); !almostEqual(got, p, 1e-12) {
+			t.Errorf("MajorityCorrectProb(%g, 1) = %g", p, got)
+		}
+	}
+}
+
+func TestMajorityCorrectProbFairCoin(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 10, 21} {
+		if got := MajorityCorrectProb(0.5, k); !almostEqual(got, 0.5, 1e-9) {
+			t.Errorf("MajorityCorrectProb(0.5, %d) = %g, want 0.5", k, got)
+		}
+	}
+}
+
+func TestMajorityCorrectProbMonotoneInK(t *testing.T) {
+	// For p > 1/2, accuracy increases with odd k.
+	prev := 0.0
+	for _, k := range []int{1, 3, 5, 7, 9, 21, 51} {
+		got := MajorityCorrectProb(0.6, k)
+		if got <= prev {
+			t.Fatalf("accuracy not increasing at k=%d: %g after %g", k, got, prev)
+		}
+		prev = got
+	}
+	if prev < 0.9 {
+		t.Fatalf("MajorityCorrectProb(0.6, 51) = %g, want ≥0.9", prev)
+	}
+}
+
+func TestMajorityCorrectProbBelowHalfDecays(t *testing.T) {
+	// For p < 1/2, more voters make things worse — the wisdom of crowds
+	// works against you.
+	if MajorityCorrectProb(0.4, 21) >= MajorityCorrectProb(0.4, 3) {
+		t.Fatal("majority accuracy should decay with k when p < 1/2")
+	}
+}
+
+func TestMajorityCorrectProbTieHandling(t *testing.T) {
+	// k=2, p=0.6: P(2 correct)=0.36, P(1-1 tie)=0.48 → 0.36+0.24 = 0.60.
+	if got := MajorityCorrectProb(0.6, 2); !almostEqual(got, 0.60, 1e-9) {
+		t.Fatalf("MajorityCorrectProb(0.6, 2) = %g, want 0.60", got)
+	}
+}
+
+func TestMajorityCorrectProbZeroVoters(t *testing.T) {
+	if got := MajorityCorrectProb(0.9, 0); got != 0.5 {
+		t.Fatalf("k=0 should be a coin flip, got %g", got)
+	}
+}
+
+func TestChernoffMajorityBoundFormula(t *testing.T) {
+	// Direct evaluation of exp(−(1−2p)²k/(8(1−p))).
+	p, k := 0.3, 10
+	want := math.Exp(-(0.4 * 0.4 * 10) / (8 * 0.7))
+	if got := ChernoffMajorityBound(p, k); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("ChernoffMajorityBound(%g,%d) = %g, want %g", p, k, got, want)
+	}
+}
+
+func TestChernoffMajorityBoundVacuous(t *testing.T) {
+	if ChernoffMajorityBound(0.5, 100) != 1 || ChernoffMajorityBound(0.7, 100) != 1 {
+		t.Fatal("bound should be vacuous (1) for p ≥ 1/2")
+	}
+	if ChernoffMajorityBound(0.3, 0) != 1 {
+		t.Fatal("bound should be 1 for k ≤ 0")
+	}
+}
+
+func TestChernoffBoundDominatesExactError(t *testing.T) {
+	// The paper's Section 3.2 claim: the probability that the worse
+	// element wins the majority is at most the Chernoff bound. Here p is
+	// the per-voter ERROR probability, so each voter is correct with
+	// probability 1 − p.
+	for _, p := range []float64{0.1, 0.2, 0.3, 0.4, 0.45} {
+		for _, k := range []int{1, 3, 5, 11, 21, 51} {
+			exact := 1 - MajorityCorrectProb(1-p, k)
+			bound := ChernoffMajorityBound(p, k)
+			if exact > bound+1e-12 {
+				t.Errorf("exact error %g exceeds Chernoff bound %g at p=%g k=%d", exact, bound, p, k)
+			}
+		}
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4} {
+		s.Add(x)
+	}
+	if s.N() != 4 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almostEqual(s.Mean(), 2.5, 1e-12) {
+		t.Fatalf("Mean = %g", s.Mean())
+	}
+	// Sample variance of {1,2,3,4} is 5/3.
+	if !almostEqual(s.Var(), 5.0/3.0, 1e-12) {
+		t.Fatalf("Var = %g", s.Var())
+	}
+	if !almostEqual(s.StdErr(), s.Std()/2, 1e-12) {
+		t.Fatalf("StdErr = %g", s.StdErr())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+	s.Add(-7)
+	if s.Mean() != -7 || s.Var() != 0 || s.Min() != -7 || s.Max() != -7 {
+		t.Fatal("single-observation summary wrong")
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		for _, x := range clean {
+			s.Add(x)
+		}
+		if len(clean) == 0 {
+			return s.N() == 0
+		}
+		sum := 0.0
+		for _, x := range clean {
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		if !almostEqual(s.Mean(), mean, 1e-6*(1+math.Abs(mean))) {
+			return false
+		}
+		if len(clean) >= 2 {
+			ss := 0.0
+			for _, x := range clean {
+				ss += (x - mean) * (x - mean)
+			}
+			v := ss / float64(len(clean)-1)
+			if !almostEqual(s.Var(), v, 1e-4*(1+v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(3)
+	if got := s.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestMajorityEqualsBinomialTailForOddK(t *testing.T) {
+	// For odd k there are no ties, so majority success is exactly
+	// P(Bin(k, p) ≥ (k+1)/2).
+	f := func(pRaw uint8, kRaw uint8) bool {
+		p := float64(pRaw%100) / 100
+		k := 2*(int(kRaw)%15) + 1
+		want := BinomialTailGE(k, (k+1)/2, p)
+		return almostEqual(MajorityCorrectProb(p, k), want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMajorityComplementSymmetry(t *testing.T) {
+	// Swapping correct/incorrect probabilities must swap the outcome:
+	// majority(p) + majority(1−p) = 1 (tie mass splits evenly).
+	f := func(pRaw uint8, kRaw uint8) bool {
+		p := float64(pRaw%101) / 100
+		k := int(kRaw)%25 + 1
+		return almostEqual(MajorityCorrectProb(p, k)+MajorityCorrectProb(1-p, k), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

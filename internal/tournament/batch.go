@@ -1,0 +1,115 @@
+package tournament
+
+import "crowdmax/internal/item"
+
+// BatchComparator is implemented by comparison sources that can answer a
+// batch of independent comparisons in one logical step — the execution
+// model of Section 3 (following Venetis et al.): "In the s-th logical step,
+// a batch Bs of pairwise comparisons is sent to the crowdsourcing
+// platform." The platform simulator implements it; plain workers answer
+// batches element-wise.
+type BatchComparator interface {
+	// CompareBatch returns the winner of each pair, parallel to pairs.
+	CompareBatch(pairs [][2]item.Item) []item.Item
+}
+
+// CompareBatch answers a batch of comparisons: memoized pairs are served
+// for free, the remainder is forwarded to the underlying comparator — in
+// one call when it implements BatchComparator, element-wise otherwise —
+// and exactly one logical step is billed when anything is actually sent.
+//
+// Duplicate pairs within one batch are asked only once when memoization is
+// enabled (the platform would be asked once and the answer reused), and
+// independently otherwise.
+func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
+	winners := make([]item.Item, len(pairs))
+	todo := make([]int, 0, len(pairs))
+	for i, p := range pairs {
+		if o.memo != nil {
+			if w, ok := o.memo.lookup(p[0].ID, p[1].ID); ok {
+				if o.ledger != nil {
+					o.ledger.MemoHit(o.class)
+				}
+				winners[i] = pick(p, w)
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+	if len(todo) == 0 {
+		return winners
+	}
+	if o.ledger != nil {
+		o.ledger.Step()
+	}
+	if bc, ok := o.cmp.(BatchComparator); ok {
+		var sub [][2]item.Item
+		var subIdx []int
+		var dups []int
+		if o.memo == nil {
+			sub = make([][2]item.Item, len(todo))
+			subIdx = todo
+			for j, i := range todo {
+				sub[j] = pairs[i]
+			}
+		} else {
+			seen := make(map[[2]int]bool, len(todo))
+			for _, i := range todo {
+				k := key(pairs[i][0].ID, pairs[i][1].ID)
+				if seen[k] {
+					dups = append(dups, i)
+					continue
+				}
+				seen[k] = true
+				sub = append(sub, pairs[i])
+				subIdx = append(subIdx, i)
+			}
+		}
+		res := bc.CompareBatch(sub)
+		for j, i := range subIdx {
+			o.settle(pairs[i], res[j], &winners[i])
+		}
+		for _, i := range dups {
+			w, _ := o.memo.lookup(pairs[i][0].ID, pairs[i][1].ID)
+			if o.ledger != nil {
+				o.ledger.MemoHit(o.class)
+			}
+			winners[i] = pick(pairs[i], w)
+		}
+		return winners
+	}
+	for _, i := range todo {
+		p := pairs[i]
+		// A duplicate may have been memoized by an earlier element of
+		// this same batch.
+		if o.memo != nil {
+			if w, ok := o.memo.lookup(p[0].ID, p[1].ID); ok {
+				if o.ledger != nil {
+					o.ledger.MemoHit(o.class)
+				}
+				winners[i] = pick(p, w)
+				continue
+			}
+		}
+		o.settle(p, o.cmp.Compare(p[0], p[1]), &winners[i])
+	}
+	return winners
+}
+
+// settle bills one fresh answer, memoizes it and records the winner.
+func (o *Oracle) settle(p [2]item.Item, winner item.Item, out *item.Item) {
+	if o.ledger != nil {
+		o.ledger.Charge(o.class)
+	}
+	if o.memo != nil {
+		o.memo.store(p[0].ID, p[1].ID, winner.ID)
+	}
+	*out = winner
+}
+
+func pick(p [2]item.Item, winnerID int) item.Item {
+	if winnerID == p[0].ID {
+		return p[0]
+	}
+	return p[1]
+}

@@ -1,0 +1,49 @@
+package tournament
+
+import (
+	"sync"
+	"testing"
+
+	"crowdmax/internal/cost"
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/worker"
+)
+
+func TestMemoConcurrentAccess(t *testing.T) {
+	// Memo documents safety for concurrent use: goroutines racing to
+	// answer overlapping pairs must converge on one answer per pair.
+	root := rng.New(1)
+	memo := NewMemo()
+	items := make([]item.Item, 10)
+	for i := range items {
+		items[i] = item.Item{ID: i, Value: float64(i) * 0.1}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Per-goroutine worker and oracle sharing only the memo;
+			// workers and ledgers are documented single-goroutine.
+			r := root.ChildN("g", g)
+			w := worker.NewThreshold(10, 0, r) // all arbitrary: only memo makes it consistent
+			o := NewOracle(w, worker.Naive, cost.NewLedger(), memo)
+			for i := 0; i < 300; i++ {
+				a, b := items[i%10], items[(i+3)%10]
+				o.Compare(a, b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// After the dust settles, answers are frozen.
+	o := NewOracle(worker.NewThreshold(10, 0, root.Child("final")), worker.Naive, nil, memo)
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			first := o.Compare(items[i], items[j])
+			if o.Compare(items[i], items[j]).ID != first.ID {
+				t.Fatalf("pair (%d,%d) not frozen", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package tournament provides the comparison-tournament machinery shared by
+// the paper's algorithms: billed (and optionally memoized) comparison
+// oracles, all-play-all (round-robin) tournaments, pivot elimination passes,
+// and the cross-iteration loss counters of Appendix A.
+//
+// Memoization implements the first Appendix A optimization — "avoid
+// repeating the comparison of two elements multiple times by the same type
+// of workers. … The algorithm will keep an n × n table containing in cell
+// (i, j) the result of the first comparison between element ei and ej."
+// Besides saving money, memoization is what makes 2-MaxFind terminate
+// against adversarial tie-breaking: the pivot's tournament wins must carry
+// over to its elimination pass.
+package tournament
+
+import (
+	"sync"
+
+	"crowdmax/internal/cost"
+	"crowdmax/internal/item"
+	"crowdmax/internal/worker"
+)
+
+// Memo caches the first answer to every unordered pair for one worker
+// class. Safe for concurrent use.
+type Memo struct {
+	mu sync.Mutex
+	m  map[[2]int]int // unordered pair → winner ID
+}
+
+// NewMemo returns an empty memo table.
+func NewMemo() *Memo { return &Memo{m: make(map[[2]int]int)} }
+
+// lookup returns the cached winner ID for the pair, if any.
+func (m *Memo) lookup(a, b int) (int, bool) {
+	m.mu.Lock()
+	w, ok := m.m[key(a, b)]
+	m.mu.Unlock()
+	return w, ok
+}
+
+// store records the winner ID for the pair.
+func (m *Memo) store(a, b, winner int) {
+	m.mu.Lock()
+	m.m[key(a, b)] = winner
+	m.mu.Unlock()
+}
+
+// Len returns the number of cached pairs.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}
+
+func key(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Oracle answers comparison requests by forwarding them to a worker
+// comparator, billing each paid comparison to a ledger under the worker's
+// class, and optionally serving repeats from a memo table for free.
+type Oracle struct {
+	cmp    worker.Comparator
+	class  worker.Class
+	ledger *cost.Ledger
+	memo   *Memo
+}
+
+// NewOracle binds a comparator of the given class to a ledger. memo may be
+// nil to disable memoization (used by the ablation benchmarks).
+func NewOracle(cmp worker.Comparator, class worker.Class, ledger *cost.Ledger, memo *Memo) *Oracle {
+	return &Oracle{cmp: cmp, class: class, ledger: ledger, memo: memo}
+}
+
+// Class returns the billing class of this oracle.
+func (o *Oracle) Class() worker.Class { return o.class }
+
+// Memoized reports whether this oracle serves repeated pairs from a memo
+// table. Algorithms that rely on independent repeated answers (majority
+// vote over repetitions) must use a non-memoized oracle.
+func (o *Oracle) Memoized() bool { return o.memo != nil }
+
+// Compare returns the winner of the comparison, billing it unless served
+// from the memo.
+func (o *Oracle) Compare(a, b item.Item) item.Item {
+	if o.memo != nil {
+		if w, ok := o.memo.lookup(a.ID, b.ID); ok {
+			if o.ledger != nil {
+				o.ledger.MemoHit(o.class)
+			}
+			if w == a.ID {
+				return a
+			}
+			return b
+		}
+	}
+	winner := o.cmp.Compare(a, b)
+	if o.ledger != nil {
+		o.ledger.Charge(o.class)
+	}
+	if o.memo != nil {
+		o.memo.store(a.ID, b.ID, winner.ID)
+	}
+	return winner
+}
+
+// Step records one logical step (batch round) on the oracle's ledger.
+func (o *Oracle) Step() {
+	if o.ledger != nil {
+		o.ledger.Step()
+	}
+}
+
+// Result holds the outcome of an all-play-all tournament.
+type Result struct {
+	// Items are the participants, in input order.
+	Items []item.Item
+	// Wins[i] is the number of comparisons Items[i] won.
+	Wins []int
+	// Losers[i] lists, for Items[i], the IDs of the opponents it lost to.
+	Losers [][]int
+}
+
+// TopByWins returns the participant with the most wins, ties broken by
+// input order.
+func (r Result) TopByWins() item.Item {
+	best := 0
+	for i := 1; i < len(r.Items); i++ {
+		if r.Wins[i] > r.Wins[best] {
+			best = i
+		}
+	}
+	return r.Items[best]
+}
+
+// MinByWins returns the participant with the fewest wins, ties broken by
+// input order (used by the randomized Algorithm 5, which removes "the
+// minimal element … with ties broken arbitrarily").
+func (r Result) MinByWins() item.Item {
+	best := 0
+	for i := 1; i < len(r.Items); i++ {
+		if r.Wins[i] < r.Wins[best] {
+			best = i
+		}
+	}
+	return r.Items[best]
+}
+
+// RoundRobin plays an all-play-all tournament among items using the oracle:
+// every unordered pair is compared exactly once. The whole tournament is
+// submitted as one batch of independent comparisons — a single logical step
+// in the Section 3 execution model.
+func RoundRobin(items []item.Item, o *Oracle) Result {
+	n := len(items)
+	r := Result{
+		Items:  items,
+		Wins:   make([]int, n),
+		Losers: make([][]int, n),
+	}
+	pairs := make([][2]item.Item, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, [2]item.Item{items[i], items[j]})
+		}
+	}
+	winners := o.CompareBatch(pairs)
+	p := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if winners[p].ID == items[i].ID {
+				r.Wins[i]++
+				r.Losers[j] = append(r.Losers[j], items[i].ID)
+			} else {
+				r.Wins[j]++
+				r.Losers[i] = append(r.Losers[i], items[j].ID)
+			}
+			p++
+		}
+	}
+	return r
+}
+
+// PivotPass compares pivot x against every element of candidates (skipping x
+// itself) in one logical step and returns the survivors — the elements that
+// did NOT lose to x — and the IDs of the eliminated elements. This is
+// step 4 of 2-MaxFind: "Compare x against all candidate elements and
+// eliminate all elements that lose to x." The pivot itself always survives.
+func PivotPass(x item.Item, candidates []item.Item, o *Oracle) (survivors []item.Item, eliminated []int) {
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+	pairs := make([][2]item.Item, 0, len(candidates))
+	for _, c := range candidates {
+		if c.ID != x.ID {
+			pairs = append(pairs, [2]item.Item{x, c})
+		}
+	}
+	winners := o.CompareBatch(pairs)
+	survivors = make([]item.Item, 0, len(candidates))
+	p := 0
+	for _, c := range candidates {
+		if c.ID == x.ID {
+			survivors = append(survivors, c)
+			continue
+		}
+		if winners[p].ID == x.ID {
+			eliminated = append(eliminated, c.ID)
+		} else {
+			survivors = append(survivors, c)
+		}
+		p++
+	}
+	return survivors, eliminated
+}
+
+// LossTracker implements the second Appendix A optimization: it counts, for
+// every element, losses against *distinct* opponents across all filter
+// iterations. By Lemma 1, an element with more than un(n) distinct-opponent
+// losses cannot be the maximum and can be discarded early.
+type LossTracker struct {
+	losses map[int]map[int]struct{}
+}
+
+// NewLossTracker returns an empty tracker.
+func NewLossTracker() *LossTracker {
+	return &LossTracker{losses: make(map[int]map[int]struct{})}
+}
+
+// Record notes that loser lost a comparison to winner.
+func (t *LossTracker) Record(loser, winner int) {
+	s, ok := t.losses[loser]
+	if !ok {
+		s = make(map[int]struct{})
+		t.losses[loser] = s
+	}
+	s[winner] = struct{}{}
+}
+
+// Losses returns the number of distinct opponents the element has lost to.
+func (t *LossTracker) Losses(id int) int { return len(t.losses[id]) }

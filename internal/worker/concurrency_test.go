@@ -1,0 +1,68 @@
+package worker
+
+import (
+	"sync"
+	"testing"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+)
+
+func TestWorldConcurrentAccess(t *testing.T) {
+	// World documents safety for concurrent use: many goroutines sampling
+	// answers for overlapping pairs must agree on the latent difficulties.
+	root := rng.New(99)
+	w := NewWorld(PlateauRegime{Threshold: 0.2}, root.Child("world"))
+	items := make([]item.Item, 20)
+	for i := range items {
+		items[i] = item.Item{ID: i, Value: 100 + float64(i)}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			wk := w.Worker(root.ChildN("wk", g))
+			for i := 0; i < 200; i++ {
+				a, b := items[i%20], items[(i+7)%20]
+				if a.ID == b.ID {
+					continue
+				}
+				wk.Compare(a, b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Latent q values must now be frozen and consistent.
+	q1 := w.CorrectProb(items[0], items[7])
+	q2 := w.CorrectProb(items[7], items[0])
+	if q1 != q2 {
+		t.Fatal("latent q inconsistent after concurrent access")
+	}
+}
+
+func TestStickyTieConcurrentAccess(t *testing.T) {
+	root := rng.New(100)
+	tie := NewStickyTie(root.Child("tie"))
+	a, b := item.Item{ID: 0, Value: 1}, item.Item{ID: 1, Value: 1}
+	first := tie.Pick(a, b)
+	var wg sync.WaitGroup
+	errs := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if tie.Pick(a, b).ID != first.ID {
+					errs <- i
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if i, bad := <-errs; bad {
+		t.Fatalf("sticky answer changed under concurrency at iteration %d", i)
+	}
+}

@@ -1,0 +1,55 @@
+package worker
+
+import (
+	"math"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+)
+
+// Logistic is a psychometric comparator in the Thurstone / Bradley–Terry
+// family cited in Section 3.2 ("the concept of Just Noticeable Difference
+// by Weber and Fechner, then generalized by Thurstone"): the probability of
+// picking the truly larger element grows smoothly with the value difference,
+//
+//	P(correct | d) = 1 / (1 + exp(−d/Scale)),
+//
+// so tiny differences are coin flips and large ones near-certain. Unlike
+// the threshold model there is no hard indistinguishability radius — errors
+// at any distance are independent across repetitions, so majority voting
+// always helps. It generalizes the fixed-probability model (which is the
+// Scale → ∞ limit rescaled) and is the kind of model Venetis et al. fit
+// when tuning their tournaments.
+type Logistic struct {
+	// Scale is the discrimination scale s > 0: at d = s the worker is
+	// right with probability 1/(1+e^{−1}) ≈ 0.73.
+	Scale float64
+	// R drives the coin flips.
+	R *rng.Source
+}
+
+// NewLogistic returns a Bradley–Terry comparator with the given scale.
+func NewLogistic(scale float64, r *rng.Source) *Logistic {
+	return &Logistic{Scale: scale, R: r}
+}
+
+// CorrectProb returns P(correct) for a comparison at distance d ≥ 0.
+func (w *Logistic) CorrectProb(d float64) float64 {
+	s := w.Scale
+	if s <= 0 {
+		s = 1
+	}
+	return 1 / (1 + math.Exp(-d/s))
+}
+
+// Compare implements the logistic choice model.
+func (w *Logistic) Compare(a, b item.Item) item.Item {
+	hi, lo := a, b
+	if b.Value > a.Value {
+		hi, lo = b, a
+	}
+	if w.R.Bernoulli(w.CorrectProb(item.Distance(a, b))) {
+		return hi
+	}
+	return lo
+}

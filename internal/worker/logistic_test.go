@@ -1,0 +1,89 @@
+package worker
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+)
+
+func TestLogisticCorrectProbShape(t *testing.T) {
+	w := NewLogistic(2, rng.New(1))
+	if got := w.CorrectProb(0); got != 0.5 {
+		t.Fatalf("P(correct | d=0) = %g, want 0.5", got)
+	}
+	if got := w.CorrectProb(2); math.Abs(got-1/(1+math.Exp(-1))) > 1e-12 {
+		t.Fatalf("P(correct | d=s) = %g", got)
+	}
+	// Monotone increasing in distance, approaching 1.
+	prev := 0.0
+	for _, d := range []float64{0.1, 0.5, 1, 2, 5, 20} {
+		p := w.CorrectProb(d)
+		if p <= prev || p > 1 {
+			t.Fatalf("P(correct | %g) = %g not increasing toward 1", d, p)
+		}
+		prev = p
+	}
+	if prev < 0.999 {
+		t.Fatalf("P(correct | 20) = %g, want ≈1", prev)
+	}
+}
+
+func TestLogisticZeroScaleDefaults(t *testing.T) {
+	w := NewLogistic(0, rng.New(2))
+	if got := w.CorrectProb(1); math.Abs(got-1/(1+math.Exp(-1))) > 1e-12 {
+		t.Fatalf("default scale wrong: %g", got)
+	}
+}
+
+func TestLogisticEmpiricalAccuracy(t *testing.T) {
+	w := NewLogistic(1, rng.New(3))
+	a, b := item.Item{ID: 0, Value: 0}, item.Item{ID: 1, Value: 1}
+	correct := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if w.Compare(a, b).ID == 1 {
+			correct++
+		}
+	}
+	want := 1 / (1 + math.Exp(-1))
+	if got := float64(correct) / trials; math.Abs(got-want) > 0.01 {
+		t.Fatalf("empirical accuracy %.3f, want %.3f", got, want)
+	}
+}
+
+func TestLogisticSymmetricInArguments(t *testing.T) {
+	// The model depends only on the distance; argument order must not
+	// bias the winner.
+	w := NewLogistic(1, rng.New(4))
+	a, b := item.Item{ID: 0, Value: 5}, item.Item{ID: 1, Value: 5.3}
+	winsB1, winsB2 := 0, 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if w.Compare(a, b).ID == 1 {
+			winsB1++
+		}
+		if w.Compare(b, a).ID == 1 {
+			winsB2++
+		}
+	}
+	if math.Abs(float64(winsB1-winsB2))/trials > 0.03 {
+		t.Fatalf("argument order biased the outcome: %d vs %d", winsB1, winsB2)
+	}
+}
+
+func TestLogisticMajorityAlwaysHelps(t *testing.T) {
+	// Unlike the threshold model, repetitions help at EVERY distance:
+	// P(correct) > 1/2 whenever d > 0, so the majority converges to the
+	// truth — the defining contrast with the expertise barrier.
+	w := NewLogistic(1, rng.New(5))
+	f := func(dRaw uint8) bool {
+		d := float64(dRaw%100)/100 + 0.01
+		return w.CorrectProb(d) > 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package worker
+
+import (
+	"math"
+	"testing"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/stats"
+)
+
+func TestRelDiff(t *testing.T) {
+	tests := []struct {
+		a, b, want float64
+	}{
+		{100, 110, 10.0 / 110.0},
+		{110, 100, 10.0 / 110.0},
+		{0, 0, 0},
+		{-4, 4, 2},
+		{50, 50, 0},
+	}
+	for _, tc := range tests {
+		got := RelDiff(item.Item{Value: tc.a}, item.Item{ID: 1, Value: tc.b})
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("RelDiff(%g,%g) = %g, want %g", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestWisdomRegimeAlwaysAboveHalf(t *testing.T) {
+	w := WisdomRegime{Sharpness: 5}
+	r := rng.New(1)
+	for _, rel := range []float64{0, 0.01, 0.05, 0.1, 0.3, 1, 10} {
+		q := w.CorrectProb(rel, r)
+		if q < 0.5 || q > 1 {
+			t.Errorf("wisdom q(%g) = %g outside [0.5, 1]", rel, q)
+		}
+	}
+	// Monotone in relative difference: easier pairs are answered better.
+	prev := 0.0
+	for _, rel := range []float64{0.01, 0.05, 0.1, 0.2, 0.5, 1} {
+		q := w.CorrectProb(rel, r)
+		if q <= prev {
+			t.Fatalf("wisdom q not increasing at rel=%g", rel)
+		}
+		prev = q
+	}
+}
+
+func TestWisdomRegimeDefaultSharpness(t *testing.T) {
+	a := WisdomRegime{}.CorrectProb(0.1, rng.New(1))
+	b := WisdomRegime{Sharpness: 5}.CorrectProb(0.1, rng.New(1))
+	if a != b {
+		t.Fatalf("default sharpness mismatch: %g vs %g", a, b)
+	}
+}
+
+func TestPlateauRegimeEasyPairs(t *testing.T) {
+	p := PlateauRegime{Threshold: 0.2, Epsilon: 0.1}
+	r := rng.New(2)
+	for i := 0; i < 50; i++ {
+		q := p.CorrectProb(0.5, r)
+		if q != 0.9 {
+			t.Fatalf("above-threshold q = %g, want 0.9", q)
+		}
+	}
+}
+
+func TestPlateauRegimeHardPairsSplit(t *testing.T) {
+	p := PlateauRegime{Threshold: 0.2, Epsilon: 0.1}
+	r := rng.New(3)
+	above, total := 0, 4000
+	for i := 0; i < total; i++ {
+		q := p.CorrectProb(0.1, r) // mid-band: plateau target 0.68
+		if q == 0.5 {
+			t.Fatal("hard pair q should never be exactly 1/2")
+		}
+		if q > 0.5 {
+			above++
+		}
+	}
+	f := float64(above) / float64(total)
+	if math.Abs(f-0.68) > 0.03 {
+		t.Fatalf("P(q > 1/2) = %.3f at rel=0.1, want ≈0.68", f)
+	}
+}
+
+func TestWorldCachesPerPair(t *testing.T) {
+	w := NewWorld(PlateauRegime{Threshold: 0.2}, rng.New(4))
+	a, b := item.Item{ID: 0, Value: 100}, item.Item{ID: 1, Value: 105}
+	q1 := w.CorrectProb(a, b)
+	for i := 0; i < 20; i++ {
+		if w.CorrectProb(a, b) != q1 {
+			t.Fatal("latent q changed across calls")
+		}
+		if w.CorrectProb(b, a) != q1 {
+			t.Fatal("latent q depends on argument order")
+		}
+	}
+}
+
+func TestWorldWorkersShareLatentDifficulty(t *testing.T) {
+	// Two workers from the same world must agree in the long run on the
+	// hard pairs exactly as the shared latent q dictates.
+	root := rng.New(5)
+	w := NewWorld(PlateauRegime{Threshold: 0.2}, root.Child("world"))
+	a, b := item.Item{ID: 0, Value: 100}, item.Item{ID: 1, Value: 101}
+	q := w.CorrectProb(a, b)
+	w1 := w.Worker(root.Child("w1"))
+	w2 := w.Worker(root.Child("w2"))
+	const trials = 5000
+	correct1, correct2 := 0, 0
+	for i := 0; i < trials; i++ {
+		if w1.Compare(a, b).ID == 1 {
+			correct1++
+		}
+		if w2.Compare(a, b).ID == 1 {
+			correct2++
+		}
+	}
+	f1, f2 := float64(correct1)/trials, float64(correct2)/trials
+	if math.Abs(f1-q) > 0.03 || math.Abs(f2-q) > 0.03 {
+		t.Fatalf("worker correctness %.3f/%.3f deviates from latent q=%.3f", f1, f2, q)
+	}
+}
+
+func TestWorldWisdomMajorityApproachesOne(t *testing.T) {
+	// Figure 2(a) shape: under the wisdom regime, majority accuracy over
+	// 21 workers is near 1 even for the hardest band.
+	root := rng.New(6)
+	w := NewWorld(WisdomRegime{Sharpness: 5}, root.Child("world"))
+	a, b := item.Item{ID: 0, Value: 1000}, item.Item{ID: 1, Value: 1080} // 7.4% rel diff
+	q := w.CorrectProb(a, b)
+	if q <= 0.5 {
+		t.Fatalf("wisdom latent q = %g, want > 0.5", q)
+	}
+	if acc := stats.MajorityCorrectProb(q, 21); acc < 0.75 {
+		t.Fatalf("21-worker majority accuracy = %.3f, want ≥ 0.75", acc)
+	}
+}
+
+func TestWorldPlateauMajorityStuck(t *testing.T) {
+	// Figure 2(b) shape: under the plateau regime, a hard pair whose
+	// latent bias fell on the wrong side is wrong forever, regardless of
+	// the number of voters.
+	root := rng.New(7)
+	w := NewWorld(PlateauRegime{Threshold: 0.2}, root.Child("world"))
+	// Find a wrong-leaning hard pair.
+	var a, b item.Item
+	found := false
+	for i := 0; i < 200; i++ {
+		a = item.Item{ID: 2 * i, Value: 100}
+		b = item.Item{ID: 2*i + 1, Value: 103}
+		if w.CorrectProb(a, b) < 0.5 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no wrong-leaning pair in 200 draws (plateau ≈ 0.58)")
+	}
+	q := w.CorrectProb(a, b)
+	if acc := stats.MajorityCorrectProb(q, 51); acc > 0.5 {
+		t.Fatalf("51-voter majority accuracy = %.3f on wrong-leaning pair, want < 0.5", acc)
+	}
+}
+
+func TestWorldTiedValuesCoinFlip(t *testing.T) {
+	root := rng.New(8)
+	w := NewWorld(WisdomRegime{}, root.Child("world"))
+	wk := w.Worker(root.Child("wk"))
+	a, b := item.Item{ID: 0, Value: 5}, item.Item{ID: 1, Value: 5}
+	winsA := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if wk.Compare(a, b).ID == 0 {
+			winsA++
+		}
+	}
+	f := float64(winsA) / trials
+	if math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("tied-pair win rate = %.3f", f)
+	}
+}
+
+func TestPlateauDefaults(t *testing.T) {
+	r := rng.New(9)
+	p := PlateauRegime{} // all defaults
+	q := p.CorrectProb(0.05, r)
+	if q == 0.5 || q < 0.3 || q > 0.7 {
+		t.Fatalf("default plateau q = %g outside expected band", q)
+	}
+	if got := p.CorrectProb(0.3, r); got != 1.0 { // ε defaults to 0
+		t.Fatalf("default above-threshold q = %g, want 1", got)
+	}
+}
+
+func TestPlateauCustomPlateauAt(t *testing.T) {
+	r := rng.New(10)
+	p := PlateauRegime{Threshold: 0.2, PlateauAt: func(rel float64) float64 { return 1 }}
+	for i := 0; i < 100; i++ {
+		if q := p.CorrectProb(0.1, r); q <= 0.5 {
+			t.Fatalf("PlateauAt=1 produced wrong-leaning q = %g", q)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package worker
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+)
+
+func it(id int, v float64) item.Item { return item.Item{ID: id, Value: v} }
+
+func TestClassString(t *testing.T) {
+	if Naive.String() != "naive" || Expert.String() != "expert" {
+		t.Fatal("class names wrong")
+	}
+	if Class(5).String() != "class5" {
+		t.Fatalf("extended class name = %q", Class(5).String())
+	}
+}
+
+func TestTruth(t *testing.T) {
+	a, b := it(0, 1), it(1, 2)
+	if Truth.Compare(a, b).ID != 1 || Truth.Compare(b, a).ID != 1 {
+		t.Fatal("Truth returned the smaller element")
+	}
+	// Exact tie: first argument wins, deterministically.
+	x, y := it(0, 3), it(1, 3)
+	if Truth.Compare(x, y).ID != 0 {
+		t.Fatal("Truth tie should return first argument")
+	}
+}
+
+func TestThresholdAboveThresholdNoError(t *testing.T) {
+	w := NewThreshold(1.0, 0, rng.New(1))
+	a, b := it(0, 0), it(1, 5)
+	for i := 0; i < 100; i++ {
+		if w.Compare(a, b).ID != 1 {
+			t.Fatal("ε=0 worker erred above threshold")
+		}
+		if w.Compare(b, a).ID != 1 {
+			t.Fatal("ε=0 worker erred above threshold (swapped args)")
+		}
+	}
+}
+
+func TestThresholdBoundaryIsIndistinguishable(t *testing.T) {
+	// d(a, b) == δ exactly: the model says "≤ δ" is arbitrary.
+	w := &Threshold{Delta: 5, Tie: AdversarialTie{}, R: rng.New(1)}
+	a, b := it(0, 0), it(1, 5)
+	if w.Compare(a, b).ID != 0 {
+		t.Fatal("boundary distance should fall in the arbitrary regime")
+	}
+}
+
+func TestThresholdBelowThresholdRandom(t *testing.T) {
+	w := NewThreshold(10, 0, rng.New(2))
+	a, b := it(0, 0), it(1, 1)
+	winsA := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if w.Compare(a, b).ID == 0 {
+			winsA++
+		}
+	}
+	f := float64(winsA) / trials
+	if math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("under-threshold win rate = %.3f, want ≈0.5", f)
+	}
+}
+
+func TestThresholdEpsilonRate(t *testing.T) {
+	w := NewThreshold(0.5, 0.2, rng.New(3))
+	a, b := it(0, 0), it(1, 10)
+	errors := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if w.Compare(a, b).ID != 1 {
+			errors++
+		}
+	}
+	f := float64(errors) / trials
+	if math.Abs(f-0.2) > 0.02 {
+		t.Fatalf("error rate = %.3f, want ≈0.2", f)
+	}
+}
+
+func TestProbabilisticIsZeroDeltaThreshold(t *testing.T) {
+	w := NewProbabilistic(0.3, rng.New(4))
+	if w.Delta != 0 || w.Epsilon != 0.3 {
+		t.Fatalf("probabilistic worker misconfigured: δ=%g ε=%g", w.Delta, w.Epsilon)
+	}
+	// Any nonzero distance is above threshold δ=0.
+	a, b := it(0, 0), it(1, 1e-9)
+	errors := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if w.Compare(a, b).ID != 1 {
+			errors++
+		}
+	}
+	f := float64(errors) / trials
+	if math.Abs(f-0.3) > 0.02 {
+		t.Fatalf("error rate = %.3f, want ≈0.3", f)
+	}
+}
+
+func TestRandomTieBalance(t *testing.T) {
+	tie := RandomTie{R: rng.New(5)}
+	a, b := it(0, 1), it(1, 1)
+	picksA := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if tie.Pick(a, b).ID == 0 {
+			picksA++
+		}
+	}
+	f := float64(picksA) / trials
+	if math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("RandomTie pick rate = %.3f", f)
+	}
+}
+
+func TestStickyTieIsSticky(t *testing.T) {
+	tie := NewStickyTie(rng.New(6))
+	a, b := it(3, 1), it(7, 1)
+	first := tie.Pick(a, b)
+	for i := 0; i < 50; i++ {
+		if tie.Pick(a, b).ID != first.ID {
+			t.Fatal("sticky tie changed its answer")
+		}
+		// Argument order must not matter.
+		if tie.Pick(b, a).ID != first.ID {
+			t.Fatal("sticky tie depends on argument order")
+		}
+	}
+}
+
+func TestStickyTieIndependentPairs(t *testing.T) {
+	tie := NewStickyTie(rng.New(7))
+	// Over many distinct pairs, first answers should be split roughly evenly.
+	firstWins := 0
+	const pairs = 2000
+	for i := 0; i < pairs; i++ {
+		a, b := it(2*i, 1), it(2*i+1, 1)
+		if tie.Pick(a, b).ID == a.ID {
+			firstWins++
+		}
+	}
+	f := float64(firstWins) / pairs
+	if math.Abs(f-0.5) > 0.05 {
+		t.Fatalf("sticky first-answer rate = %.3f", f)
+	}
+}
+
+func TestAdversarialTie(t *testing.T) {
+	a, b := it(0, 1), it(1, 2)
+	if (AdversarialTie{}).Pick(a, b).ID != 0 {
+		t.Fatal("adversary should pick the lower-valued element")
+	}
+	if (AdversarialTie{}).Pick(b, a).ID != 0 {
+		t.Fatal("adversary should pick the lower-valued element (swapped)")
+	}
+	// Exact tie: second argument.
+	x, y := it(5, 3), it(6, 3)
+	if (AdversarialTie{}).Pick(x, y).ID != 6 {
+		t.Fatal("adversary tie rule changed")
+	}
+}
+
+func TestThresholdAdversarialNeverHelpsMax(t *testing.T) {
+	w := &Threshold{Delta: 2, Tie: AdversarialTie{}, R: rng.New(8)}
+	a, b := it(0, 0), it(1, 1) // within threshold
+	for i := 0; i < 20; i++ {
+		if w.Compare(a, b).ID != 0 {
+			t.Fatal("adversarial worker let the better element win under threshold")
+		}
+	}
+}
+
+func TestDistanceErrorWorker(t *testing.T) {
+	r := rng.New(9)
+	w := &DistanceError{
+		Delta:     1,
+		EpsilonAt: func(d float64) float64 { return 0.5 / d }, // decays with distance
+		Tie:       RandomTie{R: r},
+		R:         r,
+	}
+	far, near := it(0, 0), it(1, 10)
+	errorsFar := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if w.Compare(far, near).ID != 1 {
+			errorsFar++
+		}
+	}
+	f := float64(errorsFar) / trials
+	if math.Abs(f-0.05) > 0.01 {
+		t.Fatalf("distance-dependent error at d=10: %.3f, want ≈0.05", f)
+	}
+}
+
+func TestDistanceErrorClamping(t *testing.T) {
+	r := rng.New(10)
+	w := &DistanceError{
+		Delta:     0,
+		EpsilonAt: func(d float64) float64 { return 7 }, // clamped to 1
+		Tie:       RandomTie{R: r},
+		R:         r,
+	}
+	a, b := it(0, 0), it(1, 5)
+	for i := 0; i < 20; i++ {
+		if w.Compare(a, b).ID != 0 {
+			t.Fatal("ε clamped to 1 should always err")
+		}
+	}
+	w.EpsilonAt = func(d float64) float64 { return -3 } // clamped to 0
+	for i := 0; i < 20; i++ {
+		if w.Compare(a, b).ID != 1 {
+			t.Fatal("ε clamped to 0 should never err")
+		}
+	}
+}
+
+func TestSpammerIgnoresValues(t *testing.T) {
+	s := Spammer{R: rng.New(11)}
+	a, b := it(0, 0), it(1, 1e9)
+	winsWorse := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if s.Compare(a, b).ID == 0 {
+			winsWorse++
+		}
+	}
+	f := float64(winsWorse) / trials
+	if math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("spammer picked the worse element %.3f of the time, want ≈0.5", f)
+	}
+}
+
+func TestThresholdModelProperty(t *testing.T) {
+	// Property: with ε = 0, a threshold worker never errs on pairs farther
+	// apart than δ, for any δ and values.
+	r := rng.New(12)
+	f := func(va, vb, deltaRaw float64) bool {
+		if math.IsNaN(va) || math.IsNaN(vb) || math.IsNaN(deltaRaw) {
+			return true
+		}
+		if math.Abs(va) > 1e300 || math.Abs(vb) > 1e300 {
+			return true
+		}
+		delta := math.Mod(math.Abs(deltaRaw), 100)
+		a, b := it(0, va), it(1, vb)
+		if item.Distance(a, b) <= delta {
+			return true // arbitrary regime: nothing to check
+		}
+		w := NewThreshold(delta, 0, r)
+		got := w.Compare(a, b)
+		want := a
+		if vb > va {
+			want = b
+		}
+		return got.ID == want.ID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	called := false
+	f := Func(func(a, b item.Item) item.Item { called = true; return b })
+	if f.Compare(it(0, 1), it(1, 2)).ID != 1 || !called {
+		t.Fatal("Func adapter broken")
+	}
+}
+
+func TestPairKeyCanonical(t *testing.T) {
+	if pairKey(3, 9) != pairKey(9, 3) {
+		t.Fatal("pairKey not symmetric")
+	}
+	if pairKey(3, 9) == pairKey(3, 8) {
+		t.Fatal("pairKey collision")
+	}
+}
+
+func TestFirstLosesTie(t *testing.T) {
+	a, b := it(0, 5), it(1, 1)
+	if (FirstLosesTie{}).Pick(a, b).ID != 1 {
+		t.Fatal("first argument should lose")
+	}
+	if (FirstLosesTie{}).Pick(b, a).ID != 0 {
+		t.Fatal("first argument should lose (swapped)")
+	}
+	// Inside the threshold model: pivot-first call order makes the pivot
+	// lose every under-threshold comparison.
+	w := &Threshold{Delta: 100, Tie: FirstLosesTie{}, R: rng.New(1)}
+	if w.Compare(a, b).ID != 1 {
+		t.Fatal("threshold worker with FirstLosesTie should return the second element")
+	}
+}

@@ -1,0 +1,141 @@
+package crowdmax
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdmax/internal/core"
+	"crowdmax/internal/worker"
+)
+
+// Config assembles a Session: the two worker pools, the filter parameter,
+// and the pricing.
+type Config struct {
+	// Naive answers phase-1 comparisons (required).
+	Naive Comparator
+	// Expert answers phase-2 comparisons (required).
+	Expert Comparator
+	// Un is the un(n) estimate handed to the filter; estimate it with
+	// EstimateUn when unknown. Required, ≥ 1. Overestimating costs money
+	// but never accuracy.
+	Un int
+	// Prices sets cn and ce for cost reporting; the zero value prices
+	// every comparison at 0.
+	Prices Prices
+	// Phase2 selects the expert-phase algorithm; the zero value is
+	// 2-MaxFind, the paper's practical choice.
+	Phase2 Phase2Algorithm
+	// Memoize caches each pair's first answer per worker class
+	// (Appendix A, optimization 1). Enabled by default — set
+	// DisableMemoization to turn it off.
+	DisableMemoization bool
+	// TrackLosses discards elements early once they have lost to un
+	// distinct opponents (Appendix A, optimization 2).
+	TrackLosses bool
+	// Rand drives the randomized phase 2 (only needed with
+	// RandomizedPhase2); defaults to a fixed-seed stream.
+	Rand *Rand
+}
+
+// Session runs the two-phase algorithm with a fixed worker configuration
+// and accumulates costs across runs. Create one with NewSession. A Session
+// is not safe for concurrent use.
+type Session struct {
+	cfg    Config
+	ledger *Ledger
+}
+
+// NewSession validates cfg and returns a ready Session.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.Naive == nil {
+		return nil, errors.New("crowdmax: Config.Naive is required")
+	}
+	if cfg.Expert == nil {
+		return nil, errors.New("crowdmax: Config.Expert is required")
+	}
+	if cfg.Un < 1 {
+		return nil, fmt.Errorf("crowdmax: Config.Un must be ≥ 1, got %d", cfg.Un)
+	}
+	return &Session{cfg: cfg, ledger: NewLedger()}, nil
+}
+
+// Result is the outcome of one Session.FindMax run.
+type Result struct {
+	// Best is the returned approximation of the maximum element.
+	Best Item
+	// Candidates is the phase-1 output S (|S| ≤ 2·un − 1).
+	Candidates []Item
+	// NaiveComparisons and ExpertComparisons are this run's paid counts.
+	NaiveComparisons, ExpertComparisons int64
+	// Cost is this run's monetary cost under the session prices.
+	Cost float64
+}
+
+// FindMax runs the two-phase algorithm on items.
+func (s *Session) FindMax(items []Item) (Result, error) {
+	runLedger := NewLedger()
+	var naiveMemo, expertMemo *Memo
+	if !s.cfg.DisableMemoization {
+		naiveMemo, expertMemo = NewMemo(), NewMemo()
+	}
+	no := NewOracle(s.cfg.Naive, Naive, runLedger, naiveMemo)
+	eo := NewOracle(s.cfg.Expert, Expert, runLedger, expertMemo)
+	r := s.cfg.Rand
+	if r == nil {
+		r = NewRand(0)
+	}
+	res, err := core.FindMax(items, no, eo, core.FindMaxOptions{
+		Un:          s.cfg.Un,
+		Phase2:      s.cfg.Phase2,
+		TrackLosses: s.cfg.TrackLosses,
+		Randomized:  core.RandomizedOptions{R: r.Child("phase2")},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	s.ledger.Add(runLedger)
+	return Result{
+		Best:              res.Best,
+		Candidates:        res.Candidates,
+		NaiveComparisons:  runLedger.Naive(),
+		ExpertComparisons: runLedger.Expert(),
+		Cost:              runLedger.Cost(s.cfg.Prices),
+	}, nil
+}
+
+// TotalCost returns the monetary cost accumulated across all FindMax runs
+// of this session.
+func (s *Session) TotalCost() float64 { return s.ledger.Cost(s.cfg.Prices) }
+
+// TotalComparisons returns the accumulated (naïve, expert) comparison
+// counts across all runs.
+func (s *Session) TotalComparisons() (naive, expert int64) {
+	return s.ledger.Naive(), s.ledger.Expert()
+}
+
+// EstimateUn runs Algorithm 4 with this session's naïve workers: it
+// estimates an upper bound for un(n) from a training set whose maximum is
+// known (gold data), to be fed back into Config.Un. The estimation
+// comparisons are billed to the session like any other naïve work.
+func (s *Session) EstimateUn(training []Item, perr float64, n int) (int, error) {
+	runLedger := NewLedger()
+	no := NewOracle(s.cfg.Naive, Naive, runLedger, nil)
+	est, err := core.EstimateUn(training, no, core.EstimateUnOptions{Perr: perr, N: n})
+	if err != nil {
+		return 0, err
+	}
+	s.ledger.Add(runLedger)
+	return est, nil
+}
+
+// Bounds evaluates the paper's closed-form guarantees for an input of size
+// n under this session's un: the maximum naïve comparisons (Lemma 3), the
+// maximum expert comparisons with a 2-MaxFind phase 2 (Theorem 1), the
+// candidate-set bound, and the worst-case cost under the session prices.
+func (s *Session) Bounds(n int) (naiveMax, expertMax float64, candidates int, worstCost float64) {
+	naiveMax = core.Phase1UpperBound(n, s.cfg.Un)
+	expertMax = core.Phase2ExpertUpperBound(s.cfg.Un)
+	candidates = core.CandidateSetBound(s.cfg.Un)
+	worstCost = naiveMax*s.cfg.Prices.Unit(worker.Naive) + expertMax*s.cfg.Prices.Unit(worker.Expert)
+	return naiveMax, expertMax, candidates, worstCost
+}

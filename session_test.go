@@ -1,0 +1,254 @@
+package crowdmax
+
+import (
+	"testing"
+
+	"crowdmax/internal/dataset"
+)
+
+func testSession(t *testing.T, cal dataset.Calibrated, un int, seed uint64) *Session {
+	t.Helper()
+	r := NewRand(seed)
+	s, err := NewSession(Config{
+		Naive:  NewThresholdWorker(cal.DeltaN, 0, r.Child("naive")),
+		Expert: NewThresholdWorker(cal.DeltaE, 0, r.Child("expert")),
+		Un:     un,
+		Prices: Prices{Naive: 1, Expert: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	r := NewRand(1)
+	w := NewThresholdWorker(0.1, 0, r)
+	cases := []Config{
+		{Expert: w, Un: 5},            // missing naive
+		{Naive: w, Un: 5},             // missing expert
+		{Naive: w, Expert: w, Un: 0},  // bad un
+		{Naive: w, Expert: w, Un: -3}, // bad un
+	}
+	for i, cfg := range cases {
+		if _, err := NewSession(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSessionFindMaxGuarantee(t *testing.T) {
+	root := NewRand(2)
+	for trial := 0; trial < 10; trial++ {
+		r := root.ChildN("t", trial)
+		cal, err := dataset.UniformCalibrated(600, 8, 3, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := testSession(t, cal, 8, uint64(100+trial))
+		res, err := s.FindMax(cal.Set.Items())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := Distance(cal.Set.Max(), res.Best); d > 2*cal.DeltaE {
+			t.Fatalf("trial %d: d(M, e) = %g > 2δe", trial, d)
+		}
+		if res.NaiveComparisons == 0 || res.ExpertComparisons == 0 {
+			t.Fatal("comparison counts missing")
+		}
+		if want := float64(res.NaiveComparisons) + 50*float64(res.ExpertComparisons); res.Cost != want {
+			t.Fatalf("cost = %g, want %g", res.Cost, want)
+		}
+	}
+}
+
+func TestSessionAccumulatesCosts(t *testing.T) {
+	r := NewRand(3)
+	cal, err := dataset.UniformCalibrated(400, 6, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSession(t, cal, 6, 200)
+	res1, err := s.FindMax(cal.Set.Items())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s.FindMax(cal.Set.Items())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalCost(); got != res1.Cost+res2.Cost {
+		t.Fatalf("TotalCost = %g, want %g", got, res1.Cost+res2.Cost)
+	}
+	n, e := s.TotalComparisons()
+	if n != res1.NaiveComparisons+res2.NaiveComparisons ||
+		e != res1.ExpertComparisons+res2.ExpertComparisons {
+		t.Fatal("TotalComparisons mismatch")
+	}
+}
+
+func TestSessionBoundsHold(t *testing.T) {
+	r := NewRand(4)
+	cal, err := dataset.UniformCalibrated(800, 10, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSession(t, cal, 10, 300)
+	naiveMax, expertMax, candidates, worstCost := s.Bounds(800)
+	res, err := s.FindMax(cal.Set.Items())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.NaiveComparisons) > naiveMax {
+		t.Fatalf("naive %d over bound %g", res.NaiveComparisons, naiveMax)
+	}
+	if float64(res.ExpertComparisons) > expertMax {
+		t.Fatalf("expert %d over bound %g", res.ExpertComparisons, expertMax)
+	}
+	if len(res.Candidates) > candidates {
+		t.Fatalf("|S| = %d over bound %d", len(res.Candidates), candidates)
+	}
+	if res.Cost > worstCost {
+		t.Fatalf("cost %g over bound %g", res.Cost, worstCost)
+	}
+}
+
+func TestSessionMemoizationReducesCost(t *testing.T) {
+	// With memoization disabled the same pairs may be re-asked across
+	// filter iterations; with it enabled repeats are free. Compare paid
+	// comparisons on identical instances.
+	r := NewRand(5)
+	cal, err := dataset.UniformCalibrated(500, 8, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(disable bool, seed uint64) int64 {
+		rr := NewRand(seed)
+		s, err := NewSession(Config{
+			Naive:              NewThresholdWorker(cal.DeltaN, 0, rr.Child("n")),
+			Expert:             NewThresholdWorker(cal.DeltaE, 0, rr.Child("e")),
+			Un:                 8,
+			DisableMemoization: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.FindMax(cal.Set.Items())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.NaiveComparisons + res.ExpertComparisons
+	}
+	withMemo := run(false, 42)
+	withoutMemo := run(true, 42)
+	if withMemo > withoutMemo {
+		t.Fatalf("memoization increased paid comparisons: %d > %d", withMemo, withoutMemo)
+	}
+}
+
+func TestSessionRandomizedPhase2(t *testing.T) {
+	r := NewRand(6)
+	cal, err := dataset.UniformCalibrated(500, 8, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := NewRand(7)
+	s, err := NewSession(Config{
+		Naive:  NewThresholdWorker(cal.DeltaN, 0, rr.Child("n")),
+		Expert: NewThresholdWorker(cal.DeltaE, 0, rr.Child("e")),
+		Un:     8,
+		Phase2: RandomizedPhase2,
+		Rand:   rr.Child("p2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.FindMax(cal.Set.Items())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Distance(cal.Set.Max(), res.Best); d > 3*cal.DeltaE {
+		t.Fatalf("randomized phase 2: d = %g > 3δe", d)
+	}
+}
+
+func TestFacadeAlgorithmsUsable(t *testing.T) {
+	// The free functions of the façade must work end to end.
+	r := NewRand(8)
+	set := NewSet([]float64{3, 1, 4, 1.5, 9, 2.6})
+	ledger := NewLedger()
+	o := NewOracle(Truth, Expert, ledger, NewMemo())
+	best, err := TwoMaxFind(set.Items(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value != 9 {
+		t.Fatalf("TwoMaxFind returned %v", best)
+	}
+	if ledger.Expert() == 0 {
+		t.Fatal("ledger not billed")
+	}
+	cand, err := Filter(set.Items(), NewOracle(NewThresholdWorker(0.5, 0, r), Naive, nil, nil), FilterOptions{Un: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cand {
+		if c.Value == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Filter dropped the maximum")
+	}
+	rbest, err := RandomizedMaxFind(set.Items(), NewOracle(Truth, Expert, nil, nil), RandomizedOptions{R: r})
+	if err != nil || rbest.Value != 9 {
+		t.Fatalf("RandomizedMaxFind: %v, %v", rbest, err)
+	}
+}
+
+func TestFacadeEstimation(t *testing.T) {
+	r := NewRand(9)
+	cal, err := dataset.UniformCalibrated(400, 10, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := NewOracle(NewThresholdWorker(cal.DeltaN, 0, r.Child("w")), Naive, nil, nil)
+	perr, err := EstimatePerr(cal.Set.Items(), naive, EstimatePerrOptions{R: r.Child("p")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perr <= 0 || perr > 1 {
+		t.Fatalf("perr = %g", perr)
+	}
+	un, err := EstimateUn(cal.Set.Items(), naive, EstimateUnOptions{Perr: 0.5, N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un < 1 {
+		t.Fatalf("un estimate = %d", un)
+	}
+}
+
+func TestSessionEstimateUn(t *testing.T) {
+	r := NewRand(10)
+	cal, err := dataset.UniformCalibrated(600, 12, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSession(t, cal, 12, 400)
+	est, err := s.EstimateUn(cal.Set.Items(), 0.5, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 1 {
+		t.Fatalf("estimate = %d", est)
+	}
+	// Estimation comparisons are billed to the session (cn = 1 each).
+	if s.TotalCost() < 599 {
+		t.Fatalf("estimation comparisons not billed: total cost %.0f", s.TotalCost())
+	}
+	if _, err := s.EstimateUn(nil, 0.5, 600); err == nil {
+		t.Fatal("empty training accepted")
+	}
+}
