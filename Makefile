@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race bench vet all clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Reduced per-figure benchmarks plus the parallel-engine benchmark.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=BenchmarkFig3Parallel -run=^$$ ./internal/experiment
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate the wall-clock comparison checked in under results/.
+results/BENCH_parallel.json: build
+	$(GO) run ./cmd/benchrun -quick -parallel=4 -benchout $@ fig3 fig5
+
+clean:
+	$(GO) clean ./...

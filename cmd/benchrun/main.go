@@ -19,22 +19,45 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"crowdmax/internal/experiment"
+	"crowdmax/internal/parallel"
 )
 
 var (
-	trials  = flag.Int("trials", 10, "random instances per data point")
-	seed    = flag.Uint64("seed", 2015, "root random seed")
-	quick   = flag.Bool("quick", false, "smaller sweep for a fast smoke run")
-	csvOut  = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
-	jsonOut = flag.Bool("json", false, "emit figures as JSON instead of text tables")
-	maxSize = flag.Int("nmax", 5000, "largest input size in sweeps")
+	trials   = flag.Int("trials", 10, "random instances per data point")
+	seed     = flag.Uint64("seed", 2015, "root random seed")
+	quick    = flag.Bool("quick", false, "smaller sweep for a fast smoke run")
+	csvOut   = flag.Bool("csv", false, "emit figures as CSV instead of text tables")
+	jsonOut  = flag.Bool("json", false, "emit figures as JSON instead of text tables")
+	maxSize  = flag.Int("nmax", 5000, "largest input size in sweeps")
+	par      = flag.Int("parallel", 0, "goroutines fanning independent trials out (0 = all CPUs, 1 = sequential; output is identical for every value)")
+	benchOut = flag.String("benchout", "", "suppress figure output, time each experiment at -parallel=1 and -parallel=N, and write the wall-clock comparison as JSON to this file")
 )
+
+// out overrides where figures are rendered (the -benchout timing mode sets
+// io.Discard so only wall-clock time is measured); nil means os.Stdout,
+// resolved per write so tests can swap the real stdout.
+var out io.Writer
+
+func dst() io.Writer {
+	if out != nil {
+		return out
+	}
+	return os.Stdout
+}
+
+// workers is the effective -parallel value; the -benchout mode flips it
+// between 1 and the requested width for the timed runs.
+var workers int
 
 func main() {
 	flag.Usage = usage
@@ -43,11 +66,19 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	workers = *par
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 			"fig9", "fig10", "retention", "table1", "table2", "search",
 			"majority", "epsilon", "cascade", "steps", "bracket"}
+	}
+	if *benchOut != "" {
+		if err := runBench(names); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	for _, name := range names {
 		if err := run(strings.ToLower(name)); err != nil {
@@ -55,6 +86,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runBench times every named experiment twice — sequentially and at the
+// requested parallel width — and writes the comparison to -benchout. The
+// figures themselves are discarded; determinism means both runs produce
+// identical output anyway.
+func runBench(names []string) error {
+	out = io.Discard
+	width := parallel.Normalize(*par)
+	type expTiming struct {
+		Name       string  `json:"name"`
+		SeqSeconds float64 `json:"seq_seconds"`
+		ParSeconds float64 `json:"par_seconds"`
+		Speedup    float64 `json:"speedup"`
+	}
+	report := struct {
+		Cores       int         `json:"cores"`
+		Gomaxprocs  int         `json:"gomaxprocs"`
+		Workers     int         `json:"workers"`
+		Quick       bool        `json:"quick"`
+		Experiments []expTiming `json:"experiments"`
+	}{
+		Cores:      runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Workers:    width,
+		Quick:      *quick,
+	}
+	for _, name := range names {
+		name = strings.ToLower(name)
+		workers = 1
+		start := time.Now()
+		if err := run(name); err != nil {
+			return fmt.Errorf("%s (sequential): %w", name, err)
+		}
+		seq := time.Since(start).Seconds()
+		workers = width
+		start = time.Now()
+		if err := run(name); err != nil {
+			return fmt.Errorf("%s (parallel): %w", name, err)
+		}
+		parSec := time.Since(start).Seconds()
+		t := expTiming{Name: name, SeqSeconds: seq, ParSeconds: parSec}
+		if parSec > 0 {
+			t.Speedup = seq / parSec
+		}
+		report.Experiments = append(report.Experiments, t)
+		fmt.Fprintf(os.Stderr, "%-10s seq %.3fs  par(%d) %.3fs  speedup %.2fx\n",
+			name, seq, width, parSec, t.Speedup)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*benchOut, append(data, '\n'), 0o644)
 }
 
 func usage() {
@@ -105,29 +190,29 @@ func sweeps() []experiment.Sweep {
 		kept = ns[:1]
 	}
 	return []experiment.Sweep{
-		{Ns: kept, Un: 10, Ue: 5, Trials: tr, Seed: *seed},
-		{Ns: kept, Un: 50, Ue: 10, Trials: tr, Seed: *seed},
+		{Ns: kept, Un: 10, Ue: 5, Trials: tr, Seed: *seed, Workers: workers},
+		{Ns: kept, Un: 50, Ue: 10, Trials: tr, Seed: *seed, Workers: workers},
 	}
 }
 
 func emit(fig experiment.Figure) error {
 	if *jsonOut {
-		return fig.WriteJSON(os.Stdout)
+		return fig.WriteJSON(dst())
 	}
 	if *csvOut {
-		return fig.WriteCSV(os.Stdout)
+		return fig.WriteCSV(dst())
 	}
-	if err := fig.WriteText(os.Stdout); err != nil {
+	if err := fig.WriteText(dst()); err != nil {
 		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(dst())
 	return nil
 }
 
 func run(name string) error {
 	switch name {
 	case "fig2":
-		cfg := experiment.Fig2Config{Seed: *seed}
+		cfg := experiment.Fig2Config{Seed: *seed, Workers: workers}
 		if *quick {
 			cfg.PairsPerBand, cfg.Repeats = 10, 5
 		}
@@ -217,44 +302,44 @@ func run(name string) error {
 			if err != nil {
 				return err
 			}
-			if err := res.WriteText(os.Stdout); err != nil {
+			if err := res.WriteText(dst()); err != nil {
 				return err
 			}
-			fmt.Println()
+			fmt.Fprintln(dst())
 		}
 		return nil
 	case "table1":
-		tab, err := experiment.Table1(experiment.CrowdConfig{Seed: *seed, Spammers: 3})
+		tab, err := experiment.Table1(experiment.CrowdConfig{Seed: *seed, Spammers: 3, Parallel: workers})
 		if err != nil {
 			return err
 		}
-		if err := tab.WriteText(os.Stdout); err != nil {
+		if err := tab.WriteText(dst()); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(dst())
 		return nil
 	case "table2":
-		tab, _, err := experiment.Table2(experiment.CrowdConfig{Seed: *seed})
+		tab, _, err := experiment.Table2(experiment.CrowdConfig{Seed: *seed, Parallel: workers})
 		if err != nil {
 			return err
 		}
-		if err := tab.WriteText(os.Stdout); err != nil {
+		if err := tab.WriteText(dst()); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(dst())
 		return nil
 	case "search":
-		res, err := experiment.SearchEval(experiment.SearchConfig{Seed: *seed})
+		res, err := experiment.SearchEval(experiment.SearchConfig{Seed: *seed, Workers: workers})
 		if err != nil {
 			return err
 		}
-		if err := res.WriteText(os.Stdout); err != nil {
+		if err := res.WriteText(dst()); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(dst())
 		return nil
 	case "majority":
-		cfg := experiment.MajorityConfig{Seed: *seed}
+		cfg := experiment.MajorityConfig{Seed: *seed, Workers: workers}
 		if *quick {
 			cfg.Trials = 300
 		}
@@ -262,10 +347,10 @@ func run(name string) error {
 		if err != nil {
 			return err
 		}
-		if err := res.WriteText(os.Stdout); err != nil {
+		if err := res.WriteText(dst()); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(dst())
 		return nil
 	case "epsilon":
 		for _, s := range sweeps() {
@@ -301,7 +386,7 @@ func run(name string) error {
 		}
 		return nil
 	case "cascade":
-		cfg := experiment.CascadeConfig{Seed: *seed, Trials: *trials, PriceRatio: 50}
+		cfg := experiment.CascadeConfig{Seed: *seed, Trials: *trials, PriceRatio: 50, Workers: workers}
 		if *quick {
 			cfg.Ns = []int{400, 800}
 			cfg.Us = [3]int{20, 6, 2}

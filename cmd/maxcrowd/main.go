@@ -31,6 +31,7 @@ var (
 	seed    = flag.Uint64("seed", 1, "random seed")
 	estimat = flag.Bool("estimate", false, "estimate un from a training split (Algorithm 4) instead of using the true value")
 	topk    = flag.Int("topk", 0, "with -algo alg1: return the top-k elements instead of just the max")
+	par     = flag.Int("parallel", 0, "evaluate comparison batches with this many goroutines (0 = off); switches tie-breaking to an order-independent hash, so results differ from -parallel=0 but are identical for every width >= 1")
 )
 
 func main() {
@@ -62,6 +63,12 @@ func run() error {
 
 	naive := crowdmax.NewThresholdWorker(deltaN, 0, r.Child("naive"))
 	expert := crowdmax.NewThresholdWorker(deltaE, 0, r.Child("expert"))
+	if *par >= 1 {
+		// Concurrent batches need order-independent workers: replace the
+		// stream-driven random tie-breaking with a pure hash of each pair.
+		naive = &crowdmax.ThresholdWorker{Delta: deltaN, Tie: crowdmax.HashTie{Seed: *seed}}
+		expert = &crowdmax.ThresholdWorker{Delta: deltaE, Tie: crowdmax.HashTie{Seed: *seed + 1}}
+	}
 	prices := crowdmax.Prices{Naive: 1, Expert: *ce}
 
 	unEst := *un
@@ -87,6 +94,10 @@ func run() error {
 	ledger := crowdmax.NewLedger()
 	no := crowdmax.NewOracle(naive, crowdmax.Naive, ledger, crowdmax.NewMemo())
 	eo := crowdmax.NewOracle(expert, crowdmax.Expert, ledger, crowdmax.NewMemo())
+	if *par >= 1 {
+		no.ParallelBatch(*par)
+		eo.ParallelBatch(*par)
+	}
 
 	var best crowdmax.Item
 	switch *algo {

@@ -112,6 +112,13 @@ func NewProbabilisticWorker(p float64, r *Rand) *ThresholdWorker {
 	return worker.NewProbabilistic(p, r)
 }
 
+// HashTie breaks under-threshold ties by a deterministic hash of the pair —
+// a pure function of its Seed and the two item IDs, independent of
+// evaluation order. A ThresholdWorker with ε = 0 and a HashTie is safe for
+// concurrent use, which makes it the tie-breaker to pair with
+// Oracle.ParallelBatch.
+type HashTie = worker.HashTie
+
 // LogisticWorker is the Thurstone / Bradley–Terry psychometric comparator:
 // P(correct) = 1/(1+exp(−d/Scale)), smooth in the value difference, with no
 // hard indistinguishability radius.
@@ -159,7 +166,9 @@ type Memo = tournament.Memo
 func NewMemo() *Memo { return tournament.NewMemo() }
 
 // NewOracle binds a comparator of the given class to a ledger; memo may be
-// nil to disable memoization.
+// nil to disable memoization. Call Oracle.ParallelBatch to evaluate batch
+// comparisons concurrently when the comparator is concurrency-safe and
+// order-independent (e.g. a ThresholdWorker with ε = 0 and a HashTie).
 func NewOracle(cmp Comparator, class Class, ledger *Ledger, memo *Memo) *Oracle {
 	return tournament.NewOracle(cmp, class, ledger, memo)
 }

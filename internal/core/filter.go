@@ -73,7 +73,8 @@ func Filter(items []item.Item, naive *tournament.Oracle, opt FilterOptions) ([]i
 				next = append(next, group...)
 				continue
 			}
-			res := tournament.RoundRobin(group, naive)
+			res := tournament.RoundRobinWith(group, naive,
+				tournament.RoundRobinOpts{RecordLosers: tracker != nil})
 			groupTops = append(groupTops, res.TopByWins())
 			need := len(group) - un
 			for i, it := range group {

@@ -39,7 +39,7 @@ func TwoMaxFind(items []item.Item, o *tournament.Oracle) (item.Item, error) {
 
 	for len(candidates) > k {
 		sample := candidates[:k]
-		res := tournament.RoundRobin(sample, o)
+		res := tournament.RoundRobinWith(sample, o, tournament.RoundRobinOpts{RecordLosers: true})
 		x := res.TopByWins()
 
 		// Eliminate x's tournament victims directly: those comparisons

@@ -15,6 +15,7 @@ package cost
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"crowdmax/internal/worker"
 )
@@ -37,60 +38,61 @@ func (p Prices) Unit(c worker.Class) float64 {
 	return p.Expert
 }
 
+// MaxClasses is the number of worker classes a Ledger can bill. The paper
+// uses two; the multi-class cascade extension uses three. Fixed-width
+// per-class counters are what make the ledger lock-free.
+const MaxClasses = 8
+
 // Ledger accumulates the resource consumption of an algorithm run:
 // comparisons by worker class, memoization hits (answers served from the
 // comparison table of Appendix A at zero cost), and logical steps (batches
 // submitted to the platform). The zero value is an empty ledger.
+//
+// Ledger is safe for concurrent use: every counter is a fixed atomic, so a
+// ledger shared by the goroutines of a parallel batch evaluation (or by
+// concurrent algorithm phases) needs no external locking. Charging is a
+// single atomic add — cheaper than the map update it replaces even in
+// sequential runs, which matters because it sits on the hot path of every
+// comparison. Readers see momentarily inconsistent cross-counter snapshots
+// while writers are active; quiesce (e.g. join the pool) before reporting.
 type Ledger struct {
-	comparisons map[worker.Class]int64
-	memoHits    map[worker.Class]int64
-	steps       int64
+	comparisons [MaxClasses]atomic.Int64
+	memoHits    [MaxClasses]atomic.Int64
+	steps       atomic.Int64
 }
 
 // NewLedger returns an empty ledger.
-func NewLedger() *Ledger {
-	return &Ledger{
-		comparisons: make(map[worker.Class]int64),
-		memoHits:    make(map[worker.Class]int64),
-	}
-}
+func NewLedger() *Ledger { return &Ledger{} }
 
-func (l *Ledger) init() {
-	if l.comparisons == nil {
-		l.comparisons = make(map[worker.Class]int64)
-		l.memoHits = make(map[worker.Class]int64)
+// classIndex bounds-checks a class against the ledger's fixed counters.
+func classIndex(c worker.Class) int {
+	if c < 0 || int(c) >= MaxClasses {
+		panic(fmt.Sprintf("cost: worker class %d outside [0, %d)", int(c), MaxClasses))
 	}
+	return int(c)
 }
 
 // Charge records one paid comparison by the given class.
 func (l *Ledger) Charge(c worker.Class) {
-	l.init()
-	l.comparisons[c]++
+	l.comparisons[classIndex(c)].Add(1)
 }
 
 // MemoHit records a comparison answered from the memo table (free).
 func (l *Ledger) MemoHit(c worker.Class) {
-	l.init()
-	l.memoHits[c]++
+	l.memoHits[classIndex(c)].Add(1)
 }
 
 // Step records one logical step (one batch round).
-func (l *Ledger) Step() { l.steps++ }
+func (l *Ledger) Step() { l.steps.Add(1) }
 
 // Comparisons returns the number of paid comparisons by class.
 func (l *Ledger) Comparisons(c worker.Class) int64 {
-	if l.comparisons == nil {
-		return 0
-	}
-	return l.comparisons[c]
+	return l.comparisons[classIndex(c)].Load()
 }
 
 // MemoHits returns the number of memoized (free) comparisons by class.
 func (l *Ledger) MemoHits(c worker.Class) int64 {
-	if l.memoHits == nil {
-		return 0
-	}
-	return l.memoHits[c]
+	return l.memoHits[classIndex(c)].Load()
 }
 
 // Naive returns xn, the paid naïve comparisons.
@@ -98,29 +100,23 @@ func (l *Ledger) Naive() int64 { return l.Comparisons(worker.Naive) }
 
 // Expert returns xe, the paid comparisons of every non-naïve class.
 func (l *Ledger) Expert() int64 {
-	if l.comparisons == nil {
-		return 0
-	}
 	var n int64
-	for c, v := range l.comparisons {
-		if c != worker.Naive {
-			n += v
-		}
+	for i := 1; i < MaxClasses; i++ {
+		n += l.comparisons[i].Load()
 	}
 	return n
 }
 
 // Steps returns the number of logical steps recorded.
-func (l *Ledger) Steps() int64 { return l.steps }
+func (l *Ledger) Steps() int64 { return l.steps.Load() }
 
 // Cost returns C(n) = Σ_class comparisons(class)·price(class).
 func (l *Ledger) Cost(p Prices) float64 {
-	if l.comparisons == nil {
-		return 0
-	}
 	var c float64
-	for cl, n := range l.comparisons {
-		c += float64(n) * p.Unit(cl)
+	for i := 0; i < MaxClasses; i++ {
+		if n := l.comparisons[i].Load(); n != 0 {
+			c += float64(n) * p.Unit(worker.Class(i))
+		}
 	}
 	return c
 }
@@ -128,27 +124,28 @@ func (l *Ledger) Cost(p Prices) float64 {
 // Add accumulates another ledger into this one (used to merge per-phase
 // ledgers into a run total).
 func (l *Ledger) Add(o *Ledger) {
-	l.init()
-	if o == nil || o.comparisons == nil {
-		if o != nil {
-			l.steps += o.steps
-		}
+	if o == nil {
 		return
 	}
-	for c, n := range o.comparisons {
-		l.comparisons[c] += n
+	for i := 0; i < MaxClasses; i++ {
+		if n := o.comparisons[i].Load(); n != 0 {
+			l.comparisons[i].Add(n)
+		}
+		if n := o.memoHits[i].Load(); n != 0 {
+			l.memoHits[i].Add(n)
+		}
 	}
-	for c, n := range o.memoHits {
-		l.memoHits[c] += n
-	}
-	l.steps += o.steps
+	l.steps.Add(o.steps.Load())
 }
 
-// Reset empties the ledger.
+// Reset empties the ledger. Not atomic with respect to concurrent writers;
+// reset only between runs.
 func (l *Ledger) Reset() {
-	l.comparisons = make(map[worker.Class]int64)
-	l.memoHits = make(map[worker.Class]int64)
-	l.steps = 0
+	for i := 0; i < MaxClasses; i++ {
+		l.comparisons[i].Store(0)
+		l.memoHits[i].Store(0)
+	}
+	l.steps.Store(0)
 }
 
 // String renders a one-line summary.

@@ -5,6 +5,7 @@ import (
 
 	"crowdmax/internal/core"
 	"crowdmax/internal/item"
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/stats"
 	"crowdmax/internal/tournament"
@@ -114,28 +115,43 @@ func BracketAccuracy(cfg BracketConfig) (Figure, error) {
 		},
 	})
 
+	// Each (n, trial) pair is one independent unit running every curve's
+	// runner on the same instance.
+	ranks := make([][]int, len(cfg.Ns)*cfg.Trials)
+	if err := parallel.For(cfg.Workers, len(ranks), func(c int) error {
+		ni, trial := c/cfg.Trials, c%cfg.Trials
+		cal, r, err := cfg.instance(cfg.Ns[ni], trial)
+		if err != nil {
+			return err
+		}
+		data := instanceData{
+			items:  cal.Set.Items(),
+			deltaN: cal.DeltaN,
+			deltaE: cal.DeltaE,
+			rank:   cal.Set.Rank,
+		}
+		rs := make([]int, len(cells))
+		for ci, cl := range cells {
+			rank, err := cl.run(data, r.Child(cl.name))
+			if err != nil {
+				return err
+			}
+			rs[ci] = rank
+		}
+		ranks[c] = rs
+		return nil
+	}); err != nil {
+		return Figure{}, err
+	}
 	sums := make([][]stats.Summary, len(cells))
 	for i := range sums {
 		sums[i] = make([]stats.Summary, len(cfg.Ns))
 	}
-	for ni, n := range cfg.Ns {
+	for ni := range cfg.Ns {
 		for trial := 0; trial < cfg.Trials; trial++ {
-			cal, r, err := cfg.instance(n, trial)
-			if err != nil {
-				return Figure{}, err
-			}
-			data := instanceData{
-				items:  cal.Set.Items(),
-				deltaN: cal.DeltaN,
-				deltaE: cal.DeltaE,
-				rank:   cal.Set.Rank,
-			}
-			for ci, c := range cells {
-				rank, err := c.run(data, r.Child(c.name))
-				if err != nil {
-					return Figure{}, err
-				}
-				sums[ci][ni].Add(float64(rank))
+			rs := ranks[ni*cfg.Trials+trial]
+			for ci := range cells {
+				sums[ci][ni].Add(float64(rs[ci]))
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"crowdmax/internal/cost"
 	"crowdmax/internal/dataset"
 	"crowdmax/internal/item"
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/stats"
 	"crowdmax/internal/tournament"
@@ -30,6 +31,9 @@ type CascadeConfig struct {
 	Trials int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the goroutines fanning trials out; 0 selects
+	// runtime.GOMAXPROCS(0). Output is identical for every value.
+	Workers int
 }
 
 func (c CascadeConfig) withDefaults() CascadeConfig {
@@ -75,51 +79,68 @@ func CascadeExperiment(cfg CascadeConfig) (Figure, error) {
 	cascadeRank := make([]float64, len(cfg.Ns))
 	twoLevelRank := make([]float64, len(cfg.Ns))
 
-	for ni, n := range cfg.Ns {
+	// Cells are (n, trial) pairs; each measures both arms on one instance.
+	type cell struct {
+		cCost, cRank, tCost, tRank float64
+	}
+	cells := make([]cell, len(cfg.Ns)*cfg.Trials)
+	if err := parallel.For(cfg.Workers, len(cells), func(c int) error {
+		ni, trial := c/cfg.Trials, c%cfg.Trials
+		n := cfg.Ns[ni]
+		r := rng.New(cfg.Seed).ChildN(fmt.Sprintf("cascade-n%d", n), trial)
+		set, deltas, err := threeLevelData(n, cfg.Us, r.Child("data"))
+		if err != nil {
+			return err
+		}
+
+		// Three-level cascade, each level billed at its price.
+		ledgers := [3]*cost.Ledger{cost.NewLedger(), cost.NewLedger(), cost.NewLedger()}
+		levels := make([]core.Level, 3)
+		for l := 0; l < 3; l++ {
+			w := &worker.Threshold{Delta: deltas[l],
+				Tie: worker.RandomTie{R: r.ChildN("cw", l)}, R: r.ChildN("cw", l)}
+			levels[l] = core.Level{
+				Oracle: tournament.NewOracle(w, worker.Class(l), ledgers[l], nil),
+				U:      cfg.Us[l],
+			}
+		}
+		cres, err := core.CascadeFindMax(set.Items(), core.CascadeOptions{Levels: levels})
+		if err != nil {
+			return err
+		}
+		total := 0.0
+		for l := 0; l < 3; l++ {
+			total += float64(ledgers[l].Comparisons(worker.Class(l))) * prices[l]
+		}
+		cells[c].cCost = total
+		cells[c].cRank = float64(set.Rank(cres.Best.ID))
+
+		// Two-level baseline: coarse filter at u1, fine phase 2.
+		ln, le := cost.NewLedger(), cost.NewLedger()
+		nw := &worker.Threshold{Delta: deltas[0],
+			Tie: worker.RandomTie{R: r.Child("tn")}, R: r.Child("tn")}
+		ew := &worker.Threshold{Delta: deltas[2],
+			Tie: worker.RandomTie{R: r.Child("te")}, R: r.Child("te")}
+		no := tournament.NewOracle(nw, worker.Naive, ln, nil)
+		eo := tournament.NewOracle(ew, worker.Expert, le, nil)
+		tres, err := core.FindMax(set.Items(), no, eo, core.FindMaxOptions{Un: cfg.Us[0]})
+		if err != nil {
+			return err
+		}
+		cells[c].tCost = float64(ln.Naive())*prices[0] + float64(le.Expert())*prices[2]
+		cells[c].tRank = float64(set.Rank(tres.Best.ID))
+		return nil
+	}); err != nil {
+		return Figure{}, err
+	}
+	for ni := range cfg.Ns {
 		var cCost, tCost, cRank, tRank stats.Summary
 		for trial := 0; trial < cfg.Trials; trial++ {
-			r := rng.New(cfg.Seed).ChildN(fmt.Sprintf("cascade-n%d", n), trial)
-			set, deltas, err := threeLevelData(n, cfg.Us, r.Child("data"))
-			if err != nil {
-				return Figure{}, err
-			}
-
-			// Three-level cascade, each level billed at its price.
-			ledgers := [3]*cost.Ledger{cost.NewLedger(), cost.NewLedger(), cost.NewLedger()}
-			levels := make([]core.Level, 3)
-			for l := 0; l < 3; l++ {
-				w := &worker.Threshold{Delta: deltas[l],
-					Tie: worker.RandomTie{R: r.ChildN("cw", l)}, R: r.ChildN("cw", l)}
-				levels[l] = core.Level{
-					Oracle: tournament.NewOracle(w, worker.Class(l), ledgers[l], nil),
-					U:      cfg.Us[l],
-				}
-			}
-			cres, err := core.CascadeFindMax(set.Items(), core.CascadeOptions{Levels: levels})
-			if err != nil {
-				return Figure{}, err
-			}
-			total := 0.0
-			for l := 0; l < 3; l++ {
-				total += float64(ledgers[l].Comparisons(worker.Class(l))) * prices[l]
-			}
-			cCost.Add(total)
-			cRank.Add(float64(set.Rank(cres.Best.ID)))
-
-			// Two-level baseline: coarse filter at u1, fine phase 2.
-			ln, le := cost.NewLedger(), cost.NewLedger()
-			nw := &worker.Threshold{Delta: deltas[0],
-				Tie: worker.RandomTie{R: r.Child("tn")}, R: r.Child("tn")}
-			ew := &worker.Threshold{Delta: deltas[2],
-				Tie: worker.RandomTie{R: r.Child("te")}, R: r.Child("te")}
-			no := tournament.NewOracle(nw, worker.Naive, ln, nil)
-			eo := tournament.NewOracle(ew, worker.Expert, le, nil)
-			tres, err := core.FindMax(set.Items(), no, eo, core.FindMaxOptions{Un: cfg.Us[0]})
-			if err != nil {
-				return Figure{}, err
-			}
-			tCost.Add(float64(ln.Naive())*prices[0] + float64(le.Expert())*prices[2])
-			tRank.Add(float64(set.Rank(tres.Best.ID)))
+			cl := cells[ni*cfg.Trials+trial]
+			cCost.Add(cl.cCost)
+			cRank.Add(cl.cRank)
+			tCost.Add(cl.tCost)
+			tRank.Add(cl.tRank)
 		}
 		cascadeCost[ni] = cCost.Mean()
 		twoLevelCost[ni] = tCost.Mean()

@@ -5,6 +5,7 @@ import (
 
 	"crowdmax/internal/core"
 	"crowdmax/internal/cost"
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/stats"
 )
 
@@ -120,21 +121,32 @@ func Fig7(cfg FactorCostConfig) (Figure, error) {
 		YLabel: "C(n)",
 	}
 	prices := cfg.prices()
-	for _, factor := range cfg.Factors {
-		unEst := estimatedUn(cfg.Un, factor)
+	// Cells are (factor, n, trial) triples, all independent.
+	perN := len(cfg.Ns) * cfg.Trials
+	costs := make([]float64, len(cfg.Factors)*perN)
+	if err := parallel.For(cfg.Workers, len(costs), func(c int) error {
+		fi, rest := c/perN, c%perN
+		ni, trial := rest/cfg.Trials, rest%cfg.Trials
+		factor := cfg.Factors[fi]
+		cal, r, err := cfg.instance(cfg.Ns[ni], trial)
+		if err != nil {
+			return err
+		}
+		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("cost-f%g", factor)))
+		if err != nil {
+			return err
+		}
+		costs[c] = float64(tr.NaiveComparisons)*prices.Naive + float64(tr.ExpertComparisons)*prices.Expert
+		return nil
+	}); err != nil {
+		return Figure{}, err
+	}
+	for fi, factor := range cfg.Factors {
 		ys := make([]float64, len(cfg.Ns))
-		for ni, n := range cfg.Ns {
+		for ni := range cfg.Ns {
 			var sum stats.Summary
 			for trial := 0; trial < cfg.Trials; trial++ {
-				cal, r, err := cfg.instance(n, trial)
-				if err != nil {
-					return Figure{}, err
-				}
-				tr, err := runTrial(Alg1, cal, unEst, r.Child(fmt.Sprintf("cost-f%g", factor)))
-				if err != nil {
-					return Figure{}, err
-				}
-				sum.Add(float64(tr.NaiveComparisons)*prices.Naive + float64(tr.ExpertComparisons)*prices.Expert)
+				sum.Add(costs[fi*perN+ni*cfg.Trials+trial])
 			}
 			ys[ni] = sum.Mean()
 		}

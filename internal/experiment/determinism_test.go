@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// workerWidths are the parallel widths every experiment must agree across.
+func workerWidths() []int {
+	widths := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		widths = append(widths, g)
+	}
+	return widths
+}
+
+func renderAcrossWidths(t *testing.T, name string, render func(workers int) ([]byte, error)) {
+	t.Helper()
+	var want []byte
+	for i, w := range workerWidths() {
+		got, err := render(w)
+		if err != nil {
+			t.Fatalf("%s workers=%d: %v", name, w, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: workers=%d output differs from workers=%d\n--- workers=%d\n%s\n--- workers=%d\n%s",
+				name, w, workerWidths()[0], workerWidths()[0], want, w, got)
+		}
+	}
+}
+
+func TestFig3DeterministicAcrossWorkers(t *testing.T) {
+	renderAcrossWidths(t, "fig3", func(workers int) ([]byte, error) {
+		fig, err := Fig3(Sweep{Ns: []int{400}, Trials: 4, Seed: 99, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := fig.WriteText(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+func TestFig5DeterministicAcrossWorkers(t *testing.T) {
+	renderAcrossWidths(t, "fig5", func(workers int) ([]byte, error) {
+		fig, err := Fig5(CostConfig{
+			Sweep: Sweep{Ns: []int{400}, Trials: 3, Seed: 7, Workers: workers},
+			CE:    10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := fig.WriteText(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+func TestTable1DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("platform simulation is slow")
+	}
+	renderAcrossWidths(t, "table1", func(workers int) ([]byte, error) {
+		tab, err := Table1(CrowdConfig{N: 20, Seed: 3, Spammers: 2, Parallel: workers})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteText(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+func BenchmarkFig3Parallel(b *testing.B) {
+	s := Sweep{Ns: []int{400, 800}, Trials: 4, Seed: 2015}
+	widths := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		widths = append(widths, g)
+	}
+	for _, workers := range widths {
+		s.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig3(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"crowdmax/internal/core"
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/stats"
 	"crowdmax/internal/tournament"
 	"crowdmax/internal/worker"
@@ -46,28 +47,40 @@ func EpsilonSweep(cfg EpsilonConfig) (Figure, error) {
 		XLabel: "epsilon",
 		YLabel: "average real rank of max",
 	}
-	for _, n := range cfg.Ns {
+	// Cells are (n, ε, trial) triples, all independent.
+	perN := len(cfg.Epsilons) * cfg.Trials
+	ranks := make([]float64, len(cfg.Ns)*perN)
+	if err := parallel.For(cfg.Workers, len(ranks), func(c int) error {
+		ni, rest := c/perN, c%perN
+		ei, trial := rest/cfg.Trials, rest%cfg.Trials
+		eps := cfg.Epsilons[ei]
+		cal, r, err := cfg.instance(cfg.Ns[ni], trial)
+		if err != nil {
+			return err
+		}
+		er := r.Child(fmt.Sprintf("eps%g", eps))
+		nw := &worker.Threshold{Delta: cal.DeltaN, Epsilon: eps,
+			Tie: worker.RandomTie{R: er.Child("n")}, R: er.Child("n")}
+		ew := &worker.Threshold{Delta: cal.DeltaE, Epsilon: eps,
+			Tie: worker.RandomTie{R: er.Child("e")}, R: er.Child("e")}
+		no := tournament.NewOracle(nw, worker.Naive, nil, nil)
+		eo := tournament.NewOracle(ew, worker.Expert, nil, nil)
+		res, err := core.FindMax(cal.Set.Items(), no, eo, core.FindMaxOptions{Un: cfg.Un})
+		if err != nil {
+			return err
+		}
+		ranks[c] = float64(cal.Set.Rank(res.Best.ID))
+		return nil
+	}); err != nil {
+		return Figure{}, err
+	}
+	for ni, n := range cfg.Ns {
 		ys := make([]float64, len(cfg.Epsilons))
 		errs := make([]float64, len(cfg.Epsilons))
-		for ei, eps := range cfg.Epsilons {
+		for ei := range cfg.Epsilons {
 			var sum stats.Summary
 			for trial := 0; trial < cfg.Trials; trial++ {
-				cal, r, err := cfg.instance(n, trial)
-				if err != nil {
-					return Figure{}, err
-				}
-				er := r.Child(fmt.Sprintf("eps%g", eps))
-				nw := &worker.Threshold{Delta: cal.DeltaN, Epsilon: eps,
-					Tie: worker.RandomTie{R: er.Child("n")}, R: er.Child("n")}
-				ew := &worker.Threshold{Delta: cal.DeltaE, Epsilon: eps,
-					Tie: worker.RandomTie{R: er.Child("e")}, R: er.Child("e")}
-				no := tournament.NewOracle(nw, worker.Naive, nil, nil)
-				eo := tournament.NewOracle(ew, worker.Expert, nil, nil)
-				res, err := core.FindMax(cal.Set.Items(), no, eo, core.FindMaxOptions{Un: cfg.Un})
-				if err != nil {
-					return Figure{}, err
-				}
-				sum.Add(float64(cal.Set.Rank(res.Best.ID)))
+				sum.Add(ranks[ni*perN+ei*cfg.Trials+trial])
 			}
 			ys[ei] = sum.Mean()
 			errs[ei] = sum.StdErr()

@@ -128,6 +128,12 @@ type Sweep struct {
 	Trials int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the goroutines fanning independent trials out
+	// (0 selects runtime.GOMAXPROCS(0), 1 runs sequentially). Every trial
+	// derives its own random stream from Seed, and results are reduced in
+	// a fixed (n, trial, approach) order, so output is bit-for-bit
+	// identical for every value of Workers.
+	Workers int
 }
 
 func (s Sweep) withDefaults() Sweep {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"crowdmax/internal/item"
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/stats"
 	"crowdmax/internal/worker"
@@ -24,6 +25,12 @@ type Fig2Config struct {
 	MaxWorkers int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the goroutines fanning difficulty bands out; 0
+	// selects runtime.GOMAXPROCS(0). Parallelism is per band — a band's
+	// world draws latent pair parameters from one stream in encounter
+	// order, so trials within a band stay sequential — and output is
+	// identical for every value.
+	Workers int
 }
 
 func (c Fig2Config) withDefaults() Fig2Config {
@@ -84,7 +91,9 @@ func fig2Panel(title string, bands []band, regime worker.Regime, lo, hi float64,
 	for k := 1; k <= cfg.MaxWorkers; k += 2 {
 		ks = append(ks, float64(k))
 	}
-	for bi, b := range bands {
+	curves := make([]Curve, len(bands))
+	if err := parallel.For(cfg.Workers, len(bands), func(bi int) error {
+		b := bands[bi]
 		world := worker.NewWorld(regime, r.ChildN("world", bi))
 		accs := make([]*stats.Summary, len(ks))
 		for i := range accs {
@@ -94,7 +103,7 @@ func fig2Panel(title string, bands []band, regime worker.Regime, lo, hi float64,
 			pr := r.ChildN(fmt.Sprintf("band%d-pair", bi), p)
 			a, bIt, err := pairInBand(b, lo, hi, 2*p, pr)
 			if err != nil {
-				return Figure{}, err
+				return err
 			}
 			hiIt := a
 			if bIt.Value > a.Value {
@@ -130,13 +139,17 @@ func fig2Panel(title string, bands []band, regime worker.Regime, lo, hi float64,
 			ys[i] = s.Mean()
 			errs[i] = s.StdErr()
 		}
-		fig.Curves = append(fig.Curves, Curve{
+		curves[bi] = Curve{
 			Name: b.label + fmt.Sprintf(",%d", cfg.PairsPerBand),
 			X:    append([]float64(nil), ks...),
 			Y:    ys,
 			Err:  errs,
-		})
+		}
+		return nil
+	}); err != nil {
+		return Figure{}, err
 	}
+	fig.Curves = append(fig.Curves, curves...)
 	return fig, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/stats"
 )
 
@@ -27,18 +28,34 @@ func Fig3(s Sweep) (Figure, error) {
 			perApproach[a][i] = &stats.Summary{}
 		}
 	}
-	for ni, n := range s.Ns {
-		for trial := 0; trial < s.Trials; trial++ {
-			cal, r, err := s.instance(n, trial)
+	// Fan the (n, trial) cells out across the pool — each cell seeds its
+	// own instance and worker streams — then reduce into the summaries in
+	// the fixed (n, trial, approach) order a sequential run would use.
+	ranks := make([][]int, len(s.Ns)*s.Trials)
+	if err := parallel.For(s.Workers, len(ranks), func(c int) error {
+		ni, trial := c/s.Trials, c%s.Trials
+		cal, r, err := s.instance(s.Ns[ni], trial)
+		if err != nil {
+			return err
+		}
+		rs := make([]int, len(Approaches))
+		for ai, a := range Approaches {
+			tr, err := runTrial(a, cal, s.Un, r.Child(a.String()))
 			if err != nil {
-				return Figure{}, err
+				return err
 			}
-			for _, a := range Approaches {
-				tr, err := runTrial(a, cal, s.Un, r.Child(a.String()))
-				if err != nil {
-					return Figure{}, err
-				}
-				perApproach[a][ni].Add(float64(tr.Rank))
+			rs[ai] = tr.Rank
+		}
+		ranks[c] = rs
+		return nil
+	}); err != nil {
+		return Figure{}, err
+	}
+	for ni := range s.Ns {
+		for trial := 0; trial < s.Trials; trial++ {
+			rs := ranks[ni*s.Trials+trial]
+			for ai, a := range Approaches {
+				perApproach[a][ni].Add(float64(rs[ai]))
 			}
 		}
 	}
@@ -85,22 +102,33 @@ func Fig6(cfg Fig6Config) (Figure, error) {
 		XLabel: "n",
 		YLabel: "average real rank of max",
 	}
-	for _, factor := range cfg.Factors {
-		unEst := estimatedUn(cfg.Un, factor)
+	// Cells are (factor, n, trial) triples, all independent.
+	perN := len(cfg.Ns) * cfg.Trials
+	ranks := make([]int, len(cfg.Factors)*perN)
+	if err := parallel.For(cfg.Workers, len(ranks), func(c int) error {
+		fi, rest := c/perN, c%perN
+		ni, trial := rest/cfg.Trials, rest%cfg.Trials
+		factor := cfg.Factors[fi]
+		cal, r, err := cfg.instance(cfg.Ns[ni], trial)
+		if err != nil {
+			return err
+		}
+		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("f%g", factor)))
+		if err != nil {
+			return err
+		}
+		ranks[c] = tr.Rank
+		return nil
+	}); err != nil {
+		return Figure{}, err
+	}
+	for fi, factor := range cfg.Factors {
 		ys := make([]float64, len(cfg.Ns))
 		errs := make([]float64, len(cfg.Ns))
-		for ni, n := range cfg.Ns {
+		for ni := range cfg.Ns {
 			var sum stats.Summary
 			for trial := 0; trial < cfg.Trials; trial++ {
-				cal, r, err := cfg.instance(n, trial)
-				if err != nil {
-					return Figure{}, err
-				}
-				tr, err := runTrial(Alg1, cal, unEst, r.Child(fmt.Sprintf("f%g", factor)))
-				if err != nil {
-					return Figure{}, err
-				}
-				sum.Add(float64(tr.Rank))
+				sum.Add(float64(ranks[fi*perN+ni*cfg.Trials+trial]))
 			}
 			ys[ni] = sum.Mean()
 			errs[ni] = sum.StdErr()

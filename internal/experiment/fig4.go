@@ -6,6 +6,7 @@ import (
 	"crowdmax/internal/core"
 	"crowdmax/internal/cost"
 	"crowdmax/internal/dataset"
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/stats"
 	"crowdmax/internal/tournament"
@@ -33,46 +34,74 @@ func measureComparisons(s Sweep) ([]comparisonsPoint, error) {
 		return nil, err
 	}
 	points := make([]comparisonsPoint, len(s.Ns))
+
+	// Per-(n, trial) measurement cells, fanned out across the pool.
+	type trialCounts struct {
+		a1n, a1e, tn, te float64
+	}
+	cells := make([]trialCounts, len(s.Ns)*s.Trials)
+	if err := parallel.For(s.Workers, len(cells), func(c int) error {
+		ni, trial := c/s.Trials, c%s.Trials
+		cal, r, err := s.instance(s.Ns[ni], trial)
+		if err != nil {
+			return err
+		}
+		trA, err := runTrial(Alg1, cal, s.Un, r.Child("alg1"))
+		if err != nil {
+			return err
+		}
+		trN, err := runTrial(TwoMaxFindNaive, cal, s.Un, r.Child("2mf-naive"))
+		if err != nil {
+			return err
+		}
+		trE, err := runTrial(TwoMaxFindExpert, cal, s.Un, r.Child("2mf-expert"))
+		if err != nil {
+			return err
+		}
+		cells[c] = trialCounts{
+			a1n: float64(trA.NaiveComparisons),
+			a1e: float64(trA.ExpertComparisons),
+			tn:  float64(trN.NaiveComparisons),
+			te:  float64(trE.ExpertComparisons),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Worst cases, following Section 5: "For our algorithm we considered
+	// the upper bound predicted by the theory"; for 2-MaxFind, adversarial
+	// instances maximizing its comparisons — one independent (and
+	// expensive) run per n, also fanned out.
+	wcs := make([]float64, len(s.Ns))
+	if err := parallel.For(s.Workers, len(s.Ns), func(ni int) error {
+		wc, err := adversarialTwoMaxFind(s.Ns[ni], rng.New(s.Seed).ChildN("wc", s.Ns[ni]))
+		if err != nil {
+			return err
+		}
+		wcs[ni] = wc
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
 	for ni, n := range s.Ns {
 		p := comparisonsPoint{N: n}
 		var a1n, a1e, tn, te stats.Summary
 		for trial := 0; trial < s.Trials; trial++ {
-			cal, r, err := s.instance(n, trial)
-			if err != nil {
-				return nil, err
-			}
-			trA, err := runTrial(Alg1, cal, s.Un, r.Child("alg1"))
-			if err != nil {
-				return nil, err
-			}
-			a1n.Add(float64(trA.NaiveComparisons))
-			a1e.Add(float64(trA.ExpertComparisons))
-			trN, err := runTrial(TwoMaxFindNaive, cal, s.Un, r.Child("2mf-naive"))
-			if err != nil {
-				return nil, err
-			}
-			tn.Add(float64(trN.NaiveComparisons))
-			trE, err := runTrial(TwoMaxFindExpert, cal, s.Un, r.Child("2mf-expert"))
-			if err != nil {
-				return nil, err
-			}
-			te.Add(float64(trE.ExpertComparisons))
+			cell := cells[ni*s.Trials+trial]
+			a1n.Add(cell.a1n)
+			a1e.Add(cell.a1e)
+			tn.Add(cell.tn)
+			te.Add(cell.te)
 		}
 		p.Alg1NaiveAvg = a1n.Mean()
 		p.Alg1ExpertAvg = a1e.Mean()
 		p.TwoMFNaiveAvg = tn.Mean()
 		p.TwoMFExpertAvg = te.Mean()
-
-		// Worst cases, following Section 5: "For our algorithm we
-		// considered the upper bound predicted by the theory"; for
-		// 2-MaxFind, adversarial instances maximizing its comparisons.
 		p.Alg1NaiveWC = core.Phase1UpperBound(n, s.Un)
 		p.Alg1ExpertWC = core.Phase2ExpertUpperBound(s.Un)
-		wc, err := adversarialTwoMaxFind(n, rng.New(s.Seed).ChildN("wc", n))
-		if err != nil {
-			return nil, err
-		}
-		p.TwoMFWC = wc
+		p.TwoMFWC = wcs[ni]
 		points[ni] = p
 	}
 	return points, nil

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"crowdmax/internal/item"
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/stats"
 	"crowdmax/internal/worker"
@@ -20,6 +21,9 @@ type MajorityConfig struct {
 	Trials int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the goroutines fanning (p, k) cells out; 0 selects
+	// runtime.GOMAXPROCS(0). Output is identical for every value.
+	Workers int
 }
 
 func (c MajorityConfig) withDefaults() MajorityConfig {
@@ -76,37 +80,43 @@ func MajorityBound(cfg MajorityConfig) (MajorityResult, error) {
 	root := rng.New(cfg.Seed).Child("majority")
 	a, b := item.Item{ID: 0, Value: 0}, item.Item{ID: 1, Value: 1}
 
-	var out MajorityResult
-	for pi, p := range cfg.Ps {
+	for _, p := range cfg.Ps {
 		if p < 0 || p >= 0.5 {
 			return MajorityResult{}, fmt.Errorf("experiment: error probability %g outside [0, 0.5)", p)
 		}
-		for ki, k := range cfg.Ks {
-			r := root.ChildN(fmt.Sprintf("p%d", pi), ki)
-			w := worker.NewProbabilistic(p, r)
-			wrongMajorities := 0.0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				votesWrong := 0
-				for v := 0; v < k; v++ {
-					if w.Compare(a, b).ID == 0 {
-						votesWrong++
-					}
-				}
-				switch {
-				case 2*votesWrong > k:
-					wrongMajorities++
-				case 2*votesWrong == k:
-					wrongMajorities += 0.5
+	}
+	// Cells are (p, k) pairs, all independent.
+	rows := make([]MajorityRow, len(cfg.Ps)*len(cfg.Ks))
+	if err := parallel.For(cfg.Workers, len(rows), func(c int) error {
+		pi, ki := c/len(cfg.Ks), c%len(cfg.Ks)
+		p, k := cfg.Ps[pi], cfg.Ks[ki]
+		r := root.ChildN(fmt.Sprintf("p%d", pi), ki)
+		w := worker.NewProbabilistic(p, r)
+		wrongMajorities := 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			votesWrong := 0
+			for v := 0; v < k; v++ {
+				if w.Compare(a, b).ID == 0 {
+					votesWrong++
 				}
 			}
-			out.Rows = append(out.Rows, MajorityRow{
-				P:         p,
-				K:         k,
-				Empirical: wrongMajorities / float64(cfg.Trials),
-				Exact:     1 - stats.MajorityCorrectProb(1-p, k),
-				Chernoff:  stats.ChernoffMajorityBound(p, k),
-			})
+			switch {
+			case 2*votesWrong > k:
+				wrongMajorities++
+			case 2*votesWrong == k:
+				wrongMajorities += 0.5
+			}
 		}
+		rows[c] = MajorityRow{
+			P:         p,
+			K:         k,
+			Empirical: wrongMajorities / float64(cfg.Trials),
+			Exact:     1 - stats.MajorityCorrectProb(1-p, k),
+			Chernoff:  stats.ChernoffMajorityBound(p, k),
+		}
+		return nil
+	}); err != nil {
+		return MajorityResult{}, err
 	}
-	return out, nil
+	return MajorityResult{Rows: rows}, nil
 }

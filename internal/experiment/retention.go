@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"io"
+
+	"crowdmax/internal/parallel"
 )
 
 // RetentionResult reports, for each estimation factor, the fraction of runs
@@ -48,26 +50,34 @@ func Retention(cfg Fig6Config) (RetentionResult, error) {
 		Factors: cfg.Factors,
 		Runs:    len(cfg.Ns) * cfg.Trials,
 	}
-	for _, factor := range cfg.Factors {
-		unEst := estimatedUn(cfg.Un, factor)
-		retained, runs := 0, 0
-		for _, n := range cfg.Ns {
-			for trial := 0; trial < cfg.Trials; trial++ {
-				cal, r, err := cfg.instance(n, trial)
-				if err != nil {
-					return RetentionResult{}, err
-				}
-				tr, err := runTrial(Alg1, cal, unEst, r.Child(fmt.Sprintf("ret-f%g", factor)))
-				if err != nil {
-					return RetentionResult{}, err
-				}
-				runs++
-				if tr.MaxRetained {
-					retained++
-				}
+	// Cells are (factor, n, trial) triples, all independent.
+	perN := len(cfg.Ns) * cfg.Trials
+	kept := make([]bool, len(cfg.Factors)*perN)
+	if err := parallel.For(cfg.Workers, len(kept), func(c int) error {
+		fi, rest := c/perN, c%perN
+		ni, trial := rest/cfg.Trials, rest%cfg.Trials
+		factor := cfg.Factors[fi]
+		cal, r, err := cfg.instance(cfg.Ns[ni], trial)
+		if err != nil {
+			return err
+		}
+		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("ret-f%g", factor)))
+		if err != nil {
+			return err
+		}
+		kept[c] = tr.MaxRetained
+		return nil
+	}); err != nil {
+		return RetentionResult{}, err
+	}
+	for fi := range cfg.Factors {
+		retained := 0
+		for c := fi * perN; c < (fi+1)*perN; c++ {
+			if kept[c] {
+				retained++
 			}
 		}
-		res.Retention = append(res.Retention, float64(retained)/float64(runs))
+		res.Retention = append(res.Retention, float64(retained)/float64(perN))
 	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"crowdmax/internal/core"
 	"crowdmax/internal/dataset"
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/tournament"
 	"crowdmax/internal/worker"
@@ -27,6 +28,12 @@ type SearchConfig struct {
 	DeltaE float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the goroutines fanning queries out; 0 selects
+	// runtime.GOMAXPROCS(0). Parallelism is per query — a query's crowd
+	// world draws latent pair parameters in encounter order, so the runs
+	// within a query stay sequential — and output is identical for every
+	// value.
+	Workers int
 }
 
 func (c SearchConfig) withDefaults() SearchConfig {
@@ -101,22 +108,26 @@ func (s SearchResult) WriteText(w io.Writer) error {
 func SearchEval(cfg SearchConfig) (SearchResult, error) {
 	cfg = cfg.withDefaults()
 	root := rng.New(cfg.Seed).Child("search")
-	var out SearchResult
+	queries := []dataset.SearchQuery{dataset.QueryAsymmetricTSP, dataset.QuerySteinerTree}
 
-	for qi, query := range []dataset.SearchQuery{dataset.QueryAsymmetricTSP, dataset.QuerySteinerTree} {
+	// Queries are independent units; each owns its crowd world.
+	perQuery := make([]SearchResult, len(queries))
+	if err := parallel.For(cfg.Workers, len(queries), func(qi int) error {
+		query := queries[qi]
 		qr := root.ChildN("query", qi)
 		set, err := dataset.SearchResults(query, cfg.N, 0.05, qr.Child("data"))
 		if err != nil {
-			return SearchResult{}, err
+			return err
 		}
 		world := worker.NewWorld(worker.PlateauRegime{Threshold: 0.2, Epsilon: 0.02}, qr.Child("world"))
+		var out SearchResult
 
 		for _, un := range cfg.Uns {
 			r := qr.ChildN("un", un)
 			naive := tournament.NewOracle(world.Worker(r.Child("naive")), worker.Naive, nil, tournament.NewMemo())
 			candidates, err := core.Filter(set.Items(), naive, core.FilterOptions{Un: un})
 			if err != nil {
-				return SearchResult{}, err
+				return err
 			}
 			promoted := false
 			for _, c := range candidates {
@@ -128,7 +139,7 @@ func SearchEval(cfg SearchConfig) (SearchResult, error) {
 			eo := tournament.NewOracle(ew, worker.Expert, nil, tournament.NewMemo())
 			best, err := core.RunPhase2(candidates, eo, core.Phase2TwoMaxFind, core.RandomizedOptions{})
 			if err != nil {
-				return SearchResult{}, err
+				return err
 			}
 			out.Rows = append(out.Rows, SearchRow{
 				Query:       query,
@@ -144,7 +155,7 @@ func SearchEval(cfg SearchConfig) (SearchResult, error) {
 			naive := tournament.NewOracle(world.Worker(r), worker.Naive, nil, tournament.NewMemo())
 			best, err := core.TwoMaxFind(set.Items(), naive)
 			if err != nil {
-				return SearchResult{}, err
+				return err
 			}
 			out.NaiveOnly = append(out.NaiveOnly, NaiveRun{
 				Query: query,
@@ -152,6 +163,15 @@ func SearchEval(cfg SearchConfig) (SearchResult, error) {
 				Found: best.ID == set.Max().ID,
 			})
 		}
+		perQuery[qi] = out
+		return nil
+	}); err != nil {
+		return SearchResult{}, err
+	}
+	var out SearchResult
+	for _, q := range perQuery {
+		out.Rows = append(out.Rows, q.Rows...)
+		out.NaiveOnly = append(out.NaiveOnly, q.NaiveOnly...)
 	}
 	return out, nil
 }

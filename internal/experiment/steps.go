@@ -5,6 +5,7 @@ import (
 
 	"crowdmax/internal/core"
 	"crowdmax/internal/cost"
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/stats"
 	"crowdmax/internal/tournament"
 	"crowdmax/internal/worker"
@@ -39,40 +40,52 @@ func StepsExperiment(s Sweep) (Figure, error) {
 	curves := []series{
 		{name: "Alg 1"}, {name: "2-MaxFind-expert"}, {name: "bracket"},
 	}
-	for _, n := range s.Ns {
+	// Cells are (n, trial) pairs; each measures all three approaches.
+	steps := make([][3]float64, len(s.Ns)*s.Trials)
+	if err := parallel.For(s.Workers, len(steps), func(c int) error {
+		ni, trial := c/s.Trials, c%s.Trials
+		cal, r, err := s.instance(s.Ns[ni], trial)
+		if err != nil {
+			return err
+		}
+		items := cal.Set.Items()
+
+		l := cost.NewLedger()
+		nw := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r.Child("a")}, R: r.Child("a")}
+		ew := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("b")}, R: r.Child("b")}
+		no := tournament.NewOracle(nw, worker.Naive, l, nil)
+		eo := tournament.NewOracle(ew, worker.Expert, l, nil)
+		if _, err := core.FindMax(items, no, eo, core.FindMaxOptions{Un: s.Un}); err != nil {
+			return err
+		}
+		steps[c][0] = float64(l.Steps())
+
+		l2 := cost.NewLedger()
+		ew2 := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("c")}, R: r.Child("c")}
+		eo2 := tournament.NewOracle(ew2, worker.Expert, l2, nil)
+		if _, err := core.TwoMaxFind(items, eo2); err != nil {
+			return err
+		}
+		steps[c][1] = float64(l2.Steps())
+
+		l3 := cost.NewLedger()
+		nw3 := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r.Child("d")}, R: r.Child("d")}
+		no3 := tournament.NewOracle(nw3, worker.Naive, l3, nil)
+		if _, err := core.TournamentMax(items, no3, core.BracketOptions{}); err != nil {
+			return err
+		}
+		steps[c][2] = float64(l3.Steps())
+		return nil
+	}); err != nil {
+		return Figure{}, err
+	}
+	for ni := range s.Ns {
 		sums := make([]stats.Summary, 3)
 		for trial := 0; trial < s.Trials; trial++ {
-			cal, r, err := s.instance(n, trial)
-			if err != nil {
-				return Figure{}, err
+			cell := steps[ni*s.Trials+trial]
+			for i := range sums {
+				sums[i].Add(cell[i])
 			}
-			items := cal.Set.Items()
-
-			l := cost.NewLedger()
-			nw := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r.Child("a")}, R: r.Child("a")}
-			ew := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("b")}, R: r.Child("b")}
-			no := tournament.NewOracle(nw, worker.Naive, l, nil)
-			eo := tournament.NewOracle(ew, worker.Expert, l, nil)
-			if _, err := core.FindMax(items, no, eo, core.FindMaxOptions{Un: s.Un}); err != nil {
-				return Figure{}, err
-			}
-			sums[0].Add(float64(l.Steps()))
-
-			l2 := cost.NewLedger()
-			ew2 := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("c")}, R: r.Child("c")}
-			eo2 := tournament.NewOracle(ew2, worker.Expert, l2, nil)
-			if _, err := core.TwoMaxFind(items, eo2); err != nil {
-				return Figure{}, err
-			}
-			sums[1].Add(float64(l2.Steps()))
-
-			l3 := cost.NewLedger()
-			nw3 := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r.Child("d")}, R: r.Child("d")}
-			no3 := tournament.NewOracle(nw3, worker.Naive, l3, nil)
-			if _, err := core.TournamentMax(items, no3, core.BracketOptions{}); err != nil {
-				return Figure{}, err
-			}
-			sums[2].Add(float64(l3.Steps()))
 		}
 		for i := range curves {
 			curves[i].ys = append(curves[i].ys, sums[i].Mean())

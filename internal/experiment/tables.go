@@ -8,6 +8,7 @@ import (
 	"crowdmax/internal/cost"
 	"crowdmax/internal/dataset"
 	"crowdmax/internal/item"
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/platform"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/tournament"
@@ -38,6 +39,12 @@ type CrowdConfig struct {
 	Experiments int
 	// Seed drives all randomness.
 	Seed uint64
+	// Parallel bounds the goroutines fanning independent experiments out;
+	// 0 selects runtime.GOMAXPROCS(0). (Workers above is the simulated
+	// platform's pool size, a model parameter — not a concurrency knob.)
+	// Each experiment owns its platform and crowd world, and output is
+	// identical for every value of Parallel.
+	Parallel int
 }
 
 func (c CrowdConfig) withDefaults() CrowdConfig {
@@ -202,15 +209,18 @@ func Table1(cfg CrowdConfig) (CrowdTable, error) {
 	set := dataset.Dots(cfg.N)
 	gold := dataset.DotsGold()
 
-	var rankings [][]item.Item
-	for e := 0; e < cfg.Experiments; e++ {
+	rankings := make([][]item.Item, cfg.Experiments)
+	if err := parallel.For(cfg.Parallel, cfg.Experiments, func(e int) error {
 		r := root.ChildN("exp", e)
 		world := worker.NewWorld(worker.WisdomRegime{Sharpness: 5}, r.Child("world"))
 		_, ranking, err := crowdRun(set.Items(), gold, world, cfg, r)
 		if err != nil {
-			return CrowdTable{}, fmt.Errorf("experiment %d: %w", e+1, err)
+			return fmt.Errorf("experiment %d: %w", e+1, err)
 		}
-		rankings = append(rankings, ranking)
+		rankings[e] = ranking
+		return nil
+	}); err != nil {
+		return CrowdTable{}, err
 	}
 	return buildCrowdTable("Table 1 — DOTS last-round ranking (fewest dots first)", set, rankings, 9), nil
 }
@@ -231,15 +241,18 @@ func Table2(cfg CrowdConfig) (CrowdTable, *item.Set, error) {
 		return CrowdTable{}, nil, err
 	}
 
-	var rankings [][]item.Item
-	for e := 0; e < cfg.Experiments; e++ {
+	rankings := make([][]item.Item, cfg.Experiments)
+	if err := parallel.For(cfg.Parallel, cfg.Experiments, func(e int) error {
 		r := root.ChildN("exp", e)
 		world := worker.NewWorld(worker.PlateauRegime{Threshold: 0.2, Epsilon: 0.02}, r.Child("world"))
 		_, ranking, err := crowdRun(set.Items(), nil, world, cfg, r)
 		if err != nil {
-			return CrowdTable{}, nil, fmt.Errorf("experiment %d: %w", e+1, err)
+			return fmt.Errorf("experiment %d: %w", e+1, err)
 		}
-		rankings = append(rankings, ranking)
+		rankings[e] = ranking
+		return nil
+	}); err != nil {
+		return CrowdTable{}, nil, err
 	}
 	return buildCrowdTable("Table 2 — CARS last-round ranking (most expensive first)", set, rankings, 19), set, nil
 }

@@ -1,0 +1,109 @@
+// Package parallel provides the bounded worker pool behind the repository's
+// deterministic parallel execution engine.
+//
+// The experiment harness runs large sweeps of independently seeded trials —
+// the embarrassingly parallel Monte-Carlo pattern of the paper's evaluation
+// (and of its batch execution model, Section 3, following Venetis et al.).
+// Because every trial derives its own random stream from the root seed via
+// rng.Source.Child/ChildN, the *values* computed per trial do not depend on
+// execution order; determinism is preserved by collecting results into
+// index-addressed slots and reducing them in a fixed order afterwards.
+//
+// The contract, relied on by internal/experiment:
+//
+//   - For(workers, n, fn) calls fn(i) exactly once for every i in [0, n)
+//     (error-free runs), from at most workers goroutines.
+//   - fn(i) must write its result to a slot owned exclusively by index i
+//     (e.g. out[i]); For establishes the happens-before edge that makes all
+//     writes visible to the caller when it returns.
+//   - The returned error is the error of the lowest failing index — the same
+//     error a sequential loop would return — regardless of scheduling or
+//     worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default pool width: runtime.GOMAXPROCS(0).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Normalize maps the conventional "Workers knob" encoding to a concrete
+// width: values ≤ 0 select DefaultWorkers.
+func Normalize(workers int) int {
+	if workers <= 0 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) on a bounded pool of at most workers
+// goroutines (workers ≤ 0 selects DefaultWorkers) and waits for completion.
+//
+// Error propagation is deterministic: when any call fails, For returns the
+// error of the lowest failing index, exactly as a sequential loop would.
+// With workers == 1 the loop runs inline on the calling goroutine and stops
+// at the first error; with more workers every index still runs (trial
+// workloads are cheap and independent), so the lowest-index error is always
+// observed. A panic in fn is re-raised on the calling goroutine.
+func For(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  atomic.Bool
+		panicVal  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() {
+								panicVal = r
+								panicked.Store(true)
+							})
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if Normalize(0) != DefaultWorkers() || Normalize(-3) != DefaultWorkers() {
+		t.Fatal("Normalize of non-positive widths must select the default")
+	}
+	if Normalize(5) != 5 {
+		t.Fatal("Normalize must pass positive widths through")
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		const n = 137
+		counts := make([]atomic.Int64, n)
+		if err := For(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForOrderedResults(t *testing.T) {
+	const n = 500
+	out := make([]int, n)
+	if err := For(8, n, func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForReturnsLowestIndexError(t *testing.T) {
+	// Several indices fail; the reported error must be the lowest one,
+	// matching what a sequential loop would return, for every pool width.
+	for _, workers := range []int{1, 3, 8} {
+		err := For(workers, 100, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("index %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "index 3" {
+			t.Fatalf("workers=%d: err = %v, want index 3", workers, err)
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	if err := For(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := For(4, -5, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	_ = For(4, 50, func(i int) error {
+		if i == 20 {
+			panic("boom")
+		}
+		return nil
+	})
+}

@@ -79,9 +79,12 @@ type account struct {
 	banned      bool
 }
 
-// Platform is a simulated crowdsourcing platform. Not safe for concurrent
-// use; algorithms drive it from a single goroutine, as the batch model
-// implies.
+// Platform is a simulated crowdsourcing platform. Each Platform instance is
+// owned by one goroutine at a time — its worker accounts and gold-question
+// state evolve with every submitted batch, so a run drives its own instance
+// (experiments running in parallel each construct their own Platform). The
+// surrounding machinery (Oracle, Memo, Ledger) is safe for concurrent use;
+// see package tournament.
 type Platform struct {
 	cfg      Config
 	accounts []*account

@@ -1,6 +1,9 @@
 package tournament
 
-import "crowdmax/internal/item"
+import (
+	"crowdmax/internal/item"
+	"crowdmax/internal/parallel"
+)
 
 // BatchComparator is implemented by comparison sources that can answer a
 // batch of independent comparisons in one logical step — the execution
@@ -78,6 +81,10 @@ func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
 		}
 		return winners
 	}
+	if o.batchWorkers > 1 && len(todo) > 1 {
+		o.compareParallel(pairs, todo, winners)
+		return winners
+	}
 	for _, i := range todo {
 		p := pairs[i]
 		// A duplicate may have been memoized by an earlier element of
@@ -94,6 +101,44 @@ func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
 		o.settle(p, o.cmp.Compare(p[0], p[1]), &winners[i])
 	}
 	return winners
+}
+
+// compareParallel answers the todo indices of pairs concurrently on the
+// oracle's batch pool (see ParallelBatch). Duplicate pairs are separated
+// first when memoization is enabled — exactly like the sequential path,
+// which serves them as memo hits — so billing and answers are identical to
+// a sequential run whenever the comparator is order-independent. Each
+// worker writes only its own winners slot; ledger and memo are
+// concurrency-safe.
+func (o *Oracle) compareParallel(pairs [][2]item.Item, todo []int, winners []item.Item) {
+	sub := todo
+	var dups []int
+	if o.memo != nil {
+		sub = make([]int, 0, len(todo))
+		seen := make(map[[2]int]bool, len(todo))
+		for _, i := range todo {
+			k := key(pairs[i][0].ID, pairs[i][1].ID)
+			if seen[k] {
+				dups = append(dups, i)
+				continue
+			}
+			seen[k] = true
+			sub = append(sub, i)
+		}
+	}
+	_ = parallel.For(o.batchWorkers, len(sub), func(j int) error {
+		i := sub[j]
+		p := pairs[i]
+		o.settle(p, o.cmp.Compare(p[0], p[1]), &winners[i])
+		return nil
+	})
+	for _, i := range dups {
+		w, _ := o.memo.lookup(pairs[i][0].ID, pairs[i][1].ID)
+		if o.ledger != nil {
+			o.ledger.MemoHit(o.class)
+		}
+		winners[i] = pick(pairs[i], w)
+	}
 }
 
 // settle bills one fresh answer, memoizes it and records the winner.

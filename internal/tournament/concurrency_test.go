@@ -12,30 +12,44 @@ import (
 
 func TestMemoConcurrentAccess(t *testing.T) {
 	// Memo documents safety for concurrent use: goroutines racing to
-	// answer overlapping pairs must converge on one answer per pair.
+	// answer overlapping pairs must converge on one answer per pair, and
+	// the shared atomic ledger must account for every comparison exactly
+	// once (as a fresh charge or as a memo hit).
+	const goroutines = 32
+	const perGoroutine = 300
 	root := rng.New(1)
 	memo := NewMemo()
+	ledger := cost.NewLedger()
 	items := make([]item.Item, 10)
 	for i := range items {
 		items[i] = item.Item{ID: i, Value: float64(i) * 0.1}
 	}
 	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
+	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			// Per-goroutine worker and oracle sharing only the memo;
-			// workers and ledgers are documented single-goroutine.
+			// Per-goroutine worker and oracle sharing the memo and the
+			// ledger; workers are documented single-goroutine.
 			r := root.ChildN("g", g)
 			w := worker.NewThreshold(10, 0, r) // all arbitrary: only memo makes it consistent
-			o := NewOracle(w, worker.Naive, cost.NewLedger(), memo)
-			for i := 0; i < 300; i++ {
+			o := NewOracle(w, worker.Naive, ledger, memo)
+			for i := 0; i < perGoroutine; i++ {
 				a, b := items[i%10], items[(i+3)%10]
 				o.Compare(a, b)
 			}
 		}(g)
 	}
 	wg.Wait()
+	// Every request was either charged or a memo hit; no update was lost.
+	total := ledger.Comparisons(worker.Naive) + ledger.MemoHits(worker.Naive)
+	if want := int64(goroutines * perGoroutine); total != want {
+		t.Fatalf("charges+hits = %d, want %d", total, want)
+	}
+	if ledger.Comparisons(worker.Naive) != int64(memo.Len()) {
+		t.Fatalf("charged %d fresh comparisons but memo holds %d pairs",
+			ledger.Comparisons(worker.Naive), memo.Len())
+	}
 	// After the dust settles, answers are frozen.
 	o := NewOracle(worker.NewThreshold(10, 0, root.Child("final")), worker.Naive, nil, memo)
 	for i := 0; i < 10; i++ {
@@ -44,6 +58,65 @@ func TestMemoConcurrentAccess(t *testing.T) {
 			if o.Compare(items[i], items[j]).ID != first.ID {
 				t.Fatalf("pair (%d,%d) not frozen", i, j)
 			}
+		}
+	}
+}
+
+func TestParallelBatchConcurrentOracles(t *testing.T) {
+	// Many goroutines driving parallel batches through one memoized,
+	// ledgered oracle: the worker is a stateless HashTie threshold
+	// comparator, so this exercises every concurrent code path at once.
+	items := make([]item.Item, 16)
+	for i := range items {
+		items[i] = item.Item{ID: i, Value: float64(i)}
+	}
+	var pairs [][2]item.Item
+	for i := range items {
+		for j := i + 1; j < len(items); j++ {
+			pairs = append(pairs, [2]item.Item{items[i], items[j]})
+		}
+	}
+	ledger := cost.NewLedger()
+	w := &worker.Threshold{Delta: 100, Tie: worker.HashTie{Seed: 42}}
+	o := NewOracle(w, worker.Expert, ledger, NewMemo()).ParallelBatch(4)
+	want := o.CompareBatch(pairs)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := o.CompareBatch(pairs)
+			for i := range got {
+				if got[i].ID != want[i].ID {
+					t.Errorf("pair %d: got %d, want %d", i, got[i].ID, want[i].ID)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ledger.Expert() != int64(len(pairs)) {
+		t.Fatalf("expert comparisons = %d, want %d (every repeat a memo hit)",
+			ledger.Expert(), len(pairs))
+	}
+}
+
+func TestLossTrackerConcurrent(t *testing.T) {
+	lt := NewLossTracker()
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				lt.Record(i%10, (i+g)%17)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for id := 0; id < 10; id++ {
+		if lt.Losses(id) == 0 {
+			t.Fatalf("loser %d has no recorded losses", id)
 		}
 	}
 }

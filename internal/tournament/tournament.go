@@ -10,6 +10,15 @@
 // Besides saving money, memoization is what makes 2-MaxFind terminate
 // against adversarial tie-breaking: the pivot's tournament wins must carry
 // over to its elimination pass.
+//
+// # Concurrency
+//
+// Memo, LossTracker, and Oracle's billing are safe for concurrent use: the
+// memo is sharded across independently locked stripes, the loss tracker is
+// mutex-guarded, and the ledger (cost.Ledger) is atomic. An Oracle may
+// therefore be shared by the goroutines of a parallel batch evaluation
+// provided its underlying worker.Comparator is itself safe for concurrent
+// use — see Oracle.ParallelBatch.
 package tournament
 
 import (
@@ -17,39 +26,80 @@ import (
 
 	"crowdmax/internal/cost"
 	"crowdmax/internal/item"
+	"crowdmax/internal/parallel"
 	"crowdmax/internal/worker"
 )
 
-// Memo caches the first answer to every unordered pair for one worker
-// class. Safe for concurrent use.
-type Memo struct {
+// memoShards is the number of independently locked stripes of a Memo. The
+// count is fixed (a power of two, so the shard index is a mask) and sized so
+// that even a pool of tens of goroutines rarely contends on one stripe.
+const memoShards = 64
+
+// memoShard is one stripe: a mutex and the slice of the pair table it owns.
+type memoShard struct {
 	mu sync.Mutex
 	m  map[[2]int]int // unordered pair → winner ID
 }
 
+// Memo caches the first answer to every unordered pair for one worker
+// class. Safe for concurrent use: entries are striped across 64 shards by
+// pair hash, so goroutines touching different pairs almost never share a
+// lock, and a pair's answer is frozen by whichever goroutine stores it
+// first.
+type Memo struct {
+	shards [memoShards]memoShard
+}
+
 // NewMemo returns an empty memo table.
-func NewMemo() *Memo { return &Memo{m: make(map[[2]int]int)} }
+func NewMemo() *Memo {
+	m := &Memo{}
+	for i := range m.shards {
+		m.shards[i].m = make(map[[2]int]int)
+	}
+	return m
+}
+
+// shard returns the stripe owning the (ordered) pair key.
+func (m *Memo) shard(k [2]int) *memoShard {
+	// SplitMix64-style avalanche over the two IDs; cheap and uniform.
+	h := uint64(k[0])*0x9e3779b97f4a7c15 ^ uint64(k[1])*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return &m.shards[h&(memoShards-1)]
+}
 
 // lookup returns the cached winner ID for the pair, if any.
 func (m *Memo) lookup(a, b int) (int, bool) {
-	m.mu.Lock()
-	w, ok := m.m[key(a, b)]
-	m.mu.Unlock()
+	k := key(a, b)
+	s := m.shard(k)
+	s.mu.Lock()
+	w, ok := s.m[k]
+	s.mu.Unlock()
 	return w, ok
 }
 
-// store records the winner ID for the pair.
+// store records the winner ID for the pair. The first store wins: a
+// concurrent duplicate answer for the same pair does not overwrite the
+// frozen one, so every observer agrees on the pair's answer forever after.
 func (m *Memo) store(a, b, winner int) {
-	m.mu.Lock()
-	m.m[key(a, b)] = winner
-	m.mu.Unlock()
+	k := key(a, b)
+	s := m.shard(k)
+	s.mu.Lock()
+	if _, ok := s.m[k]; !ok {
+		s.m[k] = winner
+	}
+	s.mu.Unlock()
 }
 
 // Len returns the number of cached pairs.
 func (m *Memo) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.m)
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 func key(a, b int) [2]int {
@@ -62,17 +112,40 @@ func key(a, b int) [2]int {
 // Oracle answers comparison requests by forwarding them to a worker
 // comparator, billing each paid comparison to a ledger under the worker's
 // class, and optionally serving repeats from a memo table for free.
+//
+// The oracle's own bookkeeping (ledger, memo) is safe for concurrent use;
+// whether concurrent Compare calls are safe overall depends solely on the
+// underlying comparator. See ParallelBatch for the opt-in that lets
+// CompareBatch exploit this.
 type Oracle struct {
-	cmp    worker.Comparator
-	class  worker.Class
-	ledger *cost.Ledger
-	memo   *Memo
+	cmp          worker.Comparator
+	class        worker.Class
+	ledger       *cost.Ledger
+	memo         *Memo
+	batchWorkers int
 }
 
 // NewOracle binds a comparator of the given class to a ledger. memo may be
 // nil to disable memoization (used by the ablation benchmarks).
 func NewOracle(cmp worker.Comparator, class worker.Class, ledger *cost.Ledger, memo *Memo) *Oracle {
 	return &Oracle{cmp: cmp, class: class, ledger: ledger, memo: memo}
+}
+
+// ParallelBatch opts the oracle into evaluating the non-memoized remainder
+// of each CompareBatch concurrently on up to workers goroutines (workers ≤ 0
+// selects runtime.GOMAXPROCS(0)); it returns the oracle for chaining.
+//
+// The caller asserts that the underlying comparator is stateless-safe: its
+// Compare must be callable from multiple goroutines and its answers must not
+// depend on call order (e.g. worker.Truth, or a worker.Threshold with
+// Epsilon == 0 and an order-independent tie policy such as worker.HashTie).
+// An order-dependent comparator would make results vary with scheduling,
+// destroying the engine's bit-for-bit determinism guarantee. Comparators
+// that implement BatchComparator (the platform simulator) are never fanned
+// out — they receive the whole batch in one call, as before.
+func (o *Oracle) ParallelBatch(workers int) *Oracle {
+	o.batchWorkers = parallel.Normalize(workers)
+	return o
 }
 
 // Class returns the billing class of this oracle.
@@ -121,6 +194,8 @@ type Result struct {
 	// Wins[i] is the number of comparisons Items[i] won.
 	Wins []int
 	// Losers[i] lists, for Items[i], the IDs of the opponents it lost to.
+	// Populated only by RoundRobinWith with RecordLosers set; nil
+	// otherwise.
 	Losers [][]int
 }
 
@@ -149,16 +224,33 @@ func (r Result) MinByWins() item.Item {
 	return r.Items[best]
 }
 
+// RoundRobinOpts configures RoundRobinWith.
+type RoundRobinOpts struct {
+	// RecordLosers fills Result.Losers with each participant's defeaters.
+	// Recording costs one slice and up to n−1 appends per participant, so
+	// it is off by default; only callers that consume the loss lists (the
+	// Appendix A loss tracking, 2-MaxFind's victim carry-over) opt in.
+	RecordLosers bool
+}
+
 // RoundRobin plays an all-play-all tournament among items using the oracle:
 // every unordered pair is compared exactly once. The whole tournament is
 // submitted as one batch of independent comparisons — a single logical step
-// in the Section 3 execution model.
+// in the Section 3 execution model. Result.Losers is not recorded; use
+// RoundRobinWith to opt in.
 func RoundRobin(items []item.Item, o *Oracle) Result {
+	return RoundRobinWith(items, o, RoundRobinOpts{})
+}
+
+// RoundRobinWith is RoundRobin with options.
+func RoundRobinWith(items []item.Item, o *Oracle, opts RoundRobinOpts) Result {
 	n := len(items)
 	r := Result{
-		Items:  items,
-		Wins:   make([]int, n),
-		Losers: make([][]int, n),
+		Items: items,
+		Wins:  make([]int, n),
+	}
+	if opts.RecordLosers {
+		r.Losers = make([][]int, n)
 	}
 	pairs := make([][2]item.Item, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
@@ -172,10 +264,14 @@ func RoundRobin(items []item.Item, o *Oracle) Result {
 		for j := i + 1; j < n; j++ {
 			if winners[p].ID == items[i].ID {
 				r.Wins[i]++
-				r.Losers[j] = append(r.Losers[j], items[i].ID)
+				if opts.RecordLosers {
+					r.Losers[j] = append(r.Losers[j], items[i].ID)
+				}
 			} else {
 				r.Wins[j]++
-				r.Losers[i] = append(r.Losers[i], items[j].ID)
+				if opts.RecordLosers {
+					r.Losers[i] = append(r.Losers[i], items[j].ID)
+				}
 			}
 			p++
 		}
@@ -220,7 +316,12 @@ func PivotPass(x item.Item, candidates []item.Item, o *Oracle) (survivors []item
 // every element, losses against *distinct* opponents across all filter
 // iterations. By Lemma 1, an element with more than un(n) distinct-opponent
 // losses cannot be the maximum and can be discarded early.
+//
+// Safe for concurrent use: Record and Losses may be called from multiple
+// goroutines (the counts are set-cardinalities, so recording order is
+// irrelevant to the final state).
 type LossTracker struct {
+	mu     sync.Mutex
 	losses map[int]map[int]struct{}
 }
 
@@ -231,13 +332,19 @@ func NewLossTracker() *LossTracker {
 
 // Record notes that loser lost a comparison to winner.
 func (t *LossTracker) Record(loser, winner int) {
+	t.mu.Lock()
 	s, ok := t.losses[loser]
 	if !ok {
 		s = make(map[int]struct{})
 		t.losses[loser] = s
 	}
 	s[winner] = struct{}{}
+	t.mu.Unlock()
 }
 
 // Losses returns the number of distinct opponents the element has lost to.
-func (t *LossTracker) Losses(id int) int { return len(t.losses[id]) }
+func (t *LossTracker) Losses(id int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.losses[id])
+}

@@ -64,12 +64,28 @@ func TestRoundRobinTruthRanking(t *testing.T) {
 
 func TestRoundRobinLosersRecorded(t *testing.T) {
 	its := items(1, 2, 3)
-	res := RoundRobin(its, truthOracle(cost.NewLedger(), nil))
+	res := RoundRobinWith(its, truthOracle(cost.NewLedger(), nil), RoundRobinOpts{RecordLosers: true})
 	if len(res.Losers[0]) != 2 { // value 1 loses to both
 		t.Fatalf("Losers[0] = %v", res.Losers[0])
 	}
 	if len(res.Losers[2]) != 0 { // value 3 loses to none
 		t.Fatalf("Losers[2] = %v", res.Losers[2])
+	}
+}
+
+func TestRoundRobinLosersOptIn(t *testing.T) {
+	// Loser recording is opt-in: the plain entry point must not allocate
+	// the per-element loss lists it used to fill unconditionally.
+	res := RoundRobin(items(1, 2, 3, 4), truthOracle(cost.NewLedger(), nil))
+	if res.Losers != nil {
+		t.Fatalf("RoundRobin recorded losers without opt-in: %v", res.Losers)
+	}
+	// Wins are unaffected by the option.
+	with := RoundRobinWith(items(1, 2, 3, 4), truthOracle(cost.NewLedger(), nil), RoundRobinOpts{RecordLosers: true})
+	for i := range res.Wins {
+		if res.Wins[i] != with.Wins[i] {
+			t.Fatalf("Wins diverge at %d: %d vs %d", i, res.Wins[i], with.Wins[i])
+		}
 	}
 }
 
@@ -247,7 +263,8 @@ func TestWinsPlusLossesProperty(t *testing.T) {
 			vals[i] = r.Float64()
 		}
 		w := worker.NewThreshold(0.5, 0.3, r)
-		res := RoundRobin(items(vals...), NewOracle(w, worker.Naive, nil, nil))
+		res := RoundRobinWith(items(vals...), NewOracle(w, worker.Naive, nil, nil),
+			RoundRobinOpts{RecordLosers: true})
 		for i := range res.Items {
 			if res.Wins[i]+len(res.Losers[i]) != n-1 {
 				return false

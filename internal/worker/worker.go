@@ -128,6 +128,40 @@ func (t *StickyTie) Pick(a, b item.Item) item.Item {
 	return b
 }
 
+// HashTie answers under-threshold comparisons with an unbiased coin that is
+// a pure function of (Seed, pair): the same pair always gets the same
+// answer, different pairs get (statistically) independent answers, and the
+// outcome does not depend on when or from which goroutine the question is
+// asked. It is the order-independent, stateless counterpart of StickyTie,
+// and the tie policy that makes a Threshold worker safe for the oracle's
+// parallel batch evaluation (tournament.Oracle.ParallelBatch).
+type HashTie struct {
+	// Seed selects the coin family; two HashTies with the same seed agree
+	// on every pair.
+	Seed uint64
+}
+
+// Pick returns the pair's hashed answer; symmetric in its arguments.
+func (t HashTie) Pick(a, b item.Item) item.Item {
+	lo, hi := a, b
+	if lo.ID > hi.ID {
+		lo, hi = hi, lo
+	}
+	h := splitmix(t.Seed ^ splitmix(uint64(int64(lo.ID))) ^ splitmix(uint64(int64(hi.ID))*0x9e3779b97f4a7c15))
+	if h&1 == 0 {
+		return lo
+	}
+	return hi
+}
+
+// splitmix is the SplitMix64 finalizer, decorrelating structured inputs.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // AdversarialTie makes the *less* valuable element win every
 // under-threshold comparison. This is the worst-case adversary of
 // Section 5: in 2-MaxFind's elimination step it makes the pivot lose, so no
@@ -160,6 +194,11 @@ func (FirstLosesTie) Pick(_, b item.Item) item.Item { return b }
 // Above the threshold it errs with probability Epsilon; below, the Tie
 // policy decides. The zero Epsilon, RandomTie configuration is the paper's
 // simulation default.
+//
+// Compare touches R only when Epsilon > 0, so a Threshold with Epsilon == 0
+// and a concurrency-safe, order-independent Tie (HashTie, AdversarialTie,
+// FirstLosesTie) is itself safe for concurrent use and order-independent —
+// the prerequisite for tournament.Oracle.ParallelBatch.
 type Threshold struct {
 	// Delta is the discernment threshold δ ≥ 0.
 	Delta float64
