@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test race bench vet all clean
+# Concurrency-heavy packages CI runs under the race detector.
+RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/...
+
+.PHONY: build test race bench vet ci bench-smoke all clean
 
 all: build vet test
 
@@ -10,8 +13,18 @@ build:
 test:
 	$(GO) test ./...
 
+# Same package list as the CI race job.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race $(RACE_PKGS)
+
+# Mirror of .github/workflows/ci.yml: the test job's steps plus the
+# benchmark-smoke job. Green here means green there (modulo Go version).
+ci: vet build test race bench-smoke
+
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkFig3Parallel -benchtime=1x ./internal/experiment
+	$(GO) run ./cmd/benchrun -quick -parallel=2 -benchout /tmp/bench-smoke.json fig3
+	$(GO) run ./cmd/benchcheck /tmp/bench-smoke.json
 
 # Reduced per-figure benchmarks plus the parallel-engine benchmark.
 bench:

@@ -1,0 +1,102 @@
+// Command benchcheck validates a timing report written by benchrun -benchout:
+// the file must parse as JSON and carry the expected schema (machine fields
+// plus one complete timing entry per experiment). It is CI's schema gate for
+// the benchmark-smoke job — it checks shape, never performance, so it cannot
+// flake on loaded runners.
+//
+// Usage:
+//
+//	benchcheck results/BENCH.json [more.json ...]
+//
+// Exits 0 if every file is valid, 1 otherwise with one line per problem.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type report struct {
+	Cores       int       `json:"cores"`
+	Gomaxprocs  int       `json:"gomaxprocs"`
+	Workers     int       `json:"workers"`
+	Experiments []expTime `json:"experiments"`
+}
+
+type expTime struct {
+	Name       string   `json:"name"`
+	SeqSeconds *float64 `json:"seq_seconds"`
+	ParSeconds *float64 `json:"par_seconds"`
+	Speedup    *float64 `json:"speedup"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck <report.json> [more.json ...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		if errs := checkFile(path); len(errs) != 0 {
+			bad = true
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, e)
+			}
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func checkFile(path string) []error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []error{err}
+	}
+	return check(data)
+}
+
+func check(data []byte) []error {
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return []error{fmt.Errorf("not valid JSON: %w", err)}
+	}
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+	if r.Cores < 1 {
+		fail("cores = %d, want >= 1", r.Cores)
+	}
+	if r.Gomaxprocs < 1 {
+		fail("gomaxprocs = %d, want >= 1", r.Gomaxprocs)
+	}
+	if r.Workers < 1 {
+		fail("workers = %d, want >= 1", r.Workers)
+	}
+	if len(r.Experiments) == 0 {
+		fail("no experiments")
+	}
+	for i, e := range r.Experiments {
+		if e.Name == "" {
+			fail("experiment %d: missing name", i)
+		}
+		for _, f := range []struct {
+			key string
+			val *float64
+		}{
+			{"seq_seconds", e.SeqSeconds},
+			{"par_seconds", e.ParSeconds},
+			{"speedup", e.Speedup},
+		} {
+			if f.val == nil {
+				fail("experiment %d (%s): missing %s", i, e.Name, f.key)
+			} else if *f.val < 0 {
+				fail("experiment %d (%s): %s = %g, want >= 0", i, e.Name, f.key, *f.val)
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const valid = `{
+  "cores": 8,
+  "gomaxprocs": 8,
+  "workers": 4,
+  "quick": true,
+  "experiments": [
+    {"name": "fig3", "seq_seconds": 1.5, "par_seconds": 0.5, "speedup": 3.0}
+  ]
+}`
+
+func TestCheckValid(t *testing.T) {
+	if errs := check([]byte(valid)); len(errs) != 0 {
+		t.Fatalf("valid report rejected: %v", errs)
+	}
+}
+
+func TestCheckZeroSpeedupValid(t *testing.T) {
+	// speedup 0 is what benchrun writes when par_seconds rounds to zero.
+	rep := strings.Replace(valid, `"speedup": 3.0`, `"speedup": 0`, 1)
+	if errs := check([]byte(rep)); len(errs) != 0 {
+		t.Fatalf("zero speedup rejected: %v", errs)
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"garbage", "not json", "not valid JSON"},
+		{"empty object", "{}", "cores"},
+		{"no experiments", `{"cores":1,"gomaxprocs":1,"workers":1,"experiments":[]}`, "no experiments"},
+		{"missing name", `{"cores":1,"gomaxprocs":1,"workers":1,
+			"experiments":[{"seq_seconds":1,"par_seconds":1,"speedup":1}]}`, "missing name"},
+		{"missing timing key", `{"cores":1,"gomaxprocs":1,"workers":1,
+			"experiments":[{"name":"fig3","seq_seconds":1,"speedup":1}]}`, "missing par_seconds"},
+		{"negative timing", `{"cores":1,"gomaxprocs":1,"workers":1,
+			"experiments":[{"name":"fig3","seq_seconds":-1,"par_seconds":1,"speedup":1}]}`, "want >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := check([]byte(tc.data))
+			if len(errs) == 0 {
+				t.Fatalf("invalid report accepted")
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("errors %v do not mention %q", errs, tc.want)
+			}
+		})
+	}
+}

@@ -19,16 +19,19 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"crowdmax/internal/experiment"
+	"crowdmax/internal/obs"
 	"crowdmax/internal/parallel"
 )
 
@@ -41,6 +44,8 @@ var (
 	maxSize  = flag.Int("nmax", 5000, "largest input size in sweeps")
 	par      = flag.Int("parallel", 0, "goroutines fanning independent trials out (0 = all CPUs, 1 = sequential; output is identical for every value)")
 	benchOut = flag.String("benchout", "", "suppress figure output, time each experiment at -parallel=1 and -parallel=N, and write the wall-clock comparison as JSON to this file")
+	obsAddr  = flag.String("obs-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
+	traceOut = flag.String("trace-out", "", "write the structured JSONL event trace to this file")
 )
 
 // out overrides where figures are rendered (the -benchout timing mode sets
@@ -73,19 +78,67 @@ func main() {
 			"fig9", "fig10", "retention", "table1", "table2", "search",
 			"majority", "epsilon", "cascade", "steps", "bracket"}
 	}
+	obsCleanup, err := setupObs()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+		os.Exit(1)
+	}
+	code := 0
 	if *benchOut != "" {
 		if err := runBench(names); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
-			os.Exit(1)
+			code = 1
 		}
-		return
-	}
-	for _, name := range names {
-		if err := run(strings.ToLower(name)); err != nil {
-			fmt.Fprintf(os.Stderr, "benchrun %s: %v\n", name, err)
-			os.Exit(1)
+	} else {
+		for _, name := range names {
+			if err := run(strings.ToLower(name)); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrun %s: %v\n", name, err)
+				code = 1
+				break
+			}
 		}
 	}
+	obsCleanup()
+	os.Exit(code)
+}
+
+// setupObs enables the observability layer when -obs-addr or -trace-out is
+// set; the returned cleanup flushes and closes the trace file. With neither
+// flag the layer stays disabled and the hot paths pay only nil checks.
+func setupObs() (cleanup func(), err error) {
+	cleanup = func() {}
+	if *obsAddr == "" && *traceOut == "" {
+		return cleanup, nil
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return nil, err
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		tracer = obs.NewTracer(bw)
+		cleanup = func() {
+			if terr := tracer.Err(); terr != nil {
+				fmt.Fprintf(os.Stderr, "benchrun: trace write: %v\n", terr)
+			}
+			if ferr := bw.Flush(); ferr != nil {
+				fmt.Fprintf(os.Stderr, "benchrun: trace flush: %v\n", ferr)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "benchrun: wrote %d trace events to %s\n", tracer.Events(), *traceOut)
+		}
+	}
+	obs.Enable(tracer)
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "benchrun: metrics on http://%s/debug/vars, profiles on http://%s/debug/pprof/\n", addr, addr)
+	}
+	return cleanup, nil
 }
 
 // runBench times every named experiment twice — sequentially and at the
@@ -139,7 +192,35 @@ func runBench(names []string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+	return writeFileAtomic(*benchOut, append(data, '\n'), 0o644)
+}
+
+// writeFileAtomic writes data to path via a temporary file in the same
+// directory followed by a rename, so an interrupted run can never leave a
+// truncated results file behind — readers see either the old contents or
+// the complete new ones.
+func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Chmod(mode)
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(name, path)
+	}
+	if werr != nil {
+		os.Remove(name)
+		return werr
+	}
+	return nil
 }
 
 func usage() {

@@ -11,35 +11,84 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"crowdmax"
 	"crowdmax/internal/dataset"
+	"crowdmax/internal/obs"
 )
 
 var (
-	n       = flag.Int("n", 1000, "instance size (uniform dataset)")
-	un      = flag.Int("un", 10, "target un(n): elements naive-indistinguishable from the max")
-	ue      = flag.Int("ue", 5, "target ue(n): elements expert-indistinguishable from the max")
-	algo    = flag.String("algo", "alg1", "algorithm: alg1, 2mf-naive, 2mf-expert, randomized, bracket")
-	reps    = flag.Int("rep", 1, "answers per match for -algo bracket (odd)")
-	data    = flag.String("dataset", "uniform", "dataset: uniform, cars, dots, search")
-	input   = flag.String("input", "", "CSV file of label,value rows (overrides -dataset)")
-	ce      = flag.Float64("ce", 10, "price of one expert comparison (cn = 1)")
-	seed    = flag.Uint64("seed", 1, "random seed")
-	estimat = flag.Bool("estimate", false, "estimate un from a training split (Algorithm 4) instead of using the true value")
-	topk    = flag.Int("topk", 0, "with -algo alg1: return the top-k elements instead of just the max")
-	par     = flag.Int("parallel", 0, "evaluate comparison batches with this many goroutines (0 = off); switches tie-breaking to an order-independent hash, so results differ from -parallel=0 but are identical for every width >= 1")
+	n        = flag.Int("n", 1000, "instance size (uniform dataset)")
+	un       = flag.Int("un", 10, "target un(n): elements naive-indistinguishable from the max")
+	ue       = flag.Int("ue", 5, "target ue(n): elements expert-indistinguishable from the max")
+	algo     = flag.String("algo", "alg1", "algorithm: alg1, 2mf-naive, 2mf-expert, randomized, bracket")
+	reps     = flag.Int("rep", 1, "answers per match for -algo bracket (odd)")
+	data     = flag.String("dataset", "uniform", "dataset: uniform, cars, dots, search")
+	input    = flag.String("input", "", "CSV file of label,value rows (overrides -dataset)")
+	ce       = flag.Float64("ce", 10, "price of one expert comparison (cn = 1)")
+	seed     = flag.Uint64("seed", 1, "random seed")
+	estimat  = flag.Bool("estimate", false, "estimate un from a training split (Algorithm 4) instead of using the true value")
+	topk     = flag.Int("topk", 0, "with -algo alg1: return the top-k elements instead of just the max")
+	par      = flag.Int("parallel", 0, "evaluate comparison batches with this many goroutines (0 = off); switches tie-breaking to an order-independent hash, so results differ from -parallel=0 but are identical for every width >= 1")
+	obsAddr  = flag.String("obs-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
+	traceOut = flag.String("trace-out", "", "write the structured JSONL event trace to this file")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	cleanup, err := setupObs()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "maxcrowd:", err)
 		os.Exit(1)
 	}
+	errRun := run()
+	cleanup()
+	if errRun != nil {
+		fmt.Fprintln(os.Stderr, "maxcrowd:", errRun)
+		os.Exit(1)
+	}
+}
+
+// setupObs enables the observability layer when -obs-addr or -trace-out is
+// set; the returned cleanup flushes and closes the trace file.
+func setupObs() (cleanup func(), err error) {
+	cleanup = func() {}
+	if *obsAddr == "" && *traceOut == "" {
+		return cleanup, nil
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return nil, err
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		tracer = obs.NewTracer(bw)
+		cleanup = func() {
+			if terr := tracer.Err(); terr != nil {
+				fmt.Fprintf(os.Stderr, "maxcrowd: trace write: %v\n", terr)
+			}
+			if ferr := bw.Flush(); ferr != nil {
+				fmt.Fprintf(os.Stderr, "maxcrowd: trace flush: %v\n", ferr)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "maxcrowd: wrote %d trace events to %s\n", tracer.Events(), *traceOut)
+		}
+	}
+	obs.Enable(tracer)
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "maxcrowd: metrics on http://%s/debug/vars, profiles on http://%s/debug/pprof/\n", addr, addr)
+	}
+	return cleanup, nil
 }
 
 func run() error {
@@ -97,6 +146,10 @@ func run() error {
 	if *par >= 1 {
 		no.ParallelBatch(*par)
 		eo.ParallelBatch(*par)
+	}
+	if sc := obs.Trial(fmt.Sprintf("maxcrowd/%s/%s", *algo, *data), *seed); sc != nil {
+		no.WithObs(sc)
+		eo.WithObs(sc)
 	}
 
 	var best crowdmax.Item

@@ -10,7 +10,9 @@ import (
 	"errors"
 	"fmt"
 
+	"crowdmax/internal/cost"
 	"crowdmax/internal/item"
+	"crowdmax/internal/obs"
 	"crowdmax/internal/tournament"
 )
 
@@ -54,12 +56,22 @@ func Filter(items []item.Item, naive *tournament.Oracle, opt FilterOptions) ([]i
 		tracker = tournament.NewLossTracker()
 	}
 
+	sc := naive.Obs().WithPhase(obs.PhaseFilter)
+	var startLedger cost.Snapshot
+	if sc != nil {
+		startLedger = naive.LedgerSnapshot()
+		sc.Event("filter.start",
+			obs.Fi("n", int64(len(items))), obs.Fi("un", int64(un)))
+	}
+
 	li := make([]item.Item, len(items))
 	copy(li, items)
 
+	iter := 0
 	for len(li) >= 2*un {
 		prev := len(li)
 		var next, groupTops []item.Item
+		gi := 0
 		for start := 0; start < len(li); start += g {
 			end := start + g
 			if end > len(li) {
@@ -77,6 +89,7 @@ func Filter(items []item.Item, naive *tournament.Oracle, opt FilterOptions) ([]i
 				tournament.RoundRobinOpts{RecordLosers: tracker != nil})
 			groupTops = append(groupTops, res.TopByWins())
 			need := len(group) - un
+			kept := 0
 			for i, it := range group {
 				if tracker != nil {
 					for _, w := range res.Losers[i] {
@@ -85,8 +98,15 @@ func Filter(items []item.Item, naive *tournament.Oracle, opt FilterOptions) ([]i
 				}
 				if res.Wins[i] >= need {
 					next = append(next, it)
+					kept++
 				}
 			}
+			if sc.Tracing() {
+				sc.Event("filter.group",
+					obs.Fi("iter", int64(iter)), obs.Fi("group", int64(gi)),
+					obs.Fi("size", int64(len(group))), obs.Fi("survivors", int64(kept)))
+			}
+			gi++
 		}
 		if len(next) == 0 {
 			// Only possible when un is underestimated (Section 5.2: "it
@@ -113,6 +133,12 @@ func Filter(items []item.Item, naive *tournament.Oracle, opt FilterOptions) ([]i
 			next = kept
 		}
 		li = next
+		if sc != nil {
+			sc.Round()
+			sc.Event("filter.iter",
+				obs.Fi("iter", int64(iter)), obs.Fi("in", int64(prev)), obs.Fi("out", int64(len(li))))
+		}
+		iter++
 		if len(li) >= prev {
 			// Lemma 2 guarantees strict progress; reaching here means the
 			// oracle violated the comparison model (e.g. inconsistent
@@ -120,6 +146,13 @@ func Filter(items []item.Item, naive *tournament.Oracle, opt FilterOptions) ([]i
 			// within a tournament cannot do this, but a buggy one might).
 			return nil, fmt.Errorf("core: Filter made no progress at %d elements", prev)
 		}
+	}
+	if sc != nil {
+		d := naive.LedgerSnapshot().Sub(startLedger)
+		sc.PhaseComparisons(d.Comparisons)
+		sc.Event("filter.done",
+			obs.Fi("kept", int64(len(li))), obs.Fi("iters", int64(iter)),
+			obs.Fi("comparisons", d.TotalComparisons()), obs.Fi("memo_hits", d.TotalMemoHits()))
 	}
 	return li, nil
 }

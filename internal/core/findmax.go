@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 
+	"crowdmax/internal/cost"
 	"crowdmax/internal/item"
+	"crowdmax/internal/obs"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/tournament"
 )
@@ -79,6 +81,14 @@ type FindMaxResult struct {
 // Costs accrue to the ledgers bound to the two oracles, so callers can read
 // xn and xe (and the monetary cost C(n)) after the run.
 func FindMax(items []item.Item, naive, expert *tournament.Oracle, opt FindMaxOptions) (FindMaxResult, error) {
+	sc := naive.Obs()
+	if sc == nil {
+		sc = expert.Obs()
+	}
+	var n0 cost.Snapshot
+	if sc != nil {
+		n0 = naive.LedgerSnapshot()
+	}
 	candidates, err := Filter(items, naive, FilterOptions{Un: opt.Un, TrackLosses: opt.TrackLosses})
 	if err != nil {
 		return FindMaxResult{}, fmt.Errorf("phase 1: %w", err)
@@ -86,9 +96,25 @@ func FindMax(items []item.Item, naive, expert *tournament.Oracle, opt FindMaxOpt
 	if len(candidates) == 0 {
 		return FindMaxResult{}, fmt.Errorf("phase 1: empty candidate set (un=%d underestimated?)", opt.Un)
 	}
+	if sc != nil {
+		d := naive.LedgerSnapshot().Sub(n0)
+		sc.Event("alg1.phase1",
+			obs.Fi("n", int64(len(items))), obs.Fi("candidates", int64(len(candidates))),
+			obs.Fi("comparisons", d.TotalComparisons()), obs.Fi("steps", d.Steps))
+	}
+	var e0 cost.Snapshot
+	if sc != nil {
+		e0 = expert.LedgerSnapshot()
+	}
 	best, err := RunPhase2(candidates, expert, opt.Phase2, opt.Randomized)
 	if err != nil {
 		return FindMaxResult{}, fmt.Errorf("phase 2: %w", err)
+	}
+	if sc != nil {
+		d := expert.LedgerSnapshot().Sub(e0)
+		sc.Event("alg1.phase2",
+			obs.Fs("algo", opt.Phase2.String()), obs.Fi("candidates", int64(len(candidates))),
+			obs.Fi("comparisons", d.TotalComparisons()), obs.Fi("steps", d.Steps))
 	}
 	return FindMaxResult{Best: best, Candidates: candidates}, nil
 }

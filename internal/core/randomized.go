@@ -5,7 +5,9 @@ import (
 	"math"
 	"sort"
 
+	"crowdmax/internal/cost"
 	"crowdmax/internal/item"
+	"crowdmax/internal/obs"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/tournament"
 )
@@ -54,11 +56,22 @@ func RandomizedMaxFind(items []item.Item, o *tournament.Oracle, opt RandomizedOp
 	cutoff := math.Pow(float64(s), 0.3)
 	sampleSize := int(math.Ceil(cutoff))
 
+	sc := o.Obs().WithPhase(obs.PhaseRandomized)
+	var startLedger cost.Snapshot
+	if sc != nil {
+		startLedger = o.LedgerSnapshot()
+		sc.Event("randomized.start",
+			obs.Fi("s", int64(s)), obs.Fi("group_size", int64(groupSize)),
+			obs.Fi("sample", int64(sampleSize)))
+	}
+
 	ni := make([]item.Item, s)
 	copy(ni, items)
 	reserve := make(map[int]item.Item)
 
+	round := 0
 	for float64(len(ni)) >= cutoff && len(ni) > 1 {
+		before := len(ni)
 		// Sample s^0.3 elements at random into the reserve W.
 		for _, idx := range opt.R.Perm(len(ni))[:min(sampleSize, len(ni))] {
 			it := ni[idx]
@@ -90,6 +103,13 @@ func RandomizedMaxFind(items []item.Item, o *tournament.Oracle, opt RandomizedOp
 			}
 		}
 		ni = kept
+		if sc != nil {
+			sc.Round()
+			sc.Event("randomized.round",
+				obs.Fi("round", int64(round)), obs.Fi("in", int64(before)),
+				obs.Fi("out", int64(len(ni))), obs.Fi("reserve", int64(len(reserve))))
+		}
+		round++
 	}
 
 	for _, it := range ni {
@@ -102,5 +122,12 @@ func RandomizedMaxFind(items []item.Item, o *tournament.Oracle, opt RandomizedOp
 	// Deterministic order for reproducibility (map iteration is random).
 	sort.Slice(finalists, func(i, j int) bool { return finalists[i].ID < finalists[j].ID })
 	final := tournament.RoundRobin(finalists, o)
+	if sc != nil {
+		d := o.LedgerSnapshot().Sub(startLedger)
+		sc.PhaseComparisons(d.Comparisons)
+		sc.Event("randomized.done",
+			obs.Fi("rounds", int64(round)), obs.Fi("finalists", int64(len(finalists))),
+			obs.Fi("comparisons", d.TotalComparisons()), obs.Fi("memo_hits", d.TotalMemoHits()))
+	}
 	return final.TopByWins(), nil
 }

@@ -3,7 +3,9 @@ package core
 import (
 	"math"
 
+	"crowdmax/internal/cost"
 	"crowdmax/internal/item"
+	"crowdmax/internal/obs"
 	"crowdmax/internal/tournament"
 )
 
@@ -34,10 +36,18 @@ func TwoMaxFind(items []item.Item, o *tournament.Oracle) (item.Item, error) {
 	if k < 2 {
 		k = 2
 	}
+	sc := o.Obs().WithPhase(obs.PhaseTwoMaxFind)
+	var startLedger cost.Snapshot
+	if sc != nil {
+		startLedger = o.LedgerSnapshot()
+		sc.Event("2maxfind.start", obs.Fi("s", int64(s)), obs.Fi("k", int64(k)))
+	}
 	candidates := make([]item.Item, s)
 	copy(candidates, items)
 
+	round := 0
 	for len(candidates) > k {
+		before := len(candidates)
 		sample := candidates[:k]
 		res := tournament.RoundRobinWith(sample, o, tournament.RoundRobinOpts{RecordLosers: true})
 		x := res.TopByWins()
@@ -60,8 +70,22 @@ func TwoMaxFind(items []item.Item, o *tournament.Oracle) (item.Item, error) {
 			}
 		}
 		candidates, _ = tournament.PivotPass(x, remaining, o)
+		if sc != nil {
+			sc.Round()
+			sc.Event("2maxfind.round",
+				obs.Fi("round", int64(round)), obs.Fi("candidates", int64(before)),
+				obs.Fi("survivors", int64(len(candidates))))
+		}
+		round++
 	}
 
 	final := tournament.RoundRobin(candidates, o)
+	if sc != nil {
+		d := o.LedgerSnapshot().Sub(startLedger)
+		sc.PhaseComparisons(d.Comparisons)
+		sc.Event("2maxfind.done",
+			obs.Fi("rounds", int64(round)), obs.Fi("finalists", int64(len(candidates))),
+			obs.Fi("comparisons", d.TotalComparisons()), obs.Fi("memo_hits", d.TotalMemoHits()))
+	}
 	return final.TopByWins(), nil
 }

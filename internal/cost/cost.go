@@ -121,6 +121,65 @@ func (l *Ledger) Cost(p Prices) float64 {
 	return c
 }
 
+// Snapshot is a point-in-time copy of a ledger's counters. Differencing two
+// snapshots taken at phase boundaries yields the phase's resource
+// consumption — the "ledger cost delta" the observability layer attributes
+// to each algorithm phase.
+type Snapshot struct {
+	// Comparisons and MemoHits are the per-class counter values.
+	Comparisons [MaxClasses]int64
+	MemoHits    [MaxClasses]int64
+	// Steps is the logical-step counter value.
+	Steps int64
+}
+
+// Snapshot copies the ledger's counters. Safe on a nil ledger (zero
+// snapshot) so callers can snapshot an un-billed oracle unconditionally.
+// Concurrent writers make the copy momentarily inconsistent across
+// counters; quiesce before snapshotting when exactness matters.
+func (l *Ledger) Snapshot() Snapshot {
+	var s Snapshot
+	if l == nil {
+		return s
+	}
+	for i := 0; i < MaxClasses; i++ {
+		s.Comparisons[i] = l.comparisons[i].Load()
+		s.MemoHits[i] = l.memoHits[i].Load()
+	}
+	s.Steps = l.steps.Load()
+	return s
+}
+
+// Sub returns the counter-wise difference s − o: the resources consumed
+// between snapshot o and snapshot s.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	var d Snapshot
+	for i := 0; i < MaxClasses; i++ {
+		d.Comparisons[i] = s.Comparisons[i] - o.Comparisons[i]
+		d.MemoHits[i] = s.MemoHits[i] - o.MemoHits[i]
+	}
+	d.Steps = s.Steps - o.Steps
+	return d
+}
+
+// TotalComparisons sums the paid comparisons across classes.
+func (s Snapshot) TotalComparisons() int64 {
+	var n int64
+	for _, c := range s.Comparisons {
+		n += c
+	}
+	return n
+}
+
+// TotalMemoHits sums the memoized (free) comparisons across classes.
+func (s Snapshot) TotalMemoHits() int64 {
+	var n int64
+	for _, c := range s.MemoHits {
+		n += c
+	}
+	return n
+}
+
 // Add accumulates another ledger into this one (used to merge per-phase
 // ledgers into a run total).
 func (l *Ledger) Add(o *Ledger) {

@@ -132,7 +132,8 @@ func Fig7(cfg FactorCostConfig) (Figure, error) {
 		if err != nil {
 			return err
 		}
-		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("cost-f%g", factor)))
+		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("cost-f%g", factor)),
+			trialLabel("fig7", cfg.Ns[ni], trial))
 		if err != nil {
 			return err
 		}

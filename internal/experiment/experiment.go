@@ -15,6 +15,7 @@ import (
 	"crowdmax/internal/core"
 	"crowdmax/internal/cost"
 	"crowdmax/internal/dataset"
+	"crowdmax/internal/obs"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/tournament"
 	"crowdmax/internal/worker"
@@ -68,14 +69,26 @@ type Trial struct {
 
 // runTrial executes one approach on a calibrated instance. unEst is the
 // un(n) estimate given to Alg 1 (ignored by the baselines); tie breaking is
-// uniformly random, matching the paper's simulation setup.
-func runTrial(a Approach, cal dataset.Calibrated, unEst int, r *rng.Source) (Trial, error) {
+// uniformly random, matching the paper's simulation setup. label names the
+// trial for the observability trace (empty while observability is off); the
+// trial's replay seed — r.Seed(), the derived stream seed a deterministic
+// re-run reconstructs via rng.New(rootSeed).ChildN(...) — rides along on
+// every event so traces line up with replays.
+func runTrial(a Approach, cal dataset.Calibrated, unEst int, r *rng.Source, label string) (Trial, error) {
 	ledger := cost.NewLedger()
 	naive := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r.Child("naive")}, R: r.Child("naive")}
 	expert := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("expert")}, R: r.Child("expert")}
 	no := tournament.NewOracle(naive, worker.Naive, ledger, nil)
 	eo := tournament.NewOracle(expert, worker.Expert, ledger, nil)
 	items := cal.Set.Items()
+	sc := obs.Trial(label, r.Seed())
+	if sc != nil {
+		no.WithObs(sc)
+		eo.WithObs(sc)
+		sc.Event("trial.start",
+			obs.Fs("approach", a.String()), obs.Fi("n", int64(len(items))),
+			obs.Fi("un_est", int64(unEst)))
+	}
 
 	var (
 		bestID   int
@@ -109,12 +122,27 @@ func runTrial(a Approach, cal dataset.Calibrated, unEst int, r *rng.Source) (Tri
 	default:
 		return Trial{}, fmt.Errorf("experiment: unknown approach %d", int(a))
 	}
+	if sc != nil {
+		sc.Event("trial.done",
+			obs.Fs("approach", a.String()), obs.Fi("rank", int64(cal.Set.Rank(bestID))),
+			obs.Fi("naive", ledger.Naive()), obs.Fi("expert", ledger.Expert()))
+	}
 	return Trial{
 		Rank:              cal.Set.Rank(bestID),
 		NaiveComparisons:  ledger.Naive(),
 		ExpertComparisons: ledger.Expert(),
 		MaxRetained:       retained,
 	}, nil
+}
+
+// trialLabel names one (figure, n, trial) cell for the observability trace.
+// It returns "" while observability is disabled so the hot path does not
+// pay for the formatting.
+func trialLabel(fig string, n, trial int) string {
+	if !obs.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%s/n%d/t%d", fig, n, trial)
 }
 
 // Sweep is the shared parameter sweep of the Section 5.1–5.2 experiments.

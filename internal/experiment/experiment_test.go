@@ -55,7 +55,7 @@ func TestRunTrialAllApproaches(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, a := range Approaches {
-		tr, err := runTrial(a, cal, 6, r.Child(a.String()))
+		tr, err := runTrial(a, cal, 6, r.Child(a.String()), "")
 		if err != nil {
 			t.Fatalf("%v: %v", a, err)
 		}
@@ -86,7 +86,7 @@ func TestRunTrialUnknownApproach(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runTrial(Approach(42), cal, 3, r); err == nil {
+	if _, err := runTrial(Approach(42), cal, 3, r, ""); err == nil {
 		t.Fatal("unknown approach accepted")
 	}
 }
@@ -97,7 +97,7 @@ func TestRunTrialDeterministicPerSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr1, err := runTrial(Alg1, cal1, 6, r1.Child("t"))
+	tr1, err := runTrial(Alg1, cal1, 6, r1.Child("t"), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestRunTrialDeterministicPerSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr2, err := runTrial(Alg1, cal2, 6, r2.Child("t"))
+	tr2, err := runTrial(Alg1, cal2, 6, r2.Child("t"), "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,7 +40,7 @@ func Fig3(s Sweep) (Figure, error) {
 		}
 		rs := make([]int, len(Approaches))
 		for ai, a := range Approaches {
-			tr, err := runTrial(a, cal, s.Un, r.Child(a.String()))
+			tr, err := runTrial(a, cal, s.Un, r.Child(a.String()), trialLabel("fig3", s.Ns[ni], trial))
 			if err != nil {
 				return err
 			}
@@ -113,7 +113,8 @@ func Fig6(cfg Fig6Config) (Figure, error) {
 		if err != nil {
 			return err
 		}
-		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("f%g", factor)))
+		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("f%g", factor)),
+			trialLabel("fig6", cfg.Ns[ni], trial))
 		if err != nil {
 			return err
 		}

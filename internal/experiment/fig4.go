@@ -46,15 +46,16 @@ func measureComparisons(s Sweep) ([]comparisonsPoint, error) {
 		if err != nil {
 			return err
 		}
-		trA, err := runTrial(Alg1, cal, s.Un, r.Child("alg1"))
+		label := trialLabel("fig4", s.Ns[ni], trial)
+		trA, err := runTrial(Alg1, cal, s.Un, r.Child("alg1"), label)
 		if err != nil {
 			return err
 		}
-		trN, err := runTrial(TwoMaxFindNaive, cal, s.Un, r.Child("2mf-naive"))
+		trN, err := runTrial(TwoMaxFindNaive, cal, s.Un, r.Child("2mf-naive"), label)
 		if err != nil {
 			return err
 		}
-		trE, err := runTrial(TwoMaxFindExpert, cal, s.Un, r.Child("2mf-expert"))
+		trE, err := runTrial(TwoMaxFindExpert, cal, s.Un, r.Child("2mf-expert"), label)
 		if err != nil {
 			return err
 		}

@@ -61,7 +61,8 @@ func Retention(cfg Fig6Config) (RetentionResult, error) {
 		if err != nil {
 			return err
 		}
-		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("ret-f%g", factor)))
+		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("ret-f%g", factor)),
+			trialLabel("retention", cfg.Ns[ni], trial))
 		if err != nil {
 			return err
 		}

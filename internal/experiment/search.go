@@ -6,6 +6,7 @@ import (
 
 	"crowdmax/internal/core"
 	"crowdmax/internal/dataset"
+	"crowdmax/internal/obs"
 	"crowdmax/internal/parallel"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/tournament"
@@ -124,7 +125,8 @@ func SearchEval(cfg SearchConfig) (SearchResult, error) {
 
 		for _, un := range cfg.Uns {
 			r := qr.ChildN("un", un)
-			naive := tournament.NewOracle(world.Worker(r.Child("naive")), worker.Naive, nil, tournament.NewMemo())
+			sc := obs.Trial(trialLabel("search", qi, un), r.Seed())
+			naive := tournament.NewOracle(world.Worker(r.Child("naive")), worker.Naive, nil, tournament.NewMemo()).WithObs(sc)
 			candidates, err := core.Filter(set.Items(), naive, core.FilterOptions{Un: un})
 			if err != nil {
 				return err
@@ -136,7 +138,7 @@ func SearchEval(cfg SearchConfig) (SearchResult, error) {
 				}
 			}
 			ew := &worker.Threshold{Delta: cfg.DeltaE, Tie: worker.RandomTie{R: r.Child("exp")}, R: r.Child("exp")}
-			eo := tournament.NewOracle(ew, worker.Expert, nil, tournament.NewMemo())
+			eo := tournament.NewOracle(ew, worker.Expert, nil, tournament.NewMemo()).WithObs(sc)
 			best, err := core.RunPhase2(candidates, eo, core.Phase2TwoMaxFind, core.RandomizedOptions{})
 			if err != nil {
 				return err
@@ -152,7 +154,8 @@ func SearchEval(cfg SearchConfig) (SearchResult, error) {
 
 		for run := 0; run < cfg.NaiveRuns; run++ {
 			r := qr.ChildN("naiveonly", run)
-			naive := tournament.NewOracle(world.Worker(r), worker.Naive, nil, tournament.NewMemo())
+			naive := tournament.NewOracle(world.Worker(r), worker.Naive, nil, tournament.NewMemo()).
+				WithObs(obs.Trial(trialLabel("search-naive", qi, run), r.Seed()))
 			best, err := core.TwoMaxFind(set.Items(), naive)
 			if err != nil {
 				return err

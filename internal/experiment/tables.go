@@ -8,6 +8,7 @@ import (
 	"crowdmax/internal/cost"
 	"crowdmax/internal/dataset"
 	"crowdmax/internal/item"
+	"crowdmax/internal/obs"
 	"crowdmax/internal/parallel"
 	"crowdmax/internal/platform"
 	"crowdmax/internal/rng"
@@ -158,7 +159,8 @@ func crowdRun(items []item.Item, gold []item.Item, world *worker.World, cfg Crow
 	}
 
 	ledger := cost.NewLedger()
-	naive := tournament.NewOracle(plat.BatchComparator(cfg.NaiveVotes), worker.Naive, ledger, tournament.NewMemo())
+	sc := obs.Trial("crowd", r.Seed())
+	naive := tournament.NewOracle(plat.BatchComparator(cfg.NaiveVotes), worker.Naive, ledger, tournament.NewMemo()).WithObs(sc)
 	survivors, err = core.Filter(items, naive, core.FilterOptions{Un: cfg.Un})
 	if err != nil {
 		return nil, nil, err
@@ -166,7 +168,7 @@ func crowdRun(items []item.Item, gold []item.Item, world *worker.World, cfg Crow
 
 	// "Last round": all-play-all among the survivors, judged by simulated
 	// experts, ranked by wins (stable on ties).
-	expert := tournament.NewOracle(plat.BatchComparator(cfg.ExpertVotes), worker.Expert, ledger, tournament.NewMemo())
+	expert := tournament.NewOracle(plat.BatchComparator(cfg.ExpertVotes), worker.Expert, ledger, tournament.NewMemo()).WithObs(sc)
 	ranking = core.RankByWins(survivors, expert)
 	return survivors, ranking, nil
 }

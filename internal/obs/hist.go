@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count of a Histogram: bucket b counts
+// observations v with bits.Len64(v) == b, i.e. v in [2^(b-1), 2^b); bucket 0
+// counts v == 0 and the last bucket absorbs everything wider.
+const histBuckets = 32
+
+// Histogram is a lock-free power-of-two histogram. Observing is two atomic
+// adds; the zero value is ready to use. Exponential buckets fit the
+// quantities measured here (tournament group sizes, pool batch sizes), whose
+// interesting variation is multiplicative.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.counts[b].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Snapshot renders the histogram as a JSON-marshalable map: total count and
+// sum plus one "le_<upper>" entry per non-empty bucket, where <upper> is the
+// bucket's inclusive upper bound 2^b − 1.
+func (h *Histogram) Snapshot() map[string]int64 {
+	out := map[string]int64{
+		"count": h.n.Load(),
+		"sum":   h.sum.Load(),
+	}
+	for b := 0; b < histBuckets; b++ {
+		if c := h.counts[b].Load(); c != 0 {
+			upper := int64(1)<<uint(b) - 1
+			out["le_"+strconv.FormatInt(upper, 10)] = c
+		}
+	}
+	return out
+}

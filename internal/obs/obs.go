@@ -1,0 +1,269 @@
+// Package obs is the repository's observability layer: allocation-conscious
+// counters and histograms threaded through the comparison hot paths, an
+// optional structured JSONL event trace whose records carry the deterministic
+// replay seeds of internal/rng, and runtime endpoints (expvar and
+// net/http/pprof) for live inspection of long runs.
+//
+// The layer is disabled by default and costs a nil check (or nothing at all)
+// on every hot path when off: instrumented code holds a *Scope that is nil
+// while observability is disabled, and every Scope method is safe on a nil
+// receiver. Enabling installs a process-wide *Metrics (and optionally a
+// *Tracer) that subsequent Scopes reference; counters are single atomic adds,
+// batched per comparison batch wherever the call sites allow.
+//
+// The paper's budget claims are per-phase claims — Phase 1 performs at most
+// 4·n·un(n) naïve comparisons, 2-MaxFind O(|S|^{3/2}) expert ones — so the
+// metric space is phase-labelled: comparisons attribute to the filter,
+// 2-MaxFind, or randomized phase via ledger deltas taken at phase boundaries
+// by internal/core.
+package obs
+
+import (
+	"expvar"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// NumClasses is the number of worker classes the metric space distinguishes.
+// It mirrors cost.MaxClasses (compile-checked in internal/tournament, which
+// imports both packages; obs itself stays dependency-free so the low-level
+// parallel pool can use it).
+const NumClasses = 8
+
+// Phase labels a metric or trace event with the algorithm phase that
+// produced it.
+type Phase int
+
+const (
+	// PhaseOther covers work outside the three named phases (baselines,
+	// estimation, platform simulation).
+	PhaseOther Phase = iota
+	// PhaseFilter is Algorithm 2, the naïve-worker filtering phase.
+	PhaseFilter
+	// PhaseTwoMaxFind is Algorithm 3, the deterministic second phase.
+	PhaseTwoMaxFind
+	// PhaseRandomized is Algorithm 5, the randomized second phase.
+	PhaseRandomized
+
+	numPhases
+)
+
+// String returns the phase's metric label.
+func (p Phase) String() string {
+	switch p {
+	case PhaseFilter:
+		return "filter"
+	case PhaseTwoMaxFind:
+		return "2maxfind"
+	case PhaseRandomized:
+		return "randomized"
+	default:
+		return "other"
+	}
+}
+
+// poolWorkerSlots bounds the per-worker busy-time counters; pools wider than
+// this fold onto the slots modulo the width (widths in this repository are
+// GOMAXPROCS-sized, far below the bound).
+const poolWorkerSlots = 64
+
+// Metrics is the process-wide metric set. All fields are fixed atomics, so a
+// single Metrics may be written by every goroutine of a parallel run without
+// locks; readers see momentarily inconsistent cross-counter snapshots while
+// writers are active, which is fine for monitoring.
+type Metrics struct {
+	comparisons [NumClasses]atomic.Int64
+	memoHit     [NumClasses]atomic.Int64
+	memoMiss    [NumClasses]atomic.Int64
+
+	phaseCmp    [numPhases][NumClasses]atomic.Int64
+	phaseRounds [numPhases]atomic.Int64
+
+	// groupSizes observes the size of every all-play-all tournament —
+	// the paper's group-size parameters (4·un in the filter, ⌈√s⌉ in
+	// 2-MaxFind, 80·(c+2) in Algorithm 5) made measurable.
+	groupSizes Histogram
+
+	poolBatches    atomic.Int64
+	poolTasks      atomic.Int64
+	poolDepth      atomic.Int64
+	poolBatchSizes Histogram
+	poolBusyNanos  [poolWorkerSlots]atomic.Int64
+}
+
+// Comparisons records n paid comparisons by the given class.
+func (m *Metrics) Comparisons(class int, n int64) {
+	m.comparisons[class&(NumClasses-1)].Add(n)
+}
+
+// Memo records the memo-table outcome of one comparison batch: hits served
+// free from the table, misses forwarded (and paid).
+func (m *Metrics) Memo(class int, hits, misses int64) {
+	i := class & (NumClasses - 1)
+	if hits != 0 {
+		m.memoHit[i].Add(hits)
+	}
+	if misses != 0 {
+		m.memoMiss[i].Add(misses)
+	}
+}
+
+// PhaseComparisons attributes a per-class comparison delta (a ledger
+// snapshot difference taken at a phase boundary) to the given phase.
+func (m *Metrics) PhaseComparisons(p Phase, counts [NumClasses]int64) {
+	pi := phaseIndex(p)
+	for c, n := range counts {
+		if n != 0 {
+			m.phaseCmp[pi][c].Add(n)
+		}
+	}
+}
+
+// Round records one iteration (filter iteration, 2-MaxFind round,
+// Algorithm 5 round) of the given phase.
+func (m *Metrics) Round(p Phase) {
+	m.phaseRounds[phaseIndex(p)].Add(1)
+}
+
+// ObserveGroup records the size of one all-play-all tournament.
+func (m *Metrics) ObserveGroup(size int) {
+	m.groupSizes.Observe(int64(size))
+}
+
+// PoolSubmit records a fan-out of n tasks onto the parallel pool.
+func (m *Metrics) PoolSubmit(n int) {
+	m.poolBatches.Add(1)
+	m.poolTasks.Add(int64(n))
+	m.poolDepth.Add(int64(n))
+	m.poolBatchSizes.Observe(int64(n))
+}
+
+// PoolTaskDone records one completed pool task: the queue-depth gauge drops
+// and the executing worker slot accumulates busy time.
+func (m *Metrics) PoolTaskDone(worker int, busyNanos int64) {
+	m.poolDepth.Add(-1)
+	m.poolBusyNanos[worker&(poolWorkerSlots-1)].Add(busyNanos)
+}
+
+func phaseIndex(p Phase) int {
+	if p < 0 || p >= numPhases {
+		return int(PhaseOther)
+	}
+	return int(p)
+}
+
+// className maps a class index to its metric label (mirrors worker.Class).
+func className(c int) string {
+	switch c {
+	case 0:
+		return "naive"
+	case 1:
+		return "expert"
+	default:
+		return "class" + strconv.Itoa(c)
+	}
+}
+
+// Snapshot renders the metric set as a JSON-marshalable tree — the value the
+// expvar "crowdmax" variable reports on /debug/vars. Zero-valued classes and
+// phases are omitted so the output stays small.
+func (m *Metrics) Snapshot() map[string]any {
+	out := make(map[string]any)
+
+	cmp := make(map[string]int64)
+	memo := make(map[string]any)
+	for c := 0; c < NumClasses; c++ {
+		if n := m.comparisons[c].Load(); n != 0 {
+			cmp[className(c)] = n
+		}
+		hit, miss := m.memoHit[c].Load(), m.memoMiss[c].Load()
+		if hit != 0 || miss != 0 {
+			memo[className(c)] = map[string]int64{"hit": hit, "miss": miss}
+		}
+	}
+	out["comparisons"] = cmp
+	out["memo"] = memo
+
+	phases := make(map[string]any)
+	for p := Phase(0); p < numPhases; p++ {
+		pm := make(map[string]any)
+		for c := 0; c < NumClasses; c++ {
+			if n := m.phaseCmp[p][c].Load(); n != 0 {
+				pm["comparisons_"+className(c)] = n
+			}
+		}
+		if r := m.phaseRounds[p].Load(); r != 0 {
+			pm["rounds"] = r
+		}
+		if len(pm) != 0 {
+			phases[p.String()] = pm
+		}
+	}
+	out["phase"] = phases
+
+	out["tournament"] = map[string]any{"group_sizes": m.groupSizes.Snapshot()}
+
+	busy := make(map[string]int64)
+	for w := range m.poolBusyNanos {
+		if n := m.poolBusyNanos[w].Load(); n != 0 {
+			busy["w"+strconv.Itoa(w)] = n
+		}
+	}
+	out["pool"] = map[string]any{
+		"batches":        m.poolBatches.Load(),
+		"tasks":          m.poolTasks.Load(),
+		"queue_depth":    m.poolDepth.Load(),
+		"batch_sizes":    m.poolBatchSizes.Snapshot(),
+		"worker_busy_ns": busy,
+	}
+	return out
+}
+
+// global holds the installed base scope; nil while observability is off.
+var global atomic.Pointer[Scope]
+
+// Enable installs a fresh Metrics (and the given Tracer, which may be nil
+// for metrics-only operation) as the process default and returns the
+// Metrics. It also registers the expvar export. Enable is typically called
+// once at startup; calling it again replaces the previous state.
+func Enable(t *Tracer) *Metrics {
+	m := &Metrics{}
+	global.Store(&Scope{m: m, t: t})
+	publish()
+	return m
+}
+
+// Disable uninstalls the process default; subsequent Trial calls return nil
+// and Active returns nil. Scopes created before Disable keep recording into
+// the old Metrics.
+func Disable() { global.Store(nil) }
+
+// Enabled reports whether observability is on. Call sites use it to skip
+// building labels that only a live Scope would consume.
+func Enabled() bool { return global.Load() != nil }
+
+// Active returns the installed Metrics, or nil while disabled. Hot paths
+// not already holding a Scope (the parallel pool, tournament group
+// accounting) use this; the disabled cost is one atomic pointer load.
+func Active() *Metrics {
+	if s := global.Load(); s != nil {
+		return s.m
+	}
+	return nil
+}
+
+// publishOnce guards the expvar registration (Publish panics on duplicates).
+var publishOnce sync.Once
+
+func publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("crowdmax", expvar.Func(func() any {
+			s := global.Load()
+			if s == nil || s.m == nil {
+				return map[string]any{"enabled": false}
+			}
+			return s.m.Snapshot()
+		}))
+	})
+}

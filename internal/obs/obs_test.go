@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestMetricsCountersConcurrent(t *testing.T) {
+	m := &Metrics{}
+	const writers, perWriter = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				m.Comparisons(0, 1)
+				m.Comparisons(1, 2)
+				m.Memo(0, 1, 1)
+				m.Round(PhaseFilter)
+				m.PhaseComparisons(PhaseTwoMaxFind, [NumClasses]int64{0, 3})
+				m.ObserveGroup(40)
+				m.PoolSubmit(2)
+				m.PoolTaskDone(w, 10)
+				m.PoolTaskDone(w, 10)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(writers * perWriter)
+	if got := m.comparisons[0].Load(); got != total {
+		t.Errorf("naive comparisons = %d, want %d", got, total)
+	}
+	if got := m.comparisons[1].Load(); got != 2*total {
+		t.Errorf("expert comparisons = %d, want %d", got, 2*total)
+	}
+	if got := m.memoHit[0].Load(); got != total {
+		t.Errorf("memo hits = %d, want %d", got, total)
+	}
+	if got := m.memoMiss[0].Load(); got != total {
+		t.Errorf("memo misses = %d, want %d", got, total)
+	}
+	if got := m.phaseRounds[PhaseFilter].Load(); got != total {
+		t.Errorf("filter rounds = %d, want %d", got, total)
+	}
+	if got := m.phaseCmp[PhaseTwoMaxFind][1].Load(); got != 3*total {
+		t.Errorf("2maxfind expert delta = %d, want %d", got, 3*total)
+	}
+	if got := m.groupSizes.Count(); got != total {
+		t.Errorf("group observations = %d, want %d", got, total)
+	}
+	if got := m.poolDepth.Load(); got != 0 {
+		t.Errorf("queue depth = %d, want 0 after all tasks done", got)
+	}
+	if got := m.poolTasks.Load(); got != 2*total {
+		t.Errorf("pool tasks = %d, want %d", got, 2*total)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, -5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 9 {
+		t.Fatalf("count = %d, want 9", got)
+	}
+	// -5 clamps to 0, so the sum is 0+1+2+3+4+7+8+1023.
+	if got := h.Sum(); got != 1048 {
+		t.Fatalf("sum = %d, want 1048", got)
+	}
+	snap := h.Snapshot()
+	checks := map[string]int64{
+		"le_0":    2, // 0 and the clamped -5
+		"le_1":    1,
+		"le_3":    2, // 2, 3
+		"le_7":    2, // 4, 7
+		"le_15":   1, // 8
+		"le_1023": 1,
+	}
+	for k, want := range checks {
+		if snap[k] != want {
+			t.Errorf("bucket %s = %d, want %d (snapshot %v)", k, snap[k], want, snap)
+		}
+	}
+}
+
+func TestSnapshotMarshalsToJSON(t *testing.T) {
+	m := &Metrics{}
+	m.Comparisons(0, 5)
+	m.Memo(1, 2, 3)
+	m.PhaseComparisons(PhaseFilter, [NumClasses]int64{5})
+	m.Round(PhaseFilter)
+	m.ObserveGroup(16)
+	m.PoolSubmit(4)
+	m.PoolTaskDone(0, 100)
+
+	data, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(data, &tree); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	phase, ok := tree["phase"].(map[string]any)
+	if !ok {
+		t.Fatalf("no phase tree in %s", data)
+	}
+	filter, ok := phase["filter"].(map[string]any)
+	if !ok {
+		t.Fatalf("no filter phase in %s", data)
+	}
+	if filter["comparisons_naive"] != float64(5) {
+		t.Errorf("filter naive comparisons = %v, want 5", filter["comparisons_naive"])
+	}
+	if filter["rounds"] != float64(1) {
+		t.Errorf("filter rounds = %v, want 1", filter["rounds"])
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	t.Cleanup(Disable)
+	if Enabled() || Active() != nil {
+		t.Fatal("observability unexpectedly enabled at test start")
+	}
+	if sc := Trial("x", 1); sc != nil {
+		t.Fatal("Trial returned a scope while disabled")
+	}
+	m := Enable(nil)
+	if !Enabled() || Active() != m {
+		t.Fatal("Enable did not install metrics")
+	}
+	sc := Trial("fig3/n400/t0", 42)
+	if sc == nil {
+		t.Fatal("Trial returned nil while enabled")
+	}
+	if sc.Seed() != 42 {
+		t.Errorf("scope seed = %d, want 42", sc.Seed())
+	}
+	sc.Comparisons(0, 7)
+	if got := m.comparisons[0].Load(); got != 7 {
+		t.Errorf("scope write not visible: %d", got)
+	}
+	Disable()
+	if Enabled() || Active() != nil {
+		t.Fatal("Disable did not uninstall")
+	}
+	// Scopes created before Disable keep recording into the old metrics.
+	sc.Comparisons(0, 1)
+	if got := m.comparisons[0].Load(); got != 8 {
+		t.Errorf("pre-Disable scope stopped recording: %d", got)
+	}
+}
+
+func TestScopeNilSafety(t *testing.T) {
+	var sc *Scope
+	sc.Comparisons(0, 1)
+	sc.Memo(0, 1, 1)
+	sc.PhaseComparisons([NumClasses]int64{1})
+	sc.Round()
+	sc.Event("x", Fi("a", 1))
+	if sc.WithPhase(PhaseFilter) != nil {
+		t.Error("WithPhase on nil scope returned non-nil")
+	}
+	if sc.Metrics() != nil || sc.Seed() != 0 || sc.Tracing() {
+		t.Error("nil scope leaked state")
+	}
+}
+
+// TestDisabledPathAllocsNothing pins the contract the <2% benchmark budget
+// rests on: with observability off, the instrumentation hooks on the hot
+// paths must not allocate.
+func TestDisabledPathAllocsNothing(t *testing.T) {
+	Disable()
+	var sc *Scope
+	if avg := testing.AllocsPerRun(1000, func() {
+		if m := Active(); m != nil {
+			t.Fatal("enabled")
+		}
+		sc.Comparisons(0, 1)
+		sc.Memo(0, 1, 1)
+		sc.Round()
+		sc.Event("ev", Fi("a", 1), Fi("b", 2), Fs("c", "d"))
+		if sc.Tracing() {
+			t.Fatal("tracing")
+		}
+	}); avg != 0 {
+		t.Errorf("disabled path allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+// TestEnabledCountersAllocNothing checks the metrics-only enabled path (no
+// tracer) is also allocation-free — counters are plain atomic adds.
+func TestEnabledCountersAllocNothing(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable(nil)
+	m := Active()
+	if avg := testing.AllocsPerRun(1000, func() {
+		m.Comparisons(0, 1)
+		m.Memo(0, 1, 1)
+		m.Round(PhaseFilter)
+		m.ObserveGroup(40)
+		m.PoolSubmit(8)
+		m.PoolTaskDone(1, 50)
+	}); avg != 0 {
+		t.Errorf("enabled counter path allocates %.1f objects per op, want 0", avg)
+	}
+}

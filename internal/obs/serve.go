@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+)
+
+// Serve starts the observability HTTP server on addr (e.g. "localhost:6060"
+// or ":0" for an ephemeral port) and returns the bound address. The server
+// exposes the standard runtime endpoints on the default mux:
+//
+//	/debug/vars    expvar — including the "crowdmax" metric tree
+//	/debug/pprof/  CPU, heap, goroutine, mutex, block profiles
+//
+// The server runs until the process exits; Serve is non-blocking. Metrics
+// appear under /debug/vars once Enable has installed them (Serve registers
+// the export either way, reporting {"enabled": false} while disabled).
+func Serve(addr string) (net.Addr, error) {
+	publish()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln) //nolint:errcheck — server lives for the process
+	return ln.Addr(), nil
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeExposesVarsAndPprof(t *testing.T) {
+	t.Cleanup(Disable)
+	m := Enable(nil)
+	m.Comparisons(0, 11)
+	m.PhaseComparisons(PhaseFilter, [NumClasses]int64{11})
+
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	var vars struct {
+		Crowdmax struct {
+			Comparisons map[string]int64 `json:"comparisons"`
+			Phase       map[string]struct {
+				ComparisonsNaive int64 `json:"comparisons_naive"`
+			} `json:"phase"`
+		} `json:"crowdmax"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if vars.Crowdmax.Comparisons["naive"] != 11 {
+		t.Errorf("crowdmax.comparisons.naive = %d, want 11", vars.Crowdmax.Comparisons["naive"])
+	}
+	if vars.Crowdmax.Phase["filter"].ComparisonsNaive != 11 {
+		t.Errorf("crowdmax.phase.filter.comparisons_naive = %d, want 11", vars.Crowdmax.Phase["filter"].ComparisonsNaive)
+	}
+
+	resp, err = client.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	index, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(index), "goroutine") {
+		t.Errorf("/debug/pprof/ index does not list profiles:\n%.200s", index)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999"); err == nil {
+		t.Fatal("expected error for unusable address")
+	}
+}

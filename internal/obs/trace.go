@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// F is one key/value field of a trace event. Fields carry either an integer
+// or a string payload in a flat struct — no interface boxing — so building a
+// field list allocates nothing beyond the (usually stack-held) slice.
+type F struct {
+	K     string
+	I     int64
+	S     string
+	isStr bool
+}
+
+// Fi returns an integer field.
+func Fi(k string, v int64) F { return F{K: k, I: v} }
+
+// Fs returns a string field.
+func Fs(k, v string) F { return F{K: k, S: v, isStr: true} }
+
+// Tracer writes the structured event trace as JSON Lines: one object per
+// event, encoded by hand (no reflection) into a reused buffer under a mutex.
+// Events carry a monotonic sequence number instead of a wall-clock
+// timestamp, so a sequential run's trace is bit-for-bit reproducible — the
+// same property the deterministic replay engine gives results. Concurrent
+// runs interleave event order (the sequence number records the interleaving)
+// but every event's content is still deterministic.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	seq int64
+	err error
+}
+
+// NewTracer returns a Tracer writing JSONL to w. The caller owns w's
+// lifecycle (e.g. closing the trace file after the run).
+func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// Err returns the first write error, if any; once a write fails the tracer
+// drops subsequent events.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Events returns the number of events emitted so far.
+func (t *Tracer) Events() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// emit encodes and writes one event line.
+func (t *Tracer) emit(ev, trial string, seed uint64, phase Phase, fs []F) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	b := append(t.buf[:0], `{"seq":`...)
+	b = strconv.AppendInt(b, t.seq, 10)
+	b = append(b, `,"ev":`...)
+	b = strconv.AppendQuote(b, ev)
+	if trial != "" {
+		b = append(b, `,"trial":`...)
+		b = strconv.AppendQuote(b, trial)
+	}
+	if seed != 0 {
+		b = append(b, `,"seed":`...)
+		b = strconv.AppendUint(b, seed, 10)
+	}
+	if phase != PhaseOther {
+		b = append(b, `,"phase":`...)
+		b = strconv.AppendQuote(b, phase.String())
+	}
+	for _, f := range fs {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, f.K)
+		b = append(b, ':')
+		if f.isStr {
+			b = strconv.AppendQuote(b, f.S)
+		} else {
+			b = strconv.AppendInt(b, f.I, 10)
+		}
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// Scope is the handle instrumented code records through. It couples the
+// process Metrics and Tracer with the labels that make trace events
+// attributable: the trial identifier, the trial's derived rng stream seed
+// (the replay key), and the current algorithm phase.
+//
+// A nil *Scope is the disabled state — every method is safe and free on a
+// nil receiver — so hot paths pay exactly one nil check when observability
+// is off.
+type Scope struct {
+	m     *Metrics
+	t     *Tracer
+	trial string
+	seed  uint64
+	phase Phase
+}
+
+// Trial derives a Scope for one trial from the installed base scope, or nil
+// while observability is disabled. label identifies the trial for humans
+// ("fig3/n400/t2"); seed is the trial's derived rng stream seed, the key a
+// deterministic replay needs to re-run exactly this trial.
+func Trial(label string, seed uint64) *Scope {
+	base := global.Load()
+	if base == nil {
+		return nil
+	}
+	s := *base
+	s.trial = label
+	s.seed = seed
+	return &s
+}
+
+// WithPhase returns a copy of the scope labelled with the given phase (nil
+// in, nil out).
+func (s *Scope) WithPhase(p Phase) *Scope {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.phase = p
+	return &c
+}
+
+// Metrics returns the scope's metric set, or nil.
+func (s *Scope) Metrics() *Metrics {
+	if s == nil {
+		return nil
+	}
+	return s.m
+}
+
+// Seed returns the trial's replay seed (0 on a nil scope).
+func (s *Scope) Seed() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.seed
+}
+
+// Comparisons records n paid comparisons by class.
+func (s *Scope) Comparisons(class int, n int64) {
+	if s == nil || s.m == nil || n == 0 {
+		return
+	}
+	s.m.Comparisons(class, n)
+}
+
+// Memo records a batch's memo hits and misses by class.
+func (s *Scope) Memo(class int, hits, misses int64) {
+	if s == nil || s.m == nil || (hits == 0 && misses == 0) {
+		return
+	}
+	s.m.Memo(class, hits, misses)
+}
+
+// PhaseComparisons attributes a per-class ledger delta to the scope's phase.
+func (s *Scope) PhaseComparisons(counts [NumClasses]int64) {
+	if s == nil || s.m == nil {
+		return
+	}
+	s.m.PhaseComparisons(s.phase, counts)
+}
+
+// Round records one iteration of the scope's phase.
+func (s *Scope) Round() {
+	if s == nil || s.m == nil {
+		return
+	}
+	s.m.Round(s.phase)
+}
+
+// Event emits one trace event carrying the scope's trial, seed, and phase
+// labels plus the given fields. A no-op without a tracer; callers guard the
+// call (and the field-list construction) behind a nil check on the scope.
+func (s *Scope) Event(ev string, fs ...F) {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.emit(ev, s.trial, s.seed, s.phase, fs)
+}
+
+// Tracing reports whether events emitted through this scope reach a tracer;
+// callers use it to skip assembling expensive field lists.
+func (s *Scope) Tracing() bool { return s != nil && s.t != nil }

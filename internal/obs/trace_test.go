@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// traceLines decodes each JSONL line of the tracer output.
+func traceLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	t.Cleanup(Disable)
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	Enable(tr)
+
+	sc := Trial("fig3/n400/t2", 12345)
+	if !sc.Tracing() {
+		t.Fatal("scope not tracing")
+	}
+	sc.Event("trial.start", Fi("n", 400), Fs("approach", "alg1"))
+	fsc := sc.WithPhase(PhaseFilter)
+	fsc.Event("filter.group", Fi("size", 40), Fi("survivors", 1))
+	sc.WithPhase(PhaseTwoMaxFind).Event("2maxfind.round", Fi("round", 1))
+
+	if err := tr.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+	if tr.Events() != 3 {
+		t.Fatalf("tracer recorded %d events, want 3", tr.Events())
+	}
+
+	recs := traceLines(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("got %d JSONL records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec["seq"] != float64(i+1) {
+			t.Errorf("record %d: seq = %v, want %d", i, rec["seq"], i+1)
+		}
+		if rec["trial"] != "fig3/n400/t2" {
+			t.Errorf("record %d: trial = %v", i, rec["trial"])
+		}
+		if rec["seed"] != float64(12345) {
+			t.Errorf("record %d: seed = %v, want 12345", i, rec["seed"])
+		}
+	}
+	if recs[0]["ev"] != "trial.start" || recs[0]["n"] != float64(400) || recs[0]["approach"] != "alg1" {
+		t.Errorf("bad first record: %v", recs[0])
+	}
+	if _, hasPhase := recs[0]["phase"]; hasPhase {
+		t.Errorf("PhaseOther record should omit phase: %v", recs[0])
+	}
+	if recs[1]["phase"] != "filter" || recs[1]["size"] != float64(40) {
+		t.Errorf("bad filter record: %v", recs[1])
+	}
+	if recs[2]["phase"] != "2maxfind" {
+		t.Errorf("bad 2maxfind record: %v", recs[2])
+	}
+}
+
+func TestTraceOmitsEmptyTrialAndSeed(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sc := &Scope{m: &Metrics{}, t: tr}
+	sc.Event("bare")
+	recs := traceLines(t, &buf)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	for _, k := range []string{"trial", "seed", "phase"} {
+		if _, ok := recs[0][k]; ok {
+			t.Errorf("zero-valued %q should be omitted: %v", k, recs[0])
+		}
+	}
+}
+
+func TestTraceStringEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sc := &Scope{m: &Metrics{}, t: tr, trial: `he said "hi"` + "\n\t\\"}
+	sc.Event("esc", Fs("msg", "a\"b\\c\nd"))
+	recs := traceLines(t, &buf)
+	if recs[0]["trial"] != "he said \"hi\"\n\t\\" {
+		t.Errorf("trial round-trip failed: %q", recs[0]["trial"])
+	}
+	if recs[0]["msg"] != "a\"b\\c\nd" {
+		t.Errorf("field round-trip failed: %q", recs[0]["msg"])
+	}
+}
+
+func TestTraceConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	base := &Scope{m: &Metrics{}, t: tr}
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := &Scope{m: base.m, t: base.t, trial: "w", seed: uint64(w + 1)}
+			for i := 0; i < perWriter; i++ {
+				sc.Event("tick", Fi("i", int64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+	recs := traceLines(t, &buf)
+	if len(recs) != writers*perWriter {
+		t.Fatalf("got %d records, want %d", len(recs), writers*perWriter)
+	}
+	// seq must be a permutation of 1..N even under concurrency.
+	seen := make(map[float64]bool, len(recs))
+	for _, rec := range recs {
+		seq := rec["seq"].(float64)
+		if seen[seq] {
+			t.Fatalf("duplicate seq %v", seq)
+		}
+		seen[seq] = true
+	}
+}
+
+// errWriter fails after the first write.
+type errWriter struct{ writes int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > 1 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestTraceStopsAfterWriteError(t *testing.T) {
+	w := &errWriter{}
+	tr := NewTracer(w)
+	sc := &Scope{m: &Metrics{}, t: tr}
+	sc.Event("one")
+	sc.Event("two")   // fails
+	sc.Event("three") // dropped
+	if tr.Err() == nil {
+		t.Fatal("expected a recorded write error")
+	}
+	if w.writes != 2 {
+		t.Errorf("writer called %d times, want 2 (events after the error must be dropped)", w.writes)
+	}
+}

@@ -25,6 +25,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"crowdmax/internal/obs"
 )
 
 // DefaultWorkers returns the default pool width: runtime.GOMAXPROCS(0).
@@ -65,6 +68,13 @@ func For(workers, n int, fn func(i int) error) error {
 		return nil
 	}
 
+	// Pool metrics (fan-out sizes, queue depth, per-worker busy time) are
+	// recorded only when observability is enabled; the disabled cost is one
+	// atomic pointer load per For call, never per task.
+	m := obs.Active()
+	if m != nil {
+		m.PoolSubmit(n)
+	}
 	errs := make([]error, n)
 	var (
 		next      atomic.Int64
@@ -75,12 +85,16 @@ func For(workers, n int, fn func(i int) error) error {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || panicked.Load() {
 					return
+				}
+				var start time.Time
+				if m != nil {
+					start = time.Now()
 				}
 				func() {
 					defer func() {
@@ -93,8 +107,11 @@ func For(workers, n int, fn func(i int) error) error {
 					}()
 					errs[i] = fn(i)
 				}()
+				if m != nil {
+					m.PoolTaskDone(slot, int64(time.Since(start)))
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if panicked.Load() {

@@ -24,6 +24,11 @@ type BatchComparator interface {
 // Duplicate pairs within one batch are asked only once when memoization is
 // enabled (the platform would be asked once and the answer reused), and
 // independently otherwise.
+//
+// Observability counters are aggregated per batch: one atomic add for the
+// paid comparisons and one for the memo hits, instead of one per pair, so
+// the cost of an attached scope is negligible and the cost of a detached
+// one (the default) is a nil check.
 func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
 	winners := make([]item.Item, len(pairs))
 	todo := make([]int, 0, len(pairs))
@@ -39,7 +44,9 @@ func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
 		}
 		todo = append(todo, i)
 	}
+	hits := int64(len(pairs) - len(todo))
 	if len(todo) == 0 {
+		o.observeBatch(0, hits)
 		return winners
 	}
 	if o.ledger != nil {
@@ -79,12 +86,15 @@ func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
 			}
 			winners[i] = pick(pairs[i], w)
 		}
+		o.observeBatch(int64(len(subIdx)), hits+int64(len(dups)))
 		return winners
 	}
 	if o.batchWorkers > 1 && len(todo) > 1 {
-		o.compareParallel(pairs, todo, winners)
+		paid, dupHits := o.compareParallel(pairs, todo, winners)
+		o.observeBatch(paid, hits+dupHits)
 		return winners
 	}
+	var paid int64
 	for _, i := range todo {
 		p := pairs[i]
 		// A duplicate may have been memoized by an earlier element of
@@ -94,23 +104,41 @@ func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
 				if o.ledger != nil {
 					o.ledger.MemoHit(o.class)
 				}
+				hits++
 				winners[i] = pick(p, w)
 				continue
 			}
 		}
 		o.settle(p, o.cmp.Compare(p[0], p[1]), &winners[i])
+		paid++
 	}
+	o.observeBatch(paid, hits)
 	return winners
 }
 
+// observeBatch records one batch's aggregate counts on the attached
+// observability scope: paid comparisons, and — for memoized oracles — the
+// memo table's hit/miss split (every paid comparison of a memoized oracle
+// is a miss).
+func (o *Oracle) observeBatch(paid, hits int64) {
+	if o.obs == nil {
+		return
+	}
+	o.obs.Comparisons(int(o.class), paid)
+	if o.memo != nil {
+		o.obs.Memo(int(o.class), hits, paid)
+	}
+}
+
 // compareParallel answers the todo indices of pairs concurrently on the
-// oracle's batch pool (see ParallelBatch). Duplicate pairs are separated
-// first when memoization is enabled — exactly like the sequential path,
-// which serves them as memo hits — so billing and answers are identical to
-// a sequential run whenever the comparator is order-independent. Each
-// worker writes only its own winners slot; ledger and memo are
-// concurrency-safe.
-func (o *Oracle) compareParallel(pairs [][2]item.Item, todo []int, winners []item.Item) {
+// oracle's batch pool (see ParallelBatch) and returns the paid-comparison
+// and duplicate-hit counts for the caller's observability aggregation.
+// Duplicate pairs are separated first when memoization is enabled — exactly
+// like the sequential path, which serves them as memo hits — so billing and
+// answers are identical to a sequential run whenever the comparator is
+// order-independent. Each worker writes only its own winners slot; ledger
+// and memo are concurrency-safe.
+func (o *Oracle) compareParallel(pairs [][2]item.Item, todo []int, winners []item.Item) (paid, dupHits int64) {
 	sub := todo
 	var dups []int
 	if o.memo != nil {
@@ -139,6 +167,7 @@ func (o *Oracle) compareParallel(pairs [][2]item.Item, todo []int, winners []ite
 		}
 		winners[i] = pick(pairs[i], w)
 	}
+	return int64(len(sub)), int64(len(dups))
 }
 
 // settle bills one fresh answer, memoizes it and records the winner.

@@ -26,8 +26,17 @@ import (
 
 	"crowdmax/internal/cost"
 	"crowdmax/internal/item"
+	"crowdmax/internal/obs"
 	"crowdmax/internal/parallel"
 	"crowdmax/internal/worker"
+)
+
+// The observability layer mirrors the ledger's class space with its own
+// constant (obs must not import cost, so the low-level parallel pool can use
+// it). Fail the build if they ever drift.
+const (
+	_ = uint(cost.MaxClasses - obs.NumClasses)
+	_ = uint(obs.NumClasses - cost.MaxClasses)
 )
 
 // memoShards is the number of independently locked stripes of a Memo. The
@@ -123,6 +132,7 @@ type Oracle struct {
 	ledger       *cost.Ledger
 	memo         *Memo
 	batchWorkers int
+	obs          *obs.Scope
 }
 
 // NewOracle binds a comparator of the given class to a ledger. memo may be
@@ -148,6 +158,24 @@ func (o *Oracle) ParallelBatch(workers int) *Oracle {
 	return o
 }
 
+// WithObs attaches an observability scope: comparison and memo-table
+// counters accrue to the scope's metrics, and the algorithms driving this
+// oracle label their trace events with the scope's trial and phase. A nil
+// scope (the default) keeps the hot path at a single nil check. Returns the
+// oracle for chaining.
+func (o *Oracle) WithObs(s *obs.Scope) *Oracle {
+	o.obs = s
+	return o
+}
+
+// Obs returns the oracle's observability scope, nil when detached.
+func (o *Oracle) Obs() *obs.Scope { return o.obs }
+
+// LedgerSnapshot copies the oracle's ledger counters (zero snapshot for an
+// un-billed oracle); algorithms difference snapshots at phase boundaries to
+// attribute costs per phase.
+func (o *Oracle) LedgerSnapshot() cost.Snapshot { return o.ledger.Snapshot() }
+
 // Class returns the billing class of this oracle.
 func (o *Oracle) Class() worker.Class { return o.class }
 
@@ -164,6 +192,9 @@ func (o *Oracle) Compare(a, b item.Item) item.Item {
 			if o.ledger != nil {
 				o.ledger.MemoHit(o.class)
 			}
+			if o.obs != nil {
+				o.obs.Memo(int(o.class), 1, 0)
+			}
 			if w == a.ID {
 				return a
 			}
@@ -173,6 +204,12 @@ func (o *Oracle) Compare(a, b item.Item) item.Item {
 	winner := o.cmp.Compare(a, b)
 	if o.ledger != nil {
 		o.ledger.Charge(o.class)
+	}
+	if o.obs != nil {
+		o.obs.Comparisons(int(o.class), 1)
+		if o.memo != nil {
+			o.obs.Memo(int(o.class), 0, 1)
+		}
 	}
 	if o.memo != nil {
 		o.memo.store(a.ID, b.ID, winner.ID)
@@ -245,6 +282,9 @@ func RoundRobin(items []item.Item, o *Oracle) Result {
 // RoundRobinWith is RoundRobin with options.
 func RoundRobinWith(items []item.Item, o *Oracle, opts RoundRobinOpts) Result {
 	n := len(items)
+	if m := obs.Active(); m != nil {
+		m.ObserveGroup(n)
+	}
 	r := Result{
 		Items: items,
 		Wins:  make([]int, n),
