@@ -1,9 +1,9 @@
 GO ?= go
 
 # Concurrency-heavy packages CI runs under the race detector.
-RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/...
+RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/... ./internal/dispatch/...
 
-.PHONY: build test race bench vet ci bench-smoke all clean
+.PHONY: build test race bench vet lint ci bench-smoke all clean
 
 all: build vet test
 
@@ -19,7 +19,7 @@ race:
 
 # Mirror of .github/workflows/ci.yml: the test job's steps plus the
 # benchmark-smoke job. Green here means green there (modulo Go version).
-ci: vet build test race bench-smoke
+ci: vet lint build test race bench-smoke
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkFig3Parallel -benchtime=1x ./internal/experiment
@@ -33,6 +33,21 @@ bench:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Both tools are optional: when they are not on
+# PATH the target prints a note and succeeds, so `make ci` works on a bare
+# toolchain (CI installs them in its own lint job).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping"; \
+	fi
 
 # Regenerate the wall-clock comparison checked in under results/.
 results/BENCH_parallel.json: build

@@ -4,6 +4,7 @@
 package crowdmax_test
 
 import (
+	"context"
 	"testing"
 
 	"crowdmax/internal/experiment"
@@ -34,7 +35,7 @@ func BenchmarkFig3(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := benchSweep(cfg.un, cfg.ue)
 				s.Seed = uint64(i)
-				if _, err := experiment.Fig3(s); err != nil {
+				if _, err := experiment.Fig3(context.Background(), s); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -46,7 +47,7 @@ func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSweep(10, 5)
 		s.Seed = uint64(i)
-		if _, err := experiment.Fig4(s); err != nil {
+		if _, err := experiment.Fig4(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -54,7 +55,7 @@ func BenchmarkFig4(b *testing.B) {
 
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Fig5(experiment.CostConfig{
+		if _, err := experiment.Fig5(context.Background(), experiment.CostConfig{
 			Sweep: benchSweep(10, 5), CE: 10,
 		}); err != nil {
 			b.Fatal(err)
@@ -64,7 +65,7 @@ func BenchmarkFig5(b *testing.B) {
 
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Fig6(experiment.Fig6Config{
+		if _, err := experiment.Fig6(context.Background(), experiment.Fig6Config{
 			Sweep: benchSweep(10, 5),
 		}); err != nil {
 			b.Fatal(err)
@@ -74,7 +75,7 @@ func BenchmarkFig6(b *testing.B) {
 
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Fig7(experiment.FactorCostConfig{
+		if _, err := experiment.Fig7(context.Background(), experiment.FactorCostConfig{
 			CostConfig: experiment.CostConfig{Sweep: benchSweep(10, 5), CE: 20},
 		}); err != nil {
 			b.Fatal(err)
@@ -84,7 +85,7 @@ func BenchmarkFig7(b *testing.B) {
 
 func BenchmarkFig9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Fig9(experiment.CostConfig{
+		if _, err := experiment.Fig9(context.Background(), experiment.CostConfig{
 			Sweep: benchSweep(10, 5), CE: 50,
 		}); err != nil {
 			b.Fatal(err)
@@ -104,7 +105,7 @@ func BenchmarkFig10(b *testing.B) {
 
 func BenchmarkRetention(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Retention(experiment.Fig6Config{
+		if _, err := experiment.Retention(context.Background(), experiment.Fig6Config{
 			Sweep:   benchSweep(10, 5),
 			Factors: []float64{0.2, 0.5, 0.8, 1},
 		}); err != nil {
@@ -115,7 +116,7 @@ func BenchmarkRetention(b *testing.B) {
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Table1(experiment.CrowdConfig{
+		if _, err := experiment.Table1(context.Background(), experiment.CrowdConfig{
 			Seed: uint64(i), Spammers: 3,
 		}); err != nil {
 			b.Fatal(err)
@@ -125,7 +126,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.Table2(experiment.CrowdConfig{
+		if _, _, err := experiment.Table2(context.Background(), experiment.CrowdConfig{
 			Seed: uint64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -135,7 +136,7 @@ func BenchmarkTable2(b *testing.B) {
 
 func BenchmarkSearchEval(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.SearchEval(experiment.SearchConfig{
+		if _, err := experiment.SearchEval(context.Background(), experiment.SearchConfig{
 			Seed: uint64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -155,7 +156,7 @@ func BenchmarkMajorityBound(b *testing.B) {
 
 func BenchmarkEpsilonSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.EpsilonSweep(experiment.EpsilonConfig{
+		if _, err := experiment.EpsilonSweep(context.Background(), experiment.EpsilonConfig{
 			Sweep:    experiment.Sweep{Ns: []int{500}, Un: 8, Ue: 3, Trials: 2, Seed: uint64(i)},
 			Epsilons: []float64{0, 0.2, 0.4},
 		}); err != nil {
@@ -166,7 +167,7 @@ func BenchmarkEpsilonSweep(b *testing.B) {
 
 func BenchmarkCascade(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.CascadeExperiment(experiment.CascadeConfig{
+		if _, err := experiment.CascadeExperiment(context.Background(), experiment.CascadeConfig{
 			Ns: []int{500}, Us: [3]int{20, 6, 2}, PriceRatio: 50,
 			Trials: 2, Seed: uint64(i),
 		}); err != nil {
@@ -177,7 +178,7 @@ func BenchmarkCascade(b *testing.B) {
 
 func BenchmarkStepsExperiment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.StepsExperiment(experiment.Sweep{
+		if _, err := experiment.StepsExperiment(context.Background(), experiment.Sweep{
 			Ns: []int{500}, Un: 8, Ue: 3, Trials: 2, Seed: uint64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -187,7 +188,7 @@ func BenchmarkStepsExperiment(b *testing.B) {
 
 func BenchmarkBracketAccuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.BracketAccuracy(experiment.BracketConfig{
+		if _, err := experiment.BracketAccuracy(context.Background(), experiment.BracketConfig{
 			Sweep: experiment.Sweep{Ns: []int{500}, Un: 8, Ue: 3, Trials: 2, Seed: uint64(i)},
 		}); err != nil {
 			b.Fatal(err)

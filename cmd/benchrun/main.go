@@ -20,16 +20,19 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
+	"crowdmax/internal/dispatch"
 	"crowdmax/internal/experiment"
 	"crowdmax/internal/obs"
 	"crowdmax/internal/parallel"
@@ -46,6 +49,8 @@ var (
 	benchOut = flag.String("benchout", "", "suppress figure output, time each experiment at -parallel=1 and -parallel=N, and write the wall-clock comparison as JSON to this file")
 	obsAddr  = flag.String("obs-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
 	traceOut = flag.String("trace-out", "", "write the structured JSONL event trace to this file")
+	budget   = flag.Int64("budget", 0, "hard cap on total comparisons per trial (0 = unlimited); a trial that hits the cap fails its sweep with the budget error, and the same seed + cap truncates identically on every run")
+	timeout  = flag.Duration("timeout", 0, "wall-clock deadline for the whole run (e.g. 2m); 0 = none")
 )
 
 // out overrides where figures are rendered (the -benchout timing mode sets
@@ -83,21 +88,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
 		os.Exit(1)
 	}
+	// Ctrl-C (or -timeout) cancels the in-flight experiment promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	code := 0
 	if *benchOut != "" {
-		if err := runBench(names); err != nil {
+		if err := runBench(ctx, names); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
 			code = 1
 		}
 	} else {
 		for _, name := range names {
-			if err := run(strings.ToLower(name)); err != nil {
+			if err := run(ctx, strings.ToLower(name)); err != nil {
 				fmt.Fprintf(os.Stderr, "benchrun %s: %v\n", name, err)
 				code = 1
 				break
 			}
 		}
 	}
+	stop()
 	obsCleanup()
 	os.Exit(code)
 }
@@ -145,7 +158,7 @@ func setupObs() (cleanup func(), err error) {
 // requested parallel width — and writes the comparison to -benchout. The
 // figures themselves are discarded; determinism means both runs produce
 // identical output anyway.
-func runBench(names []string) error {
+func runBench(ctx context.Context, names []string) error {
 	out = io.Discard
 	width := parallel.Normalize(*par)
 	type expTiming struct {
@@ -170,13 +183,13 @@ func runBench(names []string) error {
 		name = strings.ToLower(name)
 		workers = 1
 		start := time.Now()
-		if err := run(name); err != nil {
+		if err := run(ctx, name); err != nil {
 			return fmt.Errorf("%s (sequential): %w", name, err)
 		}
 		seq := time.Since(start).Seconds()
 		workers = width
 		start = time.Now()
-		if err := run(name); err != nil {
+		if err := run(ctx, name); err != nil {
 			return fmt.Errorf("%s (parallel): %w", name, err)
 		}
 		parSec := time.Since(start).Seconds()
@@ -201,6 +214,9 @@ func runBench(names []string) error {
 // the complete new ones.
 func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
 	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
@@ -270,9 +286,10 @@ func sweeps() []experiment.Sweep {
 	if len(kept) == 0 {
 		kept = ns[:1]
 	}
+	lim := dispatch.Limits{MaxTotal: *budget}
 	return []experiment.Sweep{
-		{Ns: kept, Un: 10, Ue: 5, Trials: tr, Seed: *seed, Workers: workers},
-		{Ns: kept, Un: 50, Ue: 10, Trials: tr, Seed: *seed, Workers: workers},
+		{Ns: kept, Un: 10, Ue: 5, Trials: tr, Seed: *seed, Workers: workers, Budget: lim},
+		{Ns: kept, Un: 50, Ue: 10, Trials: tr, Seed: *seed, Workers: workers, Budget: lim},
 	}
 }
 
@@ -290,7 +307,7 @@ func emit(fig experiment.Figure) error {
 	return nil
 }
 
-func run(name string) error {
+func run(ctx context.Context, name string) error {
 	switch name {
 	case "fig2":
 		cfg := experiment.Fig2Config{Seed: *seed, Workers: workers}
@@ -307,7 +324,7 @@ func run(name string) error {
 		return emit(cars)
 	case "fig3":
 		for _, s := range sweeps() {
-			fig, err := experiment.Fig3(s)
+			fig, err := experiment.Fig3(ctx, s)
 			if err != nil {
 				return err
 			}
@@ -318,7 +335,7 @@ func run(name string) error {
 		return nil
 	case "fig4":
 		for _, s := range sweeps() {
-			fig, err := experiment.Fig4(s)
+			fig, err := experiment.Fig4(ctx, s)
 			if err != nil {
 				return err
 			}
@@ -333,9 +350,9 @@ func run(name string) error {
 				var fig experiment.Figure
 				var err error
 				if name == "fig5" {
-					fig, err = experiment.Fig5(experiment.CostConfig{Sweep: s, CE: ce})
+					fig, err = experiment.Fig5(ctx, experiment.CostConfig{Sweep: s, CE: ce})
 				} else {
-					fig, err = experiment.Fig9(experiment.CostConfig{Sweep: s, CE: ce})
+					fig, err = experiment.Fig9(ctx, experiment.CostConfig{Sweep: s, CE: ce})
 				}
 				if err != nil {
 					return err
@@ -348,7 +365,7 @@ func run(name string) error {
 		return nil
 	case "fig6":
 		for _, s := range sweeps() {
-			fig, err := experiment.Fig6(experiment.Fig6Config{Sweep: s})
+			fig, err := experiment.Fig6(ctx, experiment.Fig6Config{Sweep: s})
 			if err != nil {
 				return err
 			}
@@ -364,7 +381,7 @@ func run(name string) error {
 				var fig experiment.Figure
 				var err error
 				if name == "fig7" {
-					fig, err = experiment.Fig7(cfg)
+					fig, err = experiment.Fig7(ctx, cfg)
 				} else {
 					fig, err = experiment.Fig10(cfg)
 				}
@@ -379,7 +396,7 @@ func run(name string) error {
 		return nil
 	case "retention":
 		for _, s := range sweeps() {
-			res, err := experiment.Retention(experiment.Fig6Config{Sweep: s})
+			res, err := experiment.Retention(ctx, experiment.Fig6Config{Sweep: s})
 			if err != nil {
 				return err
 			}
@@ -390,7 +407,7 @@ func run(name string) error {
 		}
 		return nil
 	case "table1":
-		tab, err := experiment.Table1(experiment.CrowdConfig{Seed: *seed, Spammers: 3, Parallel: workers})
+		tab, err := experiment.Table1(ctx, experiment.CrowdConfig{Seed: *seed, Spammers: 3, Parallel: workers})
 		if err != nil {
 			return err
 		}
@@ -400,7 +417,7 @@ func run(name string) error {
 		fmt.Fprintln(dst())
 		return nil
 	case "table2":
-		tab, _, err := experiment.Table2(experiment.CrowdConfig{Seed: *seed, Parallel: workers})
+		tab, _, err := experiment.Table2(ctx, experiment.CrowdConfig{Seed: *seed, Parallel: workers})
 		if err != nil {
 			return err
 		}
@@ -410,7 +427,7 @@ func run(name string) error {
 		fmt.Fprintln(dst())
 		return nil
 	case "search":
-		res, err := experiment.SearchEval(experiment.SearchConfig{Seed: *seed, Workers: workers})
+		res, err := experiment.SearchEval(ctx, experiment.SearchConfig{Seed: *seed, Workers: workers})
 		if err != nil {
 			return err
 		}
@@ -435,7 +452,7 @@ func run(name string) error {
 		return nil
 	case "epsilon":
 		for _, s := range sweeps() {
-			fig, err := experiment.EpsilonSweep(experiment.EpsilonConfig{Sweep: s})
+			fig, err := experiment.EpsilonSweep(ctx, experiment.EpsilonConfig{Sweep: s})
 			if err != nil {
 				return err
 			}
@@ -446,7 +463,7 @@ func run(name string) error {
 		return nil
 	case "steps":
 		for _, s := range sweeps() {
-			fig, err := experiment.StepsExperiment(s)
+			fig, err := experiment.StepsExperiment(ctx, s)
 			if err != nil {
 				return err
 			}
@@ -457,7 +474,7 @@ func run(name string) error {
 		return nil
 	case "bracket":
 		for _, s := range sweeps() {
-			fig, err := experiment.BracketAccuracy(experiment.BracketConfig{Sweep: s})
+			fig, err := experiment.BracketAccuracy(ctx, experiment.BracketConfig{Sweep: s})
 			if err != nil {
 				return err
 			}
@@ -475,7 +492,7 @@ func run(name string) error {
 				cfg.Trials = 4
 			}
 		}
-		fig, err := experiment.CascadeExperiment(cfg)
+		fig, err := experiment.CascadeExperiment(ctx, cfg)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"strings"
@@ -63,7 +64,7 @@ func TestRunEveryExperimentQuick(t *testing.T) {
 		"bracket":   "Bracket baseline",
 	}
 	for name, want := range wants {
-		out := capture(t, func() error { return run(name) })
+		out := capture(t, func() error { return run(context.Background(), name) })
 		if !strings.Contains(out, want) {
 			t.Errorf("%s output missing %q", name, want)
 		}
@@ -71,7 +72,7 @@ func TestRunEveryExperimentQuick(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope"); err == nil {
+	if err := run(context.Background(), "nope"); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -79,7 +80,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunCaseInsensitiveNameViaMainPath(t *testing.T) {
 	withQuick(t)
 	// main lowercases names before dispatch; run itself expects lower case.
-	out := capture(t, func() error { return run(strings.ToLower("TABLE1")) })
+	out := capture(t, func() error { return run(context.Background(), strings.ToLower("TABLE1")) })
 	if !strings.Contains(out, "Table 1") {
 		t.Fatal("dispatch failed")
 	}
@@ -90,7 +91,7 @@ func TestCSVMode(t *testing.T) {
 	oldCSV := *csvOut
 	*csvOut = true
 	t.Cleanup(func() { *csvOut = oldCSV })
-	out := capture(t, func() error { return run("fig3") })
+	out := capture(t, func() error { return run(context.Background(), "fig3") })
 	if !strings.HasPrefix(out, "n,") {
 		t.Fatalf("CSV output starts with %q", strings.SplitN(out, "\n", 2)[0])
 	}
@@ -101,7 +102,7 @@ func TestNMaxFilter(t *testing.T) {
 	oldMax := *maxSize
 	*maxSize = 400
 	t.Cleanup(func() { *maxSize = oldMax })
-	out := capture(t, func() error { return run("fig3") })
+	out := capture(t, func() error { return run(context.Background(), "fig3") })
 	if strings.Contains(out, "\n800 ") {
 		t.Fatal("nmax filter did not drop n=800")
 	}
@@ -112,7 +113,7 @@ func TestJSONMode(t *testing.T) {
 	oldJSON := *jsonOut
 	*jsonOut = true
 	t.Cleanup(func() { *jsonOut = oldJSON })
-	out := capture(t, func() error { return run("fig3") })
+	out := capture(t, func() error { return run(context.Background(), "fig3") })
 	if !strings.Contains(out, `"title"`) || !strings.Contains(out, `"curves"`) {
 		t.Fatalf("JSON output malformed:\n%.200s", out)
 	}

@@ -12,9 +12,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"crowdmax"
 	"crowdmax/internal/dataset"
@@ -36,6 +39,8 @@ var (
 	par      = flag.Int("parallel", 0, "evaluate comparison batches with this many goroutines (0 = off); switches tie-breaking to an order-independent hash, so results differ from -parallel=0 but are identical for every width >= 1")
 	obsAddr  = flag.String("obs-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
 	traceOut = flag.String("trace-out", "", "write the structured JSONL event trace to this file")
+	budget   = flag.Float64("budget", 0, "hard cap on monetary spend (cn=1, ce from -ce); 0 = unlimited. A run that hits the cap stops with the best-so-far answer")
+	timeout  = flag.Duration("timeout", 0, "wall-clock deadline for the run (e.g. 30s); 0 = none")
 )
 
 func main() {
@@ -45,7 +50,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "maxcrowd:", err)
 		os.Exit(1)
 	}
-	errRun := run()
+	// Ctrl-C cancels the run; the algorithms return their best-so-far
+	// partial answer on the way out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	errRun := run(ctx)
+	stop()
 	cleanup()
 	if errRun != nil {
 		fmt.Fprintln(os.Stderr, "maxcrowd:", errRun)
@@ -91,7 +105,7 @@ func setupObs() (cleanup func(), err error) {
 	return cleanup, nil
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	r := crowdmax.NewRand(*seed)
 
 	set, err := buildDataset(r.Child("data"))
@@ -124,7 +138,7 @@ func run() error {
 	if *estimat {
 		ledger := crowdmax.NewLedger()
 		no := crowdmax.NewOracle(naive, crowdmax.Naive, ledger, nil)
-		est, err := crowdmax.EstimateUn(set.Items(), no, crowdmax.EstimateUnOptions{
+		est, err := crowdmax.EstimateUn(ctx, set.Items(), no, crowdmax.EstimateUnOptions{
 			Perr: 0.5, N: set.Len(),
 		})
 		if err != nil {
@@ -143,6 +157,14 @@ func run() error {
 	ledger := crowdmax.NewLedger()
 	no := crowdmax.NewOracle(naive, crowdmax.Naive, ledger, crowdmax.NewMemo())
 	eo := crowdmax.NewOracle(expert, crowdmax.Expert, ledger, crowdmax.NewMemo())
+	if *budget > 0 {
+		b := crowdmax.NewBudget(crowdmax.BudgetLimits{
+			MaxCost: *budget,
+			Prices:  prices,
+		})
+		no.WithBudget(b)
+		eo.WithBudget(b)
+	}
 	if *par >= 1 {
 		no.ParallelBatch(*par)
 		eo.ParallelBatch(*par)
@@ -156,7 +178,7 @@ func run() error {
 	switch *algo {
 	case "alg1":
 		if *topk > 1 {
-			top, err := crowdmax.TopK(set.Items(), no, eo, crowdmax.TopKOptions{K: *topk, U: unEst})
+			top, err := crowdmax.TopK(ctx, set.Items(), no, eo, crowdmax.TopKOptions{K: *topk, U: unEst})
 			if err != nil {
 				return err
 			}
@@ -167,26 +189,35 @@ func run() error {
 			best = top[0]
 			break
 		}
-		res, err := crowdmax.FindMax(set.Items(), no, eo, crowdmax.FindMaxOptions{Un: unEst})
+		res, err := crowdmax.FindMax(ctx, set.Items(), no, eo, crowdmax.FindMaxOptions{Un: unEst})
 		if err != nil {
+			if terr := truncated(err, res.Best, ledger, prices); terr != nil {
+				return terr
+			}
 			return err
 		}
 		best = res.Best
 		fmt.Printf("phase 1 kept %d candidates\n", len(res.Candidates))
 	case "2mf-naive":
-		best, err = crowdmax.TwoMaxFind(set.Items(), no)
+		best, err = crowdmax.TwoMaxFind(ctx, set.Items(), no)
 	case "2mf-expert":
-		best, err = crowdmax.TwoMaxFind(set.Items(), eo)
+		best, err = crowdmax.TwoMaxFind(ctx, set.Items(), eo)
 	case "randomized":
-		best, err = crowdmax.RandomizedMaxFind(set.Items(), eo, crowdmax.RandomizedOptions{R: r.Child("p2")})
+		best, err = crowdmax.RandomizedMaxFind(ctx, set.Items(), eo, crowdmax.RandomizedOptions{R: r.Child("p2")})
 	case "bracket":
 		// Repetition needs fresh answers: use a non-memoized oracle.
 		plain := crowdmax.NewOracle(naive, crowdmax.Naive, ledger, nil)
-		best, err = crowdmax.TournamentMax(set.Items(), plain, crowdmax.BracketOptions{Repetitions: *reps})
+		if *budget > 0 {
+			plain.WithBudget(crowdmax.NewBudget(crowdmax.BudgetLimits{MaxCost: *budget, Prices: prices}))
+		}
+		best, err = crowdmax.TournamentMax(ctx, set.Items(), plain, crowdmax.BracketOptions{Repetitions: *reps})
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 	if err != nil {
+		if terr := truncated(err, best, ledger, prices); terr != nil {
+			return terr
+		}
 		return err
 	}
 
@@ -195,6 +226,29 @@ func run() error {
 	fmt.Printf("comparisons: %d naive, %d expert; cost C(n) = %.0f (cn=1, ce=%g)\n",
 		ledger.Naive(), ledger.Expert(), ledger.Cost(prices), *ce)
 	return nil
+}
+
+// truncated reports a budget-exhausted or cancelled run: the best-so-far
+// partial answer plus the true paid costs, as an error so the process exits
+// non-zero. It returns nil for errors that are neither.
+func truncated(err error, best crowdmax.Item, ledger *crowdmax.Ledger, prices crowdmax.Prices) error {
+	var cause string
+	switch {
+	case errors.Is(err, crowdmax.ErrBudgetExhausted):
+		cause = "budget exhausted"
+	case errors.Is(err, context.Canceled):
+		cause = "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		cause = "timed out"
+	default:
+		return nil
+	}
+	if best.ID != 0 || best.Label != "" {
+		fmt.Printf("best so far: %q (value %.4g)\n", label(best), best.Value)
+	}
+	fmt.Printf("spent before stopping: %d naive, %d expert; cost %.2f\n",
+		ledger.Naive(), ledger.Expert(), ledger.Cost(prices))
+	return fmt.Errorf("run %s: %w", cause, err)
 }
 
 func buildDataset(r *crowdmax.Rand) (*crowdmax.Set, error) {

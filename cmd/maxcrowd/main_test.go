@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -23,7 +24,7 @@ func captureRun(t *testing.T) (string, error) {
 		io.Copy(&buf, r)
 		done <- buf.String()
 	}()
-	errRun := run()
+	errRun := run(context.Background())
 	w.Close()
 	os.Stdout = old
 	return <-done, errRun

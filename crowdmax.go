@@ -43,8 +43,11 @@
 package crowdmax
 
 import (
+	"context"
+
 	"crowdmax/internal/core"
 	"crowdmax/internal/cost"
+	"crowdmax/internal/dispatch"
 	"crowdmax/internal/item"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/tournament"
@@ -174,9 +177,11 @@ func NewOracle(cmp Comparator, class Class, ledger *Ledger, memo *Memo) *Oracle 
 }
 
 // FindMax runs Algorithm 1 with explicit oracles. Most callers should use
-// Session.FindMax instead.
-func FindMax(items []Item, naive, expert *Oracle, opt core.FindMaxOptions) (FindMaxResult, error) {
-	return core.FindMax(items, naive, expert, opt)
+// Session.FindMax instead. ctx cancels the run; on cancellation or budget
+// exhaustion the partial result is returned alongside the error (see
+// core.FindMax).
+func FindMax(ctx context.Context, items []Item, naive, expert *Oracle, opt core.FindMaxOptions) (FindMaxResult, error) {
+	return core.FindMax(ctx, items, naive, expert, opt)
 }
 
 // FindMaxOptions configures FindMax; see core.FindMaxOptions.
@@ -184,8 +189,8 @@ type FindMaxOptions = core.FindMaxOptions
 
 // Filter runs phase 1 alone (Algorithm 2): it returns at most 2·un − 1
 // candidates guaranteed to contain the maximum under T(δn, 0).
-func Filter(items []Item, naive *Oracle, opt core.FilterOptions) ([]Item, error) {
-	return core.Filter(items, naive, opt)
+func Filter(ctx context.Context, items []Item, naive *Oracle, opt core.FilterOptions) ([]Item, error) {
+	return core.Filter(ctx, items, naive, opt)
 }
 
 // FilterOptions configures Filter; see core.FilterOptions.
@@ -193,14 +198,14 @@ type FilterOptions = core.FilterOptions
 
 // TwoMaxFind runs the deterministic 2-MaxFind of Ajtai et al. over items:
 // O(s^{3/2}) comparisons, result within 2δ of the maximum under T(δ, 0).
-func TwoMaxFind(items []Item, o *Oracle) (Item, error) {
-	return core.TwoMaxFind(items, o)
+func TwoMaxFind(ctx context.Context, items []Item, o *Oracle) (Item, error) {
+	return core.TwoMaxFind(ctx, items, o)
 }
 
 // RandomizedMaxFind runs the randomized Algorithm 5 of Ajtai et al.: Θ(s)
 // comparisons (large constants), result within 3δ of the maximum w.h.p.
-func RandomizedMaxFind(items []Item, o *Oracle, opt core.RandomizedOptions) (Item, error) {
-	return core.RandomizedMaxFind(items, o, opt)
+func RandomizedMaxFind(ctx context.Context, items []Item, o *Oracle, opt core.RandomizedOptions) (Item, error) {
+	return core.RandomizedMaxFind(ctx, items, o, opt)
 }
 
 // RandomizedOptions configures RandomizedMaxFind.
@@ -208,8 +213,8 @@ type RandomizedOptions = core.RandomizedOptions
 
 // EstimateUn runs Algorithm 4: it estimates an upper bound for un(N) from a
 // training set with known maximum (gold data).
-func EstimateUn(training []Item, naive *Oracle, opt core.EstimateUnOptions) (int, error) {
-	return core.EstimateUn(training, naive, opt)
+func EstimateUn(ctx context.Context, training []Item, naive *Oracle, opt core.EstimateUnOptions) (int, error) {
+	return core.EstimateUn(ctx, training, naive, opt)
 }
 
 // EstimateUnOptions configures EstimateUn.
@@ -217,8 +222,8 @@ type EstimateUnOptions = core.EstimateUnOptions
 
 // EstimatePerr estimates the under-threshold error probability perr from
 // consensus probes on training data (Section 4.4).
-func EstimatePerr(training []Item, naive *Oracle, opt core.EstimatePerrOptions) (float64, error) {
-	return core.EstimatePerr(training, naive, opt)
+func EstimatePerr(ctx context.Context, training []Item, naive *Oracle, opt core.EstimatePerrOptions) (float64, error) {
+	return core.EstimatePerr(ctx, training, naive, opt)
 }
 
 // EstimatePerrOptions configures EstimatePerr.
@@ -231,14 +236,14 @@ type TopKOptions = core.TopKOptions
 // algorithm k times, removing each round's winner — turning max-finding
 // into the ranking tasks the paper's introduction motivates. Memoized
 // oracles make later rounds substantially cheaper.
-func TopK(items []Item, naive, expert *Oracle, opt TopKOptions) ([]Item, error) {
-	return core.TopK(items, naive, expert, opt)
+func TopK(ctx context.Context, items []Item, naive, expert *Oracle, opt TopKOptions) ([]Item, error) {
+	return core.TopK(ctx, items, naive, expert, opt)
 }
 
 // RankByWins orders items by win count in one all-play-all tournament,
 // best first — the "last round" ranking of the paper's Tables 1–2.
-func RankByWins(items []Item, o *Oracle) []Item {
-	return core.RankByWins(items, o)
+func RankByWins(ctx context.Context, items []Item, o *Oracle) ([]Item, error) {
+	return core.RankByWins(ctx, items, o)
 }
 
 // BracketOptions configures TournamentMax.
@@ -247,8 +252,8 @@ type BracketOptions = core.BracketOptions
 // TournamentMax runs the classic single-elimination tournament baseline
 // (related work, Venetis et al.): (n−1)·Repetitions comparisons, ⌈log2 n⌉
 // logical steps, no accuracy guarantee under the threshold model.
-func TournamentMax(items []Item, o *Oracle, opt BracketOptions) (Item, error) {
-	return core.TournamentMax(items, o, opt)
+func TournamentMax(ctx context.Context, items []Item, o *Oracle, opt BracketOptions) (Item, error) {
+	return core.TournamentMax(ctx, items, o, opt)
 }
 
 // Level is one expertise class in the multi-class cascade extension: its
@@ -266,6 +271,56 @@ type CascadeResult = core.CascadeResult
 // multi-class extension): every level but the last filters its input with
 // Algorithm 2, and the last level extracts the maximum. With exactly two
 // levels this is Algorithm 1.
-func CascadeFindMax(items []Item, opt CascadeOptions) (CascadeResult, error) {
-	return core.CascadeFindMax(items, opt)
+func CascadeFindMax(ctx context.Context, items []Item, opt CascadeOptions) (CascadeResult, error) {
+	return core.CascadeFindMax(ctx, items, opt)
 }
+
+// Backend is a pluggable comparison-answering service: the dispatch seam
+// every paid comparison flows through when attached to an oracle via
+// Oracle.WithBackend. Implementations may call out to a real crowdsourcing
+// platform, inject faults (FlakyBackend), or add resilience (RetryBackend).
+type Backend = dispatch.Backend
+
+// BackendRequest is one comparison submitted to a Backend.
+type BackendRequest = dispatch.Request
+
+// BackendAnswer is a Backend's reply.
+type BackendAnswer = dispatch.Answer
+
+// NewSimulatedBackend wraps an in-process comparator as a Backend — the
+// bridge between the simulated workers and the dispatch layer.
+func NewSimulatedBackend(cmp Comparator) Backend { return dispatch.NewSimulated(cmp) }
+
+// FlakyConfig configures NewFlakyBackend.
+type FlakyConfig = dispatch.FlakyConfig
+
+// NewFlakyBackend decorates a backend with deterministic fault and latency
+// injection — the failure model of a real platform made reproducible.
+func NewFlakyBackend(inner Backend, cfg FlakyConfig) Backend { return dispatch.NewFlaky(inner, cfg) }
+
+// RetryConfig configures NewRetryBackend.
+type RetryConfig = dispatch.RetryConfig
+
+// NewRetryBackend decorates a backend with bounded retries, per-attempt
+// timeouts and exponential backoff. Cancellation and budget exhaustion are
+// never retried.
+func NewRetryBackend(inner Backend, cfg RetryConfig) Backend { return dispatch.NewRetry(inner, cfg) }
+
+// ErrBackendUnavailable marks transient backend failures (worth retrying).
+var ErrBackendUnavailable = dispatch.ErrBackendUnavailable
+
+// ErrBudgetExhausted is returned (possibly wrapped) when a comparison is
+// refused because it would exceed a hard budget cap. Partial results remain
+// valid; check with errors.Is.
+var ErrBudgetExhausted = dispatch.ErrBudgetExhausted
+
+// BudgetLimits declares hard caps on comparison counts and monetary spend;
+// zero fields are unlimited.
+type BudgetLimits = dispatch.Limits
+
+// Budget enforces BudgetLimits with all-or-nothing pre-charging: a cap is
+// never exceeded by even one comparison, under any concurrency.
+type Budget = dispatch.Budget
+
+// NewBudget returns a budget enforcing lim.
+func NewBudget(lim BudgetLimits) *Budget { return dispatch.NewBudget(lim) }

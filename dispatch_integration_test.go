@@ -1,0 +1,272 @@
+package crowdmax
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdmax/internal/dataset"
+)
+
+// blockingBackend parks every comparison on ctx.Done(), modelling a crowd
+// platform that never answers. entered is closed when the first comparison
+// arrives, so tests can cancel exactly while a request is in flight.
+type blockingBackend struct {
+	entered chan struct{}
+	once    sync.Once
+}
+
+func newBlockingBackend() *blockingBackend {
+	return &blockingBackend{entered: make(chan struct{})}
+}
+
+func (b *blockingBackend) Answer(ctx context.Context, req BackendRequest) (BackendAnswer, error) {
+	b.once.Do(func() { close(b.entered) })
+	<-ctx.Done()
+	return BackendAnswer{}, ctx.Err()
+}
+
+// sessionWithBackends mirrors testSession but routes the chosen phases
+// through dispatch backends.
+func sessionWithBackends(t *testing.T, cal dataset.Calibrated, un int, seed uint64, naiveB, expertB Backend) *Session {
+	t.Helper()
+	r := NewRand(seed)
+	s, err := NewSession(Config{
+		Naive:         NewThresholdWorker(cal.DeltaN, 0, r.Child("naive")),
+		Expert:        NewThresholdWorker(cal.DeltaE, 0, r.Child("expert")),
+		Un:            un,
+		Prices:        Prices{Naive: 1, Expert: 50},
+		NaiveBackend:  naiveB,
+		ExpertBackend: expertB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFindMaxContextCancelMidFilter(t *testing.T) {
+	r := NewRand(11)
+	cal, err := dataset.UniformCalibrated(300, 6, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 blocks forever: the very first naïve comparison parks on the
+	// context, so cancellation must unwind the run from inside the filter.
+	bb := newBlockingBackend()
+	s := sessionWithBackends(t, cal, 6, 500, bb, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-bb.entered
+		cancel()
+	}()
+	start := time.Now()
+	res, err := s.FindMaxContext(ctx, cal.Set.Items())
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Partial result is well-formed: no comparison completed, so nothing
+	// was paid, and with zero completed filter iterations nobody has been
+	// eliminated — the survivor set is still the whole input.
+	if res.NaiveComparisons != 0 || res.ExpertComparisons != 0 || res.Cost != 0 {
+		t.Fatalf("blocked run paid: %+v", res)
+	}
+	if len(res.Candidates) != cal.Set.Len() {
+		t.Fatalf("partial candidates = %d, want the untouched input (%d)",
+			len(res.Candidates), cal.Set.Len())
+	}
+}
+
+func TestFindMaxContextCancelMidPhase2(t *testing.T) {
+	r := NewRand(12)
+	cal, err := dataset.UniformCalibrated(300, 6, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 runs in-process; phase 2 blocks, so the cancellation lands
+	// after the filter has produced its candidate set.
+	bb := newBlockingBackend()
+	s := sessionWithBackends(t, cal, 6, 501, nil, bb)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-bb.entered
+		cancel()
+	}()
+	start := time.Now()
+	res, err := s.FindMaxContext(ctx, cal.Set.Items())
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Phase 1 completed: the candidate set is the real filter output and
+	// its comparisons are billed; phase 2 paid nothing.
+	if len(res.Candidates) == 0 {
+		t.Fatal("phase-1 candidates missing from partial result")
+	}
+	if max := 2*6 - 1; len(res.Candidates) > max {
+		t.Fatalf("|S| = %d > %d", len(res.Candidates), max)
+	}
+	if res.NaiveComparisons == 0 {
+		t.Fatal("phase-1 comparisons missing from partial result")
+	}
+	if res.ExpertComparisons != 0 {
+		t.Fatalf("blocked phase 2 billed %d expert comparisons", res.ExpertComparisons)
+	}
+	// The best-so-far leader is one of the candidates.
+	found := false
+	for _, c := range res.Candidates {
+		if c.ID == res.Best.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("partial Best (id %d) is not a candidate", res.Best.ID)
+	}
+}
+
+func TestSessionReentrancyGuard(t *testing.T) {
+	r := NewRand(13)
+	cal, err := dataset.UniformCalibrated(200, 5, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := newBlockingBackend()
+	s := sessionWithBackends(t, cal, 5, 502, bb, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.FindMaxContext(ctx, cal.Set.Items())
+		done <- err
+	}()
+	<-bb.entered
+	// The first run is parked inside the filter: every concurrent entry
+	// must be refused rather than race on the shared ledger.
+	if _, err := s.FindMax(cal.Set.Items()); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("concurrent FindMax: err = %v, want ErrSessionBusy", err)
+	}
+	if _, err := s.EstimateUn(cal.Set.Items(), 0.5, 200); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("concurrent EstimateUn: err = %v, want ErrSessionBusy", err)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("parked run: err = %v, want context.Canceled", err)
+	}
+	// The slot is released: a new run is admitted again (it fails on its
+	// already-cancelled context, not on the guard).
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	if _, err := s.FindMaxContext(dead, cal.Set.Items()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("slot not released after cancelled run: err = %v", err)
+	}
+}
+
+// budgetSession builds a fresh session with identical worker streams for
+// every call, so runs are bit-for-bit reproducible and budget truncation is
+// deterministic.
+func budgetSession(t *testing.T, cal dataset.Calibrated, lim BudgetLimits) *Session {
+	t.Helper()
+	r := NewRand(700)
+	s, err := NewSession(Config{
+		Naive:  NewThresholdWorker(cal.DeltaN, 0, r.Child("naive")),
+		Expert: NewThresholdWorker(cal.DeltaE, 0, r.Child("expert")),
+		Un:     5,
+		Budget: lim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBudgetExactCapSucceedsSmallerTruncates(t *testing.T) {
+	r := NewRand(14)
+	cal, err := dataset.UniformCalibrated(120, 5, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := cal.Set.Items()
+
+	// Reference run: unconstrained, records the exact paid total.
+	ref, err := budgetSession(t, cal, BudgetLimits{}).FindMax(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ref.NaiveComparisons + ref.ExpertComparisons
+	if total == 0 {
+		t.Fatal("reference run paid nothing")
+	}
+
+	// A budget of exactly the unconstrained total must succeed and return
+	// the identical answer (same worker streams, never refused).
+	res, err := budgetSession(t, cal, BudgetLimits{MaxTotal: total}).FindMax(items)
+	if err != nil {
+		t.Fatalf("exact budget %d failed: %v", total, err)
+	}
+	if res.Best.ID != ref.Best.ID {
+		t.Fatalf("exact budget changed the answer: %d vs %d", res.Best.ID, ref.Best.ID)
+	}
+	if got := res.NaiveComparisons + res.ExpertComparisons; got != total {
+		t.Fatalf("exact budget paid %d, want %d", got, total)
+	}
+
+	// Every smaller cap is exhausted, and the cap is never exceeded by
+	// even one comparison.
+	for cap := total - 1; cap >= 1; cap -= 7 {
+		res, err := budgetSession(t, cal, BudgetLimits{MaxTotal: cap}).FindMax(items)
+		if !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("cap %d: err = %v, want ErrBudgetExhausted", cap, err)
+		}
+		if spent := res.NaiveComparisons + res.ExpertComparisons; spent > cap {
+			t.Fatalf("cap %d exceeded: spent %d", cap, spent)
+		}
+	}
+}
+
+func TestFlakyRetryBackendEndToEnd(t *testing.T) {
+	r := NewRand(15)
+	cal, err := dataset.UniformCalibrated(200, 5, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flaky simulated crowd healed by the retry decorator: the run must
+	// complete and return a phase-2-quality answer.
+	wr := NewRand(900)
+	naive := NewThresholdWorker(cal.DeltaN, 0, wr.Child("naive"))
+	expert := NewThresholdWorker(cal.DeltaE, 0, wr.Child("expert"))
+	flaky := func(cmp Comparator, seed uint64) Backend {
+		return NewRetryBackend(
+			NewFlakyBackend(NewSimulatedBackend(cmp), FlakyConfig{FailureRate: 0.2, Seed: seed}),
+			RetryConfig{MaxAttempts: 10, BaseBackoff: time.Microsecond},
+		)
+	}
+	s, err := NewSession(Config{
+		Naive:         naive,
+		Expert:        expert,
+		Un:            5,
+		NaiveBackend:  flaky(naive, 1),
+		ExpertBackend: flaky(expert, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.FindMax(cal.Set.Items())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Distance(cal.Set.Max(), res.Best); d > 2*cal.DeltaE {
+		t.Fatalf("d(M, e) = %g > 2δe", d)
+	}
+	if res.NaiveComparisons == 0 || res.ExpertComparisons == 0 {
+		t.Fatal("backend run billed nothing")
+	}
+}

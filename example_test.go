@@ -1,6 +1,7 @@
 package crowdmax_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func ExampleFilter() {
 	naive := crowdmax.NewOracle(
 		crowdmax.NewThresholdWorker(cal.DeltaN, 0, r.Child("w")),
 		crowdmax.Naive, ledger, crowdmax.NewMemo())
-	candidates, err := crowdmax.Filter(cal.Set.Items(), naive, crowdmax.FilterOptions{Un: 8})
+	candidates, err := crowdmax.Filter(context.Background(), cal.Set.Items(), naive, crowdmax.FilterOptions{Un: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func ExampleEstimateUn() {
 	naive := crowdmax.NewOracle(
 		crowdmax.NewThresholdWorker(cal.DeltaN, 0, r.Child("w")),
 		crowdmax.Naive, nil, nil)
-	est, err := crowdmax.EstimateUn(cal.Set.Items(), naive, crowdmax.EstimateUnOptions{
+	est, err := crowdmax.EstimateUn(context.Background(), cal.Set.Items(), naive, crowdmax.EstimateUnOptions{
 		Perr: 0.5,
 		N:    500,
 	})
@@ -109,7 +110,7 @@ func ExampleCascadeFindMax() {
 			U: u,
 		}
 	}
-	res, err := crowdmax.CascadeFindMax(set.Items(), crowdmax.CascadeOptions{Levels: levels})
+	res, err := crowdmax.CascadeFindMax(context.Background(), set.Items(), crowdmax.CascadeOptions{Levels: levels})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,7 +65,7 @@ func main() {
 	simulated := majorityOf(world, r.Child("sim"), 7)
 	ledger := crowdmax.NewLedger()
 	so := crowdmax.NewOracle(simulated, crowdmax.Expert, ledger, crowdmax.NewMemo())
-	simBest, err := crowdmax.TwoMaxFind(res.Candidates, so)
+	simBest, err := crowdmax.TwoMaxFind(context.Background(), res.Candidates, so)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 		}
 	}
 
-	res, err := crowdmax.CascadeFindMax(set.Items(), crowdmax.CascadeOptions{Levels: levels})
+	res, err := crowdmax.CascadeFindMax(context.Background(), set.Items(), crowdmax.CascadeOptions{Levels: levels})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func main() {
 	direct := crowdmax.NewLedger()
 	pw := crowdmax.NewThresholdWorker(deltas[2], 0, r.Child("direct"))
 	po := crowdmax.NewOracle(pw, crowdmax.Expert, direct, crowdmax.NewMemo())
-	best, err := crowdmax.TwoMaxFind(set.Items(), po)
+	best, err := crowdmax.TwoMaxFind(context.Background(), set.Items(), po)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 	// step in the Section 3 execution model).
 	ledger := crowdmax.NewLedger()
 	naive := crowdmax.NewOracle(plat.BatchComparator(21), crowdmax.Naive, ledger, crowdmax.NewMemo())
-	candidates, err := crowdmax.Filter(set.Items(), naive, crowdmax.FilterOptions{Un: 5})
+	candidates, err := crowdmax.Filter(context.Background(), set.Items(), naive, crowdmax.FilterOptions{Un: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func main() {
 	// expert" (majority of 7 fresh answers) suffices, exactly the paper's
 	// Table 1 finding.
 	expert := crowdmax.NewOracle(plat.BatchComparator(7), crowdmax.Expert, ledger, crowdmax.NewMemo())
-	best, err := crowdmax.TwoMaxFind(candidates, expert)
+	best, err := crowdmax.TwoMaxFind(context.Background(), candidates, expert)
 	if err != nil {
 		log.Fatal(err)
 	}

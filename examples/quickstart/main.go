@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 	ledger := crowdmax.NewLedger()
 	eo := crowdmax.NewOracle(crowdmax.NewThresholdWorker(cal.DeltaE, 0, r.Child("e2")),
 		crowdmax.Expert, ledger, crowdmax.NewMemo())
-	best, err := crowdmax.TwoMaxFind(set.Items(), eo)
+	best, err := crowdmax.TwoMaxFind(context.Background(), set.Items(), eo)
 	if err != nil {
 		log.Fatal(err)
 	}

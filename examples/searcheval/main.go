@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,13 +34,13 @@ func main() {
 		// Estimate perr and un from the result list used as gold data
 		// (Section 4.4), instead of guessing.
 		est := crowdmax.NewOracle(crowd, crowdmax.Naive, nil, nil)
-		perr, err := crowdmax.EstimatePerr(set.Items(), est, crowdmax.EstimatePerrOptions{
+		perr, err := crowdmax.EstimatePerr(context.Background(), set.Items(), est, crowdmax.EstimatePerrOptions{
 			Pairs: 60, Votes: 7, R: qr.Child("perr"),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		un, err := crowdmax.EstimateUn(set.Items(), est, crowdmax.EstimateUnOptions{
+		un, err := crowdmax.EstimateUn(context.Background(), set.Items(), est, crowdmax.EstimateUnOptions{
 			Perr: perr, N: set.Len(),
 		})
 		if err != nil {
@@ -75,7 +76,7 @@ func main() {
 		// The paper's negative result: a naive-only 2-MaxFind is not
 		// reliable for this task.
 		no := crowdmax.NewOracle(world.Worker(qr.Child("naiveonly")), crowdmax.Naive, nil, crowdmax.NewMemo())
-		naiveBest, err := crowdmax.TwoMaxFind(set.Items(), no)
+		naiveBest, err := crowdmax.TwoMaxFind(context.Background(), set.Items(), no)
 		if err != nil {
 			log.Fatal(err)
 		}

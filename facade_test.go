@@ -1,6 +1,7 @@
 package crowdmax
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -83,7 +84,7 @@ func TestFacadeFindMaxFreeFunction(t *testing.T) {
 	ledger := NewLedger()
 	no := NewOracle(NewThresholdWorker(cal.DeltaN, 0, r.Child("n")), Naive, ledger, NewMemo())
 	eo := NewOracle(NewThresholdWorker(cal.DeltaE, 0, r.Child("e")), Expert, ledger, NewMemo())
-	res, err := FindMax(cal.Set.Items(), no, eo, FindMaxOptions{Un: 6})
+	res, err := FindMax(context.Background(), cal.Set.Items(), no, eo, FindMaxOptions{Un: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestFacadeCascade(t *testing.T) {
 			U:      u,
 		}
 	}
-	res, err := CascadeFindMax(set.Items(), CascadeOptions{Levels: levels})
+	res, err := CascadeFindMax(context.Background(), set.Items(), CascadeOptions{Levels: levels})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestFacadeTopKAndRankByWins(t *testing.T) {
 	set := UniformDataset(200, 0, 1, r.Child("data"))
 	no := NewOracle(Truth, Naive, nil, NewMemo())
 	eo := NewOracle(Truth, Expert, nil, NewMemo())
-	top, err := TopK(set.Items(), no, eo, TopKOptions{K: 3, U: 2})
+	top, err := TopK(context.Background(), set.Items(), no, eo, TopKOptions{K: 3, U: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,10 @@ func TestFacadeTopKAndRankByWins(t *testing.T) {
 			t.Fatalf("TopK position %d has rank %d", i, set.Rank(it.ID))
 		}
 	}
-	ranked := RankByWins(top, eo)
+	ranked, err := RankByWins(context.Background(), top, eo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ranked) != 3 || ranked[0].ID != top[0].ID {
 		t.Fatal("RankByWins disagreed on already-ordered items")
 	}
@@ -193,7 +197,7 @@ func TestFacadeLogisticWorkerAndBracket(t *testing.T) {
 	// bracket baseline most of the time.
 	w := NewLogisticWorker(0.05, r.Child("w"))
 	o := NewOracle(w, Naive, NewLedger(), nil)
-	best, err := TournamentMax(set.Items(), o, BracketOptions{Repetitions: 3})
+	best, err := TournamentMax(context.Background(), set.Items(), o, BracketOptions{Repetitions: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -51,7 +52,7 @@ func BenchmarkFilter(b *testing.B) {
 						memo = tournament.NewMemo()
 					}
 					o := tournament.NewOracle(w, worker.Naive, ledger, memo)
-					if _, err := Filter(items, o, FilterOptions{Un: 10, TrackLosses: variant.trackLosses}); err != nil {
+					if _, err := Filter(context.Background(), items, o, FilterOptions{Un: 10, TrackLosses: variant.trackLosses}); err != nil {
 						b.Fatal(err)
 					}
 					totalComparisons += ledger.Naive()
@@ -83,7 +84,7 @@ func BenchmarkPhase2(b *testing.B) {
 					ledger := cost.NewLedger()
 					w := &worker.Threshold{Delta: 0.01, Tie: worker.RandomTie{R: r}, R: r}
 					o := tournament.NewOracle(w, worker.Expert, ledger, nil)
-					if _, err := RunPhase2(items, o, variant.algo, RandomizedOptions{R: r.ChildN("p2", i)}); err != nil {
+					if _, err := RunPhase2(context.Background(), items, o, variant.algo, RandomizedOptions{R: r.ChildN("p2", i)}); err != nil {
 						b.Fatal(err)
 					}
 					totalComparisons += ledger.Expert()
@@ -107,7 +108,7 @@ func BenchmarkTwoMaxFindTieBreak(b *testing.B) {
 			ledger := cost.NewLedger()
 			w := &worker.Threshold{Delta: 0.01, Tie: worker.RandomTie{R: r}, R: r}
 			o := tournament.NewOracle(w, worker.Expert, ledger, nil)
-			if _, err := TwoMaxFind(items, o); err != nil {
+			if _, err := TwoMaxFind(context.Background(), items, o); err != nil {
 				b.Fatal(err)
 			}
 			total += ledger.Expert()
@@ -126,7 +127,7 @@ func BenchmarkTwoMaxFindTieBreak(b *testing.B) {
 			ledger := cost.NewLedger()
 			w := &worker.Threshold{Delta: 1, Tie: worker.FirstLosesTie{}, R: r}
 			o := tournament.NewOracle(w, worker.Expert, ledger, nil)
-			if _, err := TwoMaxFind(items, o); err != nil {
+			if _, err := TwoMaxFind(context.Background(), items, o); err != nil {
 				b.Fatal(err)
 			}
 			total += ledger.Expert()
@@ -145,7 +146,7 @@ func BenchmarkFindMaxEndToEnd(b *testing.B) {
 				ew := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r}, R: r}
 				no := tournament.NewOracle(nw, worker.Naive, nil, nil)
 				eo := tournament.NewOracle(ew, worker.Expert, nil, nil)
-				if _, err := FindMax(items, no, eo, FindMaxOptions{Un: 10}); err != nil {
+				if _, err := FindMax(context.Background(), items, no, eo, FindMaxOptions{Un: 10}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -159,7 +160,7 @@ func BenchmarkEstimateUn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r}, R: r}
 		o := tournament.NewOracle(w, worker.Naive, nil, nil)
-		if _, err := EstimateUn(items, o, EstimateUnOptions{Perr: 0.5, N: 2000}); err != nil {
+		if _, err := EstimateUn(context.Background(), items, o, EstimateUnOptions{Perr: 0.5, N: 2000}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crowdmax/internal/item"
@@ -28,7 +29,11 @@ type BracketOptions struct {
 // a single early upset eliminates the maximum; repetition helps against the
 // latter and is useless against the former. This contrast with Algorithm 1
 // is the paper's thesis in miniature.
-func TournamentMax(items []item.Item, o *tournament.Oracle, opt BracketOptions) (item.Item, error) {
+//
+// On cancellation or budget exhaustion the first element of the current
+// round — a survivor of every completed round — is returned alongside the
+// error.
+func TournamentMax(ctx context.Context, items []item.Item, o *tournament.Oracle, opt BracketOptions) (item.Item, error) {
 	if len(items) == 0 {
 		return item.Item{}, ErrNoItems
 	}
@@ -56,7 +61,10 @@ func TournamentMax(items []item.Item, o *tournament.Oracle, opt BracketOptions) 
 				pairs = append(pairs, [2]item.Item{round[i], round[i+1]})
 			}
 		}
-		winners := o.CompareBatch(pairs)
+		winners, err := o.CompareBatch(ctx, pairs)
+		if err != nil {
+			return round[0], err
+		}
 		next := make([]item.Item, 0, (len(round)+1)/2)
 		p := 0
 		for i := 0; i+1 < len(round); i += 2 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -15,15 +16,15 @@ import (
 
 func TestTournamentMaxValidation(t *testing.T) {
 	o := tournament.NewOracle(worker.Truth, worker.Naive, nil, nil)
-	if _, err := TournamentMax(nil, o, BracketOptions{}); err == nil {
+	if _, err := TournamentMax(context.Background(), nil, o, BracketOptions{}); err == nil {
 		t.Fatal("empty input accepted")
 	}
 	s := dataset.Uniform(8, 0, 1, rng.New(1))
-	if _, err := TournamentMax(s.Items(), o, BracketOptions{Repetitions: 2}); err == nil {
+	if _, err := TournamentMax(context.Background(), s.Items(), o, BracketOptions{Repetitions: 2}); err == nil {
 		t.Fatal("even repetitions accepted")
 	}
 	memoized := tournament.NewOracle(worker.Truth, worker.Naive, nil, tournament.NewMemo())
-	if _, err := TournamentMax(s.Items(), memoized, BracketOptions{Repetitions: 3}); err == nil {
+	if _, err := TournamentMax(context.Background(), s.Items(), memoized, BracketOptions{Repetitions: 3}); err == nil {
 		t.Fatal("memoized oracle with repetitions accepted")
 	}
 }
@@ -35,7 +36,7 @@ func TestTournamentMaxTruthfulExact(t *testing.T) {
 		n := 1 + r.Intn(200)
 		s := dataset.Uniform(n, 0, 1, r)
 		o := tournament.NewOracle(worker.Truth, worker.Naive, nil, nil)
-		got, err := TournamentMax(s.Items(), o, BracketOptions{})
+		got, err := TournamentMax(context.Background(), s.Items(), o, BracketOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func TestTournamentMaxComparisonCount(t *testing.T) {
 		s := dataset.Uniform(n, 0, 1, root)
 		l := cost.NewLedger()
 		o := tournament.NewOracle(worker.NewProbabilistic(0.2, root), worker.Naive, l, nil)
-		if _, err := TournamentMax(s.Items(), o, BracketOptions{Repetitions: rep}); err != nil {
+		if _, err := TournamentMax(context.Background(), s.Items(), o, BracketOptions{Repetitions: rep}); err != nil {
 			return false
 		}
 		// Exactly (n − 1)·rep comparisons, always.
@@ -68,7 +69,7 @@ func TestTournamentMaxLogicalSteps(t *testing.T) {
 	s := dataset.Uniform(64, 0, 1, rng.New(4))
 	l := cost.NewLedger()
 	o := tournament.NewOracle(worker.Truth, worker.Naive, l, nil)
-	if _, err := TournamentMax(s.Items(), o, BracketOptions{}); err != nil {
+	if _, err := TournamentMax(context.Background(), s.Items(), o, BracketOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// 64 elements → exactly log2(64) = 6 rounds.
@@ -88,7 +89,7 @@ func TestTournamentMaxRepetitionHelpsProbabilisticModel(t *testing.T) {
 			r := root.ChildN("t", trial*100+rep)
 			s := dataset.Uniform(64, 0, 1, r.Child("data"))
 			o := tournament.NewOracle(worker.NewProbabilistic(0.2, r.Child("w")), worker.Naive, nil, nil)
-			got, err := TournamentMax(s.Items(), o, BracketOptions{Repetitions: rep})
+			got, err := TournamentMax(context.Background(), s.Items(), o, BracketOptions{Repetitions: rep})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -127,7 +128,7 @@ func TestTournamentMaxRepetitionUselessUnderThreshold(t *testing.T) {
 			r := root.ChildN("t", trial*100+rep)
 			w := &worker.Threshold{Delta: 1, Tie: worker.RandomTie{R: r}, R: r}
 			o := tournament.NewOracle(w, worker.Naive, nil, nil)
-			got, err := TournamentMax(s.Items(), o, BracketOptions{Repetitions: rep})
+			got, err := TournamentMax(context.Background(), s.Items(), o, BracketOptions{Repetitions: rep})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -154,7 +155,7 @@ func TestTournamentMaxOddField(t *testing.T) {
 	for _, n := range []int{3, 5, 7, 31, 33} {
 		s := dataset.Uniform(n, 0, 1, rng.New(uint64(n)))
 		o := tournament.NewOracle(worker.Truth, worker.Naive, nil, nil)
-		got, err := TournamentMax(s.Items(), o, BracketOptions{})
+		got, err := TournamentMax(context.Background(), s.Items(), o, BracketOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func TestTournamentMaxOddField(t *testing.T) {
 
 func TestTournamentMaxSingleton(t *testing.T) {
 	o := tournament.NewOracle(worker.Truth, worker.Naive, nil, nil)
-	got, err := TournamentMax([]item.Item{{ID: 9, Value: 4}}, o, BracketOptions{})
+	got, err := TournamentMax(context.Background(), []item.Item{{ID: 9, Value: 4}}, o, BracketOptions{})
 	if err != nil || got.ID != 9 {
 		t.Fatalf("singleton: %v, %v", got, err)
 	}

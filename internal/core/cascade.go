@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crowdmax/internal/item"
@@ -62,7 +63,12 @@ type CascadeResult struct {
 // at most 4·|input|·Ul comparisons at that level's price, so cheap classes
 // absorb the bulk of the input and each pricier class sees at most
 // 2·U(prev)−1 elements.
-func CascadeFindMax(items []item.Item, opt CascadeOptions) (CascadeResult, error) {
+//
+// On cancellation or budget exhaustion the returned CascadeResult carries
+// the candidate sets of every fully completed level (and, for a truncation
+// in the final level, the phase-2 partial leader in Best) alongside the
+// error.
+func CascadeFindMax(ctx context.Context, items []item.Item, opt CascadeOptions) (CascadeResult, error) {
 	if len(items) == 0 {
 		return CascadeResult{}, ErrNoItems
 	}
@@ -87,23 +93,23 @@ func CascadeFindMax(items []item.Item, opt CascadeOptions) (CascadeResult, error
 	current := items
 	for l := 0; l < len(opt.Levels)-1; l++ {
 		lv := opt.Levels[l]
-		filtered, err := Filter(current, lv.Oracle, FilterOptions{Un: lv.U, TrackLosses: opt.TrackLosses})
+		filtered, err := Filter(ctx, current, lv.Oracle, FilterOptions{Un: lv.U, TrackLosses: opt.TrackLosses})
 		if err != nil {
-			return CascadeResult{}, fmt.Errorf("cascade level %d: %w", l, err)
+			return res, fmt.Errorf("cascade level %d: %w", l, err)
 		}
 		if len(filtered) == 0 {
-			return CascadeResult{}, fmt.Errorf("cascade level %d: empty candidate set (u=%d underestimated?)", l, lv.U)
+			return res, fmt.Errorf("cascade level %d: empty candidate set (u=%d underestimated?)", l, lv.U)
 		}
 		res.Candidates = append(res.Candidates, filtered)
 		current = filtered
 	}
 
 	last := opt.Levels[len(opt.Levels)-1]
-	best, err := RunPhase2(current, last.Oracle, opt.Phase2, opt.Randomized)
-	if err != nil {
-		return CascadeResult{}, fmt.Errorf("cascade final level: %w", err)
-	}
+	best, err := RunPhase2(ctx, current, last.Oracle, opt.Phase2, opt.Randomized)
 	res.Best = best
+	if err != nil {
+		return res, fmt.Errorf("cascade final level: %w", err)
+	}
 	return res, nil
 }
 

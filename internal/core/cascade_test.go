@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -47,21 +48,21 @@ func TestCascadeValidation(t *testing.T) {
 	s := dataset.Uniform(50, 0, 1, r)
 	o := levelOracle(0.1, worker.Naive, nil, r)
 
-	if _, err := CascadeFindMax(nil, CascadeOptions{Levels: []Level{{Oracle: o, U: 2}, {Oracle: o, U: 1}}}); err == nil {
+	if _, err := CascadeFindMax(context.Background(), nil, CascadeOptions{Levels: []Level{{Oracle: o, U: 2}, {Oracle: o, U: 1}}}); err == nil {
 		t.Fatal("empty input accepted")
 	}
-	if _, err := CascadeFindMax(s.Items(), CascadeOptions{Levels: []Level{{Oracle: o, U: 2}}}); err == nil {
+	if _, err := CascadeFindMax(context.Background(), s.Items(), CascadeOptions{Levels: []Level{{Oracle: o, U: 2}}}); err == nil {
 		t.Fatal("single level accepted")
 	}
-	if _, err := CascadeFindMax(s.Items(), CascadeOptions{Levels: []Level{{U: 2}, {Oracle: o, U: 1}}}); err == nil {
+	if _, err := CascadeFindMax(context.Background(), s.Items(), CascadeOptions{Levels: []Level{{U: 2}, {Oracle: o, U: 1}}}); err == nil {
 		t.Fatal("nil oracle accepted")
 	}
-	if _, err := CascadeFindMax(s.Items(), CascadeOptions{Levels: []Level{{Oracle: o, U: 0}, {Oracle: o, U: 1}}}); err == nil {
+	if _, err := CascadeFindMax(context.Background(), s.Items(), CascadeOptions{Levels: []Level{{Oracle: o, U: 0}, {Oracle: o, U: 1}}}); err == nil {
 		t.Fatal("u=0 filter level accepted")
 	}
 	// u must be non-increasing across filter levels.
 	bad := []Level{{Oracle: o, U: 2}, {Oracle: o, U: 5}, {Oracle: o, U: 1}}
-	if _, err := CascadeFindMax(s.Items(), CascadeOptions{Levels: bad}); err == nil ||
+	if _, err := CascadeFindMax(context.Background(), s.Items(), CascadeOptions{Levels: bad}); err == nil ||
 		!strings.Contains(err.Error(), "finer thresholds") {
 		t.Fatalf("increasing u accepted: %v", err)
 	}
@@ -82,7 +83,7 @@ func TestCascadeTwoLevelsEqualsAlgorithm1(t *testing.T) {
 			{Oracle: levelOracle(cal.DeltaN, worker.Naive, ln, r.Child("n")), U: 8},
 			{Oracle: levelOracle(cal.DeltaE, worker.Expert, le, r.Child("e")), U: 3},
 		}
-		res, err := CascadeFindMax(cal.Set.Items(), CascadeOptions{Levels: levels})
+		res, err := CascadeFindMax(context.Background(), cal.Set.Items(), CascadeOptions{Levels: levels})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func TestCascadeThreeLevelsGuarantee(t *testing.T) {
 			{Oracle: levelOracle(deltas[1], worker.Class(1), nil, r.Child("l1")), U: us[1]},
 			{Oracle: levelOracle(deltas[2], worker.Class(2), nil, r.Child("l2")), U: us[2]},
 		}
-		res, err := CascadeFindMax(set.Items(), CascadeOptions{Levels: levels})
+		res, err := CascadeFindMax(context.Background(), set.Items(), CascadeOptions{Levels: levels})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,13 +154,13 @@ func TestCascadeReducesExpensiveComparisons(t *testing.T) {
 		{Oracle: levelOracle(deltas[1], worker.Class(1), nil, r.Child("l1")), U: us[1]},
 		{Oracle: levelOracle(deltas[2], worker.Class(2), lTop, r.Child("l2")), U: us[2]},
 	}
-	if _, err := CascadeFindMax(set.Items(), CascadeOptions{Levels: levels}); err != nil {
+	if _, err := CascadeFindMax(context.Background(), set.Items(), CascadeOptions{Levels: levels}); err != nil {
 		t.Fatal(err)
 	}
 
 	lDirect := cost.NewLedger()
 	direct := levelOracle(deltas[2], worker.Class(2), lDirect, r.Child("direct"))
-	if _, err := TwoMaxFind(set.Items(), direct); err != nil {
+	if _, err := TwoMaxFind(context.Background(), set.Items(), direct); err != nil {
 		t.Fatal(err)
 	}
 	if lTop.Expert()*10 > lDirect.Expert() {
@@ -176,7 +177,7 @@ func TestCascadeMonotoneShrinkage(t *testing.T) {
 		{Oracle: levelOracle(deltas[1], worker.Class(1), nil, r.Child("l1")), U: us[1]},
 		{Oracle: levelOracle(deltas[2], worker.Class(2), nil, r.Child("l2")), U: us[2]},
 	}
-	res, err := CascadeFindMax(set.Items(), CascadeOptions{Levels: levels})
+	res, err := CascadeFindMax(context.Background(), set.Items(), CascadeOptions{Levels: levels})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestCascadeRandomizedPhase2(t *testing.T) {
 		{Oracle: levelOracle(deltas[1], worker.Class(1), nil, r.Child("l1")), U: us[1]},
 		{Oracle: levelOracle(deltas[2], worker.Class(2), nil, r.Child("l2")), U: us[2]},
 	}
-	res, err := CascadeFindMax(set.Items(), CascadeOptions{
+	res, err := CascadeFindMax(context.Background(), set.Items(), CascadeOptions{
 		Levels:     levels,
 		Phase2:     Phase2Randomized,
 		Randomized: RandomizedOptions{R: r.Child("p2")},

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,7 +34,7 @@ type EstimateUnOptions struct {
 //
 // Overestimates only increase cost; underestimates may lose the maximum
 // (Section 5.2 quantifies both).
-func EstimateUn(training []item.Item, naive *tournament.Oracle, opt EstimateUnOptions) (int, error) {
+func EstimateUn(ctx context.Context, training []item.Item, naive *tournament.Oracle, opt EstimateUnOptions) (int, error) {
 	nhat := len(training)
 	if nhat == 0 {
 		return 0, ErrNoItems
@@ -64,7 +65,11 @@ func EstimateUn(training []item.Item, naive *tournament.Oracle, opt EstimateUnOp
 		}
 		// The worker "made an error" iff it preferred the element with
 		// the lower value over the known maximum.
-		if naive.Compare(x, mhat).ID != mhat.ID {
+		w, err := naive.Compare(ctx, x, mhat)
+		if err != nil {
+			return 0, err
+		}
+		if w.ID != mhat.ID {
 			errCount++
 		}
 	}
@@ -99,7 +104,7 @@ type EstimatePerrOptions struct {
 // It returns an error if the training set has fewer than two elements, and
 // falls back to 0.5 (the uninformative prior) when every probed pair is
 // unanimous.
-func EstimatePerr(training []item.Item, naive *tournament.Oracle, opt EstimatePerrOptions) (float64, error) {
+func EstimatePerr(ctx context.Context, training []item.Item, naive *tournament.Oracle, opt EstimatePerrOptions) (float64, error) {
 	if len(training) < 2 {
 		return 0, fmt.Errorf("core: EstimatePerr needs at least 2 training elements, got %d", len(training))
 	}
@@ -129,7 +134,11 @@ func EstimatePerr(training []item.Item, naive *tournament.Oracle, opt EstimatePe
 		}
 		wins := 0
 		for v := 0; v < votes; v++ {
-			if naive.Compare(a, b).ID == hi.ID {
+			w, err := naive.Compare(ctx, a, b)
+			if err != nil {
+				return 0, err
+			}
+			if w.ID == hi.ID {
 				wins++
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,15 +14,15 @@ func TestEstimateUnValidation(t *testing.T) {
 	r := rng.New(1)
 	o := naiveOracle(0.1, worker.RandomTie{R: r}, nil, r)
 	training := dataset.Uniform(50, 0, 1, r).Items()
-	if _, err := EstimateUn(nil, o, EstimateUnOptions{Perr: 0.5, N: 100}); err == nil {
+	if _, err := EstimateUn(context.Background(), nil, o, EstimateUnOptions{Perr: 0.5, N: 100}); err == nil {
 		t.Fatal("empty training set accepted")
 	}
 	for _, perr := range []float64{0, 1, -0.3, 2} {
-		if _, err := EstimateUn(training, o, EstimateUnOptions{Perr: perr, N: 100}); err == nil {
+		if _, err := EstimateUn(context.Background(), training, o, EstimateUnOptions{Perr: perr, N: 100}); err == nil {
 			t.Fatalf("perr=%g accepted", perr)
 		}
 	}
-	if _, err := EstimateUn(training, o, EstimateUnOptions{Perr: 0.5, N: 0}); err == nil {
+	if _, err := EstimateUn(context.Background(), training, o, EstimateUnOptions{Perr: 0.5, N: 0}); err == nil {
 		t.Fatal("N=0 accepted")
 	}
 }
@@ -43,7 +44,7 @@ func TestEstimateUnUpperBoundsTrueUn(t *testing.T) {
 			t.Fatal(err)
 		}
 		o := naiveOracle(cal.DeltaN, worker.RandomTie{R: r}, nil, r)
-		est, err := EstimateUn(cal.Set.Items(), o, EstimateUnOptions{Perr: 0.5, N: n})
+		est, err := EstimateUn(context.Background(), cal.Set.Items(), o, EstimateUnOptions{Perr: 0.5, N: n})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestEstimateUnNeverBelowOne(t *testing.T) {
 	r := rng.New(3)
 	training := dataset.Uniform(100, 0, 1000, r).Items() // huge gaps vs δ=1e-6
 	o := naiveOracle(1e-6, worker.RandomTie{R: r}, nil, r)
-	est, err := EstimateUn(training, o, EstimateUnOptions{Perr: 0.5, N: 1000})
+	est, err := EstimateUn(context.Background(), training, o, EstimateUnOptions{Perr: 0.5, N: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,12 +91,12 @@ func TestEstimateUnScalesWithN(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := naiveOracle(cal.DeltaN, worker.RandomTie{R: r.Child("w")}, nil, r.Child("w"))
-	estSmall, err := EstimateUn(cal.Set.Items(), o, EstimateUnOptions{Perr: 0.5, N: 500})
+	estSmall, err := EstimateUn(context.Background(), cal.Set.Items(), o, EstimateUnOptions{Perr: 0.5, N: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
 	o2 := naiveOracle(cal.DeltaN, worker.RandomTie{R: r.Child("w")}, nil, r.Child("w"))
-	estBig, err := EstimateUn(cal.Set.Items(), o2, EstimateUnOptions{Perr: 0.5, N: 5000})
+	estBig, err := EstimateUn(context.Background(), cal.Set.Items(), o2, EstimateUnOptions{Perr: 0.5, N: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,11 +109,11 @@ func TestEstimatePerrValidation(t *testing.T) {
 	r := rng.New(5)
 	o := naiveOracle(0.1, worker.RandomTie{R: r}, nil, r)
 	one := dataset.Uniform(1, 0, 1, r).Items()
-	if _, err := EstimatePerr(one, o, EstimatePerrOptions{R: r}); err == nil {
+	if _, err := EstimatePerr(context.Background(), one, o, EstimatePerrOptions{R: r}); err == nil {
 		t.Fatal("single-element training accepted")
 	}
 	two := dataset.Uniform(2, 0, 1, r).Items()
-	if _, err := EstimatePerr(two, o, EstimatePerrOptions{}); err == nil {
+	if _, err := EstimatePerr(context.Background(), two, o, EstimatePerrOptions{}); err == nil {
 		t.Fatal("nil RNG accepted")
 	}
 }
@@ -128,7 +129,7 @@ func TestEstimatePerrRecoversModelValue(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := naiveOracle(1.0, worker.RandomTie{R: r.Child("w")}, nil, r.Child("w"))
-	perr, err := EstimatePerr(s.Items(), o, EstimatePerrOptions{Pairs: 200, Votes: 9, R: r})
+	perr, err := EstimatePerr(context.Background(), s.Items(), o, EstimatePerrOptions{Pairs: 200, Votes: 9, R: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestEstimatePerrAllConsensusFallsBack(t *testing.T) {
 	r := rng.New(7)
 	s := dataset.Uniform(30, 0, 1000, r)
 	o := naiveOracle(1e-9, worker.RandomTie{R: r}, nil, r)
-	perr, err := EstimatePerr(s.Items(), o, EstimatePerrOptions{Pairs: 50, Votes: 5, R: r})
+	perr, err := EstimatePerr(context.Background(), s.Items(), o, EstimatePerrOptions{Pairs: 50, Votes: 5, R: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,14 +168,14 @@ func TestEstimatePipelineEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	oEst := naiveOracle(cal.DeltaN, worker.RandomTie{R: r.Child("est")}, nil, r.Child("est"))
-	perr, err := EstimatePerr(training.Items(), oEst, EstimatePerrOptions{Pairs: 150, Votes: 9, R: r})
+	perr, err := EstimatePerr(context.Background(), training.Items(), oEst, EstimatePerrOptions{Pairs: 150, Votes: 9, R: r})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if perr < 0.2 { // guard: estimator degenerated
 		perr = 0.5
 	}
-	est, err := EstimateUn(training.Items(), oEst, EstimateUnOptions{Perr: perr, N: n})
+	est, err := EstimateUn(context.Background(), training.Items(), oEst, EstimateUnOptions{Perr: perr, N: n})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestEstimatePipelineEndToEnd(t *testing.T) {
 		est = n / 4 // un must stay o(n) for the filter to be useful
 	}
 	no, eo := oracles(cal, r, nil, nil)
-	res, err := FindMax(cal.Set.Items(), no, eo, FindMaxOptions{Un: est})
+	res, err := FindMax(context.Background(), cal.Set.Items(), no, eo, FindMaxOptions{Un: est})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -41,7 +42,12 @@ type FilterOptions struct {
 // games survive; the process repeats until fewer than 2·un elements remain.
 // If the input is already smaller than 2·un, it is returned unchanged (no
 // comparisons are needed).
-func Filter(items []item.Item, naive *tournament.Oracle, opt FilterOptions) ([]item.Item, error) {
+//
+// On cancellation or budget exhaustion Filter returns the survivor set of
+// the last fully completed iteration alongside the error — a usable (if
+// larger than promised) candidate set, since completed iterations never
+// discard the maximum.
+func Filter(ctx context.Context, items []item.Item, naive *tournament.Oracle, opt FilterOptions) ([]item.Item, error) {
 	if len(items) == 0 {
 		return nil, ErrNoItems
 	}
@@ -85,8 +91,14 @@ func Filter(items []item.Item, naive *tournament.Oracle, opt FilterOptions) ([]i
 				next = append(next, group...)
 				continue
 			}
-			res := tournament.RoundRobinWith(group, naive,
+			res, err := tournament.RoundRobinWith(ctx, group, naive,
 				tournament.RoundRobinOpts{RecordLosers: tracker != nil})
+			if err != nil {
+				// Partial result: the survivors of the last completed
+				// iteration (the current iteration's partial progress is
+				// discarded — a half-played group must not eliminate).
+				return li, err
+			}
 			groupTops = append(groupTops, res.TopByWins())
 			need := len(group) - un
 			kept := 0

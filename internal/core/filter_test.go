@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -21,11 +22,11 @@ func naiveOracle(delta float64, tie worker.TieBreaker, l *cost.Ledger, r *rng.So
 func TestFilterValidation(t *testing.T) {
 	r := rng.New(1)
 	o := naiveOracle(0, worker.RandomTie{R: r}, nil, r)
-	if _, err := Filter(nil, o, FilterOptions{Un: 1}); err == nil {
+	if _, err := Filter(context.Background(), nil, o, FilterOptions{Un: 1}); err == nil {
 		t.Fatal("empty input accepted")
 	}
 	s := dataset.Uniform(10, 0, 1, r)
-	if _, err := Filter(s.Items(), o, FilterOptions{Un: 0}); err == nil {
+	if _, err := Filter(context.Background(), s.Items(), o, FilterOptions{Un: 0}); err == nil {
 		t.Fatal("un=0 accepted")
 	}
 }
@@ -36,7 +37,7 @@ func TestFilterSmallInputPassesThrough(t *testing.T) {
 	o := naiveOracle(0.1, worker.RandomTie{R: r}, l, r)
 	s := dataset.Uniform(5, 0, 1, r)
 	// un = 3 → 2·un = 6 > 5: no filtering possible or needed.
-	out, err := Filter(s.Items(), o, FilterOptions{Un: 3})
+	out, err := Filter(context.Background(), s.Items(), o, FilterOptions{Un: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestFilterKeepsMaxAndRespectsBounds(t *testing.T) {
 		}
 		l := cost.NewLedger()
 		o := naiveOracle(cal.DeltaN, worker.RandomTie{R: r}, l, r)
-		out, err := Filter(cal.Set.Items(), o, FilterOptions{Un: un})
+		out, err := Filter(context.Background(), cal.Set.Items(), o, FilterOptions{Un: un})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func TestFilterKeepsMaxAgainstAdversary(t *testing.T) {
 			t.Fatal(err)
 		}
 		o := naiveOracle(cal.DeltaN, worker.AdversarialTie{}, nil, r)
-		out, err := Filter(cal.Set.Items(), o, FilterOptions{Un: un})
+		out, err := Filter(context.Background(), cal.Set.Items(), o, FilterOptions{Un: un})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +125,7 @@ func TestFilterOverestimateStillCorrect(t *testing.T) {
 	}
 	for _, factor := range []int{2, 4, 10} {
 		o := naiveOracle(cal.DeltaN, worker.RandomTie{R: r}, nil, r)
-		out, err := Filter(cal.Set.Items(), o, FilterOptions{Un: 5 * factor})
+		out, err := Filter(context.Background(), cal.Set.Items(), o, FilterOptions{Un: 5 * factor})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,11 +156,11 @@ func TestFilterLossTrackingSameGuarantees(t *testing.T) {
 		oPlain := naiveOracle(cal.DeltaN, worker.RandomTie{R: r.Child("a")}, lPlain, r.Child("a"))
 		oTracked := naiveOracle(cal.DeltaN, worker.RandomTie{R: r.Child("b")}, lTracked, r.Child("b"))
 
-		outPlain, err := Filter(cal.Set.Items(), oPlain, FilterOptions{Un: 6})
+		outPlain, err := Filter(context.Background(), cal.Set.Items(), oPlain, FilterOptions{Un: 6})
 		if err != nil {
 			t.Fatal(err)
 		}
-		outTracked, err := Filter(cal.Set.Items(), oTracked, FilterOptions{Un: 6, TrackLosses: true})
+		outTracked, err := Filter(context.Background(), cal.Set.Items(), oTracked, FilterOptions{Un: 6, TrackLosses: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +193,7 @@ func TestFilterWithMemoizedOracle(t *testing.T) {
 	l := cost.NewLedger()
 	w := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r}, R: r}
 	o := tournament.NewOracle(w, worker.Naive, l, tournament.NewMemo())
-	out, err := Filter(cal.Set.Items(), o, FilterOptions{Un: 5})
+	out, err := Filter(context.Background(), cal.Set.Items(), o, FilterOptions{Un: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestFilterProperty(t *testing.T) {
 		}
 		l := cost.NewLedger()
 		o := naiveOracle(cal.DeltaN, worker.RandomTie{R: r}, l, r)
-		out, err := Filter(cal.Set.Items(), o, FilterOptions{Un: un})
+		out, err := Filter(context.Background(), cal.Set.Items(), o, FilterOptions{Un: un})
 		if err != nil {
 			return false
 		}
@@ -265,7 +266,7 @@ func TestFilterDuplicateValues(t *testing.T) {
 	s := item.NewSet(values)
 	un := s.UCount(1.0) // elements within 1.0 of max value 49
 	o := naiveOracle(1.0, worker.RandomTie{R: r}, nil, r)
-	out, err := Filter(s.Items(), o, FilterOptions{Un: un})
+	out, err := Filter(context.Background(), s.Items(), o, FilterOptions{Un: un})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,13 +296,16 @@ func TestLemma1OnLowerBoundInstance(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := naiveOracle(delta, worker.AdversarialTie{}, nil, rng.New(1))
-	res := tournament.RoundRobin(s.Items(), o)
+	res, err := tournament.RoundRobin(context.Background(), s.Items(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	maxWins := res.Wins[s.Max().ID]
 	if maxWins < n-un {
 		t.Fatalf("maximum won %d < n−un = %d comparisons", maxWins, n-un)
 	}
 	// And the filter therefore keeps it, even against the adversary.
-	out, err := Filter(s.Items(), naiveOracle(delta, worker.AdversarialTie{}, nil, rng.New(2)), FilterOptions{Un: un})
+	out, err := Filter(context.Background(), s.Items(), naiveOracle(delta, worker.AdversarialTie{}, nil, rng.New(2)), FilterOptions{Un: un})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +331,7 @@ func TestFilterExceedsLowerBoundComparisons(t *testing.T) {
 	}
 	l := cost.NewLedger()
 	o := naiveOracle(cal.DeltaN, worker.RandomTie{R: r}, l, r)
-	if _, err := Filter(cal.Set.Items(), o, FilterOptions{Un: 10}); err != nil {
+	if _, err := Filter(context.Background(), cal.Set.Items(), o, FilterOptions{Un: 10}); err != nil {
 		t.Fatal(err)
 	}
 	got := float64(l.Naive())
@@ -352,7 +356,7 @@ func TestFilterBoundarySizes(t *testing.T) {
 			t.Fatalf("n=%d: %v", n, err)
 		}
 		o := naiveOracle(cal.DeltaN, worker.RandomTie{R: r}, nil, r)
-		out, err := Filter(cal.Set.Items(), o, FilterOptions{Un: un})
+		out, err := Filter(context.Background(), cal.Set.Items(), o, FilterOptions{Un: un})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crowdmax/internal/cost"
@@ -80,7 +81,14 @@ type FindMaxResult struct {
 //
 // Costs accrue to the ledgers bound to the two oracles, so callers can read
 // xn and xe (and the monetary cost C(n)) after the run.
-func FindMax(items []item.Item, naive, expert *tournament.Oracle, opt FindMaxOptions) (FindMaxResult, error) {
+//
+// On cancellation or budget exhaustion FindMax returns the best-so-far
+// partial result alongside the error (wrapped as "phase 1:" or "phase 2:",
+// with errors.Is reaching the cause): a phase-1 truncation yields the last
+// completed filter iteration's survivors in Candidates (Best zero); a
+// phase-2 truncation yields the full candidate set plus the current leader
+// in Best.
+func FindMax(ctx context.Context, items []item.Item, naive, expert *tournament.Oracle, opt FindMaxOptions) (FindMaxResult, error) {
 	sc := naive.Obs()
 	if sc == nil {
 		sc = expert.Obs()
@@ -89,9 +97,9 @@ func FindMax(items []item.Item, naive, expert *tournament.Oracle, opt FindMaxOpt
 	if sc != nil {
 		n0 = naive.LedgerSnapshot()
 	}
-	candidates, err := Filter(items, naive, FilterOptions{Un: opt.Un, TrackLosses: opt.TrackLosses})
+	candidates, err := Filter(ctx, items, naive, FilterOptions{Un: opt.Un, TrackLosses: opt.TrackLosses})
 	if err != nil {
-		return FindMaxResult{}, fmt.Errorf("phase 1: %w", err)
+		return FindMaxResult{Candidates: candidates}, fmt.Errorf("phase 1: %w", err)
 	}
 	if len(candidates) == 0 {
 		return FindMaxResult{}, fmt.Errorf("phase 1: empty candidate set (un=%d underestimated?)", opt.Un)
@@ -106,9 +114,9 @@ func FindMax(items []item.Item, naive, expert *tournament.Oracle, opt FindMaxOpt
 	if sc != nil {
 		e0 = expert.LedgerSnapshot()
 	}
-	best, err := RunPhase2(candidates, expert, opt.Phase2, opt.Randomized)
+	best, err := RunPhase2(ctx, candidates, expert, opt.Phase2, opt.Randomized)
 	if err != nil {
-		return FindMaxResult{}, fmt.Errorf("phase 2: %w", err)
+		return FindMaxResult{Best: best, Candidates: candidates}, fmt.Errorf("phase 2: %w", err)
 	}
 	if sc != nil {
 		d := expert.LedgerSnapshot().Sub(e0)
@@ -120,21 +128,25 @@ func FindMax(items []item.Item, naive, expert *tournament.Oracle, opt FindMaxOpt
 }
 
 // RunPhase2 applies the selected second-phase algorithm to the candidate
-// set using the expert oracle.
-func RunPhase2(candidates []item.Item, expert *tournament.Oracle, algo Phase2Algorithm, ropt RandomizedOptions) (item.Item, error) {
+// set using the expert oracle. On error the returned item is the
+// algorithm's best-so-far partial leader (zero when none was established).
+func RunPhase2(ctx context.Context, candidates []item.Item, expert *tournament.Oracle, algo Phase2Algorithm, ropt RandomizedOptions) (item.Item, error) {
 	switch algo {
 	case Phase2TwoMaxFind:
-		return TwoMaxFind(candidates, expert)
+		return TwoMaxFind(ctx, candidates, expert)
 	case Phase2Randomized:
 		if ropt.R == nil {
 			ropt.R = rng.New(0)
 		}
-		return RandomizedMaxFind(candidates, expert, ropt)
+		return RandomizedMaxFind(ctx, candidates, expert, ropt)
 	case Phase2AllPlayAll:
 		if len(candidates) == 0 {
 			return item.Item{}, ErrNoItems
 		}
-		res := tournament.RoundRobin(candidates, expert)
+		res, err := tournament.RoundRobin(ctx, candidates, expert)
+		if err != nil {
+			return candidates[0], err
+		}
 		return res.TopByWins(), nil
 	default:
 		return item.Item{}, fmt.Errorf("core: unknown phase-2 algorithm %d", int(algo))

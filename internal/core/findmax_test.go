@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestFindMaxEndToEndGuarantee(t *testing.T) {
 		}
 		ln, le := cost.NewLedger(), cost.NewLedger()
 		no, eo := oracles(cal, r, ln, le)
-		res, err := FindMax(cal.Set.Items(), no, eo, FindMaxOptions{Un: un})
+		res, err := FindMax(context.Background(), cal.Set.Items(), no, eo, FindMaxOptions{Un: un})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func TestFindMaxRandomizedPhase2(t *testing.T) {
 			t.Fatal(err)
 		}
 		no, eo := oracles(cal, r, nil, nil)
-		res, err := FindMax(cal.Set.Items(), no, eo, FindMaxOptions{
+		res, err := FindMax(context.Background(), cal.Set.Items(), no, eo, FindMaxOptions{
 			Un:         8,
 			Phase2:     Phase2Randomized,
 			Randomized: RandomizedOptions{R: r.Child("rand"), C: 1},
@@ -90,7 +91,7 @@ func TestFindMaxAllPlayAllPhase2(t *testing.T) {
 	}
 	le := cost.NewLedger()
 	no, eo := oracles(cal, r, nil, le)
-	res, err := FindMax(cal.Set.Items(), no, eo, FindMaxOptions{Un: 6, Phase2: Phase2AllPlayAll})
+	res, err := FindMax(context.Background(), cal.Set.Items(), no, eo, FindMaxOptions{Un: 6, Phase2: Phase2AllPlayAll})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestFindMaxUnknownPhase2(t *testing.T) {
 		t.Fatal(err)
 	}
 	no, eo := oracles(cal, r, nil, nil)
-	_, err = FindMax(cal.Set.Items(), no, eo, FindMaxOptions{Un: 3, Phase2: Phase2Algorithm(99)})
+	_, err = FindMax(context.Background(), cal.Set.Items(), no, eo, FindMaxOptions{Un: 3, Phase2: Phase2Algorithm(99)})
 	if err == nil || !strings.Contains(err.Error(), "unknown phase-2") {
 		t.Fatalf("err = %v", err)
 	}
@@ -123,7 +124,7 @@ func TestFindMaxPropagatesPhase1Error(t *testing.T) {
 		t.Fatal(err)
 	}
 	no, eo := oracles(cal, r, nil, nil)
-	_, err = FindMax(cal.Set.Items(), no, eo, FindMaxOptions{Un: 0})
+	_, err = FindMax(context.Background(), cal.Set.Items(), no, eo, FindMaxOptions{Un: 0})
 	if err == nil || !strings.Contains(err.Error(), "phase 1") {
 		t.Fatalf("err = %v", err)
 	}
@@ -141,7 +142,7 @@ func TestFindMaxExactWhenExpertsPerfect(t *testing.T) {
 		nw := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r}, R: r}
 		no := tournament.NewOracle(nw, worker.Naive, nil, nil)
 		eo := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
-		res, err := FindMax(cal.Set.Items(), no, eo, FindMaxOptions{Un: 10})
+		res, err := FindMax(context.Background(), cal.Set.Items(), no, eo, FindMaxOptions{Un: 10})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func TestFindMaxTrackLosses(t *testing.T) {
 		t.Fatal(err)
 	}
 	no, eo := oracles(cal, r, nil, nil)
-	res, err := FindMax(cal.Set.Items(), no, eo, FindMaxOptions{Un: 8, TrackLosses: true})
+	res, err := FindMax(context.Background(), cal.Set.Items(), no, eo, FindMaxOptions{Un: 8, TrackLosses: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestFindMaxTrackLosses(t *testing.T) {
 
 func TestRunPhase2EmptyCandidates(t *testing.T) {
 	eo := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
-	if _, err := RunPhase2(nil, eo, Phase2AllPlayAll, RandomizedOptions{}); err == nil {
+	if _, err := RunPhase2(context.Background(), nil, eo, Phase2AllPlayAll, RandomizedOptions{}); err == nil {
 		t.Fatal("empty candidates accepted")
 	}
 }
@@ -212,7 +213,7 @@ func TestFindMaxWithDistanceDependentError(t *testing.T) {
 		}
 		no := tournament.NewOracle(mkWorker(cal.DeltaN, r.Child("n")), worker.Naive, nil, nil)
 		eo := tournament.NewOracle(mkWorker(cal.DeltaE, r.Child("e")), worker.Expert, nil, nil)
-		res, err := FindMax(cal.Set.Items(), no, eo, FindMaxOptions{Un: 8})
+		res, err := FindMax(context.Background(), cal.Set.Items(), no, eo, FindMaxOptions{Un: 8})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -37,7 +38,10 @@ type RandomizedOptions struct {
 // each group, and removes each group's minimal element (fewest wins). When
 // fewer than s^{0.3} survivors remain they join W, and a final all-play-all
 // tournament over W picks the winner.
-func RandomizedMaxFind(items []item.Item, o *tournament.Oracle, opt RandomizedOptions) (item.Item, error) {
+//
+// On cancellation or budget exhaustion the first surviving candidate is
+// returned alongside the error as a best-effort partial answer.
+func RandomizedMaxFind(ctx context.Context, items []item.Item, o *tournament.Oracle, opt RandomizedOptions) (item.Item, error) {
 	s := len(items)
 	if s == 0 {
 		return item.Item{}, ErrNoItems
@@ -90,7 +94,10 @@ func RandomizedMaxFind(items []item.Item, o *tournament.Oracle, opt RandomizedOp
 			if len(group) < 2 {
 				continue
 			}
-			res := tournament.RoundRobin(group, o)
+			res, err := tournament.RoundRobin(ctx, group, o)
+			if err != nil {
+				return ni[0], err
+			}
 			drop[res.MinByWins().ID] = true
 		}
 		if len(drop) == 0 {
@@ -121,7 +128,10 @@ func RandomizedMaxFind(items []item.Item, o *tournament.Oracle, opt RandomizedOp
 	}
 	// Deterministic order for reproducibility (map iteration is random).
 	sort.Slice(finalists, func(i, j int) bool { return finalists[i].ID < finalists[j].ID })
-	final := tournament.RoundRobin(finalists, o)
+	final, err := tournament.RoundRobin(ctx, finalists, o)
+	if err != nil {
+		return finalists[0], err
+	}
 	if sc != nil {
 		d := o.LedgerSnapshot().Sub(startLedger)
 		sc.PhaseComparisons(d.Comparisons)

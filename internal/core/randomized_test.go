@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"crowdmax/internal/cost"
@@ -14,14 +15,14 @@ import (
 func TestRandomizedEdges(t *testing.T) {
 	r := rng.New(1)
 	o := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
-	if _, err := RandomizedMaxFind(nil, o, RandomizedOptions{R: r}); err == nil {
+	if _, err := RandomizedMaxFind(context.Background(), nil, o, RandomizedOptions{R: r}); err == nil {
 		t.Fatal("empty input accepted")
 	}
-	if _, err := RandomizedMaxFind([]item.Item{{ID: 0}, {ID: 1}}, o, RandomizedOptions{}); err == nil {
+	if _, err := RandomizedMaxFind(context.Background(), []item.Item{{ID: 0}, {ID: 1}}, o, RandomizedOptions{}); err == nil {
 		t.Fatal("nil RNG accepted")
 	}
 	single := []item.Item{{ID: 5, Value: 2}}
-	got, err := RandomizedMaxFind(single, o, RandomizedOptions{R: r})
+	got, err := RandomizedMaxFind(context.Background(), single, o, RandomizedOptions{R: r})
 	if err != nil || got.ID != 5 {
 		t.Fatalf("singleton: %v, %v", got, err)
 	}
@@ -34,7 +35,7 @@ func TestRandomizedTruthfulFindsMax(t *testing.T) {
 		n := 2 + r.Intn(400)
 		s := dataset.Uniform(n, 0, 1, r)
 		o := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
-		got, err := RandomizedMaxFind(s.Items(), o, RandomizedOptions{R: r})
+		got, err := RandomizedMaxFind(context.Background(), s.Items(), o, RandomizedOptions{R: r})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func TestRandomizedGuaranteeUnderThresholdModel(t *testing.T) {
 		s := dataset.Uniform(n, 0, 1, r)
 		w := &worker.Threshold{Delta: delta, Tie: worker.RandomTie{R: r}, R: r}
 		o := tournament.NewOracle(w, worker.Expert, nil, nil)
-		got, err := RandomizedMaxFind(s.Items(), o, RandomizedOptions{R: r, C: 1})
+		got, err := RandomizedMaxFind(context.Background(), s.Items(), o, RandomizedOptions{R: r, C: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,14 +78,14 @@ func TestRandomizedLinearButHugeConstants(t *testing.T) {
 	lRand := cost.NewLedger()
 	w1 := &worker.Threshold{Delta: 0.02, Tie: worker.RandomTie{R: r.Child("a")}, R: r.Child("a")}
 	oRand := tournament.NewOracle(w1, worker.Expert, lRand, nil)
-	if _, err := RandomizedMaxFind(s.Items(), oRand, RandomizedOptions{R: r.Child("ra"), C: 1}); err != nil {
+	if _, err := RandomizedMaxFind(context.Background(), s.Items(), oRand, RandomizedOptions{R: r.Child("ra"), C: 1}); err != nil {
 		t.Fatal(err)
 	}
 
 	lTwo := cost.NewLedger()
 	w2 := &worker.Threshold{Delta: 0.02, Tie: worker.RandomTie{R: r.Child("b")}, R: r.Child("b")}
 	oTwo := tournament.NewOracle(w2, worker.Expert, lTwo, nil)
-	if _, err := TwoMaxFind(s.Items(), oTwo); err != nil {
+	if _, err := TwoMaxFind(context.Background(), s.Items(), oTwo); err != nil {
 		t.Fatal(err)
 	}
 
@@ -100,7 +101,7 @@ func TestRandomizedDefaultC(t *testing.T) {
 	o := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
 	// C = 0 falls back to 1; must work and find the max with a truthful
 	// oracle.
-	got, err := RandomizedMaxFind(s.Items(), o, RandomizedOptions{R: r, C: 0})
+	got, err := RandomizedMaxFind(context.Background(), s.Items(), o, RandomizedOptions{R: r, C: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestRandomizedDoesNotMutateInput(t *testing.T) {
 	in := s.Items()
 	want := s.Items()
 	o := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
-	if _, err := RandomizedMaxFind(in, o, RandomizedOptions{R: r}); err != nil {
+	if _, err := RandomizedMaxFind(context.Background(), in, o, RandomizedOptions{R: r}); err != nil {
 		t.Fatal(err)
 	}
 	for i := range in {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -38,7 +39,11 @@ type TopKOptions struct {
 // with the previous i−1 returns removed. Cost: at most k·4·n·U naïve and
 // k·2·(2U−1)^{3/2} expert comparisons. Memoized oracles make later rounds
 // substantially cheaper, since most pairs repeat.
-func TopK(items []item.Item, naive, expert *tournament.Oracle, opt TopKOptions) ([]item.Item, error) {
+//
+// On cancellation or budget exhaustion TopK returns the prefix of fully
+// completed rounds alongside the error: the first len(result) ranks are
+// final; the truncated round's partial progress is discarded.
+func TopK(ctx context.Context, items []item.Item, naive, expert *tournament.Oracle, opt TopKOptions) ([]item.Item, error) {
 	if len(items) == 0 {
 		return nil, ErrNoItems
 	}
@@ -58,14 +63,14 @@ func TopK(items []item.Item, naive, expert *tournament.Oracle, opt TopKOptions) 
 			remaining = remaining[:0]
 			continue
 		}
-		res, err := FindMax(remaining, naive, expert, FindMaxOptions{
+		res, err := FindMax(ctx, remaining, naive, expert, FindMaxOptions{
 			Un:          opt.U,
 			Phase2:      opt.Phase2,
 			TrackLosses: opt.TrackLosses,
 			Randomized:  opt.Randomized,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("round %d: %w", round+1, err)
+			return out, fmt.Errorf("round %d: %w", round+1, err)
 		}
 		out = append(out, res.Best)
 		kept := remaining[:0]
@@ -82,11 +87,14 @@ func TopK(items []item.Item, naive, expert *tournament.Oracle, opt TopKOptions) 
 // RankByWins orders items by their win counts in an all-play-all tournament
 // under the oracle, best first (stable on ties). This is the "last round"
 // ranking procedure of the paper's Tables 1 and 2.
-func RankByWins(items []item.Item, o *tournament.Oracle) []item.Item {
+func RankByWins(ctx context.Context, items []item.Item, o *tournament.Oracle) ([]item.Item, error) {
 	if len(items) == 0 {
-		return nil
+		return nil, nil
 	}
-	res := tournament.RoundRobin(items, o)
+	res, err := tournament.RoundRobin(ctx, items, o)
+	if err != nil {
+		return nil, err
+	}
 	order := make([]int, len(items))
 	for i := range order {
 		order[i] = i
@@ -96,5 +104,5 @@ func RankByWins(items []item.Item, o *tournament.Oracle) []item.Item {
 	for i, idx := range order {
 		out[i] = items[idx]
 	}
-	return out
+	return out, nil
 }

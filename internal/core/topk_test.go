@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"crowdmax/internal/cost"
@@ -16,15 +17,15 @@ func TestTopKValidation(t *testing.T) {
 	s := dataset.Uniform(20, 0, 1, r)
 	no := tournament.NewOracle(worker.Truth, worker.Naive, nil, nil)
 	eo := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
-	if _, err := TopK(nil, no, eo, TopKOptions{K: 1, U: 1}); err == nil {
+	if _, err := TopK(context.Background(), nil, no, eo, TopKOptions{K: 1, U: 1}); err == nil {
 		t.Fatal("empty input accepted")
 	}
 	for _, k := range []int{0, -1, 21} {
-		if _, err := TopK(s.Items(), no, eo, TopKOptions{K: k, U: 1}); err == nil {
+		if _, err := TopK(context.Background(), s.Items(), no, eo, TopKOptions{K: k, U: 1}); err == nil {
 			t.Fatalf("k=%d accepted", k)
 		}
 	}
-	if _, err := TopK(s.Items(), no, eo, TopKOptions{K: 3, U: 0}); err == nil {
+	if _, err := TopK(context.Background(), s.Items(), no, eo, TopKOptions{K: 3, U: 0}); err == nil {
 		t.Fatal("U=0 accepted")
 	}
 }
@@ -38,7 +39,7 @@ func TestTopKTruthfulExactOrder(t *testing.T) {
 		s := dataset.Uniform(n, 0, 1, r)
 		no := tournament.NewOracle(worker.Truth, worker.Naive, nil, nil)
 		eo := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
-		got, err := TopK(s.Items(), no, eo, TopKOptions{K: k, U: 2})
+		got, err := TopK(context.Background(), s.Items(), no, eo, TopKOptions{K: k, U: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestTopKGuaranteePerRound(t *testing.T) {
 		ew := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("e")}, R: r.Child("e")}
 		no := tournament.NewOracle(nw, worker.Naive, nil, nil)
 		eo := tournament.NewOracle(ew, worker.Expert, nil, nil)
-		got, err := TopK(cal.Set.Items(), no, eo, TopKOptions{K: k, U: u})
+		got, err := TopK(context.Background(), cal.Set.Items(), no, eo, TopKOptions{K: k, U: u})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func TestTopKMemoizationSavesAcrossRounds(t *testing.T) {
 		ew := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: rr.Child("e")}, R: rr.Child("e")}
 		no := tournament.NewOracle(nw, worker.Naive, ledger, nm)
 		eo := tournament.NewOracle(ew, worker.Expert, ledger, em)
-		if _, err := TopK(cal.Set.Items(), no, eo, TopKOptions{K: 5, U: 6}); err != nil {
+		if _, err := TopK(context.Background(), cal.Set.Items(), no, eo, TopKOptions{K: 5, U: 6}); err != nil {
 			t.Fatal(err)
 		}
 		return ledger.Naive() + ledger.Expert()
@@ -158,7 +159,7 @@ func TestTopKWholeSet(t *testing.T) {
 	s := dataset.Uniform(30, 0, 1, r)
 	no := tournament.NewOracle(worker.Truth, worker.Naive, nil, nil)
 	eo := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
-	got, err := TopK(s.Items(), no, eo, TopKOptions{K: 30, U: 2})
+	got, err := TopK(context.Background(), s.Items(), no, eo, TopKOptions{K: 30, U: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,16 +174,22 @@ func TestRankByWins(t *testing.T) {
 	r := rng.New(6)
 	s := dataset.Uniform(12, 0, 1, r)
 	o := tournament.NewOracle(worker.Truth, worker.Naive, nil, nil)
-	ranked := RankByWins(s.Items(), o)
+	ranked, err := RankByWins(context.Background(), s.Items(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, it := range ranked {
 		if s.Rank(it.ID) != i+1 {
 			t.Fatalf("position %d has true rank %d", i, s.Rank(it.ID))
 		}
 	}
-	if got := RankByWins(nil, o); got != nil {
+	if got, err := RankByWins(context.Background(), nil, o); err != nil || got != nil {
 		t.Fatal("empty input should return nil")
 	}
-	single := RankByWins([]item.Item{{ID: 3, Value: 1}}, o)
+	single, err := RankByWins(context.Background(), []item.Item{{ID: 3, Value: 1}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(single) != 1 || single[0].ID != 3 {
 		t.Fatal("singleton ranking wrong")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"crowdmax/internal/cost"
@@ -24,7 +25,11 @@ import (
 // first Appendix A optimization): besides saving comparisons, this is what
 // guarantees progress — and hence the O(s^{3/2}) bound — even against
 // adversarial tie-breaking, because x's tournament victims stay eliminated.
-func TwoMaxFind(items []item.Item, o *tournament.Oracle) (item.Item, error) {
+//
+// On cancellation or budget exhaustion the current leader — the most recent
+// round's pivot, i.e. the best element identified so far — is returned
+// alongside the error, so a truncated run still yields a usable answer.
+func TwoMaxFind(ctx context.Context, items []item.Item, o *tournament.Oracle) (item.Item, error) {
 	s := len(items)
 	if s == 0 {
 		return item.Item{}, ErrNoItems
@@ -45,12 +50,17 @@ func TwoMaxFind(items []item.Item, o *tournament.Oracle) (item.Item, error) {
 	candidates := make([]item.Item, s)
 	copy(candidates, items)
 
+	leader := candidates[0]
 	round := 0
 	for len(candidates) > k {
 		before := len(candidates)
 		sample := candidates[:k]
-		res := tournament.RoundRobinWith(sample, o, tournament.RoundRobinOpts{RecordLosers: true})
+		res, err := tournament.RoundRobinWith(ctx, sample, o, tournament.RoundRobinOpts{RecordLosers: true})
+		if err != nil {
+			return leader, err
+		}
 		x := res.TopByWins()
+		leader = x
 
 		// Eliminate x's tournament victims directly: those comparisons
 		// were already performed and must not be re-asked (their answers
@@ -69,7 +79,10 @@ func TwoMaxFind(items []item.Item, o *tournament.Oracle) (item.Item, error) {
 				remaining = append(remaining, c)
 			}
 		}
-		candidates, _ = tournament.PivotPass(x, remaining, o)
+		candidates, _, err = tournament.PivotPass(ctx, x, remaining, o)
+		if err != nil {
+			return leader, err
+		}
 		if sc != nil {
 			sc.Round()
 			sc.Event("2maxfind.round",
@@ -79,7 +92,10 @@ func TwoMaxFind(items []item.Item, o *tournament.Oracle) (item.Item, error) {
 		round++
 	}
 
-	final := tournament.RoundRobin(candidates, o)
+	final, err := tournament.RoundRobin(ctx, candidates, o)
+	if err != nil {
+		return leader, err
+	}
 	if sc != nil {
 		d := o.LedgerSnapshot().Sub(startLedger)
 		sc.PhaseComparisons(d.Comparisons)

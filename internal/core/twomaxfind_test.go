@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -15,11 +16,11 @@ import (
 func TestTwoMaxFindEdges(t *testing.T) {
 	r := rng.New(1)
 	o := naiveOracle(0, worker.RandomTie{R: r}, nil, r)
-	if _, err := TwoMaxFind(nil, o); err == nil {
+	if _, err := TwoMaxFind(context.Background(), nil, o); err == nil {
 		t.Fatal("empty input accepted")
 	}
 	single := []item.Item{{ID: 3, Value: 7}}
-	got, err := TwoMaxFind(single, o)
+	got, err := TwoMaxFind(context.Background(), single, o)
 	if err != nil || got.ID != 3 {
 		t.Fatalf("singleton: %v, %v", got, err)
 	}
@@ -33,7 +34,7 @@ func TestTwoMaxFindTruthfulOracleExact(t *testing.T) {
 		n := 2 + r.Intn(300)
 		s := dataset.Uniform(n, 0, 1, r)
 		o := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
-		got, err := TwoMaxFind(s.Items(), o)
+		got, err := TwoMaxFind(context.Background(), s.Items(), o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func TestTwoMaxFindGuaranteeUnderThresholdModel(t *testing.T) {
 		s := dataset.Uniform(n, 0, 1, r)
 		w := &worker.Threshold{Delta: delta, Tie: worker.RandomTie{R: r}, R: r}
 		o := tournament.NewOracle(w, worker.Expert, nil, nil)
-		got, err := TwoMaxFind(s.Items(), o)
+		got, err := TwoMaxFind(context.Background(), s.Items(), o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestTwoMaxFindGuaranteeAgainstAdversary(t *testing.T) {
 		s := dataset.Uniform(n, 0, 1, r)
 		w := &worker.Threshold{Delta: delta, Tie: worker.AdversarialTie{}, R: r}
 		o := tournament.NewOracle(w, worker.Expert, nil, nil)
-		got, err := TwoMaxFind(s.Items(), o)
+		got, err := TwoMaxFind(context.Background(), s.Items(), o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func TestTwoMaxFindAllIndistinguishableTerminates(t *testing.T) {
 	l := cost.NewLedger()
 	w := &worker.Threshold{Delta: 1.0, Tie: worker.AdversarialTie{}, R: r}
 	o := tournament.NewOracle(w, worker.Expert, l, nil)
-	if _, err := TwoMaxFind(s.Items(), o); err != nil {
+	if _, err := TwoMaxFind(context.Background(), s.Items(), o); err != nil {
 		t.Fatal(err)
 	}
 	if float64(l.Expert()) > TwoMaxFindUpperBound(100) {
@@ -113,7 +114,7 @@ func TestTwoMaxFindComparisonBound(t *testing.T) {
 		l := cost.NewLedger()
 		w := &worker.Threshold{Delta: 0.05, Tie: worker.RandomTie{R: r}, R: r}
 		o := tournament.NewOracle(w, worker.Expert, l, nil)
-		if _, err := TwoMaxFind(s.Items(), o); err != nil {
+		if _, err := TwoMaxFind(context.Background(), s.Items(), o); err != nil {
 			t.Fatal(err)
 		}
 		if float64(l.Expert()) > TwoMaxFindUpperBound(n) {
@@ -128,7 +129,7 @@ func TestTwoMaxFindDoesNotMutateInput(t *testing.T) {
 	in := s.Items()
 	want := s.Items()
 	o := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
-	if _, err := TwoMaxFind(in, o); err != nil {
+	if _, err := TwoMaxFind(context.Background(), in, o); err != nil {
 		t.Fatal(err)
 	}
 	for i := range in {
@@ -150,7 +151,7 @@ func TestTwoMaxFindProperty(t *testing.T) {
 		l := cost.NewLedger()
 		w := &worker.Threshold{Delta: delta, Tie: worker.RandomTie{R: r}, R: r}
 		o := tournament.NewOracle(w, worker.Expert, l, nil)
-		got, err := TwoMaxFind(s.Items(), o)
+		got, err := TwoMaxFind(context.Background(), s.Items(), o)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,182 @@
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"crowdmax/internal/cost"
+	"crowdmax/internal/obs"
+	"crowdmax/internal/worker"
+)
+
+// ErrBudgetExhausted is returned (wrapped, with the violated cap named) when
+// a comparison would exceed a Budget cap. Algorithms receiving it abandon
+// the run and surface their best-so-far partial result; the budget's spend
+// at that moment is ≤ every cap — refusal happens strictly before the
+// comparison is performed or billed.
+var ErrBudgetExhausted = errors.New("dispatch: comparison budget exhausted")
+
+// costEpsilon absorbs float accumulation error in the monetary cap so a
+// budget of exactly a run's cost admits the run's final comparison.
+const costEpsilon = 1e-9
+
+// Limits configures a Budget. The zero value of every field means
+// "unlimited"; the zero Limits as a whole means "no budget" (callers
+// typically skip creating a Budget at all — see Limits.IsZero).
+type Limits struct {
+	// MaxNaive caps paid naïve (class 0) comparisons; 0 = unlimited.
+	MaxNaive int64
+	// MaxExpert caps paid comparisons summed over every non-naïve class
+	// (mirroring cost.Ledger.Expert); 0 = unlimited.
+	MaxExpert int64
+	// MaxTotal caps paid comparisons across all classes; 0 = unlimited.
+	MaxTotal int64
+	// MaxCost caps monetary spend under Prices; 0 = unlimited.
+	MaxCost float64
+	// Prices values each class's comparisons for the MaxCost cap.
+	Prices cost.Prices
+}
+
+// IsZero reports whether the limits impose no cap at all.
+func (l Limits) IsZero() bool { return l == Limits{} }
+
+// Budget enforces hard caps on comparison spend. All spending is pre-charged
+// and all-or-nothing under one mutex, so concurrent spenders can never push
+// the tally past a cap: a comparison is either fully admitted before it runs
+// or refused with ErrBudgetExhausted. Memo hits are free and never consult
+// the budget, matching the ledger's billing.
+//
+// A Budget is its own record of truth: Spent/SpentCost report the admitted
+// totals, Refusals the number of refused requests (also mirrored to the
+// observability layer's budget-refusal counter when obs is enabled).
+type Budget struct {
+	mu       sync.Mutex
+	lim      Limits
+	perClass [cost.MaxClasses]int64
+	total    int64
+	spent    float64
+	refusals atomic.Int64
+}
+
+// NewBudget returns a Budget enforcing l. A zero Limits yields a budget that
+// admits everything (callers usually pass no budget at all instead).
+func NewBudget(l Limits) *Budget { return &Budget{lim: l} }
+
+// Limits returns the caps this budget enforces.
+func (b *Budget) Limits() Limits { return b.lim }
+
+// Spend admits n comparisons of the given class, or refuses all of them.
+// The check-and-commit is atomic: either every counter (per-class, total,
+// monetary) stays within its cap after adding n and the spend is recorded,
+// or nothing is recorded and an error wrapping ErrBudgetExhausted names the
+// violated cap. Callers pre-charge — Spend before performing work — and
+// Refund if the backend then fails, so the budget counts successful
+// (billed) comparisons.
+func (b *Budget) Spend(class worker.Class, n int64) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	price := b.lim.Prices.Unit(class)
+	ci := int(class)
+	if ci < 0 || ci >= cost.MaxClasses {
+		return fmt.Errorf("dispatch: worker class %d outside [0, %d)", ci, cost.MaxClasses)
+	}
+	b.mu.Lock()
+	var violated string
+	switch {
+	case b.lim.MaxNaive > 0 && class == worker.Naive && b.perClass[ci]+n > b.lim.MaxNaive:
+		violated = fmt.Sprintf("naive cap %d", b.lim.MaxNaive)
+	case b.lim.MaxExpert > 0 && class != worker.Naive && b.expertSpendLocked()+n > b.lim.MaxExpert:
+		violated = fmt.Sprintf("expert cap %d", b.lim.MaxExpert)
+	case b.lim.MaxTotal > 0 && b.total+n > b.lim.MaxTotal:
+		violated = fmt.Sprintf("total cap %d", b.lim.MaxTotal)
+	case b.lim.MaxCost > 0 && b.spent+price*float64(n) > b.lim.MaxCost+costEpsilon:
+		violated = fmt.Sprintf("cost cap %g", b.lim.MaxCost)
+	}
+	if violated != "" {
+		b.mu.Unlock()
+		b.refusals.Add(1)
+		if m := obs.Active(); m != nil {
+			m.BudgetRefusal(ci)
+		}
+		return fmt.Errorf("dispatch: %s reached by %d %s comparison(s): %w",
+			violated, n, class, ErrBudgetExhausted)
+	}
+	b.perClass[ci] += n
+	b.total += n
+	b.spent += price * float64(n)
+	b.mu.Unlock()
+	return nil
+}
+
+// expertSpendLocked sums the non-naïve per-class spend; callers hold b.mu.
+func (b *Budget) expertSpendLocked() int64 {
+	var s int64
+	for i := 1; i < cost.MaxClasses; i++ {
+		s += b.perClass[i]
+	}
+	return s
+}
+
+// Refund returns n previously Spent comparisons of the given class — used
+// when a pre-charged comparison's backend dispatch fails, so failed requests
+// don't consume budget.
+func (b *Budget) Refund(class worker.Class, n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	ci := int(class)
+	if ci < 0 || ci >= cost.MaxClasses {
+		return
+	}
+	price := b.lim.Prices.Unit(class)
+	b.mu.Lock()
+	b.perClass[ci] -= n
+	b.total -= n
+	b.spent -= price * float64(n)
+	b.mu.Unlock()
+}
+
+// Spent returns the admitted comparison count of the given class.
+func (b *Budget) Spent(class worker.Class) int64 {
+	if b == nil {
+		return 0
+	}
+	ci := int(class)
+	if ci < 0 || ci >= cost.MaxClasses {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.perClass[ci]
+}
+
+// SpentTotal returns the admitted comparison count across all classes.
+func (b *Budget) SpentTotal() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// SpentCost returns the admitted monetary spend under the budget's prices.
+func (b *Budget) SpentCost() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent
+}
+
+// Refusals returns the number of Spend calls refused so far.
+func (b *Budget) Refusals() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.refusals.Load()
+}

@@ -1,0 +1,94 @@
+// Package dispatch is the comparison-dispatch layer between the algorithms
+// and whatever actually answers comparisons. The paper's algorithms are
+// defined over an abstract stream of pairwise comparisons; a real
+// crowdsourcing deployment answers that stream asynchronously, fallibly, and
+// only while the money lasts. This package provides the seam that makes
+// those properties first-class without touching the algorithm layer:
+//
+//   - Backend is the pluggable answer source: Answer(ctx, Request) can fail,
+//     block, and be cancelled. Simulated wraps an in-process
+//     worker.Comparator (the historical behaviour); Flaky injects faults and
+//     latency for resilience testing; Retry decorates any backend with
+//     per-attempt timeouts and exponential backoff.
+//   - Budget enforces hard caps on per-class comparison counts and monetary
+//     spend. Spending is all-or-nothing and pre-charged, so a cap is never
+//     exceeded — not even by a single comparison — regardless of concurrency.
+//
+// tournament.Oracle routes every comparison through this layer; algorithms
+// observe failures as ordinary errors (context.Canceled, ErrBudgetExhausted,
+// a backend's own error) and surface best-so-far partial results upward.
+package dispatch
+
+import (
+	"context"
+	"errors"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/worker"
+)
+
+// ErrBackendUnavailable marks a transient backend failure — the request did
+// not produce an answer but retrying may succeed. Flaky wraps its injected
+// faults in it, and Retry treats any error as retryable except context
+// cancellation and budget exhaustion.
+var ErrBackendUnavailable = errors.New("dispatch: backend unavailable")
+
+// Request is one pairwise comparison task submitted to a backend.
+type Request struct {
+	// A and B are the elements to compare.
+	A, B item.Item
+	// Class is the worker class the task is intended for; backends use it
+	// to route to the matching worker pool (and platforms to price the
+	// task).
+	Class worker.Class
+}
+
+// Answer is a backend's reply to a Request.
+type Answer struct {
+	// Winner is the element the worker reported as more valuable. It must
+	// be one of the request's two elements.
+	Winner item.Item
+	// Retries counts transport-level retries spent obtaining this answer
+	// (0 for a first-attempt success); decorators like Retry populate it.
+	Retries int
+}
+
+// Backend answers comparison requests. Implementations may block (a real
+// platform round-trip), fail (transient outages, hard errors), and must
+// honor ctx cancellation promptly. A Backend must be safe for concurrent
+// use when driven by a parallel oracle (see tournament.Oracle.ParallelBatch).
+type Backend interface {
+	Answer(ctx context.Context, req Request) (Answer, error)
+}
+
+// Func adapts a function to the Backend interface.
+type Func func(ctx context.Context, req Request) (Answer, error)
+
+// Answer calls f.
+func (f Func) Answer(ctx context.Context, req Request) (Answer, error) {
+	return f(ctx, req)
+}
+
+// Simulated is the in-process backend: it answers every request by calling a
+// worker.Comparator synchronously. It is infallible apart from context
+// cancellation, which it checks before every answer — a cancelled dispatch
+// returns ctx.Err() without consulting the worker.
+type Simulated struct {
+	cmp worker.Comparator
+}
+
+// NewSimulated wraps an in-process comparator as a Backend.
+func NewSimulated(cmp worker.Comparator) *Simulated {
+	return &Simulated{cmp: cmp}
+}
+
+// Answer implements Backend.
+func (s *Simulated) Answer(ctx context.Context, req Request) (Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return Answer{}, err
+	}
+	return Answer{Winner: s.cmp.Compare(req.A, req.B)}, nil
+}
+
+// Comparator returns the wrapped in-process comparator.
+func (s *Simulated) Comparator() worker.Comparator { return s.cmp }

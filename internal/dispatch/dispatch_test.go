@@ -1,0 +1,298 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdmax/internal/cost"
+	"crowdmax/internal/item"
+	"crowdmax/internal/worker"
+)
+
+func it(id int, v float64) item.Item { return item.Item{ID: id, Value: v} }
+
+func req(a, b item.Item) Request { return Request{A: a, B: b, Class: worker.Naive} }
+
+func TestSimulatedAnswersThroughComparator(t *testing.T) {
+	b := NewSimulated(worker.Truth)
+	ans, err := b.Answer(context.Background(), req(it(0, 1), it(1, 2)))
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if ans.Winner.ID != 1 {
+		t.Fatalf("winner = %d, want 1", ans.Winner.ID)
+	}
+}
+
+func TestSimulatedHonorsCancellation(t *testing.T) {
+	called := false
+	b := NewSimulated(worker.Func(func(a, _ item.Item) item.Item {
+		called = true
+		return a
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Answer(ctx, req(it(0, 1), it(1, 2))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("cancelled dispatch still consulted the worker")
+	}
+}
+
+func TestFlakyFailureRate(t *testing.T) {
+	f := NewFlaky(NewSimulated(worker.Truth), FlakyConfig{FailureRate: 0.5, Seed: 7})
+	fails := 0
+	for i := 0; i < 1000; i++ {
+		_, err := f.Answer(context.Background(), req(it(0, 1), it(1, 2)))
+		if err != nil {
+			if !errors.Is(err, ErrBackendUnavailable) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			fails++
+		}
+	}
+	if fails < 400 || fails > 600 {
+		t.Fatalf("fails = %d of 1000 at rate 0.5", fails)
+	}
+}
+
+func TestFlakyDeterministicFaultStream(t *testing.T) {
+	pattern := func() []bool {
+		f := NewFlaky(NewSimulated(worker.Truth), FlakyConfig{FailureRate: 0.3, Seed: 42})
+		out := make([]bool, 50)
+		for i := range out {
+			_, err := f.Answer(context.Background(), req(it(0, 1), it(1, 2)))
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault stream diverged at request %d", i)
+		}
+	}
+}
+
+func TestFlakyLatencyCancellable(t *testing.T) {
+	f := NewFlaky(NewSimulated(worker.Truth), FlakyConfig{Latency: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Answer(ctx, req(it(0, 1), it(1, 2)))
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled flaky dispatch did not return promptly")
+	}
+}
+
+// failNTimes fails the first n requests, then succeeds.
+type failNTimes struct {
+	mu    sync.Mutex
+	n     int
+	calls int
+}
+
+func (f *failNTimes) Answer(_ context.Context, r Request) (Answer, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls <= f.n {
+		return Answer{}, ErrBackendUnavailable
+	}
+	return Answer{Winner: worker.Truth.Compare(r.A, r.B)}, nil
+}
+
+func TestRetryRecoversTransientFailures(t *testing.T) {
+	inner := &failNTimes{n: 2}
+	r := NewRetry(inner, RetryConfig{MaxAttempts: 3, BaseBackoff: time.Microsecond})
+	ans, err := r.Answer(context.Background(), req(it(0, 1), it(1, 2)))
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if ans.Winner.ID != 1 {
+		t.Fatalf("winner = %d, want 1", ans.Winner.ID)
+	}
+	if ans.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", ans.Retries)
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	inner := &failNTimes{n: 10}
+	r := NewRetry(inner, RetryConfig{MaxAttempts: 3, BaseBackoff: time.Microsecond})
+	if _, err := r.Answer(context.Background(), req(it(0, 1), it(1, 2))); !errors.Is(err, ErrBackendUnavailable) {
+		t.Fatalf("err = %v, want wrapped ErrBackendUnavailable", err)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("inner attempts = %d, want 3", inner.calls)
+	}
+}
+
+func TestRetryDoesNotRetryCancellation(t *testing.T) {
+	inner := &failNTimes{n: 10}
+	r := NewRetry(inner, RetryConfig{MaxAttempts: 5, BaseBackoff: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := r.Answer(ctx, req(it(0, 1), it(1, 2)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("cancelled retry slept through its backoff")
+	}
+}
+
+func TestRetryDoesNotRetryBudgetExhaustion(t *testing.T) {
+	inner := Func(func(context.Context, Request) (Answer, error) {
+		return Answer{}, ErrBudgetExhausted
+	})
+	r := NewRetry(inner, RetryConfig{MaxAttempts: 5, BaseBackoff: time.Microsecond})
+	if _, err := r.Answer(context.Background(), req(it(0, 1), it(1, 2))); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestRetryPerAttemptTimeout(t *testing.T) {
+	block := Func(func(ctx context.Context, _ Request) (Answer, error) {
+		<-ctx.Done()
+		return Answer{}, ctx.Err()
+	})
+	r := NewRetry(block, RetryConfig{
+		MaxAttempts: 2, AttemptTimeout: 10 * time.Millisecond, BaseBackoff: time.Microsecond,
+	})
+	start := time.Now()
+	_, err := r.Answer(context.Background(), req(it(0, 1), it(1, 2)))
+	if err == nil {
+		t.Fatal("expected error from blocking backend")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped DeadlineExceeded", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("per-attempt timeouts did not bound the blocking backend")
+	}
+}
+
+func TestBudgetTotalCap(t *testing.T) {
+	b := NewBudget(Limits{MaxTotal: 3})
+	for i := 0; i < 3; i++ {
+		if err := b.Spend(worker.Naive, 1); err != nil {
+			t.Fatalf("spend %d: %v", i, err)
+		}
+	}
+	if err := b.Spend(worker.Naive, 1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if got := b.SpentTotal(); got != 3 {
+		t.Fatalf("SpentTotal = %d, want 3 (cap may never be exceeded)", got)
+	}
+	if got := b.Refusals(); got != 1 {
+		t.Fatalf("Refusals = %d, want 1", got)
+	}
+}
+
+func TestBudgetPerClassCaps(t *testing.T) {
+	b := NewBudget(Limits{MaxNaive: 2, MaxExpert: 1})
+	if err := b.Spend(worker.Naive, 2); err != nil {
+		t.Fatalf("naive spend: %v", err)
+	}
+	if err := b.Spend(worker.Naive, 1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("naive overspend err = %v", err)
+	}
+	if err := b.Spend(worker.Expert, 1); err != nil {
+		t.Fatalf("expert spend: %v", err)
+	}
+	// The expert cap covers every non-naïve class.
+	if err := b.Spend(worker.Class(2), 1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("class-2 overspend err = %v", err)
+	}
+}
+
+func TestBudgetMonetaryCapExact(t *testing.T) {
+	p := cost.Prices{Naive: 1, Expert: 10}
+	b := NewBudget(Limits{MaxCost: 25, Prices: p})
+	if err := b.Spend(worker.Naive, 5); err != nil { // cost 5
+		t.Fatal(err)
+	}
+	if err := b.Spend(worker.Expert, 2); err != nil { // cost 25 — exactly the cap
+		t.Fatalf("spend to exactly the cap should succeed: %v", err)
+	}
+	if err := b.Spend(worker.Naive, 1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if got := b.SpentCost(); got != 25 {
+		t.Fatalf("SpentCost = %g, want 25", got)
+	}
+}
+
+func TestBudgetAllOrNothing(t *testing.T) {
+	b := NewBudget(Limits{MaxTotal: 5})
+	if err := b.Spend(worker.Naive, 10); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if got := b.SpentTotal(); got != 0 {
+		t.Fatalf("refused spend leaked %d comparisons into the tally", got)
+	}
+}
+
+func TestBudgetRefund(t *testing.T) {
+	b := NewBudget(Limits{MaxTotal: 1})
+	if err := b.Spend(worker.Naive, 1); err != nil {
+		t.Fatal(err)
+	}
+	b.Refund(worker.Naive, 1)
+	if err := b.Spend(worker.Naive, 1); err != nil {
+		t.Fatalf("spend after refund: %v", err)
+	}
+}
+
+func TestBudgetConcurrentNeverExceedsCap(t *testing.T) {
+	const limit = 100
+	b := NewBudget(Limits{MaxTotal: limit})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Spend(worker.Naive, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.SpentTotal(); got != limit {
+		t.Fatalf("SpentTotal = %d, want exactly %d", got, limit)
+	}
+}
+
+func TestNilBudgetAdmitsEverything(t *testing.T) {
+	var b *Budget
+	if err := b.Spend(worker.Naive, 1<<40); err != nil {
+		t.Fatalf("nil budget refused: %v", err)
+	}
+	if b.SpentTotal() != 0 || b.Refusals() != 0 {
+		t.Fatal("nil budget reported spend")
+	}
+}
+
+func TestLimitsIsZero(t *testing.T) {
+	if !(Limits{}).IsZero() {
+		t.Fatal("zero Limits not IsZero")
+	}
+	if (Limits{MaxTotal: 1}).IsZero() {
+		t.Fatal("non-zero Limits reported IsZero")
+	}
+}

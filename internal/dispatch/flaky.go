@@ -1,0 +1,73 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"crowdmax/internal/rng"
+)
+
+// FlakyConfig configures fault and latency injection.
+type FlakyConfig struct {
+	// FailureRate is the probability in [0, 1] that a request fails with
+	// an error wrapping ErrBackendUnavailable instead of being forwarded.
+	FailureRate float64
+	// Latency is the fixed delay injected before every forwarded request.
+	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Seed seeds the deterministic fault/jitter stream.
+	Seed uint64
+}
+
+// Flaky decorates a backend with injected transient failures and latency —
+// the fault model of a real crowdsourcing platform (workers time out, HITs
+// expire, the HTTP round-trip is slow) made deterministic for testing. The
+// fault stream is drawn from a seeded rng under a mutex, so a sequential run
+// fails on the same requests every time.
+//
+// Injected delays honor ctx: cancellation during the sleep returns ctx.Err()
+// immediately, so a cancelled run never waits out the injected latency.
+type Flaky struct {
+	inner Backend
+	cfg   FlakyConfig
+
+	mu sync.Mutex
+	r  *rng.Source
+}
+
+// NewFlaky wraps inner with fault injection per cfg.
+func NewFlaky(inner Backend, cfg FlakyConfig) *Flaky {
+	return &Flaky{inner: inner, cfg: cfg, r: rng.New(cfg.Seed)}
+}
+
+// Answer implements Backend: it sleeps the injected latency (cancellable),
+// fails with probability FailureRate, and otherwise forwards to the inner
+// backend.
+func (f *Flaky) Answer(ctx context.Context, req Request) (Answer, error) {
+	f.mu.Lock()
+	fail := f.cfg.FailureRate > 0 && f.r.Bernoulli(f.cfg.FailureRate)
+	delay := f.cfg.Latency
+	if f.cfg.Jitter > 0 {
+		delay += time.Duration(f.r.Intn(int(f.cfg.Jitter)))
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return Answer{}, ctx.Err()
+		case <-t.C:
+		}
+	} else if err := ctx.Err(); err != nil {
+		return Answer{}, err
+	}
+	if fail {
+		return Answer{}, fmt.Errorf("dispatch: injected fault for pair (%d, %d): %w",
+			req.A.ID, req.B.ID, ErrBackendUnavailable)
+	}
+	return f.inner.Answer(ctx, req)
+}

@@ -1,0 +1,111 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"crowdmax/internal/obs"
+)
+
+// RetryConfig configures the retry/timeout/backoff decorator.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries per request (first attempt
+	// included); defaults to 3.
+	MaxAttempts int
+	// AttemptTimeout bounds each individual attempt (0 = no per-attempt
+	// deadline beyond the caller's ctx).
+	AttemptTimeout time.Duration
+	// BaseBackoff is the delay before the first retry; defaults to 10ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; defaults to 1s.
+	MaxBackoff time.Duration
+	// Multiplier scales the backoff between retries; defaults to 2.
+	Multiplier float64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.Multiplier < 1 {
+		c.Multiplier = 2
+	}
+	return c
+}
+
+// Retry decorates a backend with bounded retries, per-attempt timeouts and
+// exponential backoff — the standard resilience wrapper between an
+// algorithm and an unreliable answer source. Cancellation and budget
+// exhaustion are never retried: those are caller decisions, not transport
+// faults. Every retry increments the observability layer's retry counter
+// (when enabled) and the returned Answer's Retries field.
+type Retry struct {
+	inner Backend
+	cfg   RetryConfig
+}
+
+// NewRetry wraps inner with retry semantics per cfg.
+func NewRetry(inner Backend, cfg RetryConfig) *Retry {
+	return &Retry{inner: inner, cfg: cfg.withDefaults()}
+}
+
+// Answer implements Backend.
+func (r *Retry) Answer(ctx context.Context, req Request) (Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return Answer{}, err
+	}
+	backoff := r.cfg.BaseBackoff
+	var last error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if m := obs.Active(); m != nil {
+				m.Retry(1)
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return Answer{}, ctx.Err()
+			case <-t.C:
+			}
+			backoff = time.Duration(float64(backoff) * r.cfg.Multiplier)
+			if backoff > r.cfg.MaxBackoff {
+				backoff = r.cfg.MaxBackoff
+			}
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if r.cfg.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.cfg.AttemptTimeout)
+		}
+		ans, err := r.inner.Answer(actx, req)
+		cancel()
+		if err == nil {
+			ans.Retries += attempt
+			return ans, nil
+		}
+		last = err
+		if !retryable(ctx, err) {
+			return Answer{}, err
+		}
+	}
+	return Answer{}, fmt.Errorf("dispatch: %d attempts failed, last: %w", r.cfg.MaxAttempts, last)
+}
+
+// retryable reports whether err is worth another attempt: cancellation of
+// the caller's ctx and budget exhaustion are terminal, everything else —
+// including a per-attempt deadline while the caller's ctx is still live —
+// is treated as transient.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	return !errors.Is(err, ErrBudgetExhausted) && !errors.Is(err, context.Canceled)
+}

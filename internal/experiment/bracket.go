@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"crowdmax/internal/core"
@@ -43,7 +44,7 @@ func (c BracketConfig) withDefaults() BracketConfig {
 // (model, repetitions) pair; y is the average true rank of the bracket's
 // winner. Algorithm 1's rank on the same instances is included for
 // reference.
-func BracketAccuracy(cfg BracketConfig) (Figure, error) {
+func BracketAccuracy(ctx context.Context, cfg BracketConfig) (Figure, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return Figure{}, err
@@ -77,7 +78,7 @@ func BracketAccuracy(cfg BracketConfig) (Figure, error) {
 			run: func(cal instanceData, r *rng.Source) (int, error) {
 				w := worker.NewProbabilistic(cfg.ErrorProb, r.Child("w"))
 				o := tournament.NewOracle(w, worker.Naive, nil, nil)
-				best, err := core.TournamentMax(cal.items, o, core.BracketOptions{Repetitions: rep})
+				best, err := core.TournamentMax(ctx, cal.items, o, core.BracketOptions{Repetitions: rep})
 				if err != nil {
 					return 0, err
 				}
@@ -90,7 +91,7 @@ func BracketAccuracy(cfg BracketConfig) (Figure, error) {
 				w := &worker.Threshold{Delta: cal.deltaN,
 					Tie: worker.RandomTie{R: r.Child("w")}, R: r.Child("w")}
 				o := tournament.NewOracle(w, worker.Naive, nil, nil)
-				best, err := core.TournamentMax(cal.items, o, core.BracketOptions{Repetitions: rep})
+				best, err := core.TournamentMax(ctx, cal.items, o, core.BracketOptions{Repetitions: rep})
 				if err != nil {
 					return 0, err
 				}
@@ -107,7 +108,7 @@ func BracketAccuracy(cfg BracketConfig) (Figure, error) {
 				Tie: worker.RandomTie{R: r.Child("e")}, R: r.Child("e")}
 			no := tournament.NewOracle(nw, worker.Naive, nil, nil)
 			eo := tournament.NewOracle(ew, worker.Expert, nil, nil)
-			res, err := core.FindMax(cal.items, no, eo, core.FindMaxOptions{Un: cfg.Un})
+			res, err := core.FindMax(ctx, cal.items, no, eo, core.FindMaxOptions{Un: cfg.Un})
 			if err != nil {
 				return 0, err
 			}

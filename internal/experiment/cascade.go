@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"crowdmax/internal/core"
@@ -57,7 +58,7 @@ func (c CascadeConfig) withDefaults() CascadeConfig {
 // R²) and average true rank. The two-level baseline uses the coarse workers
 // for phase 1 and the fine workers for phase 2 — i.e. it pays the fine
 // price for everything the middle class would have absorbed.
-func CascadeExperiment(cfg CascadeConfig) (Figure, error) {
+func CascadeExperiment(ctx context.Context, cfg CascadeConfig) (Figure, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Us[0] < cfg.Us[1] || cfg.Us[1] < cfg.Us[2] || cfg.Us[2] < 1 {
 		return Figure{}, fmt.Errorf("experiment: cascade u values must be non-increasing and ≥ 1, got %v", cfg.Us)
@@ -104,7 +105,7 @@ func CascadeExperiment(cfg CascadeConfig) (Figure, error) {
 				U:      cfg.Us[l],
 			}
 		}
-		cres, err := core.CascadeFindMax(set.Items(), core.CascadeOptions{Levels: levels})
+		cres, err := core.CascadeFindMax(ctx, set.Items(), core.CascadeOptions{Levels: levels})
 		if err != nil {
 			return err
 		}
@@ -123,7 +124,7 @@ func CascadeExperiment(cfg CascadeConfig) (Figure, error) {
 			Tie: worker.RandomTie{R: r.Child("te")}, R: r.Child("te")}
 		no := tournament.NewOracle(nw, worker.Naive, ln, nil)
 		eo := tournament.NewOracle(ew, worker.Expert, le, nil)
-		tres, err := core.FindMax(set.Items(), no, eo, core.FindMaxOptions{Un: cfg.Us[0]})
+		tres, err := core.FindMax(ctx, set.Items(), no, eo, core.FindMaxOptions{Un: cfg.Us[0]})
 		if err != nil {
 			return err
 		}

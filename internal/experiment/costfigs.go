@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"crowdmax/internal/core"
@@ -32,9 +33,9 @@ func (c CostConfig) prices() cost.Prices {
 
 // Fig5 reproduces one panel of Figure 5: average monetary cost
 // C(n) = xe·ce + xn·cn as a function of n for the three approaches.
-func Fig5(cfg CostConfig) (Figure, error) {
+func Fig5(ctx context.Context, cfg CostConfig) (Figure, error) {
 	cfg = cfg.withDefaults()
-	points, err := measureComparisons(cfg.Sweep)
+	points, err := measureComparisons(ctx, cfg.Sweep)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -63,9 +64,9 @@ func Fig5(cfg CostConfig) (Figure, error) {
 // Fig9 reproduces one panel of Figure 9 (Appendix C): worst-case cost as a
 // function of n for the three approaches — theory bounds for Alg 1,
 // measured adversarial instances for 2-MaxFind.
-func Fig9(cfg CostConfig) (Figure, error) {
+func Fig9(ctx context.Context, cfg CostConfig) (Figure, error) {
 	cfg = cfg.withDefaults()
-	points, err := measureComparisons(cfg.Sweep)
+	points, err := measureComparisons(ctx, cfg.Sweep)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -110,7 +111,7 @@ func (c FactorCostConfig) withDefaults() FactorCostConfig {
 // Fig7 reproduces one panel of Figure 7: average cost of Alg 1 as a function
 // of n for each estimation factor. The paper's observation — cost scales
 // smoothly and roughly linearly in the factor — is the target shape.
-func Fig7(cfg FactorCostConfig) (Figure, error) {
+func Fig7(ctx context.Context, cfg FactorCostConfig) (Figure, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return Figure{}, err
@@ -132,7 +133,7 @@ func Fig7(cfg FactorCostConfig) (Figure, error) {
 		if err != nil {
 			return err
 		}
-		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("cost-f%g", factor)),
+		tr, err := runTrial(ctx, Alg1, cal, estimatedUn(cfg.Un, factor), cfg.Budget, r.Child(fmt.Sprintf("cost-f%g", factor)),
 			trialLabel("fig7", cfg.Ns[ni], trial))
 		if err != nil {
 			return err

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -37,7 +38,7 @@ func renderAcrossWidths(t *testing.T, name string, render func(workers int) ([]b
 
 func TestFig3DeterministicAcrossWorkers(t *testing.T) {
 	renderAcrossWidths(t, "fig3", func(workers int) ([]byte, error) {
-		fig, err := Fig3(Sweep{Ns: []int{400}, Trials: 4, Seed: 99, Workers: workers})
+		fig, err := Fig3(context.Background(), Sweep{Ns: []int{400}, Trials: 4, Seed: 99, Workers: workers})
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +52,7 @@ func TestFig3DeterministicAcrossWorkers(t *testing.T) {
 
 func TestFig5DeterministicAcrossWorkers(t *testing.T) {
 	renderAcrossWidths(t, "fig5", func(workers int) ([]byte, error) {
-		fig, err := Fig5(CostConfig{
+		fig, err := Fig5(context.Background(), CostConfig{
 			Sweep: Sweep{Ns: []int{400}, Trials: 3, Seed: 7, Workers: workers},
 			CE:    10,
 		})
@@ -71,7 +72,7 @@ func TestTable1DeterministicAcrossWorkers(t *testing.T) {
 		t.Skip("platform simulation is slow")
 	}
 	renderAcrossWidths(t, "table1", func(workers int) ([]byte, error) {
-		tab, err := Table1(CrowdConfig{N: 20, Seed: 3, Spammers: 2, Parallel: workers})
+		tab, err := Table1(context.Background(), CrowdConfig{N: 20, Seed: 3, Spammers: 2, Parallel: workers})
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +94,7 @@ func BenchmarkFig3Parallel(b *testing.B) {
 		s.Workers = workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := Fig3(s); err != nil {
+				if _, err := Fig3(context.Background(), s); err != nil {
 					b.Fatal(err)
 				}
 			}

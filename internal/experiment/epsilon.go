@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"crowdmax/internal/core"
@@ -32,7 +33,7 @@ func (c EpsilonConfig) withDefaults() EpsilonConfig {
 
 // EpsilonSweep measures the average true rank returned by Algorithm 1 as a
 // function of the residual error ε, one curve per input size.
-func EpsilonSweep(cfg EpsilonConfig) (Figure, error) {
+func EpsilonSweep(ctx context.Context, cfg EpsilonConfig) (Figure, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return Figure{}, err
@@ -65,7 +66,7 @@ func EpsilonSweep(cfg EpsilonConfig) (Figure, error) {
 			Tie: worker.RandomTie{R: er.Child("e")}, R: er.Child("e")}
 		no := tournament.NewOracle(nw, worker.Naive, nil, nil)
 		eo := tournament.NewOracle(ew, worker.Expert, nil, nil)
-		res, err := core.FindMax(cal.Set.Items(), no, eo, core.FindMaxOptions{Un: cfg.Un})
+		res, err := core.FindMax(ctx, cal.Set.Items(), no, eo, core.FindMaxOptions{Un: cfg.Un})
 		if err != nil {
 			return err
 		}

@@ -10,11 +10,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"crowdmax/internal/core"
 	"crowdmax/internal/cost"
 	"crowdmax/internal/dataset"
+	"crowdmax/internal/dispatch"
 	"crowdmax/internal/obs"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/tournament"
@@ -67,19 +69,26 @@ type Trial struct {
 	MaxRetained bool
 }
 
-// runTrial executes one approach on a calibrated instance. unEst is the
-// un(n) estimate given to Alg 1 (ignored by the baselines); tie breaking is
-// uniformly random, matching the paper's simulation setup. label names the
-// trial for the observability trace (empty while observability is off); the
-// trial's replay seed — r.Seed(), the derived stream seed a deterministic
-// re-run reconstructs via rng.New(rootSeed).ChildN(...) — rides along on
-// every event so traces line up with replays.
-func runTrial(a Approach, cal dataset.Calibrated, unEst int, r *rng.Source, label string) (Trial, error) {
+// runTrial executes one approach on a calibrated instance under ctx. unEst
+// is the un(n) estimate given to Alg 1 (ignored by the baselines); tie
+// breaking is uniformly random, matching the paper's simulation setup. A
+// non-zero lim attaches a fresh per-trial budget to both oracles, so a
+// budget-truncated sweep reproduces deterministically trial by trial. label
+// names the trial for the observability trace (empty while observability is
+// off); the trial's replay seed — r.Seed(), the derived stream seed a
+// deterministic re-run reconstructs via rng.New(rootSeed).ChildN(...) —
+// rides along on every event so traces line up with replays.
+func runTrial(ctx context.Context, a Approach, cal dataset.Calibrated, unEst int, lim dispatch.Limits, r *rng.Source, label string) (Trial, error) {
 	ledger := cost.NewLedger()
 	naive := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r.Child("naive")}, R: r.Child("naive")}
 	expert := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("expert")}, R: r.Child("expert")}
 	no := tournament.NewOracle(naive, worker.Naive, ledger, nil)
 	eo := tournament.NewOracle(expert, worker.Expert, ledger, nil)
+	if !lim.IsZero() {
+		b := dispatch.NewBudget(lim)
+		no.WithBudget(b)
+		eo.WithBudget(b)
+	}
 	items := cal.Set.Items()
 	sc := obs.Trial(label, r.Seed())
 	if sc != nil {
@@ -96,7 +105,7 @@ func runTrial(a Approach, cal dataset.Calibrated, unEst int, r *rng.Source, labe
 	)
 	switch a {
 	case Alg1:
-		res, err := core.FindMax(items, no, eo, core.FindMaxOptions{Un: unEst})
+		res, err := core.FindMax(ctx, items, no, eo, core.FindMaxOptions{Un: unEst})
 		if err != nil {
 			return Trial{}, err
 		}
@@ -108,13 +117,13 @@ func runTrial(a Approach, cal dataset.Calibrated, unEst int, r *rng.Source, labe
 			}
 		}
 	case TwoMaxFindNaive:
-		best, err := core.TwoMaxFind(items, no)
+		best, err := core.TwoMaxFind(ctx, items, no)
 		if err != nil {
 			return Trial{}, err
 		}
 		bestID = best.ID
 	case TwoMaxFindExpert:
-		best, err := core.TwoMaxFind(items, eo)
+		best, err := core.TwoMaxFind(ctx, items, eo)
 		if err != nil {
 			return Trial{}, err
 		}
@@ -162,6 +171,11 @@ type Sweep struct {
 	// a fixed (n, trial, approach) order, so output is bit-for-bit
 	// identical for every value of Workers.
 	Workers int
+	// Budget caps every individual trial's comparison counts and monetary
+	// spend (zero = unlimited). Each trial gets a fresh budget, so a
+	// truncated sweep reproduces deterministically: the same seed and the
+	// same limits truncate the same trials at the same comparisons.
+	Budget dispatch.Limits
 }
 
 func (s Sweep) withDefaults() Sweep {

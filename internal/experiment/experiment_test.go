@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"crowdmax/internal/dataset"
+	"crowdmax/internal/dispatch"
 	"crowdmax/internal/rng"
 )
 
@@ -55,7 +57,7 @@ func TestRunTrialAllApproaches(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, a := range Approaches {
-		tr, err := runTrial(a, cal, 6, r.Child(a.String()), "")
+		tr, err := runTrial(context.Background(), a, cal, 6, dispatch.Limits{}, r.Child(a.String()), "")
 		if err != nil {
 			t.Fatalf("%v: %v", a, err)
 		}
@@ -86,7 +88,7 @@ func TestRunTrialUnknownApproach(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runTrial(Approach(42), cal, 3, r, ""); err == nil {
+	if _, err := runTrial(context.Background(), Approach(42), cal, 3, dispatch.Limits{}, r, ""); err == nil {
 		t.Fatal("unknown approach accepted")
 	}
 }
@@ -97,7 +99,7 @@ func TestRunTrialDeterministicPerSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr1, err := runTrial(Alg1, cal1, 6, r1.Child("t"), "")
+	tr1, err := runTrial(context.Background(), Alg1, cal1, 6, dispatch.Limits{}, r1.Child("t"), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestRunTrialDeterministicPerSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr2, err := runTrial(Alg1, cal2, 6, r2.Child("t"), "")
+	tr2, err := runTrial(context.Background(), Alg1, cal2, 6, dispatch.Limits{}, r2.Child("t"), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestRunTrialDeterministicPerSeed(t *testing.T) {
 
 func TestFig3ShapeAndOrdering(t *testing.T) {
 	s := Sweep{Ns: []int{300, 600}, Un: 8, Ue: 3, Trials: 8, Seed: 5}
-	fig, err := Fig3(s)
+	fig, err := Fig3(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestFig3ShapeAndOrdering(t *testing.T) {
 
 func TestFig4BoundsRespected(t *testing.T) {
 	s := smallSweep()
-	fig, err := Fig4(s)
+	fig, err := Fig4(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +182,11 @@ func TestFig5CrossoverWithExpertPrice(t *testing.T) {
 	// becomes much higher ... the savings can become tremendous." With a
 	// high ce, Alg 1 must beat 2-MaxFind-expert; with ce = 1 it must not.
 	s := Sweep{Ns: []int{600}, Un: 6, Ue: 3, Trials: 6, Seed: 7}
-	cheap, err := Fig5(CostConfig{Sweep: s, CE: 1})
+	cheap, err := Fig5(context.Background(), CostConfig{Sweep: s, CE: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	costly, err := Fig5(CostConfig{Sweep: s, CE: 200})
+	costly, err := Fig5(context.Background(), CostConfig{Sweep: s, CE: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +212,7 @@ func TestFig6UnderestimationDegradesAccuracy(t *testing.T) {
 		Sweep:   Sweep{Ns: []int{400}, Un: 10, Ue: 5, Trials: 12, Seed: 9},
 		Factors: []float64{0.2, 1, 2},
 	}
-	fig, err := Fig6(cfg)
+	fig, err := Fig6(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +237,7 @@ func TestFig7CostScalesWithFactor(t *testing.T) {
 		CostConfig: CostConfig{Sweep: Sweep{Ns: []int{400}, Un: 8, Ue: 3, Trials: 4, Seed: 13}, CE: 10},
 		Factors:    []float64{0.5, 1, 2},
 	}
-	fig, err := Fig7(cfg)
+	fig, err := Fig7(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +253,7 @@ func TestFig7CostScalesWithFactor(t *testing.T) {
 
 func TestFig9And10WorstCases(t *testing.T) {
 	s := smallSweep()
-	f9, err := Fig9(CostConfig{Sweep: s, CE: 10})
+	f9, err := Fig9(context.Background(), CostConfig{Sweep: s, CE: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +282,7 @@ func TestRetentionShape(t *testing.T) {
 		Sweep:   Sweep{Ns: []int{400, 800}, Un: 10, Ue: 5, Trials: 15, Seed: 17},
 		Factors: []float64{0.2, 0.8, 1},
 	}
-	res, err := Retention(cfg)
+	res, err := Retention(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ func TestEpsilonSweepShape(t *testing.T) {
 		Sweep:    Sweep{Ns: []int{400}, Un: 8, Ue: 3, Trials: 10, Seed: 21},
 		Epsilons: []float64{0, 0.2, 0.4},
 	}
-	fig, err := EpsilonSweep(cfg)
+	fig, err := EpsilonSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestEpsilonSweepValidation(t *testing.T) {
 		Sweep:    Sweep{Ns: []int{400}, Un: 8, Ue: 3, Trials: 2, Seed: 21},
 		Epsilons: []float64{0.6},
 	}
-	if _, err := EpsilonSweep(cfg); err == nil {
+	if _, err := EpsilonSweep(context.Background(), cfg); err == nil {
 		t.Fatal("ε ≥ 0.5 accepted")
 	}
 }
@@ -51,7 +52,7 @@ func TestCascadeExperimentShape(t *testing.T) {
 		Trials:     4,
 		Seed:       23,
 	}
-	fig, err := CascadeExperiment(cfg)
+	fig, err := CascadeExperiment(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,12 +77,12 @@ func TestCascadeExperimentShape(t *testing.T) {
 }
 
 func TestCascadeExperimentValidation(t *testing.T) {
-	if _, err := CascadeExperiment(CascadeConfig{
+	if _, err := CascadeExperiment(context.Background(), CascadeConfig{
 		Ns: []int{500}, Us: [3]int{5, 10, 2}, Trials: 1,
 	}); err == nil {
 		t.Fatal("increasing u accepted")
 	}
-	if _, err := CascadeExperiment(CascadeConfig{
+	if _, err := CascadeExperiment(context.Background(), CascadeConfig{
 		Ns: []int{50}, Us: [3]int{50, 10, 3}, Trials: 1,
 	}); err == nil {
 		t.Fatal("n < 4·u1 accepted")
@@ -89,7 +90,7 @@ func TestCascadeExperimentValidation(t *testing.T) {
 }
 
 func TestExtensionsRender(t *testing.T) {
-	fig, err := EpsilonSweep(EpsilonConfig{
+	fig, err := EpsilonSweep(context.Background(), EpsilonConfig{
 		Sweep:    Sweep{Ns: []int{400}, Un: 6, Ue: 2, Trials: 2, Seed: 29},
 		Epsilons: []float64{0, 0.1},
 	})
@@ -106,7 +107,7 @@ func TestExtensionsRender(t *testing.T) {
 }
 
 func TestStepsExperimentShape(t *testing.T) {
-	fig, err := StepsExperiment(Sweep{Ns: []int{256, 1024}, Un: 8, Ue: 3, Trials: 3, Seed: 41})
+	fig, err := StepsExperiment(context.Background(), Sweep{Ns: []int{256, 1024}, Un: 8, Ue: 3, Trials: 3, Seed: 41})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestStepsExperimentShape(t *testing.T) {
 }
 
 func TestBracketAccuracyShape(t *testing.T) {
-	fig, err := BracketAccuracy(BracketConfig{
+	fig, err := BracketAccuracy(context.Background(), BracketConfig{
 		Sweep:       Sweep{Ns: []int{512}, Un: 10, Ue: 4, Trials: 15, Seed: 43},
 		Repetitions: []int{1, 7},
 		ErrorProb:   0.2,
@@ -177,10 +178,10 @@ func TestBracketAccuracyShape(t *testing.T) {
 
 func TestBracketAccuracyValidation(t *testing.T) {
 	base := Sweep{Ns: []int{256}, Un: 8, Ue: 3, Trials: 1, Seed: 1}
-	if _, err := BracketAccuracy(BracketConfig{Sweep: base, Repetitions: []int{2}}); err == nil {
+	if _, err := BracketAccuracy(context.Background(), BracketConfig{Sweep: base, Repetitions: []int{2}}); err == nil {
 		t.Fatal("even repetitions accepted")
 	}
-	if _, err := BracketAccuracy(BracketConfig{Sweep: base, ErrorProb: 0.7}); err == nil {
+	if _, err := BracketAccuracy(context.Background(), BracketConfig{Sweep: base, ErrorProb: 0.7}); err == nil {
 		t.Fatal("error probability ≥ 0.5 accepted")
 	}
 }

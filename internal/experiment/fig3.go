@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -11,7 +12,7 @@ import (
 // Fig3 reproduces Figure 3: accuracy (average true rank of the returned
 // element) as a function of the input size n, for the three approaches of
 // Section 5.1, at fixed (un, ue). Rank 1 is perfect.
-func Fig3(s Sweep) (Figure, error) {
+func Fig3(ctx context.Context, s Sweep) (Figure, error) {
 	s = s.withDefaults()
 	if err := s.validate(); err != nil {
 		return Figure{}, err
@@ -40,7 +41,7 @@ func Fig3(s Sweep) (Figure, error) {
 		}
 		rs := make([]int, len(Approaches))
 		for ai, a := range Approaches {
-			tr, err := runTrial(a, cal, s.Un, r.Child(a.String()), trialLabel("fig3", s.Ns[ni], trial))
+			tr, err := runTrial(ctx, a, cal, s.Un, s.Budget, r.Child(a.String()), trialLabel("fig3", s.Ns[ni], trial))
 			if err != nil {
 				return err
 			}
@@ -92,7 +93,7 @@ func (c Fig6Config) withDefaults() Fig6Config {
 // mis-estimated by each factor. Overestimation costs money but not
 // accuracy; underestimation degrades accuracy because the maximum may be
 // filtered out.
-func Fig6(cfg Fig6Config) (Figure, error) {
+func Fig6(ctx context.Context, cfg Fig6Config) (Figure, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return Figure{}, err
@@ -113,7 +114,7 @@ func Fig6(cfg Fig6Config) (Figure, error) {
 		if err != nil {
 			return err
 		}
-		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("f%g", factor)),
+		tr, err := runTrial(ctx, Alg1, cal, estimatedUn(cfg.Un, factor), cfg.Budget, r.Child(fmt.Sprintf("f%g", factor)),
 			trialLabel("fig6", cfg.Ns[ni], trial))
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"crowdmax/internal/core"
@@ -28,7 +29,7 @@ type comparisonsPoint struct {
 
 // measureComparisons runs the sweep once and returns per-n comparison
 // counts; it is shared by Fig4 and the cost figures.
-func measureComparisons(s Sweep) ([]comparisonsPoint, error) {
+func measureComparisons(ctx context.Context, s Sweep) ([]comparisonsPoint, error) {
 	s = s.withDefaults()
 	if err := s.validate(); err != nil {
 		return nil, err
@@ -47,15 +48,15 @@ func measureComparisons(s Sweep) ([]comparisonsPoint, error) {
 			return err
 		}
 		label := trialLabel("fig4", s.Ns[ni], trial)
-		trA, err := runTrial(Alg1, cal, s.Un, r.Child("alg1"), label)
+		trA, err := runTrial(ctx, Alg1, cal, s.Un, s.Budget, r.Child("alg1"), label)
 		if err != nil {
 			return err
 		}
-		trN, err := runTrial(TwoMaxFindNaive, cal, s.Un, r.Child("2mf-naive"), label)
+		trN, err := runTrial(ctx, TwoMaxFindNaive, cal, s.Un, s.Budget, r.Child("2mf-naive"), label)
 		if err != nil {
 			return err
 		}
-		trE, err := runTrial(TwoMaxFindExpert, cal, s.Un, r.Child("2mf-expert"), label)
+		trE, err := runTrial(ctx, TwoMaxFindExpert, cal, s.Un, s.Budget, r.Child("2mf-expert"), label)
 		if err != nil {
 			return err
 		}
@@ -76,7 +77,7 @@ func measureComparisons(s Sweep) ([]comparisonsPoint, error) {
 	// expensive) run per n, also fanned out.
 	wcs := make([]float64, len(s.Ns))
 	if err := parallel.For(s.Workers, len(s.Ns), func(ni int) error {
-		wc, err := adversarialTwoMaxFind(s.Ns[ni], rng.New(s.Seed).ChildN("wc", s.Ns[ni]))
+		wc, err := adversarialTwoMaxFind(ctx, s.Ns[ni], rng.New(s.Seed).ChildN("wc", s.Ns[ni]))
 		if err != nil {
 			return err
 		}
@@ -113,7 +114,7 @@ func measureComparisons(s Sweep) ([]comparisonsPoint, error) {
 // paper's pivot-loses tie-breaking, which keeps every candidate alive
 // through the elimination passes and drives the count to the Θ(s^{3/2})
 // bound.
-func adversarialTwoMaxFind(n int, r *rng.Source) (float64, error) {
+func adversarialTwoMaxFind(ctx context.Context, n int, r *rng.Source) (float64, error) {
 	s, err := dataset.AdversarialIndistinguishable(n, 1)
 	if err != nil {
 		return 0, err
@@ -121,7 +122,7 @@ func adversarialTwoMaxFind(n int, r *rng.Source) (float64, error) {
 	ledger := cost.NewLedger()
 	w := &worker.Threshold{Delta: 1, Tie: worker.FirstLosesTie{}, R: r}
 	o := tournament.NewOracle(w, worker.Naive, ledger, nil)
-	if _, err := core.TwoMaxFind(s.Items(), o); err != nil {
+	if _, err := core.TwoMaxFind(ctx, s.Items(), o); err != nil {
 		return 0, err
 	}
 	return float64(ledger.Naive()), nil
@@ -132,8 +133,8 @@ func adversarialTwoMaxFind(n int, r *rng.Source) (float64, error) {
 // approaches. The paper plots the average 2-MaxFind counts of the naïve-only
 // and expert-only variants as one curve because they nearly coincide; we
 // keep them separate.
-func Fig4(s Sweep) (Figure, error) {
-	points, err := measureComparisons(s)
+func Fig4(ctx context.Context, s Sweep) (Figure, error) {
+	points, err := measureComparisons(ctx, s)
 	if err != nil {
 		return Figure{}, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -39,7 +40,7 @@ func (r RetentionResult) WriteText(w io.Writer) error {
 
 // Retention measures phase-1 max retention for each estimation factor over
 // the sweep.
-func Retention(cfg Fig6Config) (RetentionResult, error) {
+func Retention(ctx context.Context, cfg Fig6Config) (RetentionResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return RetentionResult{}, err
@@ -61,7 +62,7 @@ func Retention(cfg Fig6Config) (RetentionResult, error) {
 		if err != nil {
 			return err
 		}
-		tr, err := runTrial(Alg1, cal, estimatedUn(cfg.Un, factor), r.Child(fmt.Sprintf("ret-f%g", factor)),
+		tr, err := runTrial(ctx, Alg1, cal, estimatedUn(cfg.Un, factor), cfg.Budget, r.Child(fmt.Sprintf("ret-f%g", factor)),
 			trialLabel("retention", cfg.Ns[ni], trial))
 		if err != nil {
 			return err

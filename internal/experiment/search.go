@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -106,7 +107,7 @@ func (s SearchResult) WriteText(w io.Writer) error {
 // in phase 2, for each un; then naïve-only 2-MaxFind runs. The expected
 // shape: the best result is always promoted and found by the experts, while
 // the naïve-only approach rarely finds it.
-func SearchEval(cfg SearchConfig) (SearchResult, error) {
+func SearchEval(ctx context.Context, cfg SearchConfig) (SearchResult, error) {
 	cfg = cfg.withDefaults()
 	root := rng.New(cfg.Seed).Child("search")
 	queries := []dataset.SearchQuery{dataset.QueryAsymmetricTSP, dataset.QuerySteinerTree}
@@ -127,7 +128,7 @@ func SearchEval(cfg SearchConfig) (SearchResult, error) {
 			r := qr.ChildN("un", un)
 			sc := obs.Trial(trialLabel("search", qi, un), r.Seed())
 			naive := tournament.NewOracle(world.Worker(r.Child("naive")), worker.Naive, nil, tournament.NewMemo()).WithObs(sc)
-			candidates, err := core.Filter(set.Items(), naive, core.FilterOptions{Un: un})
+			candidates, err := core.Filter(ctx, set.Items(), naive, core.FilterOptions{Un: un})
 			if err != nil {
 				return err
 			}
@@ -139,7 +140,7 @@ func SearchEval(cfg SearchConfig) (SearchResult, error) {
 			}
 			ew := &worker.Threshold{Delta: cfg.DeltaE, Tie: worker.RandomTie{R: r.Child("exp")}, R: r.Child("exp")}
 			eo := tournament.NewOracle(ew, worker.Expert, nil, tournament.NewMemo()).WithObs(sc)
-			best, err := core.RunPhase2(candidates, eo, core.Phase2TwoMaxFind, core.RandomizedOptions{})
+			best, err := core.RunPhase2(ctx, candidates, eo, core.Phase2TwoMaxFind, core.RandomizedOptions{})
 			if err != nil {
 				return err
 			}
@@ -156,7 +157,7 @@ func SearchEval(cfg SearchConfig) (SearchResult, error) {
 			r := qr.ChildN("naiveonly", run)
 			naive := tournament.NewOracle(world.Worker(r), worker.Naive, nil, tournament.NewMemo()).
 				WithObs(obs.Trial(trialLabel("search-naive", qi, run), r.Seed()))
-			best, err := core.TwoMaxFind(set.Items(), naive)
+			best, err := core.TwoMaxFind(ctx, set.Items(), naive)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"crowdmax/internal/core"
@@ -23,7 +24,7 @@ import (
 // groups of one iteration could be merged into one batch — we count the
 // conservative per-group figure); 2-MaxFind takes two steps per pivot
 // round.
-func StepsExperiment(s Sweep) (Figure, error) {
+func StepsExperiment(ctx context.Context, s Sweep) (Figure, error) {
 	s = s.withDefaults()
 	if err := s.validate(); err != nil {
 		return Figure{}, err
@@ -55,7 +56,7 @@ func StepsExperiment(s Sweep) (Figure, error) {
 		ew := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("b")}, R: r.Child("b")}
 		no := tournament.NewOracle(nw, worker.Naive, l, nil)
 		eo := tournament.NewOracle(ew, worker.Expert, l, nil)
-		if _, err := core.FindMax(items, no, eo, core.FindMaxOptions{Un: s.Un}); err != nil {
+		if _, err := core.FindMax(ctx, items, no, eo, core.FindMaxOptions{Un: s.Un}); err != nil {
 			return err
 		}
 		steps[c][0] = float64(l.Steps())
@@ -63,7 +64,7 @@ func StepsExperiment(s Sweep) (Figure, error) {
 		l2 := cost.NewLedger()
 		ew2 := &worker.Threshold{Delta: cal.DeltaE, Tie: worker.RandomTie{R: r.Child("c")}, R: r.Child("c")}
 		eo2 := tournament.NewOracle(ew2, worker.Expert, l2, nil)
-		if _, err := core.TwoMaxFind(items, eo2); err != nil {
+		if _, err := core.TwoMaxFind(ctx, items, eo2); err != nil {
 			return err
 		}
 		steps[c][1] = float64(l2.Steps())
@@ -71,7 +72,7 @@ func StepsExperiment(s Sweep) (Figure, error) {
 		l3 := cost.NewLedger()
 		nw3 := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r.Child("d")}, R: r.Child("d")}
 		no3 := tournament.NewOracle(nw3, worker.Naive, l3, nil)
-		if _, err := core.TournamentMax(items, no3, core.BracketOptions{}); err != nil {
+		if _, err := core.TournamentMax(ctx, items, no3, core.BracketOptions{}); err != nil {
 			return err
 		}
 		steps[c][2] = float64(l3.Steps())

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -132,7 +133,7 @@ func (t CrowdTable) WriteText(w io.Writer) error {
 // naïve answers). Comparisons are submitted through the platform's batch
 // interface, so each tournament round is one logical step. It returns the
 // survivors and their final ranking (best first).
-func crowdRun(items []item.Item, gold []item.Item, world *worker.World, cfg CrowdConfig, r *rng.Source) (survivors []item.Item, ranking []item.Item, err error) {
+func crowdRun(ctx context.Context, items []item.Item, gold []item.Item, world *worker.World, cfg CrowdConfig, r *rng.Source) (survivors []item.Item, ranking []item.Item, err error) {
 	plat, err := platform.New(platform.Config{R: r.Child("platform")})
 	if err != nil {
 		return nil, nil, err
@@ -161,7 +162,7 @@ func crowdRun(items []item.Item, gold []item.Item, world *worker.World, cfg Crow
 	ledger := cost.NewLedger()
 	sc := obs.Trial("crowd", r.Seed())
 	naive := tournament.NewOracle(plat.BatchComparator(cfg.NaiveVotes), worker.Naive, ledger, tournament.NewMemo()).WithObs(sc)
-	survivors, err = core.Filter(items, naive, core.FilterOptions{Un: cfg.Un})
+	survivors, err = core.Filter(ctx, items, naive, core.FilterOptions{Un: cfg.Un})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -169,7 +170,10 @@ func crowdRun(items []item.Item, gold []item.Item, world *worker.World, cfg Crow
 	// "Last round": all-play-all among the survivors, judged by simulated
 	// experts, ranked by wins (stable on ties).
 	expert := tournament.NewOracle(plat.BatchComparator(cfg.ExpertVotes), worker.Expert, ledger, tournament.NewMemo()).WithObs(sc)
-	ranking = core.RankByWins(survivors, expert)
+	ranking, err = core.RankByWins(ctx, survivors, expert)
+	if err != nil {
+		return nil, nil, err
+	}
 	return survivors, ranking, nil
 }
 
@@ -205,7 +209,7 @@ func buildCrowdTable(title string, set *item.Set, rankings [][]item.Item, topK i
 // Table1 reproduces Table 1: the DOTS minimum-finding experiment. Naïve
 // workers follow the wisdom-of-crowds regime, so the simulated experts
 // (majority of 7) order the last round almost perfectly.
-func Table1(cfg CrowdConfig) (CrowdTable, error) {
+func Table1(ctx context.Context, cfg CrowdConfig) (CrowdTable, error) {
 	cfg = cfg.withDefaults()
 	root := rng.New(cfg.Seed).Child("table1")
 	set := dataset.Dots(cfg.N)
@@ -215,7 +219,7 @@ func Table1(cfg CrowdConfig) (CrowdTable, error) {
 	if err := parallel.For(cfg.Parallel, cfg.Experiments, func(e int) error {
 		r := root.ChildN("exp", e)
 		world := worker.NewWorld(worker.WisdomRegime{Sharpness: 5}, r.Child("world"))
-		_, ranking, err := crowdRun(set.Items(), gold, world, cfg, r)
+		_, ranking, err := crowdRun(ctx, set.Items(), gold, world, cfg, r)
 		if err != nil {
 			return fmt.Errorf("experiment %d: %w", e+1, err)
 		}
@@ -231,7 +235,7 @@ func Table1(cfg CrowdConfig) (CrowdTable, error) {
 // workers follow the plateau regime, so the top car reaches the last round
 // but the simulated experts cannot reliably identify it — the paper's
 // evidence that real experts are needed.
-func Table2(cfg CrowdConfig) (CrowdTable, *item.Set, error) {
+func Table2(ctx context.Context, cfg CrowdConfig) (CrowdTable, *item.Set, error) {
 	cfg = cfg.withDefaults()
 	root := rng.New(cfg.Seed).Child("table2")
 	catalogue, _, err := dataset.Cars(dataset.CarsConfig{}, root.Child("catalogue"))
@@ -247,7 +251,7 @@ func Table2(cfg CrowdConfig) (CrowdTable, *item.Set, error) {
 	if err := parallel.For(cfg.Parallel, cfg.Experiments, func(e int) error {
 		r := root.ChildN("exp", e)
 		world := worker.NewWorld(worker.PlateauRegime{Threshold: 0.2, Epsilon: 0.02}, r.Child("world"))
-		_, ranking, err := crowdRun(set.Items(), nil, world, cfg, r)
+		_, ranking, err := crowdRun(ctx, set.Items(), nil, world, cfg, r)
 		if err != nil {
 			return fmt.Errorf("experiment %d: %w", e+1, err)
 		}

@@ -1,12 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestTable1PaperShape(t *testing.T) {
-	tab, err := Table1(CrowdConfig{Seed: 1, Spammers: 3})
+	tab, err := Table1(context.Background(), CrowdConfig{Seed: 1, Spammers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestTable1PaperShape(t *testing.T) {
 }
 
 func TestTable1Rendering(t *testing.T) {
-	tab, err := Table1(CrowdConfig{Seed: 2})
+	tab, err := Table1(context.Background(), CrowdConfig{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestTable2PaperShape(t *testing.T) {
 	// experiments (in the paper, they failed in all).
 	experiments, failures, promoted := 0, 0, 0
 	for _, seed := range []uint64{1, 2, 3, 4, 5} {
-		tab, set, err := Table2(CrowdConfig{Seed: seed})
+		tab, set, err := Table2(context.Background(), CrowdConfig{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func TestTable2PaperShape(t *testing.T) {
 }
 
 func TestTable2TopRowsAreExpensiveCars(t *testing.T) {
-	tab, set, err := Table2(CrowdConfig{Seed: 3})
+	tab, set, err := Table2(context.Background(), CrowdConfig{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestCrowdConfigDefaults(t *testing.T) {
 }
 
 func TestSearchEvalPaperShape(t *testing.T) {
-	res, err := SearchEval(SearchConfig{Seed: 5})
+	res, err := SearchEval(context.Background(), SearchConfig{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

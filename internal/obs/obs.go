@@ -90,6 +90,11 @@ type Metrics struct {
 	poolDepth      atomic.Int64
 	poolBatchSizes Histogram
 	poolBusyNanos  [poolWorkerSlots]atomic.Int64
+
+	// Dispatch-layer counters: comparisons refused by a hard budget cap
+	// (per class) and transport-level retries spent by the retry backend.
+	budgetRefusals [NumClasses]atomic.Int64
+	dispatchRetry  atomic.Int64
 }
 
 // Comparisons records n paid comparisons by the given class.
@@ -144,6 +149,16 @@ func (m *Metrics) PoolSubmit(n int) {
 func (m *Metrics) PoolTaskDone(worker int, busyNanos int64) {
 	m.poolDepth.Add(-1)
 	m.poolBusyNanos[worker&(poolWorkerSlots-1)].Add(busyNanos)
+}
+
+// BudgetRefusal records one comparison request refused by a budget cap.
+func (m *Metrics) BudgetRefusal(class int) {
+	m.budgetRefusals[class&(NumClasses-1)].Add(1)
+}
+
+// Retry records n transport-level retries by the dispatch retry backend.
+func (m *Metrics) Retry(n int64) {
+	m.dispatchRetry.Add(n)
 }
 
 func phaseIndex(p Phase) int {
@@ -216,6 +231,17 @@ func (m *Metrics) Snapshot() map[string]any {
 		"queue_depth":    m.poolDepth.Load(),
 		"batch_sizes":    m.poolBatchSizes.Snapshot(),
 		"worker_busy_ns": busy,
+	}
+
+	refusals := make(map[string]int64)
+	for c := 0; c < NumClasses; c++ {
+		if n := m.budgetRefusals[c].Load(); n != 0 {
+			refusals[className(c)] = n
+		}
+	}
+	out["dispatch"] = map[string]any{
+		"budget_refusals": refusals,
+		"retries":         m.dispatchRetry.Load(),
 	}
 	return out
 }

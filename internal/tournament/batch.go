@@ -1,6 +1,9 @@
 package tournament
 
 import (
+	"context"
+	"sync/atomic"
+
 	"crowdmax/internal/item"
 	"crowdmax/internal/parallel"
 )
@@ -20,16 +23,28 @@ type BatchComparator interface {
 // for free, the remainder is forwarded to the underlying comparator — in
 // one call when it implements BatchComparator, element-wise otherwise —
 // and exactly one logical step is billed when anything is actually sent.
+// A batch submitted to a BatchComparator is pre-charged against the budget
+// all-or-nothing, so a hard cap is never exceeded even by a platform batch;
+// element-wise paths charge pair by pair through the dispatch seam.
 //
 // Duplicate pairs within one batch are asked only once when memoization is
 // enabled (the platform would be asked once and the answer reused), and
 // independently otherwise.
 //
+// On cancellation, budget exhaustion or backend failure CompareBatch
+// returns a nil slice and the error; comparisons already performed remain
+// billed (they really happened) and memoized.
+//
 // Observability counters are aggregated per batch: one atomic add for the
 // paid comparisons and one for the memo hits, instead of one per pair, so
 // the cost of an attached scope is negligible and the cost of a detached
 // one (the default) is a nil check.
-func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
+func (o *Oracle) CompareBatch(ctx context.Context, pairs [][2]item.Item) ([]item.Item, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	winners := make([]item.Item, len(pairs))
 	todo := make([]int, 0, len(pairs))
 	for i, p := range pairs {
@@ -47,12 +62,12 @@ func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
 	hits := int64(len(pairs) - len(todo))
 	if len(todo) == 0 {
 		o.observeBatch(0, hits)
-		return winners
+		return winners, nil
 	}
 	if o.ledger != nil {
 		o.ledger.Step()
 	}
-	if bc, ok := o.cmp.(BatchComparator); ok {
+	if bc, ok := o.cmp.(BatchComparator); ok && o.backend == nil {
 		var sub [][2]item.Item
 		var subIdx []int
 		var dups []int
@@ -75,6 +90,13 @@ func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
 				subIdx = append(subIdx, i)
 			}
 		}
+		// The whole platform batch is admitted or refused as a unit: a
+		// budget that cannot cover it refuses before anything is sent.
+		if o.budget != nil {
+			if err := o.budget.Spend(o.class, int64(len(sub))); err != nil {
+				return nil, err
+			}
+		}
 		res := bc.CompareBatch(sub)
 		for j, i := range subIdx {
 			o.settle(pairs[i], res[j], &winners[i])
@@ -87,12 +109,15 @@ func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
 			winners[i] = pick(pairs[i], w)
 		}
 		o.observeBatch(int64(len(subIdx)), hits+int64(len(dups)))
-		return winners
+		return winners, nil
 	}
 	if o.batchWorkers > 1 && len(todo) > 1 {
-		paid, dupHits := o.compareParallel(pairs, todo, winners)
+		paid, dupHits, err := o.compareParallel(ctx, pairs, todo, winners)
 		o.observeBatch(paid, hits+dupHits)
-		return winners
+		if err != nil {
+			return nil, err
+		}
+		return winners, nil
 	}
 	var paid int64
 	for _, i := range todo {
@@ -109,11 +134,19 @@ func (o *Oracle) CompareBatch(pairs [][2]item.Item) []item.Item {
 				continue
 			}
 		}
-		o.settle(p, o.cmp.Compare(p[0], p[1]), &winners[i])
+		w, err := o.ask(ctx, p[0], p[1])
+		if err != nil {
+			o.observeBatch(paid, hits)
+			return nil, err
+		}
 		paid++
+		if o.memo != nil {
+			o.memo.store(p[0].ID, p[1].ID, w.ID)
+		}
+		winners[i] = w
 	}
 	o.observeBatch(paid, hits)
-	return winners
+	return winners, nil
 }
 
 // observeBatch records one batch's aggregate counts on the attached
@@ -136,9 +169,12 @@ func (o *Oracle) observeBatch(paid, hits int64) {
 // Duplicate pairs are separated first when memoization is enabled — exactly
 // like the sequential path, which serves them as memo hits — so billing and
 // answers are identical to a sequential run whenever the comparator is
-// order-independent. Each worker writes only its own winners slot; ledger
-// and memo are concurrency-safe.
-func (o *Oracle) compareParallel(pairs [][2]item.Item, todo []int, winners []item.Item) (paid, dupHits int64) {
+// order-independent. Each worker writes only its own winners slot; ledger,
+// memo and budget are concurrency-safe. Every pair goes through the same
+// dispatch seam as Compare (ctx check, budget pre-charge, backend), so a
+// cancelled or exhausted run stops promptly; parallel.For reports the error
+// of the lowest failing index.
+func (o *Oracle) compareParallel(ctx context.Context, pairs [][2]item.Item, todo []int, winners []item.Item) (paid, dupHits int64, err error) {
 	sub := todo
 	var dups []int
 	if o.memo != nil {
@@ -154,12 +190,24 @@ func (o *Oracle) compareParallel(pairs [][2]item.Item, todo []int, winners []ite
 			sub = append(sub, i)
 		}
 	}
-	_ = parallel.For(o.batchWorkers, len(sub), func(j int) error {
+	var nPaid atomic.Int64
+	err = parallel.For(o.batchWorkers, len(sub), func(j int) error {
 		i := sub[j]
 		p := pairs[i]
-		o.settle(p, o.cmp.Compare(p[0], p[1]), &winners[i])
+		w, askErr := o.ask(ctx, p[0], p[1])
+		if askErr != nil {
+			return askErr
+		}
+		nPaid.Add(1)
+		if o.memo != nil {
+			o.memo.store(p[0].ID, p[1].ID, w.ID)
+		}
+		winners[i] = w
 		return nil
 	})
+	if err != nil {
+		return nPaid.Load(), 0, err
+	}
 	for _, i := range dups {
 		w, _ := o.memo.lookup(pairs[i][0].ID, pairs[i][1].ID)
 		if o.ledger != nil {
@@ -167,7 +215,7 @@ func (o *Oracle) compareParallel(pairs [][2]item.Item, todo []int, winners []ite
 		}
 		winners[i] = pick(pairs[i], w)
 	}
-	return int64(len(sub)), int64(len(dups))
+	return nPaid.Load(), int64(len(dups)), nil
 }
 
 // settle bills one fresh answer, memoizes it and records the winner.

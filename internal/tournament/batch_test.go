@@ -1,6 +1,7 @@
 package tournament
 
 import (
+	"context"
 	"testing"
 
 	"crowdmax/internal/cost"
@@ -32,7 +33,11 @@ func (r *recordingBatcher) CompareBatch(pairs [][2]item.Item) []item.Item {
 func TestCompareBatchEmpty(t *testing.T) {
 	l := cost.NewLedger()
 	o := NewOracle(worker.Truth, worker.Naive, l, nil)
-	if got := o.CompareBatch(nil); len(got) != 0 {
+	got, err := o.CompareBatch(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
 		t.Fatalf("empty batch returned %d winners", len(got))
 	}
 	if l.Steps() != 0 {
@@ -49,7 +54,10 @@ func TestCompareBatchSequentialFallback(t *testing.T) {
 		{it2(0, 1), it2(1, 2)},
 		{it2(2, 9), it2(3, 4)},
 	}
-	winners := o.CompareBatch(pairs)
+	winners, err := o.CompareBatch(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if winners[0].ID != 1 || winners[1].ID != 2 {
 		t.Fatalf("winners = %v", winners)
 	}
@@ -67,7 +75,10 @@ func TestCompareBatchUsesBatchComparator(t *testing.T) {
 		{it2(2, 9), it2(3, 4)},
 		{it2(4, 5), it2(5, 6)},
 	}
-	winners := o.CompareBatch(pairs)
+	winners, err := o.CompareBatch(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rb.batches != 1 || rb.pairs != 3 {
 		t.Fatalf("batcher saw %d batches / %d pairs", rb.batches, rb.pairs)
 	}
@@ -84,9 +95,9 @@ func TestCompareBatchMemoServesRepeats(t *testing.T) {
 	l := cost.NewLedger()
 	o := NewOracle(rb, worker.Naive, l, NewMemo())
 	pairs := [][2]item.Item{{it2(0, 1), it2(1, 2)}}
-	o.CompareBatch(pairs)
+	mustBatch(t, o, pairs)
 	// Second batch fully memoized: no step, no forwarding, a memo hit.
-	o.CompareBatch(pairs)
+	mustBatch(t, o, pairs)
 	if rb.batches != 1 {
 		t.Fatalf("memoized batch forwarded: %d batches", rb.batches)
 	}
@@ -101,7 +112,7 @@ func TestCompareBatchDedupesWithinBatch(t *testing.T) {
 	o := NewOracle(rb, worker.Naive, l, NewMemo())
 	p := [2]item.Item{it2(0, 1), it2(1, 2)}
 	rev := [2]item.Item{it2(1, 2), it2(0, 1)}
-	winners := o.CompareBatch([][2]item.Item{p, p, rev})
+	winners := mustBatch(t, o, [][2]item.Item{p, p, rev})
 	if rb.pairs != 1 {
 		t.Fatalf("duplicates not deduped: batcher saw %d pairs", rb.pairs)
 	}
@@ -120,7 +131,7 @@ func TestCompareBatchDuplicatesWithoutMemoAskedIndependently(t *testing.T) {
 	l := cost.NewLedger()
 	o := NewOracle(rb, worker.Naive, l, nil)
 	p := [2]item.Item{it2(0, 1), it2(1, 2)}
-	o.CompareBatch([][2]item.Item{p, p})
+	mustBatch(t, o, [][2]item.Item{p, p})
 	if rb.pairs != 2 {
 		t.Fatalf("without memo duplicates should be asked twice, saw %d", rb.pairs)
 	}
@@ -135,7 +146,7 @@ func TestCompareBatchMixedSequentialDuplicates(t *testing.T) {
 	l := cost.NewLedger()
 	o := NewOracle(worker.Truth, worker.Naive, l, NewMemo())
 	p := [2]item.Item{it2(0, 1), it2(1, 2)}
-	winners := o.CompareBatch([][2]item.Item{p, p})
+	winners := mustBatch(t, o, [][2]item.Item{p, p})
 	if winners[0].ID != 1 || winners[1].ID != 1 {
 		t.Fatalf("winners = %v", winners)
 	}
@@ -148,7 +159,7 @@ func TestRoundRobinStepsWithBatcher(t *testing.T) {
 	rb := &recordingBatcher{}
 	l := cost.NewLedger()
 	o := NewOracle(rb, worker.Naive, l, nil)
-	RoundRobin(items(1, 2, 3, 4, 5), o)
+	RoundRobin(context.Background(), items(1, 2, 3, 4, 5), o)
 	if rb.batches != 1 {
 		t.Fatalf("tournament used %d batches, want 1", rb.batches)
 	}
@@ -165,9 +176,9 @@ func TestRoundRobinConsistencyBatchVsSequential(t *testing.T) {
 	for i := range vals {
 		vals[i] = r.Float64()
 	}
-	seqRes := RoundRobin(items(vals...), NewOracle(worker.Truth, worker.Naive, nil, nil))
+	seqRes := mustRR(t, items(vals...), NewOracle(worker.Truth, worker.Naive, nil, nil))
 	rb := &recordingBatcher{}
-	batchRes := RoundRobin(items(vals...), NewOracle(rb, worker.Naive, nil, nil))
+	batchRes := mustRR(t, items(vals...), NewOracle(rb, worker.Naive, nil, nil))
 	for i := range seqRes.Wins {
 		if seqRes.Wins[i] != batchRes.Wins[i] {
 			t.Fatalf("wins diverge at %d: %d vs %d", i, seqRes.Wins[i], batchRes.Wins[i])
@@ -176,3 +187,14 @@ func TestRoundRobinConsistencyBatchVsSequential(t *testing.T) {
 }
 
 func it2(id int, v float64) item.Item { return item.Item{ID: id, Value: v} }
+
+// mustBatch runs CompareBatch under a background context and fails the test
+// on error.
+func mustBatch(t *testing.T, o *Oracle, pairs [][2]item.Item) []item.Item {
+	t.Helper()
+	winners, err := o.CompareBatch(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return winners
+}

@@ -1,6 +1,7 @@
 package tournament
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestMemoConcurrentAccess(t *testing.T) {
 			o := NewOracle(w, worker.Naive, ledger, memo)
 			for i := 0; i < perGoroutine; i++ {
 				a, b := items[i%10], items[(i+3)%10]
-				o.Compare(a, b)
+				o.Compare(context.Background(), a, b)
 			}
 		}(g)
 	}
@@ -54,8 +55,15 @@ func TestMemoConcurrentAccess(t *testing.T) {
 	o := NewOracle(worker.NewThreshold(10, 0, root.Child("final")), worker.Naive, nil, memo)
 	for i := 0; i < 10; i++ {
 		for j := i + 1; j < 10; j++ {
-			first := o.Compare(items[i], items[j])
-			if o.Compare(items[i], items[j]).ID != first.ID {
+			first, err := o.Compare(context.Background(), items[i], items[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := o.Compare(context.Background(), items[i], items[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if second.ID != first.ID {
 				t.Fatalf("pair (%d,%d) not frozen", i, j)
 			}
 		}
@@ -79,13 +87,20 @@ func TestParallelBatchConcurrentOracles(t *testing.T) {
 	ledger := cost.NewLedger()
 	w := &worker.Threshold{Delta: 100, Tie: worker.HashTie{Seed: 42}}
 	o := NewOracle(w, worker.Expert, ledger, NewMemo()).ParallelBatch(4)
-	want := o.CompareBatch(pairs)
+	want, err := o.CompareBatch(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var wg sync.WaitGroup
 	for g := 0; g < 32; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got := o.CompareBatch(pairs)
+			got, err := o.CompareBatch(context.Background(), pairs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
 			for i := range got {
 				if got[i].ID != want[i].ID {
 					t.Errorf("pair %d: got %d, want %d", i, got[i].ID, want[i].ID)

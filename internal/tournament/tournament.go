@@ -11,20 +11,33 @@
 // against adversarial tie-breaking: the pivot's tournament wins must carry
 // over to its elimination pass.
 //
+// # Dispatch
+//
+// Every comparison flows through the internal/dispatch layer: an Oracle
+// consults its hard Budget (when attached) before performing a comparison,
+// checks its context for cancellation, and — when a dispatch.Backend is
+// attached — submits the comparison as a cancellable, fallible request
+// instead of calling the in-process comparator directly. The default oracle
+// (no backend, no budget) keeps the historical hot path: a direct comparator
+// call behind nil checks.
+//
 // # Concurrency
 //
-// Memo, LossTracker, and Oracle's billing are safe for concurrent use: the
-// memo is sharded across independently locked stripes, the loss tracker is
-// mutex-guarded, and the ledger (cost.Ledger) is atomic. An Oracle may
-// therefore be shared by the goroutines of a parallel batch evaluation
-// provided its underlying worker.Comparator is itself safe for concurrent
-// use — see Oracle.ParallelBatch.
+// Memo, LossTracker, Budget, and Oracle's billing are safe for concurrent
+// use: the memo is sharded across independently locked stripes, the loss
+// tracker is mutex-guarded, the budget is mutex-guarded with all-or-nothing
+// spending, and the ledger (cost.Ledger) is atomic. An Oracle may therefore
+// be shared by the goroutines of a parallel batch evaluation provided its
+// underlying worker.Comparator (or dispatch.Backend) is itself safe for
+// concurrent use — see Oracle.ParallelBatch.
 package tournament
 
 import (
+	"context"
 	"sync"
 
 	"crowdmax/internal/cost"
+	"crowdmax/internal/dispatch"
 	"crowdmax/internal/item"
 	"crowdmax/internal/obs"
 	"crowdmax/internal/parallel"
@@ -118,16 +131,22 @@ func key(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
-// Oracle answers comparison requests by forwarding them to a worker
-// comparator, billing each paid comparison to a ledger under the worker's
-// class, and optionally serving repeats from a memo table for free.
+// Oracle answers comparison requests by dispatching them to a worker
+// comparator (or a dispatch.Backend), billing each paid comparison to a
+// ledger under the worker's class, and optionally serving repeats from a
+// memo table for free. A hard dispatch.Budget may be attached: every paid
+// comparison is pre-charged against it all-or-nothing, so a cap is never
+// exceeded, and a refused comparison surfaces dispatch.ErrBudgetExhausted
+// to the algorithm.
 //
-// The oracle's own bookkeeping (ledger, memo) is safe for concurrent use;
-// whether concurrent Compare calls are safe overall depends solely on the
-// underlying comparator. See ParallelBatch for the opt-in that lets
-// CompareBatch exploit this.
+// The oracle's own bookkeeping (ledger, memo, budget) is safe for
+// concurrent use; whether concurrent Compare calls are safe overall depends
+// solely on the underlying comparator or backend. See ParallelBatch for the
+// opt-in that lets CompareBatch exploit this.
 type Oracle struct {
 	cmp          worker.Comparator
+	backend      dispatch.Backend
+	budget       *dispatch.Budget
 	class        worker.Class
 	ledger       *cost.Ledger
 	memo         *Memo
@@ -140,6 +159,35 @@ type Oracle struct {
 func NewOracle(cmp worker.Comparator, class worker.Class, ledger *cost.Ledger, memo *Memo) *Oracle {
 	return &Oracle{cmp: cmp, class: class, ledger: ledger, memo: memo}
 }
+
+// NewBackendOracle binds a dispatch backend of the given class to a ledger;
+// every comparison is submitted as a dispatch request (cancellable,
+// fallible) instead of an in-process comparator call. memo may be nil to
+// disable memoization.
+func NewBackendOracle(b dispatch.Backend, class worker.Class, ledger *cost.Ledger, memo *Memo) *Oracle {
+	return &Oracle{backend: b, class: class, ledger: ledger, memo: memo}
+}
+
+// WithBackend routes the oracle's comparisons through b (replacing the
+// direct comparator call); returns the oracle for chaining. The underlying
+// comparator, if any, is still used for the BatchComparator fast path when b
+// is nil.
+func (o *Oracle) WithBackend(b dispatch.Backend) *Oracle {
+	o.backend = b
+	return o
+}
+
+// WithBudget attaches a hard spend budget: every paid comparison is
+// pre-charged against it and refused with dispatch.ErrBudgetExhausted once
+// a cap would be exceeded. Memo hits stay free. A nil budget (the default)
+// costs one nil check per comparison. Returns the oracle for chaining.
+func (o *Oracle) WithBudget(b *dispatch.Budget) *Oracle {
+	o.budget = b
+	return o
+}
+
+// Budget returns the attached budget, nil when unconstrained.
+func (o *Oracle) Budget() *dispatch.Budget { return o.budget }
 
 // ParallelBatch opts the oracle into evaluating the non-memoized remainder
 // of each CompareBatch concurrently on up to workers goroutines (workers ≤ 0
@@ -185,8 +233,12 @@ func (o *Oracle) Class() worker.Class { return o.class }
 func (o *Oracle) Memoized() bool { return o.memo != nil }
 
 // Compare returns the winner of the comparison, billing it unless served
-// from the memo.
-func (o *Oracle) Compare(a, b item.Item) item.Item {
+// from the memo. Memo hits are free and never consult the budget or the
+// context; a paid comparison first checks ctx, then pre-charges the budget
+// (all-or-nothing), then dispatches — through the backend when one is
+// attached, directly to the comparator otherwise. On a backend failure the
+// budget charge is refunded, so failed dispatches never consume spend.
+func (o *Oracle) Compare(ctx context.Context, a, b item.Item) (item.Item, error) {
 	if o.memo != nil {
 		if w, ok := o.memo.lookup(a.ID, b.ID); ok {
 			if o.ledger != nil {
@@ -196,14 +248,30 @@ func (o *Oracle) Compare(a, b item.Item) item.Item {
 				o.obs.Memo(int(o.class), 1, 0)
 			}
 			if w == a.ID {
-				return a
+				return a, nil
 			}
-			return b
+			return b, nil
 		}
 	}
-	winner := o.cmp.Compare(a, b)
-	if o.ledger != nil {
-		o.ledger.Charge(o.class)
+	var winner item.Item
+	if o.backend == nil && o.budget == nil {
+		// Hot path (default configuration): direct comparator call behind
+		// the cancellation check alone, no extra call frame.
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return item.Item{}, err
+			}
+		}
+		winner = o.cmp.Compare(a, b)
+		if o.ledger != nil {
+			o.ledger.Charge(o.class)
+		}
+	} else {
+		var err error
+		winner, err = o.ask(ctx, a, b)
+		if err != nil {
+			return item.Item{}, err
+		}
 	}
 	if o.obs != nil {
 		o.obs.Comparisons(int(o.class), 1)
@@ -214,7 +282,42 @@ func (o *Oracle) Compare(a, b item.Item) item.Item {
 	if o.memo != nil {
 		o.memo.store(a.ID, b.ID, winner.ID)
 	}
-	return winner
+	return winner, nil
+}
+
+// ask performs one paid (non-memoized) comparison: ctx check, budget
+// pre-charge, dispatch, ledger charge. The nil-backend, nil-budget path —
+// the default configuration and the hot path of every benchmark — costs two
+// nil checks and one ctx.Err() call on top of the historical direct
+// comparator call.
+func (o *Oracle) ask(ctx context.Context, a, b item.Item) (item.Item, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return item.Item{}, err
+		}
+	}
+	if o.budget != nil {
+		if err := o.budget.Spend(o.class, 1); err != nil {
+			return item.Item{}, err
+		}
+	}
+	var winner item.Item
+	if o.backend != nil {
+		ans, err := o.backend.Answer(ctx, dispatch.Request{A: a, B: b, Class: o.class})
+		if err != nil {
+			if o.budget != nil {
+				o.budget.Refund(o.class, 1)
+			}
+			return item.Item{}, err
+		}
+		winner = ans.Winner
+	} else {
+		winner = o.cmp.Compare(a, b)
+	}
+	if o.ledger != nil {
+		o.ledger.Charge(o.class)
+	}
+	return winner, nil
 }
 
 // Step records one logical step (batch round) on the oracle's ledger.
@@ -274,13 +377,14 @@ type RoundRobinOpts struct {
 // every unordered pair is compared exactly once. The whole tournament is
 // submitted as one batch of independent comparisons — a single logical step
 // in the Section 3 execution model. Result.Losers is not recorded; use
-// RoundRobinWith to opt in.
-func RoundRobin(items []item.Item, o *Oracle) Result {
-	return RoundRobinWith(items, o, RoundRobinOpts{})
+// RoundRobinWith to opt in. On cancellation or budget exhaustion the error
+// is returned and the Result is unusable.
+func RoundRobin(ctx context.Context, items []item.Item, o *Oracle) (Result, error) {
+	return RoundRobinWith(ctx, items, o, RoundRobinOpts{})
 }
 
 // RoundRobinWith is RoundRobin with options.
-func RoundRobinWith(items []item.Item, o *Oracle, opts RoundRobinOpts) Result {
+func RoundRobinWith(ctx context.Context, items []item.Item, o *Oracle, opts RoundRobinOpts) (Result, error) {
 	n := len(items)
 	if m := obs.Active(); m != nil {
 		m.ObserveGroup(n)
@@ -298,7 +402,10 @@ func RoundRobinWith(items []item.Item, o *Oracle, opts RoundRobinOpts) Result {
 			pairs = append(pairs, [2]item.Item{items[i], items[j]})
 		}
 	}
-	winners := o.CompareBatch(pairs)
+	winners, err := o.CompareBatch(ctx, pairs)
+	if err != nil {
+		return Result{}, err
+	}
 	p := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
@@ -316,7 +423,7 @@ func RoundRobinWith(items []item.Item, o *Oracle, opts RoundRobinOpts) Result {
 			p++
 		}
 	}
-	return r
+	return r, nil
 }
 
 // PivotPass compares pivot x against every element of candidates (skipping x
@@ -324,9 +431,11 @@ func RoundRobinWith(items []item.Item, o *Oracle, opts RoundRobinOpts) Result {
 // did NOT lose to x — and the IDs of the eliminated elements. This is
 // step 4 of 2-MaxFind: "Compare x against all candidate elements and
 // eliminate all elements that lose to x." The pivot itself always survives.
-func PivotPass(x item.Item, candidates []item.Item, o *Oracle) (survivors []item.Item, eliminated []int) {
+// On cancellation or budget exhaustion the error is returned with nil
+// survivors.
+func PivotPass(ctx context.Context, x item.Item, candidates []item.Item, o *Oracle) (survivors []item.Item, eliminated []int, err error) {
 	if len(candidates) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	pairs := make([][2]item.Item, 0, len(candidates))
 	for _, c := range candidates {
@@ -334,7 +443,10 @@ func PivotPass(x item.Item, candidates []item.Item, o *Oracle) (survivors []item
 			pairs = append(pairs, [2]item.Item{x, c})
 		}
 	}
-	winners := o.CompareBatch(pairs)
+	winners, err := o.CompareBatch(ctx, pairs)
+	if err != nil {
+		return nil, nil, err
+	}
 	survivors = make([]item.Item, 0, len(candidates))
 	p := 0
 	for _, c := range candidates {
@@ -349,7 +461,7 @@ func PivotPass(x item.Item, candidates []item.Item, o *Oracle) (survivors []item
 		}
 		p++
 	}
-	return survivors, eliminated
+	return survivors, eliminated, nil
 }
 
 // LossTracker implements the second Appendix A optimization: it counts, for

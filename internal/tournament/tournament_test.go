@@ -1,6 +1,7 @@
 package tournament
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -29,7 +30,7 @@ func TestRoundRobinGameCount(t *testing.T) {
 		for i := range vals {
 			vals[i] = float64(i)
 		}
-		res := RoundRobin(items(vals...), truthOracle(l, nil))
+		res := mustRR(t, items(vals...), truthOracle(l, nil))
 		want := int64(n * (n - 1) / 2)
 		if l.Naive() != want {
 			t.Errorf("n=%d: %d comparisons, want %d", n, l.Naive(), want)
@@ -46,7 +47,7 @@ func TestRoundRobinGameCount(t *testing.T) {
 
 func TestRoundRobinTruthRanking(t *testing.T) {
 	its := items(3, 9, 1, 7)
-	res := RoundRobin(its, truthOracle(cost.NewLedger(), nil))
+	res := mustRR(t, its, truthOracle(cost.NewLedger(), nil))
 	// With the truthful comparator, wins = n − rank.
 	wantWins := []int{1, 3, 0, 2}
 	for i, w := range res.Wins {
@@ -64,7 +65,7 @@ func TestRoundRobinTruthRanking(t *testing.T) {
 
 func TestRoundRobinLosersRecorded(t *testing.T) {
 	its := items(1, 2, 3)
-	res := RoundRobinWith(its, truthOracle(cost.NewLedger(), nil), RoundRobinOpts{RecordLosers: true})
+	res := mustRRWith(t, its, truthOracle(cost.NewLedger(), nil), RoundRobinOpts{RecordLosers: true})
 	if len(res.Losers[0]) != 2 { // value 1 loses to both
 		t.Fatalf("Losers[0] = %v", res.Losers[0])
 	}
@@ -76,12 +77,12 @@ func TestRoundRobinLosersRecorded(t *testing.T) {
 func TestRoundRobinLosersOptIn(t *testing.T) {
 	// Loser recording is opt-in: the plain entry point must not allocate
 	// the per-element loss lists it used to fill unconditionally.
-	res := RoundRobin(items(1, 2, 3, 4), truthOracle(cost.NewLedger(), nil))
+	res := mustRR(t, items(1, 2, 3, 4), truthOracle(cost.NewLedger(), nil))
 	if res.Losers != nil {
 		t.Fatalf("RoundRobin recorded losers without opt-in: %v", res.Losers)
 	}
 	// Wins are unaffected by the option.
-	with := RoundRobinWith(items(1, 2, 3, 4), truthOracle(cost.NewLedger(), nil), RoundRobinOpts{RecordLosers: true})
+	with := mustRRWith(t, items(1, 2, 3, 4), truthOracle(cost.NewLedger(), nil), RoundRobinOpts{RecordLosers: true})
 	for i := range res.Wins {
 		if res.Wins[i] != with.Wins[i] {
 			t.Fatalf("Wins diverge at %d: %d vs %d", i, res.Wins[i], with.Wins[i])
@@ -91,13 +92,13 @@ func TestRoundRobinLosersOptIn(t *testing.T) {
 
 func TestRoundRobinSingleLogicalStep(t *testing.T) {
 	l := cost.NewLedger()
-	RoundRobin(items(1, 2, 3, 4), truthOracle(l, nil))
+	mustRR(t, items(1, 2, 3, 4), truthOracle(l, nil))
 	if l.Steps() != 1 {
 		t.Fatalf("steps = %d, want 1", l.Steps())
 	}
 	// Degenerate tournaments are free.
 	l2 := cost.NewLedger()
-	RoundRobin(items(1), truthOracle(l2, nil))
+	mustRR(t, items(1), truthOracle(l2, nil))
 	if l2.Steps() != 0 {
 		t.Fatalf("singleton tournament recorded %d steps", l2.Steps())
 	}
@@ -112,7 +113,7 @@ func TestTopTiesBrokenByInputOrder(t *testing.T) {
 		return a
 	})
 	o := NewOracle(cycle, worker.Naive, cost.NewLedger(), nil)
-	res := RoundRobin(items(1, 2, 3), o)
+	res := mustRR(t, items(1, 2, 3), o)
 	if res.TopByWins().ID != 0 || res.MinByWins().ID != 0 {
 		t.Fatalf("tie break not by input order: top=%d min=%d",
 			res.TopByWins().ID, res.MinByWins().ID)
@@ -124,9 +125,9 @@ func TestMemoAvoidsRepeatBilling(t *testing.T) {
 	memo := NewMemo()
 	o := truthOracle(l, memo)
 	its := items(1, 2, 3, 4)
-	RoundRobin(its, o)
+	mustRR(t, its, o)
 	paid := l.Naive()
-	RoundRobin(its, o) // identical tournament: all answers memoized
+	mustRR(t, its, o) // identical tournament: all answers memoized
 	if l.Naive() != paid {
 		t.Fatalf("second tournament billed %d extra comparisons", l.Naive()-paid)
 	}
@@ -143,12 +144,12 @@ func TestMemoConsistentAnswers(t *testing.T) {
 	memo := NewMemo()
 	o := NewOracle(w, worker.Naive, cost.NewLedger(), memo)
 	a, b := item.Item{ID: 0, Value: 1}, item.Item{ID: 1, Value: 2}
-	first := o.Compare(a, b)
+	first := mustCompare(t, o, a, b)
 	for i := 0; i < 50; i++ {
-		if o.Compare(a, b).ID != first.ID {
+		if mustCompare(t, o, a, b).ID != first.ID {
 			t.Fatal("memoized answer changed")
 		}
-		if o.Compare(b, a).ID != first.ID {
+		if mustCompare(t, o, b, a).ID != first.ID {
 			t.Fatal("memoized answer depends on argument order")
 		}
 	}
@@ -160,7 +161,7 @@ func TestMemoConsistentAnswers(t *testing.T) {
 func TestOracleWithoutLedger(t *testing.T) {
 	o := NewOracle(worker.Truth, worker.Expert, nil, nil)
 	a, b := item.Item{ID: 0, Value: 1}, item.Item{ID: 1, Value: 2}
-	if o.Compare(a, b).ID != 1 {
+	if mustCompare(t, o, a, b).ID != 1 {
 		t.Fatal("nil-ledger oracle broken")
 	}
 	o.Step() // must not panic
@@ -173,7 +174,7 @@ func TestPivotPass(t *testing.T) {
 	its := items(5, 1, 9, 3, 7)
 	x := its[2] // value 9 beats everyone
 	l := cost.NewLedger()
-	surv, elim := PivotPass(x, its, truthOracle(l, nil))
+	surv, elim := mustPivot(t, x, its, truthOracle(l, nil))
 	if len(surv) != 1 || surv[0].ID != 2 {
 		t.Fatalf("survivors = %v", surv)
 	}
@@ -191,7 +192,7 @@ func TestPivotPass(t *testing.T) {
 func TestPivotPassKeepsWinners(t *testing.T) {
 	its := items(5, 1, 9, 3, 7)
 	x := its[0] // value 5: beats 1 and 3, loses to 9 and 7
-	surv, elim := PivotPass(x, its, truthOracle(cost.NewLedger(), nil))
+	surv, elim := mustPivot(t, x, its, truthOracle(cost.NewLedger(), nil))
 	if len(surv) != 3 {
 		t.Fatalf("survivors = %v", surv)
 	}
@@ -206,7 +207,7 @@ func TestPivotPassKeepsWinners(t *testing.T) {
 }
 
 func TestPivotPassEmpty(t *testing.T) {
-	surv, elim := PivotPass(item.Item{ID: 0}, nil, truthOracle(cost.NewLedger(), nil))
+	surv, elim := mustPivot(t, item.Item{ID: 0}, nil, truthOracle(cost.NewLedger(), nil))
 	if surv != nil || elim != nil {
 		t.Fatal("empty pass should be a no-op")
 	}
@@ -239,7 +240,7 @@ func TestLemma2Property(t *testing.T) {
 		}
 		w := worker.NewThreshold(2, 0, r) // all comparisons arbitrary
 		o := NewOracle(w, worker.Naive, nil, nil)
-		res := RoundRobin(items(vals...), o)
+		res := mustRR(t, items(vals...), o)
 		count := 0
 		for _, wins := range res.Wins {
 			if wins >= n-rr {
@@ -263,7 +264,7 @@ func TestWinsPlusLossesProperty(t *testing.T) {
 			vals[i] = r.Float64()
 		}
 		w := worker.NewThreshold(0.5, 0.3, r)
-		res := RoundRobinWith(items(vals...), NewOracle(w, worker.Naive, nil, nil),
+		res := mustRRWith(t, items(vals...), NewOracle(w, worker.Naive, nil, nil),
 			RoundRobinOpts{RecordLosers: true})
 		for i := range res.Items {
 			if res.Wins[i]+len(res.Losers[i]) != n-1 {
@@ -292,4 +293,45 @@ func TestOracleStepBillsLedger(t *testing.T) {
 	if l.Steps() != 1 {
 		t.Fatalf("steps = %d", l.Steps())
 	}
+}
+
+// mustRR, mustRRWith and mustPivot run the tournament primitives under a
+// background context and fail the test on error, keeping the happy-path
+// assertions uncluttered.
+func mustRR(t *testing.T, its []item.Item, o *Oracle) Result {
+	t.Helper()
+	res, err := RoundRobin(context.Background(), its, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustRRWith(t *testing.T, its []item.Item, o *Oracle, opts RoundRobinOpts) Result {
+	t.Helper()
+	res, err := RoundRobinWith(context.Background(), its, o, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustPivot(t *testing.T, x item.Item, its []item.Item, o *Oracle) ([]item.Item, []int) {
+	t.Helper()
+	surv, elim, err := PivotPass(context.Background(), x, its, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return surv, elim
+}
+
+// mustCompare asks the oracle under a background context, failing the test
+// on error.
+func mustCompare(t *testing.T, o *Oracle, a, b item.Item) item.Item {
+	t.Helper()
+	w, err := o.Compare(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
 }

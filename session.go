@@ -1,12 +1,20 @@
 package crowdmax
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"crowdmax/internal/core"
 	"crowdmax/internal/worker"
 )
+
+// ErrSessionBusy is returned by FindMax/FindMaxContext/EstimateUn when a
+// Session is entered concurrently. A Session accumulates costs in a single
+// ledger and is documented as not safe for concurrent use; the guard turns
+// silent data races into a crisp error.
+var ErrSessionBusy = errors.New("crowdmax: session already running (Session is not safe for concurrent use)")
 
 // Config assembles a Session: the two worker pools, the filter parameter,
 // and the pricing.
@@ -35,15 +43,45 @@ type Config struct {
 	// Rand drives the randomized phase 2 (only needed with
 	// RandomizedPhase2); defaults to a fixed-seed stream.
 	Rand *Rand
+	// Budget declares hard caps on comparison counts and monetary spend
+	// for each FindMax run; the zero value is unlimited. A capped run that
+	// hits a limit returns ErrBudgetExhausted (wrapped) alongside the
+	// best-so-far partial result, and never exceeds any cap by even one
+	// comparison.
+	Budget BudgetLimits
+	// NaiveBackend, when set, routes phase-1 comparisons through a dispatch
+	// backend (flaky, retrying, or a real platform adapter) instead of
+	// calling Naive in-process. Naive is still required: it remains the
+	// semantic reference for the worker class.
+	NaiveBackend Backend
+	// ExpertBackend is the phase-2 counterpart of NaiveBackend.
+	ExpertBackend Backend
 }
 
 // Session runs the two-phase algorithm with a fixed worker configuration
-// and accumulates costs across runs. Create one with NewSession. A Session
-// is not safe for concurrent use.
+// and accumulates costs across runs. Create one with NewSession.
+//
+// A Session is NOT safe for concurrent use: runs share one cost ledger and
+// the configured comparators are typically stateful (seeded random
+// streams). A cheap atomic guard enforces this — a reentrant or concurrent
+// FindMax/FindMaxContext/EstimateUn returns ErrSessionBusy instead of
+// racing.
 type Session struct {
 	cfg    Config
 	ledger *Ledger
+	inUse  atomic.Bool
 }
+
+// enter acquires the session's single-run slot.
+func (s *Session) enter() error {
+	if !s.inUse.CompareAndSwap(false, true) {
+		return ErrSessionBusy
+	}
+	return nil
+}
+
+// leave releases the slot acquired by enter.
+func (s *Session) leave() { s.inUse.Store(false) }
 
 // NewSession validates cfg and returns a ready Session.
 func NewSession(cfg Config) (*Session, error) {
@@ -61,9 +99,12 @@ func NewSession(cfg Config) (*Session, error) {
 
 // Result is the outcome of one Session.FindMax run.
 type Result struct {
-	// Best is the returned approximation of the maximum element.
+	// Best is the returned approximation of the maximum element. On a
+	// truncated run (cancellation, budget exhaustion) it is the phase-2
+	// best-so-far leader, or the zero Item when phase 2 never started.
 	Best Item
-	// Candidates is the phase-1 output S (|S| ≤ 2·un − 1).
+	// Candidates is the phase-1 output S (|S| ≤ 2·un − 1). On a truncated
+	// run it holds the survivors of the last completed filter iteration.
 	Candidates []Item
 	// NaiveComparisons and ExpertComparisons are this run's paid counts.
 	NaiveComparisons, ExpertComparisons int64
@@ -71,28 +112,45 @@ type Result struct {
 	Cost float64
 }
 
-// FindMax runs the two-phase algorithm on items.
+// FindMax runs the two-phase algorithm on items with no cancellation
+// deadline; see FindMaxContext.
 func (s *Session) FindMax(items []Item) (Result, error) {
+	return s.FindMaxContext(context.Background(), items)
+}
+
+// FindMaxContext runs the two-phase algorithm on items under ctx. The run
+// stops promptly on cancellation, and the Config.Budget caps (when set) are
+// enforced on every comparison. On cancellation or budget exhaustion the
+// returned Result carries the best-so-far partial answer and the true paid
+// costs alongside the error; use errors.Is(err, context.Canceled) and
+// errors.Is(err, ErrBudgetExhausted) to tell the causes apart.
+func (s *Session) FindMaxContext(ctx context.Context, items []Item) (Result, error) {
+	if err := s.enter(); err != nil {
+		return Result{}, err
+	}
+	defer s.leave()
 	runLedger := NewLedger()
 	var naiveMemo, expertMemo *Memo
 	if !s.cfg.DisableMemoization {
 		naiveMemo, expertMemo = NewMemo(), NewMemo()
 	}
-	no := NewOracle(s.cfg.Naive, Naive, runLedger, naiveMemo)
-	eo := NewOracle(s.cfg.Expert, Expert, runLedger, expertMemo)
+	no := NewOracle(s.cfg.Naive, Naive, runLedger, naiveMemo).WithBackend(s.cfg.NaiveBackend)
+	eo := NewOracle(s.cfg.Expert, Expert, runLedger, expertMemo).WithBackend(s.cfg.ExpertBackend)
+	if !s.cfg.Budget.IsZero() {
+		b := NewBudget(s.cfg.Budget)
+		no.WithBudget(b)
+		eo.WithBudget(b)
+	}
 	r := s.cfg.Rand
 	if r == nil {
 		r = NewRand(0)
 	}
-	res, err := core.FindMax(items, no, eo, core.FindMaxOptions{
+	res, err := core.FindMax(ctx, items, no, eo, core.FindMaxOptions{
 		Un:          s.cfg.Un,
 		Phase2:      s.cfg.Phase2,
 		TrackLosses: s.cfg.TrackLosses,
 		Randomized:  core.RandomizedOptions{R: r.Child("phase2")},
 	})
-	if err != nil {
-		return Result{}, err
-	}
 	s.ledger.Add(runLedger)
 	return Result{
 		Best:              res.Best,
@@ -100,7 +158,7 @@ func (s *Session) FindMax(items []Item) (Result, error) {
 		NaiveComparisons:  runLedger.Naive(),
 		ExpertComparisons: runLedger.Expert(),
 		Cost:              runLedger.Cost(s.cfg.Prices),
-	}, nil
+	}, err
 }
 
 // TotalCost returns the monetary cost accumulated across all FindMax runs
@@ -118,9 +176,13 @@ func (s *Session) TotalComparisons() (naive, expert int64) {
 // known (gold data), to be fed back into Config.Un. The estimation
 // comparisons are billed to the session like any other naïve work.
 func (s *Session) EstimateUn(training []Item, perr float64, n int) (int, error) {
+	if err := s.enter(); err != nil {
+		return 0, err
+	}
+	defer s.leave()
 	runLedger := NewLedger()
-	no := NewOracle(s.cfg.Naive, Naive, runLedger, nil)
-	est, err := core.EstimateUn(training, no, core.EstimateUnOptions{Perr: perr, N: n})
+	no := NewOracle(s.cfg.Naive, Naive, runLedger, nil).WithBackend(s.cfg.NaiveBackend)
+	est, err := core.EstimateUn(context.Background(), training, no, core.EstimateUnOptions{Perr: perr, N: n})
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package crowdmax
 
 import (
+	"context"
 	"testing"
 
 	"crowdmax/internal/dataset"
@@ -178,7 +179,7 @@ func TestFacadeAlgorithmsUsable(t *testing.T) {
 	set := NewSet([]float64{3, 1, 4, 1.5, 9, 2.6})
 	ledger := NewLedger()
 	o := NewOracle(Truth, Expert, ledger, NewMemo())
-	best, err := TwoMaxFind(set.Items(), o)
+	best, err := TwoMaxFind(context.Background(), set.Items(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestFacadeAlgorithmsUsable(t *testing.T) {
 	if ledger.Expert() == 0 {
 		t.Fatal("ledger not billed")
 	}
-	cand, err := Filter(set.Items(), NewOracle(NewThresholdWorker(0.5, 0, r), Naive, nil, nil), FilterOptions{Un: 1})
+	cand, err := Filter(context.Background(), set.Items(), NewOracle(NewThresholdWorker(0.5, 0, r), Naive, nil, nil), FilterOptions{Un: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestFacadeAlgorithmsUsable(t *testing.T) {
 	if !found {
 		t.Fatal("Filter dropped the maximum")
 	}
-	rbest, err := RandomizedMaxFind(set.Items(), NewOracle(Truth, Expert, nil, nil), RandomizedOptions{R: r})
+	rbest, err := RandomizedMaxFind(context.Background(), set.Items(), NewOracle(Truth, Expert, nil, nil), RandomizedOptions{R: r})
 	if err != nil || rbest.Value != 9 {
 		t.Fatalf("RandomizedMaxFind: %v, %v", rbest, err)
 	}
@@ -214,14 +215,14 @@ func TestFacadeEstimation(t *testing.T) {
 		t.Fatal(err)
 	}
 	naive := NewOracle(NewThresholdWorker(cal.DeltaN, 0, r.Child("w")), Naive, nil, nil)
-	perr, err := EstimatePerr(cal.Set.Items(), naive, EstimatePerrOptions{R: r.Child("p")})
+	perr, err := EstimatePerr(context.Background(), cal.Set.Items(), naive, EstimatePerrOptions{R: r.Child("p")})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if perr <= 0 || perr > 1 {
 		t.Fatalf("perr = %g", perr)
 	}
-	un, err := EstimateUn(cal.Set.Items(), naive, EstimateUnOptions{Perr: 0.5, N: 400})
+	un, err := EstimateUn(context.Background(), cal.Set.Items(), naive, EstimateUnOptions{Perr: 0.5, N: 400})
 	if err != nil {
 		t.Fatal(err)
 	}
