@@ -1,9 +1,9 @@
 GO ?= go
 
 # Concurrency-heavy packages CI runs under the race detector.
-RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/... ./internal/dispatch/...
+RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/... ./internal/dispatch/... ./internal/chaos/... ./internal/checkpoint/...
 
-.PHONY: build test race bench vet lint ci bench-smoke all clean
+.PHONY: build test race bench vet lint ci bench-smoke chaos-smoke all clean
 
 all: build vet test
 
@@ -19,12 +19,25 @@ race:
 
 # Mirror of .github/workflows/ci.yml: the test job's steps plus the
 # benchmark-smoke job. Green here means green there (modulo Go version).
-ci: vet lint build test race bench-smoke
+ci: vet lint build test race bench-smoke chaos-smoke
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkFig3Parallel -benchtime=1x ./internal/experiment
 	$(GO) run ./cmd/benchrun -quick -parallel=2 -benchout /tmp/bench-smoke.json fig3
 	$(GO) run ./cmd/benchcheck /tmp/bench-smoke.json
+
+# Crash-and-resume bit-identical check plus a poisoned-pool run: the same
+# steps as the CI chaos-smoke job.
+chaos-smoke:
+	rm -f /tmp/chaos-smoke.ck
+	$(GO) run ./cmd/maxcrowd -n 400 -seed 7 -checkpoint /tmp/chaos-smoke-clean.ck >/tmp/chaos-smoke-clean.out
+	$(GO) run ./cmd/maxcrowd -n 400 -seed 7 -checkpoint /tmp/chaos-smoke.ck -chaos crash:300 >/dev/null 2>&1; \
+		test $$? -ne 0 || { echo "chaos-smoke: crash run exited zero"; exit 1; }
+	$(GO) run ./cmd/maxcrowd -n 400 -seed 7 -checkpoint /tmp/chaos-smoke.ck -resume /tmp/chaos-smoke.ck >/tmp/chaos-smoke-resumed.out
+	diff /tmp/chaos-smoke-clean.out /tmp/chaos-smoke-resumed.out
+	$(GO) run ./cmd/maxcrowd -n 400 -seed 7 -chaos spammer:0.1 >/dev/null
+	$(GO) test -run 'TestAdversarySweepRetentionWithHealth' ./internal/experiment
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointRoundTrip -fuzztime 10s ./internal/checkpoint
 
 # Reduced per-figure benchmarks plus the parallel-engine benchmark.
 bench:

@@ -10,8 +10,9 @@
 // Experiments: fig2, fig3, fig4, fig5, fig6, fig7, fig9, fig10,
 // retention, table1, table2, search, majority, plus the extensions epsilon
 // (residual-error robustness), cascade (multi-class workers), steps (the
-// Section 3 time model) and bracket (the single-elimination baseline under
-// both error models).
+// Section 3 time model), bracket (the single-elimination baseline under
+// both error models) and adversary (phase-1 retention under poisoned
+// workers, with and without worker health tracking).
 //
 // Figures with multiple panels (3, 4, 5, 6, 7, 9, 10) print one block per
 // panel, matching the paper's layout: (un, ue) ∈ {(10, 5), (50, 10)} and,
@@ -81,7 +82,7 @@ func main() {
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 			"fig9", "fig10", "retention", "table1", "table2", "search",
-			"majority", "epsilon", "cascade", "steps", "bracket"}
+			"majority", "epsilon", "cascade", "steps", "bracket", "adversary"}
 	}
 	obsCleanup, err := setupObs()
 	if err != nil {
@@ -260,6 +261,8 @@ experiments:
   cascade    extension: three-class worker cascade vs two-level Algorithm 1
   steps      extension: logical steps (the Section 3 time model) vs n
   bracket    extension: single-elimination baseline under both error models
+  adversary  extension: phase-1 max retention under poisoned workers, with
+             and without gold-probe health tracking
   all        everything above
 
 flags:
@@ -483,6 +486,17 @@ func run(ctx context.Context, name string) error {
 			}
 		}
 		return nil
+	case "adversary":
+		cfg := experiment.AdversaryConfig{Seed: *seed, Workers: workers}
+		if *quick {
+			cfg.Trials = 10
+			cfg.Fractions = []float64{0, 0.2}
+		}
+		fig, err := experiment.AdversarySweep(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		return emit(fig)
 	case "cascade":
 		cfg := experiment.CascadeConfig{Seed: *seed, Trials: *trials, PriceRatio: 50, Workers: workers}
 		if *quick {

@@ -62,6 +62,7 @@ func TestRunEveryExperimentQuick(t *testing.T) {
 		"cascade":   "cascade",
 		"steps":     "Logical steps",
 		"bracket":   "Bracket baseline",
+		"adversary": "Adversarial sweep",
 	}
 	for name, want := range wants {
 		out := capture(t, func() error { return run(context.Background(), name) })

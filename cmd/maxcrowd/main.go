@@ -41,6 +41,10 @@ var (
 	traceOut = flag.String("trace-out", "", "write the structured JSONL event trace to this file")
 	budget   = flag.Float64("budget", 0, "hard cap on monetary spend (cn=1, ce from -ce); 0 = unlimited. A run that hits the cap stops with the best-so-far answer")
 	timeout  = flag.Duration("timeout", 0, "wall-clock deadline for the run (e.g. 30s); 0 = none")
+	ckPath   = flag.String("checkpoint", "", "write crash-recovery snapshots to this file (alg1 only; switches tie-breaking to an order-independent hash)")
+	ckEvery  = flag.Int("checkpoint-every", 500, "with -checkpoint: also snapshot every N paid comparisons, besides phase boundaries")
+	resumeCk = flag.String("resume", "", "resume a truncated alg1 run from this checkpoint file; flags must match the original run")
+	chaosArg = flag.String("chaos", "", "inject faults (alg1 only): comma-separated spec, e.g. crash:500, spammer:0.2, adversary, colluder:7, degrader:0.1:0.01")
 )
 
 func main() {
@@ -154,6 +158,16 @@ func run(ctx context.Context) error {
 		unEst = est
 	}
 
+	if *ckPath != "" || *resumeCk != "" || *chaosArg != "" {
+		if *algo != "alg1" || *topk > 1 {
+			return fmt.Errorf("-checkpoint/-resume/-chaos support -algo alg1 without -topk only")
+		}
+		if *par >= 1 {
+			return fmt.Errorf("-checkpoint/-resume/-chaos runs are sequential; drop -parallel")
+		}
+		return runSession(ctx, set, deltaN, deltaE, unEst, prices)
+	}
+
 	ledger := crowdmax.NewLedger()
 	no := crowdmax.NewOracle(naive, crowdmax.Naive, ledger, crowdmax.NewMemo())
 	eo := crowdmax.NewOracle(expert, crowdmax.Expert, ledger, crowdmax.NewMemo())
@@ -226,6 +240,91 @@ func run(ctx context.Context) error {
 	fmt.Printf("comparisons: %d naive, %d expert; cost C(n) = %.0f (cn=1, ce=%g)\n",
 		ledger.Naive(), ledger.Expert(), ledger.Cost(prices), *ce)
 	return nil
+}
+
+// runSession executes Algorithm 1 through a crowdmax.Session — the entry
+// point that supports checkpointing, resume, and chaos injection. Workers
+// use order-independent hash tie-breaking (as with -parallel) so a resumed
+// run replays to bit-identical results; all robustness notices go to stderr,
+// keeping stdout diffable between an uninterrupted run and a crash + resume.
+func runSession(ctx context.Context, set *crowdmax.Set, deltaN, deltaE float64, unEst int, prices crowdmax.Prices) error {
+	cfg := crowdmax.Config{
+		Naive:  &crowdmax.ThresholdWorker{Delta: deltaN, Tie: crowdmax.HashTie{Seed: *seed}},
+		Expert: &crowdmax.ThresholdWorker{Delta: deltaE, Tie: crowdmax.HashTie{Seed: *seed + 1}},
+		Un:     unEst,
+		Prices: prices,
+		Rand:   crowdmax.NewRand(*seed),
+	}
+	if *budget > 0 {
+		cfg.Budget = crowdmax.BudgetLimits{MaxCost: *budget, Prices: prices}
+	}
+	if *ckPath != "" {
+		cfg.Checkpoint = crowdmax.CheckpointConfig{Path: *ckPath, Every: *ckEvery}
+		fmt.Fprintf(os.Stderr, "maxcrowd: checkpointing to %s (every %d paid comparisons)\n", *ckPath, *ckEvery)
+	}
+	if *chaosArg != "" {
+		plan, err := crowdmax.ParseChaosPlan(*chaosArg)
+		if err != nil {
+			return err
+		}
+		plan.Seed = *seed
+		cfg.Chaos = &plan
+	}
+	s, err := crowdmax.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	var res crowdmax.Result
+	if *resumeCk != "" {
+		fmt.Fprintf(os.Stderr, "maxcrowd: resuming from %s\n", *resumeCk)
+		res, err = s.Resume(ctx, *resumeCk, set.Items())
+	} else {
+		res, err = s.FindMaxContext(ctx, set.Items())
+	}
+	if err != nil {
+		if errors.Is(err, crowdmax.ErrInjectedCrash) {
+			fmt.Fprintf(os.Stderr, "maxcrowd: spent before crash: %d naive, %d expert; cost %.2f\n",
+				res.NaiveComparisons, res.ExpertComparisons, res.Cost)
+			if *ckPath != "" {
+				fmt.Fprintf(os.Stderr, "maxcrowd: resume with -resume %s\n", *ckPath)
+			}
+			return fmt.Errorf("run crashed (injected): %w", err)
+		}
+		if terr := truncatedResult(err, res); terr != nil {
+			return terr
+		}
+		return err
+	}
+	fmt.Printf("phase 1 kept %d candidates\n", len(res.Candidates))
+	fmt.Printf("returned %q (value %.4g), true rank %d of %d\n",
+		label(res.Best), res.Best.Value, set.Rank(res.Best.ID), set.Len())
+	fmt.Printf("comparisons: %d naive, %d expert; cost C(n) = %.0f (cn=1, ce=%g)\n",
+		res.NaiveComparisons, res.ExpertComparisons, res.Cost, *ce)
+	return nil
+}
+
+// truncatedResult is truncated for Session runs, which carry their spend in
+// the Result rather than a shared ledger.
+func truncatedResult(err error, res crowdmax.Result) error {
+	var cause string
+	switch {
+	case errors.Is(err, crowdmax.ErrBudgetExhausted):
+		cause = "budget exhausted"
+	case errors.Is(err, context.Canceled):
+		cause = "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		cause = "timed out"
+	case errors.Is(err, crowdmax.ErrBackendUnavailable):
+		cause = "lost its backend"
+	default:
+		return nil
+	}
+	if res.Best.ID != 0 || res.Best.Label != "" {
+		fmt.Printf("best so far: %q (value %.4g)\n", label(res.Best), res.Best.Value)
+	}
+	fmt.Printf("spent before stopping: %d naive, %d expert; cost %.2f\n",
+		res.NaiveComparisons, res.ExpertComparisons, res.Cost)
+	return fmt.Errorf("run %s: %w", cause, err)
 }
 
 // truncated reports a budget-exhausted or cancelled run: the best-so-far

@@ -128,3 +128,67 @@ func TestRunTopK(t *testing.T) {
 		t.Fatalf("top-k output missing:\n%s", out)
 	}
 }
+
+func setRobustFlags(t *testing.T, ck string, every int, resume, chaos string) {
+	t.Helper()
+	oldCk, oldEvery, oldResume, oldChaos := *ckPath, *ckEvery, *resumeCk, *chaosArg
+	*ckPath, *ckEvery, *resumeCk, *chaosArg = ck, every, resume, chaos
+	t.Cleanup(func() { *ckPath, *ckEvery, *resumeCk, *chaosArg = oldCk, oldEvery, oldResume, oldChaos })
+}
+
+func TestRunCrashAndResumeMatchesCleanRun(t *testing.T) {
+	dir := t.TempDir()
+	setFlags(t, 300, "alg1", "uniform", 6, 3, false)
+
+	// Uninterrupted checkpointed run: the reference stdout.
+	setRobustFlags(t, dir+"/clean.ck", 64, "", "")
+	want, err := captureRun(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same run, killed after 200 comparisons by the crash injector.
+	path := dir + "/crash.ck"
+	setRobustFlags(t, path, 64, "", "crash:200")
+	if _, err := captureRun(t); err == nil || !strings.Contains(err.Error(), "crashed") {
+		t.Fatalf("crashed run: err = %v, want an injected crash", err)
+	}
+
+	// Resume from the snapshot: stdout must be byte-identical to the
+	// uninterrupted run.
+	setRobustFlags(t, path, 64, path, "")
+	got, err := captureRun(t)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if got != want {
+		t.Fatalf("resumed stdout differs from uninterrupted run:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+func TestRunWithSpammerChaos(t *testing.T) {
+	setFlags(t, 200, "alg1", "uniform", 6, 3, false)
+	setRobustFlags(t, "", 500, "", "spammer:0.1")
+	out, err := captureRun(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "returned") {
+		t.Fatalf("chaos run produced no result:\n%s", out)
+	}
+}
+
+func TestRunRobustFlagsRejectOtherModes(t *testing.T) {
+	setFlags(t, 100, "2mf-naive", "uniform", 5, 2, false)
+	setRobustFlags(t, t.TempDir()+"/x.ck", 64, "", "")
+	if _, err := captureRun(t); err == nil {
+		t.Fatal("-checkpoint accepted with a baseline algorithm")
+	}
+	setFlags(t, 100, "alg1", "uniform", 5, 2, false)
+	oldPar := *par
+	*par = 2
+	t.Cleanup(func() { *par = oldPar })
+	if _, err := captureRun(t); err == nil {
+		t.Fatal("-checkpoint accepted together with -parallel")
+	}
+}

@@ -1,0 +1,220 @@
+// Package chaos provides semantic fault injection for robustness testing:
+// adversarial worker personas and a deterministic crash injector, all as
+// dispatch.Backend decorators.
+//
+// internal/dispatch.Flaky models *transport* faults — requests that drop or
+// stall. This package models the faults the paper's threshold model warns
+// cannot be repaired by repetition: workers whose *answers* are wrong.
+// A Spammer answers uniformly at random; an Adversary inverts answers even
+// when the value difference exceeds its threshold; a Colluder promotes one
+// fixed target item; a Degrader starts honest and drifts toward randomness
+// as it serves more requests (worker fatigue). Each persona intercepts a
+// configurable fraction of requests and forwards the rest, so a single
+// decorator can also model a partially poisoned worker pool.
+//
+// The Crash injector kills a run after a fixed number of comparisons with an
+// error wrapping dispatch.ErrPermanent (never retried), which is how the
+// checkpoint/resume path is exercised end-to-end: run, crash
+// deterministically, resume from the last snapshot, and require a
+// bit-identical final answer.
+//
+// All injected randomness is drawn from seeded internal/rng streams under a
+// mutex, so a sequential run misbehaves identically on every replay.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"crowdmax/internal/dispatch"
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+)
+
+// ErrCrash marks answers refused by an injected crash. It wraps
+// dispatch.ErrPermanent, so retry decorators give up immediately — a crashed
+// process does not come back because you ask again.
+var ErrCrash = fmt.Errorf("chaos: injected crash: %w", dispatch.ErrPermanent)
+
+// PersonaConfig configures an adversarial persona decorator.
+type PersonaConfig struct {
+	// Fraction is the probability in (0, 1] that a request is intercepted
+	// by the persona instead of forwarded to the inner backend; values
+	// outside (0, 1) mean 1 (every request).
+	Fraction float64
+	// Seed seeds the persona's deterministic decision stream.
+	Seed uint64
+	// Delta is the Adversary's discernment threshold: intercepted pairs
+	// farther apart than Delta get the *wrong* answer.
+	Delta float64
+	// TargetID is the item the Colluder promotes.
+	TargetID int
+	// Rate is the Degrader's initial error probability; Drift is added per
+	// served request; MaxRate caps the drift (0 means 1).
+	Rate, Drift, MaxRate float64
+}
+
+// fraction returns the effective interception probability.
+func (c PersonaConfig) fraction() float64 {
+	if c.Fraction <= 0 || c.Fraction > 1 {
+		return 1
+	}
+	return c.Fraction
+}
+
+// persona is the shared decorator chassis: a seeded decision stream under a
+// mutex and an intercept function that produces the dishonest answer.
+type persona struct {
+	inner dispatch.Backend
+	cfg   PersonaConfig
+
+	mu     sync.Mutex
+	r      *rng.Source
+	served int64
+
+	// answer produces the persona's reply for an intercepted request;
+	// a false second return forwards to the inner backend after all
+	// (personas whose dishonesty is conditional, e.g. the Adversary below
+	// its threshold).
+	answer func(p *persona, req dispatch.Request) (item.Item, bool)
+}
+
+// Answer implements dispatch.Backend.
+func (p *persona) Answer(ctx context.Context, req dispatch.Request) (dispatch.Answer, error) {
+	p.mu.Lock()
+	p.served++
+	intercept := p.cfg.fraction() >= 1 || p.r.Bernoulli(p.cfg.fraction())
+	var (
+		winner item.Item
+		ok     bool
+	)
+	if intercept {
+		winner, ok = p.answer(p, req)
+	}
+	p.mu.Unlock()
+	if !intercept || !ok {
+		return p.inner.Answer(ctx, req)
+	}
+	if err := ctx.Err(); err != nil {
+		return dispatch.Answer{}, err
+	}
+	return dispatch.Answer{Winner: winner}, nil
+}
+
+// loser returns the less valuable element (the second on exact ties) — the
+// wrong answer to any comparison the threshold model lets a worker resolve.
+func loser(a, b item.Item) item.Item {
+	if a.Value < b.Value {
+		return a
+	}
+	return b
+}
+
+// NewSpammer decorates inner so intercepted comparisons are answered
+// uniformly at random regardless of the elements — the classic click-through
+// spammer that gold-question quality control exists to catch.
+func NewSpammer(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
+	return &persona{
+		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("spammer"),
+		answer: func(p *persona, req dispatch.Request) (item.Item, bool) {
+			if p.r.Bool() {
+				return req.A, true
+			}
+			return req.B, true
+		},
+	}
+}
+
+// NewAdversary decorates inner so intercepted comparisons whose value
+// difference exceeds cfg.Delta are answered with the *loser* — an inverted
+// answer exactly where the threshold model promises honesty. Pairs within
+// Delta are forwarded: below the threshold every answer is already
+// model-legal, so inversion there would be indistinguishable from honesty.
+func NewAdversary(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
+	return &persona{
+		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("adversary"),
+		answer: func(p *persona, req dispatch.Request) (item.Item, bool) {
+			if item.Distance(req.A, req.B) <= p.cfg.Delta {
+				return item.Item{}, false
+			}
+			return loser(req.A, req.B), true
+		},
+	}
+}
+
+// NewColluder decorates inner so every intercepted comparison involving the
+// target item reports the target as winner — a voting ring promoting one
+// entry. Comparisons not involving the target are forwarded untouched.
+func NewColluder(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
+	return &persona{
+		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("colluder"),
+		answer: func(p *persona, req dispatch.Request) (item.Item, bool) {
+			switch p.cfg.TargetID {
+			case req.A.ID:
+				return req.A, true
+			case req.B.ID:
+				return req.B, true
+			}
+			return item.Item{}, false
+		},
+	}
+}
+
+// NewDegrader decorates inner with an error rate that starts at cfg.Rate and
+// grows by cfg.Drift per served request up to cfg.MaxRate (default 1) —
+// worker fatigue. An erroneous answer is the loser of the pair; otherwise the
+// request is forwarded.
+func NewDegrader(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
+	return &persona{
+		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("degrader"),
+		answer: func(p *persona, req dispatch.Request) (item.Item, bool) {
+			rate := p.cfg.Rate + p.cfg.Drift*float64(p.served-1)
+			max := p.cfg.MaxRate
+			if max <= 0 || max > 1 {
+				max = 1
+			}
+			if rate > max {
+				rate = max
+			}
+			if rate > 0 && p.r.Bernoulli(rate) {
+				return loser(req.A, req.B), true
+			}
+			return item.Item{}, false
+		},
+	}
+}
+
+// Crash is a deterministic crash injector: backends wrapped by the same
+// Crash share one comparison counter, and every request past the configured
+// budget fails with ErrCrash. Deterministic for sequential runs — the
+// N+1'th dispatched comparison dies, whichever backend carries it — which is
+// what lets a test kill a run at an exact comparison index and then verify
+// that resume-from-checkpoint reproduces the uninterrupted answer.
+type Crash struct {
+	after   int64
+	n       atomic.Int64
+	crashed atomic.Bool
+}
+
+// NewCrash returns an injector that admits after answers and then fails
+// every subsequent request. after < 1 crashes immediately.
+func NewCrash(after int64) *Crash {
+	return &Crash{after: after}
+}
+
+// Wrap decorates b with this injector; multiple backends wrapped by one
+// Crash share the admission counter.
+func (c *Crash) Wrap(b dispatch.Backend) dispatch.Backend {
+	return dispatch.Func(func(ctx context.Context, req dispatch.Request) (dispatch.Answer, error) {
+		if c.n.Add(1) > c.after {
+			c.crashed.Store(true)
+			return dispatch.Answer{}, fmt.Errorf("after %d comparisons: %w", c.after, ErrCrash)
+		}
+		return b.Answer(ctx, req)
+	})
+}
+
+// Crashed reports whether the injector has refused at least one request.
+func (c *Crash) Crashed() bool { return c.crashed.Load() }

@@ -1,0 +1,251 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"crowdmax/internal/dispatch"
+	"crowdmax/internal/item"
+	"crowdmax/internal/worker"
+)
+
+func pair(aID int, aVal float64, bID int, bVal float64) dispatch.Request {
+	return dispatch.Request{
+		A: item.Item{ID: aID, Value: aVal},
+		B: item.Item{ID: bID, Value: bVal},
+	}
+}
+
+// truth answers every forwarded request correctly, and counts forwards.
+type truth struct{ calls int }
+
+func (t *truth) Answer(ctx context.Context, req dispatch.Request) (dispatch.Answer, error) {
+	t.calls++
+	return dispatch.Answer{Winner: worker.Truth.Compare(req.A, req.B)}, nil
+}
+
+func answers(t *testing.T, b dispatch.Backend, reqs []dispatch.Request) []int {
+	t.Helper()
+	out := make([]int, len(reqs))
+	for i, req := range reqs {
+		ans, err := b.Answer(context.Background(), req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if ans.Winner.ID != req.A.ID && ans.Winner.ID != req.B.ID {
+			t.Fatalf("request %d: winner %d is neither %d nor %d",
+				i, ans.Winner.ID, req.A.ID, req.B.ID)
+		}
+		out[i] = ans.Winner.ID
+	}
+	return out
+}
+
+func manyPairs(n int) []dispatch.Request {
+	reqs := make([]dispatch.Request, n)
+	for i := range reqs {
+		// A always beats B by a wide margin, with fresh IDs per request.
+		reqs[i] = pair(2*i, 10, 2*i+1, 1)
+	}
+	return reqs
+}
+
+func TestSpammerAnswersBothWays(t *testing.T) {
+	reqs := manyPairs(400)
+	got := answers(t, NewSpammer(&truth{}, PersonaConfig{Seed: 1}), reqs)
+	var wrong int
+	for i, id := range got {
+		if id == reqs[i].B.ID {
+			wrong++
+		}
+	}
+	// Uniform spam should be wrong about half the time; [100, 300] out of
+	// 400 is > 10 sigma of slack either way.
+	if wrong < 100 || wrong > 300 {
+		t.Fatalf("spammer wrong on %d/400 requests, want roughly half", wrong)
+	}
+}
+
+func TestSpammerFractionForwardsTheRest(t *testing.T) {
+	inner := &truth{}
+	reqs := manyPairs(400)
+	answers(t, NewSpammer(inner, PersonaConfig{Seed: 1, Fraction: 0.25}), reqs)
+	if inner.calls < 200 || inner.calls >= 400 {
+		t.Fatalf("inner answered %d/400 requests, want roughly 300", inner.calls)
+	}
+}
+
+func TestPersonaDeterministicPerSeed(t *testing.T) {
+	reqs := manyPairs(200)
+	a := answers(t, NewSpammer(&truth{}, PersonaConfig{Seed: 7, Fraction: 0.5}), reqs)
+	b := answers(t, NewSpammer(&truth{}, PersonaConfig{Seed: 7, Fraction: 0.5}), reqs)
+	c := answers(t, NewSpammer(&truth{}, PersonaConfig{Seed: 8, Fraction: 0.5}), reqs)
+	differs := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+		if a[i] != c[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 7 and 8 produced identical answer streams")
+	}
+}
+
+func TestAdversaryInvertsAboveDelta(t *testing.T) {
+	adv := NewAdversary(&truth{}, PersonaConfig{Seed: 1, Delta: 0.5})
+	// Far pair: the adversary must report the loser.
+	ans, err := adv.Answer(context.Background(), pair(1, 10, 2, 1))
+	if err != nil || ans.Winner.ID != 2 {
+		t.Fatalf("far pair: got winner %d, err %v; want loser 2", ans.Winner.ID, err)
+	}
+	// Close pair (distance ≤ delta): forwarded to the honest inner backend.
+	ans, err = adv.Answer(context.Background(), pair(3, 1.0, 4, 1.2))
+	if err != nil || ans.Winner.ID != 4 {
+		t.Fatalf("close pair: got winner %d, err %v; want honest 4", ans.Winner.ID, err)
+	}
+}
+
+func TestColluderPromotesTarget(t *testing.T) {
+	col := NewColluder(&truth{}, PersonaConfig{Seed: 1, TargetID: 5})
+	// Target present and weaker: still reported as winner, from either side.
+	for _, req := range []dispatch.Request{pair(5, 0.1, 9, 10), pair(9, 10, 5, 0.1)} {
+		ans, err := col.Answer(context.Background(), req)
+		if err != nil || ans.Winner.ID != 5 {
+			t.Fatalf("target pair: got winner %d, err %v; want target 5", ans.Winner.ID, err)
+		}
+	}
+	// Target absent: forwarded.
+	ans, err := col.Answer(context.Background(), pair(1, 10, 2, 1))
+	if err != nil || ans.Winner.ID != 1 {
+		t.Fatalf("non-target pair: got winner %d, err %v; want honest 1", ans.Winner.ID, err)
+	}
+}
+
+func TestDegraderDriftsTowardRandomness(t *testing.T) {
+	// Rate 0, no drift: permanently honest.
+	reqs := manyPairs(50)
+	got := answers(t, NewDegrader(&truth{}, PersonaConfig{Seed: 1}), reqs)
+	for i, id := range got {
+		if id != reqs[i].A.ID {
+			t.Fatalf("zero-rate degrader answered wrong at request %d", i)
+		}
+	}
+	// Rate 1: permanently wrong.
+	got = answers(t, NewDegrader(&truth{}, PersonaConfig{Seed: 1, Rate: 1}), reqs)
+	for i, id := range got {
+		if id != reqs[i].B.ID {
+			t.Fatalf("rate-1 degrader answered right at request %d", i)
+		}
+	}
+	// Drift 0.5 from 0: request 1 has rate 0 (honest), request 3+ has rate 1.
+	got = answers(t, NewDegrader(&truth{}, PersonaConfig{Seed: 1, Drift: 0.5}), reqs[:5])
+	if got[0] != reqs[0].A.ID {
+		t.Fatalf("fresh degrader answered wrong on its first request")
+	}
+	for i := 2; i < 5; i++ {
+		if got[i] != reqs[i].B.ID {
+			t.Fatalf("fatigued degrader answered right at request %d", i)
+		}
+	}
+	// MaxRate caps the drift.
+	inner := &truth{}
+	answers(t, NewDegrader(inner, PersonaConfig{Seed: 1, Drift: 1, MaxRate: 0.5}), manyPairs(200))
+	if inner.calls < 50 || inner.calls > 150 {
+		t.Fatalf("capped degrader forwarded %d/200, want roughly half", inner.calls)
+	}
+}
+
+func TestCrashSharedAcrossBackends(t *testing.T) {
+	c := NewCrash(3)
+	a, b := c.Wrap(&truth{}), c.Wrap(&truth{})
+	ctx := context.Background()
+	for i, backend := range []dispatch.Backend{a, b, a} {
+		if _, err := backend.Answer(ctx, pair(1, 2, 2, 1)); err != nil {
+			t.Fatalf("request %d within budget failed: %v", i, err)
+		}
+	}
+	if c.Crashed() {
+		t.Fatal("Crashed() true before the budget was exceeded")
+	}
+	_, err := b.Answer(ctx, pair(1, 2, 2, 1))
+	switch {
+	case err == nil:
+		t.Fatal("4th request survived a crash-after-3 injector")
+	case !errors.Is(err, ErrCrash):
+		t.Fatalf("crash error %v does not wrap ErrCrash", err)
+	case !errors.Is(err, dispatch.ErrPermanent):
+		t.Fatalf("crash error %v does not wrap dispatch.ErrPermanent", err)
+	}
+	if !c.Crashed() {
+		t.Fatal("Crashed() false after a refused request")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Plan
+		bad  bool
+	}{
+		{spec: "crash:500", want: Plan{CrashAfter: 500}},
+		{spec: "spammer", want: Plan{Persona: PersonaSpammer}},
+		{spec: "spammer:0.2", want: Plan{Persona: PersonaSpammer, Fraction: 0.2}},
+		{spec: "adversary:0.05", want: Plan{Persona: PersonaAdversary, Delta: 0.05}},
+		{spec: "colluder:7", want: Plan{Persona: PersonaColluder, TargetID: 7}},
+		{spec: "degrader:0.1:0.01", want: Plan{Persona: PersonaDegrader, Rate: 0.1, Drift: 0.01}},
+		{spec: "degrader", want: Plan{Persona: PersonaDegrader, Drift: 0.001}},
+		{spec: "spammer:0.2,crash:100", want: Plan{Persona: PersonaSpammer, Fraction: 0.2, CrashAfter: 100}},
+		{spec: "", bad: true},
+		{spec: "spammer:1.5", bad: true},
+		{spec: "crash:0", bad: true},
+		{spec: "colluder", bad: true},
+		{spec: "spammer,adversary", bad: true},
+		{spec: "gremlin", bad: true},
+	}
+	for _, tc := range cases {
+		got, err := ParsePlan(tc.spec)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("ParsePlan(%q) accepted a bad spec as %+v", tc.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParsePlan(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestPlanApplyWrapsNaiveOnly(t *testing.T) {
+	naive, expert := &truth{}, &truth{}
+	nb, eb, crash, err := Plan{Persona: PersonaSpammer, Seed: 1}.Apply(naive, expert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crash != nil {
+		t.Fatal("Apply returned a crash injector for a crash-free plan")
+	}
+	if eb != dispatch.Backend(expert) {
+		t.Fatal("persona plan decorated the expert backend")
+	}
+	if nb == dispatch.Backend(naive) {
+		t.Fatal("persona plan left the naive backend undecorated")
+	}
+
+	_, _, crash, err = Plan{CrashAfter: 5}.Apply(naive, expert)
+	if err != nil || crash == nil {
+		t.Fatalf("crash plan: crash=%v err=%v", crash, err)
+	}
+
+	if _, _, _, err := (Plan{Persona: "gremlin"}).Apply(naive, expert); err == nil {
+		t.Fatal("Apply accepted an unknown persona")
+	}
+}

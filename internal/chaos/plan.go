@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"crowdmax/internal/dispatch"
+)
+
+// Persona names an adversarial worker persona.
+type Persona string
+
+// The personas a Plan can inject.
+const (
+	PersonaNone      Persona = ""
+	PersonaSpammer   Persona = "spammer"
+	PersonaAdversary Persona = "adversary"
+	PersonaColluder  Persona = "colluder"
+	PersonaDegrader  Persona = "degrader"
+)
+
+// Plan is a declarative chaos configuration: which persona (if any) poisons
+// the naïve worker pool, with which parameters, plus an optional crash
+// injected after a fixed number of comparisons. The zero Plan injects
+// nothing. Plans are what Session.Config.Chaos and maxcrowd's -chaos flag
+// carry; Apply turns one into decorated backends.
+type Plan struct {
+	// Persona selects the adversarial persona applied to the naïve
+	// backend; PersonaNone applies no persona.
+	Persona Persona
+	// Fraction, Delta, TargetID, Rate, Drift, MaxRate parameterize the
+	// persona; see PersonaConfig.
+	Fraction             float64
+	Delta                float64
+	TargetID             int
+	Rate, Drift, MaxRate float64
+	// Seed seeds the persona's decision stream.
+	Seed uint64
+	// CrashAfter, when > 0, kills the run (both classes) with ErrCrash
+	// after that many dispatched comparisons.
+	CrashAfter int64
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool { return p.Persona != PersonaNone || p.CrashAfter > 0 }
+
+// Apply decorates the two class backends per the plan: the persona poisons
+// the naïve backend (the unvetted crowd; experts are assumed screened), and
+// the crash injector — sharing one counter — wraps both outermost. The
+// returned *Crash is nil when no crash is configured.
+func (p Plan) Apply(naive, expert dispatch.Backend) (nb, eb dispatch.Backend, crash *Crash, err error) {
+	nb, eb = naive, expert
+	cfg := PersonaConfig{
+		Fraction: p.Fraction, Seed: p.Seed, Delta: p.Delta,
+		TargetID: p.TargetID, Rate: p.Rate, Drift: p.Drift, MaxRate: p.MaxRate,
+	}
+	switch p.Persona {
+	case PersonaNone:
+	case PersonaSpammer:
+		nb = NewSpammer(nb, cfg)
+	case PersonaAdversary:
+		nb = NewAdversary(nb, cfg)
+	case PersonaColluder:
+		nb = NewColluder(nb, cfg)
+	case PersonaDegrader:
+		nb = NewDegrader(nb, cfg)
+	default:
+		return nil, nil, nil, fmt.Errorf("chaos: unknown persona %q", p.Persona)
+	}
+	if p.CrashAfter > 0 {
+		crash = NewCrash(p.CrashAfter)
+		nb, eb = crash.Wrap(nb), crash.Wrap(eb)
+	}
+	return nb, eb, crash, nil
+}
+
+// ParsePlan parses a comma-separated chaos spec — the -chaos flag syntax:
+//
+//	crash:N            crash after N comparisons
+//	spammer[:frac]     random answers on frac of requests (default all)
+//	adversary[:delta]  inverted answers above delta (default 0)
+//	colluder:id        promote item id
+//	degrader[:rate[:drift]]  drifting error rate (defaults 0, 0.001)
+//
+// At most one persona may appear; "crash:N" combines with any of them.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		name, args, _ := strings.Cut(tok, ":")
+		if name != "crash" && p.Persona != PersonaNone {
+			return Plan{}, fmt.Errorf("chaos: plan %q names more than one persona", spec)
+		}
+		switch name {
+		case "crash":
+			n, err := strconv.ParseInt(args, 10, 64)
+			if err != nil || n < 1 {
+				return Plan{}, fmt.Errorf("chaos: crash wants a positive count, got %q", tok)
+			}
+			p.CrashAfter = n
+		case "spammer":
+			p.Persona = PersonaSpammer
+			if args != "" {
+				f, err := strconv.ParseFloat(args, 64)
+				if err != nil || f <= 0 || f > 1 {
+					return Plan{}, fmt.Errorf("chaos: spammer fraction must be in (0, 1], got %q", tok)
+				}
+				p.Fraction = f
+			}
+		case "adversary":
+			p.Persona = PersonaAdversary
+			if args != "" {
+				d, err := strconv.ParseFloat(args, 64)
+				if err != nil || d < 0 {
+					return Plan{}, fmt.Errorf("chaos: adversary delta must be ≥ 0, got %q", tok)
+				}
+				p.Delta = d
+			}
+		case "colluder":
+			p.Persona = PersonaColluder
+			id, err := strconv.Atoi(args)
+			if err != nil || id < 0 {
+				return Plan{}, fmt.Errorf("chaos: colluder wants a target item ID, got %q", tok)
+			}
+			p.TargetID = id
+		case "degrader":
+			p.Persona = PersonaDegrader
+			p.Drift = 0.001
+			if args != "" {
+				parts := strings.SplitN(args, ":", 2)
+				r, err := strconv.ParseFloat(parts[0], 64)
+				if err != nil || r < 0 || r > 1 {
+					return Plan{}, fmt.Errorf("chaos: degrader rate must be in [0, 1], got %q", tok)
+				}
+				p.Rate = r
+				if len(parts) == 2 {
+					d, err := strconv.ParseFloat(parts[1], 64)
+					if err != nil || d < 0 {
+						return Plan{}, fmt.Errorf("chaos: degrader drift must be ≥ 0, got %q", tok)
+					}
+					p.Drift = d
+				}
+			}
+		default:
+			return Plan{}, fmt.Errorf("chaos: unknown injection %q (want crash:N, spammer, adversary, colluder:id, degrader)", name)
+		}
+	}
+	if !p.Enabled() {
+		return Plan{}, fmt.Errorf("chaos: empty plan %q", spec)
+	}
+	return p, nil
+}

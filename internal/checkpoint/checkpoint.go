@@ -1,0 +1,372 @@
+// Package checkpoint persists the state of a long max-finding run so a
+// crashed session can resume without repaying for answered comparisons.
+//
+// # What a snapshot holds, and why resume is replay
+//
+// A snapshot is not a serialized call stack. It records the run's
+// *knowledge*: the configuration fingerprint (seed, un, phase-2 choice,
+// items hash), the current phase and survivor set, the ledger counters and
+// budget spend so far, and — crucially — the full memo tables, i.e. every
+// pair's frozen answer per worker class. Session.Resume re-runs the
+// algorithm from the beginning with the memo tables primed: every
+// pre-checkpoint comparison is a free memo hit, the restored ledger carries
+// its paid count, and the first genuinely new comparison lands exactly where
+// the crashed run left off. With deterministic comparators (ε = 0 and an
+// order-independent tie policy such as worker.HashTie) the resumed run's
+// final answer, paid totals, and survivor sets are bit-identical to an
+// uninterrupted run — replay sidesteps serializing any in-flight algorithm
+// state, which is what makes the guarantee provable rather than hopeful.
+//
+// # Format
+//
+// The on-disk format is a fixed header — magic "CMCK", a version, the
+// payload length, and a CRC-32C checksum — followed by a little-endian
+// fixed-width payload. Decoding is strictly bounds-checked and fails closed:
+// a truncated, bit-flipped, or version-skewed file yields an error wrapping
+// ErrCorrupt, never a panic and never a silently wrong resume. Save writes
+// via a temp file in the target directory followed by an atomic rename, so
+// readers observe either the previous complete snapshot or the new one.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"crowdmax/internal/cost"
+)
+
+// ErrCorrupt marks a checkpoint file that failed validation — wrong magic,
+// unsupported version, truncation, checksum mismatch, or an inconsistent
+// payload. Every Decode/Load failure mode wraps it, so callers need exactly
+// one errors.Is check to distinguish "bad file" from I/O trouble.
+var ErrCorrupt = errors.New("checkpoint: corrupt or truncated checkpoint")
+
+// magic identifies a checkpoint file; version is the codec revision.
+const (
+	magic   = "CMCK"
+	version = 1
+
+	// headerSize = magic + u32 version + u32 crc + u64 payload length.
+	headerSize = 4 + 4 + 4 + 8
+
+	// maxStringLen bounds decoded string fields; maxPairs bounds decoded
+	// memo tables and survivor sets (an n=10^6 run has < 10^8 pairs asked;
+	// anything past this is a forged length, not a real run).
+	maxStringLen = 256
+	maxPairs     = 1 << 28
+)
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// PairAnswer is one memoized comparison: the unordered pair's item IDs and
+// the frozen winner ID.
+type PairAnswer struct {
+	A, B, Winner int64
+}
+
+// State is one snapshot of a session run. Fields divide into the
+// configuration fingerprint (Seed..ItemsHash — Resume refuses a snapshot
+// whose fingerprint does not match the session and items it is applied to),
+// progress markers (Phase, Survivors), restored accounting (ledger counters,
+// budget spend), and the replay substrate (the two memo tables).
+type State struct {
+	// Seed is the session's root rng seed; identical seeds are what make
+	// resumed and uninterrupted runs comparable at all.
+	Seed uint64
+	// Un, Phase2 and TrackLosses fingerprint the algorithm configuration.
+	Un          int
+	Phase2      int
+	TrackLosses bool
+	// NItems and ItemsHash fingerprint the input (count + FNV-1a over IDs
+	// and value bits).
+	NItems    int
+	ItemsHash uint64
+
+	// Phase labels the boundary or interval the snapshot was taken at
+	// ("start", "phase1", "done", or "interval").
+	Phase string
+	// Survivors holds the item IDs of the last known survivor set (the
+	// phase-1 output when taken at or past that boundary).
+	Survivors []int64
+
+	// Comparisons, MemoHits and Steps are the run ledger's counters at
+	// snapshot time.
+	Comparisons [cost.MaxClasses]int64
+	MemoHits    [cost.MaxClasses]int64
+	Steps       int64
+	// BudgetSpent and BudgetCost are the budget's admitted totals at
+	// snapshot time (zero when the run has no budget).
+	BudgetSpent [cost.MaxClasses]int64
+	BudgetCost  float64
+
+	// NaiveMemo and ExpertMemo are the frozen pair answers per class,
+	// sorted by (A, B) so encoding is deterministic.
+	NaiveMemo, ExpertMemo []PairAnswer
+}
+
+// SortPairs orders both memo tables by (A, B); Encode requires sorted tables
+// for byte-identical output across runs.
+func (s *State) SortPairs() {
+	for _, t := range [][]PairAnswer{s.NaiveMemo, s.ExpertMemo} {
+		sort.Slice(t, func(i, j int) bool {
+			if t[i].A != t[j].A {
+				return t[i].A < t[j].A
+			}
+			return t[i].B < t[j].B
+		})
+	}
+}
+
+// Encode renders the state in the versioned, checksummed binary format.
+func Encode(s *State) []byte {
+	var p payload
+	p.u64(s.Seed)
+	p.i64(int64(s.Un))
+	p.i64(int64(s.Phase2))
+	p.bool(s.TrackLosses)
+	p.i64(int64(s.NItems))
+	p.u64(s.ItemsHash)
+	p.str(s.Phase)
+	p.i64(int64(len(s.Survivors)))
+	for _, id := range s.Survivors {
+		p.i64(id)
+	}
+	for i := 0; i < cost.MaxClasses; i++ {
+		p.i64(s.Comparisons[i])
+	}
+	for i := 0; i < cost.MaxClasses; i++ {
+		p.i64(s.MemoHits[i])
+	}
+	p.i64(s.Steps)
+	for i := 0; i < cost.MaxClasses; i++ {
+		p.i64(s.BudgetSpent[i])
+	}
+	p.u64(math.Float64bits(s.BudgetCost))
+	for _, table := range [][]PairAnswer{s.NaiveMemo, s.ExpertMemo} {
+		p.i64(int64(len(table)))
+		for _, e := range table {
+			p.i64(e.A)
+			p.i64(e.B)
+			p.i64(e.Winner)
+		}
+	}
+
+	out := make([]byte, headerSize+len(p.b))
+	copy(out, magic)
+	binary.LittleEndian.PutUint32(out[4:], version)
+	binary.LittleEndian.PutUint32(out[8:], crc32.Checksum(p.b, castagnoli))
+	binary.LittleEndian.PutUint64(out[12:], uint64(len(p.b)))
+	copy(out[headerSize:], p.b)
+	return out
+}
+
+// Decode parses an encoded state, failing closed (ErrCorrupt, wrapped) on
+// any inconsistency. It never panics on hostile input: every read is
+// bounds-checked and every count validated against the remaining bytes
+// before allocation.
+func Decode(data []byte) (*State, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, v, version)
+	}
+	wantSum := binary.LittleEndian.Uint32(data[8:])
+	n := binary.LittleEndian.Uint64(data[12:])
+	if n != uint64(len(data)-headerSize) {
+		return nil, fmt.Errorf("%w: payload length %d does not match %d trailing bytes",
+			ErrCorrupt, n, len(data)-headerSize)
+	}
+	body := data[headerSize:]
+	if got := crc32.Checksum(body, castagnoli); got != wantSum {
+		return nil, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrCorrupt, wantSum, got)
+	}
+
+	r := reader{b: body}
+	s := &State{}
+	s.Seed = r.u64()
+	s.Un = int(r.i64())
+	s.Phase2 = int(r.i64())
+	s.TrackLosses = r.bool()
+	s.NItems = int(r.i64())
+	s.ItemsHash = r.u64()
+	s.Phase = r.str()
+	if n := r.count(8); n > 0 {
+		s.Survivors = make([]int64, n)
+		for i := range s.Survivors {
+			s.Survivors[i] = r.i64()
+		}
+	}
+	for i := 0; i < cost.MaxClasses; i++ {
+		s.Comparisons[i] = r.i64()
+	}
+	for i := 0; i < cost.MaxClasses; i++ {
+		s.MemoHits[i] = r.i64()
+	}
+	s.Steps = r.i64()
+	for i := 0; i < cost.MaxClasses; i++ {
+		s.BudgetSpent[i] = r.i64()
+	}
+	s.BudgetCost = math.Float64frombits(r.u64())
+	for _, table := range []*[]PairAnswer{&s.NaiveMemo, &s.ExpertMemo} {
+		if n := r.count(24); n > 0 {
+			*table = make([]PairAnswer, n)
+			for i := range *table {
+				(*table)[i] = PairAnswer{A: r.i64(), B: r.i64(), Winner: r.i64()}
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(r.b)-r.off)
+	}
+	return s, nil
+}
+
+// Save atomically writes the state to path: encode, write to a temp file in
+// the same directory, fsync, rename. An interrupted save leaves the previous
+// snapshot (or no file) behind, never a truncated one.
+func Save(path string, s *State) error {
+	s.SortPairs()
+	data := Encode(s)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(name, path)
+	}
+	if werr != nil {
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: save %s: %w", path, werr)
+	}
+	return nil
+}
+
+// Load reads and decodes the snapshot at path. Decoding failures wrap
+// ErrCorrupt; a missing file surfaces as the usual fs.ErrNotExist.
+func Load(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: load %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// payload is the append-side of the little-endian codec.
+type payload struct{ b []byte }
+
+func (p *payload) u64(v uint64) { p.b = binary.LittleEndian.AppendUint64(p.b, v) }
+func (p *payload) i64(v int64)  { p.u64(uint64(v)) }
+func (p *payload) bool(v bool) {
+	if v {
+		p.b = append(p.b, 1)
+	} else {
+		p.b = append(p.b, 0)
+	}
+}
+func (p *payload) str(s string) {
+	if len(s) > maxStringLen {
+		s = s[:maxStringLen]
+	}
+	p.i64(int64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// reader is the bounds-checked decode side; the first failure latches err
+// and every subsequent read returns zero, so decode loops need one error
+// check at the end.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.fail("need %d bytes at offset %d, have %d", n, r.off, len(r.b)-r.off)
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) bool() bool {
+	s := r.take(1)
+	return s != nil && s[0] != 0
+}
+
+func (r *reader) str() string {
+	n := r.count(1)
+	if n < 0 {
+		return ""
+	}
+	if n > maxStringLen {
+		r.fail("string length %d exceeds cap %d", n, maxStringLen)
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// count reads a length prefix and validates it against the remaining bytes
+// at elemSize bytes per element, so a forged length can never trigger a
+// huge allocation. Returns -1 after a latched error.
+func (r *reader) count(elemSize int) int64 {
+	n := r.i64()
+	if r.err != nil {
+		return -1
+	}
+	if n < 0 || n > maxPairs || n*int64(elemSize) > int64(len(r.b)-r.off) {
+		r.fail("count %d inconsistent with %d remaining bytes", n, len(r.b)-r.off)
+		return -1
+	}
+	return n
+}

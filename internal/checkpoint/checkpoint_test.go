@@ -1,0 +1,166 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sampleState exercises every field, including negative IDs and non-trivial
+// ledger/budget counters.
+func sampleState() *State {
+	s := &State{
+		Seed:        0xDEADBEEF,
+		Un:          8,
+		Phase2:      1,
+		TrackLosses: true,
+		NItems:      400,
+		ItemsHash:   0x1234_5678_9ABC_DEF0,
+		Phase:       "phase1",
+		Survivors:   []int64{3, 1, 15, 7},
+		Steps:       99,
+		BudgetCost:  12.75,
+		NaiveMemo: []PairAnswer{
+			{A: 5, B: 9, Winner: 9},
+			{A: 1, B: 2, Winner: 1},
+			{A: -3, B: 4, Winner: 4},
+		},
+		ExpertMemo: []PairAnswer{{A: 3, B: 7, Winner: 3}},
+	}
+	s.Comparisons[0] = 1234
+	s.Comparisons[1] = 56
+	s.MemoHits[0] = 78
+	s.BudgetSpent[0] = 1234
+	s.BudgetSpent[1] = 56
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleState()
+	want.SortPairs()
+	got, err := Decode(Encode(want))
+	if err != nil {
+		t.Fatalf("Decode(Encode(s)): %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := sampleState()
+	b := sampleState()
+	// Same logical state with memo tables in different input order must
+	// produce identical bytes after SortPairs (Save relies on this for the
+	// bit-identical-resume property).
+	b.NaiveMemo[0], b.NaiveMemo[2] = b.NaiveMemo[2], b.NaiveMemo[0]
+	a.SortPairs()
+	b.SortPairs()
+	if !reflect.DeepEqual(Encode(a), Encode(b)) {
+		t.Fatal("same state encoded to different bytes")
+	}
+}
+
+func TestZeroStateRoundTrip(t *testing.T) {
+	got, err := Decode(Encode(&State{}))
+	if err != nil {
+		t.Fatalf("Decode(Encode(zero)): %v", err)
+	}
+	if !reflect.DeepEqual(got, &State{}) {
+		t.Fatalf("zero state round trip mismatch: %+v", got)
+	}
+}
+
+func TestDecodeFailsClosedOnEveryByteFlip(t *testing.T) {
+	data := Encode(sampleState())
+	for i := range data {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x40
+		if _, err := Decode(mutated); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d/%d: err = %v, want ErrCorrupt", i, len(data), err)
+		}
+	}
+}
+
+func TestDecodeFailsClosedOnEveryTruncation(t *testing.T) {
+	data := Encode(sampleState())
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d/%d bytes: err = %v, want ErrCorrupt", n, len(data), err)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), data...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("one trailing byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsForgedLengths(t *testing.T) {
+	// A header that promises a huge payload must fail on the length check,
+	// not attempt the allocation.
+	data := Encode(&State{})
+	data = data[:headerSize]
+	data[12] = 0xFF
+	data[13] = 0xFF
+	data[19] = 0x7F
+	if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("forged payload length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "run.ck")
+	want := sampleState()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Load(Save(s)) mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Save leaves no temp files behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("snapshot dir holds %d entries, want only the snapshot", len(entries))
+	}
+	// Overwriting is atomic-by-rename: a second Save still yields one file.
+	want.Phase = "done"
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phase != "done" {
+		t.Fatalf("reloaded phase %q, want %q", got.Phase, "done")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "absent.ck"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want fs.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("missing file misreported as corruption")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ck")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage file: err = %v, want ErrCorrupt", err)
+	}
+}

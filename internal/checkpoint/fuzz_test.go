@@ -1,0 +1,45 @@
+package checkpoint
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzCheckpointRoundTrip is the fail-closed property: arbitrary bytes either
+// decode into a state that survives a re-encode/re-decode round trip, or are
+// rejected with an error wrapping ErrCorrupt — never a panic, never a silent
+// half-parse.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("CMCK"))
+	f.Add(Encode(&State{}))
+	f.Add(Encode(sampleState()))
+	big := sampleState()
+	for i := int64(0); i < 100; i++ {
+		big.NaiveMemo = append(big.NaiveMemo, PairAnswer{A: i, B: i + 1, Winner: i})
+	}
+	f.Add(Encode(big))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		// Valid input: decoding what we re-encode must reproduce the state.
+		// (Bytes may legitimately differ — Encode sorts the memo tables —
+		// but the decoded states must match.)
+		again, err := Decode(Encode(s))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded state failed: %v", err)
+		}
+		s.SortPairs()
+		again.SortPairs()
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round trip mismatch:\nfirst  %+v\nsecond %+v", s, again)
+		}
+	})
+}

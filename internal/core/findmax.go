@@ -60,6 +60,11 @@ type FindMaxOptions struct {
 	TrackLosses bool
 	// Randomized configures Algorithm 5 when Phase2 is Phase2Randomized.
 	Randomized RandomizedOptions
+	// OnPhase, when set, is called at phase boundaries with the boundary
+	// label ("phase1" after the filter, "done" after phase 2) and the
+	// survivor set at that point. The session layer hooks checkpoint
+	// snapshots here. Called synchronously on the algorithm goroutine.
+	OnPhase func(phase string, survivors []item.Item)
 }
 
 // FindMaxResult reports the outcome of a two-phase run.
@@ -110,6 +115,9 @@ func FindMax(ctx context.Context, items []item.Item, naive, expert *tournament.O
 			obs.Fi("n", int64(len(items))), obs.Fi("candidates", int64(len(candidates))),
 			obs.Fi("comparisons", d.TotalComparisons()), obs.Fi("steps", d.Steps))
 	}
+	if opt.OnPhase != nil {
+		opt.OnPhase("phase1", candidates)
+	}
 	var e0 cost.Snapshot
 	if sc != nil {
 		e0 = expert.LedgerSnapshot()
@@ -123,6 +131,9 @@ func FindMax(ctx context.Context, items []item.Item, naive, expert *tournament.O
 		sc.Event("alg1.phase2",
 			obs.Fs("algo", opt.Phase2.String()), obs.Fi("candidates", int64(len(candidates))),
 			obs.Fi("comparisons", d.TotalComparisons()), obs.Fi("steps", d.Steps))
+	}
+	if opt.OnPhase != nil {
+		opt.OnPhase("done", candidates)
 	}
 	return FindMaxResult{Best: best, Candidates: candidates}, nil
 }

@@ -197,6 +197,22 @@ func (l *Ledger) Add(o *Ledger) {
 	l.steps.Add(o.steps.Load())
 }
 
+// AddSnapshot adds a snapshot's counters into the ledger — how a resumed
+// session restores the paid totals of the run segment before the checkpoint.
+func (l *Ledger) AddSnapshot(s Snapshot) {
+	for i := 0; i < MaxClasses; i++ {
+		if s.Comparisons[i] != 0 {
+			l.comparisons[i].Add(s.Comparisons[i])
+		}
+		if s.MemoHits[i] != 0 {
+			l.memoHits[i].Add(s.MemoHits[i])
+		}
+	}
+	if s.Steps != 0 {
+		l.steps.Add(s.Steps)
+	}
+}
+
 // Reset empties the ledger. Not atomic with respect to concurrent writers;
 // reset only between runs.
 func (l *Ledger) Reset() {

@@ -120,6 +120,28 @@ func (b *Budget) expertSpendLocked() int64 {
 	return s
 }
 
+// Preload force-records n comparisons of the given class as already spent,
+// bypassing the cap checks — how a resumed session restores the admitted
+// spend of the run segment before its checkpoint. The restored spend was
+// admitted under the same caps when it was originally charged, so skipping
+// the check cannot overshoot; subsequent Spend calls enforce the caps
+// against the combined total as usual.
+func (b *Budget) Preload(class worker.Class, n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	ci := int(class)
+	if ci < 0 || ci >= cost.MaxClasses {
+		return
+	}
+	price := b.lim.Prices.Unit(class)
+	b.mu.Lock()
+	b.perClass[ci] += n
+	b.total += n
+	b.spent += price * float64(n)
+	b.mu.Unlock()
+}
+
 // Refund returns n previously Spent comparisons of the given class — used
 // when a pre-charged comparison's backend dispatch fails, so failed requests
 // don't consume budget.

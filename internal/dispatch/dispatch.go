@@ -33,6 +33,12 @@ import (
 // cancellation and budget exhaustion.
 var ErrBackendUnavailable = errors.New("dispatch: backend unavailable")
 
+// ErrPermanent marks a failure that no amount of retrying can repair — the
+// backend is gone for good (an injected crash, a revoked credential, a
+// decommissioned platform). Retry gives up immediately on errors wrapping
+// it, exactly like cancellation and budget exhaustion.
+var ErrPermanent = errors.New("dispatch: permanent backend failure")
+
 // Request is one pairwise comparison task submitted to a backend.
 type Request struct {
 	// A and B are the elements to compare.

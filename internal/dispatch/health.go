@@ -1,0 +1,443 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/obs"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/worker"
+)
+
+// GoldPair is one comparison with a known correct answer, used to probe
+// worker reliability. Algorithm 4's training set is the natural source: it
+// compares each training element against the known training maximum, so any
+// pair (x, max) with d(x, max) above the naïve threshold is a question an
+// honest worker must answer correctly.
+type GoldPair struct {
+	// A and B are the probe elements.
+	A, B item.Item
+	// WinnerID is the ID of the known correct answer.
+	WinnerID int
+}
+
+// GoldFromTraining builds gold probes Algorithm-4 style from a training set
+// with known maximum: every element whose distance from the maximum exceeds
+// minGap yields one (element, max) probe, up to max pairs (0 = unlimited).
+// minGap should be at least the naïve threshold δn, so the threshold model
+// obliges honest workers to answer every probe correctly.
+func GoldFromTraining(training []item.Item, minGap float64, max int) []GoldPair {
+	best := 0
+	for i := 1; i < len(training); i++ {
+		if training[i].Value > training[best].Value {
+			best = i
+		}
+	}
+	var gold []GoldPair
+	for i, x := range training {
+		if i == best || item.Distance(x, training[best]) <= minGap {
+			continue
+		}
+		gold = append(gold, GoldPair{A: x, B: training[best], WinnerID: training[best].ID})
+		if max > 0 && len(gold) >= max {
+			break
+		}
+	}
+	return gold
+}
+
+// HealthConfig configures per-worker health tracking on a Pool: gold-set
+// probing, disagreement sampling, and the quarantine circuit breaker. The
+// zero value (no gold set, all thresholds zero) disables tracking.
+type HealthConfig struct {
+	// Gold is the probe set; empty disables gold probing.
+	Gold []GoldPair
+	// Floor is the minimum gold accuracy a worker must sustain; workers
+	// below it (after MinProbes probes) are quarantined. Defaults to 0.7,
+	// the industry-standard gold floor the paper's platform section cites.
+	Floor float64
+	// MinProbes is the number of gold answers required before the floor is
+	// enforced, so one unlucky probe cannot evict an honest worker.
+	// Defaults to 4.
+	MinProbes int
+	// ProbeEvery issues one gold probe per worker every N routed requests.
+	// Defaults to 8.
+	ProbeEvery int
+	// DisagreeEvery, when > 0, duplicates every Nth request to a second
+	// worker and records disagreement between the two answers.
+	DisagreeEvery int
+	// MaxDisagree quarantines a worker whose disagreement rate (after
+	// MinProbes duplicated answers) exceeds it. Defaults to 1 (disabled)
+	// because under-threshold pairs legitimately disagree.
+	MaxDisagree float64
+	// MinActive is the number of workers the pool refuses to go below, no
+	// matter how sick they look — somebody has to answer. Defaults to 1.
+	MinActive int
+	// HedgeAfter, when > 0, wraps the session's backends in a Hedge
+	// decorator with this delay (consumed by Session, not Pool).
+	HedgeAfter time.Duration
+	// Seed seeds probe selection.
+	Seed uint64
+}
+
+// IsZero reports whether the config enables nothing.
+func (c HealthConfig) IsZero() bool {
+	return len(c.Gold) == 0 && c.Floor == 0 && c.MinProbes == 0 && c.ProbeEvery == 0 &&
+		c.DisagreeEvery == 0 && c.MaxDisagree == 0 && c.MinActive == 0 &&
+		c.HedgeAfter == 0 && c.Seed == 0
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Floor <= 0 {
+		c.Floor = 0.7
+	}
+	if c.MinProbes <= 0 {
+		c.MinProbes = 4
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 8
+	}
+	if c.MaxDisagree <= 0 {
+		c.MaxDisagree = 1
+	}
+	if c.MinActive <= 0 {
+		c.MinActive = 1
+	}
+	return c
+}
+
+// PoolWorker is one named worker backend in a Pool.
+type PoolWorker struct {
+	// Name identifies the worker in scorecards.
+	Name string
+	// Backend answers the worker's comparisons.
+	Backend Backend
+}
+
+// Scorecard is a point-in-time copy of one worker's health counters.
+type Scorecard struct {
+	// Name is the worker's name.
+	Name string
+	// Answered counts requests routed to the worker (excluding probes).
+	Answered int64
+	// GoldProbes and GoldCorrect count gold probes issued and passed.
+	GoldProbes, GoldCorrect int64
+	// Duplicated and Disagreed count disagreement samples and mismatches.
+	Duplicated, Disagreed int64
+	// Quarantined reports whether the circuit breaker evicted the worker.
+	Quarantined bool
+}
+
+// GoldAccuracy returns the worker's gold pass rate (1 with no probes yet).
+func (s Scorecard) GoldAccuracy() float64 {
+	if s.GoldProbes == 0 {
+		return 1
+	}
+	return float64(s.GoldCorrect) / float64(s.GoldProbes)
+}
+
+// poolWorker is a Pool's mutable per-worker record; all fields are guarded
+// by the pool mutex.
+type poolWorker struct {
+	PoolWorker
+	answered    int64
+	goldN       int64
+	goldOK      int64
+	dupN        int64
+	disagree    int64
+	sinceProbe  int
+	quarantined bool
+}
+
+// Pool multiplexes comparison requests across a set of named worker
+// backends with seeded routing — the crowd made explicit. With health
+// tracking enabled (EnableHealth) it maintains a per-worker scorecard fed by
+// gold-set probes and disagreement sampling, and a circuit breaker
+// quarantines any worker whose gold accuracy falls below the reliability
+// floor, never reducing the pool below MinActive workers. Safe for
+// concurrent use; routing decisions are serialized under one mutex while
+// the backend calls themselves run outside it.
+type Pool struct {
+	mu      sync.Mutex
+	workers []*poolWorker
+	active  int
+	r       *rng.Source
+
+	health    bool
+	cfg       HealthConfig
+	evictions int64
+}
+
+// NewPool builds a pool over the given workers with seeded routing.
+func NewPool(workers []PoolWorker, seed uint64) (*Pool, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("dispatch: pool needs at least one worker")
+	}
+	p := &Pool{r: rng.New(seed).Child("pool-route"), active: len(workers)}
+	for i, w := range workers {
+		if w.Backend == nil {
+			return nil, fmt.Errorf("dispatch: pool worker %d (%q) has no backend", i, w.Name)
+		}
+		if w.Name == "" {
+			w.Name = fmt.Sprintf("worker-%d", i)
+		}
+		p.workers = append(p.workers, &poolWorker{PoolWorker: w})
+	}
+	return p, nil
+}
+
+// EnableHealth turns on health tracking per cfg (defaults applied).
+func (p *Pool) EnableHealth(cfg HealthConfig) {
+	p.mu.Lock()
+	p.cfg = cfg.withDefaults()
+	p.health = true
+	p.mu.Unlock()
+}
+
+// Answer implements Backend: route to a seeded-random active worker,
+// interleave gold probes and disagreement samples per the health config, and
+// quarantine workers the scorecard condemns.
+func (p *Pool) Answer(ctx context.Context, req Request) (Answer, error) {
+	w, probe := p.route()
+	if probe != nil {
+		p.runProbe(ctx, w, probe, req.Class)
+		// The probe may have quarantined w; route the real request again.
+		if p.isQuarantined(w) {
+			w, _ = p.route()
+		}
+	}
+	ans, err := w.Backend.Answer(ctx, req)
+	if err != nil {
+		return Answer{}, err
+	}
+	p.mu.Lock()
+	w.answered++
+	dup := p.health && p.cfg.DisagreeEvery > 0 && w.answered%int64(p.cfg.DisagreeEvery) == 0 && p.active > 1
+	p.mu.Unlock()
+	if dup {
+		p.sampleDisagreement(ctx, w, req, ans)
+	}
+	return ans, nil
+}
+
+// route picks an active worker under the pool lock and decides whether it is
+// due a gold probe.
+func (p *Pool) route() (*poolWorker, *GoldPair) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w := p.pickLocked(nil)
+	var probe *GoldPair
+	if p.health && len(p.cfg.Gold) > 0 {
+		w.sinceProbe++
+		if w.sinceProbe >= p.cfg.ProbeEvery {
+			w.sinceProbe = 0
+			probe = &p.cfg.Gold[p.r.Intn(len(p.cfg.Gold))]
+		}
+	}
+	return w, probe
+}
+
+// pickLocked returns a seeded-random non-quarantined worker, excluding skip
+// (the disagreement counterpart must differ from the original answerer).
+// Callers hold p.mu and guarantee at least one eligible worker exists.
+func (p *Pool) pickLocked(skip *poolWorker) *poolWorker {
+	eligible := p.active
+	if skip != nil && !skip.quarantined {
+		eligible--
+	}
+	k := p.r.Intn(eligible)
+	for _, w := range p.workers {
+		if w.quarantined || w == skip {
+			continue
+		}
+		if k == 0 {
+			return w
+		}
+		k--
+	}
+	// Unreachable while the active counter is consistent.
+	panic("dispatch: pool has no eligible worker")
+}
+
+// runProbe issues one gold probe to w and updates its scorecard; probe
+// transport errors are ignored (an unreachable worker is a transport
+// problem, not dishonesty — the caller's real request will surface it).
+func (p *Pool) runProbe(ctx context.Context, w *poolWorker, g *GoldPair, class worker.Class) {
+	ans, err := w.Backend.Answer(ctx, Request{A: g.A, B: g.B, Class: class})
+	if err != nil {
+		return
+	}
+	correct := ans.Winner.ID == g.WinnerID
+	if m := obs.Active(); m != nil {
+		m.GoldProbe(correct)
+	}
+	p.mu.Lock()
+	w.goldN++
+	if correct {
+		w.goldOK++
+	}
+	p.maybeQuarantineLocked(w)
+	p.mu.Unlock()
+}
+
+// sampleDisagreement duplicates req to a second worker and records whether
+// the two answers disagree. Both workers' duplicate counters advance, but
+// only the original answerer's disagreement is charged — the sampler cannot
+// tell who is wrong, and symmetric charging would let one spammer poison
+// every honest worker's rate.
+func (p *Pool) sampleDisagreement(ctx context.Context, w *poolWorker, req Request, ans Answer) {
+	p.mu.Lock()
+	other := p.pickLocked(w)
+	p.mu.Unlock()
+	if other == w {
+		return
+	}
+	dupAns, err := other.Backend.Answer(ctx, req)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	w.dupN++
+	if dupAns.Winner.ID != ans.Winner.ID {
+		w.disagree++
+	}
+	p.maybeQuarantineLocked(w)
+	p.mu.Unlock()
+}
+
+// maybeQuarantineLocked applies the circuit breaker to w; callers hold p.mu.
+func (p *Pool) maybeQuarantineLocked(w *poolWorker) {
+	if !p.health || w.quarantined || p.active <= p.cfg.MinActive {
+		return
+	}
+	sick := false
+	if w.goldN >= int64(p.cfg.MinProbes) &&
+		float64(w.goldOK)/float64(w.goldN) < p.cfg.Floor {
+		sick = true
+	}
+	if w.dupN >= int64(p.cfg.MinProbes) &&
+		float64(w.disagree)/float64(w.dupN) > p.cfg.MaxDisagree {
+		sick = true
+	}
+	if !sick {
+		return
+	}
+	w.quarantined = true
+	p.active--
+	p.evictions++
+	if m := obs.Active(); m != nil {
+		m.Quarantine()
+	}
+}
+
+// isQuarantined reports w's circuit-breaker state.
+func (p *Pool) isQuarantined(w *poolWorker) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return w.quarantined
+}
+
+// Scorecards returns a copy of every worker's health counters, in pool
+// order.
+func (p *Pool) Scorecards() []Scorecard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Scorecard, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = Scorecard{
+			Name: w.Name, Answered: w.answered,
+			GoldProbes: w.goldN, GoldCorrect: w.goldOK,
+			Duplicated: w.dupN, Disagreed: w.disagree,
+			Quarantined: w.quarantined,
+		}
+	}
+	return out
+}
+
+// Evictions returns the number of workers quarantined so far.
+func (p *Pool) Evictions() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions
+}
+
+// ActiveWorkers returns the number of non-quarantined workers.
+func (p *Pool) ActiveWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}
+
+// Hedge duplicates slow in-flight requests: if the inner backend has not
+// answered within the configured delay, a second identical request is
+// launched and the first *successful* answer wins (both errors surface the
+// first error). Hedging trades extra spend on the platform's slow tail for
+// latency — the classic tail-at-scale defense.
+//
+// Unlike everything else in this package, hedging is wall-clock-driven and
+// therefore NOT deterministic: which copy wins depends on real scheduling.
+// Keep it out of runs that must replay bit-identically (checkpointed runs
+// with simulated backends don't need it; real-platform runs do).
+type Hedge struct {
+	inner Backend
+	delay time.Duration
+}
+
+// NewHedge wraps inner so requests still unanswered after delay are
+// duplicated.
+func NewHedge(inner Backend, delay time.Duration) *Hedge {
+	return &Hedge{inner: inner, delay: delay}
+}
+
+// Answer implements Backend.
+func (h *Hedge) Answer(ctx context.Context, req Request) (Answer, error) {
+	type result struct {
+		ans    Answer
+		err    error
+		hedged bool
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan result, 2)
+	launch := func(hedged bool) {
+		go func() {
+			ans, err := h.inner.Answer(hctx, req)
+			ch <- result{ans: ans, err: err, hedged: hedged}
+		}()
+	}
+	launch(false)
+	t := time.NewTimer(h.delay)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.ans, r.err
+	case <-ctx.Done():
+		return Answer{}, ctx.Err()
+	case <-t.C:
+	}
+	launch(true)
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				if m := obs.Active(); m != nil {
+					m.Hedge(r.hedged)
+				}
+				return r.ans, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case <-ctx.Done():
+			return Answer{}, ctx.Err()
+		}
+	}
+	if m := obs.Active(); m != nil {
+		m.Hedge(false)
+	}
+	return Answer{}, firstErr
+}

@@ -1,0 +1,266 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crowdmax/internal/item"
+	"crowdmax/internal/worker"
+)
+
+// countingBackend answers via cmp and counts calls.
+type countingBackend struct {
+	cmp   worker.Comparator
+	calls atomic.Int64
+}
+
+func (b *countingBackend) Answer(ctx context.Context, r Request) (Answer, error) {
+	b.calls.Add(1)
+	return Answer{Winner: b.cmp.Compare(r.A, r.B)}, nil
+}
+
+func honestWorker() *countingBackend { return &countingBackend{cmp: worker.Truth} }
+
+// alwaysWrong reports the loser of every pair — a deterministic worst-case
+// spammer, so quarantine tests need no luck.
+func alwaysWrong() *countingBackend {
+	return &countingBackend{cmp: worker.Func(func(a, b item.Item) item.Item {
+		if a.Value < b.Value {
+			return a
+		}
+		return b
+	})}
+}
+
+func training() []item.Item {
+	return []item.Item{it(0, 0.1), it(1, 0.3), it(2, 0.5), it(3, 0.7), it(4, 1.0)}
+}
+
+func TestGoldFromTraining(t *testing.T) {
+	gold := GoldFromTraining(training(), 0.25, 0)
+	// Items 0..2 are > 0.25 away from the max (value 1.0); item 3 (gap 0.3)
+	// also qualifies. Every probe's winner is the training max, ID 4.
+	if len(gold) != 4 {
+		t.Fatalf("got %d gold pairs, want 4", len(gold))
+	}
+	for _, g := range gold {
+		if g.WinnerID != 4 || g.B.ID != 4 {
+			t.Fatalf("gold pair %+v does not name the training max", g)
+		}
+	}
+	if gold := GoldFromTraining(training(), 0.25, 2); len(gold) != 2 {
+		t.Fatalf("cap ignored: got %d pairs, want 2", len(gold))
+	}
+	if gold := GoldFromTraining(training(), 10, 0); len(gold) != 0 {
+		t.Fatalf("minGap above every distance still yielded %d pairs", len(gold))
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(nil, 1); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if _, err := NewPool([]PoolWorker{{Name: "w"}}, 1); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+}
+
+func TestPoolSpreadsRequests(t *testing.T) {
+	a, b := honestWorker(), honestWorker()
+	p, err := NewPool([]PoolWorker{{Name: "a", Backend: a}, {Name: "b", Backend: b}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ans, err := p.Answer(context.Background(), req(it(0, 1), it(1, 2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Winner.ID != 1 {
+			t.Fatalf("honest pool answered wrong: winner %d", ans.Winner.ID)
+		}
+	}
+	if a.calls.Load() == 0 || b.calls.Load() == 0 {
+		t.Fatalf("routing starved a worker: a=%d b=%d", a.calls.Load(), b.calls.Load())
+	}
+	if p.ActiveWorkers() != 2 || p.Evictions() != 0 {
+		t.Fatalf("healthless pool evicted workers: active=%d evictions=%d",
+			p.ActiveWorkers(), p.Evictions())
+	}
+}
+
+func TestPoolQuarantinesGoldFailer(t *testing.T) {
+	bad := alwaysWrong()
+	workers := []PoolWorker{
+		{Name: "honest-0", Backend: honestWorker()},
+		{Name: "honest-1", Backend: honestWorker()},
+		{Name: "bad", Backend: bad},
+	}
+	p, err := NewPool(workers, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnableHealth(HealthConfig{Gold: GoldFromTraining(training(), 0.25, 0), ProbeEvery: 2, Seed: 7})
+	for i := 0; i < 200; i++ {
+		if _, err := p.Answer(context.Background(), req(it(10, 1), it(11, 2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cards := p.Scorecards()
+	for _, c := range cards {
+		switch c.Name {
+		case "bad":
+			if !c.Quarantined {
+				t.Fatalf("always-wrong worker not quarantined: %+v", c)
+			}
+			if c.GoldCorrect != 0 {
+				t.Fatalf("always-wrong worker passed %d gold probes", c.GoldCorrect)
+			}
+		default:
+			if c.Quarantined {
+				t.Fatalf("honest worker quarantined: %+v", c)
+			}
+			if c.GoldProbes > 0 && c.GoldAccuracy() != 1 {
+				t.Fatalf("honest worker failed gold probes: %+v", c)
+			}
+		}
+	}
+	if p.ActiveWorkers() != 2 || p.Evictions() != 1 {
+		t.Fatalf("active=%d evictions=%d, want 2 and 1", p.ActiveWorkers(), p.Evictions())
+	}
+	// A quarantined worker receives no further traffic.
+	served := bad.calls.Load()
+	for i := 0; i < 50; i++ {
+		if _, err := p.Answer(context.Background(), req(it(10, 1), it(11, 2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bad.calls.Load() != served {
+		t.Fatalf("quarantined worker served %d more requests", bad.calls.Load()-served)
+	}
+}
+
+func TestPoolNeverDropsBelowMinActive(t *testing.T) {
+	// Every worker is rotten; the pool must keep MinActive of them anyway.
+	p, err := NewPool([]PoolWorker{
+		{Name: "bad-0", Backend: alwaysWrong()},
+		{Name: "bad-1", Backend: alwaysWrong()},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnableHealth(HealthConfig{Gold: GoldFromTraining(training(), 0.25, 0), ProbeEvery: 2, Seed: 3})
+	for i := 0; i < 200; i++ {
+		if _, err := p.Answer(context.Background(), req(it(10, 1), it(11, 2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.ActiveWorkers(); got != 1 {
+		t.Fatalf("active = %d, want the MinActive floor of 1", got)
+	}
+}
+
+func TestPoolDisagreementQuarantine(t *testing.T) {
+	// No gold set: the bad worker must fall to disagreement sampling alone.
+	// Only the original answerer is charged, so the honest majority's rate
+	// stays below the ceiling while the bad worker's hits 100%.
+	p, err := NewPool([]PoolWorker{
+		{Name: "honest-0", Backend: honestWorker()},
+		{Name: "honest-1", Backend: honestWorker()},
+		{Name: "honest-2", Backend: honestWorker()},
+		{Name: "bad", Backend: alwaysWrong()},
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnableHealth(HealthConfig{DisagreeEvery: 1, MaxDisagree: 0.75, MinProbes: 4, Seed: 11})
+	for i := 0; i < 300; i++ {
+		if _, err := p.Answer(context.Background(), req(it(10, 1), it(11, 2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range p.Scorecards() {
+		if c.Name == "bad" && !c.Quarantined {
+			t.Fatalf("bad worker survived disagreement sampling: %+v", c)
+		}
+		if c.Name != "bad" && c.Quarantined {
+			t.Fatalf("honest worker quarantined by disagreement sampling: %+v", c)
+		}
+	}
+}
+
+func TestPoolPropagatesBackendErrors(t *testing.T) {
+	boom := errors.New("boom")
+	p, err := NewPool([]PoolWorker{{Backend: Func(func(context.Context, Request) (Answer, error) {
+		return Answer{}, boom
+	})}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Answer(context.Background(), req(it(0, 1), it(1, 2))); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the backend's error", err)
+	}
+}
+
+func TestHedgeFastPathNoDuplicate(t *testing.T) {
+	inner := honestWorker()
+	h := NewHedge(inner, 50*time.Millisecond)
+	ans, err := h.Answer(context.Background(), req(it(0, 1), it(1, 2)))
+	if err != nil || ans.Winner.ID != 1 {
+		t.Fatalf("ans=%+v err=%v", ans, err)
+	}
+	if inner.calls.Load() != 1 {
+		t.Fatalf("fast answer still hedged: %d calls", inner.calls.Load())
+	}
+}
+
+func TestHedgeDuplicatesSlowRequest(t *testing.T) {
+	var calls atomic.Int64
+	inner := Func(func(ctx context.Context, r Request) (Answer, error) {
+		if calls.Add(1) == 1 {
+			// First copy hangs until cancelled.
+			<-ctx.Done()
+			return Answer{}, ctx.Err()
+		}
+		return Answer{Winner: r.B}, nil
+	})
+	h := NewHedge(inner, 5*time.Millisecond)
+	ans, err := h.Answer(context.Background(), req(it(0, 1), it(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Winner.ID != 1 {
+		t.Fatalf("winner = %d, want the hedged copy's answer", ans.Winner.ID)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d calls, want 2 (original + hedge)", calls.Load())
+	}
+}
+
+func TestHedgeBothFailSurfacesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	inner := Func(func(ctx context.Context, r Request) (Answer, error) {
+		time.Sleep(2 * time.Millisecond)
+		return Answer{}, boom
+	})
+	h := NewHedge(inner, time.Millisecond)
+	if _, err := h.Answer(context.Background(), req(it(0, 1), it(1, 2))); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestHedgeHonorsCancellation(t *testing.T) {
+	inner := Func(func(ctx context.Context, r Request) (Answer, error) {
+		<-ctx.Done()
+		return Answer{}, ctx.Err()
+	})
+	h := NewHedge(inner, time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := h.Answer(ctx, req(it(0, 1), it(1, 2))); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}

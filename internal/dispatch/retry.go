@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"crowdmax/internal/obs"
+	"crowdmax/internal/rng"
 )
 
 // RetryConfig configures the retry/timeout/backoff decorator.
@@ -23,6 +25,16 @@ type RetryConfig struct {
 	MaxBackoff time.Duration
 	// Multiplier scales the backoff between retries; defaults to 2.
 	Multiplier float64
+	// NoJitter disables the full-jitter randomization and sleeps the exact
+	// exponential schedule. Jitter is on by default: each delay is drawn
+	// uniformly from [0, backoff), so a fleet of clients whose requests
+	// failed together does not retry in lockstep (a retry storm re-breaking
+	// the backend it is hammering).
+	NoJitter bool
+	// Seed seeds the jitter stream; two Retry decorators with the same
+	// seed draw the same delay sequence, keeping fault-injection runs
+	// reproducible.
+	Seed uint64
 }
 
 func (c RetryConfig) withDefaults() RetryConfig {
@@ -41,20 +53,60 @@ func (c RetryConfig) withDefaults() RetryConfig {
 	return c
 }
 
+// RetryError is the terminal failure of a Retry decorator: every attempt
+// failed. It carries the attempt count (so callers and the observability
+// layer can report effort-before-giving-up, which a bare wrapped error
+// loses) and the last underlying error. Unwrap exposes Last, so
+// errors.Is(err, ErrBackendUnavailable) keeps working through it.
+type RetryError struct {
+	// Attempts is the number of tries performed (== MaxAttempts).
+	Attempts int
+	// Last is the error of the final attempt.
+	Last error
+}
+
+// Error implements error.
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("dispatch: %d attempts failed, last: %v", e.Attempts, e.Last)
+}
+
+// Unwrap exposes the final attempt's error to errors.Is/As.
+func (e *RetryError) Unwrap() error { return e.Last }
+
 // Retry decorates a backend with bounded retries, per-attempt timeouts and
-// exponential backoff — the standard resilience wrapper between an
-// algorithm and an unreliable answer source. Cancellation and budget
-// exhaustion are never retried: those are caller decisions, not transport
-// faults. Every retry increments the observability layer's retry counter
-// (when enabled) and the returned Answer's Retries field.
+// exponential backoff with full jitter — the standard resilience wrapper
+// between an algorithm and an unreliable answer source. Cancellation, budget
+// exhaustion and permanent failures (ErrPermanent) are never retried: those
+// are caller decisions or dead backends, not transport faults. Every retry
+// increments the observability layer's retry counter (when enabled) and the
+// returned Answer's Retries field; giving up surfaces a *RetryError carrying
+// the attempt count.
 type Retry struct {
 	inner Backend
 	cfg   RetryConfig
+
+	mu sync.Mutex
+	r  *rng.Source
 }
 
 // NewRetry wraps inner with retry semantics per cfg.
 func NewRetry(inner Backend, cfg RetryConfig) *Retry {
-	return &Retry{inner: inner, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	return &Retry{inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("retry-jitter")}
+}
+
+// delay returns the sleep before the retry that follows backoff, applying
+// full jitter unless disabled. The jitter draw comes from the decorator's
+// seeded stream under a mutex, so a sequential run sleeps the same sequence
+// on every replay.
+func (r *Retry) delay(backoff time.Duration) time.Duration {
+	if r.cfg.NoJitter || backoff <= 0 {
+		return backoff
+	}
+	r.mu.Lock()
+	d := time.Duration(r.r.Int63n(int64(backoff)))
+	r.mu.Unlock()
+	return d
 }
 
 // Answer implements Backend.
@@ -69,7 +121,7 @@ func (r *Retry) Answer(ctx context.Context, req Request) (Answer, error) {
 			if m := obs.Active(); m != nil {
 				m.Retry(1)
 			}
-			t := time.NewTimer(backoff)
+			t := time.NewTimer(r.delay(backoff))
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -96,16 +148,21 @@ func (r *Retry) Answer(ctx context.Context, req Request) (Answer, error) {
 			return Answer{}, err
 		}
 	}
-	return Answer{}, fmt.Errorf("dispatch: %d attempts failed, last: %w", r.cfg.MaxAttempts, last)
+	if m := obs.Active(); m != nil {
+		m.RetryExhausted(int64(r.cfg.MaxAttempts))
+	}
+	return Answer{}, &RetryError{Attempts: r.cfg.MaxAttempts, Last: last}
 }
 
 // retryable reports whether err is worth another attempt: cancellation of
-// the caller's ctx and budget exhaustion are terminal, everything else —
-// including a per-attempt deadline while the caller's ctx is still live —
-// is treated as transient.
+// the caller's ctx, budget exhaustion, and permanent failures are terminal;
+// everything else — including a per-attempt deadline while the caller's ctx
+// is still live — is treated as transient.
 func retryable(ctx context.Context, err error) bool {
 	if ctx.Err() != nil {
 		return false
 	}
-	return !errors.Is(err, ErrBudgetExhausted) && !errors.Is(err, context.Canceled)
+	return !errors.Is(err, ErrBudgetExhausted) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, ErrPermanent)
 }

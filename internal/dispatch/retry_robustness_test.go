@@ -1,0 +1,95 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// alwaysFail fails every request with a fixed error, counting calls.
+type alwaysFail struct {
+	err   error
+	calls int
+}
+
+func (f *alwaysFail) Answer(context.Context, Request) (Answer, error) {
+	f.calls++
+	return Answer{}, f.err
+}
+
+func jitterSequence(seed uint64, n int) []time.Duration {
+	r := NewRetry(NewSimulated(nil), RetryConfig{Seed: seed})
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = r.delay(10 * time.Millisecond)
+	}
+	return out
+}
+
+func TestJitterDelaysReproduciblePerSeed(t *testing.T) {
+	a := jitterSequence(42, 32)
+	b := jitterSequence(42, 32)
+	c := jitterSequence(43, 32)
+	differs := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= 10*time.Millisecond {
+			t.Fatalf("draw %d = %v outside [0, backoff)", i, a[i])
+		}
+		if a[i] != c[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 42 and 43 drew identical delay sequences")
+	}
+}
+
+func TestNoJitterSleepsExactSchedule(t *testing.T) {
+	r := NewRetry(NewSimulated(nil), RetryConfig{NoJitter: true})
+	for _, backoff := range []time.Duration{0, time.Millisecond, time.Second} {
+		if got := r.delay(backoff); got != backoff {
+			t.Fatalf("NoJitter delay(%v) = %v", backoff, got)
+		}
+	}
+}
+
+func TestRetryErrorCarriesAttemptCount(t *testing.T) {
+	inner := &alwaysFail{err: fmt.Errorf("flaky: %w", ErrBackendUnavailable)}
+	r := NewRetry(inner, RetryConfig{MaxAttempts: 4, BaseBackoff: time.Microsecond})
+	_, err := r.Answer(context.Background(), req(it(0, 1), it(1, 2)))
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v, want *RetryError", err, err)
+	}
+	if re.Attempts != 4 {
+		t.Fatalf("Attempts = %d, want 4", re.Attempts)
+	}
+	// The final underlying cause must stay reachable through the wrapper.
+	if !errors.Is(err, ErrBackendUnavailable) {
+		t.Fatalf("RetryError hides the underlying cause: %v", err)
+	}
+	if inner.calls != 4 {
+		t.Fatalf("inner saw %d calls, want 4", inner.calls)
+	}
+}
+
+func TestRetryGivesUpImmediatelyOnPermanentFailure(t *testing.T) {
+	inner := &alwaysFail{err: fmt.Errorf("crashed: %w", ErrPermanent)}
+	r := NewRetry(inner, RetryConfig{MaxAttempts: 5, BaseBackoff: time.Microsecond})
+	_, err := r.Answer(context.Background(), req(it(0, 1), it(1, 2)))
+	if !errors.Is(err, ErrPermanent) {
+		t.Fatalf("err = %v, want ErrPermanent", err)
+	}
+	var re *RetryError
+	if errors.As(err, &re) {
+		t.Fatalf("permanent failure still produced a RetryError: %v", err)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("permanent failure retried: %d calls", inner.calls)
+	}
+}

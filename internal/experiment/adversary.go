@@ -1,0 +1,207 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"crowdmax/internal/chaos"
+	"crowdmax/internal/core"
+	"crowdmax/internal/cost"
+	"crowdmax/internal/dataset"
+	"crowdmax/internal/dispatch"
+	"crowdmax/internal/item"
+	"crowdmax/internal/parallel"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/tournament"
+	"crowdmax/internal/worker"
+)
+
+// AdversaryConfig configures the adversarial sweep: phase-1 max retention as
+// a function of the fraction of poisoned workers in the naïve pool, with and
+// without worker health tracking. It is the robustness counterpart of the
+// Section 5.2 retention experiment: there the threat is an underestimated
+// un, here it is workers who violate the threshold model outright.
+type AdversaryConfig struct {
+	// N is the input size; defaults to 400.
+	N int
+	// Un and Ue are the calibrated distinguishability parameters; default
+	// 8 and 3.
+	Un, Ue int
+	// PoolSize is the number of naïve workers in the pool; defaults to 10.
+	PoolSize int
+	// Trials is the number of random instances per (fraction, arm) cell;
+	// defaults to 100.
+	Trials int
+	// Fractions are the poisoned-worker fractions swept on the x-axis;
+	// default {0, 0.1, 0.2, 0.3}.
+	Fractions []float64
+	// Persona is the fault model for poisoned workers; defaults to the
+	// spammer (uniformly random answers).
+	Persona chaos.Persona
+	// Seed derives every instance, worker, and routing stream; a fixed
+	// seed reproduces the sweep exactly.
+	Seed uint64
+	// Workers bounds the parallel cell evaluations (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c AdversaryConfig) withDefaults() AdversaryConfig {
+	if c.N == 0 {
+		c.N = 400
+	}
+	if c.Un == 0 {
+		c.Un = 8
+	}
+	if c.Ue == 0 {
+		c.Ue = 3
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 10
+	}
+	if c.Trials == 0 {
+		c.Trials = 100
+	}
+	if len(c.Fractions) == 0 {
+		c.Fractions = []float64{0, 0.1, 0.2, 0.3}
+	}
+	if c.Persona == chaos.PersonaNone {
+		c.Persona = chaos.PersonaSpammer
+	}
+	return c
+}
+
+func (c AdversaryConfig) validate() error {
+	if c.N < 8 || c.Un < 1 || c.Ue < 1 || c.PoolSize < 1 || c.Trials < 1 {
+		return fmt.Errorf("experiment: adversary config out of range: %+v", c)
+	}
+	for _, f := range c.Fractions {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("experiment: poisoned fraction %g outside [0, 1)", f)
+		}
+	}
+	return nil
+}
+
+// adversaryPool builds the naïve worker pool for one trial: PoolSize
+// threshold workers, the first round(f·PoolSize) of them poisoned by the
+// configured persona (intercepting every request they serve).
+func (c AdversaryConfig) adversaryPool(cal dataset.Calibrated, f float64, r *rng.Source) (*dispatch.Pool, error) {
+	bad := int(f*float64(c.PoolSize) + 0.5)
+	workers := make([]dispatch.PoolWorker, c.PoolSize)
+	for i := range workers {
+		wr := r.ChildN("worker", i)
+		var b dispatch.Backend = dispatch.NewSimulated(&worker.Threshold{
+			Delta: cal.DeltaN, Tie: worker.RandomTie{R: wr}, R: wr,
+		})
+		name := fmt.Sprintf("honest-%d", i)
+		if i < bad {
+			pcfg := chaos.PersonaConfig{Seed: wr.Seed(), Delta: cal.DeltaN, Rate: 0.5}
+			switch c.Persona {
+			case chaos.PersonaSpammer:
+				b = chaos.NewSpammer(b, pcfg)
+			case chaos.PersonaAdversary:
+				b = chaos.NewAdversary(b, pcfg)
+			case chaos.PersonaDegrader:
+				b = chaos.NewDegrader(b, pcfg)
+			default:
+				return nil, fmt.Errorf("experiment: adversary sweep does not support persona %q", c.Persona)
+			}
+			name = fmt.Sprintf("%s-%d", c.Persona, i)
+		}
+		workers[i] = dispatch.PoolWorker{Name: name, Backend: b}
+	}
+	return dispatch.NewPool(workers, r.Child("pool").Seed())
+}
+
+// adversaryGold builds the trial's gold probe set Algorithm-4 style: a small
+// training sample from the same distribution whose maximum is known to the
+// experimenter, filtered to pairs an honest naïve worker must answer
+// correctly.
+func adversaryGold(cal dataset.Calibrated, r *rng.Source) []dispatch.GoldPair {
+	training := make([]item.Item, 24)
+	for i := range training {
+		training[i] = item.Item{ID: 1<<20 + i, Value: r.UniformIn(0, 1)}
+	}
+	return dispatch.GoldFromTraining(training, cal.DeltaN, 32)
+}
+
+// AdversarySweep measures phase-1 retention of the true maximum under a
+// progressively more poisoned naïve worker pool, with health tracking off
+// (every worker keeps answering) and on (gold probes + quarantine evict
+// workers below the reliability floor). The returned figure has the poisoned
+// fraction on the x-axis and retention percent on the y-axis, one curve per
+// arm.
+func AdversarySweep(ctx context.Context, cfg AdversaryConfig) (Figure, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Figure{}, err
+	}
+	// Cells are (fraction, arm, trial) triples, all independent. Arm 0 is
+	// health off, arm 1 health on; both arms replay the same instances.
+	perFraction := 2 * cfg.Trials
+	kept := make([]bool, len(cfg.Fractions)*perFraction)
+	err := parallel.For(cfg.Workers, len(kept), func(c int) error {
+		fi, rest := c/perFraction, c%perFraction
+		arm, trial := rest/cfg.Trials, rest%cfg.Trials
+		f := cfg.Fractions[fi]
+
+		ir := rng.New(cfg.Seed).ChildN("adv-instance", trial)
+		cal, err := dataset.UniformCalibrated(cfg.N, cfg.Un, cfg.Ue, ir.Child("data"))
+		if err != nil {
+			return err
+		}
+		// Worker and routing streams vary per (fraction, arm) so the two
+		// arms are independent draws over identical instances.
+		tr := ir.ChildN(fmt.Sprintf("f%g", f), arm)
+		pool, err := cfg.adversaryPool(cal, f, tr)
+		if err != nil {
+			return err
+		}
+		if arm == 1 {
+			pool.EnableHealth(dispatch.HealthConfig{
+				Gold:       adversaryGold(cal, tr.Child("gold")),
+				ProbeEvery: 4,
+				Seed:       tr.Child("health").Seed(),
+			})
+		}
+		ledger := cost.NewLedger()
+		naive := &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: tr.Child("ref")}, R: tr.Child("ref")}
+		no := tournament.NewOracle(naive, worker.Naive, ledger, nil).WithBackend(pool)
+		survivors, err := core.Filter(ctx, cal.Set.Items(), no, core.FilterOptions{Un: cfg.Un})
+		if err != nil {
+			return err
+		}
+		maxID := cal.Set.Max().ID
+		for _, s := range survivors {
+			if s.ID == maxID {
+				kept[c] = true
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+
+	fig := Figure{
+		Title:  "Adversarial sweep — phase-1 retention under poisoned workers",
+		XLabel: "poisoned fraction",
+		YLabel: "max retained (%)",
+		Curves: []Curve{{Name: "health off"}, {Name: "health on"}},
+	}
+	for fi, f := range cfg.Fractions {
+		for arm := 0; arm < 2; arm++ {
+			retained := 0
+			base := fi*perFraction + arm*cfg.Trials
+			for t := 0; t < cfg.Trials; t++ {
+				if kept[base+t] {
+					retained++
+				}
+			}
+			fig.Curves[arm].X = append(fig.Curves[arm].X, f)
+			fig.Curves[arm].Y = append(fig.Curves[arm].Y, 100*float64(retained)/float64(cfg.Trials))
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestAdversarySweepRetentionWithHealth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-trial sweep")
+	}
+	cfg := AdversaryConfig{Trials: 100, Fractions: []float64{0.1, 0.2}, Seed: 5}
+	fig, err := AdversarySweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 2 {
+		t.Fatalf("got %d curves, want health off + health on", len(fig.Curves))
+	}
+	off, on := fig.Curves[0], fig.Curves[1]
+	for i, f := range cfg.Fractions {
+		// The acceptance bar: with up to 20% spammers and health tracking
+		// on, the true max survives phase 1 in ≥ 95% of trials.
+		if on.Y[i] < 95 {
+			t.Errorf("health on, fraction %g: retention %.0f%% < 95%%", f, on.Y[i])
+		}
+		if off.Y[i] < on.Y[i]-50 {
+			t.Errorf("health off collapsed at fraction %g: %.0f%% vs %.0f%% with health",
+				f, off.Y[i], on.Y[i])
+		}
+	}
+}
+
+func TestAdversarySweepReproduciblePerSeed(t *testing.T) {
+	cfg := AdversaryConfig{Trials: 10, Fractions: []float64{0.2}, Seed: 9}
+	a, err := AdversarySweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AdversarySweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different sweeps:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAdversarySweepValidation(t *testing.T) {
+	if _, err := AdversarySweep(context.Background(), AdversaryConfig{Fractions: []float64{1.5}}); err == nil {
+		t.Fatal("fraction 1.5 accepted")
+	}
+	if _, err := AdversarySweep(context.Background(), AdversaryConfig{Persona: "gremlin", Trials: 1, Fractions: []float64{0.5}}); err == nil {
+		t.Fatal("unknown persona accepted")
+	}
+}

@@ -95,6 +95,20 @@ type Metrics struct {
 	// (per class) and transport-level retries spent by the retry backend.
 	budgetRefusals [NumClasses]atomic.Int64
 	dispatchRetry  atomic.Int64
+
+	// Robustness counters: retry decorators that exhausted every attempt
+	// (and the attempts they burned), hedged requests (duplicated after the
+	// hedge delay) and hedges whose duplicate answered first, gold-set
+	// probes (and failed ones) issued by worker-health tracking, workers
+	// quarantined by the circuit breaker, and checkpoint snapshots written.
+	retryGiveUps        atomic.Int64
+	retryGiveUpAttempts atomic.Int64
+	hedges              atomic.Int64
+	hedgeWins           atomic.Int64
+	goldProbes          atomic.Int64
+	goldFailures        atomic.Int64
+	quarantines         atomic.Int64
+	checkpointWrites    atomic.Int64
 }
 
 // Comparisons records n paid comparisons by the given class.
@@ -159,6 +173,41 @@ func (m *Metrics) BudgetRefusal(class int) {
 // Retry records n transport-level retries by the dispatch retry backend.
 func (m *Metrics) Retry(n int64) {
 	m.dispatchRetry.Add(n)
+}
+
+// RetryExhausted records one retry decorator giving up after burning
+// attempts tries.
+func (m *Metrics) RetryExhausted(attempts int64) {
+	m.retryGiveUps.Add(1)
+	m.retryGiveUpAttempts.Add(attempts)
+}
+
+// Hedge records one request duplicated after the hedge delay; won reports
+// whether the duplicate (not the original) answered first.
+func (m *Metrics) Hedge(won bool) {
+	m.hedges.Add(1)
+	if won {
+		m.hedgeWins.Add(1)
+	}
+}
+
+// GoldProbe records one gold-set health probe; correct reports whether the
+// worker answered it correctly.
+func (m *Metrics) GoldProbe(correct bool) {
+	m.goldProbes.Add(1)
+	if !correct {
+		m.goldFailures.Add(1)
+	}
+}
+
+// Quarantine records one worker evicted by the health circuit breaker.
+func (m *Metrics) Quarantine() {
+	m.quarantines.Add(1)
+}
+
+// CheckpointWrite records one session checkpoint snapshot written.
+func (m *Metrics) CheckpointWrite() {
+	m.checkpointWrites.Add(1)
 }
 
 func phaseIndex(p Phase) int {
@@ -240,9 +289,19 @@ func (m *Metrics) Snapshot() map[string]any {
 		}
 	}
 	out["dispatch"] = map[string]any{
-		"budget_refusals": refusals,
-		"retries":         m.dispatchRetry.Load(),
+		"budget_refusals":       refusals,
+		"retries":               m.dispatchRetry.Load(),
+		"retry_giveups":         m.retryGiveUps.Load(),
+		"retry_giveup_attempts": m.retryGiveUpAttempts.Load(),
+		"hedges":                m.hedges.Load(),
+		"hedge_wins":            m.hedgeWins.Load(),
 	}
+	out["health"] = map[string]any{
+		"gold_probes":   m.goldProbes.Load(),
+		"gold_failures": m.goldFailures.Load(),
+		"quarantines":   m.quarantines.Load(),
+	}
+	out["checkpoint"] = map[string]any{"writes": m.checkpointWrites.Load()}
 	return out
 }
 

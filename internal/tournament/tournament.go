@@ -34,6 +34,7 @@ package tournament
 
 import (
 	"context"
+	"sort"
 	"sync"
 
 	"crowdmax/internal/cost"
@@ -123,6 +124,32 @@ func (m *Memo) Len() int {
 	}
 	return n
 }
+
+// Entries returns every cached (a, b, winner) triple with a < b, sorted by
+// (a, b) — the deterministic serialization order the checkpoint codec
+// requires. Safe for concurrent use (each stripe is locked while copied).
+func (m *Memo) Entries() [][3]int {
+	var out [][3]int
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for k, w := range s.m {
+			out = append(out, [3]int{k[0], k[1], w})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Prime pre-loads the answer for one pair — how a resumed session replays a
+// checkpoint's frozen answers. Like store, the first answer for a pair wins.
+func (m *Memo) Prime(a, b, winner int) { m.store(a, b, winner) }
 
 func key(a, b int) [2]int {
 	if a > b {

@@ -1,0 +1,279 @@
+package crowdmax
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"crowdmax/internal/chaos"
+	"crowdmax/internal/checkpoint"
+	"crowdmax/internal/cost"
+	"crowdmax/internal/dispatch"
+	"crowdmax/internal/obs"
+)
+
+// CheckpointConfig enables crash recovery for Session runs.
+type CheckpointConfig struct {
+	// Path is the snapshot file; empty disables checkpointing. Snapshots
+	// are written atomically (temp file + rename), so the file always
+	// holds one complete snapshot.
+	Path string
+	// Every also snapshots after every N paid backend comparisons, in
+	// addition to the run-start and phase-boundary snapshots; defaults
+	// to 500. Memo hits are free and do not advance the counter.
+	Every int
+}
+
+// ChaosPlan declares the semantic faults to inject into a Session run:
+// an adversarial persona poisoning the naïve backend and/or a deterministic
+// crash after a fixed number of comparisons. Parse one from the -chaos flag
+// syntax with ParseChaosPlan.
+type ChaosPlan = chaos.Plan
+
+// ParseChaosPlan parses a comma-separated chaos spec such as "crash:500",
+// "spammer:0.2" or "colluder:7,crash:1000"; see chaos.ParsePlan.
+func ParseChaosPlan(spec string) (ChaosPlan, error) { return chaos.ParsePlan(spec) }
+
+// ErrInjectedCrash marks a run killed by the chaos crash injector. It wraps
+// ErrPermanentBackend, so retry decorators never retry it; resume the run
+// from its checkpoint with Session.Resume.
+var ErrInjectedCrash = chaos.ErrCrash
+
+// ErrPermanentBackend marks backend failures that retrying cannot repair;
+// RetryBackend gives up on them immediately.
+var ErrPermanentBackend = dispatch.ErrPermanent
+
+// RetryError is the terminal failure of a retry backend: it carries the
+// attempt count and (via errors.Unwrap) the final underlying error.
+type RetryError = dispatch.RetryError
+
+// HealthConfig configures worker health tracking: gold-set probing,
+// disagreement sampling, the quarantine circuit breaker, and hedging.
+type HealthConfig = dispatch.HealthConfig
+
+// GoldPair is one probe comparison with a known correct answer.
+type GoldPair = dispatch.GoldPair
+
+// GoldFromTraining builds gold probes from a training set with known
+// maximum, Algorithm-4 style; see dispatch.GoldFromTraining.
+func GoldFromTraining(training []Item, minGap float64, max int) []GoldPair {
+	return dispatch.GoldFromTraining(training, minGap, max)
+}
+
+// WorkerPool multiplexes comparisons across named worker backends and,
+// with HealthConfig enabled, quarantines workers below the reliability
+// floor.
+type WorkerPool = dispatch.Pool
+
+// PoolWorker is one named worker backend in a WorkerPool.
+type PoolWorker = dispatch.PoolWorker
+
+// NewWorkerPool builds a pool over workers with seeded routing.
+func NewWorkerPool(workers []PoolWorker, seed uint64) (*WorkerPool, error) {
+	return dispatch.NewPool(workers, seed)
+}
+
+// NewHedgeBackend duplicates requests the inner backend has not answered
+// within delay and returns the first successful answer. Wall-clock-driven
+// and therefore not deterministic; keep it out of checkpointed runs.
+func NewHedgeBackend(inner Backend, delay time.Duration) Backend {
+	return dispatch.NewHedge(inner, delay)
+}
+
+// Resume continues a run truncated by a crash (or any permanent failure)
+// from the snapshot at path, which must have been written by a session with
+// the same configuration fingerprint — seed, un, phase-2 algorithm,
+// loss-tracking setting — applied to the same items. The snapshot's memo
+// tables are replayed, so already-paid comparisons are served free at their
+// recorded cost, and with deterministic comparators (ε = 0 and an
+// order-independent tie policy such as HashTie) the resumed run returns a
+// final item, paid totals, and candidate set bit-identical to an
+// uninterrupted run with the same seed.
+func (s *Session) Resume(ctx context.Context, path string, items []Item) (Result, error) {
+	st, err := checkpoint.Load(path)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := s.checkpointCompatible(st, items); err != nil {
+		return Result{}, err
+	}
+	return s.findMax(ctx, items, st)
+}
+
+// checkpointCompatible refuses snapshots whose configuration fingerprint
+// does not match this session and input — resuming under a different
+// configuration would silently produce answers neither run would have.
+func (s *Session) checkpointCompatible(st *checkpoint.State, items []Item) error {
+	if s.cfg.DisableMemoization {
+		return errors.New("crowdmax: Resume requires memoization (resume replays the checkpoint's memo tables)")
+	}
+	seed := uint64(0)
+	if s.cfg.Rand != nil {
+		seed = s.cfg.Rand.Seed()
+	}
+	switch {
+	case st.Un != s.cfg.Un:
+		return fmt.Errorf("crowdmax: checkpoint was taken with un=%d, session has un=%d", st.Un, s.cfg.Un)
+	case st.Phase2 != int(s.cfg.Phase2):
+		return fmt.Errorf("crowdmax: checkpoint was taken with phase2=%d, session has %d", st.Phase2, int(s.cfg.Phase2))
+	case st.TrackLosses != s.cfg.TrackLosses:
+		return errors.New("crowdmax: checkpoint and session disagree on TrackLosses")
+	case st.Seed != seed:
+		return fmt.Errorf("crowdmax: checkpoint was taken with seed %d, session has %d", st.Seed, seed)
+	case st.NItems != len(items):
+		return fmt.Errorf("crowdmax: checkpoint covers %d items, got %d", st.NItems, len(items))
+	case st.ItemsHash != itemsFingerprint(items):
+		return errors.New("crowdmax: checkpoint items hash does not match the given items")
+	}
+	return nil
+}
+
+// itemsFingerprint hashes the input's IDs and value bits (FNV-1a) so Resume
+// can detect a snapshot applied to different data.
+func itemsFingerprint(items []Item) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for _, it := range items {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(int64(it.ID)))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(it.Value))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// checkpointState returns the snapshot builder bound to one run's live
+// state: the ledger and budget are read at snapshot time (atomic /
+// mutex-guarded), and the memo tables are copied stripe by stripe.
+func (s *Session) checkpointState(items []Item, seed uint64, led *Ledger, budget *Budget, nm, em *Memo) func(phase string, survivors []int64) *checkpoint.State {
+	fp := itemsFingerprint(items)
+	n := len(items)
+	return func(phase string, survivors []int64) *checkpoint.State {
+		st := &checkpoint.State{
+			Seed:        seed,
+			Un:          s.cfg.Un,
+			Phase2:      int(s.cfg.Phase2),
+			TrackLosses: s.cfg.TrackLosses,
+			NItems:      n,
+			ItemsHash:   fp,
+			Phase:       phase,
+			Survivors:   append([]int64(nil), survivors...),
+		}
+		snap := led.Snapshot()
+		st.Comparisons, st.MemoHits, st.Steps = snap.Comparisons, snap.MemoHits, snap.Steps
+		if budget != nil {
+			for i := 0; i < cost.MaxClasses; i++ {
+				st.BudgetSpent[i] = budget.Spent(Class(i))
+			}
+			st.BudgetCost = budget.SpentCost()
+		}
+		st.NaiveMemo = memoPairs(nm)
+		st.ExpertMemo = memoPairs(em)
+		return st
+	}
+}
+
+// memoPairs copies a memo table into the checkpoint's sorted triple form.
+func memoPairs(m *Memo) []checkpoint.PairAnswer {
+	if m == nil {
+		return nil
+	}
+	entries := m.Entries()
+	out := make([]checkpoint.PairAnswer, len(entries))
+	for i, e := range entries {
+		out[i] = checkpoint.PairAnswer{A: int64(e[0]), B: int64(e[1]), Winner: int64(e[2])}
+	}
+	return out
+}
+
+// ckWriter drives a run's checkpointing: a backend decorator counts paid
+// comparisons and snapshots every N of them, and the core algorithm's
+// OnPhase hook snapshots at phase boundaries. A failed snapshot write fails
+// the run fast — the next dispatched comparison returns the write error —
+// because continuing to spend money a crash would strand defeats the point.
+type ckWriter struct {
+	mu        sync.Mutex
+	path      string
+	every     int64
+	since     int64
+	phase     string
+	survivors []int64
+	build     func(phase string, survivors []int64) *checkpoint.State
+	err       error
+}
+
+func newCkWriter(cfg CheckpointConfig, build func(string, []int64) *checkpoint.State) *ckWriter {
+	every := int64(cfg.Every)
+	if every <= 0 {
+		every = 500
+	}
+	return &ckWriter{path: cfg.Path, every: every, phase: "start", build: build}
+}
+
+// wrap decorates a backend so successful answers advance the interval
+// counter; the decorator sits outermost, so chaos-injected failures and
+// memo hits (which never reach a backend) do not count.
+func (w *ckWriter) wrap(b Backend) Backend {
+	return dispatch.Func(func(ctx context.Context, req BackendRequest) (BackendAnswer, error) {
+		w.mu.Lock()
+		failed := w.err
+		w.mu.Unlock()
+		if failed != nil {
+			return BackendAnswer{}, failed
+		}
+		ans, err := b.Answer(ctx, req)
+		if err != nil {
+			return ans, err
+		}
+		w.mu.Lock()
+		w.since++
+		if w.since >= w.every {
+			w.since = 0
+			w.snapshotLocked("interval")
+		}
+		w.mu.Unlock()
+		return ans, nil
+	})
+}
+
+// boundary records a phase boundary and snapshots immediately. Matches the
+// core.FindMaxOptions.OnPhase signature.
+func (w *ckWriter) boundary(phase string, survivors []Item) {
+	ids := make([]int64, len(survivors))
+	for i, it := range survivors {
+		ids[i] = int64(it.ID)
+	}
+	w.mu.Lock()
+	w.phase = phase
+	w.survivors = ids
+	w.since = 0
+	w.snapshotLocked(phase)
+	w.mu.Unlock()
+}
+
+// snapshotLocked builds and atomically writes one snapshot; callers hold
+// w.mu, which also serializes concurrent interval snapshots from parallel
+// batches.
+func (w *ckWriter) snapshotLocked(label string) {
+	st := w.build(label, w.survivors)
+	if err := checkpoint.Save(w.path, st); err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+		return
+	}
+	if m := obs.Active(); m != nil {
+		m.CheckpointWrite()
+	}
+}
+
+// Err returns the first snapshot-write failure, if any.
+func (w *ckWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

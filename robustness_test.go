@@ -1,0 +1,253 @@
+package crowdmax
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"crowdmax/internal/dataset"
+)
+
+// statelessSession builds a session over deterministic, order-independent
+// workers (ε = 0, HashTie) — the configuration under which checkpoint/resume
+// promises bit-identical results.
+func statelessSession(t *testing.T, cal dataset.Calibrated, seed uint64, mutate func(*Config)) *Session {
+	t.Helper()
+	cfg := Config{
+		Naive:  &ThresholdWorker{Delta: cal.DeltaN, Tie: HashTie{Seed: seed}},
+		Expert: &ThresholdWorker{Delta: cal.DeltaE, Tie: HashTie{Seed: seed + 1}},
+		Un:     cal.Un,
+		Prices: Prices{Naive: 1, Expert: 50},
+		Rand:   NewRand(seed),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	cal, err := dataset.UniformCalibrated(200, 6, 2, NewRand(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := cal.Set.Items()
+	const seed = 77
+
+	// Uninterrupted baseline (checkpointing on, to prove the decorator
+	// itself does not perturb the run).
+	baseDir := t.TempDir()
+	base := statelessSession(t, cal, seed, func(c *Config) {
+		c.Checkpoint = CheckpointConfig{Path: filepath.Join(baseDir, "base.ck"), Every: 64}
+	})
+	want, err := base.FindMax(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Distance(cal.Set.Max(), want.Best); d > 2*cal.DeltaE {
+		t.Fatalf("baseline answer is %g from the max, want ≤ 2δe = %g", d, 2*cal.DeltaE)
+	}
+
+	for _, crashAfter := range []int64{50, 333, 1000, 2500} {
+		t.Run(fmt.Sprintf("crash-after-%d", crashAfter), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.ck")
+			crashed := statelessSession(t, cal, seed, func(c *Config) {
+				c.Checkpoint = CheckpointConfig{Path: path, Every: 64}
+				c.Chaos = &ChaosPlan{CrashAfter: crashAfter}
+			})
+			_, err := crashed.FindMax(items)
+			if !errors.Is(err, ErrInjectedCrash) {
+				t.Fatalf("crashed run: err = %v, want ErrInjectedCrash", err)
+			}
+			if !errors.Is(err, ErrPermanentBackend) {
+				t.Fatalf("crash error %v does not wrap ErrPermanentBackend", err)
+			}
+
+			resumed := statelessSession(t, cal, seed, func(c *Config) {
+				c.Checkpoint = CheckpointConfig{Path: path, Every: 64}
+			})
+			got, err := resumed.Resume(context.Background(), path, items)
+			if err != nil {
+				t.Fatalf("Resume: %v", err)
+			}
+			if got.Best.ID != want.Best.ID {
+				t.Fatalf("resumed best = %d, uninterrupted best = %d", got.Best.ID, want.Best.ID)
+			}
+			if got.NaiveComparisons != want.NaiveComparisons ||
+				got.ExpertComparisons != want.ExpertComparisons ||
+				got.Cost != want.Cost {
+				t.Fatalf("resumed totals (%d naive, %d expert, cost %g) differ from uninterrupted (%d, %d, %g)",
+					got.NaiveComparisons, got.ExpertComparisons, got.Cost,
+					want.NaiveComparisons, want.ExpertComparisons, want.Cost)
+			}
+			if len(got.Candidates) != len(want.Candidates) {
+				t.Fatalf("resumed candidate set size %d, want %d", len(got.Candidates), len(want.Candidates))
+			}
+			for i := range got.Candidates {
+				if got.Candidates[i].ID != want.Candidates[i].ID {
+					t.Fatalf("candidate %d: resumed %d, uninterrupted %d",
+						i, got.Candidates[i].ID, want.Candidates[i].ID)
+				}
+			}
+		})
+	}
+}
+
+func TestResumeRejectsMismatchedFingerprint(t *testing.T) {
+	cal, err := dataset.UniformCalibrated(120, 5, 2, NewRand(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := cal.Set.Items()
+	path := filepath.Join(t.TempDir(), "run.ck")
+	s := statelessSession(t, cal, 5, func(c *Config) {
+		c.Checkpoint = CheckpointConfig{Path: path, Every: 32}
+	})
+	if _, err := s.FindMax(items); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		items  []Item
+	}{
+		{name: "different-un", mutate: func(c *Config) { c.Un++ }, items: items},
+		{name: "different-seed", mutate: func(c *Config) { c.Rand = NewRand(999) }, items: items},
+		{name: "different-phase2", mutate: func(c *Config) { c.Phase2 = AllPlayAllPhase2 }, items: items},
+		{name: "different-items", mutate: nil, items: items[:len(items)-1]},
+		{name: "memoization-off", mutate: func(c *Config) { c.DisableMemoization = true }, items: items},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			other := statelessSession(t, cal, 5, func(c *Config) {
+				if tc.mutate != nil {
+					tc.mutate(c)
+				}
+			})
+			if _, err := other.Resume(context.Background(), path, tc.items); err == nil {
+				t.Fatal("Resume accepted a mismatched checkpoint")
+			}
+		})
+	}
+}
+
+func TestResumeRejectsCorruptFile(t *testing.T) {
+	cal, err := dataset.UniformCalibrated(60, 4, 2, NewRand(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := statelessSession(t, cal, 5, nil)
+	path := filepath.Join(t.TempDir(), "garbage.ck")
+	if err := os.WriteFile(path, []byte("CMCKgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resume(context.Background(), path, cal.Set.Items()); err == nil {
+		t.Fatal("Resume accepted a corrupt checkpoint file")
+	}
+}
+
+// dieAfterN answers the first n requests via cmp, then fails every request
+// permanently with ErrBackendUnavailable — a platform that went away and
+// never came back.
+type dieAfterN struct {
+	mu    sync.Mutex
+	n     int64
+	cmp   Comparator
+	calls int64
+}
+
+func (d *dieAfterN) Answer(ctx context.Context, req BackendRequest) (BackendAnswer, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.calls++
+	if d.calls > d.n {
+		return BackendAnswer{}, fmt.Errorf("platform gone: %w", ErrBackendUnavailable)
+	}
+	return BackendAnswer{Winner: d.cmp.Compare(req.A, req.B)}, nil
+}
+
+func TestBackendDiesMidPhase1(t *testing.T) {
+	cal, err := dataset.UniformCalibrated(200, 6, 2, NewRand(36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const survive = 40
+	naive := &ThresholdWorker{Delta: cal.DeltaN, Tie: HashTie{Seed: 9}}
+	dying := &dieAfterN{n: survive, cmp: naive}
+	s := statelessSession(t, cal, 9, func(c *Config) {
+		c.NaiveBackend = dying
+	})
+	res, err := s.FindMaxContext(context.Background(), cal.Set.Items())
+	if !errors.Is(err, ErrBackendUnavailable) {
+		t.Fatalf("err = %v, want ErrBackendUnavailable", err)
+	}
+	// The result must report the true paid spend: exactly the comparisons
+	// the backend answered before dying, priced accordingly.
+	if res.NaiveComparisons != survive {
+		t.Fatalf("paid %d naive comparisons, want %d", res.NaiveComparisons, survive)
+	}
+	if res.ExpertComparisons != 0 {
+		t.Fatalf("phase 2 ran after a phase-1 death: %d expert comparisons", res.ExpertComparisons)
+	}
+	if want := float64(survive) * 1; res.Cost != want {
+		t.Fatalf("cost = %g, want %g", res.Cost, want)
+	}
+	if res.Best.ID != 0 || res.Best.Value != 0 {
+		t.Fatalf("phase-1 death still produced a best item: %+v", res.Best)
+	}
+}
+
+func TestBackendDiesMidPhase2(t *testing.T) {
+	cal, err := dataset.UniformCalibrated(200, 6, 2, NewRand(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const survive = 3
+	expert := &ThresholdWorker{Delta: cal.DeltaE, Tie: HashTie{Seed: 10}}
+	dying := &dieAfterN{n: survive, cmp: expert}
+	s := statelessSession(t, cal, 9, func(c *Config) {
+		c.ExpertBackend = dying
+	})
+	res, err := s.FindMaxContext(context.Background(), cal.Set.Items())
+	if !errors.Is(err, ErrBackendUnavailable) {
+		t.Fatalf("err = %v, want ErrBackendUnavailable", err)
+	}
+	// Phase 1 completed: the partial result carries the full candidate set
+	// and the naïve spend, plus exactly the expert comparisons that were
+	// answered before the platform died.
+	if len(res.Candidates) == 0 {
+		t.Fatal("phase-2 death lost the phase-1 candidate set")
+	}
+	if res.NaiveComparisons == 0 {
+		t.Fatal("phase-2 death lost the naïve spend")
+	}
+	if res.ExpertComparisons != survive {
+		t.Fatalf("paid %d expert comparisons, want %d", res.ExpertComparisons, survive)
+	}
+	if want := float64(res.NaiveComparisons)*1 + float64(survive)*50; res.Cost != want {
+		t.Fatalf("cost = %g, want %g", res.Cost, want)
+	}
+}
+
+func TestCheckpointRequiresMemoization(t *testing.T) {
+	cal, err := dataset.UniformCalibrated(60, 4, 2, NewRand(38))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := statelessSession(t, cal, 5, func(c *Config) {
+		c.DisableMemoization = true
+		c.Checkpoint = CheckpointConfig{Path: filepath.Join(t.TempDir(), "run.ck")}
+	})
+	if _, err := s.FindMax(cal.Set.Items()); err == nil {
+		t.Fatal("checkpointing without memoization was accepted")
+	}
+}

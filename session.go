@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"crowdmax/internal/checkpoint"
 	"crowdmax/internal/core"
+	"crowdmax/internal/cost"
+	"crowdmax/internal/dispatch"
 	"crowdmax/internal/worker"
 )
 
@@ -56,6 +59,21 @@ type Config struct {
 	NaiveBackend Backend
 	// ExpertBackend is the phase-2 counterpart of NaiveBackend.
 	ExpertBackend Backend
+	// Checkpoint enables crash recovery: snapshots of the run state are
+	// written atomically to Checkpoint.Path at phase boundaries and every
+	// Checkpoint.Every paid comparisons, and Session.Resume continues a
+	// truncated run from the last snapshot. Requires memoization (the
+	// default) and — for bit-identical resume — stateless comparators
+	// (ε = 0 with an order-independent tie policy such as HashTie).
+	Checkpoint CheckpointConfig
+	// Chaos, when non-nil and enabled, injects semantic faults (adversarial
+	// personas on the naïve backend, a deterministic crash) for robustness
+	// testing; see ChaosPlan.
+	Chaos *ChaosPlan
+	// Health enables per-worker health tracking when a backend is a
+	// WorkerPool (gold probes, quarantine) and, with HedgeAfter set, wraps
+	// the backends in a hedging decorator; see HealthConfig.
+	Health HealthConfig
 }
 
 // Session runs the two-phase algorithm with a fixed worker configuration
@@ -125,6 +143,16 @@ func (s *Session) FindMax(items []Item) (Result, error) {
 // costs alongside the error; use errors.Is(err, context.Canceled) and
 // errors.Is(err, ErrBudgetExhausted) to tell the causes apart.
 func (s *Session) FindMaxContext(ctx context.Context, items []Item) (Result, error) {
+	return s.findMax(ctx, items, nil)
+}
+
+// findMax is the shared engine behind FindMaxContext and Resume: it wires
+// the configured backends (decorating them with chaos, health, and
+// checkpoint layers as requested), optionally replays a checkpoint, runs
+// Algorithm 1, and merges the run's costs into the session ledger. With no
+// Checkpoint/Chaos/Health configured and no backends set, the wiring
+// collapses to the historical direct-comparator hot path.
+func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.State) (Result, error) {
 	if err := s.enter(); err != nil {
 		return Result{}, err
 	}
@@ -134,23 +162,105 @@ func (s *Session) FindMaxContext(ctx context.Context, items []Item) (Result, err
 	if !s.cfg.DisableMemoization {
 		naiveMemo, expertMemo = NewMemo(), NewMemo()
 	}
-	no := NewOracle(s.cfg.Naive, Naive, runLedger, naiveMemo).WithBackend(s.cfg.NaiveBackend)
-	eo := NewOracle(s.cfg.Expert, Expert, runLedger, expertMemo).WithBackend(s.cfg.ExpertBackend)
+	var budget *Budget
 	if !s.cfg.Budget.IsZero() {
-		b := NewBudget(s.cfg.Budget)
-		no.WithBudget(b)
-		eo.WithBudget(b)
+		budget = NewBudget(s.cfg.Budget)
+	}
+	if resume != nil {
+		// Replay the checkpoint: prime the memo tables with every frozen
+		// answer and restore the ledger and budget totals. Re-running the
+		// algorithm from the start then serves every pre-crash comparison
+		// as a free memo hit billed at its original count, and the first
+		// genuinely new comparison lands exactly where the crashed run
+		// stopped.
+		for _, e := range resume.NaiveMemo {
+			naiveMemo.Prime(int(e.A), int(e.B), int(e.Winner))
+		}
+		for _, e := range resume.ExpertMemo {
+			expertMemo.Prime(int(e.A), int(e.B), int(e.Winner))
+		}
+		runLedger.AddSnapshot(cost.Snapshot{
+			Comparisons: resume.Comparisons,
+			MemoHits:    resume.MemoHits,
+			Steps:       resume.Steps,
+		})
+		for i := 0; i < cost.MaxClasses; i++ {
+			budget.Preload(Class(i), resume.BudgetSpent[i])
+		}
 	}
 	r := s.cfg.Rand
 	if r == nil {
 		r = NewRand(0)
 	}
-	res, err := core.FindMax(ctx, items, no, eo, core.FindMaxOptions{
+
+	nb, eb := s.cfg.NaiveBackend, s.cfg.ExpertBackend
+	ckOn := s.cfg.Checkpoint.Path != ""
+	chaosOn := s.cfg.Chaos != nil && s.cfg.Chaos.Enabled()
+	healthOn := !s.cfg.Health.IsZero()
+	if ckOn || chaosOn || healthOn {
+		// These layers are backend decorators; manufacture simulated
+		// backends around the configured comparators when none are set.
+		if nb == nil {
+			nb = NewSimulatedBackend(s.cfg.Naive)
+		}
+		if eb == nil {
+			eb = NewSimulatedBackend(s.cfg.Expert)
+		}
+	}
+	if chaosOn {
+		var err error
+		nb, eb, _, err = s.cfg.Chaos.Apply(nb, eb)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if healthOn {
+		if p, ok := nb.(*WorkerPool); ok {
+			p.EnableHealth(s.cfg.Health)
+		}
+		if p, ok := eb.(*WorkerPool); ok {
+			p.EnableHealth(s.cfg.Health)
+		}
+		if d := s.cfg.Health.HedgeAfter; d > 0 {
+			nb = dispatch.NewHedge(nb, d)
+			eb = dispatch.NewHedge(eb, d)
+		}
+	}
+	var ck *ckWriter
+	if ckOn {
+		if s.cfg.DisableMemoization {
+			return Result{}, errors.New("crowdmax: Config.Checkpoint requires memoization (resume replays the memo tables)")
+		}
+		ck = newCkWriter(s.cfg.Checkpoint, s.checkpointState(items, r.Seed(), runLedger, budget, naiveMemo, expertMemo))
+		nb, eb = ck.wrap(nb), ck.wrap(eb)
+	}
+
+	no := NewOracle(s.cfg.Naive, Naive, runLedger, naiveMemo).WithBackend(nb)
+	eo := NewOracle(s.cfg.Expert, Expert, runLedger, expertMemo).WithBackend(eb)
+	if budget != nil {
+		no.WithBudget(budget)
+		eo.WithBudget(budget)
+	}
+	opt := core.FindMaxOptions{
 		Un:          s.cfg.Un,
 		Phase2:      s.cfg.Phase2,
 		TrackLosses: s.cfg.TrackLosses,
 		Randomized:  core.RandomizedOptions{R: r.Child("phase2")},
-	})
+	}
+	if ck != nil {
+		// An immediate snapshot makes even a crash before the first
+		// interval resumable; phase boundaries refresh it.
+		ck.boundary("start", nil)
+		opt.OnPhase = ck.boundary
+	}
+	res, err := core.FindMax(ctx, items, no, eo, opt)
+	if err == nil && ck != nil {
+		// A boundary snapshot that failed to write cannot fail the run
+		// through the backend path (no comparison follows it); surface it
+		// here so checkpointed runs never report success without a
+		// durable final snapshot.
+		err = ck.Err()
+	}
 	s.ledger.Add(runLedger)
 	return Result{
 		Best:              res.Best,
