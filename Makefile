@@ -1,9 +1,9 @@
 GO ?= go
 
 # Concurrency-heavy packages CI runs under the race detector.
-RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/... ./internal/dispatch/... ./internal/chaos/... ./internal/checkpoint/...
+RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/... ./internal/dispatch/... ./internal/chaos/... ./internal/checkpoint/... ./internal/degrade/...
 
-.PHONY: build test race bench vet lint ci bench-smoke chaos-smoke all clean
+.PHONY: build test race bench vet lint ci bench-smoke chaos-smoke soak-smoke all clean
 
 all: build vet test
 
@@ -19,7 +19,7 @@ race:
 
 # Mirror of .github/workflows/ci.yml: the test job's steps plus the
 # benchmark-smoke job. Green here means green there (modulo Go version).
-ci: vet lint build test race bench-smoke chaos-smoke
+ci: vet lint build test race bench-smoke chaos-smoke soak-smoke
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkFig3Parallel -benchtime=1x ./internal/experiment
@@ -38,6 +38,15 @@ chaos-smoke:
 	$(GO) run ./cmd/maxcrowd -n 400 -seed 7 -chaos spammer:0.1 >/dev/null
 	$(GO) test -run 'TestAdversarySweepRetentionWithHealth' ./internal/experiment
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointRoundTrip -fuzztime 10s ./internal/checkpoint
+
+# Graceful-degradation soak: the same steps as the CI soak-smoke job. A run
+# whose expert backend dies mid-phase-2 must complete on the naive-majority
+# rung and say so, and the soak harness must verify every schedule's
+# label-honesty and crash/resume same-rung invariants.
+soak-smoke:
+	$(GO) run ./cmd/maxcrowd -n 400 -seed 7 -chaos expert-outage:1.0@600+ >/tmp/soak-smoke.out
+	grep -q "guarantee: δn (rung naive-majority)" /tmp/soak-smoke.out
+	$(GO) run ./cmd/soak -trials 8 -n 300 -seed 1
 
 # Reduced per-figure benchmarks plus the parallel-engine benchmark.
 bench:

@@ -44,7 +44,8 @@ var (
 	ckPath   = flag.String("checkpoint", "", "write crash-recovery snapshots to this file (alg1 only; switches tie-breaking to an order-independent hash)")
 	ckEvery  = flag.Int("checkpoint-every", 500, "with -checkpoint: also snapshot every N paid comparisons, besides phase boundaries")
 	resumeCk = flag.String("resume", "", "resume a truncated alg1 run from this checkpoint file; flags must match the original run")
-	chaosArg = flag.String("chaos", "", "inject faults (alg1 only): comma-separated spec, e.g. crash:500, spammer:0.2, adversary, colluder:7, degrader:0.1:0.01")
+	chaosArg = flag.String("chaos", "", "inject faults (alg1 only): comma-separated spec with optional expert- prefix, fraction ramps, and @from-to comparison windows, e.g. crash:500, spammer:0.2, expert-outage:1.0@1000+, spammer:0.1-0.5@0-2000, adversary, colluder:7, degrader:0.1:0.01")
+	degraded = flag.Bool("degrade", true, "session runs (-checkpoint/-resume/-chaos): walk down the quality ladder instead of failing when experts, budget, or deadline disappear; -degrade=false restores hard failures")
 )
 
 func main() {
@@ -268,7 +269,13 @@ func runSession(ctx context.Context, set *crowdmax.Set, deltaN, deltaE float64, 
 			return err
 		}
 		plan.Seed = *seed
+		// Hash-of-pair persona randomness keeps fault decisions identical
+		// across a crash + resume, like the workers' HashTie.
+		plan.PairHash = true
 		cfg.Chaos = &plan
+	}
+	if *degraded {
+		cfg.Degrade = &crowdmax.DegradeConfig{}
 	}
 	s, err := crowdmax.NewSession(cfg)
 	if err != nil {
@@ -298,6 +305,7 @@ func runSession(ctx context.Context, set *crowdmax.Set, deltaN, deltaE float64, 
 	fmt.Printf("phase 1 kept %d candidates\n", len(res.Candidates))
 	fmt.Printf("returned %q (value %.4g), true rank %d of %d\n",
 		label(res.Best), res.Best.Value, set.Rank(res.Best.ID), set.Len())
+	fmt.Printf("guarantee: %s (rung %s)\n", res.Guarantee, res.Rung)
 	fmt.Printf("comparisons: %d naive, %d expert; cost C(n) = %.0f (cn=1, ce=%g)\n",
 		res.NaiveComparisons, res.ExpertComparisons, res.Cost, *ce)
 	return nil

@@ -178,6 +178,29 @@ func TestRunWithSpammerChaos(t *testing.T) {
 	}
 }
 
+func TestRunExpertOutageDegradesToNaiveMajority(t *testing.T) {
+	// The acceptance scenario: the expert backend dies for good mid-run.
+	// With the degrade controller (on by default) the run must complete
+	// without error and report the naive-majority rung's δn guarantee.
+	setFlags(t, 300, "alg1", "uniform", 6, 3, false)
+	setRobustFlags(t, "", 500, "", "expert-outage:1.0@0+")
+	out, err := captureRun(t)
+	if err != nil {
+		t.Fatalf("expert outage was not absorbed: %v", err)
+	}
+	if !strings.Contains(out, "guarantee: δn (rung naive-majority)") {
+		t.Fatalf("degraded run did not report the δn rung:\n%s", out)
+	}
+
+	// With -degrade=false the same outage is a hard failure again.
+	old := *degraded
+	*degraded = false
+	t.Cleanup(func() { *degraded = old })
+	if _, err := captureRun(t); err == nil {
+		t.Fatal("-degrade=false still absorbed the expert outage")
+	}
+}
+
 func TestRunRobustFlagsRejectOtherModes(t *testing.T) {
 	setFlags(t, 100, "2mf-naive", "uniform", 5, 2, false)
 	setRobustFlags(t, t.TempDir()+"/x.ck", 64, "", "")

@@ -1,0 +1,302 @@
+// Command soak hammers the degrade-enabled Session with time-varying chaos
+// schedules and crash/resume cycles, and asserts the robustness invariants
+// the graceful-degradation controller promises:
+//
+//   - a supervised run never panics and never returns an error for
+//     recoverable faults — it degrades and reports the achieved guarantee;
+//   - the guarantee label is never stronger than the rung that produced the
+//     answer, and δn-or-stronger labels only appear after a completed filter;
+//   - a run killed by the crash injector and resumed from its checkpoint
+//     lands on the same rung with the same answer and the same paid counts,
+//     bit-identically to an uninterrupted run of the same seed.
+//
+// Each trial runs three legs sharing one derived seed: an uninterrupted
+// reference run, the same run killed at -crash-at paid comparisons, and a
+// resume from the crashed run's snapshot. With -dist it prints the achieved
+// guarantee distribution per schedule as a markdown table (the numbers in
+// EXPERIMENTS.md come from this mode).
+//
+// Example:
+//
+//	soak -trials 16 -n 400 -seed 1
+//	soak -trials 50 -n 400 -dist -plans "expert-outage:1.0@800+"
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+
+	"crowdmax"
+	"crowdmax/internal/dataset"
+)
+
+var (
+	trials  = flag.Int("trials", 16, "trials per schedule")
+	nItems  = flag.Int("n", 400, "instance size per trial")
+	unFlag  = flag.Int("un", 8, "target un(n) for the generated instances")
+	ueFlag  = flag.Int("ue", 3, "target ue(n) for the generated instances")
+	seed    = flag.Uint64("seed", 1, "base seed; every trial derives its own from it")
+	plans   = flag.String("plans", strings.Join(defaultSchedules, ";"), "';'-separated chaos schedules to soak under ('none' = fault-free)")
+	crashAt = flag.Int64("crash-at", 500, "paid-comparison position of the injected crash in the crash/resume leg")
+	dist    = flag.Bool("dist", false, "print the achieved-guarantee distribution as a markdown table")
+)
+
+// defaultSchedules are the soak's standard fault mixes: a fault-free
+// baseline, a mid-run naive spam burst, a permanent expert outage opening
+// mid-phase-2, and a ramping partial outage that heals — the last exercises
+// upward recovery.
+var defaultSchedules = []string{
+	"none",
+	"spammer:0.3@500-2000",
+	"expert-outage:1.0@800+",
+	"expert-outage:0.5@300-1200,spammer:0.1-0.4@0-1500",
+}
+
+// maxLabel is the strongest guarantee each rung name may honestly carry;
+// soak fails any result claiming more.
+var maxLabel = map[string]crowdmax.Guarantee{
+	"expert-2maxfind":     crowdmax.Guarantee2DeltaE,
+	"expert-all-play-all": crowdmax.Guarantee2DeltaE,
+	"expert-randomized":   crowdmax.Guarantee3DeltaEWHP,
+	"expert-shrunk":       crowdmax.Guarantee2DeltaESubset,
+	"naive-majority":      crowdmax.GuaranteeDeltaN,
+	"best-so-far":         crowdmax.GuaranteeNone,
+}
+
+func main() {
+	flag.Parse()
+	if err := soak(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(1)
+	}
+}
+
+func soak(w io.Writer) error {
+	tmp, err := os.MkdirTemp("", "crowdmax-soak-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	schedules := strings.Split(*plans, ";")
+	counts := make(map[string]map[crowdmax.Guarantee]int, len(schedules))
+	var failures []string
+	total := 0
+	for _, sched := range schedules {
+		sched = strings.TrimSpace(sched)
+		counts[sched] = make(map[crowdmax.Guarantee]int)
+		for t := 0; t < *trials; t++ {
+			total++
+			g, err := runTrial(tmp, sched, t)
+			if err != nil {
+				failures = append(failures, fmt.Sprintf("schedule %q trial %d: %v", sched, t, err))
+				continue
+			}
+			counts[sched][g]++
+		}
+	}
+
+	if *dist {
+		writeDistribution(w, schedules, counts)
+	} else {
+		for _, sched := range schedules {
+			fmt.Fprintf(w, "schedule %-55q %s\n", sched, summarize(counts[sched]))
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(w, "soak: FAIL (%d/%d trials)\n", len(failures), total)
+		return errors.New(strings.Join(failures, "\n"))
+	}
+	fmt.Fprintf(w, "soak: PASS (%d trials, %d schedules)\n", total, len(schedules))
+	return nil
+}
+
+// runTrial runs one schedule's three legs under one derived seed and returns
+// the guarantee the reference run achieved. Any panic is converted into a
+// trial failure — the soak's first invariant.
+func runTrial(tmp, sched string, t int) (g crowdmax.Guarantee, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("PANIC: %v\n%s", r, debug.Stack())
+		}
+	}()
+	tseed := crowdmax.NewRand(*seed).ChildN("soak-trial", t).Seed()
+	set := dataset.Uniform(*nItems, 0, 1, crowdmax.NewRand(tseed).Child("data"))
+	items := set.Items()
+	ctx := context.Background()
+
+	// Leg 1: the uninterrupted reference run.
+	refCk := filepath.Join(tmp, fmt.Sprintf("ref-%d.ck", t))
+	ref, err := newSession(set, tseed, refCk, sched, 0)
+	if err != nil {
+		return "", err
+	}
+	want, err := ref.FindMaxContext(ctx, items)
+	if err != nil {
+		return "", fmt.Errorf("reference run failed (degradation did not absorb the faults): %w", err)
+	}
+	if err := checkLabels(want); err != nil {
+		return "", err
+	}
+
+	// Leg 2: the same run killed by the crash injector.
+	crashCk := filepath.Join(tmp, fmt.Sprintf("crash-%d.ck", t))
+	crashed, err := newSession(set, tseed, crashCk, sched, *crashAt)
+	if err != nil {
+		return "", err
+	}
+	if _, err := crashed.FindMaxContext(ctx, items); err == nil {
+		// The run finished under -crash-at comparisons; there is nothing to
+		// resume, and determinism was already checked against the reference.
+		return want.Guarantee, nil
+	} else if !errors.Is(err, crowdmax.ErrInjectedCrash) {
+		return "", fmt.Errorf("crash leg failed with %v, want the injected crash", err)
+	}
+
+	// Leg 3: resume from the crashed run's snapshot; the replay must land on
+	// the reference run's rung and answer, bit-identically.
+	res, err := newSession(set, tseed, crashCk, sched, 0)
+	if err != nil {
+		return "", err
+	}
+	got, err := res.Resume(ctx, crashCk, items)
+	if err != nil {
+		return "", fmt.Errorf("resume failed: %w", err)
+	}
+	if err := checkLabels(got); err != nil {
+		return "", fmt.Errorf("resumed run: %w", err)
+	}
+	if diff := diffResults(want, got); diff != "" {
+		return "", fmt.Errorf("resumed run diverged from the uninterrupted run: %s", diff)
+	}
+	return want.Guarantee, nil
+}
+
+// newSession builds one leg's session: threshold workers with hash
+// tie-breaking (order-independent, so replay is exact), a checkpoint at
+// ckPath, the schedule's chaos plan, and the degrade controller. crashAfter,
+// when > 0, arms the crash injector on top of the schedule.
+func newSession(set *crowdmax.Set, tseed uint64, ckPath, sched string, crashAfter int64) (*crowdmax.Session, error) {
+	dn, err := set.DeltaForU(min(*unFlag, set.Len()))
+	if err != nil {
+		return nil, err
+	}
+	de, err := set.DeltaForU(min(*ueFlag, set.Len()))
+	if err != nil {
+		return nil, err
+	}
+	var plan crowdmax.ChaosPlan
+	if sched != "none" && sched != "" {
+		if plan, err = crowdmax.ParseChaosPlan(sched); err != nil {
+			return nil, err
+		}
+	}
+	plan.Seed = tseed
+	plan.PairHash = true
+	plan.CrashAfter = crashAfter
+	return crowdmax.NewSession(crowdmax.Config{
+		Naive:      &crowdmax.ThresholdWorker{Delta: dn, Tie: crowdmax.HashTie{Seed: tseed}},
+		Expert:     &crowdmax.ThresholdWorker{Delta: de, Tie: crowdmax.HashTie{Seed: tseed + 1}},
+		Un:         *unFlag,
+		Rand:       crowdmax.NewRand(tseed),
+		Checkpoint: crowdmax.CheckpointConfig{Path: ckPath, Every: 64},
+		Chaos:      &plan,
+		Degrade:    &crowdmax.DegradeConfig{},
+	})
+}
+
+// checkLabels enforces the honesty invariants on one result.
+func checkLabels(res crowdmax.Result) error {
+	strongest, ok := maxLabel[res.Rung]
+	if !ok {
+		return fmt.Errorf("result names unknown rung %q", res.Rung)
+	}
+	if res.Guarantee.Strength() > strongest.Strength() {
+		return fmt.Errorf("label %q is stronger than rung %q can deliver (%q)",
+			res.Guarantee, res.Rung, strongest)
+	}
+	if res.Guarantee.Strength() >= crowdmax.GuaranteeDeltaN.Strength() && !res.Phase1Complete {
+		return fmt.Errorf("label %q claimed without a completed phase 1", res.Guarantee)
+	}
+	if res.Guarantee.Strength() > 0 && res.Best == (crowdmax.Item{}) {
+		return fmt.Errorf("label %q claimed with no answer", res.Guarantee)
+	}
+	return nil
+}
+
+// diffResults compares the fields the bit-identical-resume property covers;
+// "" means identical.
+func diffResults(want, got crowdmax.Result) string {
+	var diffs []string
+	if want.Best != got.Best {
+		diffs = append(diffs, fmt.Sprintf("best %+v vs %+v", want.Best, got.Best))
+	}
+	if want.Rung != got.Rung {
+		diffs = append(diffs, fmt.Sprintf("rung %q vs %q", want.Rung, got.Rung))
+	}
+	if want.Guarantee != got.Guarantee {
+		diffs = append(diffs, fmt.Sprintf("guarantee %q vs %q", want.Guarantee, got.Guarantee))
+	}
+	if want.Phase1Complete != got.Phase1Complete {
+		diffs = append(diffs, fmt.Sprintf("phase1Complete %v vs %v", want.Phase1Complete, got.Phase1Complete))
+	}
+	if len(want.Candidates) != len(got.Candidates) {
+		diffs = append(diffs, fmt.Sprintf("candidates %d vs %d", len(want.Candidates), len(got.Candidates)))
+	}
+	if want.NaiveComparisons != got.NaiveComparisons || want.ExpertComparisons != got.ExpertComparisons {
+		diffs = append(diffs, fmt.Sprintf("paid (%d, %d) vs (%d, %d)",
+			want.NaiveComparisons, want.ExpertComparisons, got.NaiveComparisons, got.ExpertComparisons))
+	}
+	return strings.Join(diffs, "; ")
+}
+
+// order lists the guarantee columns of the distribution table, strongest
+// first.
+var order = []crowdmax.Guarantee{
+	crowdmax.Guarantee2DeltaE,
+	crowdmax.Guarantee3DeltaEWHP,
+	crowdmax.Guarantee2DeltaESubset,
+	crowdmax.GuaranteeDeltaN,
+	crowdmax.GuaranteeNone,
+}
+
+func summarize(c map[crowdmax.Guarantee]int) string {
+	var parts []string
+	for _, g := range order {
+		if n := c[g]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s×%d", g, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no completed trials)"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func writeDistribution(w io.Writer, schedules []string, counts map[string]map[crowdmax.Guarantee]int) {
+	fmt.Fprint(w, "| schedule |")
+	for _, g := range order {
+		fmt.Fprintf(w, " %s |", g)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range order {
+		fmt.Fprint(w, "---:|")
+	}
+	fmt.Fprintln(w)
+	for _, sched := range schedules {
+		sched = strings.TrimSpace(sched)
+		fmt.Fprintf(w, "| `%s` |", sched)
+		for _, g := range order {
+			fmt.Fprintf(w, " %d |", counts[sched][g])
+		}
+		fmt.Fprintln(w)
+	}
+}

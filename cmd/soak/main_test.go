@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSoakSmoke runs a small deterministic soak — every default schedule,
+// with the crash/resume leg — and requires a clean PASS. This is the same
+// configuration `make soak-smoke` runs in CI, shrunk to test-suite size.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is a multi-run harness; skipped with -short")
+	}
+	oldTrials, oldN, oldSeed := *trials, *nItems, *seed
+	*trials, *nItems, *seed = 2, 250, 7
+	t.Cleanup(func() { *trials, *nItems, *seed = oldTrials, oldN, oldSeed })
+
+	var out strings.Builder
+	if err := soak(&out); err != nil {
+		t.Fatalf("soak failed:\n%s\n%v", out.String(), err)
+	}
+	if !strings.Contains(out.String(), "soak: PASS") {
+		t.Fatalf("soak did not report PASS:\n%s", out.String())
+	}
+}
+
+// TestSoakDistributionTable checks the -dist markdown rendering.
+func TestSoakDistributionTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is a multi-run harness; skipped with -short")
+	}
+	oldTrials, oldN, oldSeed, oldPlans, oldDist := *trials, *nItems, *seed, *plans, *dist
+	*trials, *nItems, *seed, *plans, *dist = 1, 250, 7, "expert-outage:1.0@0+", true
+	t.Cleanup(func() { *trials, *nItems, *seed, *plans, *dist = oldTrials, oldN, oldSeed, oldPlans, oldDist })
+
+	var out strings.Builder
+	if err := soak(&out); err != nil {
+		t.Fatalf("soak failed:\n%s\n%v", out.String(), err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "| schedule |") || !strings.Contains(got, "| `expert-outage:1.0@0+` |") {
+		t.Fatalf("missing table rows:\n%s", got)
+	}
+	// A full outage from comparison 0 can never reach an expert rung: the
+	// trial must land exactly one run in the δn column.
+	if !strings.Contains(got, "| 0 | 0 | 0 | 1 | 0 |") {
+		t.Fatalf("expected a single δn trial in the distribution:\n%s", got)
+	}
+}

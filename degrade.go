@@ -1,0 +1,71 @@
+package crowdmax
+
+import (
+	"time"
+
+	"crowdmax/internal/degrade"
+)
+
+// Guarantee is the machine-checkable quality label attached to a Result: the
+// distance bound that holds between the returned element and the true
+// maximum. Labels order by Strength; a degraded run reports the label of the
+// rung that actually produced its answer, never a stronger one.
+type Guarantee = degrade.Guarantee
+
+// The guarantee labels of the default quality ladder, strongest first.
+const (
+	// Guarantee2DeltaE is Theorem 1's deterministic bound d(M, e) ≤ 2δe.
+	Guarantee2DeltaE = degrade.Guarantee2DeltaE
+	// Guarantee3DeltaEWHP is the randomized bound d(M, e) ≤ 3δe w.h.p.
+	Guarantee3DeltaEWHP = degrade.Guarantee3DeltaEWHP
+	// Guarantee2DeltaESubset is 2δe over a budget-shrunk candidate subset.
+	Guarantee2DeltaESubset = degrade.Guarantee2DeltaESubset
+	// GuaranteeDeltaN is the naïve-only majority-vote bound δn.
+	GuaranteeDeltaN = degrade.GuaranteeDeltaN
+	// GuaranteeNone marks a best-so-far answer with no distance bound.
+	GuaranteeNone = degrade.GuaranteeNone
+)
+
+// QualityLadder is an ordered list of degradation rungs, strongest first;
+// see DefaultQualityLadder for the standard five-rung ladder.
+type QualityLadder = degrade.Ladder
+
+// LadderRung is one named policy on a QualityLadder, with its preconditions
+// (minimum budget, minimum active experts) and Guarantee label.
+type LadderRung = degrade.Rung
+
+// DegradeDecision is one entry of the degradation controller's append-only
+// decision log: which rung was chosen at which decision point, and why every
+// stronger rung was skipped.
+type DegradeDecision = degrade.Decision
+
+// DefaultQualityLadder returns the standard ladder, strongest first:
+//
+//	expert-2maxfind   (2δe)         2-MaxFind over the candidate set S
+//	expert-randomized (3δe-whp)     randomized Algorithm 5 over S
+//	expert-shrunk     (2δe@subset)  2-MaxFind over a budget-sized sample of S
+//	naive-majority    (δn)          all-play-all over S with naïve workers
+//	best-so-far       (no bound)    return the current leader, spend nothing
+func DefaultQualityLadder() QualityLadder { return degrade.DefaultLadder() }
+
+// DegradeConfig enables graceful degradation: instead of failing a run when
+// the expert backend dies, the budget drains, or the deadline closes in, the
+// session walks down a declared quality ladder — and back up when a
+// quarantined pool heals — and reports the guarantee the answer actually
+// achieved in Result.Guarantee. Injected crashes (ErrInjectedCrash) and
+// context cancellation stay fatal: crash recovery is Session.Resume's job.
+//
+// Ladder decisions are deterministic in the session seed and the observed
+// comparison stream, so a resumed run replaying a checkpoint lands on the
+// same rung with the same decision log.
+type DegradeConfig struct {
+	// Ladder is the quality ladder to walk; nil uses DefaultQualityLadder().
+	Ladder QualityLadder
+	// MaxAttempts is how many times one rung may fail before the controller
+	// stops retrying it; defaults to 2.
+	MaxAttempts int
+	// CmpLatency, when > 0, is the per-comparison wall-time estimate used to
+	// hold a rung's cost estimate against the context deadline. Zero skips
+	// the deadline-versus-cost precondition (a passed deadline still blocks).
+	CmpLatency time.Duration
+}

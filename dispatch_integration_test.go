@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -268,5 +269,64 @@ func TestFlakyRetryBackendEndToEnd(t *testing.T) {
 	}
 	if res.NaiveComparisons == 0 || res.ExpertComparisons == 0 {
 		t.Fatal("backend run billed nothing")
+	}
+}
+
+// slowFirstBackend answers every request correctly but stalls the first call
+// long enough for a hedge decorator to launch its duplicate; calls counts how
+// many requests actually reached the backend.
+type slowFirstBackend struct {
+	calls atomic.Int64
+	stall time.Duration
+}
+
+func (b *slowFirstBackend) Answer(ctx context.Context, req BackendRequest) (BackendAnswer, error) {
+	if b.calls.Add(1) == 1 {
+		select {
+		case <-time.After(b.stall):
+		case <-ctx.Done():
+			return BackendAnswer{}, ctx.Err()
+		}
+	}
+	w := req.A
+	if req.B.Value > req.A.Value {
+		w = req.B
+	}
+	return BackendAnswer{Winner: w}, nil
+}
+
+func TestHedgeDuplicateChargesBudgetOnce(t *testing.T) {
+	// Regression: a hedge-duplicated request must not double-bill. The
+	// budget is pre-charged at the oracle layer — above the hedge — so the
+	// duplicate the decorator launches below is platform spend at most, not
+	// a second ledger comparison and not a second budget charge.
+	slow := &slowFirstBackend{stall: 200 * time.Millisecond}
+	ledger := NewLedger()
+	budget := NewBudget(BudgetLimits{MaxExpert: 1})
+	oracle := NewOracle(&ThresholdWorker{Tie: HashTie{Seed: 3}}, Expert, ledger, nil).
+		WithBackend(NewHedgeBackend(slow, 5*time.Millisecond)).
+		WithBudget(budget)
+
+	a, b := Item{ID: 1, Value: 1}, Item{ID: 2, Value: 2}
+	winner, err := oracle.Compare(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner.ID != 2 {
+		t.Fatalf("winner = %d, want 2", winner.ID)
+	}
+	if got := slow.calls.Load(); got != 2 {
+		t.Fatalf("backend saw %d calls, want 2 (original + hedge duplicate)", got)
+	}
+	if got := budget.Spent(Expert); got != 1 {
+		t.Fatalf("budget charged %d expert comparisons for one hedged request, want 1", got)
+	}
+	if got := ledger.Expert(); got != 1 {
+		t.Fatalf("ledger recorded %d paid expert comparisons, want 1", got)
+	}
+	// The budget cap of 1 is now exactly spent: a second comparison must be
+	// refused — proof the duplicate did not consume cap headroom either.
+	if _, err := oracle.Compare(context.Background(), a, Item{ID: 3, Value: 3}); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("second comparison: err = %v, want ErrBudgetExhausted", err)
 	}
 }

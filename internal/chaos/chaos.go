@@ -1,16 +1,29 @@
 // Package chaos provides semantic fault injection for robustness testing:
-// adversarial worker personas and a deterministic crash injector, all as
-// dispatch.Backend decorators.
+// adversarial worker personas, backend outages, and a deterministic crash
+// injector, all as dispatch.Backend decorators.
 //
 // internal/dispatch.Flaky models *transport* faults — requests that drop or
 // stall. This package models the faults the paper's threshold model warns
-// cannot be repaired by repetition: workers whose *answers* are wrong.
-// A Spammer answers uniformly at random; an Adversary inverts answers even
-// when the value difference exceeds its threshold; a Colluder promotes one
-// fixed target item; a Degrader starts honest and drifts toward randomness
-// as it serves more requests (worker fatigue). Each persona intercepts a
-// configurable fraction of requests and forwards the rest, so a single
-// decorator can also model a partially poisoned worker pool.
+// cannot be repaired by repetition: workers whose *answers* are wrong, and
+// whole worker classes that go away. A Spammer answers uniformly at random;
+// an Adversary inverts answers even when the value difference exceeds its
+// threshold; a Colluder promotes one fixed target item; a Degrader starts
+// honest and drifts toward randomness as it serves more requests (worker
+// fatigue); an Outage refuses intercepted requests with an error wrapping
+// dispatch.ErrBackendUnavailable — the platform persona that exercises the
+// graceful-degradation ladder. Each persona intercepts a configurable
+// fraction of requests and forwards the rest, so a single decorator can also
+// model a partially poisoned worker pool. Personas decorate either worker
+// class: a Plan targets the naïve backend by default and the expert backend
+// with the "expert-" token prefix.
+//
+// Injections can be time-varying: a PersonaConfig.Window restricts the
+// persona to a span of the fault clock, and Fraction..FractionTo ramps the
+// interception rate linearly across a bounded window. The clock defaults to
+// the decorator's own served-request counter; a Plan applied by the session
+// layer substitutes the run's paid-comparison count, which is restored on
+// checkpoint resume — so a resumed run sees every window at the same position
+// the crashed run did.
 //
 // The Crash injector kills a run after a fixed number of comparisons with an
 // error wrapping dispatch.ErrPermanent (never retried), which is how the
@@ -18,8 +31,13 @@
 // deterministically, resume from the last snapshot, and require a
 // bit-identical final answer.
 //
-// All injected randomness is drawn from seeded internal/rng streams under a
-// mutex, so a sequential run misbehaves identically on every replay.
+// Injected randomness is drawn from seeded internal/rng streams under a
+// mutex, so a sequential run misbehaves identically on every replay. For
+// checkpointed runs that must replay bit-identically *across a crash*, set
+// PersonaConfig.PairHash (Plan.PairHash): decisions then come from a pure
+// hash of the seed and the request's item IDs, so a pair answered before the
+// crash — and served from the memo on resume, never reaching the persona —
+// does not shift the stream consumed by pairs answered after it.
 package chaos
 
 import (
@@ -38,12 +56,50 @@ import (
 // process does not come back because you ask again.
 var ErrCrash = fmt.Errorf("chaos: injected crash: %w", dispatch.ErrPermanent)
 
+// ErrOutage marks answers refused by an injected backend outage. It wraps
+// dispatch.ErrBackendUnavailable — the platform is down, not the process —
+// so the degrade controller treats it as a recoverable signal rather than a
+// fatal one.
+var ErrOutage = fmt.Errorf("chaos: injected outage: %w", dispatch.ErrBackendUnavailable)
+
+// Clock reports the current position on the fault timeline. The session
+// layer supplies the run's total paid-comparison count, which makes windows
+// replay identically across crash and resume (failed dispatches are refunded
+// and never billed, so injected faults do not advance the clock).
+type Clock func() int64
+
+// Window is a half-open span [From, To) of the fault clock during which an
+// injection is active. To == 0 means open-ended; the zero Window is always
+// active.
+type Window struct {
+	From, To int64
+}
+
+// Contains reports whether clock position t falls inside the window.
+func (w Window) Contains(t int64) bool {
+	return t >= w.From && (w.To == 0 || t < w.To)
+}
+
 // PersonaConfig configures an adversarial persona decorator.
 type PersonaConfig struct {
 	// Fraction is the probability in (0, 1] that a request is intercepted
 	// by the persona instead of forwarded to the inner backend; values
 	// outside (0, 1) mean 1 (every request).
 	Fraction float64
+	// FractionTo, when in (0, 1] and the Window is bounded, ramps the
+	// interception probability linearly from Fraction at Window.From to
+	// FractionTo at Window.To.
+	FractionTo float64
+	// Window restricts the persona to a span of the fault clock; the zero
+	// Window is always active.
+	Window Window
+	// Clock positions the Window and ramp on the fault timeline; nil uses
+	// the decorator's own served-request counter.
+	Clock Clock
+	// PairHash draws per-request randomness from a pure hash of
+	// (Seed, A.ID, B.ID) instead of a sequential stream, making decisions
+	// order-independent — required for bit-identical crash/resume replay.
+	PairHash bool
 	// Seed seeds the persona's deterministic decision stream.
 	Seed uint64
 	// Delta is the Adversary's discernment threshold: intercepted pairs
@@ -52,11 +108,11 @@ type PersonaConfig struct {
 	// TargetID is the item the Colluder promotes.
 	TargetID int
 	// Rate is the Degrader's initial error probability; Drift is added per
-	// served request; MaxRate caps the drift (0 means 1).
+	// clock tick; MaxRate caps the drift (0 means 1).
 	Rate, Drift, MaxRate float64
 }
 
-// fraction returns the effective interception probability.
+// fraction returns the effective base interception probability.
 func (c PersonaConfig) fraction() float64 {
 	if c.Fraction <= 0 || c.Fraction > 1 {
 		return 1
@@ -64,8 +120,16 @@ func (c PersonaConfig) fraction() float64 {
 	return c.Fraction
 }
 
-// persona is the shared decorator chassis: a seeded decision stream under a
-// mutex and an intercept function that produces the dishonest answer.
+// Salts separating the independent randomness draws a persona makes per
+// request in PairHash mode.
+const (
+	saltIntercept uint64 = 0x633d
+	saltAnswer    uint64 = 0xa27f
+)
+
+// persona is the shared decorator chassis: a seeded decision source under a
+// mutex, window/ramp gating against the fault clock, and an intercept
+// function that produces the dishonest answer (or refusal).
 type persona struct {
 	inner dispatch.Backend
 	cfg   PersonaConfig
@@ -74,26 +138,38 @@ type persona struct {
 	r      *rng.Source
 	served int64
 
-	// answer produces the persona's reply for an intercepted request;
-	// a false second return forwards to the inner backend after all
-	// (personas whose dishonesty is conditional, e.g. the Adversary below
-	// its threshold).
-	answer func(p *persona, req dispatch.Request) (item.Item, bool)
+	// answer produces the persona's reply for an intercepted request at
+	// clock position t. A false second return forwards to the inner backend
+	// after all (personas whose dishonesty is conditional, e.g. the
+	// Adversary below its threshold); a non-nil error refuses the request.
+	answer func(p *persona, req dispatch.Request, t int64) (item.Item, bool, error)
 }
 
 // Answer implements dispatch.Backend.
 func (p *persona) Answer(ctx context.Context, req dispatch.Request) (dispatch.Answer, error) {
 	p.mu.Lock()
+	t := p.served
+	if p.cfg.Clock != nil {
+		t = p.cfg.Clock()
+	}
 	p.served++
-	intercept := p.cfg.fraction() >= 1 || p.r.Bernoulli(p.cfg.fraction())
+	intercept := false
+	if p.cfg.Window.Contains(t) {
+		f := p.fractionAt(t)
+		intercept = f >= 1 || p.chance(req, saltIntercept, f)
+	}
 	var (
 		winner item.Item
 		ok     bool
+		err    error
 	)
 	if intercept {
-		winner, ok = p.answer(p, req)
+		winner, ok, err = p.answer(p, req, t)
 	}
 	p.mu.Unlock()
+	if err != nil {
+		return dispatch.Answer{}, err
+	}
 	if !intercept || !ok {
 		return p.inner.Answer(ctx, req)
 	}
@@ -101,6 +177,67 @@ func (p *persona) Answer(ctx context.Context, req dispatch.Request) (dispatch.An
 		return dispatch.Answer{}, err
 	}
 	return dispatch.Answer{Winner: winner}, nil
+}
+
+// fractionAt returns the interception probability at clock position t,
+// applying the linear ramp when one is configured over a bounded window.
+func (p *persona) fractionAt(t int64) float64 {
+	f := p.cfg.fraction()
+	to := p.cfg.FractionTo
+	w := p.cfg.Window
+	if to <= 0 || to > 1 || w.To <= w.From {
+		return f
+	}
+	pos := float64(t - w.From)
+	span := float64(w.To - w.From)
+	switch {
+	case pos < 0:
+		pos = 0
+	case pos > span:
+		pos = span
+	}
+	return f + (to-f)*pos/span
+}
+
+// chance draws a Bernoulli(prob) decision for req: from a pure pair-keyed
+// hash in PairHash mode (the same pair draws the same outcome whenever it is
+// asked, which is what survives checkpoint replay), from the sequential
+// seeded stream otherwise. Callers hold p.mu.
+func (p *persona) chance(req dispatch.Request, salt uint64, prob float64) bool {
+	switch {
+	case prob <= 0:
+		return false
+	case prob >= 1:
+		return true
+	case p.cfg.PairHash:
+		return p.hash01(req, salt) < prob
+	}
+	return p.r.Bernoulli(prob)
+}
+
+// coin draws a fair boolean for req; callers hold p.mu.
+func (p *persona) coin(req dispatch.Request, salt uint64) bool {
+	if p.cfg.PairHash {
+		return p.hash01(req, salt) < 0.5
+	}
+	return p.r.Bool()
+}
+
+// hash01 maps (seed, salt, pair) to a uniform float64 in [0, 1) via a
+// SplitMix64-style mix.
+func (p *persona) hash01(req dispatch.Request, salt uint64) float64 {
+	h := splitmix(p.cfg.Seed ^ splitmix(salt))
+	h = splitmix(h ^ uint64(int64(req.A.ID)))
+	h = splitmix(h ^ uint64(int64(req.B.ID)))
+	return float64(h>>11) / (1 << 53)
+}
+
+// splitmix is the SplitMix64 finalizer (mirrors internal/rng's mixer).
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // loser returns the less valuable element (the second on exact ties) — the
@@ -118,11 +255,11 @@ func loser(a, b item.Item) item.Item {
 func NewSpammer(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 	return &persona{
 		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("spammer"),
-		answer: func(p *persona, req dispatch.Request) (item.Item, bool) {
-			if p.r.Bool() {
-				return req.A, true
+		answer: func(p *persona, req dispatch.Request, _ int64) (item.Item, bool, error) {
+			if p.coin(req, saltAnswer) {
+				return req.A, true, nil
 			}
-			return req.B, true
+			return req.B, true, nil
 		},
 	}
 }
@@ -135,11 +272,11 @@ func NewSpammer(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 func NewAdversary(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 	return &persona{
 		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("adversary"),
-		answer: func(p *persona, req dispatch.Request) (item.Item, bool) {
+		answer: func(p *persona, req dispatch.Request, _ int64) (item.Item, bool, error) {
 			if item.Distance(req.A, req.B) <= p.cfg.Delta {
-				return item.Item{}, false
+				return item.Item{}, false, nil
 			}
-			return loser(req.A, req.B), true
+			return loser(req.A, req.B), true, nil
 		},
 	}
 }
@@ -150,27 +287,27 @@ func NewAdversary(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 func NewColluder(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 	return &persona{
 		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("colluder"),
-		answer: func(p *persona, req dispatch.Request) (item.Item, bool) {
+		answer: func(p *persona, req dispatch.Request, _ int64) (item.Item, bool, error) {
 			switch p.cfg.TargetID {
 			case req.A.ID:
-				return req.A, true
+				return req.A, true, nil
 			case req.B.ID:
-				return req.B, true
+				return req.B, true, nil
 			}
-			return item.Item{}, false
+			return item.Item{}, false, nil
 		},
 	}
 }
 
 // NewDegrader decorates inner with an error rate that starts at cfg.Rate and
-// grows by cfg.Drift per served request up to cfg.MaxRate (default 1) —
-// worker fatigue. An erroneous answer is the loser of the pair; otherwise the
+// grows by cfg.Drift per clock tick up to cfg.MaxRate (default 1) — worker
+// fatigue. An erroneous answer is the loser of the pair; otherwise the
 // request is forwarded.
 func NewDegrader(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 	return &persona{
 		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("degrader"),
-		answer: func(p *persona, req dispatch.Request) (item.Item, bool) {
-			rate := p.cfg.Rate + p.cfg.Drift*float64(p.served-1)
+		answer: func(p *persona, req dispatch.Request, t int64) (item.Item, bool, error) {
+			rate := p.cfg.Rate + p.cfg.Drift*float64(t)
 			max := p.cfg.MaxRate
 			if max <= 0 || max > 1 {
 				max = 1
@@ -178,10 +315,23 @@ func NewDegrader(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 			if rate > max {
 				rate = max
 			}
-			if rate > 0 && p.r.Bernoulli(rate) {
-				return loser(req.A, req.B), true
+			if rate > 0 && p.chance(req, saltAnswer, rate) {
+				return loser(req.A, req.B), true, nil
 			}
-			return item.Item{}, false
+			return item.Item{}, false, nil
+		},
+	}
+}
+
+// NewOutage decorates inner so intercepted requests fail with ErrOutage —
+// the worker class is down. A Fraction below 1 models a brownout (some
+// requests still get through); a Window models a timed outage; a ramp models
+// a platform sliding into overload.
+func NewOutage(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
+	return &persona{
+		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("outage"),
+		answer: func(p *persona, req dispatch.Request, _ int64) (item.Item, bool, error) {
+			return item.Item{}, false, ErrOutage
 		},
 	}
 }

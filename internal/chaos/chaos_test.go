@@ -3,6 +3,7 @@ package chaos
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 
 	"crowdmax/internal/dispatch"
@@ -192,19 +193,50 @@ func TestParsePlan(t *testing.T) {
 		bad  bool
 	}{
 		{spec: "crash:500", want: Plan{CrashAfter: 500}},
-		{spec: "spammer", want: Plan{Persona: PersonaSpammer}},
-		{spec: "spammer:0.2", want: Plan{Persona: PersonaSpammer, Fraction: 0.2}},
-		{spec: "adversary:0.05", want: Plan{Persona: PersonaAdversary, Delta: 0.05}},
-		{spec: "colluder:7", want: Plan{Persona: PersonaColluder, TargetID: 7}},
-		{spec: "degrader:0.1:0.01", want: Plan{Persona: PersonaDegrader, Rate: 0.1, Drift: 0.01}},
-		{spec: "degrader", want: Plan{Persona: PersonaDegrader, Drift: 0.001}},
-		{spec: "spammer:0.2,crash:100", want: Plan{Persona: PersonaSpammer, Fraction: 0.2, CrashAfter: 100}},
+		{spec: "spammer", want: Plan{Injections: []Injection{{Persona: PersonaSpammer}}}},
+		{spec: "spammer:0.2", want: Plan{Injections: []Injection{{Persona: PersonaSpammer, Fraction: 0.2}}}},
+		{spec: "adversary:0.05", want: Plan{Injections: []Injection{{Persona: PersonaAdversary, Delta: 0.05}}}},
+		{spec: "colluder:7", want: Plan{Injections: []Injection{{Persona: PersonaColluder, TargetID: 7}}}},
+		{spec: "degrader:0.1:0.01", want: Plan{Injections: []Injection{{Persona: PersonaDegrader, Rate: 0.1, Drift: 0.01}}}},
+		{spec: "degrader", want: Plan{Injections: []Injection{{Persona: PersonaDegrader, Drift: 0.001}}}},
+		{spec: "spammer:0.2,crash:100", want: Plan{
+			Injections: []Injection{{Persona: PersonaSpammer, Fraction: 0.2}},
+			CrashAfter: 100,
+		}},
+		{spec: "outage", want: Plan{Injections: []Injection{{Persona: PersonaOutage}}}},
+		{spec: "expert-outage:0.5", want: Plan{Injections: []Injection{
+			{Persona: PersonaOutage, Expert: true, Fraction: 0.5},
+		}}},
+		{spec: "expert-outage:1.0@1000+", want: Plan{Injections: []Injection{
+			{Persona: PersonaOutage, Expert: true, Fraction: 1, Window: Window{From: 1000}},
+		}}},
+		{spec: "spammer:0.3@500-2000,expert-outage:0.5@1000+", want: Plan{Injections: []Injection{
+			{Persona: PersonaSpammer, Fraction: 0.3, Window: Window{From: 500, To: 2000}},
+			{Persona: PersonaOutage, Expert: true, Fraction: 0.5, Window: Window{From: 1000}},
+		}}},
+		{spec: "spammer:0.1-0.9@500-2000", want: Plan{Injections: []Injection{
+			{Persona: PersonaSpammer, Fraction: 0.1, FractionTo: 0.9, Window: Window{From: 500, To: 2000}},
+		}}},
+		{spec: "spammer,adversary", want: Plan{Injections: []Injection{
+			{Persona: PersonaSpammer},
+			{Persona: PersonaAdversary},
+		}}},
+		{spec: "expert-adversary:0.1@200-400", want: Plan{Injections: []Injection{
+			{Persona: PersonaAdversary, Expert: true, Delta: 0.1, Window: Window{From: 200, To: 400}},
+		}}},
 		{spec: "", bad: true},
 		{spec: "spammer:1.5", bad: true},
 		{spec: "crash:0", bad: true},
 		{spec: "colluder", bad: true},
-		{spec: "spammer,adversary", bad: true},
 		{spec: "gremlin", bad: true},
+		{spec: "expert-gremlin", bad: true},
+		{spec: "crash:100,crash:200", bad: true},
+		{spec: "crash:100@500+", bad: true},
+		{spec: "spammer@abc", bad: true},
+		{spec: "spammer@500-100", bad: true},
+		{spec: "spammer:0.1-0.9", bad: true},       // ramp without a window
+		{spec: "spammer:0.1-0.9@1000+", bad: true}, // ramp needs a bounded window
+		{spec: "outage:0", bad: true},
 	}
 	for _, tc := range cases {
 		got, err := ParsePlan(tc.spec)
@@ -218,15 +250,18 @@ func TestParsePlan(t *testing.T) {
 			t.Errorf("ParsePlan(%q): %v", tc.spec, err)
 			continue
 		}
-		if got != tc.want {
+		if !reflect.DeepEqual(got, tc.want) {
 			t.Errorf("ParsePlan(%q) = %+v, want %+v", tc.spec, got, tc.want)
 		}
 	}
 }
 
-func TestPlanApplyWrapsNaiveOnly(t *testing.T) {
+func TestPlanApplyTargetsDeclaredClass(t *testing.T) {
 	naive, expert := &truth{}, &truth{}
-	nb, eb, crash, err := Plan{Persona: PersonaSpammer, Seed: 1}.Apply(naive, expert)
+	nb, eb, crash, err := Plan{
+		Injections: []Injection{{Persona: PersonaSpammer}},
+		Seed:       1,
+	}.Apply(naive, expert, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,18 +269,136 @@ func TestPlanApplyWrapsNaiveOnly(t *testing.T) {
 		t.Fatal("Apply returned a crash injector for a crash-free plan")
 	}
 	if eb != dispatch.Backend(expert) {
-		t.Fatal("persona plan decorated the expert backend")
+		t.Fatal("naive-side plan decorated the expert backend")
 	}
 	if nb == dispatch.Backend(naive) {
-		t.Fatal("persona plan left the naive backend undecorated")
+		t.Fatal("naive-side plan left the naive backend undecorated")
 	}
 
-	_, _, crash, err = Plan{CrashAfter: 5}.Apply(naive, expert)
+	nb, eb, _, err = Plan{
+		Injections: []Injection{{Persona: PersonaOutage, Expert: true}},
+		Seed:       1,
+	}.Apply(naive, expert, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb != dispatch.Backend(naive) {
+		t.Fatal("expert-side plan decorated the naive backend")
+	}
+	if eb == dispatch.Backend(expert) {
+		t.Fatal("expert-side plan left the expert backend undecorated")
+	}
+
+	_, _, crash, err = Plan{CrashAfter: 5}.Apply(naive, expert, nil)
 	if err != nil || crash == nil {
 		t.Fatalf("crash plan: crash=%v err=%v", crash, err)
 	}
 
-	if _, _, _, err := (Plan{Persona: "gremlin"}).Apply(naive, expert); err == nil {
+	bad := Plan{Injections: []Injection{{Persona: "gremlin"}}}
+	if _, _, _, err := bad.Apply(naive, expert, nil); err == nil {
 		t.Fatal("Apply accepted an unknown persona")
+	}
+}
+
+func TestOutageRefusesWithRecoverableError(t *testing.T) {
+	out := NewOutage(&truth{}, PersonaConfig{Seed: 1})
+	_, err := out.Answer(context.Background(), pair(1, 2, 2, 1))
+	switch {
+	case err == nil:
+		t.Fatal("full outage answered a request")
+	case !errors.Is(err, ErrOutage):
+		t.Fatalf("outage error %v does not wrap ErrOutage", err)
+	case !errors.Is(err, dispatch.ErrBackendUnavailable):
+		t.Fatalf("outage error %v does not wrap dispatch.ErrBackendUnavailable", err)
+	case errors.Is(err, dispatch.ErrPermanent):
+		t.Fatalf("outage error %v wraps dispatch.ErrPermanent; outages must stay recoverable", err)
+	}
+
+	// Partial outage refuses roughly the configured fraction.
+	inner := &truth{}
+	part := NewOutage(inner, PersonaConfig{Seed: 1, Fraction: 0.5})
+	var refused int
+	for _, req := range manyPairs(400) {
+		if _, err := part.Answer(context.Background(), req); err != nil {
+			refused++
+		}
+	}
+	if refused < 100 || refused > 300 {
+		t.Fatalf("half outage refused %d/400 requests, want roughly half", refused)
+	}
+	if inner.calls != 400-refused {
+		t.Fatalf("inner answered %d requests, want %d", inner.calls, 400-refused)
+	}
+}
+
+func TestWindowGatesPersona(t *testing.T) {
+	// Served-request clock: the outage is total but only within [2, 4).
+	out := NewOutage(&truth{}, PersonaConfig{Seed: 1, Window: Window{From: 2, To: 4}})
+	var errAt []int
+	for i, req := range manyPairs(6) {
+		if _, err := out.Answer(context.Background(), req); err != nil {
+			errAt = append(errAt, i)
+		}
+	}
+	if !reflect.DeepEqual(errAt, []int{2, 3}) {
+		t.Fatalf("windowed outage refused requests %v, want [2 3]", errAt)
+	}
+
+	// External clock: the window follows the clock, not the served count.
+	tick := int64(0)
+	clocked := NewOutage(&truth{}, PersonaConfig{
+		Seed: 1, Window: Window{From: 10}, Clock: func() int64 { return tick },
+	})
+	if _, err := clocked.Answer(context.Background(), pair(1, 2, 2, 1)); err != nil {
+		t.Fatalf("outage active before its window: %v", err)
+	}
+	tick = 10
+	if _, err := clocked.Answer(context.Background(), pair(1, 2, 2, 1)); err == nil {
+		t.Fatal("outage inactive inside its open-ended window")
+	}
+}
+
+func TestRampInterpolatesFraction(t *testing.T) {
+	// Ramp 0→1 over [0, 1000): early requests mostly pass, late ones mostly
+	// refuse.
+	tick := int64(0)
+	out := NewOutage(&truth{}, PersonaConfig{
+		Seed: 1, Fraction: 0.01, FractionTo: 1,
+		Window: Window{To: 1000}, Clock: func() int64 { return tick },
+	})
+	refusedIn := func(from, to int64) int {
+		refused := 0
+		for tick = from; tick < to; tick++ {
+			if _, err := out.Answer(context.Background(), pair(1, 2, 2, 1)); err != nil {
+				refused++
+			}
+		}
+		return refused
+	}
+	early, late := refusedIn(0, 200), refusedIn(800, 1000)
+	if early > 80 {
+		t.Fatalf("ramp start refused %d/200, want few", early)
+	}
+	if late < 120 {
+		t.Fatalf("ramp end refused %d/200, want most", late)
+	}
+}
+
+func TestPairHashIsOrderIndependent(t *testing.T) {
+	reqs := manyPairs(100)
+	cfg := PersonaConfig{Seed: 3, Fraction: 0.5, PairHash: true}
+	forward := answers(t, NewSpammer(&truth{}, cfg), reqs)
+
+	// Replay the same pairs in reverse order: each decision must match,
+	// because it depends only on the pair, not on the request sequence.
+	rev := make([]dispatch.Request, len(reqs))
+	for i, req := range reqs {
+		rev[len(reqs)-1-i] = req
+	}
+	backward := answers(t, NewSpammer(&truth{}, cfg), rev)
+	for i := range reqs {
+		if forward[i] != backward[len(reqs)-1-i] {
+			t.Fatalf("pair-hash decision for request %d changed with request order", i)
+		}
 	}
 }

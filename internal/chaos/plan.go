@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"crowdmax/internal/dispatch"
+	"crowdmax/internal/rng"
 )
 
 // Persona names an adversarial worker persona.
@@ -18,55 +19,87 @@ const (
 	PersonaAdversary Persona = "adversary"
 	PersonaColluder  Persona = "colluder"
 	PersonaDegrader  Persona = "degrader"
+	PersonaOutage    Persona = "outage"
 )
 
-// Plan is a declarative chaos configuration: which persona (if any) poisons
-// the naïve worker pool, with which parameters, plus an optional crash
-// injected after a fixed number of comparisons. The zero Plan injects
-// nothing. Plans are what Session.Config.Chaos and maxcrowd's -chaos flag
-// carry; Apply turns one into decorated backends.
-type Plan struct {
-	// Persona selects the adversarial persona applied to the naïve
-	// backend; PersonaNone applies no persona.
+// Injection is one persona applied to one worker class, optionally windowed
+// and ramped on the fault clock.
+type Injection struct {
+	// Persona selects the adversarial persona.
 	Persona Persona
-	// Fraction, Delta, TargetID, Rate, Drift, MaxRate parameterize the
-	// persona; see PersonaConfig.
-	Fraction             float64
+	// Expert targets the expert backend instead of the naïve one.
+	Expert bool
+	// Window restricts the injection to a span of the fault clock; the
+	// zero Window is always active.
+	Window Window
+	// Fraction and FractionTo set the interception probability (and its
+	// linear ramp across a bounded Window); see PersonaConfig.
+	Fraction, FractionTo float64
+	// Delta, TargetID, Rate, Drift and MaxRate parameterize the persona;
+	// see PersonaConfig.
 	Delta                float64
 	TargetID             int
 	Rate, Drift, MaxRate float64
-	// Seed seeds the persona's decision stream.
-	Seed uint64
+}
+
+// Plan is a declarative chaos configuration: a sequence of persona
+// injections (each targeting one worker class, optionally windowed on the
+// fault clock), plus an optional crash after a fixed number of comparisons.
+// The zero Plan injects nothing. Plans are what Session.Config.Chaos and
+// maxcrowd's -chaos flag carry; Apply turns one into decorated backends.
+type Plan struct {
+	// Injections are applied in order; a backend targeted twice is
+	// decorated twice (the later injection sits outermost).
+	Injections []Injection
 	// CrashAfter, when > 0, kills the run (both classes) with ErrCrash
 	// after that many dispatched comparisons.
 	CrashAfter int64
+	// Seed seeds every persona's decision stream (each injection derives
+	// an independent child stream).
+	Seed uint64
+	// PairHash makes persona decisions a pure function of each request's
+	// item pair instead of a sequential stream — required for bit-identical
+	// crash/resume replay; see PersonaConfig.PairHash.
+	PairHash bool
 }
 
 // Enabled reports whether the plan injects anything at all.
-func (p Plan) Enabled() bool { return p.Persona != PersonaNone || p.CrashAfter > 0 }
+func (p Plan) Enabled() bool { return len(p.Injections) > 0 || p.CrashAfter > 0 }
 
-// Apply decorates the two class backends per the plan: the persona poisons
-// the naïve backend (the unvetted crowd; experts are assumed screened), and
-// the crash injector — sharing one counter — wraps both outermost. The
-// returned *Crash is nil when no crash is configured.
-func (p Plan) Apply(naive, expert dispatch.Backend) (nb, eb dispatch.Backend, crash *Crash, err error) {
+// Apply decorates the two class backends per the plan. clock positions the
+// injections' windows and ramps on the fault timeline (nil lets each persona
+// count its own served requests); the session layer passes the run's
+// paid-comparison count so windows replay identically across crash/resume.
+// The crash injector — sharing one counter — wraps both backends outermost.
+// The returned *Crash is nil when no crash is configured.
+func (p Plan) Apply(naive, expert dispatch.Backend, clock Clock) (nb, eb dispatch.Backend, crash *Crash, err error) {
 	nb, eb = naive, expert
-	cfg := PersonaConfig{
-		Fraction: p.Fraction, Seed: p.Seed, Delta: p.Delta,
-		TargetID: p.TargetID, Rate: p.Rate, Drift: p.Drift, MaxRate: p.MaxRate,
-	}
-	switch p.Persona {
-	case PersonaNone:
-	case PersonaSpammer:
-		nb = NewSpammer(nb, cfg)
-	case PersonaAdversary:
-		nb = NewAdversary(nb, cfg)
-	case PersonaColluder:
-		nb = NewColluder(nb, cfg)
-	case PersonaDegrader:
-		nb = NewDegrader(nb, cfg)
-	default:
-		return nil, nil, nil, fmt.Errorf("chaos: unknown persona %q", p.Persona)
+	for i, inj := range p.Injections {
+		cfg := PersonaConfig{
+			Fraction: inj.Fraction, FractionTo: inj.FractionTo,
+			Window: inj.Window, Clock: clock, PairHash: p.PairHash,
+			Seed:  rng.New(p.Seed).ChildN("chaos-"+string(inj.Persona), i).Seed(),
+			Delta: inj.Delta, TargetID: inj.TargetID,
+			Rate: inj.Rate, Drift: inj.Drift, MaxRate: inj.MaxRate,
+		}
+		target := &nb
+		if inj.Expert {
+			target = &eb
+		}
+		switch inj.Persona {
+		case PersonaSpammer:
+			*target = NewSpammer(*target, cfg)
+		case PersonaAdversary:
+			*target = NewAdversary(*target, cfg)
+		case PersonaColluder:
+			*target = NewColluder(*target, cfg)
+		case PersonaDegrader:
+			*target = NewDegrader(*target, cfg)
+		case PersonaOutage:
+			*target = NewOutage(*target, cfg)
+		default:
+			return nil, nil, nil, fmt.Errorf("chaos: unknown persona %q", inj.Persona)
+		}
 	}
 	if p.CrashAfter > 0 {
 		crash = NewCrash(p.CrashAfter)
@@ -77,13 +110,20 @@ func (p Plan) Apply(naive, expert dispatch.Backend) (nb, eb dispatch.Backend, cr
 
 // ParsePlan parses a comma-separated chaos spec — the -chaos flag syntax:
 //
-//	crash:N            crash after N comparisons
-//	spammer[:frac]     random answers on frac of requests (default all)
-//	adversary[:delta]  inverted answers above delta (default 0)
-//	colluder:id        promote item id
+//	crash:N                  crash after N comparisons
+//	spammer[:frac]           random answers on frac of requests (default all)
+//	outage[:frac]            refuse frac of requests (default all)
+//	adversary[:delta]        inverted answers above delta (default 0)
+//	colluder:id              promote item id
 //	degrader[:rate[:drift]]  drifting error rate (defaults 0, 0.001)
 //
-// At most one persona may appear; "crash:N" combines with any of them.
+// Any persona token may carry an "expert-" prefix to target the expert
+// backend ("expert-outage:0.5") and a "@window" suffix restricting it to a
+// span of the fault clock: "@500-2000" is active for clock positions
+// [500, 2000), "@1000+" from 1000 on. The spammer and outage fractions
+// accept a ramp "a-b" (linear from a to b across a bounded window), e.g.
+// "spammer:0.1-0.9@500-2000". Multiple persona tokens stack, each decorating
+// its target backend in turn; "crash:N" may appear once.
 func ParsePlan(spec string) (Plan, error) {
 	var p Plan
 	for _, tok := range strings.Split(spec, ",") {
@@ -91,66 +131,127 @@ func ParsePlan(spec string) (Plan, error) {
 		if tok == "" {
 			continue
 		}
-		name, args, _ := strings.Cut(tok, ":")
-		if name != "crash" && p.Persona != PersonaNone {
-			return Plan{}, fmt.Errorf("chaos: plan %q names more than one persona", spec)
-		}
-		switch name {
-		case "crash":
+		body, winSpec, hasWin := strings.Cut(tok, "@")
+		name, args, _ := strings.Cut(body, ":")
+		if name == "crash" {
+			if hasWin {
+				return Plan{}, fmt.Errorf("chaos: crash does not take a window, got %q", tok)
+			}
+			if p.CrashAfter > 0 {
+				return Plan{}, fmt.Errorf("chaos: plan %q names crash more than once", spec)
+			}
 			n, err := strconv.ParseInt(args, 10, 64)
 			if err != nil || n < 1 {
 				return Plan{}, fmt.Errorf("chaos: crash wants a positive count, got %q", tok)
 			}
 			p.CrashAfter = n
-		case "spammer":
-			p.Persona = PersonaSpammer
+			continue
+		}
+		var inj Injection
+		if rest, ok := strings.CutPrefix(name, "expert-"); ok {
+			inj.Expert = true
+			name = rest
+		}
+		if hasWin {
+			w, err := parseWindow(winSpec)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: bad window in %q: %v", tok, err)
+			}
+			inj.Window = w
+		}
+		switch name {
+		case "spammer", "outage":
+			inj.Persona = Persona(name)
 			if args != "" {
-				f, err := strconv.ParseFloat(args, 64)
-				if err != nil || f <= 0 || f > 1 {
-					return Plan{}, fmt.Errorf("chaos: spammer fraction must be in (0, 1], got %q", tok)
+				from, to, err := parseFraction(args)
+				if err != nil {
+					return Plan{}, fmt.Errorf("chaos: %s fraction must be in (0, 1], got %q", name, tok)
 				}
-				p.Fraction = f
+				inj.Fraction, inj.FractionTo = from, to
 			}
 		case "adversary":
-			p.Persona = PersonaAdversary
+			inj.Persona = PersonaAdversary
 			if args != "" {
 				d, err := strconv.ParseFloat(args, 64)
 				if err != nil || d < 0 {
 					return Plan{}, fmt.Errorf("chaos: adversary delta must be ≥ 0, got %q", tok)
 				}
-				p.Delta = d
+				inj.Delta = d
 			}
 		case "colluder":
-			p.Persona = PersonaColluder
+			inj.Persona = PersonaColluder
 			id, err := strconv.Atoi(args)
 			if err != nil || id < 0 {
 				return Plan{}, fmt.Errorf("chaos: colluder wants a target item ID, got %q", tok)
 			}
-			p.TargetID = id
+			inj.TargetID = id
 		case "degrader":
-			p.Persona = PersonaDegrader
-			p.Drift = 0.001
+			inj.Persona = PersonaDegrader
+			inj.Drift = 0.001
 			if args != "" {
 				parts := strings.SplitN(args, ":", 2)
 				r, err := strconv.ParseFloat(parts[0], 64)
 				if err != nil || r < 0 || r > 1 {
 					return Plan{}, fmt.Errorf("chaos: degrader rate must be in [0, 1], got %q", tok)
 				}
-				p.Rate = r
+				inj.Rate = r
 				if len(parts) == 2 {
 					d, err := strconv.ParseFloat(parts[1], 64)
 					if err != nil || d < 0 {
 						return Plan{}, fmt.Errorf("chaos: degrader drift must be ≥ 0, got %q", tok)
 					}
-					p.Drift = d
+					inj.Drift = d
 				}
 			}
 		default:
-			return Plan{}, fmt.Errorf("chaos: unknown injection %q (want crash:N, spammer, adversary, colluder:id, degrader)", name)
+			return Plan{}, fmt.Errorf("chaos: unknown injection %q (want crash:N, [expert-]spammer, outage, adversary, colluder:id, degrader)", name)
 		}
+		if inj.FractionTo > 0 && inj.Window.To <= inj.Window.From {
+			return Plan{}, fmt.Errorf("chaos: ramp in %q needs a bounded @from-to window", tok)
+		}
+		p.Injections = append(p.Injections, inj)
 	}
 	if !p.Enabled() {
 		return Plan{}, fmt.Errorf("chaos: empty plan %q", spec)
 	}
 	return p, nil
+}
+
+// parseWindow parses "N+" (open-ended from N) or "N-M" (the half-open span
+// [N, M)).
+func parseWindow(s string) (Window, error) {
+	if from, ok := strings.CutSuffix(s, "+"); ok {
+		n, err := strconv.ParseInt(from, 10, 64)
+		if err != nil || n < 0 {
+			return Window{}, fmt.Errorf("want N+ with N ≥ 0, got %q", s)
+		}
+		return Window{From: n}, nil
+	}
+	fromS, toS, ok := strings.Cut(s, "-")
+	if !ok {
+		return Window{}, fmt.Errorf("want N+ or N-M, got %q", s)
+	}
+	from, err1 := strconv.ParseInt(fromS, 10, 64)
+	to, err2 := strconv.ParseInt(toS, 10, 64)
+	if err1 != nil || err2 != nil || from < 0 || to <= from {
+		return Window{}, fmt.Errorf("want N-M with 0 ≤ N < M, got %q", s)
+	}
+	return Window{From: from, To: to}, nil
+}
+
+// parseFraction parses "f" or a ramp "a-b", each in (0, 1].
+func parseFraction(s string) (from, to float64, err error) {
+	fromS, toS, ramp := strings.Cut(s, "-")
+	from, err = strconv.ParseFloat(fromS, 64)
+	if err != nil || from <= 0 || from > 1 {
+		return 0, 0, fmt.Errorf("bad fraction %q", s)
+	}
+	if !ramp {
+		return from, 0, nil
+	}
+	to, err = strconv.ParseFloat(toS, 64)
+	if err != nil || to <= 0 || to > 1 {
+		return 0, 0, fmt.Errorf("bad ramp target %q", s)
+	}
+	return from, to, nil
 }

@@ -48,9 +48,13 @@ import (
 var ErrCorrupt = errors.New("checkpoint: corrupt or truncated checkpoint")
 
 // magic identifies a checkpoint file; version is the codec revision.
+// Version 2 added the degrade-controller state (Rung, DecisionHash);
+// decoding fails closed on any other version — a v1 file predates the
+// quality ladder and silently resuming it could report a guarantee the
+// original run never established.
 const (
 	magic   = "CMCK"
-	version = 1
+	version = 2
 
 	// headerSize = magic + u32 version + u32 crc + u64 payload length.
 	headerSize = 4 + 4 + 4 + 8
@@ -95,6 +99,14 @@ type State struct {
 	// Survivors holds the item IDs of the last known survivor set (the
 	// phase-1 output when taken at or past that boundary).
 	Survivors []int64
+	// Rung and DecisionHash carry the degrade controller's state at
+	// snapshot time: the quality-ladder rung the run had reached ("" when
+	// no controller ran or none was decided yet) and the FNV hash of its
+	// decision log. A resumed run replays to the same rung; the hash lets
+	// harnesses verify the whole ladder walk matched, not just its
+	// endpoint.
+	Rung         string
+	DecisionHash uint64
 
 	// Comparisons, MemoHits and Steps are the run ledger's counters at
 	// snapshot time.
@@ -138,6 +150,8 @@ func Encode(s *State) []byte {
 	for _, id := range s.Survivors {
 		p.i64(id)
 	}
+	p.str(s.Rung)
+	p.u64(s.DecisionHash)
 	for i := 0; i < cost.MaxClasses; i++ {
 		p.i64(s.Comparisons[i])
 	}
@@ -207,6 +221,8 @@ func Decode(data []byte) (*State, error) {
 			s.Survivors[i] = r.i64()
 		}
 	}
+	s.Rung = r.str()
+	s.DecisionHash = r.u64()
 	for i := 0; i < cost.MaxClasses; i++ {
 		s.Comparisons[i] = r.i64()
 	}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -12,16 +13,18 @@ import (
 // ledger/budget counters.
 func sampleState() *State {
 	s := &State{
-		Seed:        0xDEADBEEF,
-		Un:          8,
-		Phase2:      1,
-		TrackLosses: true,
-		NItems:      400,
-		ItemsHash:   0x1234_5678_9ABC_DEF0,
-		Phase:       "phase1",
-		Survivors:   []int64{3, 1, 15, 7},
-		Steps:       99,
-		BudgetCost:  12.75,
+		Seed:         0xDEADBEEF,
+		Un:           8,
+		Phase2:       1,
+		TrackLosses:  true,
+		NItems:       400,
+		ItemsHash:    0x1234_5678_9ABC_DEF0,
+		Phase:        "phase1",
+		Survivors:    []int64{3, 1, 15, 7},
+		Rung:         "naive-majority",
+		DecisionHash: 0xFEED_FACE_CAFE_BEEF,
+		Steps:        99,
+		BudgetCost:   12.75,
 		NaiveMemo: []PairAnswer{
 			{A: 5, B: 9, Winner: 9},
 			{A: 1, B: 2, Winner: 1},
@@ -93,6 +96,22 @@ func TestDecodeFailsClosedOnEveryTruncation(t *testing.T) {
 	}
 	if _, err := Decode(append(append([]byte(nil), data...), 0)); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("one trailing byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsOldVersion(t *testing.T) {
+	// A version-1 file predates the degrade-controller fields; decoding
+	// must fail closed rather than misalign the payload or fabricate a
+	// rung. The version word is not covered by the payload CRC, so patching
+	// it exercises the version check itself.
+	data := Encode(sampleState())
+	data[4] = 1
+	_, err := Decode(data)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version-1 file: err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version-1 rejection %q does not name the version", err)
 	}
 }
 

@@ -20,6 +20,10 @@ func FuzzCheckpointRoundTrip(f *testing.F) {
 		big.NaiveMemo = append(big.NaiveMemo, PairAnswer{A: i, B: i + 1, Winner: i})
 	}
 	f.Add(Encode(big))
+	degraded := sampleState()
+	degraded.Rung = "expert-shrunk"
+	degraded.DecisionHash = ^uint64(0)
+	f.Add(Encode(degraded))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Decode(data)

@@ -195,6 +195,48 @@ func (b *Budget) SpentCost() float64 {
 	return b.spent
 }
 
+// RemainingFor returns how many more comparisons of the given class the
+// budget would admit, or -1 when the class is unconstrained (nil budget, or
+// no cap touches it). The answer is the minimum headroom across the class
+// cap, the total cap, and the monetary cap at the class's unit price — a
+// snapshot, not a reservation: concurrent spenders can still consume it.
+// Degrade controllers use this to check a ladder rung's cost estimate
+// before committing to it.
+func (b *Budget) RemainingFor(class worker.Class) int64 {
+	if b == nil {
+		return -1
+	}
+	ci := int(class)
+	if ci < 0 || ci >= cost.MaxClasses {
+		return 0
+	}
+	price := b.lim.Prices.Unit(class)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rem := int64(-1)
+	tighten := func(r int64) {
+		if r < 0 {
+			r = 0
+		}
+		if rem < 0 || r < rem {
+			rem = r
+		}
+	}
+	if b.lim.MaxNaive > 0 && class == worker.Naive {
+		tighten(b.lim.MaxNaive - b.perClass[ci])
+	}
+	if b.lim.MaxExpert > 0 && class != worker.Naive {
+		tighten(b.lim.MaxExpert - b.expertSpendLocked())
+	}
+	if b.lim.MaxTotal > 0 {
+		tighten(b.lim.MaxTotal - b.total)
+	}
+	if b.lim.MaxCost > 0 && price > 0 {
+		tighten(int64((b.lim.MaxCost + costEpsilon - b.spent) / price))
+	}
+	return rem
+}
+
 // Refusals returns the number of Spend calls refused so far.
 func (b *Budget) Refusals() int64 {
 	if b == nil {

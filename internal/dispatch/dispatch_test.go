@@ -296,3 +296,65 @@ func TestLimitsIsZero(t *testing.T) {
 		t.Fatal("non-zero Limits reported IsZero")
 	}
 }
+
+func TestBudgetRemainingFor(t *testing.T) {
+	var nb *Budget
+	if got := nb.RemainingFor(worker.Naive); got != -1 {
+		t.Fatalf("nil budget remaining = %d, want -1 (unconstrained)", got)
+	}
+
+	b := NewBudget(Limits{MaxNaive: 10, MaxExpert: 5, MaxTotal: 12})
+	if got := b.RemainingFor(worker.Naive); got != 10 {
+		t.Fatalf("fresh naive remaining = %d, want the class cap 10", got)
+	}
+	if got := b.RemainingFor(worker.Expert); got != 5 {
+		t.Fatalf("fresh expert remaining = %d, want the class cap 5", got)
+	}
+	if err := b.Spend(worker.Naive, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.RemainingFor(worker.Naive); got != 2 {
+		t.Fatalf("naive remaining after spending 8/10 = %d, want 2", got)
+	}
+	// The total cap (12) is now tighter than the expert class cap (5):
+	// 8 spent leaves 4 total.
+	if got := b.RemainingFor(worker.Expert); got != 4 {
+		t.Fatalf("expert remaining = %d, want the total-cap headroom 4", got)
+	}
+	if err := b.Spend(worker.Expert, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.RemainingFor(worker.Expert); got != 0 {
+		t.Fatalf("exhausted expert remaining = %d, want 0", got)
+	}
+
+	// No cap touches the class: unconstrained.
+	open := NewBudget(Limits{MaxExpert: 3})
+	if got := open.RemainingFor(worker.Naive); got != -1 {
+		t.Fatalf("uncapped naive remaining = %d, want -1", got)
+	}
+
+	// Monetary cap only: headroom is priced per class.
+	money := NewBudget(Limits{MaxCost: 100, Prices: cost.Prices{Naive: 1, Expert: 10}})
+	if got := money.RemainingFor(worker.Expert); got != 10 {
+		t.Fatalf("monetary expert remaining = %d, want 100/10 = 10", got)
+	}
+	if err := money.Spend(worker.Expert, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := money.RemainingFor(worker.Expert); got != 1 {
+		t.Fatalf("monetary expert remaining after 9 = %d, want 1", got)
+	}
+	if got := money.RemainingFor(worker.Naive); got != 10 {
+		t.Fatalf("monetary naive remaining = %d, want (100-90)/1 = 10", got)
+	}
+
+	// RemainingFor is consistent with Spend: exactly the remaining amount is
+	// admitted and one more is refused.
+	if err := money.Spend(worker.Expert, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := money.Spend(worker.Expert, 1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("spend past the reported remaining: err = %v, want ErrBudgetExhausted", err)
+	}
+}

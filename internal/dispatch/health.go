@@ -79,6 +79,11 @@ type HealthConfig struct {
 	// HedgeAfter, when > 0, wraps the session's backends in a Hedge
 	// decorator with this delay (consumed by Session, not Pool).
 	HedgeAfter time.Duration
+	// ReprobeAfter, when > 0, makes the quarantine half-open: an evicted
+	// worker sits out that many routing decisions and is then reinstated
+	// with a clean scorecard, getting a fresh chance to prove itself (and
+	// getting re-quarantined if still sick). 0 keeps quarantine permanent.
+	ReprobeAfter int
 	// Seed seeds probe selection.
 	Seed uint64
 }
@@ -87,7 +92,7 @@ type HealthConfig struct {
 func (c HealthConfig) IsZero() bool {
 	return len(c.Gold) == 0 && c.Floor == 0 && c.MinProbes == 0 && c.ProbeEvery == 0 &&
 		c.DisagreeEvery == 0 && c.MaxDisagree == 0 && c.MinActive == 0 &&
-		c.HedgeAfter == 0 && c.Seed == 0
+		c.HedgeAfter == 0 && c.ReprobeAfter == 0 && c.Seed == 0
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -150,6 +155,9 @@ type poolWorker struct {
 	disagree    int64
 	sinceProbe  int
 	quarantined bool
+	// satOut counts routing decisions this worker has sat out while
+	// quarantined, toward the half-open ReprobeAfter threshold.
+	satOut int
 }
 
 // Pool multiplexes comparison requests across a set of named worker
@@ -166,9 +174,10 @@ type Pool struct {
 	active  int
 	r       *rng.Source
 
-	health    bool
-	cfg       HealthConfig
-	evictions int64
+	health     bool
+	cfg        HealthConfig
+	evictions  int64
+	reinstates int64
 }
 
 // NewPool builds a pool over the given workers with seeded routing.
@@ -228,6 +237,7 @@ func (p *Pool) Answer(ctx context.Context, req Request) (Answer, error) {
 func (p *Pool) route() (*poolWorker, *GoldPair) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.reinstateLocked()
 	w := p.pickLocked(nil)
 	var probe *GoldPair
 	if p.health && len(p.cfg.Gold) > 0 {
@@ -326,10 +336,38 @@ func (p *Pool) maybeQuarantineLocked(w *poolWorker) {
 		return
 	}
 	w.quarantined = true
+	w.satOut = 0
 	p.active--
 	p.evictions++
 	if m := obs.Active(); m != nil {
 		m.Quarantine()
+	}
+}
+
+// reinstateLocked advances every quarantined worker's probation clock by one
+// routing decision and returns those past ReprobeAfter to rotation with a
+// clean scorecard — the half-open state of the circuit breaker. Callers hold
+// p.mu. Disabled while ReprobeAfter is 0.
+func (p *Pool) reinstateLocked() {
+	if !p.health || p.cfg.ReprobeAfter <= 0 {
+		return
+	}
+	for _, w := range p.workers {
+		if !w.quarantined {
+			continue
+		}
+		w.satOut++
+		if w.satOut < p.cfg.ReprobeAfter {
+			continue
+		}
+		w.quarantined = false
+		w.goldN, w.goldOK, w.dupN, w.disagree = 0, 0, 0, 0
+		w.sinceProbe, w.satOut = 0, 0
+		p.active++
+		p.reinstates++
+		if m := obs.Active(); m != nil {
+			m.Reinstate()
+		}
 	}
 }
 
@@ -362,6 +400,14 @@ func (p *Pool) Evictions() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.evictions
+}
+
+// Reinstates returns the number of quarantined workers returned to rotation
+// by the half-open circuit breaker.
+func (p *Pool) Reinstates() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reinstates
 }
 
 // ActiveWorkers returns the number of non-quarantined workers.

@@ -264,3 +264,112 @@ func TestHedgeHonorsCancellation(t *testing.T) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
 }
+
+// healingBackend answers wrong until healed, then honestly — a worker whose
+// quality genuinely recovers, for half-open circuit-breaker tests.
+type healingBackend struct {
+	healed atomic.Bool
+	calls  atomic.Int64
+}
+
+func (b *healingBackend) Answer(ctx context.Context, r Request) (Answer, error) {
+	b.calls.Add(1)
+	w := r.A
+	if r.B.Value > r.A.Value {
+		w = r.B
+	}
+	if !b.healed.Load() {
+		// Report the loser.
+		if w == r.A {
+			w = r.B
+		} else {
+			w = r.A
+		}
+	}
+	return Answer{Winner: w}, nil
+}
+
+func TestPoolReprobeReinstatesHealedWorker(t *testing.T) {
+	sick := &healingBackend{}
+	p, err := NewPool([]PoolWorker{
+		{Name: "honest-0", Backend: honestWorker()},
+		{Name: "honest-1", Backend: honestWorker()},
+		{Name: "sick", Backend: sick},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnableHealth(HealthConfig{
+		Gold: GoldFromTraining(training(), 0.25, 0), ProbeEvery: 2,
+		ReprobeAfter: 25, Seed: 7,
+	})
+	drive := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, err := p.Answer(context.Background(), req(it(10, 1), it(11, 2))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drive(200)
+	if p.Evictions() == 0 {
+		t.Fatal("sick worker was never quarantined")
+	}
+	// The breaker is half-open: sitting out ReprobeAfter routing decisions
+	// earns the worker a fresh scorecard — even while it is still sick, so
+	// it cycles quarantine → reprobe → quarantine.
+	if p.Reinstates() == 0 {
+		t.Fatalf("sick worker was never reinstated after %d decisions", 200)
+	}
+	evictionsWhileSick := p.Evictions()
+	if evictionsWhileSick < 2 {
+		t.Fatalf("still-sick worker re-quarantined %d times, want ≥ 2 (reprobe must re-test)", evictionsWhileSick)
+	}
+
+	// Once healed, reinstatement sticks: the worker passes its probes and
+	// serves real traffic again. (At most one more eviction is legitimate —
+	// wrong answers given while still sick may already sit on the current
+	// scorecard when the healing lands.)
+	sick.healed.Store(true)
+	drive(400)
+	if got := p.ActiveWorkers(); got != 3 {
+		t.Fatalf("active = %d after healing, want all 3 workers back", got)
+	}
+	if p.Evictions() > evictionsWhileSick+1 {
+		t.Fatalf("healed worker kept getting evicted: %d → %d evictions", evictionsWhileSick, p.Evictions())
+	}
+	for _, c := range p.Scorecards() {
+		if c.Name == "sick" {
+			if c.Quarantined {
+				t.Fatalf("healed worker still quarantined: %+v", c)
+			}
+			if c.GoldProbes > 0 && c.GoldAccuracy() != 1 {
+				t.Fatalf("healed worker's fresh scorecard carries old failures: %+v", c)
+			}
+		}
+	}
+}
+
+func TestPoolPermanentQuarantineWithoutReprobe(t *testing.T) {
+	// ReprobeAfter unset: the pre-existing contract — quarantine is forever.
+	p, err := NewPool([]PoolWorker{
+		{Name: "honest-0", Backend: honestWorker()},
+		{Name: "honest-1", Backend: honestWorker()},
+		{Name: "bad", Backend: alwaysWrong()},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnableHealth(HealthConfig{Gold: GoldFromTraining(training(), 0.25, 0), ProbeEvery: 2, Seed: 7})
+	for i := 0; i < 400; i++ {
+		if _, err := p.Answer(context.Background(), req(it(10, 1), it(11, 2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Reinstates() != 0 {
+		t.Fatalf("permanent quarantine reinstated %d workers", p.Reinstates())
+	}
+	if p.Evictions() != 1 || p.ActiveWorkers() != 2 {
+		t.Fatalf("evictions=%d active=%d, want 1 and 2", p.Evictions(), p.ActiveWorkers())
+	}
+}

@@ -108,7 +108,15 @@ type Metrics struct {
 	goldProbes          atomic.Int64
 	goldFailures        atomic.Int64
 	quarantines         atomic.Int64
+	reinstates          atomic.Int64
 	checkpointWrites    atomic.Int64
+
+	// Degradation counters: quality-ladder decisions made by the degrade
+	// controller, split into downgrades (weaker rung than before) and
+	// recoveries (stronger rung after a pool healed).
+	degradeDecisions  atomic.Int64
+	degradeDowngrades atomic.Int64
+	degradeRecoveries atomic.Int64
 }
 
 // Comparisons records n paid comparisons by the given class.
@@ -203,6 +211,25 @@ func (m *Metrics) GoldProbe(correct bool) {
 // Quarantine records one worker evicted by the health circuit breaker.
 func (m *Metrics) Quarantine() {
 	m.quarantines.Add(1)
+}
+
+// Reinstate records one quarantined worker returned to rotation after its
+// half-open probation elapsed.
+func (m *Metrics) Reinstate() {
+	m.reinstates.Add(1)
+}
+
+// DegradeDecision records one quality-ladder decision by the degrade
+// controller: direction < 0 is a downgrade (weaker rung), > 0 a recovery
+// (stronger rung), 0 a stay.
+func (m *Metrics) DegradeDecision(direction int) {
+	m.degradeDecisions.Add(1)
+	switch {
+	case direction < 0:
+		m.degradeDowngrades.Add(1)
+	case direction > 0:
+		m.degradeRecoveries.Add(1)
+	}
 }
 
 // CheckpointWrite records one session checkpoint snapshot written.
@@ -300,6 +327,12 @@ func (m *Metrics) Snapshot() map[string]any {
 		"gold_probes":   m.goldProbes.Load(),
 		"gold_failures": m.goldFailures.Load(),
 		"quarantines":   m.quarantines.Load(),
+		"reinstates":    m.reinstates.Load(),
+	}
+	out["degrade"] = map[string]any{
+		"decisions":  m.degradeDecisions.Load(),
+		"downgrades": m.degradeDowngrades.Load(),
+		"recoveries": m.degradeRecoveries.Load(),
 	}
 	out["checkpoint"] = map[string]any{"writes": m.checkpointWrites.Load()}
 	return out

@@ -13,6 +13,7 @@ import (
 	"crowdmax/internal/chaos"
 	"crowdmax/internal/checkpoint"
 	"crowdmax/internal/cost"
+	"crowdmax/internal/degrade"
 	"crowdmax/internal/dispatch"
 	"crowdmax/internal/obs"
 )
@@ -149,7 +150,7 @@ func itemsFingerprint(items []Item) uint64 {
 // checkpointState returns the snapshot builder bound to one run's live
 // state: the ledger and budget are read at snapshot time (atomic /
 // mutex-guarded), and the memo tables are copied stripe by stripe.
-func (s *Session) checkpointState(items []Item, seed uint64, led *Ledger, budget *Budget, nm, em *Memo) func(phase string, survivors []int64) *checkpoint.State {
+func (s *Session) checkpointState(items []Item, seed uint64, led *Ledger, budget *Budget, nm, em *Memo, ctl *degrade.Controller) func(phase string, survivors []int64) *checkpoint.State {
 	fp := itemsFingerprint(items)
 	n := len(items)
 	return func(phase string, survivors []int64) *checkpoint.State {
@@ -173,6 +174,11 @@ func (s *Session) checkpointState(items []Item, seed uint64, led *Ledger, budget
 		}
 		st.NaiveMemo = memoPairs(nm)
 		st.ExpertMemo = memoPairs(em)
+		if ctl != nil {
+			// The achieved rung and decision-log hash ride in the snapshot so
+			// a resumed run can be audited against the walk that produced it.
+			st.Rung, st.DecisionHash = ctl.Snapshot()
+		}
 		return st
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"crowdmax/internal/checkpoint"
 	"crowdmax/internal/dataset"
 )
 
@@ -249,5 +250,155 @@ func TestCheckpointRequiresMemoization(t *testing.T) {
 	})
 	if _, err := s.FindMax(cal.Set.Items()); err == nil {
 		t.Fatal("checkpointing without memoization was accepted")
+	}
+}
+
+// degradedOutageSession is statelessSession plus the degrade controller and
+// a chaos plan that kills the expert backend for good from paid comparison
+// `from` on — the acceptance scenario for graceful degradation.
+func degradedOutageSession(t *testing.T, cal dataset.Calibrated, seed uint64, from int64, mutate func(*Config)) *Session {
+	t.Helper()
+	return statelessSession(t, cal, seed, func(c *Config) {
+		plan, err := ParseChaosPlan(fmt.Sprintf("expert-outage:1.0@%d+", from))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.Seed = seed
+		plan.PairHash = true
+		c.Chaos = &plan
+		c.Degrade = &DegradeConfig{}
+		if mutate != nil {
+			mutate(c)
+		}
+	})
+}
+
+func TestSessionDegradeExpertOutage(t *testing.T) {
+	cal, err := dataset.UniformCalibrated(200, 6, 2, NewRand(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := cal.Set.Items()
+	s := degradedOutageSession(t, cal, 91, 40, nil)
+	res, err := s.FindMax(items)
+	if err != nil {
+		t.Fatalf("expert outage was not absorbed: %v", err)
+	}
+	if res.Rung != "naive-majority" || res.Guarantee != GuaranteeDeltaN {
+		t.Fatalf("degraded run reports rung %q (%q), want naive-majority (δn)", res.Rung, res.Guarantee)
+	}
+	if !res.Phase1Complete {
+		t.Fatal("δn label claimed without a completed phase 1")
+	}
+	found := false
+	for _, c := range res.Candidates {
+		if c.ID == res.Best.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("majority answer %d is not in the candidate set", res.Best.ID)
+	}
+	if len(res.Decisions) < 2 {
+		t.Fatalf("decision log has %d entries, want the start pick plus at least one downgrade", len(res.Decisions))
+	}
+	last := res.Decisions[len(res.Decisions)-1]
+	if last.To != "naive-majority" || last.Direction() >= 0 {
+		t.Fatalf("last decision %+v is not a downgrade to naive-majority", last)
+	}
+	// Without the controller the same outage is a hard failure (the
+	// pre-degrade contract, still the default).
+	hard := statelessSession(t, cal, 91, func(c *Config) {
+		plan, perr := ParseChaosPlan("expert-outage:1.0@40+")
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		plan.Seed = 91
+		plan.PairHash = true
+		c.Chaos = &plan
+	})
+	if _, err := hard.FindMax(items); !errors.Is(err, ErrBackendUnavailable) {
+		t.Fatalf("undegraded outage run: err = %v, want ErrBackendUnavailable", err)
+	}
+}
+
+func TestSessionDegradeCrashResumeSameRung(t *testing.T) {
+	cal, err := dataset.UniformCalibrated(200, 6, 2, NewRand(36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := cal.Set.Items()
+	const seed = 92
+
+	// Uninterrupted degraded reference run: outage mid-run forces the
+	// naive-majority rung.
+	refPath := filepath.Join(t.TempDir(), "ref.ck")
+	ref := degradedOutageSession(t, cal, seed, 40, func(c *Config) {
+		c.Checkpoint = CheckpointConfig{Path: refPath, Every: 16}
+	})
+	want, err := ref.FindMax(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Rung != "naive-majority" {
+		t.Fatalf("reference run landed on %q, want naive-majority", want.Rung)
+	}
+	// The final snapshot carries the achieved rung and the decision-log hash.
+	st, err := checkpoint.Load(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rung != "naive-majority" || st.DecisionHash == 0 {
+		t.Fatalf("final snapshot carries rung %q hash %#x, want naive-majority and a non-zero hash", st.Rung, st.DecisionHash)
+	}
+
+	// Same run, crashed inside the degraded phase 2, then resumed: the
+	// replay must land on the same rung with the same answer and costs.
+	total := want.NaiveComparisons + want.ExpertComparisons
+	path := filepath.Join(t.TempDir(), "run.ck")
+	crashed := degradedOutageSession(t, cal, seed, 40, func(c *Config) {
+		c.Checkpoint = CheckpointConfig{Path: path, Every: 16}
+		c.Chaos.CrashAfter = total - 5
+	})
+	if _, err := crashed.FindMax(items); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("crashed run: err = %v, want ErrInjectedCrash", err)
+	}
+	resumed := degradedOutageSession(t, cal, seed, 40, func(c *Config) {
+		c.Checkpoint = CheckpointConfig{Path: path, Every: 16}
+	})
+	got, err := resumed.Resume(context.Background(), path, items)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if got.Rung != want.Rung || got.Guarantee != want.Guarantee {
+		t.Fatalf("resumed run landed on %q (%q), reference on %q (%q)",
+			got.Rung, got.Guarantee, want.Rung, want.Guarantee)
+	}
+	if got.Best != want.Best {
+		t.Fatalf("resumed best %+v differs from reference %+v", got.Best, want.Best)
+	}
+	if got.NaiveComparisons != want.NaiveComparisons || got.ExpertComparisons != want.ExpertComparisons {
+		t.Fatalf("resumed totals (%d, %d) differ from reference (%d, %d)",
+			got.NaiveComparisons, got.ExpertComparisons, want.NaiveComparisons, want.ExpertComparisons)
+	}
+	if len(got.Decisions) != len(want.Decisions) {
+		t.Fatalf("resumed decision log has %d entries, reference %d", len(got.Decisions), len(want.Decisions))
+	}
+}
+
+func TestSessionDegradeRejectsBadLadder(t *testing.T) {
+	cal, err := dataset.UniformCalibrated(80, 4, 2, NewRand(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := statelessSession(t, cal, 5, func(c *Config) {
+		// A ladder not ending in best-so-far could leave the controller with
+		// no eligible rung; the run must refuse it up front.
+		c.Degrade = &DegradeConfig{Ladder: QualityLadder{
+			{Name: "expert-2maxfind", Guarantee: Guarantee2DeltaE, MinExperts: 1},
+		}}
+	})
+	if _, err := s.FindMax(cal.Set.Items()); err == nil {
+		t.Fatal("invalid ladder accepted")
 	}
 }

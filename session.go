@@ -5,11 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"crowdmax/internal/checkpoint"
 	"crowdmax/internal/core"
 	"crowdmax/internal/cost"
+	"crowdmax/internal/degrade"
 	"crowdmax/internal/dispatch"
+	"crowdmax/internal/obs"
 	"crowdmax/internal/worker"
 )
 
@@ -74,6 +77,11 @@ type Config struct {
 	// WorkerPool (gold probes, quarantine) and, with HedgeAfter set, wraps
 	// the backends in a hedging decorator; see HealthConfig.
 	Health HealthConfig
+	// Degrade, when non-nil, supervises the run with the graceful-degradation
+	// controller: recoverable mid-phase failures walk the run down the
+	// quality ladder instead of failing it, and Result.Guarantee reports the
+	// quality actually achieved; see DegradeConfig.
+	Degrade *DegradeConfig
 }
 
 // Session runs the two-phase algorithm with a fixed worker configuration
@@ -128,6 +136,18 @@ type Result struct {
 	NaiveComparisons, ExpertComparisons int64
 	// Cost is this run's monetary cost under the session prices.
 	Cost float64
+	// Rung names the quality-ladder rung that produced Best, and Guarantee
+	// its machine-checkable label. An undegraded successful run reports the
+	// natural rung of its phase-2 algorithm (e.g. "expert-2maxfind" / 2δe);
+	// any run that returns an error reports "best-so-far" with no bound.
+	Rung      string
+	Guarantee Guarantee
+	// Phase1Complete reports whether the filter phase ran to completion —
+	// δn-or-stronger labels are only honest when it did.
+	Phase1Complete bool
+	// Decisions is the degradation controller's decision log; nil when
+	// Config.Degrade is unset.
+	Decisions []DegradeDecision
 }
 
 // FindMax runs the two-phase algorithm on items with no cancellation
@@ -208,8 +228,12 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 		}
 	}
 	if chaosOn {
+		// Chaos windows are positions on the run's paid-comparison clock;
+		// memo replay never bills new comparisons, so a resumed run re-enters
+		// every fault window at exactly the comparison that first opened it.
+		clock := func() int64 { return runLedger.Snapshot().TotalComparisons() }
 		var err error
-		nb, eb, _, err = s.cfg.Chaos.Apply(nb, eb)
+		nb, eb, _, err = s.cfg.Chaos.Apply(nb, eb, clock)
 		if err != nil {
 			return Result{}, err
 		}
@@ -221,9 +245,26 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 		if p, ok := eb.(*WorkerPool); ok {
 			p.EnableHealth(s.cfg.Health)
 		}
-		if d := s.cfg.Health.HedgeAfter; d > 0 {
-			nb = dispatch.NewHedge(nb, d)
-			eb = dispatch.NewHedge(eb, d)
+	}
+	// The degrade controller's MinExperts precondition reads the expert
+	// pool's live active-worker count; grab the pool before hedge and
+	// checkpoint decorators hide it behind dispatch.Func wrappers.
+	expertPool, _ := eb.(*WorkerPool)
+	if d := s.cfg.Health.HedgeAfter; healthOn && d > 0 {
+		nb = dispatch.NewHedge(nb, d)
+		eb = dispatch.NewHedge(eb, d)
+	}
+	var ctl *degrade.Controller
+	if s.cfg.Degrade != nil {
+		var err error
+		ctl, err = degrade.NewController(degrade.Config{
+			Ladder:      s.cfg.Degrade.Ladder,
+			MaxAttempts: s.cfg.Degrade.MaxAttempts,
+			Seed:        r.Seed(),
+			CmpLatency:  s.cfg.Degrade.CmpLatency,
+		})
+		if err != nil {
+			return Result{}, err
 		}
 	}
 	var ck *ckWriter
@@ -231,7 +272,7 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 		if s.cfg.DisableMemoization {
 			return Result{}, errors.New("crowdmax: Config.Checkpoint requires memoization (resume replays the memo tables)")
 		}
-		ck = newCkWriter(s.cfg.Checkpoint, s.checkpointState(items, r.Seed(), runLedger, budget, naiveMemo, expertMemo))
+		ck = newCkWriter(s.cfg.Checkpoint, s.checkpointState(items, r.Seed(), runLedger, budget, naiveMemo, expertMemo, ctl))
 		nb, eb = ck.wrap(nb), ck.wrap(eb)
 	}
 
@@ -241,6 +282,16 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 		no.WithBudget(budget)
 		eo.WithBudget(budget)
 	}
+	if ck != nil {
+		// An immediate snapshot makes even a crash before the first
+		// interval resumable; phase boundaries refresh it.
+		ck.boundary("start", nil)
+	}
+
+	if ctl != nil {
+		return s.findMaxDegraded(ctx, items, no, eo, ctl, ck, budget, expertPool, r, runLedger)
+	}
+
 	opt := core.FindMaxOptions{
 		Un:          s.cfg.Un,
 		Phase2:      s.cfg.Phase2,
@@ -248,9 +299,6 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 		Randomized:  core.RandomizedOptions{R: r.Child("phase2")},
 	}
 	if ck != nil {
-		// An immediate snapshot makes even a crash before the first
-		// interval resumable; phase boundaries refresh it.
-		ck.boundary("start", nil)
 		opt.OnPhase = ck.boundary
 	}
 	res, err := core.FindMax(ctx, items, no, eo, opt)
@@ -262,12 +310,79 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 		err = ck.Err()
 	}
 	s.ledger.Add(runLedger)
+	rung, guarantee := degrade.NaturalRung(int(s.cfg.Phase2))
+	if err != nil {
+		// A truncated run's Best is a best-so-far leader; claiming the
+		// phase-2 algorithm's bound for it would overstate the quality.
+		rung, guarantee = "best-so-far", GuaranteeNone
+	}
 	return Result{
 		Best:              res.Best,
 		Candidates:        res.Candidates,
 		NaiveComparisons:  runLedger.Naive(),
 		ExpertComparisons: runLedger.Expert(),
 		Cost:              runLedger.Cost(s.cfg.Prices),
+		Rung:              rung,
+		Guarantee:         guarantee,
+		Phase1Complete:    len(res.Candidates) > 0,
+		Decisions:         nil,
+	}, err
+}
+
+// findMaxDegraded is findMax's tail under a degrade controller: it hands the
+// wired oracles to degrade.Run, samples live signals (budget headroom, pool
+// health, deadline) before every ladder decision, forwards decisions to obs,
+// and maps the supervised Outcome onto Result.
+func (s *Session) findMaxDegraded(ctx context.Context, items []Item, no, eo *Oracle, ctl *degrade.Controller, ck *ckWriter, budget *Budget, expertPool *WorkerPool, r *Rand, runLedger *Ledger) (Result, error) {
+	opt := degrade.Options{
+		Un:          s.cfg.Un,
+		TrackLosses: s.cfg.TrackLosses,
+		Randomized:  core.RandomizedOptions{R: r.Child("phase2")},
+		Signals: func() degrade.Signals {
+			sig := degrade.Unconstrained()
+			if budget != nil {
+				sig.NaiveRemaining = budget.RemainingFor(worker.Naive)
+				sig.ExpertRemaining = budget.RemainingFor(worker.Expert)
+			}
+			if expertPool != nil {
+				sig.ActiveExperts = expertPool.ActiveWorkers()
+			}
+			if dl, ok := ctx.Deadline(); ok {
+				sig.HasDeadline = true
+				sig.DeadlineLeft = time.Until(dl)
+			}
+			return sig
+		},
+		OnDecision: func(d degrade.Decision) {
+			if m := obs.Active(); m != nil {
+				m.DegradeDecision(d.Direction())
+			}
+		},
+	}
+	if ck != nil {
+		opt.OnPhase = ck.boundary
+	}
+	out, err := degrade.Run(ctx, items, no, eo, ctl, opt)
+	if err == nil && ck != nil {
+		err = ck.Err()
+	}
+	s.ledger.Add(runLedger)
+	rung, guarantee := out.Rung.Name, out.Rung.Guarantee
+	if err != nil {
+		// A fatal error (crash, cancellation) means no rung completed; the
+		// partial leader carries no bound.
+		rung, guarantee = "best-so-far", GuaranteeNone
+	}
+	return Result{
+		Best:              out.Best,
+		Candidates:        out.Candidates,
+		NaiveComparisons:  runLedger.Naive(),
+		ExpertComparisons: runLedger.Expert(),
+		Cost:              runLedger.Cost(s.cfg.Prices),
+		Rung:              rung,
+		Guarantee:         guarantee,
+		Phase1Complete:    out.Phase1Complete,
+		Decisions:         out.Decisions,
 	}, err
 }
 
