@@ -1,9 +1,9 @@
 GO ?= go
 
 # Concurrency-heavy packages CI runs under the race detector.
-RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/... ./internal/dispatch/... ./internal/chaos/... ./internal/checkpoint/... ./internal/degrade/...
+RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/... ./internal/dispatch/... ./internal/chaos/... ./internal/checkpoint/... ./internal/degrade/... ./internal/sched/...
 
-.PHONY: build test race bench vet lint ci bench-smoke chaos-smoke soak-smoke all clean
+.PHONY: build test race bench bench-matrix vet lint ci bench-smoke chaos-smoke soak-smoke all clean
 
 all: build vet test
 
@@ -13,9 +13,12 @@ build:
 test:
 	$(GO) test ./...
 
-# Same package list as the CI race job.
+# Same package list as the CI race job: once at GOMAXPROCS=1 (interleaving
+# forced through a single P) and once at 4 (real parallelism), matching the
+# two scheduler regimes the DAG dispatcher runs under.
 race:
-	$(GO) test -race $(RACE_PKGS)
+	GOMAXPROCS=1 $(GO) test -race ./internal/sched/... ./internal/tournament/...
+	GOMAXPROCS=4 $(GO) test -race $(RACE_PKGS)
 
 # Mirror of .github/workflows/ci.yml: the test job's steps plus the
 # benchmark-smoke job. Green here means green there (modulo Go version).
@@ -25,6 +28,14 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkFig3Parallel -benchtime=1x ./internal/experiment
 	$(GO) run ./cmd/benchrun -quick -parallel=2 -benchout /tmp/bench-smoke.json fig3
 	$(GO) run ./cmd/benchcheck /tmp/bench-smoke.json
+	$(GO) run ./cmd/benchsched -smoke -out /tmp/bench-sched-smoke.json
+	$(GO) run ./cmd/benchcheck /tmp/bench-sched-smoke.json results/BENCH_sched.json
+
+# Regenerate the full scheduler matrix checked in under results/ (slow; the
+# committed file was produced by exactly this invocation).
+bench-matrix:
+	$(GO) run ./cmd/benchsched -spin 500ns -runs 15 -out results/BENCH_sched.json
+	$(GO) run ./cmd/benchcheck results/BENCH_sched.json
 
 # Crash-and-resume bit-identical check plus a poisoned-pool run: the same
 # steps as the CI chaos-smoke job.

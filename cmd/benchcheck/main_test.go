@@ -63,3 +63,126 @@ func TestCheckRejects(t *testing.T) {
 		})
 	}
 }
+
+// validSched is a minimal well-formed sched-matrix report: two GOMAXPROCS
+// widths, both schedulers per width, agreeing paid counts, fewer DAG rounds,
+// and a paired summary per width with a fast 1-core DAG.
+const validSched = `{
+  "kind": "sched-matrix",
+  "cores": 4, "smoke": false, "n": 2000, "un": 8, "runs": 2, "spin_ns": 500,
+  "cells": [
+    {"gomaxprocs": 1, "scheduler": "lockstep", "median_seconds": 0.030,
+     "runs_seconds": [0.030, 0.031], "logical_rounds": 86, "paid_comparisons": 90000},
+    {"gomaxprocs": 1, "scheduler": "dag", "median_seconds": 0.028,
+     "runs_seconds": [0.028, 0.029], "logical_rounds": 6, "paid_comparisons": 90000},
+    {"gomaxprocs": 4, "scheduler": "lockstep", "median_seconds": 0.020,
+     "runs_seconds": [0.020, 0.021], "logical_rounds": 86, "paid_comparisons": 90000},
+    {"gomaxprocs": 4, "scheduler": "dag", "median_seconds": 0.012,
+     "runs_seconds": [0.012, 0.013], "logical_rounds": 6, "paid_comparisons": 90000}
+  ],
+  "paired": [
+    {"gomaxprocs": 1, "dag_over_lockstep_median": 0.95, "rounds_lockstep": 86, "rounds_dag": 6},
+    {"gomaxprocs": 4, "dag_over_lockstep_median": 0.61, "rounds_lockstep": 86, "rounds_dag": 6}
+  ]
+}`
+
+func TestCheckSchedMatrixValid(t *testing.T) {
+	if errs := check([]byte(validSched)); len(errs) != 0 {
+		t.Fatalf("valid sched-matrix report rejected: %v", errs)
+	}
+}
+
+func TestCheckSchedMatrixSmokeRelaxesOneCoreCap(t *testing.T) {
+	// A smoke run's tiny workload is noisy: a 40% paired slowdown must pass
+	// with "smoke": true and fail without it.
+	rep := strings.Replace(validSched, `"dag_over_lockstep_median": 0.95`, `"dag_over_lockstep_median": 1.4`, 1)
+	if errs := check([]byte(rep)); len(errs) == 0 {
+		t.Fatal("full run with 40% 1-core slowdown accepted")
+	}
+	rep = strings.Replace(rep, `"smoke": false`, `"smoke": true`, 1)
+	if errs := check([]byte(rep)); len(errs) != 0 {
+		t.Fatalf("smoke run with 40%% 1-core slowdown rejected: %v", errs)
+	}
+}
+
+func TestCheckSchedMatrixRejects(t *testing.T) {
+	mut := func(old, new string) string {
+		s := strings.Replace(validSched, old, new, 1)
+		if s == validSched {
+			t.Fatalf("mutation %q not applied", old)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"unknown kind", `{"kind": "nonsense"}`, `unknown report kind "nonsense"`},
+		{"no cells", `{"kind": "sched-matrix", "cores": 1, "n": 10, "runs": 1}`, "no cells"},
+		{"unknown scheduler", mut(`"scheduler": "dag", "median_seconds": 0.028`,
+			`"scheduler": "fifo", "median_seconds": 0.028`), "unknown scheduler"},
+		{"zero median", mut(`"median_seconds": 0.030`, `"median_seconds": 0`), "median_seconds"},
+		{"runs mismatch", mut(`"runs_seconds": [0.030, 0.031]`, `"runs_seconds": [0.030]`), "runs_seconds, want 2"},
+		{"zero rounds", mut(`"logical_rounds": 86, "paid_comparisons": 90000},
+    {"gomaxprocs": 1, "scheduler": "dag"`, `"logical_rounds": 0, "paid_comparisons": 90000},
+    {"gomaxprocs": 1, "scheduler": "dag"`), "logical_rounds"},
+		{"missing scheduler cell", mut(`"scheduler": "dag", "median_seconds": 0.012`,
+			`"scheduler": "lockstep", "median_seconds": 0.012`), "missing"},
+		{"paid divergence", mut(`"logical_rounds": 6, "paid_comparisons": 90000},
+    {"gomaxprocs": 4`, `"logical_rounds": 6, "paid_comparisons": 89999},
+    {"gomaxprocs": 4`), "paid comparisons diverge"},
+		{"dag more rounds", mut(`"logical_rounds": 6, "paid_comparisons": 90000},
+    {"gomaxprocs": 4`, `"logical_rounds": 87, "paid_comparisons": 90000},
+    {"gomaxprocs": 4`), "MORE rounds"},
+		{"one-core slowdown", mut(`"dag_over_lockstep_median": 0.95`, `"dag_over_lockstep_median": 1.05`),
+			"slower than lockstep"},
+		{"paired rounds mismatch", mut(`"rounds_dag": 6},
+    {"gomaxprocs": 4`, `"rounds_dag": 7},
+    {"gomaxprocs": 4`), "rounds_dag"},
+		{"missing paired summary", mut(`,
+    {"gomaxprocs": 4, "dag_over_lockstep_median": 0.61, "rounds_lockstep": 86, "rounds_dag": 6}`, ``),
+			"missing paired summary"},
+		{"zero ratio", mut(`"dag_over_lockstep_median": 0.95`, `"dag_over_lockstep_median": 0`),
+			"dag_over_lockstep_median"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := check([]byte(tc.data))
+			if len(errs) == 0 {
+				t.Fatal("invalid sched-matrix report accepted")
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("errors %v do not mention %q", errs, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckSchedMatrixMissingBaseline(t *testing.T) {
+	// Drop both gomaxprocs=1 cells and their paired entry: the matrix must
+	// name the missing sequential baseline.
+	rep := strings.Replace(validSched, `{"gomaxprocs": 1, "scheduler": "lockstep", "median_seconds": 0.030,
+     "runs_seconds": [0.030, 0.031], "logical_rounds": 86, "paid_comparisons": 90000},
+    {"gomaxprocs": 1, "scheduler": "dag", "median_seconds": 0.028,
+     "runs_seconds": [0.028, 0.029], "logical_rounds": 6, "paid_comparisons": 90000},
+    `, "", 1)
+	rep = strings.Replace(rep, `{"gomaxprocs": 1, "dag_over_lockstep_median": 0.95, "rounds_lockstep": 86, "rounds_dag": 6},
+    `, "", 1)
+	errs := check([]byte(rep))
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "gomaxprocs=1 baseline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errors %v do not mention the missing baseline", errs)
+	}
+}

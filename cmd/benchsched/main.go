@@ -1,0 +1,340 @@
+// Command benchsched produces the scheduler benchmark matrix
+// (results/BENCH_sched.json): wall-clock time AND measured logical rounds
+// for the lockstep and DAG schedulers across a GOMAXPROCS axis, on the same
+// two-phase max-finding workload.
+//
+// Methodology:
+//
+//   - Runs are PAIRED: within one repetition the lockstep and DAG runs
+//     execute back to back on identical inputs (same seed, same workers), so
+//     machine drift hits both sides equally. The headline statistic is the
+//     MEDIAN OF PER-REPETITION RATIOS (dag seconds / lockstep seconds) —
+//     a paired design that cancels the between-repetition noise a ratio of
+//     medians cannot. The run order inside a repetition alternates, one
+//     repetition is discarded as warmup, and the heap is collected before
+//     every timed run.
+//   - Workers use order-independent hash tie-breaking, so both schedulers
+//     (and every parallelism width) produce identical answers and paid
+//     comparison counts — the harness verifies this every repetition and
+//     aborts on any mismatch, making the timing comparison apples-to-apples
+//     by construction.
+//   - Logical rounds are read off the cost ledger's step counter — the
+//     paper's latency measure (one step = one platform batch) — not inferred
+//     from wall clock. The DAG scheduler's round win is
+//     scheduling-theoretic and shows at every GOMAXPROCS; the wall-clock
+//     effect of merging batches grows with cores and per-comparison latency
+//     (the -spin knob emulates the latter).
+//
+// Usage:
+//
+//	benchsched                     # full matrix -> results/BENCH_sched.json
+//	benchsched -smoke              # one cell, small workload (CI gate)
+//	benchsched -gomaxprocs 1,4 -runs 7 -n 4000 -spin 2us
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"crowdmax/internal/core"
+	"crowdmax/internal/cost"
+	"crowdmax/internal/dataset"
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/sched"
+	"crowdmax/internal/tournament"
+	"crowdmax/internal/worker"
+
+	"flag"
+)
+
+var (
+	gmpList = flag.String("gomaxprocs", "1,2,4,8", "comma-separated GOMAXPROCS axis")
+	runs    = flag.Int("runs", 5, "paired repetitions per cell (median reported)")
+	nItems  = flag.Int("n", 2000, "instance size")
+	unEst   = flag.Int("un", 8, "un(n) handed to the filter")
+	seeds   = flag.Uint64("seed", 2015, "base seed; repetition i uses seed+i")
+	spin    = flag.Duration("spin", 0, "busy-work per paid comparison, emulating worker latency (e.g. 2us)")
+	out     = flag.String("out", "results/BENCH_sched.json", "output path")
+	smoke   = flag.Bool("smoke", false, "CI smoke: one cell (GOMAXPROCS=1), 3 runs, n=400")
+	prof    = flag.String("cpuprofile", "", "write a CPU profile covering all timed runs")
+)
+
+// cell is one (gomaxprocs, scheduler) measurement.
+type cell struct {
+	Gomaxprocs      int       `json:"gomaxprocs"`
+	Scheduler       string    `json:"scheduler"`
+	MedianSeconds   float64   `json:"median_seconds"`
+	RunsSeconds     []float64 `json:"runs_seconds"`
+	LogicalRounds   int64     `json:"logical_rounds"`
+	PaidComparisons int64     `json:"paid_comparisons"`
+	BestID          int       `json:"best_id"`
+}
+
+// paired is the per-GOMAXPROCS paired comparison: the median over
+// repetitions of (dag seconds / lockstep seconds), plus the rounds both
+// schedulers measured. This — not the ratio of the two cell medians — is the
+// statistic the ±2% one-core acceptance gate reads, because pairing cancels
+// between-repetition machine drift.
+type paired struct {
+	Gomaxprocs     int     `json:"gomaxprocs"`
+	RatioMedian    float64 `json:"dag_over_lockstep_median"`
+	RoundsLockstep int64   `json:"rounds_lockstep"`
+	RoundsDAG      int64   `json:"rounds_dag"`
+}
+
+// report is the BENCH_sched.json schema; benchcheck validates it via the
+// kind tag.
+type report struct {
+	Kind     string   `json:"kind"` // "sched-matrix"
+	Cores    int      `json:"cores"`
+	GoVer    string   `json:"go_version"`
+	Smoke    bool     `json:"smoke"`
+	N        int      `json:"n"`
+	Un       int      `json:"un"`
+	Runs     int      `json:"runs"`
+	SpinNs   int64    `json:"spin_ns"`
+	Cells    []cell   `json:"cells"`
+	Paired   []paired `json:"paired"`
+	Produced string   `json:"produced_by"`
+}
+
+// spinWorker wraps a comparator with fixed busy-work per call, emulating
+// worker latency without sleeping (sleep granularity would swamp the
+// measurement). It preserves the wrapped comparator's order-independence.
+type spinWorker struct {
+	inner worker.Comparator
+	loops int
+}
+
+func (s *spinWorker) Compare(a, b item.Item) item.Item {
+	x := uint64(a.ID)*0x9e3779b97f4a7c15 + uint64(b.ID)
+	for i := 0; i < s.loops; i++ {
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+	}
+	if x == 0 { // never true; defeats dead-code elimination
+		return item.Item{}
+	}
+	return s.inner.Compare(a, b)
+}
+
+// calibrateSpinLoops converts the -spin duration into busy-loop iterations.
+func calibrateSpinLoops(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	const probe = 1 << 20
+	w := &spinWorker{inner: worker.Truth, loops: probe}
+	a, b := item.Item{ID: 1, Value: 1}, item.Item{ID: 2, Value: 2}
+	start := time.Now()
+	w.Compare(a, b)
+	perLoop := time.Since(start) / probe
+	if perLoop <= 0 {
+		perLoop = 1
+	}
+	loops := int(d / perLoop)
+	if loops < 1 {
+		loops = 1
+	}
+	return loops
+}
+
+// outcome is one run's verification fingerprint.
+type outcome struct {
+	bestID  int
+	paid    int64
+	rounds  int64
+	elapsed time.Duration
+}
+
+// runOnce executes one two-phase run under the given scheduler and
+// parallelism width on a freshly generated instance.
+func runOnce(seed uint64, kind sched.Kind, par, spinLoops int) (outcome, error) {
+	r := rng.New(seed)
+	cal, err := dataset.UniformCalibrated(*nItems, *unEst, 3, r.Child("data"))
+	if err != nil {
+		return outcome{}, err
+	}
+	deltaE, err := cal.Set.DeltaForU(3)
+	if err != nil {
+		return outcome{}, err
+	}
+	// Order-independent workers: identical answers at every width and
+	// under both schedulers.
+	var nw worker.Comparator = &worker.Threshold{Delta: cal.DeltaN, Tie: worker.HashTie{Seed: seed}}
+	var ew worker.Comparator = &worker.Threshold{Delta: deltaE, Tie: worker.HashTie{Seed: seed + 1}}
+	if spinLoops > 0 {
+		nw = &spinWorker{inner: nw, loops: spinLoops}
+		ew = &spinWorker{inner: ew, loops: spinLoops}
+	}
+	ledger := cost.NewLedger()
+	no := tournament.NewOracle(nw, worker.Naive, ledger, tournament.NewMemo())
+	eo := tournament.NewOracle(ew, worker.Expert, ledger, tournament.NewMemo())
+	if par > 1 {
+		no.ParallelBatch(par)
+		eo.ParallelBatch(par)
+	}
+	start := time.Now()
+	res, err := core.FindMax(context.Background(), cal.Set.Items(), no, eo, core.FindMaxOptions{
+		Un:        *unEst,
+		Scheduler: kind,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return outcome{}, err
+	}
+	return outcome{
+		bestID:  res.Best.ID,
+		paid:    ledger.Naive() + ledger.Expert(),
+		rounds:  ledger.Steps(),
+		elapsed: elapsed,
+	}, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	axis := []int{}
+	for _, f := range strings.Split(*gmpList, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 1 {
+			return fmt.Errorf("bad -gomaxprocs entry %q", f)
+		}
+		axis = append(axis, p)
+	}
+	if *smoke {
+		axis = []int{1}
+		*runs = 3
+		if *nItems > 400 {
+			*nItems = 400
+		}
+	}
+	spinLoops := calibrateSpinLoops(*spin)
+	kinds := []sched.Kind{sched.Lockstep, sched.DAG}
+	if *prof != "" {
+		pf, err := os.Create(*prof)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := report{
+		Kind:     "sched-matrix",
+		Cores:    runtime.NumCPU(),
+		GoVer:    runtime.Version(),
+		Smoke:    *smoke,
+		N:        *nItems,
+		Un:       *unEst,
+		Runs:     *runs,
+		SpinNs:   spin.Nanoseconds(),
+		Produced: "cmd/benchsched",
+	}
+
+	prevGMP := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevGMP)
+
+	for _, p := range axis {
+		runtime.GOMAXPROCS(p)
+		secs := map[sched.Kind][]float64{}
+		var ratios []float64
+		var ref [2]outcome // last outcome per kind, for cross-checking
+		// Repetition -1 is an untimed warmup (page faults, branch caches,
+		// lazy runtime setup land there, not in a measured cell).
+		for i := -1; i < *runs; i++ {
+			seed := *seeds + uint64(i+1)
+			order := kinds
+			if i%2 != 0 { // alternate to cancel in-repetition ordering bias
+				order = []sched.Kind{sched.DAG, sched.Lockstep}
+			}
+			for _, kind := range order {
+				runtime.GC() // earlier runs' garbage must not bill this one
+				o, err := runOnce(seed, kind, p, spinLoops)
+				if err != nil {
+					return fmt.Errorf("gomaxprocs=%d %s run %d: %w", p, kind, i, err)
+				}
+				if i >= 0 {
+					secs[kind] = append(secs[kind], o.elapsed.Seconds())
+				}
+				ref[kind] = o
+			}
+			// Determinism gate: the schedulers must agree on the answer and
+			// the paid count every repetition; a divergence voids the
+			// comparison and the whole report.
+			if ref[sched.Lockstep].bestID != ref[sched.DAG].bestID ||
+				ref[sched.Lockstep].paid != ref[sched.DAG].paid {
+				return fmt.Errorf("gomaxprocs=%d seed %d: schedulers diverged (best %d/%d, paid %d/%d)",
+					p, seed, ref[sched.Lockstep].bestID, ref[sched.DAG].bestID,
+					ref[sched.Lockstep].paid, ref[sched.DAG].paid)
+			}
+			if i >= 0 {
+				ratios = append(ratios, ref[sched.DAG].elapsed.Seconds()/ref[sched.Lockstep].elapsed.Seconds())
+			}
+		}
+		for _, kind := range kinds {
+			rep.Cells = append(rep.Cells, cell{
+				Gomaxprocs:      p,
+				Scheduler:       kind.String(),
+				MedianSeconds:   median(secs[kind]),
+				RunsSeconds:     secs[kind],
+				LogicalRounds:   ref[kind].rounds,
+				PaidComparisons: ref[kind].paid,
+				BestID:          ref[kind].bestID,
+			})
+		}
+		rep.Paired = append(rep.Paired, paired{
+			Gomaxprocs:     p,
+			RatioMedian:    median(ratios),
+			RoundsLockstep: ref[sched.Lockstep].rounds,
+			RoundsDAG:      ref[sched.DAG].rounds,
+		})
+		lock, dag := rep.Cells[len(rep.Cells)-2], rep.Cells[len(rep.Cells)-1]
+		fmt.Printf("GOMAXPROCS=%d  lockstep %7.1f ms / %4d rounds   dag %7.1f ms / %4d rounds   (%.2fx rounds, paired wall %+.1f%%)\n",
+			p, lock.MedianSeconds*1e3, lock.LogicalRounds, dag.MedianSeconds*1e3, dag.LogicalRounds,
+			float64(lock.LogicalRounds)/float64(max(dag.LogicalRounds, 1)),
+			100*(median(ratios)-1))
+	}
+	runtime.GOMAXPROCS(prevGMP)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -52,20 +52,27 @@ func TournamentMax(ctx context.Context, items []item.Item, o *tournament.Oracle,
 
 	round := make([]item.Item, len(items))
 	copy(round, items)
+	// Arena-style: the pair, winner, and survivor buffers are sized once
+	// from the first (largest) round and reused by every later round, as is
+	// the batch scratch — the loop itself allocates nothing.
+	pairs := make([][2]item.Item, 0, len(round)/2*rep)
+	winners := make([]item.Item, 0, len(round)/2*rep)
+	next := make([]item.Item, 0, (len(round)+1)/2)
+	var scratch tournament.BatchScratch
 	for len(round) > 1 {
 		// One logical step per round: all matches (with all their
 		// repetitions) are independent.
-		pairs := make([][2]item.Item, 0, len(round)/2*rep)
+		pairs = pairs[:0]
 		for i := 0; i+1 < len(round); i += 2 {
 			for v := 0; v < rep; v++ {
 				pairs = append(pairs, [2]item.Item{round[i], round[i+1]})
 			}
 		}
-		winners, err := o.CompareBatch(ctx, pairs)
-		if err != nil {
+		winners = winners[:len(pairs)]
+		if err := o.CompareBatchInto(ctx, pairs, winners, &scratch); err != nil {
 			return round[0], err
 		}
-		next := make([]item.Item, 0, (len(round)+1)/2)
+		next = next[:0]
 		p := 0
 		for i := 0; i+1 < len(round); i += 2 {
 			votesA := 0
@@ -84,7 +91,7 @@ func TournamentMax(ctx context.Context, items []item.Item, o *tournament.Oracle,
 		if len(round)%2 == 1 {
 			next = append(next, round[len(round)-1]) // bye
 		}
-		round = next
+		round, next = next, round[:0] // double-buffer swap
 	}
 	return round[0], nil
 }

@@ -14,6 +14,7 @@ import (
 	"crowdmax/internal/cost"
 	"crowdmax/internal/item"
 	"crowdmax/internal/obs"
+	"crowdmax/internal/sched"
 	"crowdmax/internal/tournament"
 )
 
@@ -30,6 +31,113 @@ type FilterOptions struct {
 	// accumulating un distinct-opponent losses across iterations are
 	// discarded at the end of each iteration, shrinking later rounds.
 	TrackLosses bool
+	// Scheduler selects the comparison schedule: the zero value plays one
+	// batch per tournament group (the lockstep reference); sched.DAG
+	// drains every group of an iteration — they are data-independent — in
+	// one logical step through the work-frontier dispatcher. Answers, paid
+	// counts, and cost are identical; only the step count changes.
+	Scheduler sched.Kind
+}
+
+// filterState carries one filter run's per-iteration working set. The
+// survivor buffers are arena-style: allocated once from the input size and
+// swapped between iterations, so the iteration loop itself allocates only
+// the tournament bookkeeping.
+type filterState struct {
+	un, g   int
+	tracker *tournament.LossTracker
+	sc      *obs.Scope
+
+	li   []item.Item // current survivors (this iteration's input)
+	next []item.Item // survivors being accumulated (the swap buffer)
+	tops []item.Item // each group's top-wins element (underestimation fallback)
+	iter int
+	gi   int
+}
+
+// applyGroup folds one group's tournament result into the iteration state:
+// threshold survivors, the group top, loss recording, and the per-group
+// trace event. Shared verbatim by the lockstep and DAG schedules so their
+// survivor computation cannot drift.
+func (st *filterState) applyGroup(group []item.Item, res tournament.Result) {
+	st.tops = append(st.tops, res.TopByWins())
+	need := len(group) - st.un
+	kept := 0
+	for i, it := range group {
+		if st.tracker != nil {
+			for _, w := range res.Losers[i] {
+				st.tracker.Record(it.ID, w)
+			}
+		}
+		if res.Wins[i] >= need {
+			st.next = append(st.next, it)
+			kept++
+		}
+	}
+	if st.sc.Tracing() {
+		st.sc.Event("filter.group",
+			obs.Fi("iter", int64(st.iter)), obs.Fi("group", int64(st.gi)),
+			obs.Fi("size", int64(len(group))), obs.Fi("survivors", int64(kept)))
+	}
+	st.gi++
+}
+
+// finishIteration closes one iteration: the empty-survivor fallback, the
+// Appendix A early discards, the buffer swap, and the progress check.
+func (st *filterState) finishIteration() error {
+	prev := len(st.li)
+	if len(st.next) == 0 {
+		// Only possible when un is underestimated (Section 5.2: "it
+		// could return an empty set of elements"): a group of g
+		// elements has a guaranteed survivor only when the win
+		// threshold g − un is at most the ⌈(g−1)/2⌉ wins its best
+		// element must collect. Rather than returning an empty set we
+		// keep each group's top-wins element, degrading accuracy but
+		// staying total — matching the measured behaviour the paper
+		// reports for small estimation factors.
+		st.next = append(st.next, st.tops...)
+	}
+	if st.tracker != nil {
+		// Appendix A: an element that has lost to at least un distinct
+		// opponents overall would lose more than un − 1 games in a
+		// global all-play-all tournament, so by Lemma 1 it cannot be
+		// the maximum.
+		kept := st.next[:0]
+		for _, it := range st.next {
+			if st.tracker.Losses(it.ID) < st.un {
+				kept = append(kept, it)
+			}
+		}
+		st.next = kept
+	}
+	st.li, st.next = st.next, st.li[:0]
+	st.tops = st.tops[:0]
+	if st.sc != nil {
+		st.sc.Round()
+		st.sc.Event("filter.iter",
+			obs.Fi("iter", int64(st.iter)), obs.Fi("in", int64(prev)), obs.Fi("out", int64(len(st.li))))
+	}
+	st.iter++
+	st.gi = 0
+	if len(st.li) >= prev {
+		// Lemma 2 guarantees strict progress; reaching here means the
+		// oracle violated the comparison model (e.g. inconsistent
+		// custom comparator answering both directions of one pair
+		// within a tournament cannot do this, but a buggy one might).
+		return fmt.Errorf("core: Filter made no progress at %d elements", prev)
+	}
+	return nil
+}
+
+// groupBounds returns the [start, end) bounds of group gi over n elements.
+func (st *filterState) groupBounds(start int) (end int, advanceWholesale bool) {
+	end = start + st.g
+	if end > len(st.li) {
+		end = len(st.li)
+	}
+	// The final group is too small for its tournament to eliminate
+	// anyone: everyone advances.
+	return end, end == len(st.li) && end-start <= st.un
 }
 
 // Filter is Algorithm 2: using only the naïve oracle, it reduces items to a
@@ -43,6 +151,11 @@ type FilterOptions struct {
 // If the input is already smaller than 2·un, it is returned unchanged (no
 // comparisons are needed).
 //
+// Under the lockstep schedule each group's tournament is one logical step;
+// under sched.DAG all groups of an iteration — which share no data — are
+// drained in a single step, so an iteration costs one round instead of
+// ⌈n/g⌉ rounds while asking the identical comparison sequence.
+//
 // On cancellation or budget exhaustion Filter returns the survivor set of
 // the last fully completed iteration alongside the error — a usable (if
 // larger than promised) candidate set, since completed iterations never
@@ -54,117 +167,153 @@ func Filter(ctx context.Context, items []item.Item, naive *tournament.Oracle, op
 	if opt.Un < 1 {
 		return nil, fmt.Errorf("core: Filter requires un ≥ 1, got %d", opt.Un)
 	}
-	un := opt.Un
-	g := 4 * un
-
-	var tracker *tournament.LossTracker
+	st := &filterState{
+		un: opt.Un,
+		g:  4 * opt.Un,
+		sc: naive.Obs().WithPhase(obs.PhaseFilter),
+		li: make([]item.Item, len(items)),
+		// Arena-style: both survivor buffers and the group-top scratch are
+		// sized once from the input and reused by every iteration.
+		next: make([]item.Item, 0, len(items)),
+		tops: make([]item.Item, 0, (len(items)+4*opt.Un-1)/(4*opt.Un)),
+	}
+	copy(st.li, items)
 	if opt.TrackLosses {
-		tracker = tournament.NewLossTracker()
+		st.tracker = tournament.NewLossTracker()
 	}
 
-	sc := naive.Obs().WithPhase(obs.PhaseFilter)
 	var startLedger cost.Snapshot
-	if sc != nil {
+	if st.sc != nil {
 		startLedger = naive.LedgerSnapshot()
-		sc.Event("filter.start",
-			obs.Fi("n", int64(len(items))), obs.Fi("un", int64(un)))
+		st.sc.Event("filter.start",
+			obs.Fi("n", int64(len(items))), obs.Fi("un", int64(st.un)))
 	}
 
-	li := make([]item.Item, len(items))
-	copy(li, items)
+	var err error
+	if opt.Scheduler == sched.DAG {
+		err = filterDAG(ctx, naive, st)
+	} else {
+		err = filterLockstep(ctx, naive, st)
+	}
+	if err != nil {
+		return st.li, err
+	}
+	if st.sc != nil {
+		d := naive.LedgerSnapshot().Sub(startLedger)
+		st.sc.PhaseComparisons(d.Comparisons)
+		st.sc.Event("filter.done",
+			obs.Fi("kept", int64(len(st.li))), obs.Fi("iters", int64(st.iter)),
+			obs.Fi("comparisons", d.TotalComparisons()), obs.Fi("memo_hits", d.TotalMemoHits()))
+	}
+	return st.li, nil
+}
 
-	iter := 0
-	for len(li) >= 2*un {
-		prev := len(li)
-		var next, groupTops []item.Item
-		gi := 0
-		for start := 0; start < len(li); start += g {
-			end := start + g
-			if end > len(li) {
-				end = len(li)
-			}
-			group := li[start:end]
-			last := end == len(li)
-			if last && len(group) <= un {
-				// The final group is too small for its tournament to
-				// eliminate anyone: everyone advances.
-				next = append(next, group...)
+// filterLockstep is the reference schedule: groups play their tournaments
+// one batch at a time, in partition order.
+func filterLockstep(ctx context.Context, naive *tournament.Oracle, st *filterState) error {
+	opts := tournament.RoundRobinOpts{RecordLosers: st.tracker != nil}
+	for len(st.li) >= 2*st.un {
+		for start := 0; start < len(st.li); start += st.g {
+			end, wholesale := st.groupBounds(start)
+			group := st.li[start:end]
+			if wholesale {
+				st.next = append(st.next, group...)
 				continue
 			}
-			res, err := tournament.RoundRobinWith(ctx, group, naive,
-				tournament.RoundRobinOpts{RecordLosers: tracker != nil})
+			res, err := tournament.RoundRobinWith(ctx, group, naive, opts)
 			if err != nil {
 				// Partial result: the survivors of the last completed
 				// iteration (the current iteration's partial progress is
 				// discarded — a half-played group must not eliminate).
-				return li, err
+				return err
 			}
-			groupTops = append(groupTops, res.TopByWins())
-			need := len(group) - un
-			kept := 0
-			for i, it := range group {
-				if tracker != nil {
-					for _, w := range res.Losers[i] {
-						tracker.Record(it.ID, w)
-					}
-				}
-				if res.Wins[i] >= need {
-					next = append(next, it)
-					kept++
-				}
-			}
-			if sc.Tracing() {
-				sc.Event("filter.group",
-					obs.Fi("iter", int64(iter)), obs.Fi("group", int64(gi)),
-					obs.Fi("size", int64(len(group))), obs.Fi("survivors", int64(kept)))
-			}
-			gi++
+			st.applyGroup(group, res)
 		}
-		if len(next) == 0 {
-			// Only possible when un is underestimated (Section 5.2: "it
-			// could return an empty set of elements"): a group of g
-			// elements has a guaranteed survivor only when the win
-			// threshold g − un is at most the ⌈(g−1)/2⌉ wins its best
-			// element must collect. Rather than returning an empty set we
-			// keep each group's top-wins element, degrading accuracy but
-			// staying total — matching the measured behaviour the paper
-			// reports for small estimation factors.
-			next = groupTops
-		}
-		if tracker != nil {
-			// Appendix A: an element that has lost to at least un distinct
-			// opponents overall would lose more than un − 1 games in a
-			// global all-play-all tournament, so by Lemma 1 it cannot be
-			// the maximum.
-			kept := next[:0]
-			for _, it := range next {
-				if tracker.Losses(it.ID) < un {
-					kept = append(kept, it)
-				}
-			}
-			next = kept
-		}
-		li = next
-		if sc != nil {
-			sc.Round()
-			sc.Event("filter.iter",
-				obs.Fi("iter", int64(iter)), obs.Fi("in", int64(prev)), obs.Fi("out", int64(len(li))))
-		}
-		iter++
-		if len(li) >= prev {
-			// Lemma 2 guarantees strict progress; reaching here means the
-			// oracle violated the comparison model (e.g. inconsistent
-			// custom comparator answering both directions of one pair
-			// within a tournament cannot do this, but a buggy one might).
-			return nil, fmt.Errorf("core: Filter made no progress at %d elements", prev)
+		if err := st.finishIteration(); err != nil {
+			return err
 		}
 	}
-	if sc != nil {
-		d := naive.LedgerSnapshot().Sub(startLedger)
-		sc.PhaseComparisons(d.Comparisons)
-		sc.Event("filter.done",
-			obs.Fi("kept", int64(len(li))), obs.Fi("iters", int64(iter)),
-			obs.Fi("comparisons", d.TotalComparisons()), obs.Fi("memo_hits", d.TotalMemoHits()))
+	return nil
+}
+
+// filterDAG runs the same iterations on the work-frontier dispatcher: every
+// group of an iteration is enqueued as one ready node — the groups are
+// data-independent — and the iteration join, fired by its last group,
+// computes the survivors and enqueues the next iteration's groups. One
+// iteration, one wave, one logical step.
+func filterDAG(ctx context.Context, naive *tournament.Oracle, st *filterState) error {
+	f := sched.NewFrontier(naive)
+	opts := tournament.RoundRobinOpts{RecordLosers: st.tracker != nil}
+	var enqueue func() error
+	enqueue = func() error {
+		if len(st.li) < 2*st.un {
+			return nil
+		}
+		type pendingGroup struct {
+			group     []item.Item
+			res       tournament.Result
+			wholesale bool
+		}
+		var groups []pendingGroup
+		pending := 0
+		// The whole iteration's pair count is known now; one exact
+		// reservation instead of a growth chain across the group loop.
+		totalPairs := 0
+		for start := 0; start < len(st.li); start += st.g {
+			end, wholesale := st.groupBounds(start)
+			if !wholesale {
+				n := end - start
+				totalPairs += n * (n - 1) / 2
+			}
+		}
+		f.Reserve(totalPairs)
+		join := func() error {
+			// Fold results in partition order — identical to lockstep,
+			// including the position of a wholesale-advanced tail group —
+			// then start the next iteration.
+			for _, pg := range groups {
+				if pg.wholesale {
+					st.next = append(st.next, pg.group...)
+				} else {
+					st.applyGroup(pg.group, pg.res)
+				}
+			}
+			if err := st.finishIteration(); err != nil {
+				return err
+			}
+			return enqueue()
+		}
+		for start := 0; start < len(st.li); start += st.g {
+			end, wholesale := st.groupBounds(start)
+			group := st.li[start:end]
+			if wholesale {
+				groups = append(groups, pendingGroup{group: group, wholesale: true})
+				continue
+			}
+			idx := len(groups)
+			groups = append(groups, pendingGroup{group: group})
+			pending++
+			// Capture the index, not a pointer: later appends may move the
+			// slice's backing array. By the time the hook fires, enqueueing
+			// is finished and groups is final.
+			f.AddRoundRobin(group, opts, func(res tournament.Result) error {
+				groups[idx].res = res
+				pending--
+				if pending == 0 {
+					return join()
+				}
+				return nil
+			})
+		}
+		if pending == 0 {
+			// Every group advanced wholesale: close the iteration without
+			// a wave (lockstep reaches the same state without a batch).
+			return join()
+		}
+		return nil
 	}
-	return li, nil
+	if err := enqueue(); err != nil {
+		return err
+	}
+	return f.Run(ctx)
 }

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"crowdmax/internal/cost"
+	"crowdmax/internal/dataset"
+	"crowdmax/internal/dispatch"
+	"crowdmax/internal/item"
+	"crowdmax/internal/rng"
+	"crowdmax/internal/sched"
+	"crowdmax/internal/tournament"
+	"crowdmax/internal/worker"
+)
+
+// The scheduler-equivalence property: for every algorithm, every seed, and
+// every termination mode (completion, budget exhaustion, mid-phase
+// cancellation), the DAG schedule must produce bit-identical answers, paid
+// comparison counts, memo hits, and monetary cost to the lockstep reference
+// — because on the element-wise dispatch path both schedules ask the
+// underlying comparator the exact same comparison sequence. Only the
+// logical-step count may differ, and only downward.
+//
+// The workers here are deliberately STATEFUL (stream-driven random
+// tie-breaking): if the DAG schedule reordered, dropped, or duplicated even
+// one comparison, the tie stream would desynchronize and the fingerprints
+// would diverge. That makes this a much sharper test than one with
+// order-independent workers.
+
+// schedOutcome fingerprints one run for cross-scheduler comparison. Steps is
+// kept separately: it is the one quantity the schedules are allowed (and
+// expected) to disagree on.
+type schedOutcome struct {
+	answer string // algorithm-specific answer fingerprint, incl. error text
+	naive  int64
+	expert int64
+	memo   int64
+	cost   float64
+	steps  int64
+}
+
+// equal ignores steps; see above.
+func (a schedOutcome) equal(b schedOutcome) bool {
+	return a.answer == b.answer && a.naive == b.naive && a.expert == b.expert &&
+		a.memo == b.memo && a.cost == b.cost
+}
+
+func (a schedOutcome) String() string {
+	return fmt.Sprintf("{answer=%s naive=%d expert=%d memo=%d cost=%g steps=%d}",
+		a.answer, a.naive, a.expert, a.memo, a.cost, a.steps)
+}
+
+// schedRig is one run's fixture: fresh ledger, memoized oracles, and
+// stateful seeded workers, built identically for both schedules.
+type schedRig struct {
+	ledger *cost.Ledger
+	naive  *tournament.Oracle
+	expert *tournament.Oracle
+	prices cost.Prices
+	items  []item.Item
+	r      *rng.Source
+}
+
+// newSchedRig builds the fixture for one (seed, scheduler) run. The naive
+// comparator is wrapped by wrapNaive when non-nil (the cancellation tests
+// hook call counting there).
+func newSchedRig(seed uint64, n, un int, wrapNaive func(worker.Comparator) worker.Comparator) *schedRig {
+	r := rng.New(seed)
+	cal, err := dataset.UniformCalibrated(n, un, 1, r.Child("data"))
+	if err != nil {
+		panic(err)
+	}
+	deltaE, err := cal.Set.DeltaForU(min(3, n))
+	if err != nil {
+		panic(err)
+	}
+	ledger := cost.NewLedger()
+	var nw worker.Comparator = &worker.Threshold{Delta: cal.DeltaN, Tie: worker.RandomTie{R: r.Child("naive")}, R: r.Child("nw")}
+	if wrapNaive != nil {
+		nw = wrapNaive(nw)
+	}
+	ew := &worker.Threshold{Delta: deltaE, Tie: worker.RandomTie{R: r.Child("expert")}, R: r.Child("ew")}
+	return &schedRig{
+		ledger: ledger,
+		naive:  tournament.NewOracle(nw, worker.Naive, ledger, tournament.NewMemo()),
+		expert: tournament.NewOracle(ew, worker.Expert, ledger, tournament.NewMemo()),
+		prices: cost.Prices{Naive: 1, Expert: 25},
+		items:  cal.Set.Items(),
+		r:      r,
+	}
+}
+
+// outcome closes the run: answer fingerprint plus the ledger readings.
+func (rig *schedRig) outcome(answer string) schedOutcome {
+	return schedOutcome{
+		answer: answer,
+		naive:  rig.ledger.Naive(),
+		expert: rig.ledger.Expert(),
+		memo:   rig.ledger.MemoHits(worker.Naive) + rig.ledger.MemoHits(worker.Expert),
+		cost:   rig.ledger.Cost(rig.prices),
+		steps:  rig.ledger.Steps(),
+	}
+}
+
+// fpItems fingerprints an item list order-sensitively.
+func fpItems(items []item.Item) string {
+	s := "["
+	for _, it := range items {
+		s += fmt.Sprintf("%d,", it.ID)
+	}
+	return s + "]"
+}
+
+// fpErr appends an error to a fingerprint so error paths must match too.
+func fpErr(s string, err error) string {
+	if err != nil {
+		return s + "|err:" + err.Error()
+	}
+	return s
+}
+
+// assertSchedEquivalent runs fn under both schedules across seeds and
+// requires identical outcomes and no step regression.
+func assertSchedEquivalent(t *testing.T, seeds int, fn func(kind sched.Kind, seed uint64) schedOutcome) {
+	t.Helper()
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		lock := fn(sched.Lockstep, seed)
+		dag := fn(sched.DAG, seed)
+		if !lock.equal(dag) {
+			t.Fatalf("seed %d: schedules diverged\n  lockstep %s\n  dag      %s", seed, lock, dag)
+		}
+		if dag.steps > lock.steps {
+			t.Fatalf("seed %d: DAG took more steps than lockstep (%d > %d)", seed, dag.steps, lock.steps)
+		}
+	}
+}
+
+func TestSchedEquivFilter(t *testing.T) {
+	for _, track := range []bool{false, true} {
+		t.Run(fmt.Sprintf("trackLosses=%v", track), func(t *testing.T) {
+			assertSchedEquivalent(t, 8, func(kind sched.Kind, seed uint64) schedOutcome {
+				rig := newSchedRig(seed, 150+int(seed)*31, 4, nil)
+				out, err := Filter(context.Background(), rig.items, rig.naive, FilterOptions{Un: 4, TrackLosses: track, Scheduler: kind})
+				return rig.outcome(fpErr(fpItems(out), err))
+			})
+		})
+	}
+}
+
+func TestSchedEquivTwoMaxFind(t *testing.T) {
+	assertSchedEquivalent(t, 8, func(kind sched.Kind, seed uint64) schedOutcome {
+		rig := newSchedRig(seed, 60+int(seed)*17, 4, nil)
+		best, err := TwoMaxFindWith(context.Background(), rig.items, rig.expert, kind)
+		return rig.outcome(fpErr(fmt.Sprintf("best=%d", best.ID), err))
+	})
+}
+
+func TestSchedEquivRandomized(t *testing.T) {
+	assertSchedEquivalent(t, 6, func(kind sched.Kind, seed uint64) schedOutcome {
+		rig := newSchedRig(seed, 120+int(seed)*23, 4, nil)
+		best, err := RandomizedMaxFind(context.Background(), rig.items, rig.expert,
+			RandomizedOptions{R: rig.r.Child("p2"), Scheduler: kind})
+		return rig.outcome(fpErr(fmt.Sprintf("best=%d", best.ID), err))
+	})
+}
+
+func TestSchedEquivFindMaxAllPhase2s(t *testing.T) {
+	for _, p2 := range []Phase2Algorithm{Phase2TwoMaxFind, Phase2Randomized, Phase2AllPlayAll} {
+		t.Run(p2.String(), func(t *testing.T) {
+			assertSchedEquivalent(t, 6, func(kind sched.Kind, seed uint64) schedOutcome {
+				rig := newSchedRig(seed, 140+int(seed)*29, 4, nil)
+				res, err := FindMax(context.Background(), rig.items, rig.naive, rig.expert, FindMaxOptions{
+					Un:         4,
+					Phase2:     p2,
+					Randomized: RandomizedOptions{R: rig.r.Child("p2")},
+					Scheduler:  kind,
+				})
+				return rig.outcome(fpErr(fmt.Sprintf("best=%d cand=%s", res.Best.ID, fpItems(res.Candidates)), err))
+			})
+		})
+	}
+}
+
+func TestSchedEquivTopK(t *testing.T) {
+	assertSchedEquivalent(t, 4, func(kind sched.Kind, seed uint64) schedOutcome {
+		rig := newSchedRig(seed, 90+int(seed)*13, 3, nil)
+		top, err := TopK(context.Background(), rig.items, rig.naive, rig.expert, TopKOptions{
+			K: 3, U: 3, TrackLosses: true, Scheduler: kind,
+		})
+		return rig.outcome(fpErr(fpItems(top), err))
+	})
+}
+
+func TestSchedEquivBudgetExhaustion(t *testing.T) {
+	// A hard comparison budget truncates the run mid-flight. On the
+	// element-wise path both schedules charge pair by pair in the same
+	// order, so they must exhaust at the identical comparison and return
+	// identical partial results and paid counts.
+	assertSchedEquivalent(t, 6, func(kind sched.Kind, seed uint64) schedOutcome {
+		rig := newSchedRig(seed, 150+int(seed)*31, 4, nil)
+		budget := dispatch.NewBudget(dispatch.Limits{
+			MaxNaive:  900 + int64(seed)*137,
+			MaxExpert: 40,
+		})
+		rig.naive.WithBudget(budget)
+		rig.expert.WithBudget(budget)
+		res, err := FindMax(context.Background(), rig.items, rig.naive, rig.expert, FindMaxOptions{
+			Un: 4, Scheduler: kind,
+		})
+		if err == nil {
+			t.Fatalf("seed %d: budget never exhausted — raise the instance size", seed)
+		}
+		if !errors.Is(err, dispatch.ErrBudgetExhausted) {
+			t.Fatalf("seed %d: want ErrBudgetExhausted, got %v", seed, err)
+		}
+		return rig.outcome(fpErr(fmt.Sprintf("best=%d cand=%s", res.Best.ID, fpItems(res.Candidates)), err))
+	})
+}
+
+// cancelAfter cancels a context after exactly limit comparator calls,
+// modelling a mid-phase shutdown at a deterministic point.
+type cancelAfter struct {
+	inner  worker.Comparator
+	calls  int
+	limit  int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Compare(a, b item.Item) item.Item {
+	c.calls++
+	if c.calls == c.limit {
+		c.cancel()
+	}
+	return c.inner.Compare(a, b)
+}
+
+func TestSchedEquivMidPhaseCancellation(t *testing.T) {
+	// Cancellation fires after a fixed number of naive comparisons — mid
+	// filter iteration. Every subsequent ask fails its ctx check, so both
+	// schedules truncate at the same comparison index and must return the
+	// same partial survivor state and billing.
+	assertSchedEquivalent(t, 6, func(kind sched.Kind, seed uint64) schedOutcome {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		rig := newSchedRig(seed, 150+int(seed)*31, 4, func(inner worker.Comparator) worker.Comparator {
+			return &cancelAfter{inner: inner, limit: 700 + int(seed)*101, cancel: cancel}
+		})
+		res, err := FindMax(ctx, rig.items, rig.naive, rig.expert, FindMaxOptions{
+			Un: 4, Scheduler: kind,
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("seed %d: want context.Canceled, got %v", seed, err)
+		}
+		return rig.outcome(fpErr(fmt.Sprintf("best=%d cand=%s", res.Best.ID, fpItems(res.Candidates)), err))
+	})
+}
+
+// TestSchedDAGReducesFilterSteps pins the tentpole's point: on a multi-group
+// filter instance the DAG schedule must finish in strictly fewer logical
+// steps than lockstep (one per iteration instead of one per group), while
+// TestSchedEquiv* above pin that nothing else changes.
+func TestSchedDAGReducesFilterSteps(t *testing.T) {
+	run := func(kind sched.Kind) int64 {
+		rig := newSchedRig(42, 600, 4, nil)
+		if _, err := Filter(context.Background(), rig.items, rig.naive, FilterOptions{Un: 4, Scheduler: kind}); err != nil {
+			t.Fatal(err)
+		}
+		return rig.ledger.Steps()
+	}
+	lock, dag := run(sched.Lockstep), run(sched.DAG)
+	if dag >= lock {
+		t.Fatalf("DAG steps %d not below lockstep steps %d", dag, lock)
+	}
+	// 600 elements in groups of 16 is ~38 groups in iteration one alone;
+	// the gap should be massive, not marginal.
+	if lock < 3*dag {
+		t.Fatalf("expected ≥3× step reduction, got lockstep=%d dag=%d", lock, dag)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"crowdmax/internal/item"
+	"crowdmax/internal/sched"
 	"crowdmax/internal/tournament"
 )
 
@@ -26,6 +27,9 @@ type TopKOptions struct {
 	TrackLosses bool
 	// Randomized configures Algorithm 5 when Phase2 is Phase2Randomized.
 	Randomized RandomizedOptions
+	// Scheduler selects the comparison schedule of every round's two-phase
+	// run; see FilterOptions.Scheduler.
+	Scheduler sched.Kind
 }
 
 // TopK returns k elements ordered best-first by running the two-phase
@@ -68,6 +72,7 @@ func TopK(ctx context.Context, items []item.Item, naive, expert *tournament.Orac
 			Phase2:      opt.Phase2,
 			TrackLosses: opt.TrackLosses,
 			Randomized:  opt.Randomized,
+			Scheduler:   opt.Scheduler,
 		})
 		if err != nil {
 			return out, fmt.Errorf("round %d: %w", round+1, err)

@@ -77,9 +77,20 @@ func (l *Ledger) Charge(c worker.Class) {
 	l.comparisons[classIndex(c)].Add(1)
 }
 
+// ChargeN records n paid comparisons by the given class in one atomic add —
+// the per-batch amortization the batch dispatch path relies on.
+func (l *Ledger) ChargeN(c worker.Class, n int64) {
+	l.comparisons[classIndex(c)].Add(n)
+}
+
 // MemoHit records a comparison answered from the memo table (free).
 func (l *Ledger) MemoHit(c worker.Class) {
 	l.memoHits[classIndex(c)].Add(1)
+}
+
+// MemoHitN records n memoized comparisons in one atomic add; see ChargeN.
+func (l *Ledger) MemoHitN(c worker.Class, n int64) {
+	l.memoHits[classIndex(c)].Add(n)
 }
 
 // Step records one logical step (one batch round).

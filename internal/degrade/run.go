@@ -6,6 +6,7 @@ import (
 
 	"crowdmax/internal/core"
 	"crowdmax/internal/item"
+	"crowdmax/internal/sched"
 	"crowdmax/internal/tournament"
 )
 
@@ -16,6 +17,9 @@ type Options struct {
 	TrackLosses bool
 	// Randomized configures the randomized rung; see core.RandomizedOptions.
 	Randomized core.RandomizedOptions
+	// Scheduler selects the comparison schedule of the filter and every
+	// expert rung; see core.FilterOptions.Scheduler.
+	Scheduler sched.Kind
 	// Signals, when set, samples the live decision inputs before each
 	// ladder decision. nil decides on Unconstrained() samples.
 	Signals func() Signals
@@ -79,7 +83,7 @@ func Run(ctx context.Context, items []item.Item, naive, expert *tournament.Oracl
 		return out, err
 	}
 
-	candidates, err := core.Filter(ctx, items, naive, core.FilterOptions{Un: opt.Un, TrackLosses: opt.TrackLosses})
+	candidates, err := core.Filter(ctx, items, naive, core.FilterOptions{Un: opt.Un, TrackLosses: opt.TrackLosses, Scheduler: opt.Scheduler})
 	if err == nil && len(candidates) == 0 {
 		err = fmt.Errorf("degrade: empty candidate set (un=%d underestimated?)", opt.Un)
 	}
@@ -138,12 +142,14 @@ func Run(ctx context.Context, items []item.Item, naive, expert *tournament.Oracl
 func runRung(ctx context.Context, r Rung, candidates []item.Item, naive, expert *tournament.Oracle, ctl *Controller, sample func() Signals, opt Options) (item.Item, error) {
 	switch r.Kind {
 	case RungExpert2MaxFind:
-		return core.TwoMaxFind(ctx, candidates, expert)
+		return core.TwoMaxFindWith(ctx, candidates, expert, opt.Scheduler)
 	case RungExpertRandomized:
-		return core.RandomizedMaxFind(ctx, candidates, expert, opt.Randomized)
+		ropt := opt.Randomized
+		ropt.Scheduler = opt.Scheduler
+		return core.RandomizedMaxFind(ctx, candidates, expert, ropt)
 	case RungExpertShrunk:
 		sub := ctl.Shrink(candidates, sample().ExpertRemaining)
-		return core.TwoMaxFind(ctx, sub, expert)
+		return core.TwoMaxFindWith(ctx, sub, expert, opt.Scheduler)
 	case RungNaiveMajority:
 		res, err := tournament.RoundRobin(ctx, candidates, naive)
 		if err != nil {

@@ -24,17 +24,18 @@
 // # Concurrency
 //
 // Memo, LossTracker, Budget, and Oracle's billing are safe for concurrent
-// use: the memo is sharded across independently locked stripes, the loss
-// tracker is mutex-guarded, the budget is mutex-guarded with all-or-nothing
-// spending, and the ledger (cost.Ledger) is atomic. An Oracle may therefore
-// be shared by the goroutines of a parallel batch evaluation provided its
-// underlying worker.Comparator (or dispatch.Backend) is itself safe for
-// concurrent use — see Oracle.ParallelBatch.
+// use: the memo is a lock-free CAS table on packed uint64 keys, the loss
+// tracker is sharded across independently locked stripes, the budget is
+// mutex-guarded with all-or-nothing spending, and the ledger (cost.Ledger)
+// is atomic. An Oracle may therefore be shared by the goroutines of a
+// parallel batch evaluation provided its underlying worker.Comparator (or
+// dispatch.Backend) is itself safe for concurrent use — see
+// Oracle.ParallelBatch.
 package tournament
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"sync"
 
 	"crowdmax/internal/cost"
@@ -52,111 +53,6 @@ const (
 	_ = uint(cost.MaxClasses - obs.NumClasses)
 	_ = uint(obs.NumClasses - cost.MaxClasses)
 )
-
-// memoShards is the number of independently locked stripes of a Memo. The
-// count is fixed (a power of two, so the shard index is a mask) and sized so
-// that even a pool of tens of goroutines rarely contends on one stripe.
-const memoShards = 64
-
-// memoShard is one stripe: a mutex and the slice of the pair table it owns.
-type memoShard struct {
-	mu sync.Mutex
-	m  map[[2]int]int // unordered pair → winner ID
-}
-
-// Memo caches the first answer to every unordered pair for one worker
-// class. Safe for concurrent use: entries are striped across 64 shards by
-// pair hash, so goroutines touching different pairs almost never share a
-// lock, and a pair's answer is frozen by whichever goroutine stores it
-// first.
-type Memo struct {
-	shards [memoShards]memoShard
-}
-
-// NewMemo returns an empty memo table.
-func NewMemo() *Memo {
-	m := &Memo{}
-	for i := range m.shards {
-		m.shards[i].m = make(map[[2]int]int)
-	}
-	return m
-}
-
-// shard returns the stripe owning the (ordered) pair key.
-func (m *Memo) shard(k [2]int) *memoShard {
-	// SplitMix64-style avalanche over the two IDs; cheap and uniform.
-	h := uint64(k[0])*0x9e3779b97f4a7c15 ^ uint64(k[1])*0xbf58476d1ce4e5b9
-	h ^= h >> 29
-	return &m.shards[h&(memoShards-1)]
-}
-
-// lookup returns the cached winner ID for the pair, if any.
-func (m *Memo) lookup(a, b int) (int, bool) {
-	k := key(a, b)
-	s := m.shard(k)
-	s.mu.Lock()
-	w, ok := s.m[k]
-	s.mu.Unlock()
-	return w, ok
-}
-
-// store records the winner ID for the pair. The first store wins: a
-// concurrent duplicate answer for the same pair does not overwrite the
-// frozen one, so every observer agrees on the pair's answer forever after.
-func (m *Memo) store(a, b, winner int) {
-	k := key(a, b)
-	s := m.shard(k)
-	s.mu.Lock()
-	if _, ok := s.m[k]; !ok {
-		s.m[k] = winner
-	}
-	s.mu.Unlock()
-}
-
-// Len returns the number of cached pairs.
-func (m *Memo) Len() int {
-	n := 0
-	for i := range m.shards {
-		s := &m.shards[i]
-		s.mu.Lock()
-		n += len(s.m)
-		s.mu.Unlock()
-	}
-	return n
-}
-
-// Entries returns every cached (a, b, winner) triple with a < b, sorted by
-// (a, b) — the deterministic serialization order the checkpoint codec
-// requires. Safe for concurrent use (each stripe is locked while copied).
-func (m *Memo) Entries() [][3]int {
-	var out [][3]int
-	for i := range m.shards {
-		s := &m.shards[i]
-		s.mu.Lock()
-		for k, w := range s.m {
-			out = append(out, [3]int{k[0], k[1], w})
-		}
-		s.mu.Unlock()
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
-	return out
-}
-
-// Prime pre-loads the answer for one pair — how a resumed session replays a
-// checkpoint's frozen answers. Like store, the first answer for a pair wins.
-func (m *Memo) Prime(a, b, winner int) { m.store(a, b, winner) }
-
-func key(a, b int) [2]int {
-	if a > b {
-		a, b = b, a
-	}
-	return [2]int{a, b}
-}
 
 // Oracle answers comparison requests by dispatching them to a worker
 // comparator (or a dispatch.Backend), billing each paid comparison to a
@@ -361,8 +257,7 @@ type Result struct {
 	// Wins[i] is the number of comparisons Items[i] won.
 	Wins []int
 	// Losers[i] lists, for Items[i], the IDs of the opponents it lost to.
-	// Populated only by RoundRobinWith with RecordLosers set; nil
-	// otherwise.
+	// Populated only with RoundRobinOpts.RecordLosers set; nil otherwise.
 	Losers [][]int
 }
 
@@ -400,38 +295,35 @@ type RoundRobinOpts struct {
 	RecordLosers bool
 }
 
-// RoundRobin plays an all-play-all tournament among items using the oracle:
-// every unordered pair is compared exactly once. The whole tournament is
-// submitted as one batch of independent comparisons — a single logical step
-// in the Section 3 execution model. Result.Losers is not recorded; use
-// RoundRobinWith to opt in. On cancellation or budget exhaustion the error
-// is returned and the Result is unusable.
-func RoundRobin(ctx context.Context, items []item.Item, o *Oracle) (Result, error) {
-	return RoundRobinWith(ctx, items, o, RoundRobinOpts{})
+// AppendAllPairs appends every unordered pair of items to buf in the
+// canonical (i, j), i < j order — the exact pair sequence RoundRobinWith
+// submits — and returns the extended buffer. Shared with the DAG scheduler
+// (internal/sched) so both schedulers ask identical comparison sequences.
+// The buffer is grown to its exact final size up front: a wave-sized buffer
+// must not be built through a doubling chain of large zeroed reallocations.
+func AppendAllPairs(buf [][2]item.Item, items []item.Item) [][2]item.Item {
+	n := len(items)
+	buf = slices.Grow(buf, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			buf = append(buf, [2]item.Item{items[i], items[j]})
+		}
+	}
+	return buf
 }
 
-// RoundRobinWith is RoundRobin with options.
-func RoundRobinWith(ctx context.Context, items []item.Item, o *Oracle, opts RoundRobinOpts) (Result, error) {
+// ScoreRoundRobin builds a tournament Result from the winners of the pair
+// sequence produced by AppendAllPairs(nil, items). winners must be parallel
+// to that sequence. Shared by RoundRobinWith and the DAG scheduler so the
+// two schedulers demultiplex identically.
+func ScoreRoundRobin(items []item.Item, winners []item.Item, opts RoundRobinOpts) Result {
 	n := len(items)
-	if m := obs.Active(); m != nil {
-		m.ObserveGroup(n)
-	}
 	r := Result{
 		Items: items,
 		Wins:  make([]int, n),
 	}
 	if opts.RecordLosers {
 		r.Losers = make([][]int, n)
-	}
-	pairs := make([][2]item.Item, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, [2]item.Item{items[i], items[j]})
-		}
-	}
-	winners, err := o.CompareBatch(ctx, pairs)
-	if err != nil {
-		return Result{}, err
 	}
 	p := 0
 	for i := 0; i < n; i++ {
@@ -450,30 +342,52 @@ func RoundRobinWith(ctx context.Context, items []item.Item, o *Oracle, opts Roun
 			p++
 		}
 	}
-	return r, nil
+	return r
 }
 
-// PivotPass compares pivot x against every element of candidates (skipping x
-// itself) in one logical step and returns the survivors — the elements that
-// did NOT lose to x — and the IDs of the eliminated elements. This is
-// step 4 of 2-MaxFind: "Compare x against all candidate elements and
-// eliminate all elements that lose to x." The pivot itself always survives.
-// On cancellation or budget exhaustion the error is returned with nil
-// survivors.
-func PivotPass(ctx context.Context, x item.Item, candidates []item.Item, o *Oracle) (survivors []item.Item, eliminated []int, err error) {
-	if len(candidates) == 0 {
-		return nil, nil, nil
+// RoundRobin plays an all-play-all tournament among items using the oracle:
+// every unordered pair is compared exactly once. The whole tournament is
+// submitted as one batch of independent comparisons — a single logical step
+// in the Section 3 execution model. Result.Losers is not recorded; use
+// RoundRobinWith to opt in. On cancellation or budget exhaustion the error
+// is returned and the Result is unusable.
+func RoundRobin(ctx context.Context, items []item.Item, o *Oracle) (Result, error) {
+	return RoundRobinWith(ctx, items, o, RoundRobinOpts{})
+}
+
+// RoundRobinWith is RoundRobin with options.
+func RoundRobinWith(ctx context.Context, items []item.Item, o *Oracle, opts RoundRobinOpts) (Result, error) {
+	n := len(items)
+	if m := obs.Active(); m != nil {
+		m.ObserveGroup(n)
 	}
-	pairs := make([][2]item.Item, 0, len(candidates))
-	for _, c := range candidates {
-		if c.ID != x.ID {
-			pairs = append(pairs, [2]item.Item{x, c})
-		}
-	}
+	pairs := AppendAllPairs(make([][2]item.Item, 0, n*(n-1)/2), items)
 	winners, err := o.CompareBatch(ctx, pairs)
 	if err != nil {
-		return nil, nil, err
+		return Result{}, err
 	}
+	return ScoreRoundRobin(items, winners, opts), nil
+}
+
+// AppendPivotPairs appends the (pivot, candidate) pairs of a pivot
+// elimination pass to buf — every candidate except the pivot itself, in
+// candidate order — and returns the extended buffer. Shared with the DAG
+// scheduler; see AppendAllPairs.
+func AppendPivotPairs(buf [][2]item.Item, x item.Item, candidates []item.Item) [][2]item.Item {
+	buf = slices.Grow(buf, len(candidates))
+	for _, c := range candidates {
+		if c.ID != x.ID {
+			buf = append(buf, [2]item.Item{x, c})
+		}
+	}
+	return buf
+}
+
+// ScorePivot splits candidates into survivors and eliminated IDs from the
+// winners of the pair sequence produced by AppendPivotPairs(nil, x,
+// candidates). The pivot itself always survives. Shared by PivotPass and
+// the DAG scheduler.
+func ScorePivot(x item.Item, candidates []item.Item, winners []item.Item) (survivors []item.Item, eliminated []int) {
 	survivors = make([]item.Item, 0, len(candidates))
 	p := 0
 	for _, c := range candidates {
@@ -488,7 +402,38 @@ func PivotPass(ctx context.Context, x item.Item, candidates []item.Item, o *Orac
 		}
 		p++
 	}
+	return survivors, eliminated
+}
+
+// PivotPass compares pivot x against every element of candidates (skipping x
+// itself) in one logical step and returns the survivors — the elements that
+// did NOT lose to x — and the IDs of the eliminated elements. This is
+// step 4 of 2-MaxFind: "Compare x against all candidate elements and
+// eliminate all elements that lose to x." The pivot itself always survives.
+// On cancellation or budget exhaustion the error is returned with nil
+// survivors.
+func PivotPass(ctx context.Context, x item.Item, candidates []item.Item, o *Oracle) (survivors []item.Item, eliminated []int, err error) {
+	if len(candidates) == 0 {
+		return nil, nil, nil
+	}
+	pairs := AppendPivotPairs(make([][2]item.Item, 0, len(candidates)), x, candidates)
+	winners, err := o.CompareBatch(ctx, pairs)
+	if err != nil {
+		return nil, nil, err
+	}
+	survivors, eliminated = ScorePivot(x, candidates, winners)
 	return survivors, eliminated, nil
+}
+
+// lossShards is the number of independently locked stripes of a
+// LossTracker, fixed at a power of two so the stripe index is a mask.
+const lossShards = 64
+
+// lossShard is one stripe: a mutex and the loser → distinct-winner sets it
+// owns.
+type lossShard struct {
+	mu     sync.Mutex
+	losses map[int]map[int]struct{}
 }
 
 // LossTracker implements the second Appendix A optimization: it counts, for
@@ -496,34 +441,49 @@ func PivotPass(ctx context.Context, x item.Item, candidates []item.Item, o *Orac
 // iterations. By Lemma 1, an element with more than un(n) distinct-opponent
 // losses cannot be the maximum and can be discarded early.
 //
-// Safe for concurrent use: Record and Losses may be called from multiple
-// goroutines (the counts are set-cardinalities, so recording order is
-// irrelevant to the final state).
+// Safe for concurrent use, and — unlike the previous single-mutex design —
+// not a serialization point under the batch scheduler: entries are striped
+// across 64 independently locked shards by loser ID, so goroutines
+// recording losses for different elements almost never share a lock. The
+// counts are set cardinalities, so recording order is irrelevant to the
+// final state.
 type LossTracker struct {
-	mu     sync.Mutex
-	losses map[int]map[int]struct{}
+	shards [lossShards]lossShard
 }
 
 // NewLossTracker returns an empty tracker.
 func NewLossTracker() *LossTracker {
-	return &LossTracker{losses: make(map[int]map[int]struct{})}
+	t := &LossTracker{}
+	for i := range t.shards {
+		t.shards[i].losses = make(map[int]map[int]struct{})
+	}
+	return t
+}
+
+// lossShard returns the stripe owning the loser ID.
+func (t *LossTracker) shard(loser int) *lossShard {
+	h := uint64(loser) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return &t.shards[h&(lossShards-1)]
 }
 
 // Record notes that loser lost a comparison to winner.
 func (t *LossTracker) Record(loser, winner int) {
-	t.mu.Lock()
-	s, ok := t.losses[loser]
+	s := t.shard(loser)
+	s.mu.Lock()
+	set, ok := s.losses[loser]
 	if !ok {
-		s = make(map[int]struct{})
-		t.losses[loser] = s
+		set = make(map[int]struct{})
+		s.losses[loser] = set
 	}
-	s[winner] = struct{}{}
-	t.mu.Unlock()
+	set[winner] = struct{}{}
+	s.mu.Unlock()
 }
 
 // Losses returns the number of distinct opponents the element has lost to.
 func (t *LossTracker) Losses(id int) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.losses[id])
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.losses[id])
 }

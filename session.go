@@ -82,6 +82,13 @@ type Config struct {
 	// quality ladder instead of failing it, and Result.Guarantee reports the
 	// quality actually achieved; see DegradeConfig.
 	Degrade *DegradeConfig
+	// Scheduler selects the comparison schedule. The zero value (Lockstep)
+	// plays one platform batch per tournament group, exactly as the paper's
+	// pseudo-code executes; DAGScheduler drains all data-independent groups
+	// per logical step through the dependency-DAG dispatcher, reducing the
+	// run's round latency without changing its answers, paid comparison
+	// counts, or monetary cost.
+	Scheduler SchedulerKind
 }
 
 // Session runs the two-phase algorithm with a fixed worker configuration
@@ -297,6 +304,7 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 		Phase2:      s.cfg.Phase2,
 		TrackLosses: s.cfg.TrackLosses,
 		Randomized:  core.RandomizedOptions{R: r.Child("phase2")},
+		Scheduler:   s.cfg.Scheduler,
 	}
 	if ck != nil {
 		opt.OnPhase = ck.boundary
@@ -338,6 +346,7 @@ func (s *Session) findMaxDegraded(ctx context.Context, items []Item, no, eo *Ora
 		Un:          s.cfg.Un,
 		TrackLosses: s.cfg.TrackLosses,
 		Randomized:  core.RandomizedOptions{R: r.Child("phase2")},
+		Scheduler:   s.cfg.Scheduler,
 		Signals: func() degrade.Signals {
 			sig := degrade.Unconstrained()
 			if budget != nil {
