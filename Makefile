@@ -1,9 +1,13 @@
 GO ?= go
 
 # Concurrency-heavy packages CI runs under the race detector.
-RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/... ./internal/dispatch/... ./internal/chaos/... ./internal/checkpoint/... ./internal/degrade/... ./internal/sched/...
+RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/... ./internal/dispatch/... ./internal/chaos/... ./internal/checkpoint/... ./internal/degrade/... ./internal/sched/... ./internal/service/...
 
-.PHONY: build test race bench bench-matrix vet lint ci bench-smoke chaos-smoke soak-smoke all clean
+# Total-coverage floor for the cover target, pinned a few points under the
+# measured total so genuine regressions fail without flaking on noise.
+COVER_FLOOR = 74.0
+
+.PHONY: build test race bench bench-matrix vet lint ci bench-smoke chaos-smoke soak-smoke server-smoke loadtest-smoke cover all clean
 
 all: build vet test
 
@@ -22,7 +26,7 @@ race:
 
 # Mirror of .github/workflows/ci.yml: the test job's steps plus the
 # benchmark-smoke job. Green here means green there (modulo Go version).
-ci: vet lint build test race bench-smoke chaos-smoke soak-smoke
+ci: vet lint build test race cover bench-smoke chaos-smoke soak-smoke server-smoke loadtest-smoke
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkFig3Parallel -benchtime=1x ./internal/experiment
@@ -58,6 +62,26 @@ soak-smoke:
 	$(GO) run ./cmd/maxcrowd -n 400 -seed 7 -chaos expert-outage:1.0@600+ >/tmp/soak-smoke.out
 	grep -q "guarantee: δn (rung naive-majority)" /tmp/soak-smoke.out
 	$(GO) run ./cmd/soak -trials 8 -n 300 -seed 1
+
+# Service lifecycle end to end: boot maxcrowdd, complete a batch over HTTP
+# with honest labels, SIGTERM with work in flight (graceful drain, exit 0),
+# restart and finish the interrupted jobs. Same steps as the CI job.
+server-smoke:
+	./scripts/server-smoke.sh
+
+# Loadtest the service in-process and gate the artifact (and the committed
+# one) through the kind:"service" schema. Same steps as the CI job.
+loadtest-smoke:
+	$(GO) run ./cmd/loadgen -jobs 200 -n 60 -un 4 -concurrency 32 -out /tmp/bench-service-smoke.json
+	$(GO) run ./cmd/benchcheck /tmp/bench-service-smoke.json results/BENCH_service.json
+
+# Total coverage with a pinned floor; coverage.out is the CI artifact.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { \
+		if (t+0 < f+0) { printf "cover: total %.1f%% is below the %.1f%% floor\n", t, f; exit 1 } \
+		printf "cover: total %.1f%% (floor %.1f%%)\n", t, f }'
 
 # Reduced per-figure benchmarks plus the parallel-engine benchmark.
 bench:

@@ -13,10 +13,16 @@
 //     smoke runs get a loose sanity window because their workloads are
 //     tiny) — that is the one performance claim the artifact exists to
 //     make, so its absence is a schema error.
+//   - "service" loadtest reports written by cmd/loadgen
+//     (BENCH_service.json): client-observed throughput and latency for a
+//     seeded job stream against maxcrowdd. Every submitted job must have
+//     completed, the rejection count and seed must be present (the run is
+//     not reproducible without them), and the latency quantiles must be
+//     ordered (p50 ≤ p99).
 //
-// It is CI's schema gate for the benchmark-smoke job — beyond the paired
-// 1-core bound it checks shape, not speed, so it cannot flake on loaded
-// runners.
+// It is CI's schema gate for the benchmark-smoke and loadtest-smoke jobs —
+// beyond the paired 1-core bound it checks shape, not speed, so it cannot
+// flake on loaded runners.
 //
 // Usage:
 //
@@ -86,6 +92,8 @@ func check(data []byte) []error {
 		return checkLegacy(data)
 	case "sched-matrix":
 		return checkSchedMatrix(data)
+	case "service":
+		return checkService(data)
 	default:
 		return []error{fmt.Errorf("unknown report kind %q", probe.Kind)}
 	}
@@ -270,6 +278,98 @@ func checkSchedMatrix(data []byte) []error {
 		if !seenPair[gmp] {
 			fail("gomaxprocs %d: missing paired summary", gmp)
 		}
+	}
+	return errs
+}
+
+// serviceReport mirrors cmd/loadgen's output schema. Required numerics are
+// pointers so "missing" and "zero" stay distinguishable.
+type serviceReport struct {
+	Seed          *uint64  `json:"seed"`
+	Jobs          int      `json:"jobs"`
+	Completed     *int     `json:"completed"`
+	Failed        *int     `json:"failed"`
+	Rejected      *int64   `json:"rejected"`
+	WallSeconds   *float64 `json:"wall_seconds"`
+	JobsPerSec    *float64 `json:"jobs_per_sec"`
+	P50LatencyMS  *float64 `json:"p50_latency_ms"`
+	P99LatencyMS  *float64 `json:"p99_latency_ms"`
+	N             int      `json:"n"`
+	Un            int      `json:"un"`
+	Concurrency   int      `json:"concurrency"`
+	MaxConcurrent int      `json:"max_concurrent"`
+	Server        string   `json:"server"`
+}
+
+func checkService(data []byte) []error {
+	var r serviceReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return []error{fmt.Errorf("not valid JSON: %w", err)}
+	}
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+	if r.Jobs < 1 {
+		fail("jobs = %d, want >= 1", r.Jobs)
+	}
+	if r.Seed == nil {
+		fail("missing seed (the run is not reproducible without it)")
+	}
+	for _, f := range []struct {
+		key string
+		set bool
+	}{
+		{"completed", r.Completed != nil},
+		{"failed", r.Failed != nil},
+		{"rejected", r.Rejected != nil},
+		{"wall_seconds", r.WallSeconds != nil},
+		{"jobs_per_sec", r.JobsPerSec != nil},
+		{"p50_latency_ms", r.P50LatencyMS != nil},
+		{"p99_latency_ms", r.P99LatencyMS != nil},
+	} {
+		if !f.set {
+			fail("missing %s", f.key)
+		}
+	}
+	if len(errs) != 0 {
+		return errs
+	}
+	// Every submitted job completed: a loadtest that lost work is not a
+	// benchmark, it is an incident report.
+	if *r.Completed != r.Jobs {
+		fail("completed = %d of %d jobs", *r.Completed, r.Jobs)
+	}
+	if *r.Failed != 0 {
+		fail("failed = %d, want 0", *r.Failed)
+	}
+	if *r.Rejected < 0 {
+		fail("rejected = %d, want >= 0", *r.Rejected)
+	}
+	if *r.WallSeconds <= 0 {
+		fail("wall_seconds = %g, want > 0", *r.WallSeconds)
+	}
+	if *r.JobsPerSec <= 0 {
+		fail("jobs_per_sec = %g, want > 0", *r.JobsPerSec)
+	}
+	if *r.P50LatencyMS <= 0 || *r.P99LatencyMS <= 0 {
+		fail("latency quantiles (p50 %g, p99 %g) must be > 0", *r.P50LatencyMS, *r.P99LatencyMS)
+	}
+	if *r.P50LatencyMS > *r.P99LatencyMS {
+		fail("p50 latency %g exceeds p99 %g", *r.P50LatencyMS, *r.P99LatencyMS)
+	}
+	if r.N < 2 {
+		fail("n = %d, want >= 2", r.N)
+	}
+	if r.Un < 1 {
+		fail("un = %d, want >= 1", r.Un)
+	}
+	if r.Concurrency < 1 {
+		fail("concurrency = %d, want >= 1", r.Concurrency)
+	}
+	if r.MaxConcurrent < 1 {
+		fail("max_concurrent = %d, want >= 1", r.MaxConcurrent)
+	}
+	if r.Server == "" {
+		fail("missing server")
 	}
 	return errs
 }

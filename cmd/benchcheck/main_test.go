@@ -165,6 +165,65 @@ func TestCheckSchedMatrixRejects(t *testing.T) {
 	}
 }
 
+// validService is a minimal well-formed service loadtest report.
+const validService = `{
+  "kind": "service",
+  "seed": 1, "jobs": 200, "completed": 200, "failed": 0, "rejected": 17,
+  "wall_seconds": 3.5, "jobs_per_sec": 57.1,
+  "p50_latency_ms": 80.2, "p99_latency_ms": 310.9,
+  "n": 100, "un": 4, "concurrency": 32, "max_concurrent": 8,
+  "server": "in-process"
+}`
+
+func TestCheckServiceValid(t *testing.T) {
+	if errs := check([]byte(validService)); len(errs) != 0 {
+		t.Fatalf("valid service report rejected: %v", errs)
+	}
+}
+
+func TestCheckServiceRejects(t *testing.T) {
+	mut := func(old, new string) string {
+		s := strings.Replace(validService, old, new, 1)
+		if s == validService {
+			t.Fatalf("mutation %q not applied", old)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"missing seed", mut(`"seed": 1, `, ``), "missing seed"},
+		{"missing rejected", mut(`, "rejected": 17`, ``), "missing rejected"},
+		{"missing throughput", mut(`"jobs_per_sec": 57.1,`, `"jobs_per_sec_typo": 57.1,`), "missing jobs_per_sec"},
+		{"missing p99", mut(`, "p99_latency_ms": 310.9`, ``), "missing p99_latency_ms"},
+		{"lost work", mut(`"completed": 200`, `"completed": 199`), "completed = 199 of 200"},
+		{"failures", mut(`"failed": 0`, `"failed": 3`), "failed = 3"},
+		{"quantile inversion", mut(`"p50_latency_ms": 80.2`, `"p50_latency_ms": 400`), "exceeds p99"},
+		{"zero throughput", mut(`"jobs_per_sec": 57.1`, `"jobs_per_sec": 0`), "jobs_per_sec"},
+		{"no jobs", mut(`"jobs": 200`, `"jobs": 0`), "jobs = 0"},
+		{"no server", mut(`"server": "in-process"`, `"server": ""`), "missing server"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := check([]byte(tc.data))
+			if len(errs) == 0 {
+				t.Fatal("invalid service report accepted")
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("errors %v do not mention %q", errs, tc.want)
+			}
+		})
+	}
+}
+
 func TestCheckSchedMatrixMissingBaseline(t *testing.T) {
 	// Drop both gomaxprocs=1 cells and their paired entry: the matrix must
 	// name the missing sequential baseline.

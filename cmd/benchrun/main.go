@@ -28,11 +28,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
+	"crowdmax/internal/checkpoint"
 	"crowdmax/internal/dispatch"
 	"crowdmax/internal/experiment"
 	"crowdmax/internal/obs"
@@ -206,38 +206,9 @@ func runBench(ctx context.Context, names []string) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(*benchOut, append(data, '\n'), 0o644)
-}
-
-// writeFileAtomic writes data to path via a temporary file in the same
-// directory followed by a rename, so an interrupted run can never leave a
-// truncated results file behind — readers see either the old contents or
-// the complete new ones.
-func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	name := tmp.Name()
-	_, werr := tmp.Write(data)
-	if werr == nil {
-		werr = tmp.Chmod(mode)
-	}
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(name, path)
-	}
-	if werr != nil {
-		os.Remove(name)
-		return werr
-	}
-	return nil
+	// Atomic write: an interrupted run can never leave a truncated results
+	// file behind — readers see either the old contents or the new ones.
+	return checkpoint.WriteFileAtomic(*benchOut, append(data, '\n'), 0o644)
 }
 
 func usage() {

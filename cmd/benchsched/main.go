@@ -44,6 +44,7 @@ import (
 	"strings"
 	"time"
 
+	"crowdmax/internal/checkpoint"
 	"crowdmax/internal/core"
 	"crowdmax/internal/cost"
 	"crowdmax/internal/dataset"
@@ -332,7 +333,7 @@ func run() error {
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := checkpoint.WriteFileAtomic(*out, data, 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)

@@ -1,0 +1,378 @@
+// Command loadgen drives a maxcrowdd service with a deterministic seeded job
+// stream and reports client-observed throughput and latency.
+//
+// It is both the repo's loadtest harness and the HTTP client of the CI smoke
+// scripts (no curl/jq needed): it submits -jobs generated-instance jobs
+// across -tenants synthetic tenants, retries admissions rejected with
+// 429/503 (counting every rejection), polls each accepted job to a terminal
+// state, validates that every result's guarantee label is one its rung can
+// honestly deliver, and writes a kind:"service" benchmark artifact for
+// benchcheck.
+//
+// With no -server it boots an in-process service on 127.0.0.1:0 and drives
+// it over real HTTP, so a single command reproduces the loadtest:
+//
+//	loadgen -jobs 1000 -out results/BENCH_service.json
+//	loadgen -server http://127.0.0.1:8080 -jobs 200
+//	loadgen -server http://$(cat addr) -jobs 4 -submit-only
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdmax"
+	"crowdmax/internal/checkpoint"
+	"crowdmax/internal/service"
+)
+
+var (
+	server     = flag.String("server", "", "base URL of a running maxcrowdd (empty: boot an in-process server on 127.0.0.1:0)")
+	jobs       = flag.Int("jobs", 200, "number of jobs to submit")
+	nItems     = flag.Int("n", 100, "instance size per job")
+	un         = flag.Int("un", 4, "filter parameter un per job")
+	seed       = flag.Uint64("seed", 1, "root seed; job i runs with a seed derived from (seed, i)")
+	tenants    = flag.Int("tenants", 4, "spread jobs round-robin over this many synthetic tenants")
+	workers    = flag.Int("concurrency", 32, "concurrent client workers")
+	submitOnly = flag.Bool("submit-only", false, "submit the jobs and exit without waiting for completion (smoke scripts use this to hold work in flight)")
+	waitAll    = flag.Bool("wait-all", false, "submit nothing: poll the server's /healthz until every job it knows is terminal, exit non-zero if any failed (smoke scripts use this after a restart)")
+	out        = flag.String("out", "", "write the kind:\"service\" benchmark artifact to this file (atomic)")
+	maxConc    = flag.Int("max-concurrent", 8, "in-process server only: session slots")
+	cmpLat     = flag.Duration("cmp-latency", 0, "in-process server only: per-comparison latency")
+	retryEvery = flag.Duration("retry-every", 25*time.Millisecond, "client backoff between admission retries (the server's Retry-After is whole seconds; a loadtest retries faster but still counts every rejection)")
+	timeout    = flag.Duration("timeout", 10*time.Minute, "overall deadline for the run")
+)
+
+// report is the kind:"service" benchmark artifact schema (cmd/benchcheck
+// validates it).
+type report struct {
+	Kind          string  `json:"kind"`
+	Seed          uint64  `json:"seed"`
+	Jobs          int     `json:"jobs"`
+	Completed     int     `json:"completed"`
+	Failed        int     `json:"failed"`
+	Rejected      int64   `json:"rejected"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+	P50LatencyMS  float64 `json:"p50_latency_ms"`
+	P99LatencyMS  float64 `json:"p99_latency_ms"`
+	N             int     `json:"n"`
+	Un            int     `json:"un"`
+	Concurrency   int     `json:"concurrency"`
+	MaxConcurrent int     `json:"max_concurrent"`
+	Server        string  `json:"server"`
+}
+
+// jobStatus is the subset of the service's jobView the client reads.
+type jobStatus struct {
+	State  string `json:"state"`
+	Error  string `json:"error"`
+	Result *struct {
+		Rung      string `json:"rung"`
+		Guarantee string `json:"guarantee"`
+	} `json:"result"`
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	base := *server
+	if *waitAll {
+		if base == "" {
+			return fmt.Errorf("-wait-all needs -server")
+		}
+		return waitAllJobs(ctx, base)
+	}
+	serverLabel := base
+	if base == "" {
+		stop, url, err := bootInProcess()
+		if err != nil {
+			return err
+		}
+		defer stop()
+		base, serverLabel = url, "in-process"
+	}
+
+	var (
+		rejected  atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  []string
+	)
+	client := &http.Client{}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				lat, err := runOne(ctx, client, base, i, &rejected)
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, fmt.Sprintf("job %d: %v", i, err))
+				} else {
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < *jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "loadgen:", f)
+	}
+	completed := len(latencies)
+	r := report{
+		Kind:          "service",
+		Seed:          *seed,
+		Jobs:          *jobs,
+		Completed:     completed,
+		Failed:        len(failures),
+		Rejected:      rejected.Load(),
+		WallSeconds:   wall.Seconds(),
+		JobsPerSec:    float64(completed) / wall.Seconds(),
+		P50LatencyMS:  quantileMS(latencies, 0.50),
+		P99LatencyMS:  quantileMS(latencies, 0.99),
+		N:             *nItems,
+		Un:            *un,
+		Concurrency:   *workers,
+		MaxConcurrent: *maxConc,
+		Server:        serverLabel,
+	}
+	fmt.Printf("loadgen: %d/%d jobs done in %.2fs (%.1f jobs/s, p50 %.1fms, p99 %.1fms, %d rejections retried)\n",
+		completed, *jobs, r.WallSeconds, r.JobsPerSec, r.P50LatencyMS, r.P99LatencyMS, r.Rejected)
+	if *out != "" && !*submitOnly {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := checkpoint.WriteFileAtomic(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: wrote %s\n", *out)
+	}
+	if len(failures) > 0 || completed != *jobs {
+		return fmt.Errorf("%d of %d jobs did not complete cleanly", *jobs-completed+len(failures), *jobs)
+	}
+	return nil
+}
+
+// runOne submits job i (retrying admission rejections) and, unless
+// -submit-only, polls it to a terminal state and validates the result. The
+// returned latency is client-observed: submission retries included.
+func runOne(ctx context.Context, client *http.Client, base string, i int, rejected *atomic.Int64) (time.Duration, error) {
+	spec := map[string]any{
+		"tenant": fmt.Sprintf("t%02d", i%max(1, *tenants)),
+		"n":      *nItems,
+		"un":     *un,
+		"seed":   jobSeed(i),
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+
+	var statusURL string
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			rejected.Add(1)
+			select {
+			case <-time.After(*retryEvery):
+				continue
+			case <-ctx.Done():
+				return 0, fmt.Errorf("deadline while retrying admission: %w", ctx.Err())
+			}
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return 0, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, msg)
+		}
+		var accepted struct {
+			Status string `json:"status"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&accepted)
+		resp.Body.Close()
+		if err != nil {
+			return 0, fmt.Errorf("decode submit response: %w", err)
+		}
+		statusURL = base + accepted.Status
+		break
+	}
+	if *submitOnly {
+		return time.Since(start), nil
+	}
+
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, statusURL, nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		var st jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, fmt.Errorf("decode status: %w", err)
+		}
+		switch st.State {
+		case "done":
+			if st.Result == nil {
+				return 0, fmt.Errorf("done without result")
+			}
+			strongest, ok := crowdmax.StrongestGuaranteeFor(st.Result.Rung)
+			if !ok {
+				return 0, fmt.Errorf("unknown rung %q", st.Result.Rung)
+			}
+			if crowdmax.Guarantee(st.Result.Guarantee).Strength() > strongest.Strength() {
+				return 0, fmt.Errorf("label %q stronger than rung %q allows", st.Result.Guarantee, st.Result.Rung)
+			}
+			return time.Since(start), nil
+		case "failed":
+			return 0, fmt.Errorf("job failed: %s", st.Error)
+		}
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-ctx.Done():
+			return 0, fmt.Errorf("deadline while polling %s (state %q): %w", statusURL, st.State, ctx.Err())
+		}
+	}
+}
+
+// waitAllJobs polls /healthz until no job is queued, running, or interrupted
+// (a restarted server re-runs interrupted jobs automatically, so they drain
+// to done on their own), then fails if any job ended failed.
+func waitAllJobs(ctx context.Context, base string) error {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		var health struct {
+			Status string         `json:"status"`
+			Jobs   map[string]int `json:"jobs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&health)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decode healthz: %w", err)
+		}
+		if health.Jobs["queued"]+health.Jobs["running"]+health.Jobs["interrupted"] == 0 {
+			if f := health.Jobs["failed"]; f > 0 {
+				return fmt.Errorf("%d jobs failed", f)
+			}
+			fmt.Printf("loadgen: all %d jobs done\n", health.Jobs["done"])
+			return nil
+		}
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+			return fmt.Errorf("deadline waiting for jobs to settle (%v): %w", health.Jobs, ctx.Err())
+		}
+	}
+}
+
+// jobSeed derives job i's root seed from the run seed — a fixed odd-constant
+// mix, so the stream is reproducible from (-seed, -jobs) alone.
+func jobSeed(i int) uint64 {
+	return (*seed)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 + 1
+}
+
+// quantileMS returns the q-quantile of the latencies in milliseconds
+// (nearest-rank), 0 for an empty set.
+func quantileMS(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// bootInProcess starts a service server over a throwaway state directory and
+// a real TCP listener, so the loadtest exercises the same HTTP path as a
+// deployed maxcrowdd.
+func bootInProcess() (stop func(), url string, err error) {
+	dir, err := os.MkdirTemp("", "loadgen-*")
+	if err != nil {
+		return nil, "", err
+	}
+	srv, err := service.NewServer(service.Options{
+		Dir:           dir,
+		MaxConcurrent: *maxConc,
+		CmpLatency:    *cmpLat,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck
+	stop = func() {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(drainCtx) //nolint:errcheck
+		httpSrv.Close()
+		os.RemoveAll(dir)
+	}
+	return stop, "http://" + ln.Addr().String(), nil
+}

@@ -59,17 +59,6 @@ var defaultSchedules = []string{
 	"expert-outage:0.5@300-1200,spammer:0.1-0.4@0-1500",
 }
 
-// maxLabel is the strongest guarantee each rung name may honestly carry;
-// soak fails any result claiming more.
-var maxLabel = map[string]crowdmax.Guarantee{
-	"expert-2maxfind":     crowdmax.Guarantee2DeltaE,
-	"expert-all-play-all": crowdmax.Guarantee2DeltaE,
-	"expert-randomized":   crowdmax.Guarantee3DeltaEWHP,
-	"expert-shrunk":       crowdmax.Guarantee2DeltaESubset,
-	"naive-majority":      crowdmax.GuaranteeDeltaN,
-	"best-so-far":         crowdmax.GuaranteeNone,
-}
-
 func main() {
 	flag.Parse()
 	if err := soak(os.Stdout); err != nil {
@@ -214,7 +203,7 @@ func newSession(set *crowdmax.Set, tseed uint64, ckPath, sched string, crashAfte
 
 // checkLabels enforces the honesty invariants on one result.
 func checkLabels(res crowdmax.Result) error {
-	strongest, ok := maxLabel[res.Rung]
+	strongest, ok := crowdmax.StrongestGuaranteeFor(res.Rung)
 	if !ok {
 		return fmt.Errorf("result names unknown rung %q", res.Rung)
 	}

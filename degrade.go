@@ -39,6 +39,16 @@ type LadderRung = degrade.Rung
 // stronger rung was skipped.
 type DegradeDecision = degrade.Decision
 
+// StrongestGuaranteeFor returns the strongest guarantee label the named
+// quality rung may honestly attach to an answer, over the standard rung
+// names (the DefaultQualityLadder rungs plus the undegraded
+// "expert-all-play-all" natural rung). ok is false for unknown names.
+// Harnesses and services use it to validate label honesty: a Result whose
+// Guarantee is stronger than StrongestGuaranteeFor(Result.Rung) is lying.
+func StrongestGuaranteeFor(rung string) (g Guarantee, ok bool) {
+	return degrade.StrongestLabel(rung)
+}
+
 // DefaultQualityLadder returns the standard ladder, strongest first:
 //
 //	expert-2maxfind   (2δe)         2-MaxFind over the candidate set S

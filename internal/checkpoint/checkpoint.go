@@ -35,7 +35,6 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
-	"path/filepath"
 	"sort"
 
 	"crowdmax/internal/cost"
@@ -171,14 +170,7 @@ func Encode(s *State) []byte {
 			p.i64(e.Winner)
 		}
 	}
-
-	out := make([]byte, headerSize+len(p.b))
-	copy(out, magic)
-	binary.LittleEndian.PutUint32(out[4:], version)
-	binary.LittleEndian.PutUint32(out[8:], crc32.Checksum(p.b, castagnoli))
-	binary.LittleEndian.PutUint64(out[12:], uint64(len(p.b)))
-	copy(out[headerSize:], p.b)
-	return out
+	return SealEnvelope(magic, version, p.b)
 }
 
 // Decode parses an encoded state, failing closed (ErrCorrupt, wrapped) on
@@ -186,24 +178,9 @@ func Encode(s *State) []byte {
 // bounds-checked and every count validated against the remaining bytes
 // before allocation.
 func Decode(data []byte) (*State, error) {
-	if len(data) < headerSize {
-		return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrCorrupt, len(data))
-	}
-	if string(data[:4]) != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
-	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != version {
-		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, v, version)
-	}
-	wantSum := binary.LittleEndian.Uint32(data[8:])
-	n := binary.LittleEndian.Uint64(data[12:])
-	if n != uint64(len(data)-headerSize) {
-		return nil, fmt.Errorf("%w: payload length %d does not match %d trailing bytes",
-			ErrCorrupt, n, len(data)-headerSize)
-	}
-	body := data[headerSize:]
-	if got := crc32.Checksum(body, castagnoli); got != wantSum {
-		return nil, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrCorrupt, wantSum, got)
+	body, err := OpenEnvelope(magic, version, data)
+	if err != nil {
+		return nil, err
 	}
 
 	r := reader{b: body}
@@ -256,29 +233,8 @@ func Decode(data []byte) (*State, error) {
 // snapshot (or no file) behind, never a truncated one.
 func Save(path string, s *State) error {
 	s.SortPairs()
-	data := Encode(s)
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	name := tmp.Name()
-	_, werr := tmp.Write(data)
-	if werr == nil {
-		werr = tmp.Sync()
-	}
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(name, path)
-	}
-	if werr != nil {
-		os.Remove(name)
-		return fmt.Errorf("checkpoint: save %s: %w", path, werr)
+	if err := WriteFileAtomic(path, Encode(s), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: save %s: %w", path, err)
 	}
 	return nil
 }

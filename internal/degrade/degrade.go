@@ -231,6 +231,28 @@ func maxGuarantee(k RungKind) Guarantee {
 	}
 }
 
+// StrongestLabel returns the strongest guarantee the named quality rung may
+// honestly attach to an answer, over the standard rung names — the
+// DefaultLadder rungs plus the undegraded "expert-all-play-all" natural
+// rung. ok is false for names outside that set; harnesses and services use
+// the pair to reject results that claim an unknown rung or a label stronger
+// than the rung can deliver.
+func StrongestLabel(rung string) (g Guarantee, ok bool) {
+	switch rung {
+	case "expert-2maxfind", "expert-all-play-all":
+		return Guarantee2DeltaE, true
+	case "expert-randomized":
+		return Guarantee3DeltaEWHP, true
+	case "expert-shrunk":
+		return Guarantee2DeltaESubset, true
+	case "naive-majority":
+		return GuaranteeDeltaN, true
+	case "best-so-far":
+		return GuaranteeNone, true
+	}
+	return GuaranteeNone, false
+}
+
 // NaturalRung returns the rung name and guarantee label of an undegraded
 // run for the given phase-2 algorithm index (core.Phase2Algorithm values:
 // 0 = 2-MaxFind, 1 = randomized, 2 = all-play-all) — the labels a session

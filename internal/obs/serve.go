@@ -1,9 +1,10 @@
 package obs
 
 import (
+	"expvar"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"net/http/pprof" // also registers /debug/pprof/ on the default mux
 )
 
 // Serve starts the observability HTTP server on addr (e.g. "localhost:6060"
@@ -25,4 +26,19 @@ func Serve(addr string) (net.Addr, error) {
 	srv := &http.Server{Handler: http.DefaultServeMux}
 	go srv.Serve(ln) //nolint:errcheck — server lives for the process
 	return ln.Addr(), nil
+}
+
+// Routes mounts the same observability endpoints on a caller-owned mux, for
+// servers (like maxcrowdd) that serve application routes and debug routes
+// from one listener instead of the default mux. As with Serve, the expvar
+// export is registered eagerly and reports {"enabled": false} until Enable
+// installs the metric set.
+func Routes(mux *http.ServeMux) {
+	publish()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

@@ -128,6 +128,15 @@ func Trial(label string, seed uint64) *Scope {
 	return &s
 }
 
+// Scope couples this tracer with the process metrics (when enabled) under
+// the given trial label and replay seed, independent of the installed global
+// base scope. Services use it to give each job its own trace stream — the
+// per-job tracer receives the events while process-wide counters still
+// aggregate — without routing every job through the process trace file.
+func (t *Tracer) Scope(trial string, seed uint64) *Scope {
+	return &Scope{m: Active(), t: t, trial: trial, seed: seed}
+}
+
 // WithPhase returns a copy of the scope labelled with the given phase (nil
 // in, nil out).
 func (s *Scope) WithPhase(p Phase) *Scope {

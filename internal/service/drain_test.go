@@ -1,0 +1,144 @@
+package service
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestDrainResumeBitIdentical is the service-layer restatement of the PR 4/5
+// resume invariant: a job interrupted by a drain and resumed by a fresh
+// server over the same state directory must finish with the same answer,
+// paid counts, and cost as an uninterrupted run of the same spec.
+func TestDrainResumeBitIdentical(t *testing.T) {
+	spec := JobSpec{N: 200, Seed: 42, Un: 6}
+
+	// Reference: the uninterrupted run.
+	ref := testServer(t, t.TempDir(), nil)
+	rj, err := ref.Submit(spec)
+	if err != nil {
+		t.Fatalf("reference Submit: %v", err)
+	}
+	waitTerminal(t, rj, 60*time.Second)
+	want, ok := rj.Result()
+	if !ok {
+		t.Fatalf("reference state %q err %q", rj.State(), rj.Err())
+	}
+	if err := ref.Drain(context.Background()); err != nil {
+		t.Fatalf("reference Drain: %v", err)
+	}
+
+	// Interrupted leg: same spec, slowed so the drain lands mid-run.
+	dir := t.TempDir()
+	s1 := testServer(t, dir, func(o *Options) {
+		o.CmpLatency = 2 * time.Millisecond
+		o.CheckpointEvery = 16
+	})
+	j1, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Wait for the run to be genuinely in flight: the start snapshot lands
+	// immediately, then give it a few comparison round-trips.
+	ck := s1.ckPath(j1.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(ck); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint never appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Drain(drainCtx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := j1.State(); st != StateInterrupted {
+		// The run may have finished before the drain; that would make this
+		// test vacuous rather than wrong — fail so the timing gets fixed.
+		t.Fatalf("state after drain = %q, want interrupted", st)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("no checkpoint after drain: %v", err)
+	}
+
+	// Recovery: a fresh server over the same directory resumes the job
+	// (full speed — latency only served to catch the drain mid-run).
+	s2 := testServer(t, dir, nil)
+	defer s2.Drain(context.Background())
+	j2 := s2.Job(j1.ID)
+	if j2 == nil {
+		t.Fatalf("job %s not reloaded", j1.ID)
+	}
+	waitTerminal(t, j2, 60*time.Second)
+	got, ok := j2.Result()
+	if !ok {
+		t.Fatalf("resumed state %q err %q", j2.State(), j2.Err())
+	}
+
+	if got != want {
+		t.Fatalf("resumed result diverged from uninterrupted run:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The record on disk agrees with memory after the final persist.
+	reloaded, err := os.ReadFile(s2.store.recordPath(j2.ID))
+	if err != nil {
+		t.Fatalf("read final record: %v", err)
+	}
+	dec, err := decodeRecord(reloaded)
+	if err != nil {
+		t.Fatalf("decode final record: %v", err)
+	}
+	if dec.state != StateDone || dec.result == nil || *dec.result != want {
+		t.Fatalf("persisted record %+v (result %+v) does not match %+v", dec, dec.result, want)
+	}
+}
+
+// TestRecoveryRestoresTenantAccounting checks that a restart rebuilds the
+// tenant budget from the records: completed jobs charge their actual spend,
+// interrupted jobs their full reservation.
+func TestRecoveryRestoresTenantAccounting(t *testing.T) {
+	dir := t.TempDir()
+	s1 := testServer(t, dir, func(o *Options) {
+		o.DefaultTenant = TenantLimits{MaxCost: 1e9}
+	})
+	j, err := s1.Submit(JobSpec{N: 100, Seed: 8, Un: 4})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitTerminal(t, j, 30*time.Second)
+	res, _ := j.Result()
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	s2 := testServer(t, dir, func(o *Options) {
+		o.DefaultTenant = TenantLimits{MaxCost: 1e9}
+	})
+	defer s2.Drain(context.Background())
+	ten := s2.tenant("default")
+	if got := ten.budget.Spent(0); got != res.NaiveComparisons {
+		t.Errorf("restored naive spend = %d, want %d", got, res.NaiveComparisons)
+	}
+	// The completed job must not count against the tenant's job cap.
+	ten.mu.Lock()
+	jobs := ten.jobs
+	ten.mu.Unlock()
+	if jobs != 0 {
+		t.Errorf("restored job count = %d, want 0", jobs)
+	}
+	// And the next ID does not collide with the reloaded one.
+	j2, err := s2.Submit(JobSpec{N: 60, Seed: 9, Un: 4})
+	if err != nil {
+		t.Fatalf("post-restart Submit: %v", err)
+	}
+	if j2.ID == j.ID {
+		t.Fatalf("ID collision after restart: %s", j2.ID)
+	}
+}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"crowdmax/internal/obs"
+)
+
+// maxBody bounds the accepted request body (a maxInstance-item explicit
+// instance fits comfortably).
+const maxBody = 64 << 20
+
+// jobView is the JSON shape of GET /v1/jobs/{id}.
+type jobView struct {
+	ID             string     `json:"id"`
+	Tenant         string     `json:"tenant"`
+	State          State      `json:"state"`
+	N              int        `json:"n"`
+	Un             int        `json:"un"`
+	Ue             int        `json:"ue"`
+	Seed           uint64     `json:"seed"`
+	ReservedNaive  int64      `json:"reserved_naive"`
+	ReservedExpert int64      `json:"reserved_expert"`
+	Error          string     `json:"error,omitempty"`
+	Result         *JobResult `json:"result,omitempty"`
+}
+
+func viewOf(j *Job) jobView {
+	v := jobView{
+		ID:             j.ID,
+		Tenant:         j.Spec.Tenant,
+		State:          j.State(),
+		N:              j.Spec.size(),
+		Un:             j.Spec.Un,
+		Ue:             j.Spec.Ue,
+		Seed:           j.Spec.Seed,
+		ReservedNaive:  j.ReservedNaive,
+		ReservedExpert: j.ReservedExpert,
+		Error:          j.Err(),
+	}
+	if r, ok := j.Result(); ok {
+		v.Result = &r
+	}
+	return v
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/jobs              submit a job (202; 400/429/503 on refusal)
+//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs/{id}         job status and result
+//	GET  /v1/jobs/{id}/events  the job's JSONL event trace (?follow=1 streams
+//	                           until the job reaches a terminal state)
+//	GET  /healthz              liveness + drain status + job counts
+//	GET  /debug/vars, /debug/pprof/...   via obs.Routes
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	obs.Routes(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck — client gone is not a server error
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("decode job spec: %v", err))
+		return
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		var rej *RejectError
+		switch {
+		case errors.As(err, &rej):
+			w.Header().Set("Retry-After", strconv.Itoa(int(max(1, rej.RetryAfter.Seconds()))))
+			writeErr(w, http.StatusTooManyRequests, rej.Reason)
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "10")
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrBadRequest):
+			writeErr(w, http.StatusBadRequest, err.Error())
+		default:
+			writeErr(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":     j.ID,
+		"status": "/v1/jobs/" + j.ID,
+		"events": "/v1/jobs/" + j.ID + "/events",
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	views := make([]jobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = viewOf(j)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(j))
+}
+
+// handleEvents serves the job's JSONL trace. Without ?follow=1 it returns
+// the events so far; with it, it streams — flushing each chunk — until the
+// job's log closes (terminal state or drain) or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	follow := r.URL.Query().Get("follow") != ""
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	off := 0
+	for {
+		chunk, done, changed := j.events.since(off)
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+			off += len(chunk)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue // re-check for bytes appended while writing
+		}
+		if done || !follow {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	counts := map[State]int{}
+	for _, j := range s.Jobs() {
+		counts[j.State()]++
+	}
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "jobs": counts})
+}

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func httpServer(t *testing.T, mutate func(*Options)) (*Server, *httptest.Server) {
+	t.Helper()
+	s := testServer(t, t.TempDir(), mutate)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain(context.Background())
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	return resp
+}
+
+func TestHTTPSubmitAndStatus(t *testing.T) {
+	_, ts := httpServer(t, nil)
+
+	resp := postJob(t, ts, `{"n": 80, "seed": 4, "un": 4}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var accepted struct{ ID, Status, Events string }
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	resp.Body.Close()
+	if accepted.ID == "" || !strings.HasPrefix(accepted.Status, "/v1/jobs/") {
+		t.Fatalf("submit response %+v", accepted)
+	}
+
+	// Poll until done, through the API only.
+	var view jobView
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + accepted.Status)
+		if err != nil {
+			t.Fatalf("GET status: %v", err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("status code = %d", r.StatusCode)
+		}
+		view = jobView{}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		r.Body.Close()
+		if view.State.terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", view.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if view.State != StateDone || view.Result == nil {
+		t.Fatalf("terminal view %+v", view)
+	}
+	if view.Result.Guarantee == "" || view.Result.Rung == "" {
+		t.Fatalf("result misses guarantee/rung: %+v", view.Result)
+	}
+
+	// The follow stream terminates (log closed) and carries the lifecycle.
+	r, err := http.Get(ts.URL + accepted.Events + "?follow=1")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	events, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatalf("read events: %v", err)
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content-type %q", ct)
+	}
+	for _, want := range []string{`"state":"queued"`, `"state":"done"`, `"ev":"phase"`} {
+		if !strings.Contains(string(events), want) {
+			t.Errorf("event stream missing %s:\n%s", want, events)
+		}
+	}
+
+	// List includes the job.
+	r, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatalf("GET list: %v", err)
+	}
+	var list struct{ Jobs []jobView }
+	if err := json.NewDecoder(r.Body).Decode(&list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	r.Body.Close()
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != accepted.ID {
+		t.Fatalf("list %+v", list)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := httpServer(t, func(o *Options) {
+		o.MaxConcurrent = 1
+		o.CmpLatency = 20 * time.Millisecond
+	})
+
+	// Malformed and invalid bodies.
+	if resp := postJob(t, ts, `{not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d", resp.StatusCode)
+	}
+	if resp := postJob(t, ts, `{"n": 1, "un": 1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec status = %d", resp.StatusCode)
+	}
+	if resp := postJob(t, ts, `{"n": 50, "un": 4, "bogus": true}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status = %d", resp.StatusCode)
+	}
+
+	// Unknown job.
+	r, _ := http.Get(ts.URL + "/v1/jobs/j99999999")
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job status = %d", r.StatusCode)
+	}
+	r.Body.Close()
+
+	// Capacity: the first job holds the only slot, the second gets 429
+	// with a Retry-After hint.
+	if resp := postJob(t, ts, `{"n": 60, "seed": 1, "un": 4}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status = %d", resp.StatusCode)
+	}
+	resp := postJob(t, ts, `{"n": 60, "seed": 2, "un": 4}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity status = %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After")
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPHealthzAndDrain(t *testing.T) {
+	s, ts := httpServer(t, nil)
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	var health struct {
+		Status string
+		Jobs   map[string]int
+	}
+	if err := json.NewDecoder(r.Body).Decode(&health); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	r.Body.Close()
+	if health.Status != "ok" {
+		t.Fatalf("healthz status %q", health.Status)
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	r, _ = http.Get(ts.URL + "/healthz")
+	health.Status = ""
+	json.NewDecoder(r.Body).Decode(&health) //nolint:errcheck
+	r.Body.Close()
+	if health.Status != "draining" {
+		t.Fatalf("post-drain healthz status %q", health.Status)
+	}
+	resp := postJob(t, ts, `{"n": 60, "un": 4}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The debug endpoints are mounted.
+	r, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("/debug/vars status = %d", r.StatusCode)
+	}
+	r.Body.Close()
+}

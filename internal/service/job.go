@@ -1,0 +1,328 @@
+// Package service turns the single-run crowdmax Session into a long-running
+// multi-tenant max-finding service: an HTTP API over a pool of concurrent
+// sessions, per-tenant admission control on worst-case budget reservations,
+// durable job records in the checkpoint container format, and graceful
+// drain that checkpoints in-flight jobs so a restart completes them with
+// bit-identical answers and costs.
+//
+// # Admission as reservation
+//
+// The paper's closed-form bounds make admission control exact rather than
+// heuristic: a job over n items with filter parameter un can never spend
+// more than Phase1UpperBound(n, un) naïve comparisons plus the worst rung
+// of the quality ladder in each class. Submit pre-charges that worst case
+// against the tenant's budget — all-or-nothing, exactly like the in-run
+// dispatch.Budget — and the difference between the reservation and the
+// run's actual spend is refunded on completion. A submission the budget
+// cannot cover is rejected up front with 429 + Retry-After, before a single
+// comparison is bought.
+//
+// # Drain and recovery
+//
+// SIGTERM (Server.Drain) stops admissions, cancels every running session —
+// cancellation is fatal even under the degrade controller, so each job
+// stops at its last durable checkpoint — marks the jobs interrupted, and
+// returns once every record is persisted. A new server over the same state
+// directory reloads the records, rebuilds tenant budgets from them, and
+// re-runs interrupted jobs through Session.Resume: memo replay makes the
+// recovered results bit-identical to an uninterrupted run.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"crowdmax"
+	"crowdmax/internal/checkpoint"
+	"crowdmax/internal/obs"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: admitted (slot and budget reservation held) but the
+	// session has not started yet.
+	StateQueued State = "queued"
+	// StateRunning: the session is executing.
+	StateRunning State = "running"
+	// StateInterrupted: a drain stopped the session mid-run; the job keeps
+	// its budget reservation and resumes from its checkpoint on restart.
+	StateInterrupted State = "interrupted"
+	// StateDone: the session completed; Result is set.
+	StateDone State = "done"
+	// StateFailed: the session returned a non-recoverable error; Err is set.
+	StateFailed State = "failed"
+)
+
+// terminal reports whether the state is an endpoint of the lifecycle.
+func (s State) terminal() bool { return s == StateDone || s == StateFailed }
+
+// ItemSpec is one explicit input element of a job.
+type ItemSpec struct {
+	Label string  `json:"label,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// JobSpec is the client-supplied description of one max-finding job. An
+// instance is either generated (N > 0: a uniform dataset of N values derived
+// from Seed, so the submission stays small and the restart can regenerate it
+// verbatim) or explicit (Items). Both forms are persisted in the job record;
+// together with Seed they make every job re-runnable bit-identically.
+type JobSpec struct {
+	// Tenant names the budget the job is billed to; empty means "default".
+	Tenant string `json:"tenant,omitempty"`
+	// N requests a generated uniform instance of this size (ignored when
+	// Items is set).
+	N int `json:"n,omitempty"`
+	// Items is the explicit instance; overrides N.
+	Items []ItemSpec `json:"items,omitempty"`
+	// Seed is the job's root random seed: it derives the generated dataset,
+	// the worker tie-breaking, and the phase-2 randomness.
+	Seed uint64 `json:"seed"`
+	// Un is the filter parameter un(n) (required, ≥ 1).
+	Un int `json:"un"`
+	// Ue is the expert-class analogue used to derive the simulated expert's
+	// threshold; defaults to max(1, Un/2).
+	Ue int `json:"ue,omitempty"`
+}
+
+// maxInstance bounds the accepted instance size; a service should not let
+// one request allocate arbitrarily.
+const maxInstance = 1 << 20
+
+// normalize validates the spec and fills defaults in place.
+func (sp *JobSpec) normalize() error {
+	if sp.Tenant == "" {
+		sp.Tenant = "default"
+	}
+	if len(sp.Items) > 0 {
+		sp.N = 0
+	}
+	n := sp.N + len(sp.Items)
+	if n < 2 {
+		return errors.New("instance needs at least 2 items (set n or items)")
+	}
+	if n > maxInstance {
+		return fmt.Errorf("instance size %d exceeds the cap %d", n, maxInstance)
+	}
+	if sp.Un < 1 {
+		return errors.New("un must be ≥ 1")
+	}
+	if sp.Ue < 0 {
+		return errors.New("ue must be ≥ 0")
+	}
+	if sp.Ue == 0 {
+		sp.Ue = max(1, sp.Un/2)
+	}
+	return nil
+}
+
+// size returns the instance size.
+func (sp *JobSpec) size() int {
+	if len(sp.Items) > 0 {
+		return len(sp.Items)
+	}
+	return sp.N
+}
+
+// JobResult is the outcome of a completed job — the subset of
+// crowdmax.Result the API reports and the record persists.
+type JobResult struct {
+	BestID            int     `json:"best_id"`
+	BestLabel         string  `json:"best_label,omitempty"`
+	BestValue         float64 `json:"best_value"`
+	Candidates        int     `json:"candidates"`
+	NaiveComparisons  int64   `json:"naive_comparisons"`
+	ExpertComparisons int64   `json:"expert_comparisons"`
+	Cost              float64 `json:"cost"`
+	Rung              string  `json:"rung"`
+	Guarantee         string  `json:"guarantee"`
+	Phase1Complete    bool    `json:"phase1_complete"`
+}
+
+// Job is one submitted max-finding run. Mutable fields (state, result,
+// error) are guarded by mu; the spec, ID, and reservation are immutable
+// after admission.
+type Job struct {
+	// ID is the server-assigned job identifier.
+	ID string
+	// Spec is the admitted (normalized) submission.
+	Spec JobSpec
+	// ReservedNaive and ReservedExpert are the worst-case comparison counts
+	// pre-charged to the tenant budget at admission; the unspent part is
+	// refunded when the job reaches a terminal state.
+	ReservedNaive, ReservedExpert int64
+
+	mu     sync.Mutex
+	state  State
+	errMsg string
+	result *JobResult
+
+	// events buffers the job's JSONL trace for streaming readers; trace is
+	// the tracer writing into it (one per job, so event sequence numbers
+	// run continuously across the job's lifecycle).
+	events *eventLog
+	trace  *obs.Tracer
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns a copy of the job's result and true when it completed.
+func (j *Job) Result() (JobResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return JobResult{}, false
+	}
+	return *j.result, true
+}
+
+// Err returns the failure message of a failed job ("" otherwise).
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errMsg
+}
+
+// setState transitions the job's state (and error message, for
+// StateFailed) under the job lock.
+func (j *Job) setState(s State, errMsg string) {
+	j.mu.Lock()
+	j.state = s
+	j.errMsg = errMsg
+	j.mu.Unlock()
+}
+
+// setResult records a completed run's outcome.
+func (j *Job) setResult(r JobResult) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.result = &r
+	j.mu.Unlock()
+}
+
+// attachLog gives the job a fresh event log and its tracer. Event history
+// does not survive a restart — a recovered job's stream starts over with
+// its recovery events.
+func (j *Job) attachLog() {
+	j.events = newEventLog()
+	j.trace = obs.NewTracer(j.events)
+}
+
+// Job records are framed in the checkpoint container format under their own
+// magic, so a bit-flipped or truncated record fails closed (ErrCorrupt)
+// exactly like a session snapshot instead of resurrecting a corrupt job.
+const (
+	recordMagic   = "CMJR"
+	recordVersion = 1
+)
+
+// encodeRecord renders the job's durable fields in the record format.
+// Callers must not hold j.mu.
+func encodeRecord(j *Job) []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var b checkpoint.Builder
+	b.Str(j.ID)
+	b.Str(j.Spec.Tenant)
+	b.I64(int64(j.Spec.N))
+	b.U64(j.Spec.Seed)
+	b.I64(int64(j.Spec.Un))
+	b.I64(int64(j.Spec.Ue))
+	b.I64(int64(len(j.Spec.Items)))
+	for _, it := range j.Spec.Items {
+		b.Str(it.Label)
+		b.F64(it.Value)
+	}
+	b.I64(j.ReservedNaive)
+	b.I64(j.ReservedExpert)
+	b.Str(string(j.state))
+	b.Str(j.errMsg)
+	b.Bool(j.result != nil)
+	if r := j.result; r != nil {
+		b.I64(int64(r.BestID))
+		b.Str(r.BestLabel)
+		b.F64(r.BestValue)
+		b.I64(int64(r.Candidates))
+		b.I64(r.NaiveComparisons)
+		b.I64(r.ExpertComparisons)
+		b.F64(r.Cost)
+		b.Str(r.Rung)
+		b.Str(r.Guarantee)
+		b.Bool(r.Phase1Complete)
+	}
+	return checkpoint.SealEnvelope(recordMagic, recordVersion, b.Bytes())
+}
+
+// decodeRecord parses a job record, failing closed on any inconsistency.
+func decodeRecord(data []byte) (*Job, error) {
+	body, err := checkpoint.OpenEnvelope(recordMagic, recordVersion, data)
+	if err != nil {
+		return nil, err
+	}
+	r := checkpoint.NewReader(body)
+	j := &Job{}
+	j.attachLog()
+	j.ID = r.Str()
+	j.Spec.Tenant = r.Str()
+	j.Spec.N = int(r.I64())
+	j.Spec.Seed = r.U64()
+	j.Spec.Un = int(r.I64())
+	j.Spec.Ue = int(r.I64())
+	if n := r.Count(9); n > 0 { // ≥ 8-byte value + 1-byte length per item
+		j.Spec.Items = make([]ItemSpec, n)
+		for i := range j.Spec.Items {
+			j.Spec.Items[i] = ItemSpec{Label: r.Str(), Value: r.F64()}
+		}
+	}
+	j.ReservedNaive = r.I64()
+	j.ReservedExpert = r.I64()
+	j.state = State(r.Str())
+	j.errMsg = r.Str()
+	if r.Bool() {
+		res := &JobResult{}
+		res.BestID = int(r.I64())
+		res.BestLabel = r.Str()
+		res.BestValue = r.F64()
+		res.Candidates = int(r.I64())
+		res.NaiveComparisons = r.I64()
+		res.ExpertComparisons = r.I64()
+		res.Cost = r.F64()
+		res.Rung = r.Str()
+		res.Guarantee = r.Str()
+		res.Phase1Complete = r.Bool()
+		j.result = res
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	switch j.state {
+	case StateQueued, StateRunning, StateInterrupted, StateDone, StateFailed:
+	default:
+		return nil, fmt.Errorf("%w: record names unknown state %q", checkpoint.ErrCorrupt, j.state)
+	}
+	return j, nil
+}
+
+// buildSet materializes the job's problem instance: the explicit items, or
+// the uniform dataset its seed derives. Both are pure functions of the
+// persisted spec, which is what lets a restarted server regenerate the
+// exact instance a checkpoint fingerprints (Resume verifies the items
+// hash).
+func buildSet(sp JobSpec) *crowdmax.Set {
+	if len(sp.Items) > 0 {
+		items := make([]crowdmax.Item, len(sp.Items))
+		for i, it := range sp.Items {
+			items[i] = crowdmax.Item{ID: i, Label: it.Label, Value: it.Value}
+		}
+		return crowdmax.NewSetItems(items)
+	}
+	return uniformSet(sp.N, crowdmax.NewRand(sp.Seed).Child("data"))
+}

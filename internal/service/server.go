@@ -1,0 +1,573 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"crowdmax"
+	"crowdmax/internal/core"
+	"crowdmax/internal/dataset"
+	"crowdmax/internal/obs"
+)
+
+// ErrDraining is returned by Submit once a drain has begun; the HTTP layer
+// maps it to 503.
+var ErrDraining = errors.New("service: server is draining")
+
+// ErrBadRequest wraps job-spec validation failures; the HTTP layer maps it
+// to 400.
+var ErrBadRequest = errors.New("service: invalid job spec")
+
+// RejectError is an admission refusal — the server or tenant is at capacity
+// right now, and the client should retry after RetryAfter. The HTTP layer
+// maps it to 429 with a Retry-After header.
+type RejectError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("service: rejected: %s (retry after %s)", e.Reason, e.RetryAfter)
+}
+
+// TenantLimits caps one tenant's concurrent jobs and cumulative spend.
+// Monetary and count caps are enforced by a dispatch.Budget fed with
+// worst-case reservations at admission, so a tenant can never be admitted
+// into work its caps cannot cover. The zero value is unlimited.
+type TenantLimits struct {
+	// MaxJobs caps the tenant's admitted-but-unfinished jobs; 0 = unlimited.
+	MaxJobs int
+	// MaxNaive / MaxExpert / MaxTotal cap cumulative comparisons across all
+	// of the tenant's jobs; 0 = unlimited.
+	MaxNaive, MaxExpert, MaxTotal int64
+	// MaxCost caps cumulative monetary spend under the server prices;
+	// 0 = unlimited.
+	MaxCost float64
+}
+
+func (l TenantLimits) isZero() bool { return l == TenantLimits{} }
+
+// Options configures a Server.
+type Options struct {
+	// Dir is the state directory: job records under Dir/jobs, session
+	// checkpoints under Dir/ck. Required.
+	Dir string
+	// MaxConcurrent caps concurrently admitted (queued or running) sessions;
+	// submissions past the cap are rejected 429. Default 8.
+	MaxConcurrent int
+	// Prices values naïve and expert comparisons for job costs and tenant
+	// monetary caps. Default {Naive: 1, Expert: 10}.
+	Prices crowdmax.Prices
+	// DefaultTenant is the cap set applied to tenants without an entry in
+	// Tenants. The zero value is unlimited.
+	DefaultTenant TenantLimits
+	// Tenants overrides DefaultTenant per tenant name.
+	Tenants map[string]TenantLimits
+	// CmpLatency, when > 0, sleeps this long inside every comparison —
+	// emulating crowd round-trips so smoke tests can hold jobs in flight
+	// deterministically. It never changes answers or costs.
+	CmpLatency time.Duration
+	// CheckpointEvery is the per-job snapshot interval in paid comparisons
+	// (besides phase boundaries). Default 64.
+	CheckpointEvery int
+	// RetryAfter is the backoff hint attached to 429 rejections. Default 1s.
+	RetryAfter time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// tenant is one tenant's live admission state.
+type tenant struct {
+	mu     sync.Mutex
+	jobs   int      // admitted and not yet settled
+	max    int      // MaxJobs cap; 0 = unlimited
+	budget *crowdmax.Budget // nil = unlimited
+}
+
+// Server is the long-running multi-tenant max-finding service: a pool of
+// concurrent Sessions behind admission control, a persistent job store, and
+// graceful drain. Create with NewServer, expose with Handler, stop with
+// Drain.
+type Server struct {
+	opt   Options
+	store *store
+
+	// slots is the session-concurrency semaphore: Submit acquires
+	// non-blocking (full ⇒ 429), restart recovery acquires blocking.
+	slots chan struct{}
+
+	tmu     sync.Mutex
+	tenants map[string]*tenant
+
+	seqMu sync.Mutex
+	seq   int64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   bool
+	admitMu    sync.Mutex // serializes admission vs. drain flip
+	wg         sync.WaitGroup
+}
+
+// NewServer loads the state directory, rebuilds tenant budgets from the
+// records found there, schedules every non-terminal job for resume, and
+// returns a serving-ready server.
+func NewServer(opt Options) (*Server, error) {
+	if opt.Dir == "" {
+		return nil, errors.New("service: Options.Dir is required")
+	}
+	if opt.MaxConcurrent <= 0 {
+		opt.MaxConcurrent = 8
+	}
+	if opt.Prices == (crowdmax.Prices{}) {
+		opt.Prices = crowdmax.Prices{Naive: 1, Expert: 10}
+	}
+	if opt.CheckpointEvery <= 0 {
+		opt.CheckpointEvery = 64
+	}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = time.Second
+	}
+	st, err := newStore(filepath.Join(opt.Dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(opt.Dir, "ck"), 0o755); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opt:        opt,
+		store:      st,
+		slots:      make(chan struct{}, opt.MaxConcurrent),
+		tenants:    make(map[string]*tenant),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	if err := s.recover(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// logf writes one operational log line.
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// tenant returns (creating on first use) the named tenant's admission state.
+func (s *Server) tenant(name string) *tenant {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	lim, ok := s.opt.Tenants[name]
+	if !ok {
+		lim = s.opt.DefaultTenant
+	}
+	t := &tenant{max: lim.MaxJobs}
+	if lim.MaxNaive > 0 || lim.MaxExpert > 0 || lim.MaxTotal > 0 || lim.MaxCost > 0 {
+		t.budget = crowdmax.NewBudget(crowdmax.BudgetLimits{
+			MaxNaive:  lim.MaxNaive,
+			MaxExpert: lim.MaxExpert,
+			MaxTotal:  lim.MaxTotal,
+			MaxCost:   lim.MaxCost,
+			Prices:    s.opt.Prices,
+		})
+	}
+	s.tenants[name] = t
+	return t
+}
+
+// reservation computes the worst-case per-class comparison counts a job
+// could spend — the amount admission pre-charges. The naïve side is the
+// filter bound (Lemma 3) plus a full all-play-all over the candidate-set
+// bound (the naive-majority degradation rung); the expert side is the
+// larger of the 2-MaxFind bound (Theorem 1) and the randomized rung's
+// pessimistic estimate. Every quality-ladder rung spends within this
+// envelope, so the refund at settlement is never negative.
+func reservation(sp JobSpec) (naive, expert int64) {
+	n, un := sp.size(), sp.Un
+	cs := int64(core.CandidateSetBound(un))
+	naive = int64(math.Ceil(core.Phase1UpperBound(n, un))) + cs*(cs-1)/2
+	expert = int64(math.Ceil(core.Phase2ExpertUpperBound(un)))
+	if alt := 160 * cs; alt > expert {
+		expert = alt
+	}
+	return naive, expert
+}
+
+// Submit validates, admits, and starts one job. The admission sequence is
+// slot → tenant job cap → tenant budget reservation, each step rolled back
+// if a later one refuses; on success the job is persisted as queued and its
+// session starts on a pool goroutine. Errors: ErrBadRequest (invalid spec),
+// ErrDraining (shutdown begun), *RejectError (capacity; retry later).
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+
+	// The admit lock makes "reject new work after the drain flag flips"
+	// atomic with the flip itself: Drain takes the same lock, so no
+	// submission can be mid-admission when the base context is cancelled.
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+
+	// Slot: the server-wide concurrent-session cap.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		return nil, &RejectError{
+			Reason:     fmt.Sprintf("server at max concurrent sessions (%d)", s.opt.MaxConcurrent),
+			RetryAfter: s.opt.RetryAfter,
+		}
+	}
+
+	// Tenant job-count cap.
+	t := s.tenant(spec.Tenant)
+	t.mu.Lock()
+	if t.max > 0 && t.jobs+1 > t.max {
+		t.mu.Unlock()
+		<-s.slots
+		return nil, &RejectError{
+			Reason:     fmt.Sprintf("tenant %q at max concurrent jobs (%d)", spec.Tenant, t.max),
+			RetryAfter: s.opt.RetryAfter,
+		}
+	}
+	t.jobs++
+	t.mu.Unlock()
+
+	// Tenant budget: pre-charge the worst case, all-or-nothing.
+	rn, re := reservation(spec)
+	if err := t.budget.Spend(crowdmax.Naive, rn); err != nil {
+		s.unadmit(t, 0, 0)
+		return nil, &RejectError{
+			Reason:     fmt.Sprintf("tenant %q budget: %v", spec.Tenant, err),
+			RetryAfter: s.opt.RetryAfter,
+		}
+	}
+	if err := t.budget.Spend(crowdmax.Expert, re); err != nil {
+		s.unadmit(t, rn, 0)
+		return nil, &RejectError{
+			Reason:     fmt.Sprintf("tenant %q budget: %v", spec.Tenant, err),
+			RetryAfter: s.opt.RetryAfter,
+		}
+	}
+
+	j := &Job{
+		ID:             s.nextID(),
+		Spec:           spec,
+		ReservedNaive:  rn,
+		ReservedExpert: re,
+		state:          StateQueued,
+	}
+	j.attachLog()
+	s.store.put(j)
+	if err := s.store.persist(j); err != nil {
+		s.unadmit(t, rn, re)
+		return nil, err
+	}
+	scope := s.scope(j)
+	scope.Event("job", obs.Fs("state", "queued"),
+		obs.Fs("tenant", spec.Tenant), obs.Fi("n", int64(spec.size())),
+		obs.Fi("un", int64(spec.Un)), obs.Fi("reserved_naive", rn), obs.Fi("reserved_expert", re))
+	s.wg.Add(1)
+	go s.runJob(j, false)
+	return j, nil
+}
+
+// unadmit rolls an admission back: slot, tenant job count, and any part of
+// the budget reservation already charged.
+func (s *Server) unadmit(t *tenant, rn, re int64) {
+	t.budget.Refund(crowdmax.Naive, rn)
+	t.budget.Refund(crowdmax.Expert, re)
+	t.mu.Lock()
+	t.jobs--
+	t.mu.Unlock()
+	<-s.slots
+}
+
+// nextID allocates the next job ID.
+func (s *Server) nextID() string {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	s.seq++
+	return fmt.Sprintf("j%08d", s.seq)
+}
+
+// scope returns the job's tracer scope: events written through it land in
+// the job's streamable event log, in the obs JSONL wire format.
+func (s *Server) scope(j *Job) *obs.Scope {
+	return j.trace.Scope(j.ID, j.Spec.Seed)
+}
+
+// ckPath is the job's session-checkpoint file.
+func (s *Server) ckPath(id string) string {
+	return filepath.Join(s.opt.Dir, "ck", id+".ck")
+}
+
+// latencyWorker wraps a comparator with a fixed sleep per call, emulating a
+// crowd round-trip. Answers are untouched, so determinism and resume
+// invariants hold.
+type latencyWorker struct {
+	inner crowdmax.Comparator
+	d     time.Duration
+}
+
+func (w *latencyWorker) Compare(a, b crowdmax.Item) crowdmax.Item {
+	time.Sleep(w.d)
+	return w.inner.Compare(a, b)
+}
+
+// uniformSet generates the job's uniform dataset from its derived stream.
+func uniformSet(n int, r *crowdmax.Rand) *crowdmax.Set {
+	return dataset.Uniform(n, 0, 1, r)
+}
+
+// session builds the job's Session: deterministic threshold workers with
+// order-independent hash tie-breaking (the resume invariant), per-job
+// checkpointing, graceful degradation, and progress hooks feeding the
+// job's event stream.
+func (s *Server) session(j *Job, set *crowdmax.Set, scope *obs.Scope) (*crowdmax.Session, error) {
+	dn, err := set.DeltaForU(min(j.Spec.Un, set.Len()))
+	if err != nil {
+		return nil, err
+	}
+	de, err := set.DeltaForU(min(j.Spec.Ue, set.Len()))
+	if err != nil {
+		return nil, err
+	}
+	var naive crowdmax.Comparator = &crowdmax.ThresholdWorker{Delta: dn, Tie: crowdmax.HashTie{Seed: j.Spec.Seed}}
+	var expert crowdmax.Comparator = &crowdmax.ThresholdWorker{Delta: de, Tie: crowdmax.HashTie{Seed: j.Spec.Seed + 1}}
+	if s.opt.CmpLatency > 0 {
+		naive = &latencyWorker{inner: naive, d: s.opt.CmpLatency}
+		expert = &latencyWorker{inner: expert, d: s.opt.CmpLatency}
+	}
+	return crowdmax.NewSession(crowdmax.Config{
+		Naive:      naive,
+		Expert:     expert,
+		Un:         j.Spec.Un,
+		Prices:     s.opt.Prices,
+		Rand:       crowdmax.NewRand(j.Spec.Seed),
+		Checkpoint: crowdmax.CheckpointConfig{Path: s.ckPath(j.ID), Every: s.opt.CheckpointEvery},
+		Degrade:    &crowdmax.DegradeConfig{},
+		OnPhase: func(phase string, survivors []crowdmax.Item) {
+			scope.Event("phase", obs.Fs("phase", phase), obs.Fi("survivors", int64(len(survivors))))
+		},
+		OnDecision: func(d crowdmax.DegradeDecision) {
+			scope.Event("degrade", obs.Fs("point", d.Point), obs.Fs("from", d.From),
+				obs.Fs("to", d.To), obs.Fi("dir", int64(d.Direction())))
+		},
+	})
+}
+
+// runJob executes one admitted job to a terminal or interrupted state. It
+// owns the job's slot and waitgroup entry.
+func (s *Server) runJob(j *Job, resume bool) {
+	defer s.wg.Done()
+	defer func() { <-s.slots }()
+
+	scope := s.scope(j)
+	j.setState(StateRunning, "")
+	s.persistLogged(j)
+	scope.Event("job", obs.Fs("state", "running"))
+
+	set := buildSet(j.Spec)
+	sess, err := s.session(j, set, scope)
+	if err != nil {
+		s.finishFailed(j, scope, crowdmax.Result{}, err)
+		return
+	}
+	var res crowdmax.Result
+	ck := s.ckPath(j.ID)
+	if resume {
+		if _, statErr := os.Stat(ck); statErr == nil {
+			res, err = sess.Resume(s.baseCtx, ck, set.Items())
+		} else {
+			// Drained before the first snapshot landed: run fresh.
+			res, err = sess.FindMaxContext(s.baseCtx, set.Items())
+		}
+	} else {
+		res, err = sess.FindMaxContext(s.baseCtx, set.Items())
+	}
+
+	switch {
+	case err == nil:
+		s.finishDone(j, scope, res)
+	case errors.Is(err, context.Canceled):
+		// Only a drain cancels the base context: the job stops at its last
+		// durable checkpoint, keeps its reservation, and resumes on restart.
+		j.setState(StateInterrupted, "")
+		s.persistLogged(j)
+		scope.Event("job", obs.Fs("state", "interrupted"))
+		j.events.close()
+		s.logf("job %s interrupted (drain); checkpoint %s", j.ID, ck)
+	default:
+		s.finishFailed(j, scope, res, err)
+	}
+}
+
+// finishDone settles a completed job: validate the guarantee label, record
+// the result, refund the unspent reservation, release the tenant, persist.
+func (s *Server) finishDone(j *Job, scope *obs.Scope, res crowdmax.Result) {
+	if strongest, ok := crowdmax.StrongestGuaranteeFor(res.Rung); !ok {
+		s.finishFailed(j, scope, res, fmt.Errorf("result names unknown rung %q", res.Rung))
+		return
+	} else if res.Guarantee.Strength() > strongest.Strength() {
+		s.finishFailed(j, scope, res, fmt.Errorf("label %q is stronger than rung %q can deliver", res.Guarantee, res.Rung))
+		return
+	}
+	j.setResult(JobResult{
+		BestID:            res.Best.ID,
+		BestLabel:         res.Best.Label,
+		BestValue:         res.Best.Value,
+		Candidates:        len(res.Candidates),
+		NaiveComparisons:  res.NaiveComparisons,
+		ExpertComparisons: res.ExpertComparisons,
+		Cost:              res.Cost,
+		Rung:              res.Rung,
+		Guarantee:         string(res.Guarantee),
+	})
+	j.mu.Lock()
+	j.result.Phase1Complete = res.Phase1Complete
+	j.mu.Unlock()
+	s.settle(j, res)
+	s.persistLogged(j)
+	scope.Event("job", obs.Fs("state", "done"), obs.Fs("rung", res.Rung),
+		obs.Fs("guarantee", string(res.Guarantee)),
+		obs.Fi("naive", res.NaiveComparisons), obs.Fi("expert", res.ExpertComparisons))
+	j.events.close()
+}
+
+// finishFailed settles a failed job.
+func (s *Server) finishFailed(j *Job, scope *obs.Scope, res crowdmax.Result, err error) {
+	j.setState(StateFailed, err.Error())
+	s.settle(j, res)
+	s.persistLogged(j)
+	scope.Event("job", obs.Fs("state", "failed"), obs.Fs("error", err.Error()))
+	j.events.close()
+	s.logf("job %s failed: %v", j.ID, err)
+}
+
+// settle refunds the unspent part of the job's reservation (clamped at the
+// actual spend, so a reservation can never be refunded past what was
+// charged) and releases the tenant's job count.
+func (s *Server) settle(j *Job, res crowdmax.Result) {
+	t := s.tenant(j.Spec.Tenant)
+	if dn := j.ReservedNaive - res.NaiveComparisons; dn > 0 {
+		t.budget.Refund(crowdmax.Naive, dn)
+	}
+	if de := j.ReservedExpert - res.ExpertComparisons; de > 0 {
+		t.budget.Refund(crowdmax.Expert, de)
+	}
+	t.mu.Lock()
+	t.jobs--
+	t.mu.Unlock()
+}
+
+// persistLogged persists the job record, logging (rather than failing the
+// job) on I/O errors: the in-memory state stays authoritative for clients,
+// and the next transition retries the write.
+func (s *Server) persistLogged(j *Job) {
+	if err := s.store.persist(j); err != nil {
+		s.logf("%v", err)
+	}
+}
+
+// recover rebuilds tenant state from the loaded records and schedules every
+// non-terminal job for resume. Terminal jobs re-charge their actual spend
+// to the tenant budget; non-terminal jobs re-charge their full reservation
+// (Preload — restoring admitted spend cannot be refused) and re-enter the
+// run pool behind a blocking slot acquire.
+func (s *Server) recover() error {
+	jobs, err := s.store.load()
+	if err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if n, perr := strconv.ParseInt(strings.TrimPrefix(j.ID, "j"), 10, 64); perr == nil && n > s.seq {
+			s.seq = n
+		}
+		t := s.tenant(j.Spec.Tenant)
+		if j.State().terminal() {
+			if r, ok := j.Result(); ok {
+				t.budget.Preload(crowdmax.Naive, r.NaiveComparisons)
+				t.budget.Preload(crowdmax.Expert, r.ExpertComparisons)
+			}
+			continue
+		}
+		t.budget.Preload(crowdmax.Naive, j.ReservedNaive)
+		t.budget.Preload(crowdmax.Expert, j.ReservedExpert)
+		t.mu.Lock()
+		t.jobs++
+		t.mu.Unlock()
+		j.setState(StateInterrupted, "")
+		if err := s.store.persist(j); err != nil {
+			return err
+		}
+		s.logf("job %s recovered; resuming", j.ID)
+		s.wg.Add(1)
+		go func(j *Job) {
+			select {
+			case s.slots <- struct{}{}:
+			case <-s.baseCtx.Done():
+				// Drained again before a slot freed: stay interrupted.
+				s.wg.Done()
+				return
+			}
+			s.runJob(j, true)
+		}(j)
+	}
+	return nil
+}
+
+// Job returns the job by ID, or nil.
+func (s *Server) Job(id string) *Job { return s.store.get(id) }
+
+// Jobs returns every job, sorted by ID.
+func (s *Server) Jobs() []*Job { return s.store.all() }
+
+// Draining reports whether a drain has begun.
+func (s *Server) Draining() bool {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the server down: admissions stop (Submit returns
+// ErrDraining), every running session is cancelled — each stops at its last
+// durable checkpoint and is persisted as interrupted — and Drain returns
+// once all jobs have settled, or with ctx's error if they do not settle in
+// time. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.admitMu.Lock()
+	s.draining = true
+	s.admitMu.Unlock()
+	s.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain did not settle in time: %w", ctx.Err())
+	}
+}

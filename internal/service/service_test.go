@@ -1,0 +1,309 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdmax"
+	"crowdmax/internal/checkpoint"
+)
+
+// testServer builds a server over a fresh state directory.
+func testServer(t *testing.T, dir string, mutate func(*Options)) *Server {
+	t.Helper()
+	opt := Options{Dir: dir}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	s, err := NewServer(opt)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return s
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, j *Job, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !j.State().terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q after %s", j.ID, j.State(), timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestJobCompletesWithHonestLabel(t *testing.T) {
+	s := testServer(t, t.TempDir(), nil)
+	defer s.Drain(context.Background())
+
+	j, err := s.Submit(JobSpec{N: 120, Seed: 7, Un: 5})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitTerminal(t, j, 30*time.Second)
+	if st := j.State(); st != StateDone {
+		t.Fatalf("state = %q (err %q), want done", st, j.Err())
+	}
+	res, ok := j.Result()
+	if !ok {
+		t.Fatal("done job has no result")
+	}
+	strongest, known := crowdmax.StrongestGuaranteeFor(res.Rung)
+	if !known {
+		t.Fatalf("result names unknown rung %q", res.Rung)
+	}
+	if crowdmax.Guarantee(res.Guarantee).Strength() > strongest.Strength() {
+		t.Fatalf("label %q stronger than rung %q allows (%q)", res.Guarantee, res.Rung, strongest)
+	}
+	if res.NaiveComparisons <= 0 {
+		t.Fatalf("no naive comparisons recorded: %+v", res)
+	}
+	if res.NaiveComparisons > j.ReservedNaive || res.ExpertComparisons > j.ReservedExpert {
+		t.Fatalf("spend (%d, %d) exceeded reservation (%d, %d)",
+			res.NaiveComparisons, res.ExpertComparisons, j.ReservedNaive, j.ReservedExpert)
+	}
+}
+
+func TestExplicitItemsJob(t *testing.T) {
+	s := testServer(t, t.TempDir(), nil)
+	defer s.Drain(context.Background())
+
+	items := make([]ItemSpec, 40)
+	for i := range items {
+		items[i] = ItemSpec{Label: "it", Value: float64(i) / 40}
+	}
+	items[17].Label, items[17].Value = "winner", 9.5
+	j, err := s.Submit(JobSpec{Items: items, Seed: 3, Un: 3})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitTerminal(t, j, 30*time.Second)
+	res, ok := j.Result()
+	if !ok {
+		t.Fatalf("state = %q err %q", j.State(), j.Err())
+	}
+	if res.BestLabel != "winner" {
+		t.Fatalf("best = %q (value %g), want the planted winner", res.BestLabel, res.BestValue)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := testServer(t, t.TempDir(), nil)
+	defer s.Drain(context.Background())
+
+	for _, spec := range []JobSpec{
+		{},                      // no instance
+		{N: 1, Un: 1},           // too small
+		{N: 100, Un: 0},         // un < 1
+		{N: maxInstance + 1, Un: 4},
+	} {
+		if _, err := s.Submit(spec); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("Submit(%+v) err = %v, want ErrBadRequest", spec, err)
+		}
+	}
+}
+
+func TestAdmissionSlotCap(t *testing.T) {
+	s := testServer(t, t.TempDir(), func(o *Options) {
+		o.MaxConcurrent = 1
+		o.CmpLatency = 20 * time.Millisecond // hold the slot
+	})
+	defer s.Drain(context.Background())
+
+	j1, err := s.Submit(JobSpec{N: 60, Seed: 1, Un: 4})
+	if err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	var rej *RejectError
+	if _, err := s.Submit(JobSpec{N: 60, Seed: 2, Un: 4}); !errors.As(err, &rej) {
+		t.Fatalf("second Submit err = %v, want RejectError", err)
+	} else if !strings.Contains(rej.Reason, "max concurrent sessions") {
+		t.Fatalf("rejection reason %q", rej.Reason)
+	}
+	waitTerminal(t, j1, 60*time.Second)
+	// Slot released: a new submission is admitted again.
+	if _, err := s.Submit(JobSpec{N: 60, Seed: 3, Un: 4}); err != nil {
+		t.Fatalf("post-completion Submit: %v", err)
+	}
+}
+
+func TestAdmissionTenantCaps(t *testing.T) {
+	s := testServer(t, t.TempDir(), func(o *Options) {
+		o.CmpLatency = 20 * time.Millisecond
+		o.Tenants = map[string]TenantLimits{
+			"jobs-capped": {MaxJobs: 1},
+			"broke":       {MaxCost: 5}, // cannot cover any reservation
+		}
+	})
+	defer s.Drain(context.Background())
+
+	if _, err := s.Submit(JobSpec{Tenant: "jobs-capped", N: 60, Seed: 1, Un: 4}); err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	var rej *RejectError
+	if _, err := s.Submit(JobSpec{Tenant: "jobs-capped", N: 60, Seed: 2, Un: 4}); !errors.As(err, &rej) {
+		t.Fatalf("tenant job cap: err = %v, want RejectError", err)
+	} else if !strings.Contains(rej.Reason, "max concurrent jobs") {
+		t.Fatalf("rejection reason %q", rej.Reason)
+	}
+	if _, err := s.Submit(JobSpec{Tenant: "broke", N: 60, Seed: 3, Un: 4}); !errors.As(err, &rej) {
+		t.Fatalf("tenant budget: err = %v, want RejectError", err)
+	} else if !strings.Contains(rej.Reason, "budget") {
+		t.Fatalf("rejection reason %q", rej.Reason)
+	}
+	// An unrelated tenant is unaffected.
+	if _, err := s.Submit(JobSpec{Tenant: "solvent", N: 60, Seed: 4, Un: 4}); err != nil {
+		t.Fatalf("unrelated tenant Submit: %v", err)
+	}
+}
+
+func TestSettlementRefundsReservation(t *testing.T) {
+	s := testServer(t, t.TempDir(), func(o *Options) {
+		o.DefaultTenant = TenantLimits{MaxCost: 1e9}
+	})
+	defer s.Drain(context.Background())
+
+	j, err := s.Submit(JobSpec{N: 100, Seed: 11, Un: 4})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitTerminal(t, j, 30*time.Second)
+	res, ok := j.Result()
+	if !ok {
+		t.Fatalf("state %q err %q", j.State(), j.Err())
+	}
+	ten := s.tenant("default")
+	if got := ten.budget.Spent(crowdmax.Naive); got != res.NaiveComparisons {
+		t.Errorf("tenant naive spend after refund = %d, want the actual %d", got, res.NaiveComparisons)
+	}
+	if got := ten.budget.Spent(crowdmax.Expert); got != res.ExpertComparisons {
+		t.Errorf("tenant expert spend after refund = %d, want the actual %d", got, res.ExpertComparisons)
+	}
+	if got := ten.budget.SpentCost(); math.Abs(got-res.Cost) > 1e-6 {
+		t.Errorf("tenant monetary spend after refund = %g, want the actual cost %g", got, res.Cost)
+	}
+	ten.mu.Lock()
+	jobs := ten.jobs
+	ten.mu.Unlock()
+	if jobs != 0 {
+		t.Errorf("tenant job count after settlement = %d, want 0", jobs)
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	s := testServer(t, t.TempDir(), nil)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := s.Submit(JobSpec{N: 60, Seed: 1, Un: 4}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after drain err = %v, want ErrDraining", err)
+	}
+	// Idempotent.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	j := &Job{
+		ID: "j00000042",
+		Spec: JobSpec{
+			Tenant: "acme", N: 0, Seed: 99, Un: 6, Ue: 3,
+			Items: []ItemSpec{{Label: "a", Value: 0.25}, {Value: 0.75}},
+		},
+		ReservedNaive:  1234,
+		ReservedExpert: 567,
+		state:          StateDone,
+		result: &JobResult{
+			BestID: 1, BestLabel: "b", BestValue: 0.75, Candidates: 3,
+			NaiveComparisons: 100, ExpertComparisons: 9, Cost: 190,
+			Rung: "expert-2maxfind", Guarantee: "2δe", Phase1Complete: true,
+		},
+	}
+	j.attachLog()
+	data := encodeRecord(j)
+	got, err := decodeRecord(data)
+	if err != nil {
+		t.Fatalf("decodeRecord: %v", err)
+	}
+	if got.ID != j.ID || got.Spec.Tenant != "acme" || got.Spec.Seed != 99 ||
+		got.Spec.Un != 6 || got.Spec.Ue != 3 || len(got.Spec.Items) != 2 ||
+		got.Spec.Items[0] != j.Spec.Items[0] || got.Spec.Items[1] != j.Spec.Items[1] ||
+		got.ReservedNaive != 1234 || got.ReservedExpert != 567 || got.state != StateDone {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if got.result == nil || *got.result != *j.result {
+		t.Fatalf("result mismatch: %+v", got.result)
+	}
+
+	// Fail-closed on corruption: flip one payload byte.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0x40
+	if _, err := decodeRecord(bad); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("corrupted record err = %v, want ErrCorrupt", err)
+	}
+	// Wrong magic (a session checkpoint is not a job record).
+	wrong := append([]byte(nil), data...)
+	copy(wrong, "CMCK")
+	if _, err := decodeRecord(wrong); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("wrong-magic err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEventLogFollow(t *testing.T) {
+	l := newEventLog()
+	l.Write([]byte("one\n"))
+	chunk, done, changed := l.since(0)
+	if string(chunk) != "one\n" || done {
+		t.Fatalf("since(0) = %q done=%v", chunk, done)
+	}
+	go func() {
+		l.Write([]byte("two\n"))
+		l.close()
+	}()
+	off := len(chunk)
+	for {
+		chunk, done, changed = l.since(off)
+		off += len(chunk)
+		if len(chunk) == 0 && done {
+			break
+		}
+		if len(chunk) == 0 {
+			<-changed
+		}
+	}
+	all, _, _ := l.since(0)
+	if string(all) != "one\ntwo\n" {
+		t.Fatalf("final buffer %q", all)
+	}
+	l.close() // idempotent
+}
+
+func TestEventsCarryLifecycle(t *testing.T) {
+	s := testServer(t, t.TempDir(), nil)
+	defer s.Drain(context.Background())
+	j, err := s.Submit(JobSpec{N: 80, Seed: 5, Un: 4})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitTerminal(t, j, 30*time.Second)
+	buf, done, _ := j.events.since(0)
+	if !done {
+		t.Fatal("event log not closed after terminal state")
+	}
+	trace := string(buf)
+	for _, want := range []string{
+		`"ev":"job"`, `"state":"queued"`, `"state":"running"`, `"state":"done"`,
+		`"ev":"phase"`, `"phase":"phase1"`, `"trial":"` + j.ID + `"`, `"seq":1,`,
+	} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %s:\n%s", want, trace)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"crowdmax/internal/checkpoint"
+)
+
+// storeShards is the fan-out of the in-memory job index. Sharding bounds
+// lock contention when thousands of concurrent submissions and status polls
+// hit the store; each shard has its own RWMutex and map.
+const storeShards = 16
+
+// store is the sharded, persistent job index. The in-memory maps are the
+// read path; every durable transition additionally writes the job's record
+// — one envelope-framed file per job, via the checkpoint codec's atomic
+// write — so the set of records under dir is always a crash-consistent
+// snapshot of the server's jobs.
+type store struct {
+	dir    string
+	shards [storeShards]struct {
+		sync.RWMutex
+		m map[string]*Job
+	}
+}
+
+func newStore(dir string) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &store{dir: dir}
+	for i := range st.shards {
+		st.shards[i].m = make(map[string]*Job)
+	}
+	return st, nil
+}
+
+func (st *store) shard(id string) *struct {
+	sync.RWMutex
+	m map[string]*Job
+} {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &st.shards[h.Sum32()%storeShards]
+}
+
+// put indexes the job in memory (no disk write; see persist).
+func (st *store) put(j *Job) {
+	sh := st.shard(j.ID)
+	sh.Lock()
+	sh.m[j.ID] = j
+	sh.Unlock()
+}
+
+// get returns the job by ID, or nil.
+func (st *store) get(id string) *Job {
+	sh := st.shard(id)
+	sh.RLock()
+	defer sh.RUnlock()
+	return sh.m[id]
+}
+
+// all returns every job, sorted by ID for stable listings.
+func (st *store) all() []*Job {
+	var out []*Job
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.RLock()
+		for _, j := range sh.m {
+			out = append(out, j)
+		}
+		sh.RUnlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// recordPath is the job's durable record file.
+func (st *store) recordPath(id string) string {
+	return filepath.Join(st.dir, id+".job")
+}
+
+// persist writes the job's current durable state atomically. Called at
+// every state transition; a crash between transitions leaves the previous
+// complete record behind.
+func (st *store) persist(j *Job) error {
+	if err := checkpoint.WriteFileAtomic(st.recordPath(j.ID), encodeRecord(j), 0o644); err != nil {
+		return fmt.Errorf("service: persist job %s: %w", j.ID, err)
+	}
+	return nil
+}
+
+// load reads every record under dir into the store and returns the loaded
+// jobs. A corrupt record fails the load — refusing to start beats silently
+// dropping a tenant's job.
+func (st *store) load() ([]*Job, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*Job
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(st.dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		j, err := decodeRecord(data)
+		if err != nil {
+			return nil, fmt.Errorf("service: record %s: %w", e.Name(), err)
+		}
+		st.put(j)
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	return jobs, nil
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# server-smoke.sh — end-to-end smoke of the maxcrowdd service lifecycle:
+#
+#   1. boot on a random port, complete a batch over HTTP with honest
+#      guarantee labels (loadgen validates every label against its rung),
+#      SIGTERM the idle server → exit 0;
+#   2. SIGTERM with slowed jobs in flight → graceful drain (checkpoints and
+#      job records land) and exit 0 within the deadline;
+#   3. restart over the same state directory → the interrupted jobs resume
+#      and finish, so the drain lost no work.
+#
+# loadgen doubles as the HTTP client, so the script needs no curl or jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+SRV_PID=
+trap '[ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+echo "server-smoke: building maxcrowdd and loadgen"
+$GO build -o "$TMP/maxcrowdd" ./cmd/maxcrowdd
+$GO build -o "$TMP/loadgen" ./cmd/loadgen
+
+# wait_addr FILE — wait for maxcrowdd to write its bound address.
+wait_addr() {
+    for _ in $(seq 100); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "server-smoke: server never wrote $1" >&2
+    return 1
+}
+
+# 1. Batch completion with honest labels, then an idle drain.
+"$TMP/maxcrowdd" -addr 127.0.0.1:0 -addr-file "$TMP/addr1" -dir "$TMP/state1" &
+SRV_PID=$!
+wait_addr "$TMP/addr1"
+"$TMP/loadgen" -server "http://$(cat "$TMP/addr1")" -jobs 8 -n 80 -un 4 -concurrency 4
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" # set -e: a non-zero exit fails the script
+echo "server-smoke: batch completed, idle drain exited 0"
+
+# 2. Drain with work in flight: per-comparison latency keeps the four jobs
+# running when the signal lands.
+"$TMP/maxcrowdd" -addr 127.0.0.1:0 -addr-file "$TMP/addr2" -dir "$TMP/state2" \
+    -cmp-latency 20ms -drain-timeout 30s &
+SRV_PID=$!
+wait_addr "$TMP/addr2"
+"$TMP/loadgen" -server "http://$(cat "$TMP/addr2")" -jobs 4 -n 80 -un 4 -submit-only
+sleep 1 # a few comparison round-trips, so the drain lands mid-run
+START=$(date +%s)
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+ELAPSED=$(($(date +%s) - START))
+[ "$ELAPSED" -le 45 ] || { echo "server-smoke: drain took ${ELAPSED}s" >&2; exit 1; }
+RECORDS=$(ls "$TMP/state2/jobs" | wc -l)
+[ "$RECORDS" -eq 4 ] || { echo "server-smoke: want 4 job records, got $RECORDS" >&2; exit 1; }
+echo "server-smoke: loaded drain exited 0 in ${ELAPSED}s with all records persisted"
+
+# 3. Restart over the same state directory: interrupted jobs resume to done.
+"$TMP/maxcrowdd" -addr 127.0.0.1:0 -addr-file "$TMP/addr3" -dir "$TMP/state2" &
+SRV_PID=$!
+wait_addr "$TMP/addr3"
+"$TMP/loadgen" -server "http://$(cat "$TMP/addr3")" -wait-all -timeout 2m
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+SRV_PID=
+echo "server-smoke: ok"

@@ -89,6 +89,17 @@ type Config struct {
 	// run's round latency without changing its answers, paid comparison
 	// counts, or monetary cost.
 	Scheduler SchedulerKind
+	// OnPhase, when set, observes algorithm phase boundaries: it is called
+	// with "start" (empty survivor set) as the run begins, "phase1" with the
+	// filter's candidate set, and "done" with the final survivors. Services
+	// use it to stream per-job progress. It composes with checkpointing —
+	// the boundary snapshot is written before the observer runs, so the
+	// observer only ever sees durable states.
+	OnPhase func(phase string, survivors []Item)
+	// OnDecision, when set, observes every degrade-controller decision as it
+	// is appended to the log, after the process-metrics forwarding. A no-op
+	// unless Config.Degrade is set.
+	OnDecision func(d DegradeDecision)
 }
 
 // Session runs the two-phase algorithm with a fixed worker configuration
@@ -294,6 +305,9 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 		// interval resumable; phase boundaries refresh it.
 		ck.boundary("start", nil)
 	}
+	if s.cfg.OnPhase != nil {
+		s.cfg.OnPhase("start", nil)
+	}
 
 	if ctl != nil {
 		return s.findMaxDegraded(ctx, items, no, eo, ctl, ck, budget, expertPool, r, runLedger)
@@ -306,9 +320,7 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 		Randomized:  core.RandomizedOptions{R: r.Child("phase2")},
 		Scheduler:   s.cfg.Scheduler,
 	}
-	if ck != nil {
-		opt.OnPhase = ck.boundary
-	}
+	opt.OnPhase = s.phaseHook(ck)
 	res, err := core.FindMax(ctx, items, no, eo, opt)
 	if err == nil && ck != nil {
 		// A boundary snapshot that failed to write cannot fail the run
@@ -366,11 +378,12 @@ func (s *Session) findMaxDegraded(ctx context.Context, items []Item, no, eo *Ora
 			if m := obs.Active(); m != nil {
 				m.DegradeDecision(d.Direction())
 			}
+			if s.cfg.OnDecision != nil {
+				s.cfg.OnDecision(d)
+			}
 		},
 	}
-	if ck != nil {
-		opt.OnPhase = ck.boundary
-	}
+	opt.OnPhase = s.phaseHook(ck)
 	out, err := degrade.Run(ctx, items, no, eo, ctl, opt)
 	if err == nil && ck != nil {
 		err = ck.Err()
@@ -393,6 +406,23 @@ func (s *Session) findMaxDegraded(ctx context.Context, items []Item, no, eo *Ora
 		Phase1Complete:    out.Phase1Complete,
 		Decisions:         out.Decisions,
 	}, err
+}
+
+// phaseHook composes the checkpoint writer's boundary snapshot with the
+// user's Config.OnPhase observer — snapshot first, so the observer never
+// reports a boundary that is not yet durable.
+func (s *Session) phaseHook(ck *ckWriter) func(phase string, survivors []Item) {
+	user := s.cfg.OnPhase
+	if ck == nil {
+		return user
+	}
+	if user == nil {
+		return ck.boundary
+	}
+	return func(phase string, survivors []Item) {
+		ck.boundary(phase, survivors)
+		user(phase, survivors)
+	}
 }
 
 // TotalCost returns the monetary cost accumulated across all FindMax runs
