@@ -5,7 +5,7 @@ RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/..
 
 # Total-coverage floor for the cover target, pinned a few points under the
 # measured total so genuine regressions fail without flaking on noise.
-COVER_FLOOR = 74.0
+COVER_FLOOR = 75.0
 
 .PHONY: build test race bench bench-matrix vet lint ci bench-smoke chaos-smoke soak-smoke server-smoke loadtest-smoke cover all clean
 
@@ -62,6 +62,7 @@ soak-smoke:
 	$(GO) run ./cmd/maxcrowd -n 400 -seed 7 -chaos expert-outage:1.0@600+ >/tmp/soak-smoke.out
 	grep -q "guarantee: δn (rung naive-majority)" /tmp/soak-smoke.out
 	$(GO) run ./cmd/soak -trials 8 -n 300 -seed 1
+	$(GO) run ./cmd/soak -trials 3 -n 300 -seed 1 -modes topk,score -plans "none;expert-outage:1.0@800+"
 
 # Service lifecycle end to end: boot maxcrowdd, complete a batch over HTTP
 # with honest labels, SIGTERM with work in flight (graceful drain, exit 0),
@@ -69,11 +70,15 @@ soak-smoke:
 server-smoke:
 	./scripts/server-smoke.sh
 
-# Loadtest the service in-process and gate the artifact (and the committed
-# one) through the kind:"service" schema. Same steps as the CI job.
+# Loadtest the service in-process — a plain max stream and a mixed
+# max/topk/score stream — and gate the artifacts (and the committed ones)
+# through the kind:"service" and kind:"workloads" schemas. Same steps as the
+# CI job.
 loadtest-smoke:
 	$(GO) run ./cmd/loadgen -jobs 200 -n 60 -un 4 -concurrency 32 -out /tmp/bench-service-smoke.json
-	$(GO) run ./cmd/benchcheck /tmp/bench-service-smoke.json results/BENCH_service.json
+	$(GO) run ./cmd/loadgen -jobs 60 -n 60 -un 4 -concurrency 16 -mix max,topk,score -out /tmp/bench-workloads-smoke.json
+	$(GO) run ./cmd/benchcheck /tmp/bench-service-smoke.json /tmp/bench-workloads-smoke.json \
+		results/BENCH_service.json results/BENCH_workloads.json
 
 # Total coverage with a pinned floor; coverage.out is the CI artifact.
 cover:

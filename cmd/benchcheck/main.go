@@ -1,4 +1,4 @@
-// Command benchcheck validates the repository's benchmark artifacts. Two
+// Command benchcheck validates the repository's benchmark artifacts. Four
 // schemas are recognized, dispatched on the optional top-level "kind" field:
 //
 //   - legacy timing reports written by benchrun -benchout (no kind field):
@@ -19,6 +19,10 @@
 //     completed, the rejection count and seed must be present (the run is
 //     not reproducible without them), and the latency quantiles must be
 //     ordered (p50 ≤ p99).
+//   - "workloads" mixed-workload loadtest reports written by cmd/loadgen -mix
+//     (BENCH_workloads.json): the service schema plus a mode mix and per-mode
+//     stats that must cover every mode in the mix, partition the job stream
+//     exactly, and carry ordered per-mode latency quantiles.
 //
 // It is CI's schema gate for the benchmark-smoke and loadtest-smoke jobs —
 // beyond the paired 1-core bound it checks shape, not speed, so it cannot
@@ -35,6 +39,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 type report struct {
@@ -94,6 +99,8 @@ func check(data []byte) []error {
 		return checkSchedMatrix(data)
 	case "service":
 		return checkService(data)
+	case "workloads":
+		return checkWorkloads(data)
 	default:
 		return []error{fmt.Errorf("unknown report kind %q", probe.Kind)}
 	}
@@ -282,23 +289,34 @@ func checkSchedMatrix(data []byte) []error {
 	return errs
 }
 
-// serviceReport mirrors cmd/loadgen's output schema. Required numerics are
-// pointers so "missing" and "zero" stay distinguishable.
+// serviceReport mirrors cmd/loadgen's output schema — both the kind:"service"
+// single-mode shape and the kind:"workloads" mixed-mode extension. Required
+// numerics are pointers so "missing" and "zero" stay distinguishable.
 type serviceReport struct {
-	Seed          *uint64  `json:"seed"`
-	Jobs          int      `json:"jobs"`
-	Completed     *int     `json:"completed"`
-	Failed        *int     `json:"failed"`
-	Rejected      *int64   `json:"rejected"`
-	WallSeconds   *float64 `json:"wall_seconds"`
-	JobsPerSec    *float64 `json:"jobs_per_sec"`
-	P50LatencyMS  *float64 `json:"p50_latency_ms"`
-	P99LatencyMS  *float64 `json:"p99_latency_ms"`
-	N             int      `json:"n"`
-	Un            int      `json:"un"`
-	Concurrency   int      `json:"concurrency"`
-	MaxConcurrent int      `json:"max_concurrent"`
-	Server        string   `json:"server"`
+	Seed          *uint64              `json:"seed"`
+	Jobs          int                  `json:"jobs"`
+	Completed     *int                 `json:"completed"`
+	Failed        *int                 `json:"failed"`
+	Rejected      *int64               `json:"rejected"`
+	WallSeconds   *float64             `json:"wall_seconds"`
+	JobsPerSec    *float64             `json:"jobs_per_sec"`
+	P50LatencyMS  *float64             `json:"p50_latency_ms"`
+	P99LatencyMS  *float64             `json:"p99_latency_ms"`
+	N             int                  `json:"n"`
+	Un            int                  `json:"un"`
+	Concurrency   int                  `json:"concurrency"`
+	MaxConcurrent int                  `json:"max_concurrent"`
+	Server        string               `json:"server"`
+	Mix           string               `json:"mix"`
+	PerMode       map[string]modeStats `json:"per_mode"`
+}
+
+type modeStats struct {
+	Jobs         int      `json:"jobs"`
+	Completed    *int     `json:"completed"`
+	Failed       *int     `json:"failed"`
+	P50LatencyMS *float64 `json:"p50_latency_ms"`
+	P99LatencyMS *float64 `json:"p99_latency_ms"`
 }
 
 func checkService(data []byte) []error {
@@ -306,6 +324,10 @@ func checkService(data []byte) []error {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return []error{fmt.Errorf("not valid JSON: %w", err)}
 	}
+	return checkServiceBase(&r)
+}
+
+func checkServiceBase(r *serviceReport) []error {
 	var errs []error
 	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
 	if r.Jobs < 1 {
@@ -370,6 +392,81 @@ func checkService(data []byte) []error {
 	}
 	if r.Server == "" {
 		fail("missing server")
+	}
+	return errs
+}
+
+// checkWorkloads validates the mixed-workload loadtest artifact: everything
+// the kind:"service" schema demands, plus a mode mix and per-mode stats that
+// cover every mode in the mix, partition the job stream exactly, and carry
+// ordered latency quantiles of their own — so a mode silently dropped from
+// the loadtest (or one whose jobs all failed) is a schema error, not a gap.
+func checkWorkloads(data []byte) []error {
+	var r serviceReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return []error{fmt.Errorf("not valid JSON: %w", err)}
+	}
+	errs := checkServiceBase(&r)
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+	if r.Mix == "" {
+		fail("missing mix")
+		return errs
+	}
+	if len(r.PerMode) == 0 {
+		fail("missing per_mode")
+		return errs
+	}
+	inMix := map[string]bool{}
+	for _, m := range strings.Split(r.Mix, ",") {
+		m = strings.TrimSpace(m)
+		if m != "max" && m != "topk" && m != "score" {
+			fail("mix names unknown mode %q", m)
+			continue
+		}
+		inMix[m] = true
+	}
+	for m := range inMix {
+		if _, ok := r.PerMode[m]; !ok {
+			fail("mode %s is in the mix but has no per_mode entry", m)
+		}
+	}
+	var sumJobs, sumDone, sumFailed int
+	for m, s := range r.PerMode {
+		if !inMix[m] {
+			fail("per_mode names mode %q outside the mix %q", m, r.Mix)
+			continue
+		}
+		if s.Completed == nil || s.Failed == nil || s.P50LatencyMS == nil || s.P99LatencyMS == nil {
+			fail("mode %s: missing completed/failed/latency fields", m)
+			continue
+		}
+		if s.Jobs < 1 {
+			fail("mode %s: jobs = %d, want >= 1", m, s.Jobs)
+		}
+		if *s.Completed != s.Jobs {
+			fail("mode %s: completed = %d of %d jobs", m, *s.Completed, s.Jobs)
+		}
+		if *s.Failed != 0 {
+			fail("mode %s: failed = %d, want 0", m, *s.Failed)
+		}
+		if *s.Completed > 0 && (*s.P50LatencyMS <= 0 || *s.P99LatencyMS <= 0) {
+			fail("mode %s: latency quantiles (p50 %g, p99 %g) must be > 0", m, *s.P50LatencyMS, *s.P99LatencyMS)
+		}
+		if *s.P50LatencyMS > *s.P99LatencyMS {
+			fail("mode %s: p50 latency %g exceeds p99 %g", m, *s.P50LatencyMS, *s.P99LatencyMS)
+		}
+		sumJobs += s.Jobs
+		sumDone += *s.Completed
+		sumFailed += *s.Failed
+	}
+	if sumJobs != r.Jobs {
+		fail("per_mode jobs sum to %d, report has %d", sumJobs, r.Jobs)
+	}
+	if r.Completed != nil && sumDone != *r.Completed {
+		fail("per_mode completed sum to %d, report has %d", sumDone, *r.Completed)
+	}
+	if r.Failed != nil && sumFailed != *r.Failed {
+		fail("per_mode failed sum to %d, report has %d", sumFailed, *r.Failed)
 	}
 	return errs
 }

@@ -224,6 +224,76 @@ func TestCheckServiceRejects(t *testing.T) {
 	}
 }
 
+// validWorkloads is a minimal well-formed mixed-workload loadtest report.
+const validWorkloads = `{
+  "kind": "workloads",
+  "seed": 1, "jobs": 12, "completed": 12, "failed": 0, "rejected": 3,
+  "wall_seconds": 0.4, "jobs_per_sec": 30.0,
+  "p50_latency_ms": 60.2, "p99_latency_ms": 110.9,
+  "n": 80, "un": 4, "concurrency": 16, "max_concurrent": 8,
+  "server": "in-process",
+  "mix": "max,topk,score",
+  "per_mode": {
+    "max":   {"jobs": 4, "completed": 4, "failed": 0, "p50_latency_ms": 70.1, "p99_latency_ms": 95.0},
+    "topk":  {"jobs": 4, "completed": 4, "failed": 0, "p50_latency_ms": 65.2, "p99_latency_ms": 110.9},
+    "score": {"jobs": 4, "completed": 4, "failed": 0, "p50_latency_ms": 55.9, "p99_latency_ms": 86.1}
+  }
+}`
+
+func TestCheckWorkloadsValid(t *testing.T) {
+	if errs := check([]byte(validWorkloads)); len(errs) != 0 {
+		t.Fatalf("valid workloads report rejected: %v", errs)
+	}
+}
+
+func TestCheckWorkloadsRejects(t *testing.T) {
+	mut := func(old, new string) string {
+		s := strings.Replace(validWorkloads, old, new, 1)
+		if s == validWorkloads {
+			t.Fatalf("mutation %q not applied", old)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"missing mix", mut(`"mix": "max,topk,score",`, ``), "missing mix"},
+		{"missing per_mode", mut(`"per_mode"`, `"per_mode_typo"`), "missing per_mode"},
+		{"unknown mix mode", mut(`"mix": "max,topk,score"`, `"mix": "max,bogus,score"`), "unknown mode"},
+		{"mode dropped from per_mode",
+			mut(`"topk":  {"jobs": 4, "completed": 4, "failed": 0, "p50_latency_ms": 65.2, "p99_latency_ms": 110.9},`, ``),
+			"no per_mode entry"},
+		{"per_mode outside mix", mut(`"mix": "max,topk,score"`, `"mix": "max,topk"`), "outside the mix"},
+		{"per-mode lost work", mut(`"topk":  {"jobs": 4, "completed": 4`, `"topk":  {"jobs": 4, "completed": 3`), "completed = 3 of 4"},
+		{"per-mode failures", mut(`"score": {"jobs": 4, "completed": 4, "failed": 0`, `"score": {"jobs": 4, "completed": 4, "failed": 1`), "failed = 1"},
+		{"per-mode quantile inversion", mut(`"p50_latency_ms": 70.1`, `"p50_latency_ms": 700.1`), "exceeds p99"},
+		{"jobs do not partition", mut(`"max":   {"jobs": 4`, `"max":   {"jobs": 5`), "per_mode jobs sum"},
+		{"missing per-mode fields",
+			mut(`{"jobs": 4, "completed": 4, "failed": 0, "p50_latency_ms": 55.9, "p99_latency_ms": 86.1}`, `{"jobs": 4}`),
+			"missing completed/failed/latency fields"},
+		{"base schema still applies", mut(`"jobs": 12, "completed": 12`, `"jobs": 12, "completed": 11`), "completed = 11 of 12"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := check([]byte(tc.data))
+			if len(errs) == 0 {
+				t.Fatal("invalid workloads report accepted")
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("errors %v do not mention %q", errs, tc.want)
+			}
+		})
+	}
+}
+
 func TestCheckSchedMatrixMissingBaseline(t *testing.T) {
 	// Drop both gomaxprocs=1 cells and their paired entry: the matrix must
 	// name the missing sequential baseline.

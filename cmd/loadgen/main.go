@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,26 +53,40 @@ var (
 	cmpLat     = flag.Duration("cmp-latency", 0, "in-process server only: per-comparison latency")
 	retryEvery = flag.Duration("retry-every", 25*time.Millisecond, "client backoff between admission retries (the server's Retry-After is whole seconds; a loadtest retries faster but still counts every rejection)")
 	timeout    = flag.Duration("timeout", 10*time.Minute, "overall deadline for the run")
+	mix        = flag.String("mix", "max", "','-separated workload modes cycled job-by-job across the stream (max, topk, score); anything beyond plain max switches the artifact to kind:\"workloads\" with per-mode stats")
+	kFlag      = flag.Int("k", 3, "ranks requested by the topk jobs in the mix")
+	votesFlag  = flag.Int("votes", 3, "cardinal votes per element for the score jobs in the mix")
 )
 
-// report is the kind:"service" benchmark artifact schema (cmd/benchcheck
-// validates it).
+// report is the kind:"service" (single-mode) or kind:"workloads" (mixed-mode)
+// benchmark artifact schema (cmd/benchcheck validates both).
 type report struct {
-	Kind          string  `json:"kind"`
-	Seed          uint64  `json:"seed"`
-	Jobs          int     `json:"jobs"`
-	Completed     int     `json:"completed"`
-	Failed        int     `json:"failed"`
-	Rejected      int64   `json:"rejected"`
-	WallSeconds   float64 `json:"wall_seconds"`
-	JobsPerSec    float64 `json:"jobs_per_sec"`
-	P50LatencyMS  float64 `json:"p50_latency_ms"`
-	P99LatencyMS  float64 `json:"p99_latency_ms"`
-	N             int     `json:"n"`
-	Un            int     `json:"un"`
-	Concurrency   int     `json:"concurrency"`
-	MaxConcurrent int     `json:"max_concurrent"`
-	Server        string  `json:"server"`
+	Kind          string               `json:"kind"`
+	Seed          uint64               `json:"seed"`
+	Jobs          int                  `json:"jobs"`
+	Completed     int                  `json:"completed"`
+	Failed        int                  `json:"failed"`
+	Rejected      int64                `json:"rejected"`
+	WallSeconds   float64              `json:"wall_seconds"`
+	JobsPerSec    float64              `json:"jobs_per_sec"`
+	P50LatencyMS  float64              `json:"p50_latency_ms"`
+	P99LatencyMS  float64              `json:"p99_latency_ms"`
+	N             int                  `json:"n"`
+	Un            int                  `json:"un"`
+	Concurrency   int                  `json:"concurrency"`
+	MaxConcurrent int                  `json:"max_concurrent"`
+	Server        string               `json:"server"`
+	Mix           string               `json:"mix,omitempty"`
+	PerMode       map[string]modeStats `json:"per_mode,omitempty"`
+}
+
+// modeStats is one workload's slice of a kind:"workloads" report.
+type modeStats struct {
+	Jobs         int     `json:"jobs"`
+	Completed    int     `json:"completed"`
+	Failed       int     `json:"failed"`
+	P50LatencyMS float64 `json:"p50_latency_ms"`
+	P99LatencyMS float64 `json:"p99_latency_ms"`
 }
 
 // jobStatus is the subset of the service's jobView the client reads.
@@ -79,9 +94,29 @@ type jobStatus struct {
 	State  string `json:"state"`
 	Error  string `json:"error"`
 	Result *struct {
+		Mode      string `json:"mode"`
 		Rung      string `json:"rung"`
 		Guarantee string `json:"guarantee"`
+		Ranked    []struct {
+			Rung      string `json:"rung"`
+			Guarantee string `json:"guarantee"`
+		} `json:"ranked"`
 	} `json:"result"`
+}
+
+// parseMix validates the -mix flag and returns the per-job mode cycle.
+func parseMix() ([]string, error) {
+	var modes []string
+	for _, m := range strings.Split(*mix, ",") {
+		m = strings.TrimSpace(m)
+		switch m {
+		case "max", "topk", "score":
+			modes = append(modes, m)
+		default:
+			return nil, fmt.Errorf("unknown mode %q in -mix (want max, topk, or score)", m)
+		}
+	}
+	return modes, nil
 }
 
 func main() {
@@ -96,6 +131,10 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	modes, err := parseMix()
+	if err != nil {
+		return err
+	}
 	base := *server
 	if *waitAll {
 		if base == "" {
@@ -118,6 +157,9 @@ func run() error {
 		mu        sync.Mutex
 		latencies []time.Duration
 		failures  []string
+		latByMode = make(map[string][]time.Duration, len(modes))
+		jobByMode = make(map[string]int, len(modes))
+		badByMode = make(map[string]int, len(modes))
 	)
 	client := &http.Client{}
 	work := make(chan int)
@@ -128,12 +170,16 @@ func run() error {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				lat, err := runOne(ctx, client, base, i, &rejected)
+				m := modes[i%len(modes)]
+				lat, err := runOne(ctx, client, base, i, m, &rejected)
 				mu.Lock()
+				jobByMode[m]++
 				if err != nil {
-					failures = append(failures, fmt.Sprintf("job %d: %v", i, err))
+					failures = append(failures, fmt.Sprintf("job %d (%s): %v", i, m, err))
+					badByMode[m]++
 				} else {
 					latencies = append(latencies, lat)
+					latByMode[m] = append(latByMode[m], lat)
 				}
 				mu.Unlock()
 			}
@@ -150,8 +196,12 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "loadgen:", f)
 	}
 	completed := len(latencies)
+	kind := "service"
+	if len(modes) > 1 || modes[0] != "max" {
+		kind = "workloads"
+	}
 	r := report{
-		Kind:          "service",
+		Kind:          kind,
 		Seed:          *seed,
 		Jobs:          *jobs,
 		Completed:     completed,
@@ -167,8 +217,31 @@ func run() error {
 		MaxConcurrent: *maxConc,
 		Server:        serverLabel,
 	}
+	var uniq []string
+	if kind == "workloads" {
+		r.Mix = strings.Join(modes, ",")
+		r.PerMode = make(map[string]modeStats, len(modes))
+		for _, m := range modes {
+			if _, done := r.PerMode[m]; done {
+				continue
+			}
+			uniq = append(uniq, m)
+			r.PerMode[m] = modeStats{
+				Jobs:         jobByMode[m],
+				Completed:    len(latByMode[m]),
+				Failed:       badByMode[m],
+				P50LatencyMS: quantileMS(latByMode[m], 0.50),
+				P99LatencyMS: quantileMS(latByMode[m], 0.99),
+			}
+		}
+	}
 	fmt.Printf("loadgen: %d/%d jobs done in %.2fs (%.1f jobs/s, p50 %.1fms, p99 %.1fms, %d rejections retried)\n",
 		completed, *jobs, r.WallSeconds, r.JobsPerSec, r.P50LatencyMS, r.P99LatencyMS, r.Rejected)
+	for _, m := range uniq {
+		s := r.PerMode[m]
+		fmt.Printf("loadgen: mode %-5s %d/%d done (p50 %.1fms, p99 %.1fms)\n",
+			m, s.Completed, s.Jobs, s.P50LatencyMS, s.P99LatencyMS)
+	}
 	if *out != "" && !*submitOnly {
 		data, err := json.MarshalIndent(r, "", "  ")
 		if err != nil {
@@ -185,15 +258,23 @@ func run() error {
 	return nil
 }
 
-// runOne submits job i (retrying admission rejections) and, unless
-// -submit-only, polls it to a terminal state and validates the result. The
-// returned latency is client-observed: submission retries included.
-func runOne(ctx context.Context, client *http.Client, base string, i int, rejected *atomic.Int64) (time.Duration, error) {
+// runOne submits job i as workload mode m (retrying admission rejections)
+// and, unless -submit-only, polls it to a terminal state and validates the
+// result — including per-rank label honesty for topk jobs. The returned
+// latency is client-observed: submission retries included.
+func runOne(ctx context.Context, client *http.Client, base string, i int, m string, rejected *atomic.Int64) (time.Duration, error) {
 	spec := map[string]any{
 		"tenant": fmt.Sprintf("t%02d", i%max(1, *tenants)),
+		"mode":   m,
 		"n":      *nItems,
 		"un":     *un,
 		"seed":   jobSeed(i),
+	}
+	switch m {
+	case "topk":
+		spec["k"] = *kFlag
+	case "score":
+		spec["votes"] = *votesFlag
 	}
 	body, err := json.Marshal(spec)
 	if err != nil {
@@ -263,12 +344,30 @@ func runOne(ctx context.Context, client *http.Client, base string, i int, reject
 			if st.Result == nil {
 				return 0, fmt.Errorf("done without result")
 			}
+			if st.Result.Mode != m {
+				return 0, fmt.Errorf("result mode %q, submitted %q", st.Result.Mode, m)
+			}
 			strongest, ok := crowdmax.StrongestGuaranteeFor(st.Result.Rung)
 			if !ok {
 				return 0, fmt.Errorf("unknown rung %q", st.Result.Rung)
 			}
 			if crowdmax.Guarantee(st.Result.Guarantee).Strength() > strongest.Strength() {
 				return 0, fmt.Errorf("label %q stronger than rung %q allows", st.Result.Guarantee, st.Result.Rung)
+			}
+			if m == "topk" && len(st.Result.Ranked) != *kFlag {
+				return 0, fmt.Errorf("topk job returned %d ranks, want %d", len(st.Result.Ranked), *kFlag)
+			}
+			if m != "topk" && len(st.Result.Ranked) != 0 {
+				return 0, fmt.Errorf("%s job returned %d ranks, want none", m, len(st.Result.Ranked))
+			}
+			for ri, rr := range st.Result.Ranked {
+				rs, ok := crowdmax.StrongestGuaranteeFor(rr.Rung)
+				if !ok {
+					return 0, fmt.Errorf("rank %d: unknown rung %q", ri+1, rr.Rung)
+				}
+				if crowdmax.Guarantee(rr.Guarantee).Strength() > rs.Strength() {
+					return 0, fmt.Errorf("rank %d: label %q stronger than rung %q allows", ri+1, rr.Guarantee, rr.Rung)
+				}
 			}
 			return time.Since(start), nil
 		case "failed":

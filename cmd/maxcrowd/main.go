@@ -47,6 +47,9 @@ var (
 	chaosArg = flag.String("chaos", "", "inject faults (alg1 only): comma-separated spec with optional expert- prefix, fraction ramps, and @from-to comparison windows, e.g. crash:500, spammer:0.2, expert-outage:1.0@1000+, spammer:0.1-0.5@0-2000, adversary, colluder:7, degrader:0.1:0.01")
 	degraded = flag.Bool("degrade", true, "session runs (-checkpoint/-resume/-chaos): walk down the quality ladder instead of failing when experts, budget, or deadline disappear; -degrade=false restores hard failures")
 	schedArg = flag.String("sched", "lockstep", "comparison schedule: lockstep (one batch per tournament group, the paper's execution) or dag (drain all data-independent groups per logical step); identical answers and cost, fewer rounds")
+	mode     = flag.String("mode", "max", "session workload: max (two-phase max-finding), topk (ranked top -k extraction), score (crowd scoring with -votes cardinal votes per element). topk and score always run through the session engine, so -checkpoint/-resume/-chaos compose with them")
+	kRanks   = flag.Int("k", 0, "with -mode topk: number of ranks to extract (required, ≥ 1)")
+	votes    = flag.Int("votes", 0, "with -mode score: cardinal votes per element (0 = engine default of 3)")
 )
 
 // parseSched maps the -sched flag onto a scheduler kind.
@@ -176,14 +179,18 @@ func run(ctx context.Context) error {
 		unEst = est
 	}
 
-	if *ckPath != "" || *resumeCk != "" || *chaosArg != "" {
+	w, err := buildWorkload()
+	if err != nil {
+		return err
+	}
+	if *mode != "max" || *ckPath != "" || *resumeCk != "" || *chaosArg != "" {
 		if *algo != "alg1" || *topk > 1 {
-			return fmt.Errorf("-checkpoint/-resume/-chaos support -algo alg1 without -topk only")
+			return fmt.Errorf("-mode topk/score and -checkpoint/-resume/-chaos support -algo alg1 without -topk only")
 		}
 		if *par >= 1 {
-			return fmt.Errorf("-checkpoint/-resume/-chaos runs are sequential; drop -parallel")
+			return fmt.Errorf("session runs (-mode topk/score, -checkpoint/-resume/-chaos) are sequential; drop -parallel")
 		}
-		return runSession(ctx, set, deltaN, deltaE, unEst, prices)
+		return runSession(ctx, w, set, deltaN, deltaE, unEst, prices)
 	}
 
 	ledger := crowdmax.NewLedger()
@@ -260,12 +267,46 @@ func run(ctx context.Context) error {
 	return nil
 }
 
-// runSession executes Algorithm 1 through a crowdmax.Session — the entry
-// point that supports checkpointing, resume, and chaos injection. Workers
-// use order-independent hash tie-breaking (as with -parallel) so a resumed
-// run replays to bit-identical results; all robustness notices go to stderr,
-// keeping stdout diffable between an uninterrupted run and a crash + resume.
-func runSession(ctx context.Context, set *crowdmax.Set, deltaN, deltaE float64, unEst int, prices crowdmax.Prices) error {
+// buildWorkload maps the -mode flag (plus -k and -votes) onto a session
+// workload, rejecting flag combinations that belong to a different mode.
+func buildWorkload() (crowdmax.Workload, error) {
+	switch *mode {
+	case "max":
+		if *kRanks != 0 {
+			return nil, fmt.Errorf("-k requires -mode topk")
+		}
+		if *votes != 0 {
+			return nil, fmt.Errorf("-votes requires -mode score")
+		}
+		return crowdmax.MaxFind(), nil
+	case "topk":
+		if *kRanks < 1 {
+			return nil, fmt.Errorf("-mode topk requires -k >= 1")
+		}
+		if *votes != 0 {
+			return nil, fmt.Errorf("-votes requires -mode score")
+		}
+		return crowdmax.TopKWorkload(*kRanks), nil
+	case "score":
+		if *kRanks != 0 {
+			return nil, fmt.Errorf("-k requires -mode topk")
+		}
+		if *votes < 0 {
+			return nil, fmt.Errorf("-votes must be >= 0")
+		}
+		return crowdmax.ScoreWorkload(crowdmax.ScoreConfig{Votes: *votes}), nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want max, topk, or score)", *mode)
+	}
+}
+
+// runSession executes the chosen workload through a crowdmax.Session — the
+// entry point that supports checkpointing, resume, and chaos injection.
+// Workers use order-independent hash tie-breaking (as with -parallel) so a
+// resumed run replays to bit-identical results; all robustness notices go to
+// stderr, keeping stdout diffable between an uninterrupted run and a
+// crash + resume.
+func runSession(ctx context.Context, w crowdmax.Workload, set *crowdmax.Set, deltaN, deltaE float64, unEst int, prices crowdmax.Prices) error {
 	schedKind, err := parseSched()
 	if err != nil {
 		return err
@@ -299,6 +340,11 @@ func runSession(ctx context.Context, set *crowdmax.Set, deltaN, deltaE float64, 
 	if *degraded {
 		cfg.Degrade = &crowdmax.DegradeConfig{}
 	}
+	if *mode == "score" {
+		// Cardinal votes come from a simulated noisy crowd whose error scale
+		// matches the naive threshold, mirroring the service's scoring setup.
+		cfg.Valuer = crowdmax.NoisyValuer{Sigma: deltaN, Seed: *seed + 2}
+	}
 	s, err := crowdmax.NewSession(cfg)
 	if err != nil {
 		return err
@@ -306,9 +352,9 @@ func runSession(ctx context.Context, set *crowdmax.Set, deltaN, deltaE float64, 
 	var res crowdmax.Result
 	if *resumeCk != "" {
 		fmt.Fprintf(os.Stderr, "maxcrowd: resuming from %s\n", *resumeCk)
-		res, err = s.Resume(ctx, *resumeCk, set.Items())
+		res, err = s.ResumeWorkload(ctx, w, *resumeCk, set.Items())
 	} else {
-		res, err = s.FindMaxContext(ctx, set.Items())
+		res, err = s.Run(ctx, w, set.Items())
 	}
 	if err != nil {
 		if errors.Is(err, crowdmax.ErrInjectedCrash) {
@@ -324,7 +370,24 @@ func runSession(ctx context.Context, set *crowdmax.Set, deltaN, deltaE float64, 
 		}
 		return err
 	}
-	fmt.Printf("phase 1 kept %d candidates\n", len(res.Candidates))
+	switch {
+	case len(res.Ranked) > 0:
+		fmt.Printf("top %d (best first):\n", len(res.Ranked))
+		for i, rr := range res.Ranked {
+			fmt.Printf("  %d. %q (value %.4g, true rank %d) — %s (rung %s)\n",
+				i+1, label(rr.Item), rr.Item.Value, set.Rank(rr.Item.ID), rr.Guarantee, rr.Rung)
+		}
+	case len(res.Scores) > 0:
+		show := min(len(res.Scores), 5)
+		fmt.Printf("top crowd scores (%d elements fully scored):\n", len(res.Scores))
+		for i := 0; i < show; i++ {
+			sc := res.Scores[i]
+			fmt.Printf("  %d. %q (score %.4g, true rank %d)\n",
+				i+1, label(sc.Item), sc.Score, set.Rank(sc.Item.ID))
+		}
+	default:
+		fmt.Printf("phase 1 kept %d candidates\n", len(res.Candidates))
+	}
 	fmt.Printf("returned %q (value %.4g), true rank %d of %d\n",
 		label(res.Best), res.Best.Value, set.Rank(res.Best.ID), set.Len())
 	fmt.Printf("guarantee: %s (rung %s)\n", res.Guarantee, res.Rung)

@@ -201,6 +201,97 @@ func TestRunExpertOutageDegradesToNaiveMajority(t *testing.T) {
 	}
 }
 
+func setModeFlags(t *testing.T, m string, k, v int) {
+	t.Helper()
+	oldMode, oldK, oldVotes := *mode, *kRanks, *votes
+	*mode, *kRanks, *votes = m, k, v
+	t.Cleanup(func() { *mode, *kRanks, *votes = oldMode, oldK, oldVotes })
+}
+
+func TestRunModeTopK(t *testing.T) {
+	setFlags(t, 300, "alg1", "uniform", 6, 3, false)
+	setModeFlags(t, "topk", 3, 0)
+	out, err := captureRun(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"top 3 (best first):", "rung expert-2maxfind", "guarantee: 2δe"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("topk output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunModeScore(t *testing.T) {
+	setFlags(t, 300, "alg1", "uniform", 6, 3, false)
+	setModeFlags(t, "score", 0, 5)
+	out, err := captureRun(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"top crowd scores", "rung score-expert", "guarantee: 2δe@subset"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("score output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunModeCrashAndResume(t *testing.T) {
+	for _, tc := range []struct {
+		m        string
+		k, votes int
+		crash    string
+	}{
+		{"topk", 3, 0, "crash:200"},
+		{"score", 0, 4, "crash:300"},
+	} {
+		setFlags(t, 300, "alg1", "uniform", 6, 3, false)
+		setModeFlags(t, tc.m, tc.k, tc.votes)
+
+		setRobustFlags(t, t.TempDir()+"/clean.ck", 64, "", "")
+		want, err := captureRun(t)
+		if err != nil {
+			t.Fatalf("%s clean: %v", tc.m, err)
+		}
+
+		path := t.TempDir() + "/crash.ck"
+		setRobustFlags(t, path, 64, "", tc.crash)
+		if _, err := captureRun(t); err == nil || !strings.Contains(err.Error(), "crashed") {
+			t.Fatalf("%s crashed run: err = %v, want an injected crash", tc.m, err)
+		}
+
+		setRobustFlags(t, path, 64, path, "")
+		got, err := captureRun(t)
+		if err != nil {
+			t.Fatalf("%s resume: %v", tc.m, err)
+		}
+		if got != want {
+			t.Fatalf("%s resumed stdout differs:\n--- want ---\n%s--- got ---\n%s", tc.m, want, got)
+		}
+	}
+}
+
+func TestRunModeFlagValidation(t *testing.T) {
+	setFlags(t, 100, "alg1", "uniform", 5, 2, false)
+	for _, tc := range []struct {
+		m        string
+		k, votes int
+	}{
+		{"topk", 0, 0},   // -mode topk needs -k
+		{"max", 3, 0},    // -k without -mode topk
+		{"max", 0, 5},    // -votes without -mode score
+		{"score", 2, 0},  // -k with -mode score
+		{"topk", 2, 5},   // -votes with -mode topk
+		{"bogus", 0, 0},  // unknown mode
+		{"score", 0, -1}, // negative votes
+	} {
+		setModeFlags(t, tc.m, tc.k, tc.votes)
+		if _, err := captureRun(t); err == nil {
+			t.Fatalf("mode=%q k=%d votes=%d accepted", tc.m, tc.k, tc.votes)
+		}
+	}
+}
+
 func TestRunRobustFlagsRejectOtherModes(t *testing.T) {
 	setFlags(t, 100, "2mf-naive", "uniform", 5, 2, false)
 	setRobustFlags(t, t.TempDir()+"/x.ck", 64, "", "")

@@ -1,6 +1,10 @@
-// Command maxcrowdd is the long-running multi-tenant max-finding service: an
-// HTTP API over a pool of concurrent crowdmax Sessions with per-tenant
-// admission control, durable job records, and graceful drain.
+// Command maxcrowdd is the long-running multi-tenant crowd-workload service:
+// an HTTP API over a pool of concurrent crowdmax Sessions with per-tenant
+// admission control, durable job records, and graceful drain. Each job names
+// a workload mode — "max" (two-phase max-finding, the default), "topk"
+// (ranked extraction, "k" ranks), or "score" (cardinal crowd scoring,
+// "votes" votes per element) — and mixed-mode streams share the same slots,
+// admission budgets, and drain/resume machinery.
 //
 // Endpoints (see internal/service for the full contract):
 //

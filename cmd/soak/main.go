@@ -46,6 +46,9 @@ var (
 	plans   = flag.String("plans", strings.Join(defaultSchedules, ";"), "';'-separated chaos schedules to soak under ('none' = fault-free)")
 	crashAt = flag.Int64("crash-at", 500, "paid-comparison position of the injected crash in the crash/resume leg")
 	dist    = flag.Bool("dist", false, "print the achieved-guarantee distribution as a markdown table")
+	modesIn = flag.String("modes", "max", "','-separated workloads to soak (max, topk, score); every schedule×trial runs its three legs once per mode")
+	kFlag   = flag.Int("k", 3, "ranks per trial for the topk mode")
+	votesIn = flag.Int("votes", 3, "cardinal votes per element for the score mode")
 )
 
 // defaultSchedules are the soak's standard fault mixes: a fault-free
@@ -75,59 +78,93 @@ func soak(w io.Writer) error {
 	defer os.RemoveAll(tmp)
 
 	schedules := strings.Split(*plans, ";")
-	counts := make(map[string]map[crowdmax.Guarantee]int, len(schedules))
+	modes := strings.Split(*modesIn, ",")
+	var rows []string
+	counts := make(map[string]map[crowdmax.Guarantee]int, len(schedules)*len(modes))
 	var failures []string
 	total := 0
 	for _, sched := range schedules {
 		sched = strings.TrimSpace(sched)
-		counts[sched] = make(map[crowdmax.Guarantee]int)
-		for t := 0; t < *trials; t++ {
-			total++
-			g, err := runTrial(tmp, sched, t)
-			if err != nil {
-				failures = append(failures, fmt.Sprintf("schedule %q trial %d: %v", sched, t, err))
-				continue
+		for _, m := range modes {
+			m = strings.TrimSpace(m)
+			key := rowKey(sched, m, modes)
+			rows = append(rows, key)
+			counts[key] = make(map[crowdmax.Guarantee]int)
+			for t := 0; t < *trials; t++ {
+				total++
+				g, err := runTrial(tmp, sched, m, t)
+				if err != nil {
+					failures = append(failures, fmt.Sprintf("schedule %q mode %s trial %d: %v", sched, m, t, err))
+					continue
+				}
+				counts[key][g]++
 			}
-			counts[sched][g]++
 		}
 	}
 
 	if *dist {
-		writeDistribution(w, schedules, counts)
+		writeDistribution(w, rows, counts)
 	} else {
-		for _, sched := range schedules {
-			fmt.Fprintf(w, "schedule %-55q %s\n", sched, summarize(counts[sched]))
+		for _, key := range rows {
+			fmt.Fprintf(w, "schedule %-55q %s\n", key, summarize(counts[key]))
 		}
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(w, "soak: FAIL (%d/%d trials)\n", len(failures), total)
 		return errors.New(strings.Join(failures, "\n"))
 	}
-	fmt.Fprintf(w, "soak: PASS (%d trials, %d schedules)\n", total, len(schedules))
+	fmt.Fprintf(w, "soak: PASS (%d trials, %d schedules, %d modes)\n", total, len(schedules), len(modes))
 	return nil
+}
+
+// rowKey names one schedule×mode row; the mode suffix is dropped in the
+// single-workload default so existing output stays stable.
+func rowKey(sched, m string, modes []string) string {
+	if len(modes) == 1 && m == "max" {
+		return sched
+	}
+	return sched + " [" + m + "]"
+}
+
+// workloadFor maps a -modes entry onto the session workload each leg runs.
+func workloadFor(m string) (crowdmax.Workload, error) {
+	switch m {
+	case "max":
+		return crowdmax.MaxFind(), nil
+	case "topk":
+		return crowdmax.TopKWorkload(*kFlag), nil
+	case "score":
+		return crowdmax.ScoreWorkload(crowdmax.ScoreConfig{Votes: *votesIn}), nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want max, topk, or score)", m)
+	}
 }
 
 // runTrial runs one schedule's three legs under one derived seed and returns
 // the guarantee the reference run achieved. Any panic is converted into a
 // trial failure — the soak's first invariant.
-func runTrial(tmp, sched string, t int) (g crowdmax.Guarantee, err error) {
+func runTrial(tmp, sched, m string, t int) (g crowdmax.Guarantee, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("PANIC: %v\n%s", r, debug.Stack())
 		}
 	}()
+	w, err := workloadFor(m)
+	if err != nil {
+		return "", err
+	}
 	tseed := crowdmax.NewRand(*seed).ChildN("soak-trial", t).Seed()
 	set := dataset.Uniform(*nItems, 0, 1, crowdmax.NewRand(tseed).Child("data"))
 	items := set.Items()
 	ctx := context.Background()
 
 	// Leg 1: the uninterrupted reference run.
-	refCk := filepath.Join(tmp, fmt.Sprintf("ref-%d.ck", t))
-	ref, err := newSession(set, tseed, refCk, sched, 0)
+	refCk := filepath.Join(tmp, fmt.Sprintf("ref-%s-%d.ck", m, t))
+	ref, err := newSession(set, tseed, refCk, sched, m, 0)
 	if err != nil {
 		return "", err
 	}
-	want, err := ref.FindMaxContext(ctx, items)
+	want, err := ref.Run(ctx, w, items)
 	if err != nil {
 		return "", fmt.Errorf("reference run failed (degradation did not absorb the faults): %w", err)
 	}
@@ -136,12 +173,12 @@ func runTrial(tmp, sched string, t int) (g crowdmax.Guarantee, err error) {
 	}
 
 	// Leg 2: the same run killed by the crash injector.
-	crashCk := filepath.Join(tmp, fmt.Sprintf("crash-%d.ck", t))
-	crashed, err := newSession(set, tseed, crashCk, sched, *crashAt)
+	crashCk := filepath.Join(tmp, fmt.Sprintf("crash-%s-%d.ck", m, t))
+	crashed, err := newSession(set, tseed, crashCk, sched, m, *crashAt)
 	if err != nil {
 		return "", err
 	}
-	if _, err := crashed.FindMaxContext(ctx, items); err == nil {
+	if _, err := crashed.Run(ctx, w, items); err == nil {
 		// The run finished under -crash-at comparisons; there is nothing to
 		// resume, and determinism was already checked against the reference.
 		return want.Guarantee, nil
@@ -151,11 +188,11 @@ func runTrial(tmp, sched string, t int) (g crowdmax.Guarantee, err error) {
 
 	// Leg 3: resume from the crashed run's snapshot; the replay must land on
 	// the reference run's rung and answer, bit-identically.
-	res, err := newSession(set, tseed, crashCk, sched, 0)
+	res, err := newSession(set, tseed, crashCk, sched, m, 0)
 	if err != nil {
 		return "", err
 	}
-	got, err := res.Resume(ctx, crashCk, items)
+	got, err := res.ResumeWorkload(ctx, w, crashCk, items)
 	if err != nil {
 		return "", fmt.Errorf("resume failed: %w", err)
 	}
@@ -172,7 +209,7 @@ func runTrial(tmp, sched string, t int) (g crowdmax.Guarantee, err error) {
 // tie-breaking (order-independent, so replay is exact), a checkpoint at
 // ckPath, the schedule's chaos plan, and the degrade controller. crashAfter,
 // when > 0, arms the crash injector on top of the schedule.
-func newSession(set *crowdmax.Set, tseed uint64, ckPath, sched string, crashAfter int64) (*crowdmax.Session, error) {
+func newSession(set *crowdmax.Set, tseed uint64, ckPath, sched, m string, crashAfter int64) (*crowdmax.Session, error) {
 	dn, err := set.DeltaForU(min(*unFlag, set.Len()))
 	if err != nil {
 		return nil, err
@@ -190,7 +227,7 @@ func newSession(set *crowdmax.Set, tseed uint64, ckPath, sched string, crashAfte
 	plan.Seed = tseed
 	plan.PairHash = true
 	plan.CrashAfter = crashAfter
-	return crowdmax.NewSession(crowdmax.Config{
+	cfg := crowdmax.Config{
 		Naive:      &crowdmax.ThresholdWorker{Delta: dn, Tie: crowdmax.HashTie{Seed: tseed}},
 		Expert:     &crowdmax.ThresholdWorker{Delta: de, Tie: crowdmax.HashTie{Seed: tseed + 1}},
 		Un:         *unFlag,
@@ -198,7 +235,13 @@ func newSession(set *crowdmax.Set, tseed uint64, ckPath, sched string, crashAfte
 		Checkpoint: crowdmax.CheckpointConfig{Path: ckPath, Every: 64},
 		Chaos:      &plan,
 		Degrade:    &crowdmax.DegradeConfig{},
-	})
+	}
+	if m == "score" {
+		// The score workload votes through a simulated noisy crowd scaled to
+		// the naive threshold, matching the service's scoring setup.
+		cfg.Valuer = crowdmax.NoisyValuer{Sigma: dn, Seed: tseed + 2}
+	}
+	return crowdmax.NewSession(cfg)
 }
 
 // checkLabels enforces the honesty invariants on one result.
@@ -216,6 +259,16 @@ func checkLabels(res crowdmax.Result) error {
 	}
 	if res.Guarantee.Strength() > 0 && res.Best == (crowdmax.Item{}) {
 		return fmt.Errorf("label %q claimed with no answer", res.Guarantee)
+	}
+	for i, rr := range res.Ranked {
+		strongest, ok := crowdmax.StrongestGuaranteeFor(rr.Rung)
+		if !ok {
+			return fmt.Errorf("rank %d names unknown rung %q", i+1, rr.Rung)
+		}
+		if rr.Guarantee.Strength() > strongest.Strength() {
+			return fmt.Errorf("rank %d label %q is stronger than rung %q can deliver (%q)",
+				i+1, rr.Guarantee, rr.Rung, strongest)
+		}
 	}
 	return nil
 }
@@ -243,6 +296,25 @@ func diffResults(want, got crowdmax.Result) string {
 		diffs = append(diffs, fmt.Sprintf("paid (%d, %d) vs (%d, %d)",
 			want.NaiveComparisons, want.ExpertComparisons, got.NaiveComparisons, got.ExpertComparisons))
 	}
+	if len(want.Ranked) != len(got.Ranked) {
+		diffs = append(diffs, fmt.Sprintf("ranked %d vs %d", len(want.Ranked), len(got.Ranked)))
+	} else {
+		for i := range want.Ranked {
+			if want.Ranked[i] != got.Ranked[i] {
+				diffs = append(diffs, fmt.Sprintf("rank %d %+v vs %+v", i+1, want.Ranked[i], got.Ranked[i]))
+			}
+		}
+	}
+	if len(want.Scores) != len(got.Scores) {
+		diffs = append(diffs, fmt.Sprintf("scores %d vs %d", len(want.Scores), len(got.Scores)))
+	} else {
+		for i := range want.Scores {
+			if want.Scores[i] != got.Scores[i] {
+				diffs = append(diffs, fmt.Sprintf("score %d %+v vs %+v", i+1, want.Scores[i], got.Scores[i]))
+				break
+			}
+		}
+	}
 	return strings.Join(diffs, "; ")
 }
 
@@ -269,7 +341,7 @@ func summarize(c map[crowdmax.Guarantee]int) string {
 	return strings.Join(parts, ", ")
 }
 
-func writeDistribution(w io.Writer, schedules []string, counts map[string]map[crowdmax.Guarantee]int) {
+func writeDistribution(w io.Writer, rows []string, counts map[string]map[crowdmax.Guarantee]int) {
 	fmt.Fprint(w, "| schedule |")
 	for _, g := range order {
 		fmt.Fprintf(w, " %s |", g)
@@ -280,11 +352,10 @@ func writeDistribution(w io.Writer, schedules []string, counts map[string]map[cr
 		fmt.Fprint(w, "---:|")
 	}
 	fmt.Fprintln(w)
-	for _, sched := range schedules {
-		sched = strings.TrimSpace(sched)
-		fmt.Fprintf(w, "| `%s` |", sched)
+	for _, key := range rows {
+		fmt.Fprintf(w, "| `%s` |", key)
 		for _, g := range order {
-			fmt.Fprintf(w, " %d |", counts[sched][g])
+			fmt.Fprintf(w, " %d |", counts[key][g])
 		}
 		fmt.Fprintln(w)
 	}

@@ -25,6 +25,31 @@ func TestSoakSmoke(t *testing.T) {
 	}
 }
 
+// TestSoakAllModes runs the three-leg trial for every workload — the
+// per-mode crash/resume coverage `make soak-smoke` exercises in CI.
+func TestSoakAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is a multi-run harness; skipped with -short")
+	}
+	oldTrials, oldN, oldSeed, oldPlans, oldModes := *trials, *nItems, *seed, *plans, *modesIn
+	*trials, *nItems, *seed, *plans, *modesIn = 2, 250, 7, "none;expert-outage:1.0@800+", "max,topk,score"
+	t.Cleanup(func() { *trials, *nItems, *seed, *plans, *modesIn = oldTrials, oldN, oldSeed, oldPlans, oldModes })
+
+	var out strings.Builder
+	if err := soak(&out); err != nil {
+		t.Fatalf("soak failed:\n%s\n%v", out.String(), err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "soak: PASS (12 trials, 2 schedules, 3 modes)") {
+		t.Fatalf("soak did not report a full-matrix PASS:\n%s", got)
+	}
+	for _, row := range []string{"[max]", "[topk]", "[score]"} {
+		if !strings.Contains(got, row) {
+			t.Fatalf("per-mode row %q missing:\n%s", row, got)
+		}
+	}
+}
+
 // TestSoakDistributionTable checks the -dist markdown rendering.
 func TestSoakDistributionTable(t *testing.T) {
 	if testing.Short() {

@@ -134,6 +134,24 @@ func NewLogisticWorker(scale float64, r *Rand) *LogisticWorker {
 	return worker.NewLogistic(scale, r)
 }
 
+// Valuer is any source of cardinal value estimates — the crowd-scoring
+// query: "how good is this element?", answered per (element, repetition).
+// The score workload asks each element Votes independent value queries and
+// aggregates them robustly.
+type Valuer = worker.Valuer
+
+// ValuerFunc adapts a function to the Valuer interface.
+type ValuerFunc = worker.ValuerFunc
+
+// TruthValuer reports every element's exact value — the infallible scorer.
+var TruthValuer = worker.TruthValuer
+
+// NoisyValuer is a crowd scorer with additive seeded noise: each vote is the
+// element's true value plus deterministic pseudo-Gaussian noise, a pure
+// function of (Seed, element ID, rep) — so it is concurrency-safe and
+// replay-stable, the value-query analogue of a HashTie comparator.
+type NoisyValuer = worker.NoisyValuer
+
 // Prices holds the per-comparison prices cn and ce of the cost model
 // C(n) = xe·ce + xn·cn.
 type Prices = cost.Prices
@@ -258,6 +276,27 @@ type TopKOptions = core.TopKOptions
 // oracles make later rounds substantially cheaper.
 func TopK(ctx context.Context, items []Item, naive, expert *Oracle, opt TopKOptions) ([]Item, error) {
 	return core.TopK(ctx, items, naive, expert, opt)
+}
+
+// RoundError reports a truncated TopK run: the 1-based round that failed,
+// how many ranks completed, and the failed round's best-so-far leader.
+// errors.As recovers it from a TopK error to salvage partial progress.
+type RoundError = core.RoundError
+
+// ScoreOptions configures Score.
+type ScoreOptions = core.ScoreOptions
+
+// ScoreResult reports a Score run: the best element, the expert shortlist,
+// and every element's aggregated crowd score.
+type ScoreResult = core.ScoreResult
+
+// Score runs the crowd-scoring workload directly against a pair of oracles:
+// naïve workers score every element with repeated cardinal value queries,
+// votes are aggregated robustly (trimmed mean or median), and experts
+// extract the maximum from the top-scored shortlist. Sessions run the same
+// algorithm with budgets, chaos, and checkpoints attached via ScoreWorkload.
+func Score(ctx context.Context, items []Item, naive, expert *Oracle, opt ScoreOptions) (ScoreResult, error) {
+	return core.Score(ctx, items, naive, expert, opt)
 }
 
 // RankByWins orders items by win count in one all-play-all tournament,

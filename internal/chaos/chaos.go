@@ -138,15 +138,25 @@ type persona struct {
 	r      *rng.Source
 	served int64
 
-	// answer produces the persona's reply for an intercepted request at
+	// answer produces the persona's reply for an intercepted comparison at
 	// clock position t. A false second return forwards to the inner backend
 	// after all (personas whose dishonesty is conditional, e.g. the
 	// Adversary below its threshold); a non-nil error refuses the request.
 	answer func(p *persona, req dispatch.Request, t int64) (item.Item, bool, error)
+
+	// value produces the persona's reply for an intercepted cardinal value
+	// query, with the same second-return/error conventions as answer. nil
+	// forwards every value query untouched (the persona's dishonesty has no
+	// cardinal analogue, e.g. the Adversary, whose lies are defined by pair
+	// distance).
+	value func(p *persona, req dispatch.Request, t int64) (float64, bool, error)
 }
 
 // Answer implements dispatch.Backend.
 func (p *persona) Answer(ctx context.Context, req dispatch.Request) (dispatch.Answer, error) {
+	if req.Kind == dispatch.KindValue && p.value == nil {
+		return p.inner.Answer(ctx, req)
+	}
 	p.mu.Lock()
 	t := p.served
 	if p.cfg.Clock != nil {
@@ -160,11 +170,16 @@ func (p *persona) Answer(ctx context.Context, req dispatch.Request) (dispatch.An
 	}
 	var (
 		winner item.Item
+		score  float64
 		ok     bool
 		err    error
 	)
 	if intercept {
-		winner, ok, err = p.answer(p, req, t)
+		if req.Kind == dispatch.KindValue {
+			score, ok, err = p.value(p, req, t)
+		} else {
+			winner, ok, err = p.answer(p, req, t)
+		}
 	}
 	p.mu.Unlock()
 	if err != nil {
@@ -175,6 +190,9 @@ func (p *persona) Answer(ctx context.Context, req dispatch.Request) (dispatch.An
 	}
 	if err := ctx.Err(); err != nil {
 		return dispatch.Answer{}, err
+	}
+	if req.Kind == dispatch.KindValue {
+		return dispatch.Answer{Value: score}, nil
 	}
 	return dispatch.Answer{Winner: winner}, nil
 }
@@ -224,12 +242,28 @@ func (p *persona) coin(req dispatch.Request, salt uint64) bool {
 }
 
 // hash01 maps (seed, salt, pair) to a uniform float64 in [0, 1) via a
-// SplitMix64-style mix.
+// SplitMix64-style mix. Value queries additionally mix the vote index, so
+// repeated votes on one element draw independent decisions; comparisons keep
+// the historical pair-only chain, preserving bit-identical replay of
+// existing runs.
 func (p *persona) hash01(req dispatch.Request, salt uint64) float64 {
 	h := splitmix(p.cfg.Seed ^ splitmix(salt))
 	h = splitmix(h ^ uint64(int64(req.A.ID)))
 	h = splitmix(h ^ uint64(int64(req.B.ID)))
+	if req.Kind == dispatch.KindValue {
+		h = splitmix(h ^ uint64(int64(req.Rep))*0x9e3779b97f4a7c15)
+	}
 	return float64(h>>11) / (1 << 53)
+}
+
+// garbageValue is the spammer-style reply to an intercepted value query: a
+// uniform draw in [0, 1) that ignores the element entirely. Pure in
+// (seed, item, rep) under PairHash, so replay stays bit-identical.
+func (p *persona) garbageValue(req dispatch.Request) float64 {
+	if p.cfg.PairHash {
+		return p.hash01(req, saltAnswer)
+	}
+	return p.r.Float64()
 }
 
 // splitmix is the SplitMix64 finalizer (mirrors internal/rng's mixer).
@@ -251,7 +285,8 @@ func loser(a, b item.Item) item.Item {
 
 // NewSpammer decorates inner so intercepted comparisons are answered
 // uniformly at random regardless of the elements — the classic click-through
-// spammer that gold-question quality control exists to catch.
+// spammer that gold-question quality control exists to catch. Intercepted
+// value queries get an arbitrary score that likewise ignores the element.
 func NewSpammer(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 	return &persona{
 		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("spammer"),
@@ -260,6 +295,9 @@ func NewSpammer(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 				return req.A, true, nil
 			}
 			return req.B, true, nil
+		},
+		value: func(p *persona, req dispatch.Request, _ int64) (float64, bool, error) {
+			return p.garbageValue(req), true, nil
 		},
 	}
 }
@@ -283,7 +321,9 @@ func NewAdversary(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 
 // NewColluder decorates inner so every intercepted comparison involving the
 // target item reports the target as winner — a voting ring promoting one
-// entry. Comparisons not involving the target are forwarded untouched.
+// entry. Comparisons not involving the target are forwarded untouched. An
+// intercepted value query on the target reports an absurdly high score (the
+// cardinal form of the same promotion); other elements are forwarded.
 func NewColluder(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 	return &persona{
 		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("colluder"),
@@ -295,6 +335,12 @@ func NewColluder(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 				return req.B, true, nil
 			}
 			return item.Item{}, false, nil
+		},
+		value: func(p *persona, req dispatch.Request, _ int64) (float64, bool, error) {
+			if req.A.ID == p.cfg.TargetID {
+				return 1e18, true, nil
+			}
+			return 0, false, nil
 		},
 	}
 }
@@ -320,6 +366,20 @@ func NewDegrader(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 			}
 			return item.Item{}, false, nil
 		},
+		value: func(p *persona, req dispatch.Request, t int64) (float64, bool, error) {
+			rate := p.cfg.Rate + p.cfg.Drift*float64(t)
+			max := p.cfg.MaxRate
+			if max <= 0 || max > 1 {
+				max = 1
+			}
+			if rate > max {
+				rate = max
+			}
+			if rate > 0 && p.chance(req, saltAnswer, rate) {
+				return p.garbageValue(req), true, nil
+			}
+			return 0, false, nil
+		},
 	}
 }
 
@@ -332,6 +392,9 @@ func NewOutage(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 		inner: inner, cfg: cfg, r: rng.New(cfg.Seed).Child("outage"),
 		answer: func(p *persona, req dispatch.Request, _ int64) (item.Item, bool, error) {
 			return item.Item{}, false, ErrOutage
+		},
+		value: func(p *persona, req dispatch.Request, _ int64) (float64, bool, error) {
+			return 0, false, ErrOutage
 		},
 	}
 }

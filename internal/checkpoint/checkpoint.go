@@ -47,13 +47,17 @@ import (
 var ErrCorrupt = errors.New("checkpoint: corrupt or truncated checkpoint")
 
 // magic identifies a checkpoint file; version is the codec revision.
-// Version 2 added the degrade-controller state (Rung, DecisionHash);
-// decoding fails closed on any other version — a v1 file predates the
-// quality ladder and silently resuming it could report a guarantee the
-// original run never established.
+// Version 2 added the degrade-controller state (Rung, DecisionHash); version
+// 3 added the workload envelope (Kind, the opaque per-workload state blob,
+// and the value-query memo table). Decode reads v3 and — because a v2 file
+// can only have been written by a max-find run — v2, which loads with
+// Kind = KindMaxFind and empty extras. Anything else fails closed: a v1 file
+// predates the quality ladder and silently resuming it could report a
+// guarantee the original run never established.
 const (
-	magic   = "CMCK"
-	version = 2
+	magic           = "CMCK"
+	version         = 3
+	versionPreKinds = 2 // last revision before workload kinds; max-find only
 
 	// headerSize = magic + u32 version + u32 crc + u64 payload length.
 	headerSize = 4 + 4 + 4 + 8
@@ -68,10 +72,21 @@ const (
 // castagnoli is the CRC-32C table (the polynomial with hardware support).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// KindMaxFind is the workload kind of the original two-phase max-finding
+// session — the kind every pre-v3 snapshot implicitly has.
+const KindMaxFind = "max-find"
+
 // PairAnswer is one memoized comparison: the unordered pair's item IDs and
 // the frozen winner ID.
 type PairAnswer struct {
 	A, B, Winner int64
+}
+
+// ValueAnswer is one memoized cardinal value query: the item ID, the vote
+// index, and the frozen estimate.
+type ValueAnswer struct {
+	ID, Rep int64
+	Value   float64
 }
 
 // State is one snapshot of a session run. Fields divide into the
@@ -120,10 +135,24 @@ type State struct {
 	// NaiveMemo and ExpertMemo are the frozen pair answers per class,
 	// sorted by (A, B) so encoding is deterministic.
 	NaiveMemo, ExpertMemo []PairAnswer
+
+	// Kind names the workload the snapshot belongs to (KindMaxFind,
+	// "top-k", "score"). Resume dispatches on it; a v2 file decodes with
+	// KindMaxFind. Encode writes KindMaxFind when empty.
+	Kind string
+	// Workload is the workload's opaque private state blob (nil for
+	// max-find): the top-k completed-rank log, the score configuration.
+	// The checkpoint codec frames and checksums it but never interprets it.
+	Workload []byte
+	// ValueMemo is the frozen value-query answers (crowd scoring), sorted
+	// by (ID, Rep) so encoding is deterministic. Empty for comparison-only
+	// workloads.
+	ValueMemo []ValueAnswer
 }
 
-// SortPairs orders both memo tables by (A, B); Encode requires sorted tables
-// for byte-identical output across runs.
+// SortPairs orders both pair-memo tables by (A, B) and the value-memo table
+// by (ID, Rep); Encode requires sorted tables for byte-identical output
+// across runs.
 func (s *State) SortPairs() {
 	for _, t := range [][]PairAnswer{s.NaiveMemo, s.ExpertMemo} {
 		sort.Slice(t, func(i, j int) bool {
@@ -133,6 +162,12 @@ func (s *State) SortPairs() {
 			return t[i].B < t[j].B
 		})
 	}
+	sort.Slice(s.ValueMemo, func(i, j int) bool {
+		if s.ValueMemo[i].ID != s.ValueMemo[j].ID {
+			return s.ValueMemo[i].ID < s.ValueMemo[j].ID
+		}
+		return s.ValueMemo[i].Rep < s.ValueMemo[j].Rep
+	})
 }
 
 // Encode renders the state in the versioned, checksummed binary format.
@@ -170,6 +205,19 @@ func Encode(s *State) []byte {
 			p.i64(e.Winner)
 		}
 	}
+	kind := s.Kind
+	if kind == "" {
+		kind = KindMaxFind
+	}
+	p.str(kind)
+	p.i64(int64(len(s.Workload)))
+	p.b = append(p.b, s.Workload...)
+	p.i64(int64(len(s.ValueMemo)))
+	for _, e := range s.ValueMemo {
+		p.i64(e.ID)
+		p.i64(e.Rep)
+		p.u64(math.Float64bits(e.Value))
+	}
 	return SealEnvelope(magic, version, p.b)
 }
 
@@ -178,9 +226,13 @@ func Encode(s *State) []byte {
 // bounds-checked and every count validated against the remaining bytes
 // before allocation.
 func Decode(data []byte) (*State, error) {
-	body, err := OpenEnvelope(magic, version, data)
+	body, v, err := OpenEnvelopeAny(magic, data)
 	if err != nil {
 		return nil, err
+	}
+	if v != version && v != versionPreKinds {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d or %d)",
+			ErrCorrupt, v, versionPreKinds, version)
 	}
 
 	r := reader{b: body}
@@ -216,6 +268,26 @@ func Decode(data []byte) (*State, error) {
 			*table = make([]PairAnswer, n)
 			for i := range *table {
 				(*table)[i] = PairAnswer{A: r.i64(), B: r.i64(), Winner: r.i64()}
+			}
+		}
+	}
+	if v == versionPreKinds {
+		// A v2 file was written by a max-find run; the workload envelope
+		// fields did not exist yet.
+		s.Kind = KindMaxFind
+	} else {
+		if s.Kind = r.str(); s.Kind == "" {
+			// Encode always writes a kind; normalize a hand-forged empty
+			// one the same way Encode would have.
+			s.Kind = KindMaxFind
+		}
+		if n := r.count(1); n > 0 {
+			s.Workload = append([]byte(nil), r.take(int(n))...)
+		}
+		if n := r.count(24); n > 0 {
+			s.ValueMemo = make([]ValueAnswer, n)
+			for i := range s.ValueMemo {
+				s.ValueMemo[i] = ValueAnswer{ID: r.i64(), Rep: r.i64(), Value: math.Float64frombits(r.u64())}
 			}
 		}
 	}

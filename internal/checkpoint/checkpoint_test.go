@@ -31,6 +31,13 @@ func sampleState() *State {
 			{A: -3, B: 4, Winner: 4},
 		},
 		ExpertMemo: []PairAnswer{{A: 3, B: 7, Winner: 3}},
+		Kind:       "score",
+		Workload:   []byte{0x01, 0x00, 0xFE, 0x42},
+		ValueMemo: []ValueAnswer{
+			{ID: 7, Rep: 1, Value: 0.25},
+			{ID: 7, Rep: 0, Value: -1.5},
+			{ID: 2, Rep: 0, Value: 3.125},
+		},
 	}
 	s.Comparisons[0] = 1234
 	s.Comparisons[1] = 56
@@ -59,6 +66,7 @@ func TestEncodeDeterministic(t *testing.T) {
 	// produce identical bytes after SortPairs (Save relies on this for the
 	// bit-identical-resume property).
 	b.NaiveMemo[0], b.NaiveMemo[2] = b.NaiveMemo[2], b.NaiveMemo[0]
+	b.ValueMemo[0], b.ValueMemo[2] = b.ValueMemo[2], b.ValueMemo[0]
 	a.SortPairs()
 	b.SortPairs()
 	if !reflect.DeepEqual(Encode(a), Encode(b)) {
@@ -71,7 +79,9 @@ func TestZeroStateRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Decode(Encode(zero)): %v", err)
 	}
-	if !reflect.DeepEqual(got, &State{}) {
+	// Encode normalizes an empty Kind to the max-find kind every pre-v3
+	// snapshot implicitly had, so a zero state rounds-trips to that.
+	if !reflect.DeepEqual(got, &State{Kind: KindMaxFind}) {
 		t.Fatalf("zero state round trip mismatch: %+v", got)
 	}
 }
@@ -171,6 +181,85 @@ func TestLoadMissingFile(t *testing.T) {
 	}
 	if errors.Is(err, ErrCorrupt) {
 		t.Fatal("missing file misreported as corruption")
+	}
+}
+
+// encodeV2 renders s in the historical version-2 layout (everything up to
+// and including the memo tables, no workload envelope) — the byte stream a
+// pre-workload-engine build wrote to disk.
+func encodeV2(s *State) []byte {
+	var b Builder
+	b.U64(s.Seed)
+	b.I64(int64(s.Un))
+	b.I64(int64(s.Phase2))
+	b.Bool(s.TrackLosses)
+	b.I64(int64(s.NItems))
+	b.U64(s.ItemsHash)
+	b.Str(s.Phase)
+	b.I64(int64(len(s.Survivors)))
+	for _, id := range s.Survivors {
+		b.I64(id)
+	}
+	b.Str(s.Rung)
+	b.U64(s.DecisionHash)
+	for i := range s.Comparisons {
+		b.I64(s.Comparisons[i])
+	}
+	for i := range s.MemoHits {
+		b.I64(s.MemoHits[i])
+	}
+	b.I64(s.Steps)
+	for i := range s.BudgetSpent {
+		b.I64(s.BudgetSpent[i])
+	}
+	b.F64(s.BudgetCost)
+	for _, table := range [][]PairAnswer{s.NaiveMemo, s.ExpertMemo} {
+		b.I64(int64(len(table)))
+		for _, e := range table {
+			b.I64(e.A)
+			b.I64(e.B)
+			b.I64(e.Winner)
+		}
+	}
+	return SealEnvelope(magic, versionPreKinds, b.Bytes())
+}
+
+func TestDecodeMigratesV2AsMaxFind(t *testing.T) {
+	want := sampleState()
+	want.Kind = ""
+	want.Workload = nil
+	want.ValueMemo = nil
+	want.SortPairs()
+	got, err := Decode(encodeV2(want))
+	if err != nil {
+		t.Fatalf("Decode(v2): %v", err)
+	}
+	if got.Kind != KindMaxFind {
+		t.Fatalf("v2 snapshot decoded with kind %q, want %q", got.Kind, KindMaxFind)
+	}
+	if got.Workload != nil || got.ValueMemo != nil {
+		t.Fatalf("v2 snapshot fabricated workload extras: blob=%v valueMemo=%v", got.Workload, got.ValueMemo)
+	}
+	want.Kind = KindMaxFind
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v2 migration mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// And the migrated state re-encodes as a valid v3 snapshot.
+	again, err := Decode(Encode(got))
+	if err != nil {
+		t.Fatalf("Decode(Encode(migrated)): %v", err)
+	}
+	if !reflect.DeepEqual(again, got) {
+		t.Fatalf("migrated state did not round-trip through v3:\n got %+v\nwant %+v", again, got)
+	}
+}
+
+func TestDecodeV2FailsClosedOnTruncation(t *testing.T) {
+	data := encodeV2(sampleState())
+	for n := headerSize; n < len(data); n += 7 {
+		if _, err := Decode(data[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("v2 truncation to %d/%d bytes: err = %v, want ErrCorrupt", n, len(data), err)
+		}
 	}
 }
 

@@ -60,6 +60,32 @@ func OpenEnvelope(magic string, version uint32, data []byte) ([]byte, error) {
 	return body, nil
 }
 
+// OpenEnvelopeAny validates data against the expected magic — but not a
+// particular version — and returns the payload together with the version the
+// file declares. Callers that support several codec revisions (the session
+// snapshot reads v2 and v3) probe with this and dispatch on the version;
+// every other failure mode still wraps ErrCorrupt.
+func OpenEnvelopeAny(magic string, data []byte) ([]byte, uint32, error) {
+	if len(data) < headerSize {
+		return nil, 0, fmt.Errorf("%w: %d bytes is shorter than the header", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != magic {
+		return nil, 0, fmt.Errorf("%w: bad magic %q (want %q)", ErrCorrupt, data[:4], magic)
+	}
+	v := binary.LittleEndian.Uint32(data[4:])
+	wantSum := binary.LittleEndian.Uint32(data[8:])
+	n := binary.LittleEndian.Uint64(data[12:])
+	if n != uint64(len(data)-headerSize) {
+		return nil, 0, fmt.Errorf("%w: payload length %d does not match %d trailing bytes",
+			ErrCorrupt, n, len(data)-headerSize)
+	}
+	body := data[headerSize:]
+	if got := crc32.Checksum(body, castagnoli); got != wantSum {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrCorrupt, wantSum, got)
+	}
+	return body, v, nil
+}
+
 // Builder is the append side of the little-endian payload codec: fixed-width
 // integers, length-prefixed strings, IEEE-754 floats. Strings longer than
 // the codec's cap are truncated, mirroring the decode-side bound.

@@ -24,6 +24,12 @@ func FuzzCheckpointRoundTrip(f *testing.F) {
 	degraded.Rung = "expert-shrunk"
 	degraded.DecisionHash = ^uint64(0)
 	f.Add(Encode(degraded))
+	topk := sampleState()
+	topk.Kind = "top-k"
+	topk.Workload = []byte{3, 0, 0, 0, 0, 0, 0, 0, 42}
+	topk.ValueMemo = nil
+	f.Add(Encode(topk))
+	f.Add(encodeV2(sampleState()))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Decode(data)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"crowdmax/internal/item"
+	"crowdmax/internal/obs"
 	"crowdmax/internal/sched"
 	"crowdmax/internal/tournament"
 )
@@ -30,7 +31,33 @@ type TopKOptions struct {
 	// Scheduler selects the comparison schedule of every round's two-phase
 	// run; see FilterOptions.Scheduler.
 	Scheduler sched.Kind
+	// OnRound, when set, is called after every completed round with the
+	// 0-based round index and its winner — the hook checkpointing callers
+	// use to snapshot at rank boundaries.
+	OnRound func(round int, winner item.Item)
 }
+
+// RoundError reports a TopK run truncated mid-round: the first Completed
+// ranks of the returned prefix are final, and Best is the truncated round's
+// best-so-far leader (the zero Item when the round had none). It wraps the
+// underlying cause, so errors.Is sees context.Canceled, budget exhaustion,
+// and friends through it.
+type RoundError struct {
+	// Round is the 1-based round that failed.
+	Round int
+	// Completed is the number of fully completed rounds (= ranks returned).
+	Completed int
+	// Best is the failed round's best-so-far element, zero if none.
+	Best item.Item
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error formats like the historical "round %d: %v" message.
+func (e *RoundError) Error() string { return fmt.Sprintf("round %d: %v", e.Round, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *RoundError) Unwrap() error { return e.Err }
 
 // TopK returns k elements ordered best-first by running the two-phase
 // expert-aware algorithm k times, removing each round's winner — the
@@ -45,8 +72,10 @@ type TopKOptions struct {
 // substantially cheaper, since most pairs repeat.
 //
 // On cancellation or budget exhaustion TopK returns the prefix of fully
-// completed rounds alongside the error: the first len(result) ranks are
-// final; the truncated round's partial progress is discarded.
+// completed rounds alongside a *RoundError: the first len(result) ranks are
+// final, and the error carries the truncated round's completed-rank count
+// and best-so-far leader (also surfaced as a "topk.truncated" obs event), so
+// callers can report partial progress instead of discarding it.
 func TopK(ctx context.Context, items []item.Item, naive, expert *tournament.Oracle, opt TopKOptions) ([]item.Item, error) {
 	if len(items) == 0 {
 		return nil, ErrNoItems
@@ -64,6 +93,9 @@ func TopK(ctx context.Context, items []item.Item, naive, expert *tournament.Orac
 	for round := 0; round < opt.K; round++ {
 		if len(remaining) == 1 {
 			out = append(out, remaining[0])
+			if opt.OnRound != nil {
+				opt.OnRound(round, out[len(out)-1])
+			}
 			remaining = remaining[:0]
 			continue
 		}
@@ -75,9 +107,17 @@ func TopK(ctx context.Context, items []item.Item, naive, expert *tournament.Orac
 			Scheduler:   opt.Scheduler,
 		})
 		if err != nil {
-			return out, fmt.Errorf("round %d: %w", round+1, err)
+			if sc := topkScope(naive, expert); sc != nil {
+				sc.Event("topk.truncated",
+					obs.Fi("round", int64(round+1)), obs.Fi("completed", int64(len(out))),
+					obs.Fi("partial_best", int64(res.Best.ID)))
+			}
+			return out, &RoundError{Round: round + 1, Completed: len(out), Best: res.Best, Err: err}
 		}
 		out = append(out, res.Best)
+		if opt.OnRound != nil {
+			opt.OnRound(round, res.Best)
+		}
 		kept := remaining[:0]
 		for _, it := range remaining {
 			if it.ID != res.Best.ID {
@@ -87,6 +127,15 @@ func TopK(ctx context.Context, items []item.Item, naive, expert *tournament.Orac
 		remaining = kept
 	}
 	return out, nil
+}
+
+// topkScope picks the obs scope TopK events go to: the naive oracle's, or
+// the expert's when only that one is instrumented.
+func topkScope(naive, expert *tournament.Oracle) *obs.Scope {
+	if sc := naive.Obs(); sc != nil {
+		return sc
+	}
+	return expert.Obs()
 }
 
 // RankByWins orders items by their win counts in an all-play-all tournament

@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"crowdmax/internal/cost"
 	"crowdmax/internal/dataset"
+	"crowdmax/internal/dispatch"
 	"crowdmax/internal/item"
 	"crowdmax/internal/rng"
 	"crowdmax/internal/tournament"
@@ -167,6 +169,91 @@ func TestTopKWholeSet(t *testing.T) {
 		if s.Rank(it.ID) != i+1 {
 			t.Fatalf("full ranking wrong at position %d", i)
 		}
+	}
+}
+
+func TestTopKOnRoundHook(t *testing.T) {
+	// OnRound fires once per completed round, in order, with the round's
+	// winner — including the final round served by the single-remaining
+	// shortcut when k = n.
+	r := rng.New(7)
+	s := dataset.Uniform(10, 0, 1, r)
+	no := tournament.NewOracle(worker.Truth, worker.Naive, nil, nil)
+	eo := tournament.NewOracle(worker.Truth, worker.Expert, nil, nil)
+	type roundWin struct {
+		round  int
+		winner int
+	}
+	var calls []roundWin
+	got, err := TopK(context.Background(), s.Items(), no, eo, TopKOptions{
+		K: 10, U: 2,
+		OnRound: func(round int, winner item.Item) {
+			calls = append(calls, roundWin{round, winner.ID})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(got) {
+		t.Fatalf("OnRound fired %d times for %d ranks", len(calls), len(got))
+	}
+	for i, c := range calls {
+		if c.round != i {
+			t.Fatalf("call %d reported round %d", i, c.round)
+		}
+		if c.winner != got[i].ID {
+			t.Fatalf("round %d winner %d but rank %d is %d", i, c.winner, i, got[i].ID)
+		}
+	}
+}
+
+func TestTopKRoundErrorPartialProgress(t *testing.T) {
+	// A budget that covers round 1 but starves round 2 must surface the
+	// completed prefix alongside a *RoundError naming the truncated round,
+	// with errors.Is still reaching the budget cause.
+	r := rng.New(8)
+	s := dataset.Uniform(60, 0, 1, r)
+	newOracles := func(b *dispatch.Budget) (*tournament.Oracle, *tournament.Oracle) {
+		ledger := cost.NewLedger()
+		no := tournament.NewOracle(worker.Truth, worker.Naive, ledger, nil).WithBudget(b)
+		eo := tournament.NewOracle(worker.Truth, worker.Expert, ledger, nil).WithBudget(b)
+		return no, eo
+	}
+
+	// Measure round 1's paid total on an unbudgeted run.
+	no, eo := newOracles(nil)
+	if _, err := TopK(context.Background(), s.Items(), no, eo, TopKOptions{K: 1, U: 2}); err != nil {
+		t.Fatal(err)
+	}
+	round1 := no.LedgerSnapshot().TotalComparisons()
+	if round1 == 0 {
+		t.Fatal("round 1 paid nothing")
+	}
+
+	b := dispatch.NewBudget(dispatch.Limits{MaxTotal: round1 + 1})
+	no, eo = newOracles(b)
+	got, err := TopK(context.Background(), s.Items(), no, eo, TopKOptions{K: 3, U: 2})
+	if err == nil {
+		t.Fatal("starved run succeeded")
+	}
+	var re *RoundError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a *RoundError", err)
+	}
+	if !errors.Is(err, dispatch.ErrBudgetExhausted) {
+		t.Fatalf("cause lost: %v", err)
+	}
+	if re.Completed != len(got) {
+		t.Fatalf("Completed = %d but %d ranks returned", re.Completed, len(got))
+	}
+	if re.Round != re.Completed+1 {
+		t.Fatalf("Round = %d with %d completed", re.Round, re.Completed)
+	}
+	if len(got) != 1 {
+		t.Fatalf("expected exactly round 1's rank back, got %d", len(got))
+	}
+	if s.Rank(got[0].ID) != 1 {
+		t.Fatalf("surviving rank has true rank %d", s.Rank(got[0].ID))
 	}
 }
 

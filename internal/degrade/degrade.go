@@ -233,19 +233,22 @@ func maxGuarantee(k RungKind) Guarantee {
 
 // StrongestLabel returns the strongest guarantee the named quality rung may
 // honestly attach to an answer, over the standard rung names — the
-// DefaultLadder rungs plus the undegraded "expert-all-play-all" natural
-// rung. ok is false for names outside that set; harnesses and services use
-// the pair to reject results that claim an unknown rung or a label stronger
-// than the rung can deliver.
+// DefaultLadder rungs, the undegraded "expert-all-play-all" natural rung,
+// and the crowd-scoring rungs ("score-expert": experts extracted the answer
+// from a score-derived shortlist, so the bound is 2δe relative to that
+// subset; "score-naive": the answer is only the aggregated-score leader).
+// ok is false for names outside that set; harnesses and services use the
+// pair to reject results that claim an unknown rung or a label stronger than
+// the rung can deliver.
 func StrongestLabel(rung string) (g Guarantee, ok bool) {
 	switch rung {
 	case "expert-2maxfind", "expert-all-play-all":
 		return Guarantee2DeltaE, true
 	case "expert-randomized":
 		return Guarantee3DeltaEWHP, true
-	case "expert-shrunk":
+	case "expert-shrunk", "score-expert":
 		return Guarantee2DeltaESubset, true
-	case "naive-majority":
+	case "naive-majority", "score-naive":
 		return GuaranteeDeltaN, true
 	case "best-so-far":
 		return GuaranteeNone, true

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"os"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -82,7 +83,7 @@ func TestDrainResumeBitIdentical(t *testing.T) {
 		t.Fatalf("resumed state %q err %q", j2.State(), j2.Err())
 	}
 
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("resumed result diverged from uninterrupted run:\n got %+v\nwant %+v", got, want)
 	}
 
@@ -95,7 +96,7 @@ func TestDrainResumeBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode final record: %v", err)
 	}
-	if dec.state != StateDone || dec.result == nil || *dec.result != want {
+	if dec.state != StateDone || dec.result == nil || !reflect.DeepEqual(*dec.result, want) {
 		t.Fatalf("persisted record %+v (result %+v) does not match %+v", dec, dec.result, want)
 	}
 }

@@ -19,6 +19,9 @@ type jobView struct {
 	ID             string     `json:"id"`
 	Tenant         string     `json:"tenant"`
 	State          State      `json:"state"`
+	Mode           string     `json:"mode"`
+	K              int        `json:"k,omitempty"`
+	Votes          int        `json:"votes,omitempty"`
 	N              int        `json:"n"`
 	Un             int        `json:"un"`
 	Ue             int        `json:"ue"`
@@ -34,6 +37,9 @@ func viewOf(j *Job) jobView {
 		ID:             j.ID,
 		Tenant:         j.Spec.Tenant,
 		State:          j.State(),
+		Mode:           j.Spec.Mode,
+		K:              j.Spec.K,
+		Votes:          j.Spec.Votes,
 		N:              j.Spec.size(),
 		Un:             j.Spec.Un,
 		Ue:             j.Spec.Ue,

@@ -73,6 +73,14 @@ type ItemSpec struct {
 type JobSpec struct {
 	// Tenant names the budget the job is billed to; empty means "default".
 	Tenant string `json:"tenant,omitempty"`
+	// Mode selects the workload: "max" (default), "topk", or "score".
+	Mode string `json:"mode,omitempty"`
+	// K is the number of ranks a topk job extracts; required (≥ 1) for mode
+	// "topk", invalid otherwise.
+	K int `json:"k,omitempty"`
+	// Votes is the per-element vote count of a score job; 0 uses the
+	// engine default (3). Invalid outside mode "score".
+	Votes int `json:"votes,omitempty"`
 	// N requests a generated uniform instance of this size (ignored when
 	// Items is set).
 	N int `json:"n,omitempty"`
@@ -87,6 +95,13 @@ type JobSpec struct {
 	// threshold; defaults to max(1, Un/2).
 	Ue int `json:"ue,omitempty"`
 }
+
+// The service's job modes, mapped one-to-one onto session workloads.
+const (
+	ModeMax   = "max"
+	ModeTopK  = "topk"
+	ModeScore = "score"
+)
 
 // maxInstance bounds the accepted instance size; a service should not let
 // one request allocate arbitrarily.
@@ -116,6 +131,27 @@ func (sp *JobSpec) normalize() error {
 	if sp.Ue == 0 {
 		sp.Ue = max(1, sp.Un/2)
 	}
+	if sp.Mode == "" {
+		sp.Mode = ModeMax
+	}
+	switch sp.Mode {
+	case ModeMax, ModeScore:
+		if sp.K != 0 {
+			return fmt.Errorf("k is only valid for mode %q", ModeTopK)
+		}
+	case ModeTopK:
+		if sp.K < 1 || sp.K > n {
+			return fmt.Errorf("mode %q requires 1 ≤ k ≤ n, got k=%d n=%d", ModeTopK, sp.K, n)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (want %q, %q or %q)", sp.Mode, ModeMax, ModeTopK, ModeScore)
+	}
+	if sp.Mode != ModeScore && sp.Votes != 0 {
+		return fmt.Errorf("votes is only valid for mode %q", ModeScore)
+	}
+	if sp.Votes < 0 {
+		return errors.New("votes must be ≥ 0")
+	}
 	return nil
 }
 
@@ -127,19 +163,32 @@ func (sp *JobSpec) size() int {
 	return sp.N
 }
 
+// RankedEntry is one rank of a topk job's result, with its own honesty
+// label: each rank reports the rung that produced it and the guarantee that
+// rung can vouch for.
+type RankedEntry struct {
+	ID        int     `json:"id"`
+	Label     string  `json:"label,omitempty"`
+	Value     float64 `json:"value"`
+	Rung      string  `json:"rung"`
+	Guarantee string  `json:"guarantee"`
+}
+
 // JobResult is the outcome of a completed job — the subset of
 // crowdmax.Result the API reports and the record persists.
 type JobResult struct {
-	BestID            int     `json:"best_id"`
-	BestLabel         string  `json:"best_label,omitempty"`
-	BestValue         float64 `json:"best_value"`
-	Candidates        int     `json:"candidates"`
-	NaiveComparisons  int64   `json:"naive_comparisons"`
-	ExpertComparisons int64   `json:"expert_comparisons"`
-	Cost              float64 `json:"cost"`
-	Rung              string  `json:"rung"`
-	Guarantee         string  `json:"guarantee"`
-	Phase1Complete    bool    `json:"phase1_complete"`
+	Mode              string        `json:"mode"`
+	BestID            int           `json:"best_id"`
+	BestLabel         string        `json:"best_label,omitempty"`
+	BestValue         float64       `json:"best_value"`
+	Candidates        int           `json:"candidates"`
+	Ranked            []RankedEntry `json:"ranked,omitempty"`
+	NaiveComparisons  int64         `json:"naive_comparisons"`
+	ExpertComparisons int64         `json:"expert_comparisons"`
+	Cost              float64       `json:"cost"`
+	Rung              string        `json:"rung"`
+	Guarantee         string        `json:"guarantee"`
+	Phase1Complete    bool          `json:"phase1_complete"`
 }
 
 // Job is one submitted max-finding run. Mutable fields (state, result,
@@ -220,8 +269,12 @@ func (j *Job) attachLog() {
 // magic, so a bit-flipped or truncated record fails closed (ErrCorrupt)
 // exactly like a session snapshot instead of resurrecting a corrupt job.
 const (
-	recordMagic   = "CMJR"
-	recordVersion = 1
+	recordMagic = "CMJR"
+	// recordVersion 2 appends the workload-mode fields (spec mode/k/votes,
+	// result mode + per-rank entries); version-1 records from pre-workload
+	// servers load as mode "max".
+	recordVersion         = 2
+	recordVersionPreModes = 1
 )
 
 // encodeRecord renders the job's durable fields in the record format.
@@ -258,14 +311,33 @@ func encodeRecord(j *Job) []byte {
 		b.Str(r.Guarantee)
 		b.Bool(r.Phase1Complete)
 	}
+	// Version-2 appendix: the workload-mode fields.
+	b.Str(j.Spec.Mode)
+	b.I64(int64(j.Spec.K))
+	b.I64(int64(j.Spec.Votes))
+	if r := j.result; r != nil {
+		b.Str(r.Mode)
+		b.I64(int64(len(r.Ranked)))
+		for _, e := range r.Ranked {
+			b.I64(int64(e.ID))
+			b.Str(e.Label)
+			b.F64(e.Value)
+			b.Str(e.Rung)
+			b.Str(e.Guarantee)
+		}
+	}
 	return checkpoint.SealEnvelope(recordMagic, recordVersion, b.Bytes())
 }
 
 // decodeRecord parses a job record, failing closed on any inconsistency.
+// Version-1 records (pre-workload servers) decode as mode "max".
 func decodeRecord(data []byte) (*Job, error) {
-	body, err := checkpoint.OpenEnvelope(recordMagic, recordVersion, data)
+	body, ver, err := checkpoint.OpenEnvelopeAny(recordMagic, data)
 	if err != nil {
 		return nil, err
+	}
+	if ver != recordVersion && ver != recordVersionPreModes {
+		return nil, fmt.Errorf("%w: unsupported job record version %d", checkpoint.ErrCorrupt, ver)
 	}
 	r := checkpoint.NewReader(body)
 	j := &Job{}
@@ -300,13 +372,45 @@ func decodeRecord(data []byte) (*Job, error) {
 		res.Phase1Complete = r.Bool()
 		j.result = res
 	}
+	if ver >= recordVersion {
+		j.Spec.Mode = r.Str()
+		j.Spec.K = int(r.I64())
+		j.Spec.Votes = int(r.I64())
+		if j.result != nil {
+			j.result.Mode = r.Str()
+			if n := r.Count(40); n > 0 { // two numbers + three string length prefixes per entry
+				j.result.Ranked = make([]RankedEntry, n)
+				for i := range j.result.Ranked {
+					j.result.Ranked[i] = RankedEntry{
+						ID:        int(r.I64()),
+						Label:     r.Str(),
+						Value:     r.F64(),
+						Rung:      r.Str(),
+						Guarantee: r.Str(),
+					}
+				}
+			}
+		}
+	}
 	if err := r.Done(); err != nil {
 		return nil, err
+	}
+	if j.Spec.Mode == "" {
+		// Pre-workload record: every job was a max-find.
+		j.Spec.Mode = ModeMax
+		if j.result != nil {
+			j.result.Mode = ModeMax
+		}
 	}
 	switch j.state {
 	case StateQueued, StateRunning, StateInterrupted, StateDone, StateFailed:
 	default:
 		return nil, fmt.Errorf("%w: record names unknown state %q", checkpoint.ErrCorrupt, j.state)
+	}
+	switch j.Spec.Mode {
+	case ModeMax, ModeTopK, ModeScore:
+	default:
+		return nil, fmt.Errorf("%w: record names unknown mode %q", checkpoint.ErrCorrupt, j.Spec.Mode)
 	}
 	return j, nil
 }

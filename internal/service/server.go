@@ -87,8 +87,8 @@ type Options struct {
 // tenant is one tenant's live admission state.
 type tenant struct {
 	mu     sync.Mutex
-	jobs   int      // admitted and not yet settled
-	max    int      // MaxJobs cap; 0 = unlimited
+	jobs   int              // admitted and not yet settled
+	max    int              // MaxJobs cap; 0 = unlimited
 	budget *crowdmax.Budget // nil = unlimited
 }
 
@@ -192,12 +192,16 @@ func (s *Server) tenant(name string) *tenant {
 }
 
 // reservation computes the worst-case per-class comparison counts a job
-// could spend — the amount admission pre-charges. The naïve side is the
-// filter bound (Lemma 3) plus a full all-play-all over the candidate-set
-// bound (the naive-majority degradation rung); the expert side is the
-// larger of the 2-MaxFind bound (Theorem 1) and the randomized rung's
-// pessimistic estimate. Every quality-ladder rung spends within this
-// envelope, so the refund at settlement is never negative.
+// could spend — the amount admission pre-charges. For a max-find, the naïve
+// side is the filter bound (Lemma 3) plus a full all-play-all over the
+// candidate-set bound (the naive-majority degradation rung); the expert side
+// is the larger of the 2-MaxFind bound (Theorem 1) and the randomized rung's
+// pessimistic estimate. A topk job reserves k such rounds (memo reuse makes
+// the actual spend far smaller; the refund covers the difference). A score
+// job's naïve side is its vote count (one value query per element per vote)
+// and its expert side the shortlist tournament. Every quality-ladder rung
+// spends within this envelope, so the refund at settlement is never
+// negative.
 func reservation(sp JobSpec) (naive, expert int64) {
 	n, un := sp.size(), sp.Un
 	cs := int64(core.CandidateSetBound(un))
@@ -205,6 +209,17 @@ func reservation(sp JobSpec) (naive, expert int64) {
 	expert = int64(math.Ceil(core.Phase2ExpertUpperBound(un)))
 	if alt := 160 * cs; alt > expert {
 		expert = alt
+	}
+	switch sp.Mode {
+	case ModeTopK:
+		naive *= int64(sp.K)
+		expert *= int64(sp.K)
+	case ModeScore:
+		votes := int64(sp.Votes)
+		if votes == 0 {
+			votes = 3 // engine default
+		}
+		naive = int64(n) * votes
 	}
 	return naive, expert
 }
@@ -283,7 +298,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 	scope := s.scope(j)
-	scope.Event("job", obs.Fs("state", "queued"),
+	scope.Event("job", obs.Fs("state", "queued"), obs.Fs("mode", spec.Mode),
 		obs.Fs("tenant", spec.Tenant), obs.Fi("n", int64(spec.size())),
 		obs.Fi("un", int64(spec.Un)), obs.Fi("reserved_naive", rn), obs.Fi("reserved_expert", re))
 	s.wg.Add(1)
@@ -358,9 +373,18 @@ func (s *Server) session(j *Job, set *crowdmax.Set, scope *obs.Scope) (*crowdmax
 		naive = &latencyWorker{inner: naive, d: s.opt.CmpLatency}
 		expert = &latencyWorker{inner: expert, d: s.opt.CmpLatency}
 	}
+	var valuer crowdmax.Valuer
+	if j.Spec.Mode == ModeScore {
+		// Cardinal votes from the same naive workforce: per-vote noise on
+		// the order of the class's discernment threshold, deterministic per
+		// (seed, element, vote) so parallel dispatch and checkpoint replay
+		// reproduce identical votes.
+		valuer = crowdmax.NoisyValuer{Sigma: dn, Seed: j.Spec.Seed + 2}
+	}
 	return crowdmax.NewSession(crowdmax.Config{
 		Naive:      naive,
 		Expert:     expert,
+		Valuer:     valuer,
 		Un:         j.Spec.Un,
 		Prices:     s.opt.Prices,
 		Rand:       crowdmax.NewRand(j.Spec.Seed),
@@ -393,17 +417,25 @@ func (s *Server) runJob(j *Job, resume bool) {
 		s.finishFailed(j, scope, crowdmax.Result{}, err)
 		return
 	}
+	w, err := workloadOf(j.Spec)
+	if err != nil {
+		s.finishFailed(j, scope, crowdmax.Result{}, err)
+		return
+	}
 	var res crowdmax.Result
 	ck := s.ckPath(j.ID)
 	if resume {
 		if _, statErr := os.Stat(ck); statErr == nil {
-			res, err = sess.Resume(s.baseCtx, ck, set.Items())
+			// ResumeWorkload pins the snapshot to the job's recorded mode: a
+			// swapped checkpoint file fails instead of silently running a
+			// different workload under this job's ID.
+			res, err = sess.ResumeWorkload(s.baseCtx, w, ck, set.Items())
 		} else {
 			// Drained before the first snapshot landed: run fresh.
-			res, err = sess.FindMaxContext(s.baseCtx, set.Items())
+			res, err = sess.Run(s.baseCtx, w, set.Items())
 		}
 	} else {
-		res, err = sess.FindMaxContext(s.baseCtx, set.Items())
+		res, err = sess.Run(s.baseCtx, w, set.Items())
 	}
 
 	switch {
@@ -422,8 +454,23 @@ func (s *Server) runJob(j *Job, resume bool) {
 	}
 }
 
-// finishDone settles a completed job: validate the guarantee label, record
-// the result, refund the unspent reservation, release the tenant, persist.
+// workloadOf maps an admitted job spec onto its session workload.
+func workloadOf(sp JobSpec) (crowdmax.Workload, error) {
+	switch sp.Mode {
+	case ModeMax:
+		return crowdmax.MaxFind(), nil
+	case ModeTopK:
+		return crowdmax.TopKWorkload(sp.K), nil
+	case ModeScore:
+		return crowdmax.ScoreWorkload(crowdmax.ScoreConfig{Votes: sp.Votes}), nil
+	default:
+		return nil, fmt.Errorf("job has unknown mode %q", sp.Mode)
+	}
+}
+
+// finishDone settles a completed job: validate the guarantee labels — the
+// overall one and, for ranked results, every rank's own — record the
+// result, refund the unspent reservation, release the tenant, persist.
 func (s *Server) finishDone(j *Job, scope *obs.Scope, res crowdmax.Result) {
 	if strongest, ok := crowdmax.StrongestGuaranteeFor(res.Rung); !ok {
 		s.finishFailed(j, scope, res, fmt.Errorf("result names unknown rung %q", res.Rung))
@@ -432,11 +479,30 @@ func (s *Server) finishDone(j *Job, scope *obs.Scope, res crowdmax.Result) {
 		s.finishFailed(j, scope, res, fmt.Errorf("label %q is stronger than rung %q can deliver", res.Guarantee, res.Rung))
 		return
 	}
+	var ranked []RankedEntry // nil when empty, matching the record round trip
+	for i, rr := range res.Ranked {
+		if strongest, ok := crowdmax.StrongestGuaranteeFor(rr.Rung); !ok {
+			s.finishFailed(j, scope, res, fmt.Errorf("rank %d names unknown rung %q", i+1, rr.Rung))
+			return
+		} else if rr.Guarantee.Strength() > strongest.Strength() {
+			s.finishFailed(j, scope, res, fmt.Errorf("rank %d label %q is stronger than rung %q can deliver", i+1, rr.Guarantee, rr.Rung))
+			return
+		}
+		ranked = append(ranked, RankedEntry{
+			ID:        rr.Item.ID,
+			Label:     rr.Item.Label,
+			Value:     rr.Item.Value,
+			Rung:      rr.Rung,
+			Guarantee: string(rr.Guarantee),
+		})
+	}
 	j.setResult(JobResult{
+		Mode:              j.Spec.Mode,
 		BestID:            res.Best.ID,
 		BestLabel:         res.Best.Label,
 		BestValue:         res.Best.Value,
 		Candidates:        len(res.Candidates),
+		Ranked:            ranked,
 		NaiveComparisons:  res.NaiveComparisons,
 		ExpertComparisons: res.ExpertComparisons,
 		Cost:              res.Cost,
@@ -448,8 +514,9 @@ func (s *Server) finishDone(j *Job, scope *obs.Scope, res crowdmax.Result) {
 	j.mu.Unlock()
 	s.settle(j, res)
 	s.persistLogged(j)
-	scope.Event("job", obs.Fs("state", "done"), obs.Fs("rung", res.Rung),
-		obs.Fs("guarantee", string(res.Guarantee)),
+	scope.Event("job", obs.Fs("state", "done"), obs.Fs("mode", j.Spec.Mode),
+		obs.Fs("rung", res.Rung), obs.Fs("guarantee", string(res.Guarantee)),
+		obs.Fi("ranks", int64(len(res.Ranked))),
 		obs.Fi("naive", res.NaiveComparisons), obs.Fi("expert", res.ExpertComparisons))
 	j.events.close()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -98,9 +99,9 @@ func TestSubmitValidation(t *testing.T) {
 	defer s.Drain(context.Background())
 
 	for _, spec := range []JobSpec{
-		{},                      // no instance
-		{N: 1, Un: 1},           // too small
-		{N: 100, Un: 0},         // un < 1
+		{},              // no instance
+		{N: 1, Un: 1},   // too small
+		{N: 100, Un: 0}, // un < 1
 		{N: maxInstance + 1, Un: 4},
 	} {
 		if _, err := s.Submit(spec); !errors.Is(err, ErrBadRequest) {
@@ -214,16 +215,20 @@ func TestRecordRoundTrip(t *testing.T) {
 	j := &Job{
 		ID: "j00000042",
 		Spec: JobSpec{
-			Tenant: "acme", N: 0, Seed: 99, Un: 6, Ue: 3,
+			Tenant: "acme", Mode: ModeTopK, K: 2, N: 0, Seed: 99, Un: 6, Ue: 3,
 			Items: []ItemSpec{{Label: "a", Value: 0.25}, {Value: 0.75}},
 		},
 		ReservedNaive:  1234,
 		ReservedExpert: 567,
 		state:          StateDone,
 		result: &JobResult{
-			BestID: 1, BestLabel: "b", BestValue: 0.75, Candidates: 3,
+			Mode: ModeTopK, BestID: 1, BestLabel: "b", BestValue: 0.75, Candidates: 3,
+			Ranked: []RankedEntry{
+				{ID: 1, Label: "b", Value: 0.75, Rung: "expert-2maxfind", Guarantee: "2δe"},
+				{ID: 0, Label: "a", Value: 0.25, Rung: "naive-majority", Guarantee: "δn"},
+			},
 			NaiveComparisons: 100, ExpertComparisons: 9, Cost: 190,
-			Rung: "expert-2maxfind", Guarantee: "2δe", Phase1Complete: true,
+			Rung: "naive-majority", Guarantee: "δn", Phase1Complete: true,
 		},
 	}
 	j.attachLog()
@@ -233,13 +238,32 @@ func TestRecordRoundTrip(t *testing.T) {
 		t.Fatalf("decodeRecord: %v", err)
 	}
 	if got.ID != j.ID || got.Spec.Tenant != "acme" || got.Spec.Seed != 99 ||
+		got.Spec.Mode != ModeTopK || got.Spec.K != 2 ||
 		got.Spec.Un != 6 || got.Spec.Ue != 3 || len(got.Spec.Items) != 2 ||
 		got.Spec.Items[0] != j.Spec.Items[0] || got.Spec.Items[1] != j.Spec.Items[1] ||
 		got.ReservedNaive != 1234 || got.ReservedExpert != 567 || got.state != StateDone {
 		t.Fatalf("round-trip mismatch: %+v", got)
 	}
-	if got.result == nil || *got.result != *j.result {
+	if got.result == nil || !reflect.DeepEqual(*got.result, *j.result) {
 		t.Fatalf("result mismatch: %+v", got.result)
+	}
+
+	// A version-1 record (pre-workload server) loads as mode "max" with no
+	// fabricated ranked entries.
+	v1 := encodeRecordV1(j)
+	old, err := decodeRecord(v1)
+	if err != nil {
+		t.Fatalf("decode v1 record: %v", err)
+	}
+	if old.Spec.Mode != ModeMax || old.Spec.K != 0 || old.Spec.Votes != 0 {
+		t.Fatalf("v1 spec decoded as mode=%q k=%d votes=%d, want max/0/0", old.Spec.Mode, old.Spec.K, old.Spec.Votes)
+	}
+	if old.result == nil || old.result.Mode != ModeMax || old.result.Ranked != nil {
+		t.Fatalf("v1 result decoded as %+v, want mode max with no ranked entries", old.result)
+	}
+	// And re-persists as a valid current-version record.
+	if _, err := decodeRecord(encodeRecord(old)); err != nil {
+		t.Fatalf("re-encode of migrated v1 record: %v", err)
 	}
 
 	// Fail-closed on corruption: flip one payload byte.
@@ -254,6 +278,118 @@ func TestRecordRoundTrip(t *testing.T) {
 	if _, err := decodeRecord(wrong); !errors.Is(err, checkpoint.ErrCorrupt) {
 		t.Fatalf("wrong-magic err = %v, want ErrCorrupt", err)
 	}
+}
+
+// TestModesEndToEnd submits one job per workload mode to the same server and
+// checks each completes with its mode's result shape and honest labels.
+func TestModesEndToEnd(t *testing.T) {
+	s := testServer(t, t.TempDir(), nil)
+	defer s.Drain(context.Background())
+
+	jm, err := s.Submit(JobSpec{N: 80, Seed: 7, Un: 5})
+	if err != nil {
+		t.Fatalf("Submit max: %v", err)
+	}
+	jt, err := s.Submit(JobSpec{Mode: ModeTopK, K: 3, N: 80, Seed: 7, Un: 5})
+	if err != nil {
+		t.Fatalf("Submit topk: %v", err)
+	}
+	js, err := s.Submit(JobSpec{Mode: ModeScore, Votes: 5, N: 80, Seed: 7, Un: 5})
+	if err != nil {
+		t.Fatalf("Submit score: %v", err)
+	}
+	for _, j := range []*Job{jm, jt, js} {
+		waitTerminal(t, j, 60*time.Second)
+		if st := j.State(); st != StateDone {
+			t.Fatalf("job %s (mode %s) state %q err %q", j.ID, j.Spec.Mode, st, j.Err())
+		}
+	}
+
+	rm, _ := jm.Result()
+	if rm.Mode != ModeMax || rm.Ranked != nil {
+		t.Fatalf("max result = %+v, want mode max with no ranked entries", rm)
+	}
+
+	rt, _ := jt.Result()
+	if rt.Mode != ModeTopK || len(rt.Ranked) != 3 {
+		t.Fatalf("topk result = %+v, want mode topk with 3 ranks", rt)
+	}
+	if rt.Ranked[0].ID != rt.BestID {
+		t.Fatalf("topk rank 1 is %d, best is %d", rt.Ranked[0].ID, rt.BestID)
+	}
+	seen := map[int]bool{}
+	for i, e := range rt.Ranked {
+		if seen[e.ID] {
+			t.Fatalf("topk rank %d repeats element %d", i+1, e.ID)
+		}
+		seen[e.ID] = true
+		strongest, ok := crowdmax.StrongestGuaranteeFor(e.Rung)
+		if !ok {
+			t.Fatalf("topk rank %d names unknown rung %q", i+1, e.Rung)
+		}
+		if crowdmax.Guarantee(e.Guarantee).Strength() > strongest.Strength() {
+			t.Fatalf("topk rank %d label %q stronger than rung %q allows", i+1, e.Guarantee, e.Rung)
+		}
+	}
+
+	rs, _ := js.Result()
+	if rs.Mode != ModeScore {
+		t.Fatalf("score result mode = %q", rs.Mode)
+	}
+	if rs.Rung != "score-expert" || rs.Guarantee != "2δe@subset" {
+		t.Fatalf("score result labeled %s/%s, want score-expert/2δe@subset", rs.Rung, rs.Guarantee)
+	}
+	if rs.NaiveComparisons < 80*5 {
+		t.Fatalf("score run paid %d naive queries, want ≥ %d (n·votes)", rs.NaiveComparisons, 80*5)
+	}
+
+	// Mode-field validation is part of admission.
+	for _, bad := range []JobSpec{
+		{Mode: "rank", N: 10, Seed: 1, Un: 2},
+		{Mode: ModeTopK, N: 10, Seed: 1, Un: 2},                 // k missing
+		{Mode: ModeTopK, K: 11, N: 10, Seed: 1, Un: 2},          // k > n
+		{K: 2, N: 10, Seed: 1, Un: 2},                           // k outside topk
+		{Mode: ModeTopK, K: 2, Votes: 3, N: 10, Seed: 1, Un: 2}, // votes outside score
+	} {
+		if _, err := s.Submit(bad); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("Submit(%+v) err = %v, want ErrBadRequest", bad, err)
+		}
+	}
+}
+
+// encodeRecordV1 renders j in the version-1 record layout — the format
+// pre-workload servers wrote — for migration tests.
+func encodeRecordV1(j *Job) []byte {
+	var b checkpoint.Builder
+	b.Str(j.ID)
+	b.Str(j.Spec.Tenant)
+	b.I64(int64(j.Spec.N))
+	b.U64(j.Spec.Seed)
+	b.I64(int64(j.Spec.Un))
+	b.I64(int64(j.Spec.Ue))
+	b.I64(int64(len(j.Spec.Items)))
+	for _, it := range j.Spec.Items {
+		b.Str(it.Label)
+		b.F64(it.Value)
+	}
+	b.I64(j.ReservedNaive)
+	b.I64(j.ReservedExpert)
+	b.Str(string(j.state))
+	b.Str(j.errMsg)
+	b.Bool(j.result != nil)
+	if r := j.result; r != nil {
+		b.I64(int64(r.BestID))
+		b.Str(r.BestLabel)
+		b.F64(r.BestValue)
+		b.I64(int64(r.Candidates))
+		b.I64(r.NaiveComparisons)
+		b.I64(r.ExpertComparisons)
+		b.F64(r.Cost)
+		b.Str(r.Rung)
+		b.Str(r.Guarantee)
+		b.Bool(r.Phase1Complete)
+	}
+	return checkpoint.SealEnvelope(recordMagic, recordVersionPreModes, b.Bytes())
 }
 
 func TestEventLogFollow(t *testing.T) {

@@ -35,6 +35,7 @@ package tournament
 
 import (
 	"context"
+	"fmt"
 	"slices"
 	"sync"
 
@@ -73,6 +74,8 @@ type Oracle struct {
 	class        worker.Class
 	ledger       *cost.Ledger
 	memo         *Memo
+	valuer       worker.Valuer
+	vmemo        *ValueMemo
 	batchWorkers int
 	obs          *obs.Scope
 }
@@ -111,6 +114,23 @@ func (o *Oracle) WithBudget(b *dispatch.Budget) *Oracle {
 
 // Budget returns the attached budget, nil when unconstrained.
 func (o *Oracle) Budget() *dispatch.Budget { return o.budget }
+
+// WithValuer attaches an in-process cardinal scorer answering AskValue
+// queries when no backend is attached (the backendless counterpart of
+// dispatch.NewSimulatedValuer); returns the oracle for chaining.
+func (o *Oracle) WithValuer(v worker.Valuer) *Oracle {
+	o.valuer = v
+	return o
+}
+
+// WithValueMemo attaches a value-query memo: each (item, rep) vote is paid
+// once and served free thereafter, and the memo's entries ride in
+// checkpoints so a resumed scoring run replays its votes bit-identically.
+// Returns the oracle for chaining.
+func (o *Oracle) WithValueMemo(m *ValueMemo) *Oracle {
+	o.vmemo = m
+	return o
+}
 
 // ParallelBatch opts the oracle into evaluating the non-memoized remainder
 // of each CompareBatch concurrently on up to workers goroutines (workers ≤ 0
@@ -243,11 +263,143 @@ func (o *Oracle) ask(ctx context.Context, a, b item.Item) (item.Item, error) {
 	return winner, nil
 }
 
+// AskValue obtains one cardinal value estimate for it (vote index rep),
+// billing it to the oracle's class unless served from the value memo. The
+// paid path follows the exact discipline of Compare's: ctx check, budget
+// pre-charge (all-or-nothing, refunded on dispatch failure), dispatch
+// through the backend when one is attached (as a dispatch.KindValue
+// request) or the in-process valuer otherwise, then the ledger charge.
+// An oracle with neither backend nor valuer fails the query permanently.
+func (o *Oracle) AskValue(ctx context.Context, it item.Item, rep int) (float64, error) {
+	if o.vmemo != nil {
+		if v, ok := o.vmemo.lookup(it.ID, rep); ok {
+			if o.ledger != nil {
+				o.ledger.MemoHit(o.class)
+			}
+			if o.obs != nil {
+				o.obs.Memo(int(o.class), 1, 0)
+			}
+			return v, nil
+		}
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	if o.budget != nil {
+		if err := o.budget.Spend(o.class, 1); err != nil {
+			return 0, err
+		}
+	}
+	var v float64
+	switch {
+	case o.backend != nil:
+		ans, err := o.backend.Answer(ctx, dispatch.Request{A: it, Class: o.class, Kind: dispatch.KindValue, Rep: rep})
+		if err != nil {
+			if o.budget != nil {
+				o.budget.Refund(o.class, 1)
+			}
+			return 0, err
+		}
+		v = ans.Value
+	case o.valuer != nil:
+		v = o.valuer.Value(it, rep)
+	default:
+		if o.budget != nil {
+			o.budget.Refund(o.class, 1)
+		}
+		return 0, fmt.Errorf("tournament: oracle has no valuer or backend for value queries: %w", dispatch.ErrPermanent)
+	}
+	if o.ledger != nil {
+		o.ledger.Charge(o.class)
+	}
+	if o.obs != nil {
+		o.obs.Comparisons(int(o.class), 1)
+		if o.vmemo != nil {
+			o.obs.Memo(int(o.class), 0, 1)
+		}
+	}
+	if o.vmemo != nil {
+		o.vmemo.store(it.ID, rep, v)
+	}
+	return v, nil
+}
+
 // Step records one logical step (batch round) on the oracle's ledger.
 func (o *Oracle) Step() {
 	if o.ledger != nil {
 		o.ledger.Step()
 	}
+}
+
+// ValueEntry is one frozen value-query answer: the element's ID, the vote
+// index, and the estimate the crowd returned.
+type ValueEntry struct {
+	ID, Rep int64
+	Value   float64
+}
+
+// ValueMemo caches cardinal value answers keyed by (item ID, vote index).
+// First store wins; safe for concurrent use. It is the value-query
+// counterpart of Memo: besides saving money on repeated votes, its entries
+// are what checkpoints freeze so a resumed scoring run replays every
+// pre-crash vote for free with the original answer.
+type ValueMemo struct {
+	mu sync.RWMutex
+	m  map[[2]int]float64
+}
+
+// NewValueMemo returns an empty value memo.
+func NewValueMemo() *ValueMemo {
+	return &ValueMemo{m: make(map[[2]int]float64)}
+}
+
+// lookup returns the frozen answer for (id, rep), if any.
+func (m *ValueMemo) lookup(id, rep int) (float64, bool) {
+	m.mu.RLock()
+	v, ok := m.m[[2]int{id, rep}]
+	m.mu.RUnlock()
+	return v, ok
+}
+
+// store freezes the first answer for (id, rep); later stores are no-ops.
+func (m *ValueMemo) store(id, rep int, v float64) {
+	m.mu.Lock()
+	if _, ok := m.m[[2]int{id, rep}]; !ok {
+		m.m[[2]int{id, rep}] = v
+	}
+	m.mu.Unlock()
+}
+
+// Prime inserts a frozen answer during checkpoint replay.
+func (m *ValueMemo) Prime(id, rep int, v float64) { m.store(id, rep, v) }
+
+// Entries returns every frozen answer sorted by (ID, Rep), the deterministic
+// order checkpoints encode.
+func (m *ValueMemo) Entries() []ValueEntry {
+	m.mu.RLock()
+	out := make([]ValueEntry, 0, len(m.m))
+	for k, v := range m.m {
+		out = append(out, ValueEntry{ID: int64(k[0]), Rep: int64(k[1]), Value: v})
+	}
+	m.mu.RUnlock()
+	slices.SortFunc(out, func(a, b ValueEntry) int {
+		if a.ID != b.ID {
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
+		}
+		if a.Rep != b.Rep {
+			if a.Rep < b.Rep {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	return out
 }
 
 // Result holds the outcome of an all-play-all tournament.

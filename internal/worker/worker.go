@@ -17,6 +17,7 @@ package worker
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"crowdmax/internal/item"
@@ -294,4 +295,62 @@ func pairKey(a, b int) [2]int {
 		a, b = b, a
 	}
 	return [2]int{a, b}
+}
+
+// Valuer is a source of cardinal value estimates — the crowd-scoring query
+// model of Nordio et al., where a worker is shown one element and asked for
+// a score instead of being shown a pair and asked for a winner. rep is the
+// vote index: asking V independent votes on the same element calls Value V
+// times with rep = 0..V−1, and an implementation must return (statistically)
+// independent estimates across rep values.
+type Valuer interface {
+	Value(it item.Item, rep int) float64
+}
+
+// ValuerFunc adapts a function to the Valuer interface.
+type ValuerFunc func(it item.Item, rep int) float64
+
+// Value calls f.
+func (f ValuerFunc) Value(it item.Item, rep int) float64 { return f(it, rep) }
+
+// TruthValuer reports every element's exact value regardless of rep — the
+// σ = 0 limit of the noisy scoring model, used in tests and as a reference.
+var TruthValuer Valuer = ValuerFunc(func(it item.Item, _ int) float64 { return it.Value })
+
+// NoisyValuer is a crowd scorer with additive noise: each vote is the true
+// value plus a Gaussian perturbation of standard deviation Sigma. The noise
+// is a pure function of (Seed, item ID, rep) — the same vote always returns
+// the same estimate, different votes are (statistically) independent, and
+// the outcome does not depend on when or from which goroutine the question
+// is asked. It is the value-query counterpart of HashTie: the property that
+// makes a scoring run safe for parallel dispatch and bit-identical
+// checkpoint replay.
+//
+// Calibration: a NoisyValuer with Sigma on the order of the naive class's
+// discernment threshold δn models the same workforce answering cardinal
+// questions — aggregating V votes shrinks the effective error by ~1/√V.
+type NoisyValuer struct {
+	// Sigma is the per-vote noise standard deviation; 0 reports exact
+	// values.
+	Sigma float64
+	// Seed selects the noise family; two NoisyValuers with the same seed
+	// agree on every (item, rep) vote.
+	Seed uint64
+}
+
+// Value returns the vote's deterministic noisy estimate.
+func (v NoisyValuer) Value(it item.Item, rep int) float64 {
+	if v.Sigma == 0 {
+		return it.Value
+	}
+	h := splitmix(v.Seed ^ splitmix(uint64(int64(it.ID))) ^ splitmix(uint64(int64(rep))*0x9e3779b97f4a7c15))
+	// Box-Muller from two uniforms derived from one hash chain.
+	u1 := float64(h>>11) / (1 << 53)
+	h2 := splitmix(h)
+	u2 := float64(h2>>11) / (1 << 53)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return it.Value + v.Sigma*z
 }

@@ -13,9 +13,9 @@ import (
 	"crowdmax/internal/chaos"
 	"crowdmax/internal/checkpoint"
 	"crowdmax/internal/cost"
-	"crowdmax/internal/degrade"
 	"crowdmax/internal/dispatch"
 	"crowdmax/internal/obs"
+	"crowdmax/internal/tournament"
 )
 
 // CheckpointConfig enables crash recovery for Session runs.
@@ -89,21 +89,71 @@ func NewHedgeBackend(inner Backend, delay time.Duration) Backend {
 // Resume continues a run truncated by a crash (or any permanent failure)
 // from the snapshot at path, which must have been written by a session with
 // the same configuration fingerprint — seed, un, phase-2 algorithm,
-// loss-tracking setting — applied to the same items. The snapshot's memo
-// tables are replayed, so already-paid comparisons are served free at their
-// recorded cost, and with deterministic comparators (ε = 0 and an
-// order-independent tie policy such as HashTie) the resumed run returns a
-// final item, paid totals, and candidate set bit-identical to an
-// uninterrupted run with the same seed.
+// loss-tracking setting — applied to the same items. The workload is
+// reconstructed from the snapshot's kind and state blob (a top-k snapshot
+// resumes as the same top-k run, a score snapshot as the same score run;
+// pre-workload snapshots load as max-find). The snapshot's memo tables are
+// replayed, so already-paid comparisons are served free at their recorded
+// cost, and with deterministic comparators (ε = 0 and an order-independent
+// tie policy such as HashTie) the resumed run returns answers, paid totals,
+// and candidate sets bit-identical to an uninterrupted run with the same
+// seed.
 func (s *Session) Resume(ctx context.Context, path string, items []Item) (Result, error) {
 	st, err := checkpoint.Load(path)
+	if err != nil {
+		return Result{}, err
+	}
+	w, err := workloadFromState(st)
 	if err != nil {
 		return Result{}, err
 	}
 	if err := s.checkpointCompatible(st, items); err != nil {
 		return Result{}, err
 	}
-	return s.findMax(ctx, items, st)
+	return s.run(ctx, w, items, st)
+}
+
+// ResumeWorkload is Resume for callers that know which workload the
+// snapshot must belong to: it refuses a snapshot whose recorded kind differs
+// from w's instead of silently running whatever the file says.
+func (s *Session) ResumeWorkload(ctx context.Context, w Workload, path string, items []Item) (Result, error) {
+	if w == nil {
+		return Result{}, errors.New("crowdmax: nil workload")
+	}
+	st, err := checkpoint.Load(path)
+	if err != nil {
+		return Result{}, err
+	}
+	if st.Kind != w.Kind() {
+		return Result{}, fmt.Errorf("crowdmax: checkpoint belongs to workload %q, cannot resume it as %q", st.Kind, w.Kind())
+	}
+	if err := s.checkpointCompatible(st, items); err != nil {
+		return Result{}, err
+	}
+	return s.run(ctx, w, items, st)
+}
+
+// workloadFromState reconstructs the workload a snapshot belongs to from its
+// recorded kind and state blob.
+func workloadFromState(st *checkpoint.State) (Workload, error) {
+	switch st.Kind {
+	case MaxFindKind:
+		return MaxFind(), nil
+	case TopKKind:
+		k, _, err := decodeTopKBlob(st.Workload)
+		if err != nil {
+			return nil, err
+		}
+		return TopKWorkload(k), nil
+	case ScoreKind:
+		cfg, err := decodeScoreBlob(st.Workload)
+		if err != nil {
+			return nil, err
+		}
+		return ScoreWorkload(cfg), nil
+	default:
+		return nil, fmt.Errorf("crowdmax: checkpoint has unknown workload kind %q", st.Kind)
+	}
 }
 
 // checkpointCompatible refuses snapshots whose configuration fingerprint
@@ -150,11 +200,12 @@ func itemsFingerprint(items []Item) uint64 {
 // checkpointState returns the snapshot builder bound to one run's live
 // state: the ledger and budget are read at snapshot time (atomic /
 // mutex-guarded), and the memo tables are copied stripe by stripe.
-func (s *Session) checkpointState(items []Item, seed uint64, led *Ledger, budget *Budget, nm, em *Memo, ctl *degrade.Controller) func(phase string, survivors []int64) *checkpoint.State {
+func (s *Session) checkpointState(kind string, items []Item, seed uint64, led *Ledger, budget *Budget, nm, em *Memo, vm *tournament.ValueMemo, hooks *snapHooks) func(phase string, survivors []int64) *checkpoint.State {
 	fp := itemsFingerprint(items)
 	n := len(items)
 	return func(phase string, survivors []int64) *checkpoint.State {
 		st := &checkpoint.State{
+			Kind:        kind,
 			Seed:        seed,
 			Un:          s.cfg.Un,
 			Phase2:      int(s.cfg.Phase2),
@@ -174,10 +225,16 @@ func (s *Session) checkpointState(items []Item, seed uint64, led *Ledger, budget
 		}
 		st.NaiveMemo = memoPairs(nm)
 		st.ExpertMemo = memoPairs(em)
-		if ctl != nil {
-			// The achieved rung and decision-log hash ride in the snapshot so
-			// a resumed run can be audited against the walk that produced it.
-			st.Rung, st.DecisionHash = ctl.Snapshot()
+		st.ValueMemo = valueAnswers(vm)
+		if hooks != nil {
+			ctl, blob := hooks.snapshot()
+			if ctl != nil {
+				// The achieved rung and decision-log hash ride in the snapshot
+				// so a resumed run can be audited against the walk that
+				// produced it.
+				st.Rung, st.DecisionHash = ctl.Snapshot()
+			}
+			st.Workload = blob
 		}
 		return st
 	}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # server-smoke.sh — end-to-end smoke of the maxcrowdd service lifecycle:
 #
-#   1. boot on a random port, complete a batch over HTTP with honest
-#      guarantee labels (loadgen validates every label against its rung),
-#      SIGTERM the idle server → exit 0;
+#   1. boot on a random port, complete a mixed max/topk/score batch over
+#      HTTP with honest guarantee labels (loadgen validates every label —
+#      including each topk rank's — against its rung), SIGTERM the idle
+#      server → exit 0;
 #   2. SIGTERM with slowed jobs in flight → graceful drain (checkpoints and
 #      job records land) and exit 0 within the deadline;
 #   3. restart over the same state directory → the interrupted jobs resume
@@ -36,18 +37,20 @@ wait_addr() {
 "$TMP/maxcrowdd" -addr 127.0.0.1:0 -addr-file "$TMP/addr1" -dir "$TMP/state1" &
 SRV_PID=$!
 wait_addr "$TMP/addr1"
-"$TMP/loadgen" -server "http://$(cat "$TMP/addr1")" -jobs 8 -n 80 -un 4 -concurrency 4
+"$TMP/loadgen" -server "http://$(cat "$TMP/addr1")" -jobs 9 -n 80 -un 4 -concurrency 4 \
+    -mix max,topk,score
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" # set -e: a non-zero exit fails the script
-echo "server-smoke: batch completed, idle drain exited 0"
+echo "server-smoke: mixed-workload batch completed, idle drain exited 0"
 
-# 2. Drain with work in flight: per-comparison latency keeps the four jobs
-# running when the signal lands.
+# 2. Drain with mixed work in flight: per-comparison latency keeps the four
+# jobs (spanning all three workloads) running when the signal lands.
 "$TMP/maxcrowdd" -addr 127.0.0.1:0 -addr-file "$TMP/addr2" -dir "$TMP/state2" \
     -cmp-latency 20ms -drain-timeout 30s &
 SRV_PID=$!
 wait_addr "$TMP/addr2"
-"$TMP/loadgen" -server "http://$(cat "$TMP/addr2")" -jobs 4 -n 80 -un 4 -submit-only
+"$TMP/loadgen" -server "http://$(cat "$TMP/addr2")" -jobs 4 -n 80 -un 4 -submit-only \
+    -mix max,topk,score
 sleep 1 # a few comparison round-trips, so the drain lands mid-run
 START=$(date +%s)
 kill -TERM "$SRV_PID"

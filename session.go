@@ -13,6 +13,7 @@ import (
 	"crowdmax/internal/degrade"
 	"crowdmax/internal/dispatch"
 	"crowdmax/internal/obs"
+	"crowdmax/internal/tournament"
 	"crowdmax/internal/worker"
 )
 
@@ -29,6 +30,11 @@ type Config struct {
 	Naive Comparator
 	// Expert answers phase-2 comparisons (required).
 	Expert Comparator
+	// Valuer answers the cardinal value queries of the crowd-scoring
+	// workload (ScoreWorkload) with the naïve class's accuracy; comparison
+	// workloads ignore it. Score runs require either a Valuer or a
+	// NaiveBackend that answers value queries itself.
+	Valuer Valuer
 	// Un is the un(n) estimate handed to the filter; estimate it with
 	// EstimateUn when unknown. Required, ≥ 1. Overestimating costs money
 	// but never accuracy.
@@ -166,6 +172,27 @@ type Result struct {
 	// Decisions is the degradation controller's decision log; nil when
 	// Config.Degrade is unset.
 	Decisions []DegradeDecision
+	// Ranked is the top-k workload's output: the extracted elements best
+	// first, each with the rung and guarantee its own round achieved. On a
+	// truncated top-k run it holds the fully completed ranks. Nil for other
+	// workloads.
+	Ranked []RankedResult
+	// Scores is the crowd-scoring workload's aggregated per-element scores,
+	// best first (the elements fully scored before any truncation). Nil for
+	// other workloads.
+	Scores []ItemScore
+}
+
+// RankedResult is one rank of a top-k run: the extracted element and the
+// quality rung/guarantee of the round that produced it.
+type RankedResult struct {
+	// Item is the element extracted at this rank.
+	Item Item
+	// Rung names the quality-ladder rung the rank's round completed on, and
+	// Guarantee its machine-checkable label (relative to the input with all
+	// better-ranked elements removed).
+	Rung      string
+	Guarantee Guarantee
 }
 
 // FindMax runs the two-phase algorithm on items with no cancellation
@@ -181,24 +208,46 @@ func (s *Session) FindMax(items []Item) (Result, error) {
 // costs alongside the error; use errors.Is(err, context.Canceled) and
 // errors.Is(err, ErrBudgetExhausted) to tell the causes apart.
 func (s *Session) FindMaxContext(ctx context.Context, items []Item) (Result, error) {
-	return s.findMax(ctx, items, nil)
+	return s.run(ctx, MaxFind(), items, nil)
 }
 
-// findMax is the shared engine behind FindMaxContext and Resume: it wires
-// the configured backends (decorating them with chaos, health, and
-// checkpoint layers as requested), optionally replays a checkpoint, runs
-// Algorithm 1, and merges the run's costs into the session ledger. With no
-// Checkpoint/Chaos/Health configured and no backends set, the wiring
-// collapses to the historical direct-comparator hot path.
-func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.State) (Result, error) {
+// Run executes a workload on items through the session engine: the same
+// backend wiring (chaos, health, hedging, checkpointing), budget
+// enforcement, memoization, and checkpoint-replay resume that FindMax uses,
+// with the algorithm supplied by the workload. FindMaxContext is exactly
+// Run(ctx, MaxFind(), items); see TopKWorkload and ScoreWorkload for the
+// other registered workloads.
+func (s *Session) Run(ctx context.Context, w Workload, items []Item) (Result, error) {
+	return s.run(ctx, w, items, nil)
+}
+
+// run is the workload-generic engine behind Run, FindMaxContext and Resume:
+// it wires the configured backends (decorating them with chaos, health, and
+// checkpoint layers as requested), optionally replays a checkpoint, hands
+// the plumbed environment to the workload, and leaves cost merging and
+// result labelling to it. With no Checkpoint/Chaos/Health configured and no
+// backends set, the wiring collapses to the historical direct-comparator hot
+// path.
+func (s *Session) run(ctx context.Context, w Workload, items []Item, resume *checkpoint.State) (Result, error) {
+	if w == nil {
+		return Result{}, errors.New("crowdmax: nil workload")
+	}
+	if err := w.validate(&s.cfg, len(items)); err != nil {
+		return Result{}, err
+	}
+	if resume != nil && resume.Kind != w.Kind() {
+		return Result{}, fmt.Errorf("crowdmax: checkpoint belongs to workload %q, cannot resume it as %q", resume.Kind, w.Kind())
+	}
 	if err := s.enter(); err != nil {
 		return Result{}, err
 	}
 	defer s.leave()
 	runLedger := NewLedger()
 	var naiveMemo, expertMemo *Memo
+	var valueMemo *tournament.ValueMemo
 	if !s.cfg.DisableMemoization {
 		naiveMemo, expertMemo = NewMemo(), NewMemo()
+		valueMemo = tournament.NewValueMemo()
 	}
 	var budget *Budget
 	if !s.cfg.Budget.IsZero() {
@@ -216,6 +265,9 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 		}
 		for _, e := range resume.ExpertMemo {
 			expertMemo.Prime(int(e.A), int(e.B), int(e.Winner))
+		}
+		for _, e := range resume.ValueMemo {
+			valueMemo.Prime(int(e.ID), int(e.Rep), e.Value)
 		}
 		runLedger.AddSnapshot(cost.Snapshot{
 			Comparisons: resume.Comparisons,
@@ -237,9 +289,14 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 	healthOn := !s.cfg.Health.IsZero()
 	if ckOn || chaosOn || healthOn {
 		// These layers are backend decorators; manufacture simulated
-		// backends around the configured comparators when none are set.
+		// backends around the configured comparators (and valuer, so value
+		// queries keep flowing through the decorators) when none are set.
 		if nb == nil {
-			nb = NewSimulatedBackend(s.cfg.Naive)
+			if s.cfg.Valuer != nil {
+				nb = dispatch.NewSimulatedValuer(s.cfg.Naive, s.cfg.Valuer)
+			} else {
+				nb = NewSimulatedBackend(s.cfg.Naive)
+			}
 		}
 		if eb == nil {
 			eb = NewSimulatedBackend(s.cfg.Expert)
@@ -272,33 +329,46 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 		nb = dispatch.NewHedge(nb, d)
 		eb = dispatch.NewHedge(eb, d)
 	}
-	var ctl *degrade.Controller
-	if s.cfg.Degrade != nil {
-		var err error
-		ctl, err = degrade.NewController(degrade.Config{
-			Ladder:      s.cfg.Degrade.Ladder,
-			MaxAttempts: s.cfg.Degrade.MaxAttempts,
-			Seed:        r.Seed(),
-			CmpLatency:  s.cfg.Degrade.CmpLatency,
-		})
-		if err != nil {
-			return Result{}, err
-		}
-	}
+	hooks := &snapHooks{}
 	var ck *ckWriter
 	if ckOn {
 		if s.cfg.DisableMemoization {
 			return Result{}, errors.New("crowdmax: Config.Checkpoint requires memoization (resume replays the memo tables)")
 		}
-		ck = newCkWriter(s.cfg.Checkpoint, s.checkpointState(items, r.Seed(), runLedger, budget, naiveMemo, expertMemo, ctl))
+		ck = newCkWriter(s.cfg.Checkpoint, s.checkpointState(w.Kind(), items, r.Seed(), runLedger, budget, naiveMemo, expertMemo, valueMemo, hooks))
 		nb, eb = ck.wrap(nb), ck.wrap(eb)
 	}
 
 	no := NewOracle(s.cfg.Naive, Naive, runLedger, naiveMemo).WithBackend(nb)
 	eo := NewOracle(s.cfg.Expert, Expert, runLedger, expertMemo).WithBackend(eb)
+	if s.cfg.Valuer != nil {
+		no.WithValuer(s.cfg.Valuer)
+	}
+	if valueMemo != nil {
+		no.WithValueMemo(valueMemo)
+	}
 	if budget != nil {
 		no.WithBudget(budget)
 		eo.WithBudget(budget)
+	}
+	env := &runEnv{
+		s:          s,
+		items:      items,
+		resume:     resume,
+		runLedger:  runLedger,
+		budget:     budget,
+		r:          r,
+		no:         no,
+		eo:         eo,
+		ck:         ck,
+		expertPool: expertPool,
+		hooks:      hooks,
+	}
+	// prepare runs before the start boundary so controllers and workload
+	// state registered in the snapshot hooks are visible to every snapshot,
+	// including the immediate one below.
+	if err := w.prepare(env); err != nil {
+		return Result{}, err
 	}
 	if ck != nil {
 		// An immediate snapshot makes even a crash before the first
@@ -308,65 +378,26 @@ func (s *Session) findMax(ctx context.Context, items []Item, resume *checkpoint.
 	if s.cfg.OnPhase != nil {
 		s.cfg.OnPhase("start", nil)
 	}
-
-	if ctl != nil {
-		return s.findMaxDegraded(ctx, items, no, eo, ctl, ck, budget, expertPool, r, runLedger)
-	}
-
-	opt := core.FindMaxOptions{
-		Un:          s.cfg.Un,
-		Phase2:      s.cfg.Phase2,
-		TrackLosses: s.cfg.TrackLosses,
-		Randomized:  core.RandomizedOptions{R: r.Child("phase2")},
-		Scheduler:   s.cfg.Scheduler,
-	}
-	opt.OnPhase = s.phaseHook(ck)
-	res, err := core.FindMax(ctx, items, no, eo, opt)
-	if err == nil && ck != nil {
-		// A boundary snapshot that failed to write cannot fail the run
-		// through the backend path (no comparison follows it); surface it
-		// here so checkpointed runs never report success without a
-		// durable final snapshot.
-		err = ck.Err()
-	}
-	s.ledger.Add(runLedger)
-	rung, guarantee := degrade.NaturalRung(int(s.cfg.Phase2))
-	if err != nil {
-		// A truncated run's Best is a best-so-far leader; claiming the
-		// phase-2 algorithm's bound for it would overstate the quality.
-		rung, guarantee = "best-so-far", GuaranteeNone
-	}
-	return Result{
-		Best:              res.Best,
-		Candidates:        res.Candidates,
-		NaiveComparisons:  runLedger.Naive(),
-		ExpertComparisons: runLedger.Expert(),
-		Cost:              runLedger.Cost(s.cfg.Prices),
-		Rung:              rung,
-		Guarantee:         guarantee,
-		Phase1Complete:    len(res.Candidates) > 0,
-		Decisions:         nil,
-	}, err
+	return w.run(ctx, env)
 }
 
-// findMaxDegraded is findMax's tail under a degrade controller: it hands the
-// wired oracles to degrade.Run, samples live signals (budget headroom, pool
-// health, deadline) before every ladder decision, forwards decisions to obs,
-// and maps the supervised Outcome onto Result.
-func (s *Session) findMaxDegraded(ctx context.Context, items []Item, no, eo *Oracle, ctl *degrade.Controller, ck *ckWriter, budget *Budget, expertPool *WorkerPool, r *Rand, runLedger *Ledger) (Result, error) {
-	opt := degrade.Options{
+// degradeOptions builds the degrade.Run options a supervised run shares
+// across workloads: live signal sampling (budget headroom, pool health,
+// deadline) and decision forwarding to obs and the user's observer.
+func (s *Session) degradeOptions(ctx context.Context, env *runEnv, ropt core.RandomizedOptions) degrade.Options {
+	return degrade.Options{
 		Un:          s.cfg.Un,
 		TrackLosses: s.cfg.TrackLosses,
-		Randomized:  core.RandomizedOptions{R: r.Child("phase2")},
+		Randomized:  ropt,
 		Scheduler:   s.cfg.Scheduler,
 		Signals: func() degrade.Signals {
 			sig := degrade.Unconstrained()
-			if budget != nil {
-				sig.NaiveRemaining = budget.RemainingFor(worker.Naive)
-				sig.ExpertRemaining = budget.RemainingFor(worker.Expert)
+			if env.budget != nil {
+				sig.NaiveRemaining = env.budget.RemainingFor(worker.Naive)
+				sig.ExpertRemaining = env.budget.RemainingFor(worker.Expert)
 			}
-			if expertPool != nil {
-				sig.ActiveExperts = expertPool.ActiveWorkers()
+			if env.expertPool != nil {
+				sig.ActiveExperts = env.expertPool.ActiveWorkers()
 			}
 			if dl, ok := ctx.Deadline(); ok {
 				sig.HasDeadline = true
@@ -383,12 +414,19 @@ func (s *Session) findMaxDegraded(ctx context.Context, items []Item, no, eo *Ora
 			}
 		},
 	}
-	opt.OnPhase = s.phaseHook(ck)
-	out, err := degrade.Run(ctx, items, no, eo, ctl, opt)
-	if err == nil && ck != nil {
-		err = ck.Err()
+}
+
+// findMaxDegraded is the max-find workload's tail under a degrade
+// controller: it hands the wired oracles to degrade.Run and maps the
+// supervised Outcome onto Result.
+func (s *Session) findMaxDegraded(ctx context.Context, env *runEnv, ctl *degrade.Controller) (Result, error) {
+	opt := s.degradeOptions(ctx, env, core.RandomizedOptions{R: env.r.Child("phase2")})
+	opt.OnPhase = s.phaseHook(env.ck)
+	out, err := degrade.Run(ctx, env.items, env.no, env.eo, ctl, opt)
+	if err == nil && env.ck != nil {
+		err = env.ck.Err()
 	}
-	s.ledger.Add(runLedger)
+	s.ledger.Add(env.runLedger)
 	rung, guarantee := out.Rung.Name, out.Rung.Guarantee
 	if err != nil {
 		// A fatal error (crash, cancellation) means no rung completed; the
@@ -398,9 +436,9 @@ func (s *Session) findMaxDegraded(ctx context.Context, items []Item, no, eo *Ora
 	return Result{
 		Best:              out.Best,
 		Candidates:        out.Candidates,
-		NaiveComparisons:  runLedger.Naive(),
-		ExpertComparisons: runLedger.Expert(),
-		Cost:              runLedger.Cost(s.cfg.Prices),
+		NaiveComparisons:  env.runLedger.Naive(),
+		ExpertComparisons: env.runLedger.Expert(),
+		Cost:              env.runLedger.Cost(s.cfg.Prices),
 		Rung:              rung,
 		Guarantee:         guarantee,
 		Phase1Complete:    out.Phase1Complete,
@@ -439,14 +477,34 @@ func (s *Session) TotalComparisons() (naive, expert int64) {
 // estimates an upper bound for un(n) from a training set whose maximum is
 // known (gold data), to be fed back into Config.Un. The estimation
 // comparisons are billed to the session like any other naïve work.
+//
+// Deprecated: EstimateUn cannot be cancelled and bypasses the session's
+// Config.Budget caps — estimation comparisons are billed but never held
+// against the limits. Use EstimateUnContext, which honours both.
 func (s *Session) EstimateUn(training []Item, perr float64, n int) (int, error) {
+	return s.estimateUn(context.Background(), training, perr, n, false)
+}
+
+// EstimateUnContext is EstimateUn under a context and the session budget: the
+// estimation stops promptly on cancellation, and when Config.Budget is set
+// its caps apply to the estimation comparisons exactly as they do to a run —
+// a capped estimation returns ErrBudgetExhausted (wrapped) rather than
+// overspending.
+func (s *Session) EstimateUnContext(ctx context.Context, training []Item, perr float64, n int) (int, error) {
+	return s.estimateUn(ctx, training, perr, n, true)
+}
+
+func (s *Session) estimateUn(ctx context.Context, training []Item, perr float64, n int, budgeted bool) (int, error) {
 	if err := s.enter(); err != nil {
 		return 0, err
 	}
 	defer s.leave()
 	runLedger := NewLedger()
 	no := NewOracle(s.cfg.Naive, Naive, runLedger, nil).WithBackend(s.cfg.NaiveBackend)
-	est, err := core.EstimateUn(context.Background(), training, no, core.EstimateUnOptions{Perr: perr, N: n})
+	if budgeted && !s.cfg.Budget.IsZero() {
+		no.WithBudget(NewBudget(s.cfg.Budget))
+	}
+	est, err := core.EstimateUn(ctx, training, no, core.EstimateUnOptions{Perr: perr, N: n})
 	if err != nil {
 		return 0, err
 	}
@@ -458,10 +516,24 @@ func (s *Session) EstimateUn(training []Item, perr float64, n int) (int, error) 
 // n under this session's un: the maximum naïve comparisons (Lemma 3), the
 // maximum expert comparisons with a 2-MaxFind phase 2 (Theorem 1), the
 // candidate-set bound, and the worst-case cost under the session prices.
+//
+// Deprecated: Bounds cannot report cancellation to callers embedding it in
+// request paths; use BoundsContext.
 func (s *Session) Bounds(n int) (naiveMax, expertMax float64, candidates int, worstCost float64) {
+	naiveMax, expertMax, candidates, worstCost, _ = s.BoundsContext(context.Background(), n)
+	return naiveMax, expertMax, candidates, worstCost
+}
+
+// BoundsContext is Bounds with a context: services evaluating bounds inside
+// a request handler get the standard cancellation check (the computation is
+// closed-form, so the context is only consulted once, up front).
+func (s *Session) BoundsContext(ctx context.Context, n int) (naiveMax, expertMax float64, candidates int, worstCost float64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, 0, err
+	}
 	naiveMax = core.Phase1UpperBound(n, s.cfg.Un)
 	expertMax = core.Phase2ExpertUpperBound(s.cfg.Un)
 	candidates = core.CandidateSetBound(s.cfg.Un)
 	worstCost = naiveMax*s.cfg.Prices.Unit(worker.Naive) + expertMax*s.cfg.Prices.Unit(worker.Expert)
-	return naiveMax, expertMax, candidates, worstCost
+	return naiveMax, expertMax, candidates, worstCost, nil
 }
