@@ -1,13 +1,13 @@
 GO ?= go
 
 # Concurrency-heavy packages CI runs under the race detector.
-RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/... ./internal/dispatch/... ./internal/chaos/... ./internal/checkpoint/... ./internal/degrade/... ./internal/sched/... ./internal/service/...
+RACE_PKGS = ./internal/parallel/... ./internal/tournament/... ./internal/cost/... ./internal/obs/... ./internal/dispatch/... ./internal/chaos/... ./internal/checkpoint/... ./internal/degrade/... ./internal/sched/... ./internal/service/... ./internal/faults/...
 
 # Total-coverage floor for the cover target, pinned a few points under the
 # measured total so genuine regressions fail without flaking on noise.
 COVER_FLOOR = 75.0
 
-.PHONY: build test race bench bench-matrix vet lint ci bench-smoke chaos-smoke soak-smoke server-smoke loadtest-smoke cover all clean
+.PHONY: build test race bench bench-matrix vet lint ci bench-smoke chaos-smoke soak-smoke server-smoke store-torture loadtest-smoke cover all clean
 
 all: build vet test
 
@@ -26,7 +26,7 @@ race:
 
 # Mirror of .github/workflows/ci.yml: the test job's steps plus the
 # benchmark-smoke job. Green here means green there (modulo Go version).
-ci: vet lint build test race cover bench-smoke chaos-smoke soak-smoke server-smoke loadtest-smoke
+ci: vet lint build test race cover bench-smoke chaos-smoke soak-smoke server-smoke store-torture loadtest-smoke
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkFig3Parallel -benchtime=1x ./internal/experiment
@@ -69,6 +69,13 @@ soak-smoke:
 # restart and finish the interrupted jobs. Same steps as the CI job.
 server-smoke:
 	./scripts/server-smoke.sh
+
+# Storage-fault torture: 25 kill -9 cycles under injected disk faults (torn
+# writes, ENOSPC, failed renames/fsyncs), a poisoned-store boot, then a final
+# audit proving zero lost jobs and to-the-cent budget reconciliation. Same
+# steps as the CI job.
+store-torture:
+	./scripts/store-torture.sh
 
 # Loadtest the service in-process — a plain max stream and a mixed
 # max/topk/score stream — and gate the artifacts (and the committed ones)

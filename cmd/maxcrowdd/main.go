@@ -40,6 +40,7 @@ import (
 
 	"crowdmax"
 	"crowdmax/internal/checkpoint"
+	"crowdmax/internal/faults"
 	"crowdmax/internal/service"
 )
 
@@ -55,6 +56,10 @@ var (
 	ckEvery  = flag.Int("checkpoint-every", 64, "per-job snapshot interval in paid comparisons")
 	retryAft = flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 rejections")
 	drainTmo = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight jobs to checkpoint on shutdown")
+	faultsP  = flag.String("faults", "", "disk fault plan for torture runs, e.g. 'torn:0.5~0.05%*.job.tmp-*,enospc~0.02' (see internal/faults)")
+	faultsS  = flag.Uint64("faults-seed", 1, "seed of the fault plan's probabilistic rules")
+	allowF   = flag.Bool("allow-faults", false, "honor JobSpec.Fault tags (injected workload panics); torture runs only")
+	watchdog = flag.Duration("watchdog", 0, "flag running jobs with no observable progress for this long (0 = off)")
 )
 
 func main() {
@@ -72,6 +77,16 @@ func run() error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "maxcrowdd: "+format+"\n", args...)
 	}
+	var fsys faults.FS
+	if *faultsP != "" {
+		plan, err := faults.ParsePlan(*faultsP)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		plan.Seed = *faultsS
+		fsys = faults.NewInjector(faults.OS(), plan)
+		logf("disk fault injection armed: %s (seed %d)", *faultsP, *faultsS)
+	}
 	srv, err := service.NewServer(service.Options{
 		Dir:             *dir,
 		MaxConcurrent:   *maxConc,
@@ -80,6 +95,9 @@ func run() error {
 		CmpLatency:      *cmpLat,
 		CheckpointEvery: *ckEvery,
 		RetryAfter:      *retryAft,
+		FS:              fsys,
+		AllowFaults:     *allowF,
+		WatchdogAfter:   *watchdog,
 		Logf:            logf,
 	})
 	if err != nil {

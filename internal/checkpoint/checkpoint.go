@@ -34,10 +34,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"sort"
 
 	"crowdmax/internal/cost"
+	"crowdmax/internal/faults"
 )
 
 // ErrCorrupt marks a checkpoint file that failed validation — wrong magic,
@@ -304,8 +304,14 @@ func Decode(data []byte) (*State, error) {
 // the same directory, fsync, rename. An interrupted save leaves the previous
 // snapshot (or no file) behind, never a truncated one.
 func Save(path string, s *State) error {
+	return SaveFS(nil, path, s)
+}
+
+// SaveFS is Save over an injectable filesystem (nil for the real one), so
+// snapshot durability is testable under injected disk faults.
+func SaveFS(fsys faults.FS, path string, s *State) error {
 	s.SortPairs()
-	if err := WriteFileAtomic(path, Encode(s), 0o644); err != nil {
+	if err := WriteFileAtomicFS(fsys, path, Encode(s), 0o644); err != nil {
 		return fmt.Errorf("checkpoint: save %s: %w", path, err)
 	}
 	return nil
@@ -314,7 +320,15 @@ func Save(path string, s *State) error {
 // Load reads and decodes the snapshot at path. Decoding failures wrap
 // ErrCorrupt; a missing file surfaces as the usual fs.ErrNotExist.
 func Load(path string) (*State, error) {
-	data, err := os.ReadFile(path)
+	return LoadFS(nil, path)
+}
+
+// LoadFS is Load over an injectable filesystem (nil for the real one).
+func LoadFS(fsys faults.FS, path string) (*State, error) {
+	if fsys == nil {
+		fsys = faults.OS()
+	}
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+
+	"crowdmax/internal/faults"
 )
 
 // This file exports the container format and codec primitives the session
@@ -158,11 +160,23 @@ func (r *Reader) Done() error {
 // truncated one — the write discipline every durable artifact in this
 // repository (checkpoints, job records, benchmark results) goes through.
 func WriteFileAtomic(path string, data []byte, mode os.FileMode) error {
+	return WriteFileAtomicFS(faults.OS(), path, data, mode)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an injectable filesystem, so
+// the atomic-rename protocol itself is testable under disk faults: a torn
+// write surfaces as a CRC failure on the next open, an ENOSPC leaves the
+// previous file intact, a failed rename never publishes the temp file.
+// A nil fsys uses the real filesystem.
+func WriteFileAtomicFS(fsys faults.FS, path string, data []byte, mode os.FileMode) error {
+	if fsys == nil {
+		fsys = faults.OS()
+	}
 	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
@@ -178,10 +192,10 @@ func WriteFileAtomic(path string, data []byte, mode os.FileMode) error {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Rename(name, path)
+		werr = fsys.Rename(name, path)
 	}
 	if werr != nil {
-		os.Remove(name)
+		fsys.Remove(name)
 		return werr
 	}
 	return nil

@@ -2,8 +2,12 @@ package checkpoint
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
+
+	"crowdmax/internal/faults"
 )
 
 // FuzzCheckpointRoundTrip is the fail-closed property: arbitrary bytes either
@@ -30,6 +34,22 @@ func FuzzCheckpointRoundTrip(f *testing.F) {
 	topk.ValueMemo = nil
 	f.Add(Encode(topk))
 	f.Add(encodeV2(sampleState()))
+	// Fault-injected partial writes: what a torn write actually leaves on
+	// disk after the rename published it — a prefix of a valid snapshot at
+	// several truncation fractions. All must be rejected, never half-parsed.
+	for _, frac := range []string{"torn:0.1", "torn:0.5", "torn:0.9"} {
+		dir := f.TempDir()
+		in := faults.NewInjector(faults.OS(), mustFaultPlan(f, frac))
+		path := filepath.Join(dir, "torn.ck")
+		if err := WriteFileAtomicFS(in, path, Encode(sampleState()), 0o644); err != nil {
+			f.Fatalf("torn write should report success: %v", err)
+		}
+		partial, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(partial)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Decode(data)

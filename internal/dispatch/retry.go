@@ -53,6 +53,42 @@ func (c RetryConfig) withDefaults() RetryConfig {
 	return c
 }
 
+// Backoff yields the seeded full-jitter exponential delay sequence a
+// RetryConfig describes, decoupled from any backend — the same discipline
+// Retry sleeps between attempts, reusable by any bounded retry loop (the
+// service layer's record-persist retries). Each Next call returns the
+// delay before the following attempt and advances the exponential; the
+// draw comes from a seeded stream, so a given (config, seed) always
+// sleeps the same sequence.
+type Backoff struct {
+	cfg RetryConfig
+
+	mu  sync.Mutex
+	cur time.Duration
+	r   *rng.Source
+}
+
+// NewBackoff returns a fresh delay sequence for cfg (defaults applied).
+func NewBackoff(cfg RetryConfig) *Backoff {
+	cfg = cfg.withDefaults()
+	return &Backoff{cfg: cfg, cur: cfg.BaseBackoff, r: rng.New(cfg.Seed).Child("retry-jitter")}
+}
+
+// Next returns the delay to sleep before the next attempt.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	backoff := b.cur
+	b.cur = time.Duration(float64(b.cur) * b.cfg.Multiplier)
+	if b.cur > b.cfg.MaxBackoff {
+		b.cur = b.cfg.MaxBackoff
+	}
+	if b.cfg.NoJitter || backoff <= 0 {
+		return backoff
+	}
+	return time.Duration(b.r.Int63n(int64(backoff)))
+}
+
 // RetryError is the terminal failure of a Retry decorator: every attempt
 // failed. It carries the attempt count (so callers and the observability
 // layer can report effort-before-giving-up, which a bare wrapped error

@@ -1,0 +1,241 @@
+// Package faults is a seeded, injectable filesystem abstraction: an
+// interface over the handful of operations the repository's durable
+// artifacts use (read, create+write+sync+rename, remove, readdir), a
+// passthrough OS implementation, and an Injector that decorates any FS
+// with a deterministic plan of disk faults — ENOSPC, EIO, torn writes
+// that truncate mid-buffer, dropped syncs, failed or delayed renames —
+// triggered per path and per op count. It is to the storage layer what
+// internal/chaos is to the crowd: every durability claim becomes
+// testable under injected faults, with a ParsePlan spec grammar
+// mirroring chaos's so harnesses configure both the same way.
+package faults
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdmax/internal/rng"
+)
+
+// File is the write side of an atomic-rename protocol: the subset of
+// *os.File that checkpoint.WriteFileAtomic drives between CreateTemp
+// and Rename.
+type File interface {
+	io.Writer
+	Chmod(mode os.FileMode) error
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem surface durable artifacts are written and
+// recovered through. *os.File satisfies File, and OS() returns the
+// passthrough implementation; NewInjector decorates any FS with faults.
+type FS interface {
+	ReadFile(path string) ([]byte, error)
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	Stat(path string) (fs.FileInfo, error)
+	MkdirAll(dir string, mode os.FileMode) error
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+}
+
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) ReadFile(path string) ([]byte, error)      { return os.ReadFile(path) }
+func (osFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+func (osFS) Stat(path string) (fs.FileInfo, error)     { return os.Stat(path) }
+func (osFS) MkdirAll(dir string, mode os.FileMode) error {
+	return os.MkdirAll(dir, mode)
+}
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+
+// Injector decorates a base FS with a Plan of fault rules. Each rule
+// keeps its own matched-op counter, so windows ("@N+", "@N-M") position
+// faults deterministically on the sequence of operations the rule
+// matches; probabilistic rules ("~0.1") draw from a per-rule child
+// stream of the plan seed, so a given plan+seed always faults the same
+// operations in the same order.
+type Injector struct {
+	base  FS
+	rules []*ruleState
+}
+
+type ruleState struct {
+	Rule
+	op      Op
+	spec    string
+	count   atomic.Int64 // operations this rule matched (op + glob)
+	fired   atomic.Int64 // operations this rule faulted
+	probMu  sync.Mutex
+	probRng *rng.Source
+}
+
+// NewInjector wraps base with the plan's fault rules. A zero plan
+// injects nothing and the Injector is a transparent passthrough.
+func NewInjector(base FS, plan Plan) *Injector {
+	in := &Injector{base: base}
+	for i, r := range plan.Rules {
+		st := &ruleState{Rule: r, op: r.Mode.op(), spec: r.String()}
+		if r.Prob > 0 {
+			st.probRng = rng.New(plan.Seed).ChildN("faults-"+string(r.Mode), i)
+		}
+		in.rules = append(in.rules, st)
+	}
+	return in
+}
+
+// hit returns the first rule that fires for this operation on this
+// path, or nil. Every matching rule's counter advances whether or not
+// it fires, so windows describe the op sequence, not the fault sequence.
+func (in *Injector) hit(op Op, path string) *ruleState {
+	var hit *ruleState
+	for _, r := range in.rules {
+		if r.op != op || !r.matchPath(path) {
+			continue
+		}
+		pos := r.count.Add(1) - 1
+		if hit != nil || !r.Window.active(pos) {
+			continue
+		}
+		if r.Prob > 0 {
+			r.probMu.Lock()
+			fire := r.probRng.Bernoulli(r.Prob)
+			r.probMu.Unlock()
+			if !fire {
+				continue
+			}
+		}
+		r.fired.Add(1)
+		hit = r // keep advancing later rules' counters
+	}
+	return hit
+}
+
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	if r := in.hit(OpRead, path); r != nil {
+		return nil, pathErr("read", path)
+	}
+	return in.base.ReadFile(path)
+}
+
+func (in *Injector) ReadDir(dir string) ([]fs.DirEntry, error) {
+	if r := in.hit(OpReadDir, dir); r != nil {
+		return nil, pathErr("readdir", dir)
+	}
+	return in.base.ReadDir(dir)
+}
+
+func (in *Injector) Stat(path string) (fs.FileInfo, error) {
+	return in.base.Stat(path)
+}
+
+func (in *Injector) MkdirAll(dir string, mode os.FileMode) error {
+	if r := in.hit(OpMkdir, dir); r != nil {
+		return pathErr("mkdir", dir)
+	}
+	return in.base.MkdirAll(dir, mode)
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if r := in.hit(OpCreate, dir); r != nil {
+		return nil, pathErr("createtemp", dir)
+	}
+	f, err := in.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, in: in}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if r := in.hit(OpRename, newpath); r != nil {
+		switch r.Mode {
+		case ModeRenameDelay:
+			time.Sleep(time.Duration(r.DelayMS) * time.Millisecond)
+		default:
+			return pathErr("rename", newpath)
+		}
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(path string) error {
+	if r := in.hit(OpRemove, path); r != nil {
+		return pathErr("remove", path)
+	}
+	return in.base.Remove(path)
+}
+
+// faultFile intercepts the write/sync half of the atomic protocol. Write
+// and Sync faults key on the temp file's own name, so "%*.job.tmp-*"
+// globs target records mid-write.
+type faultFile struct {
+	File
+	in *Injector
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	r := f.in.hit(OpWrite, f.Name())
+	if r == nil {
+		return f.File.Write(p)
+	}
+	switch r.Mode {
+	case ModeTorn:
+		// Persist a prefix but report complete success: the tear only
+		// surfaces when a later open finds the checksum short.
+		n := int(float64(len(p)) * r.Frac)
+		if n > 0 {
+			if _, err := f.File.Write(p[:n]); err != nil {
+				return 0, err
+			}
+		}
+		return len(p), nil
+	case ModeENOSPC:
+		n := int(float64(len(p)) * r.Frac)
+		if n > 0 {
+			f.File.Write(p[:n])
+		}
+		return n, &fs.PathError{Op: "write", Path: f.Name(), Err: errNoSpace}
+	default: // ModeEIOWrite
+		return 0, pathErr("write", f.Name())
+	}
+}
+
+func (f *faultFile) Sync() error {
+	if r := f.in.hit(OpSync, f.Name()); r != nil {
+		if r.Mode == ModeSyncDrop {
+			return nil // silently dropped: data may not be durable
+		}
+		return pathErr("sync", f.Name())
+	}
+	return f.File.Sync()
+}
+
+// RuleStat is one rule's match/fire tally.
+type RuleStat struct {
+	Spec    string // the rule in ParsePlan grammar
+	Matched int64  // operations the rule's op+glob matched
+	Fired   int64  // operations it actually faulted
+}
+
+// Stats reports per-rule tallies in plan order.
+func (in *Injector) Stats() []RuleStat {
+	out := make([]RuleStat, len(in.rules))
+	for i, r := range in.rules {
+		out[i] = RuleStat{Spec: r.spec, Matched: r.count.Load(), Fired: r.fired.Load()}
+	}
+	return out
+}

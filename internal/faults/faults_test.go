@@ -1,0 +1,305 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func writeVia(t *testing.T, fsys FS, path string, data []byte) error {
+	t.Helper()
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = fsys.Rename(name, path)
+	}
+	if werr != nil {
+		fsys.Remove(name)
+	}
+	return werr
+}
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	p := filepath.Join(dir, "a.bin")
+	if err := writeVia(t, fsys, p, []byte("hello")); err != nil {
+		t.Fatalf("writeVia: %v", err)
+	}
+	got, err := fsys.ReadFile(p)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+}
+
+func TestParsePlanGrammar(t *testing.T) {
+	good := map[string]Rule{
+		"enospc":               {Mode: ModeENOSPC},
+		"enospc:0.25":          {Mode: ModeENOSPC, Frac: 0.25},
+		"torn":                 {Mode: ModeTorn, Frac: 0.5},
+		"torn:0.1":             {Mode: ModeTorn, Frac: 0.1},
+		"eio-read":             {Mode: ModeEIORead},
+		"eio-write":            {Mode: ModeEIOWrite},
+		"eio-create":           {Mode: ModeEIOCreate},
+		"eio-readdir":          {Mode: ModeEIOReadDir},
+		"eio-mkdir":            {Mode: ModeEIOMkdir},
+		"syncdrop":             {Mode: ModeSyncDrop},
+		"syncfail":             {Mode: ModeSyncFail},
+		"renamefail":           {Mode: ModeRenameFail},
+		"renamedelay:20":       {Mode: ModeRenameDelay, DelayMS: 20},
+		"removefail":           {Mode: ModeRemoveFail},
+		"torn%*.job.tmp-*":     {Mode: ModeTorn, Frac: 0.5, Glob: "*.job.tmp-*"},
+		"eio-read@3+":          {Mode: ModeEIORead, Window: Window{From: 3}},
+		"eio-read@0+":          {Mode: ModeEIORead},
+		"enospc@2-5":           {Mode: ModeENOSPC, Window: Window{From: 2, To: 5}},
+		"torn~0.5":             {Mode: ModeTorn, Frac: 0.5, Prob: 0.5},
+		"torn:0.3~0.5%*.j@1-2": {Mode: ModeTorn, Frac: 0.3, Prob: 0.5, Glob: "*.j", Window: Window{From: 1, To: 2}},
+	}
+	for spec, want := range good {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", spec, err)
+			continue
+		}
+		if len(p.Rules) != 1 || p.Rules[0] != want {
+			t.Errorf("ParsePlan(%q) = %+v, want %+v", spec, p.Rules, want)
+		}
+	}
+
+	if p, err := ParsePlan("torn%*.tmp-*, eio-read@2+ ,renamefail"); err != nil || len(p.Rules) != 3 {
+		t.Fatalf("multi-token plan: %+v, %v", p, err)
+	}
+
+	bad := []string{
+		"", ",", "nope", "enospc:1.5", "enospc:-1", "torn:1",
+		"renamedelay", "renamedelay:0", "eio-read:3", "syncdrop:x",
+		"torn~0", "torn~1.5", "torn%", "torn%[", "eio-read@x", "eio-read@5-2",
+	}
+	for _, spec := range bad {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted, want error", spec)
+		}
+	}
+}
+
+func TestRuleStringRoundTrips(t *testing.T) {
+	specs := []string{
+		"enospc:0.25", "torn:0.3~0.5%*.j@1-2", "renamedelay:20",
+		"eio-read@3+", "syncdrop%*.ck.tmp-*",
+	}
+	for _, spec := range specs {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		again, err := ParsePlan(p.Rules[0].String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", p.Rules[0].String(), spec, err)
+		}
+		if again.Rules[0] != p.Rules[0] {
+			t.Errorf("round trip %q -> %q -> %+v", spec, p.Rules[0].String(), again.Rules[0])
+		}
+	}
+}
+
+func mustPlan(t *testing.T, spec string) Plan {
+	t.Helper()
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", spec, err)
+	}
+	return p
+}
+
+func TestENOSPCWriteFails(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS(), mustPlan(t, "enospc"))
+	err := writeVia(t, in, filepath.Join(dir, "a.bin"), []byte("data"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.bin")); !os.IsNotExist(err) {
+		t.Fatalf("file published despite ENOSPC: %v", err)
+	}
+}
+
+func TestEIOReadAndReadDir(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.bin")
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(OS(), mustPlan(t, "eio-read,eio-readdir"))
+	if _, err := in.ReadFile(p); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("ReadFile: want EIO, got %v", err)
+	}
+	if _, err := in.ReadDir(dir); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("ReadDir: want EIO, got %v", err)
+	}
+}
+
+func TestTornWriteTruncatesButReportsSuccess(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS(), mustPlan(t, "torn:0.5"))
+	p := filepath.Join(dir, "a.bin")
+	if err := writeVia(t, in, p, []byte("0123456789")); err != nil {
+		t.Fatalf("torn write should report success, got %v", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("torn write persisted %q, want first half", got)
+	}
+}
+
+func TestWindowTriggersPerOpCount(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS(), mustPlan(t, "eio-read@1-2"))
+	p := filepath.Join(dir, "a.bin")
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ReadFile(p); err != nil {
+		t.Fatalf("read 0 should pass: %v", err)
+	}
+	if _, err := in.ReadFile(p); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("read 1 should fault, got %v", err)
+	}
+	if _, err := in.ReadFile(p); err != nil {
+		t.Fatalf("read 2 should pass: %v", err)
+	}
+	st := in.Stats()
+	if len(st) != 1 || st[0].Matched != 3 || st[0].Fired != 1 {
+		t.Fatalf("stats = %+v, want matched 3 fired 1", st)
+	}
+}
+
+func TestGlobScopesRule(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS(), mustPlan(t, "eio-read%*.job"))
+	job := filepath.Join(dir, "j1.job")
+	other := filepath.Join(dir, "j1.ck")
+	for _, p := range []string{job, other} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := in.ReadFile(other); err != nil {
+		t.Fatalf("non-matching path faulted: %v", err)
+	}
+	if _, err := in.ReadFile(job); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("matching path passed, want EIO: %v", err)
+	}
+	// The counter only advances on matching paths.
+	if st := in.Stats(); st[0].Matched != 1 {
+		t.Fatalf("glob rule matched %d ops, want 1", st[0].Matched)
+	}
+}
+
+func TestSyncDropSilentAndSyncFail(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS(), mustPlan(t, "syncdrop@0-1,syncfail@1+"))
+	if err := writeVia(t, in, filepath.Join(dir, "a.bin"), []byte("x")); err != nil {
+		t.Fatalf("syncdrop should be silent: %v", err)
+	}
+	err := writeVia(t, in, filepath.Join(dir, "b.bin"), []byte("x"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("syncfail: want EIO, got %v", err)
+	}
+}
+
+func TestRenameAndRemoveFaults(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS(), mustPlan(t, "renamefail,removefail"))
+	err := writeVia(t, in, filepath.Join(dir, "a.bin"), []byte("x"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename: want EIO, got %v", err)
+	}
+	// writeVia's cleanup Remove also faulted, so the temp file survives.
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 || !strings.Contains(ents[0].Name(), ".tmp-") {
+		t.Fatalf("expected orphaned temp file, got %v, %v", ents, err)
+	}
+}
+
+func TestProbabilisticRuleIsSeededAndDeterministic(t *testing.T) {
+	run := func(seed uint64) []bool {
+		dir := t.TempDir()
+		plan := mustPlan(t, "eio-read~0.4")
+		plan.Seed = seed
+		in := NewInjector(OS(), plan)
+		p := filepath.Join(dir, "a.bin")
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 40)
+		for i := range out {
+			_, err := in.ReadFile(p)
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.4 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestFirstFiringRuleWinsButAllCountersAdvance(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS(), mustPlan(t, "eio-read@0-1,eio-read"))
+	p := filepath.Join(dir, "a.bin")
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in.ReadFile(p)
+	st := in.Stats()
+	if st[0].Fired != 1 || st[1].Fired != 0 {
+		t.Fatalf("first rule should win: %+v", st)
+	}
+	if st[0].Matched != 1 || st[1].Matched != 1 {
+		t.Fatalf("both counters should advance: %+v", st)
+	}
+}
+
+func TestZeroPlanIsPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS(), Plan{})
+	p := filepath.Join(dir, "a.bin")
+	if err := writeVia(t, in, p, []byte("ok")); err != nil {
+		t.Fatalf("zero plan faulted: %v", err)
+	}
+	if got, _ := in.ReadFile(p); string(got) != "ok" {
+		t.Fatalf("round trip got %q", got)
+	}
+}

@@ -1,0 +1,274 @@
+package faults
+
+import (
+	"fmt"
+	"io/fs"
+	"path"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// Op names a filesystem operation a rule can target.
+type Op uint8
+
+// The operations the Injector intercepts.
+const (
+	OpRead Op = iota
+	OpReadDir
+	OpCreate
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpMkdir
+)
+
+// Mode names a fault behaviour.
+type Mode string
+
+// The fault modes a Plan can inject.
+const (
+	ModeENOSPC      Mode = "enospc"      // write persists a prefix, returns ENOSPC
+	ModeEIORead     Mode = "eio-read"    // ReadFile fails with EIO
+	ModeEIOWrite    Mode = "eio-write"   // write fails with EIO
+	ModeEIOCreate   Mode = "eio-create"  // CreateTemp fails with EIO
+	ModeEIOReadDir  Mode = "eio-readdir" // ReadDir fails with EIO
+	ModeEIOMkdir    Mode = "eio-mkdir"   // MkdirAll fails with EIO
+	ModeTorn        Mode = "torn"        // write truncates mid-buffer, reports success
+	ModeSyncDrop    Mode = "syncdrop"    // Sync silently does nothing
+	ModeSyncFail    Mode = "syncfail"    // Sync fails with EIO
+	ModeRenameFail  Mode = "renamefail"  // Rename fails with EIO
+	ModeRenameDelay Mode = "renamedelay" // Rename sleeps DelayMS first
+	ModeRemoveFail  Mode = "removefail"  // Remove fails with EIO
+)
+
+// op maps a mode to the operation it intercepts.
+func (m Mode) op() Op {
+	switch m {
+	case ModeEIORead:
+		return OpRead
+	case ModeEIOReadDir:
+		return OpReadDir
+	case ModeEIOCreate:
+		return OpCreate
+	case ModeEIOMkdir:
+		return OpMkdir
+	case ModeSyncDrop, ModeSyncFail:
+		return OpSync
+	case ModeRenameFail, ModeRenameDelay:
+		return OpRename
+	case ModeRemoveFail:
+		return OpRemove
+	default: // enospc, eio-write, torn
+		return OpWrite
+	}
+}
+
+// Window restricts a rule to a span of its matched-op counter: positions
+// [From, To), with To == 0 meaning unbounded. The zero Window is always
+// active.
+type Window struct{ From, To int64 }
+
+func (w Window) active(pos int64) bool {
+	return pos >= w.From && (w.To == 0 || pos < w.To)
+}
+
+// Rule is one fault: a mode, its parameters, and the path/op-count
+// triggers scoping it.
+type Rule struct {
+	// Mode selects the fault behaviour.
+	Mode Mode
+	// Frac parameterizes torn (fraction of the buffer persisted,
+	// default 0.5) and enospc (fraction persisted before the error,
+	// default 0).
+	Frac float64
+	// DelayMS is renamedelay's sleep in milliseconds.
+	DelayMS int64
+	// Prob, when > 0, fires the rule on only that fraction of in-window
+	// matches, drawn from a seeded per-rule stream. 0 fires on all.
+	Prob float64
+	// Glob, when non-empty, scopes the rule to operations whose target
+	// base name matches it ("*.job", "*.ck.tmp-*"). Empty matches all.
+	Glob string
+	// Window scopes the rule to a span of its matched-op counter.
+	Window Window
+}
+
+func (r Rule) matchPath(p string) bool {
+	if r.Glob == "" {
+		return true
+	}
+	ok, err := path.Match(r.Glob, filepath.Base(p))
+	return err == nil && ok
+}
+
+// String renders the rule back in ParsePlan grammar.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(string(r.Mode))
+	switch r.Mode {
+	case ModeTorn, ModeENOSPC:
+		if r.Frac > 0 {
+			fmt.Fprintf(&b, ":%g", r.Frac)
+		}
+	case ModeRenameDelay:
+		fmt.Fprintf(&b, ":%d", r.DelayMS)
+	}
+	if r.Prob > 0 {
+		fmt.Fprintf(&b, "~%g", r.Prob)
+	}
+	if r.Glob != "" {
+		b.WriteString("%" + r.Glob)
+	}
+	if r.Window != (Window{}) {
+		if r.Window.To == 0 {
+			fmt.Fprintf(&b, "@%d+", r.Window.From)
+		} else {
+			fmt.Fprintf(&b, "@%d-%d", r.Window.From, r.Window.To)
+		}
+	}
+	return b.String()
+}
+
+// Plan is a declarative fault configuration: rules applied in order
+// (first firing rule wins per operation) plus the seed for probabilistic
+// rules. The zero Plan injects nothing.
+type Plan struct {
+	Rules []Rule
+	Seed  uint64
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool { return len(p.Rules) > 0 }
+
+// ParsePlan parses a comma-separated fault spec — the -faults flag
+// syntax, mirroring internal/chaos's ParsePlan:
+//
+//	enospc[:frac]    write fails ENOSPC (after persisting frac, default 0)
+//	eio-read         ReadFile fails EIO
+//	eio-write        write fails EIO
+//	eio-create       temp-file creation fails EIO
+//	eio-readdir      directory listing fails EIO
+//	eio-mkdir        directory creation fails EIO
+//	torn[:frac]      write persists only frac of the buffer (default 0.5)
+//	                 but reports success — the classic torn write
+//	syncdrop         fsync silently dropped
+//	syncfail         fsync fails EIO
+//	renamefail       rename fails EIO
+//	renamedelay:ms   rename delayed by ms milliseconds
+//	removefail       remove fails EIO
+//
+// Any token may carry a "~p" suffix (fire on fraction p of matches,
+// seeded), a "%glob" suffix scoping it to base names matching glob
+// ("torn%*.job.tmp-*"), and a "@window" suffix restricting it to a span
+// of the ops it matches: "@3+" from the 4th matching op on, "@0-2" the
+// first two. Multiple tokens stack; the first rule that fires for an
+// operation decides its fate.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		body, winSpec, hasWin := strings.Cut(tok, "@")
+		body, glob, hasGlob := strings.Cut(body, "%")
+		body, probSpec, hasProb := strings.Cut(body, "~")
+		name, args, hasArgs := strings.Cut(body, ":")
+
+		var r Rule
+		switch Mode(name) {
+		case ModeENOSPC, ModeTorn:
+			r.Mode = Mode(name)
+			if r.Mode == ModeTorn {
+				r.Frac = 0.5
+			}
+			if hasArgs {
+				f, err := strconv.ParseFloat(args, 64)
+				if err != nil || f < 0 || f >= 1 {
+					return Plan{}, fmt.Errorf("faults: %s fraction must be in [0, 1), got %q", name, tok)
+				}
+				r.Frac = f
+			}
+		case ModeRenameDelay:
+			r.Mode = ModeRenameDelay
+			ms, err := strconv.ParseInt(args, 10, 64)
+			if err != nil || ms < 1 {
+				return Plan{}, fmt.Errorf("faults: renamedelay wants a positive millisecond count, got %q", tok)
+			}
+			r.DelayMS = ms
+		case ModeEIORead, ModeEIOWrite, ModeEIOCreate, ModeEIOReadDir, ModeEIOMkdir,
+			ModeSyncDrop, ModeSyncFail, ModeRenameFail, ModeRemoveFail:
+			r.Mode = Mode(name)
+			if hasArgs {
+				return Plan{}, fmt.Errorf("faults: %s takes no argument, got %q", name, tok)
+			}
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown fault %q (want enospc, eio-read, eio-write, eio-create, eio-readdir, eio-mkdir, torn, syncdrop, syncfail, renamefail, renamedelay:ms, removefail)", name)
+		}
+		if hasProb {
+			f, err := strconv.ParseFloat(probSpec, 64)
+			if err != nil || f <= 0 || f > 1 {
+				return Plan{}, fmt.Errorf("faults: probability must be in (0, 1], got %q", tok)
+			}
+			r.Prob = f
+		}
+		if hasGlob {
+			if glob == "" {
+				return Plan{}, fmt.Errorf("faults: empty glob in %q", tok)
+			}
+			if _, err := path.Match(glob, "probe"); err != nil {
+				return Plan{}, fmt.Errorf("faults: bad glob in %q: %v", tok, err)
+			}
+			r.Glob = glob
+		}
+		if hasWin {
+			w, err := parseWindow(winSpec)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faults: bad window in %q: %v", tok, err)
+			}
+			r.Window = w
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if !p.Enabled() {
+		return Plan{}, fmt.Errorf("faults: empty plan %q", spec)
+	}
+	return p, nil
+}
+
+// parseWindow parses "N+" (open-ended from N) or "N-M" (the half-open
+// span [N, M)) — the same grammar as internal/chaos.
+func parseWindow(s string) (Window, error) {
+	if from, ok := strings.CutSuffix(s, "+"); ok {
+		n, err := strconv.ParseInt(from, 10, 64)
+		if err != nil || n < 0 {
+			return Window{}, fmt.Errorf("want N+ with N ≥ 0, got %q", s)
+		}
+		if n == 0 {
+			return Window{}, nil
+		}
+		return Window{From: n}, nil
+	}
+	fromS, toS, ok := strings.Cut(s, "-")
+	if !ok {
+		return Window{}, fmt.Errorf("want N+ or N-M, got %q", s)
+	}
+	from, err1 := strconv.ParseInt(fromS, 10, 64)
+	to, err2 := strconv.ParseInt(toS, 10, 64)
+	if err1 != nil || err2 != nil || from < 0 || to <= from {
+		return Window{}, fmt.Errorf("want N-M with 0 ≤ N < M, got %q", s)
+	}
+	return Window{From: from, To: to}, nil
+}
+
+var (
+	errNoSpace = error(syscall.ENOSPC)
+	errIO      = error(syscall.EIO)
+)
+
+func pathErr(op, p string) error {
+	return &fs.PathError{Op: op, Path: p, Err: errIO}
+}

@@ -117,6 +117,20 @@ type Metrics struct {
 	degradeDecisions  atomic.Int64
 	degradeDowngrades atomic.Int64
 	degradeRecoveries atomic.Int64
+
+	// Storage-fault and service-robustness counters: corrupt records moved
+	// to quarantine at startup, orphaned temp files swept, record-persist
+	// retries and writes deferred to the drain flush, jobs failed by an
+	// isolated panic, jobs expired at their deadline, watchdog stall flags
+	// raised, and idempotent submissions replayed from the store.
+	storeQuarantines atomic.Int64
+	storeTmpSwept    atomic.Int64
+	persistRetries   atomic.Int64
+	persistDeferred  atomic.Int64
+	jobPanics        atomic.Int64
+	jobExpiries      atomic.Int64
+	jobStalls        atomic.Int64
+	idemReplays      atomic.Int64
 }
 
 // Comparisons records n paid comparisons by the given class.
@@ -237,6 +251,50 @@ func (m *Metrics) CheckpointWrite() {
 	m.checkpointWrites.Add(1)
 }
 
+// StoreQuarantine records one corrupt record moved to the quarantine
+// directory (or left in place when even the move failed).
+func (m *Metrics) StoreQuarantine() {
+	m.storeQuarantines.Add(1)
+}
+
+// StoreTmpSweep records n orphaned temp files swept at startup.
+func (m *Metrics) StoreTmpSweep(n int64) {
+	m.storeTmpSwept.Add(n)
+}
+
+// PersistRetry records one retried job-record write.
+func (m *Metrics) PersistRetry() {
+	m.persistRetries.Add(1)
+}
+
+// PersistDeferred records one job record whose write exhausted its retry
+// budget and was deferred to the drain flush.
+func (m *Metrics) PersistDeferred() {
+	m.persistDeferred.Add(1)
+}
+
+// JobPanic records one job failed by an isolated workload panic.
+func (m *Metrics) JobPanic() {
+	m.jobPanics.Add(1)
+}
+
+// JobExpiry records one job settled at its deadline with a partial result.
+func (m *Metrics) JobExpiry() {
+	m.jobExpiries.Add(1)
+}
+
+// JobStall records one watchdog flag: a running job with no checkpoint
+// progress for the configured window.
+func (m *Metrics) JobStall() {
+	m.jobStalls.Add(1)
+}
+
+// IdempotentReplay records one submission answered from the store by its
+// idempotency key instead of admitting a duplicate job.
+func (m *Metrics) IdempotentReplay() {
+	m.idemReplays.Add(1)
+}
+
 func phaseIndex(p Phase) int {
 	if p < 0 || p >= numPhases {
 		return int(PhaseOther)
@@ -335,6 +393,16 @@ func (m *Metrics) Snapshot() map[string]any {
 		"recoveries": m.degradeRecoveries.Load(),
 	}
 	out["checkpoint"] = map[string]any{"writes": m.checkpointWrites.Load()}
+	out["service"] = map[string]any{
+		"store_quarantines": m.storeQuarantines.Load(),
+		"store_tmp_swept":   m.storeTmpSwept.Load(),
+		"persist_retries":   m.persistRetries.Load(),
+		"persist_deferred":  m.persistDeferred.Load(),
+		"job_panics":        m.jobPanics.Load(),
+		"job_expiries":      m.jobExpiries.Load(),
+		"job_stalls":        m.jobStalls.Load(),
+		"idem_replays":      m.idemReplays.Load(),
+	}
 	return out
 }
 

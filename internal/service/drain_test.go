@@ -87,7 +87,12 @@ func TestDrainResumeBitIdentical(t *testing.T) {
 		t.Fatalf("resumed result diverged from uninterrupted run:\n got %+v\nwant %+v", got, want)
 	}
 
-	// The record on disk agrees with memory after the final persist.
+	// The record on disk agrees with memory after the final persist. Drain
+	// first: the terminal persist may still be in flight (or parked dirty)
+	// when the in-memory state flips; drain is the durability point.
+	if err := s2.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
 	reloaded, err := os.ReadFile(s2.store.recordPath(j2.ID))
 	if err != nil {
 		t.Fatalf("read final record: %v", err)

@@ -16,37 +16,41 @@ const maxBody = 64 << 20
 
 // jobView is the JSON shape of GET /v1/jobs/{id}.
 type jobView struct {
-	ID             string     `json:"id"`
-	Tenant         string     `json:"tenant"`
-	State          State      `json:"state"`
-	Mode           string     `json:"mode"`
-	K              int        `json:"k,omitempty"`
-	Votes          int        `json:"votes,omitempty"`
-	N              int        `json:"n"`
-	Un             int        `json:"un"`
-	Ue             int        `json:"ue"`
-	Seed           uint64     `json:"seed"`
-	ReservedNaive  int64      `json:"reserved_naive"`
-	ReservedExpert int64      `json:"reserved_expert"`
-	Error          string     `json:"error,omitempty"`
-	Result         *JobResult `json:"result,omitempty"`
+	ID              string     `json:"id"`
+	Tenant          string     `json:"tenant"`
+	State           State      `json:"state"`
+	Mode            string     `json:"mode"`
+	K               int        `json:"k,omitempty"`
+	Votes           int        `json:"votes,omitempty"`
+	N               int        `json:"n"`
+	Un              int        `json:"un"`
+	Ue              int        `json:"ue"`
+	Seed            uint64     `json:"seed"`
+	ReservedNaive   int64      `json:"reserved_naive"`
+	ReservedExpert  int64      `json:"reserved_expert"`
+	DeadlineSeconds float64    `json:"deadline_seconds,omitempty"`
+	Stalled         bool       `json:"stalled,omitempty"`
+	Error           string     `json:"error,omitempty"`
+	Result          *JobResult `json:"result,omitempty"`
 }
 
 func viewOf(j *Job) jobView {
 	v := jobView{
-		ID:             j.ID,
-		Tenant:         j.Spec.Tenant,
-		State:          j.State(),
-		Mode:           j.Spec.Mode,
-		K:              j.Spec.K,
-		Votes:          j.Spec.Votes,
-		N:              j.Spec.size(),
-		Un:             j.Spec.Un,
-		Ue:             j.Spec.Ue,
-		Seed:           j.Spec.Seed,
-		ReservedNaive:  j.ReservedNaive,
-		ReservedExpert: j.ReservedExpert,
-		Error:          j.Err(),
+		ID:              j.ID,
+		Tenant:          j.Spec.Tenant,
+		State:           j.State(),
+		Mode:            j.Spec.Mode,
+		K:               j.Spec.K,
+		Votes:           j.Spec.Votes,
+		N:               j.Spec.size(),
+		Un:              j.Spec.Un,
+		Ue:              j.Spec.Ue,
+		Seed:            j.Spec.Seed,
+		ReservedNaive:   j.ReservedNaive,
+		ReservedExpert:  j.ReservedExpert,
+		DeadlineSeconds: j.Spec.DeadlineSeconds,
+		Stalled:         j.Stalled(),
+		Error:           j.Err(),
 	}
 	if r, ok := j.Result(); ok {
 		v.Result = &r
@@ -61,7 +65,8 @@ func viewOf(j *Job) jobView {
 //	GET  /v1/jobs/{id}         job status and result
 //	GET  /v1/jobs/{id}/events  the job's JSONL event trace (?follow=1 streams
 //	                           until the job reaches a terminal state)
-//	GET  /healthz              liveness + drain status + job counts
+//	GET  /v1/tenants           per-tenant job counts and budget spend
+//	GET  /healthz              liveness + drain/degraded status + damage report
 //	GET  /debug/vars, /debug/pprof/...   via obs.Routes
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -69,6 +74,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	obs.Routes(mux)
 	return mux
@@ -94,7 +100,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Sprintf("decode job spec: %v", err))
 		return
 	}
-	j, err := s.Submit(spec)
+	if spec.IdempotencyKey == "" {
+		spec.IdempotencyKey = r.Header.Get("Idempotency-Key")
+	}
+	j, reused, err := s.SubmitIdempotent(spec)
 	if err != nil {
 		var rej *RejectError
 		switch {
@@ -111,11 +120,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{
+	// A replayed idempotent submission returns the original job with 200:
+	// nothing was admitted or charged by this request.
+	status := http.StatusAccepted
+	body := map[string]any{
 		"id":     j.ID,
 		"status": "/v1/jobs/" + j.ID,
 		"events": "/v1/jobs/" + j.ID + "/events",
-	})
+	}
+	if reused {
+		status = http.StatusOK
+		body["replayed"] = true
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.TenantUsages()})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -173,14 +194,34 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz reports liveness plus the damage report: a server running
+// with quarantined records, unmovable corrupt files, or dirty (unpersisted)
+// records says "degraded" — it is serving, but an operator should look.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	counts := map[State]int{}
 	for _, j := range s.Jobs() {
 		counts[j.State()]++
 	}
+	h := s.Health()
 	status := "ok"
+	if h.Degraded() {
+		status = "degraded"
+	}
 	if s.Draining() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": status, "jobs": counts})
+	body := map[string]any{
+		"status":    status,
+		"jobs":      counts,
+		"swept_tmp": h.SweptTmp,
+		"dirty":     h.Dirty,
+		"stalled":   h.Stalled,
+	}
+	if len(h.Quarantined) > 0 {
+		body["quarantined"] = h.Quarantined
+	}
+	if h.Unmovable > 0 {
+		body["unmovable"] = h.Unmovable
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -32,6 +32,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"crowdmax"
 	"crowdmax/internal/checkpoint"
@@ -54,10 +56,16 @@ const (
 	StateDone State = "done"
 	// StateFailed: the session returned a non-recoverable error; Err is set.
 	StateFailed State = "failed"
+	// StateExpired: the job's own deadline elapsed mid-run; the partial
+	// result (whatever the degrade ladder could certify in the time it had)
+	// is recorded and the unspent reservation refunded.
+	StateExpired State = "expired"
 )
 
 // terminal reports whether the state is an endpoint of the lifecycle.
-func (s State) terminal() bool { return s == StateDone || s == StateFailed }
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateExpired
+}
 
 // ItemSpec is one explicit input element of a job.
 type ItemSpec struct {
@@ -94,7 +102,23 @@ type JobSpec struct {
 	// Ue is the expert-class analogue used to derive the simulated expert's
 	// threshold; defaults to max(1, Un/2).
 	Ue int `json:"ue,omitempty"`
+	// DeadlineSeconds bounds the job's wall-clock runtime; past it the run
+	// is cut off and settles as "expired" with whatever partial answer the
+	// degrade ladder certified. 0 means no per-job deadline.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	// IdempotencyKey deduplicates retried submissions: a second POST with
+	// the same (tenant, key) returns the job already admitted under it
+	// instead of charging the budget again. Also settable via the
+	// Idempotency-Key header.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Fault injects a failure into the job's own run for torture testing —
+	// only honored when the server opts in (Options.AllowFaults). "panic"
+	// panics the session goroutine mid-phase.
+	Fault string `json:"fault,omitempty"`
 }
+
+// FaultPanic is the only recognized JobSpec.Fault value.
+const FaultPanic = "panic"
 
 // The service's job modes, mapped one-to-one onto session workloads.
 const (
@@ -151,6 +175,14 @@ func (sp *JobSpec) normalize() error {
 	}
 	if sp.Votes < 0 {
 		return errors.New("votes must be ≥ 0")
+	}
+	if sp.DeadlineSeconds < 0 {
+		return errors.New("deadline_seconds must be ≥ 0")
+	}
+	switch sp.Fault {
+	case "", FaultPanic:
+	default:
+		return fmt.Errorf("unknown fault %q (want %q)", sp.Fault, FaultPanic)
 	}
 	return nil
 }
@@ -209,12 +241,31 @@ type Job struct {
 	errMsg string
 	result *JobResult
 
+	// progress is the unix-nano timestamp of the job's last observable
+	// forward motion (state transition, phase event, decision, checkpoint
+	// write); the watchdog compares it against the stall threshold. stalled
+	// latches the watchdog's verdict so each episode is flagged once.
+	// settled guards the budget settlement: refunds must happen exactly once
+	// even if a panic unwinds through a path that already settled.
+	progress atomic.Int64
+	stalled  atomic.Bool
+	settled  atomic.Bool
+
 	// events buffers the job's JSONL trace for streaming readers; trace is
 	// the tracer writing into it (one per job, so event sequence numbers
 	// run continuously across the job's lifecycle).
 	events *eventLog
 	trace  *obs.Tracer
 }
+
+// touch stamps the job's forward-progress clock and clears any stall flag.
+func (j *Job) touch() {
+	j.progress.Store(time.Now().UnixNano())
+	j.stalled.Store(false)
+}
+
+// Stalled reports whether the watchdog currently flags the job.
+func (j *Job) Stalled() bool { return j.stalled.Load() }
 
 // State returns the job's current lifecycle state.
 func (j *Job) State() State {
@@ -247,14 +298,17 @@ func (j *Job) setState(s State, errMsg string) {
 	j.state = s
 	j.errMsg = errMsg
 	j.mu.Unlock()
+	j.touch()
 }
 
-// setResult records a completed run's outcome.
-func (j *Job) setResult(r JobResult) {
+// setResult records a completed run's outcome under state s (StateDone, or
+// StateExpired for a deadline-cut partial answer).
+func (j *Job) setResult(s State, r JobResult) {
 	j.mu.Lock()
-	j.state = StateDone
+	j.state = s
 	j.result = &r
 	j.mu.Unlock()
+	j.touch()
 }
 
 // attachLog gives the job a fresh event log and its tracer. Event history
@@ -270,11 +324,13 @@ func (j *Job) attachLog() {
 // exactly like a session snapshot instead of resurrecting a corrupt job.
 const (
 	recordMagic = "CMJR"
-	// recordVersion 2 appends the workload-mode fields (spec mode/k/votes,
-	// result mode + per-rank entries); version-1 records from pre-workload
-	// servers load as mode "max".
-	recordVersion         = 2
-	recordVersionPreModes = 1
+	// recordVersion 3 appends the robustness fields (idempotency key,
+	// deadline, fault tag). Version 2 appended the workload-mode fields
+	// (spec mode/k/votes, result mode + per-rank entries); version-1
+	// records from pre-workload servers load as mode "max".
+	recordVersion          = 3
+	recordVersionPreRobust = 2
+	recordVersionPreModes  = 1
 )
 
 // encodeRecord renders the job's durable fields in the record format.
@@ -326,6 +382,10 @@ func encodeRecord(j *Job) []byte {
 			b.Str(e.Guarantee)
 		}
 	}
+	// Version-3 appendix: the robustness fields.
+	b.Str(j.Spec.IdempotencyKey)
+	b.F64(j.Spec.DeadlineSeconds)
+	b.Str(j.Spec.Fault)
 	return checkpoint.SealEnvelope(recordMagic, recordVersion, b.Bytes())
 }
 
@@ -336,7 +396,7 @@ func decodeRecord(data []byte) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != recordVersion && ver != recordVersionPreModes {
+	if ver < recordVersionPreModes || ver > recordVersion {
 		return nil, fmt.Errorf("%w: unsupported job record version %d", checkpoint.ErrCorrupt, ver)
 	}
 	r := checkpoint.NewReader(body)
@@ -372,7 +432,7 @@ func decodeRecord(data []byte) (*Job, error) {
 		res.Phase1Complete = r.Bool()
 		j.result = res
 	}
-	if ver >= recordVersion {
+	if ver >= recordVersionPreRobust {
 		j.Spec.Mode = r.Str()
 		j.Spec.K = int(r.I64())
 		j.Spec.Votes = int(r.I64())
@@ -392,6 +452,11 @@ func decodeRecord(data []byte) (*Job, error) {
 			}
 		}
 	}
+	if ver >= recordVersion {
+		j.Spec.IdempotencyKey = r.Str()
+		j.Spec.DeadlineSeconds = r.F64()
+		j.Spec.Fault = r.Str()
+	}
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
@@ -403,7 +468,7 @@ func decodeRecord(data []byte) (*Job, error) {
 		}
 	}
 	switch j.state {
-	case StateQueued, StateRunning, StateInterrupted, StateDone, StateFailed:
+	case StateQueued, StateRunning, StateInterrupted, StateDone, StateFailed, StateExpired:
 	default:
 		return nil, fmt.Errorf("%w: record names unknown state %q", checkpoint.ErrCorrupt, j.state)
 	}

@@ -1,0 +1,482 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"crowdmax/internal/checkpoint"
+	"crowdmax/internal/faults"
+)
+
+// mkJob builds a minimal terminal job for record fixtures.
+func mkJob(id, tenant string) *Job {
+	j := &Job{ID: id, Spec: JobSpec{Tenant: tenant, Mode: ModeMax, N: 10, Seed: 1, Un: 2, Ue: 1}}
+	j.attachLog()
+	j.state = StateDone
+	j.result = &JobResult{Mode: ModeMax, BestID: 3, BestValue: 0.9, NaiveComparisons: 12, ExpertComparisons: 2, Cost: 32}
+	return j
+}
+
+func writeRecord(t *testing.T, dir string, j *Job) string {
+	t.Helper()
+	path := filepath.Join(dir, j.ID+".job")
+	if err := os.WriteFile(path, encodeRecord(j), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func discardLogf(string, ...any) {}
+
+// TestRecordV3RoundTrip pins the robustness appendix: idempotency key,
+// deadline, fault tag, and the expired state survive the record codec.
+func TestRecordV3RoundTrip(t *testing.T) {
+	j := mkJob("j00000042", "acme")
+	j.Spec.IdempotencyKey = "retry-abc"
+	j.Spec.DeadlineSeconds = 2.5
+	j.Spec.Fault = FaultPanic
+	j.state = StateExpired
+	got, err := decodeRecord(encodeRecord(j))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Spec.IdempotencyKey != "retry-abc" || got.Spec.DeadlineSeconds != 2.5 || got.Spec.Fault != FaultPanic {
+		t.Fatalf("robustness fields lost: %+v", got.Spec)
+	}
+	if got.State() != StateExpired {
+		t.Fatalf("state = %q, want expired", got.State())
+	}
+}
+
+// TestDecodeRecordTruncationNeverPanics truncates a valid record at every
+// single byte offset: each prefix must decode as an error (almost always
+// ErrCorrupt from the envelope), never panic, and never yield a job.
+func TestDecodeRecordTruncationNeverPanics(t *testing.T) {
+	data := encodeRecord(mkJob("j00000001", "t"))
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := decodeRecord(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded cleanly", cut, len(data))
+		}
+	}
+	if _, err := decodeRecord(data); err != nil {
+		t.Fatalf("full record must decode: %v", err)
+	}
+}
+
+// TestLoadQuarantinesDamage seeds a store directory with every kind of
+// damage the loader must survive: a zero-byte record, a truncated record, a
+// record under a foreign magic, a record naming an unknown state, and an
+// orphaned temp file. Load must keep the two good jobs, quarantine the four
+// bad files, and sweep the temp.
+func TestLoadQuarantinesDamage(t *testing.T) {
+	dir := t.TempDir()
+	writeRecord(t, dir, mkJob("j00000001", "a"))
+	writeRecord(t, dir, mkJob("j00000002", "b"))
+	if err := os.WriteFile(filepath.Join(dir, "j00000003.job"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	full := encodeRecord(mkJob("j00000004", "a"))
+	if err := os.WriteFile(filepath.Join(dir, "j00000004.job"), full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "j00000005.job"), checkpoint.SealEnvelope("XXXX", 1, []byte("zz")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := mkJob("j00000006", "a")
+	bad.state = State("haunted")
+	if err := os.WriteFile(filepath.Join(dir, "j00000006.job"), encodeRecord(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "j00000001.job.tmp-77"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := newStore(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := st.load(discardLogf)
+	if err != nil {
+		t.Fatalf("load must not fail on damage: %v", err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != "j00000001" || jobs[1].ID != "j00000002" {
+		t.Fatalf("loaded %v, want the two good jobs", jobs)
+	}
+	q, unmovable, swept := st.health()
+	if len(q) != 4 || unmovable != 0 || swept != 1 {
+		t.Fatalf("health = %d quarantined %d unmovable %d swept, want 4/0/1 (%v)", len(q), unmovable, swept, q)
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(ents) != 4 {
+		t.Fatalf("quarantine dir: %v %v", ents, err)
+	}
+	// The damaged files are out of the boot path: a second load is clean.
+	st2, _ := newStore(nil, dir)
+	if jobs2, err := st2.load(discardLogf); err != nil || len(jobs2) != 2 {
+		t.Fatalf("second load: %v jobs, err %v", jobs2, err)
+	}
+	// The damage stays on the books until an operator clears quarantine/:
+	// the second load inherits all four records (no re-moves, no new files)
+	// and still reports degraded.
+	q2, _, swept2 := st2.health()
+	if len(q2) != 4 || swept2 != 0 {
+		t.Fatalf("second load health = %d quarantined %d swept, want 4/0 (%v)", len(q2), swept2, q2)
+	}
+	for _, rec := range q2 {
+		if rec.Reason != "quarantined by an earlier boot" {
+			t.Fatalf("inherited record %s has reason %q", rec.Name, rec.Reason)
+		}
+	}
+	if !st2.degraded() {
+		t.Fatal("store with a populated quarantine must stay degraded")
+	}
+	if ents, err := os.ReadDir(filepath.Join(dir, quarantineDir)); err != nil || len(ents) != 4 {
+		t.Fatalf("second load changed the quarantine dir: %v %v", ents, err)
+	}
+}
+
+// TestLoadResolvesDuplicateIDs writes two records claiming the same job ID
+// under different filenames; the newer file must win and the loser land in
+// quarantine with a reason naming the winner.
+func TestLoadResolvesDuplicateIDs(t *testing.T) {
+	dir := t.TempDir()
+	old := mkJob("j00000009", "a")
+	old.result.NaiveComparisons = 1
+	newer := mkJob("j00000009", "a")
+	newer.result.NaiveComparisons = 99
+	if err := os.WriteFile(filepath.Join(dir, "copy-old.job"), encodeRecord(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "copy-old.job"), past, past); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "j00000009.job"), encodeRecord(newer), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, _ := newStore(nil, dir)
+	jobs, err := st.load(discardLogf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("loaded %d jobs, want 1", len(jobs))
+	}
+	if r, _ := jobs[0].Result(); r.NaiveComparisons != 99 {
+		t.Fatalf("older duplicate won: %+v", r)
+	}
+	q, _, _ := st.health()
+	if len(q) != 1 || q[0].Name != "copy-old.job" || !strings.Contains(q[0].Reason, "duplicate record") {
+		t.Fatalf("loser not quarantined: %v", q)
+	}
+}
+
+// TestServerBootsWithPoisonedRecord is the acceptance gate in miniature:
+// a server whose store holds a corrupt record must boot, serve new jobs,
+// and report itself degraded.
+func TestServerBootsWithPoisonedRecord(t *testing.T) {
+	dir := t.TempDir()
+	jobs := filepath.Join(dir, "jobs")
+	if err := os.MkdirAll(jobs, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobs, "j00000001.job"), []byte("not a record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := testServer(t, dir, nil)
+	defer s.Drain(context.Background())
+	h := s.Health()
+	if !h.Degraded() || len(h.Quarantined) != 1 {
+		t.Fatalf("health = %+v, want degraded with 1 quarantined", h)
+	}
+	j, err := s.Submit(JobSpec{N: 60, Seed: 3, Un: 3})
+	if err != nil {
+		t.Fatalf("poisoned store must still admit jobs: %v", err)
+	}
+	waitTerminal(t, j, 30*time.Second)
+	if j.State() != StateDone {
+		t.Fatalf("job state %q: %s", j.State(), j.Err())
+	}
+	// The quarantined name must not leak into the ID sequence: the new job
+	// keeps its own identity.
+	if j.ID == "j00000001" {
+		t.Fatal("new job reused the quarantined record's ID")
+	}
+}
+
+// TestPersistRetriesThroughTransientFaults drives the record writes through
+// an injector whose first two write ops fail ENOSPC; the bounded retry must
+// land the record without parking it dirty.
+func TestPersistRetriesThroughTransientFaults(t *testing.T) {
+	plan, err := faults.ParsePlan("enospc%*.job.tmp-*@0-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := newStore(faults.NewInjector(faults.OS(), plan), filepath.Join(dir, "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := mkJob("j00000001", "a")
+	if err := st.persist(j); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("first persist should fail ENOSPC, got %v", err)
+	}
+	if err := st.persist(j); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("second persist should fail ENOSPC, got %v", err)
+	}
+	if err := st.persist(j); err != nil {
+		t.Fatalf("third persist should pass the fault window: %v", err)
+	}
+}
+
+// TestPersistDefersOnUnwritableStore simulates a read-only/failing store
+// directory: every rename fails, so persistJob exhausts its attempts, parks
+// the record dirty, and the server keeps running; once the faults lift, the
+// drain-time flush lands the record.
+func TestPersistDefersOnUnwritableStore(t *testing.T) {
+	// Record renames: op 0 is the queued persist (must land so Submit
+	// acks), ops 1-4 are the running and terminal persists (2 attempts
+	// each, all failing — a read-only store mid-run), op 5 is the drain
+	// flush over a recovered disk.
+	plan, err := faults.ParsePlan("renamefail%*.job@1-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s := testServer(t, dir, func(o *Options) {
+		o.FS = faults.NewInjector(faults.OS(), plan)
+		o.PersistAttempts = 2
+	})
+	j, err := s.Submit(JobSpec{N: 40, Seed: 9, Un: 3})
+	if err != nil {
+		// Submission itself persists; with the record unwritable the admit
+		// is rolled back. That is also acceptable fail-closed behavior, but
+		// this test wants the running-job path, so weaken the plan if so.
+		t.Fatalf("Submit: %v", err)
+	}
+	_ = j
+	waitTerminal(t, j, 30*time.Second)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// After the drain flush over a recovered disk, nothing stays dirty and
+	// the terminal record is durable and decodable.
+	if n := s.dirtyCount(); n != 0 {
+		t.Fatalf("%d records still dirty after drain flush", n)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "jobs", j.ID+".job"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.State().terminal() {
+		t.Fatalf("flushed record state %q not terminal", got.State())
+	}
+}
+
+// TestSubmitFailsClosedWhenRecordUnwritable pins the admission contract: if
+// the queued record cannot be written at all, Submit refuses and rolls the
+// reservation back rather than acknowledging a job that could vanish.
+func TestSubmitFailsClosedWhenRecordUnwritable(t *testing.T) {
+	plan, err := faults.ParsePlan("enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s := testServer(t, dir, func(o *Options) {
+		o.FS = faults.NewInjector(faults.OS(), plan)
+		o.DefaultTenant = TenantLimits{MaxCost: 1e9}
+	})
+	defer s.Drain(context.Background())
+	if _, err := s.Submit(JobSpec{N: 40, Seed: 9, Un: 3}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Submit over a full disk: %v", err)
+	}
+	// The rollback must leave the books empty.
+	for _, u := range s.TenantUsages() {
+		if u.Jobs != 0 || (u.SpentCost != nil && *u.SpentCost != 0) {
+			t.Fatalf("reservation leaked: %+v", u)
+		}
+	}
+}
+
+// TestPanicIsolation submits a deliberately panicking workload next to a
+// healthy one: the panic must settle only its own job as failed (with the
+// stack in its event log and a full refund) while the neighbor completes.
+func TestPanicIsolation(t *testing.T) {
+	dir := t.TempDir()
+	s := testServer(t, dir, func(o *Options) {
+		o.AllowFaults = true
+		o.DefaultTenant = TenantLimits{MaxCost: 1e9}
+	})
+	defer s.Drain(context.Background())
+	bad, err := s.Submit(JobSpec{N: 50, Seed: 1, Un: 3, Fault: FaultPanic})
+	if err != nil {
+		t.Fatalf("Submit fault job: %v", err)
+	}
+	good, err := s.Submit(JobSpec{N: 80, Seed: 2, Un: 4})
+	if err != nil {
+		t.Fatalf("Submit healthy job: %v", err)
+	}
+	waitTerminal(t, bad, 30*time.Second)
+	waitTerminal(t, good, 30*time.Second)
+	if bad.State() != StateFailed || !strings.Contains(bad.Err(), "panic") {
+		t.Fatalf("fault job state %q err %q", bad.State(), bad.Err())
+	}
+	if good.State() != StateDone {
+		t.Fatalf("healthy job state %q: %s", good.State(), good.Err())
+	}
+	buf, _, _ := bad.events.since(0)
+	if !strings.Contains(string(buf), `"ev":"panic"`) || !strings.Contains(string(buf), "goroutine") {
+		t.Fatalf("panic event with stack missing from trace:\n%s", buf)
+	}
+	// A panicked run produced no billable result: the reservation is fully
+	// refunded, so tenant cost equals the healthy job's actual spend.
+	r, ok := good.Result()
+	if !ok {
+		t.Fatal("healthy job has no result")
+	}
+	for _, u := range s.TenantUsages() {
+		if u.SpentCost == nil {
+			continue
+		}
+		want := float64(r.NaiveComparisons)*1 + float64(r.ExpertComparisons)*10
+		if diff := *u.SpentCost - want; diff > 0.005 || diff < -0.005 {
+			t.Fatalf("tenant cost %.2f, want %.2f (panic job not refunded?)", *u.SpentCost, want)
+		}
+	}
+	// And the server still admits work.
+	again, err := s.Submit(JobSpec{N: 40, Seed: 3, Un: 3})
+	if err != nil {
+		t.Fatalf("server stopped serving after a panic: %v", err)
+	}
+	waitTerminal(t, again, 30*time.Second)
+}
+
+// TestFaultSpecGated pins that fault injection is opt-in: a default server
+// rejects specs carrying a fault tag.
+func TestFaultSpecGated(t *testing.T) {
+	s := testServer(t, t.TempDir(), nil)
+	defer s.Drain(context.Background())
+	if _, err := s.Submit(JobSpec{N: 40, Seed: 1, Un: 3, Fault: FaultPanic}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("fault spec on a default server: %v", err)
+	}
+}
+
+// TestDeadlineExpiresJob holds every comparison long enough that the job's
+// own deadline fires: the job must settle terminal as "expired" without
+// tearing anything else down, and its partial spend must be recorded.
+func TestDeadlineExpiresJob(t *testing.T) {
+	dir := t.TempDir()
+	s := testServer(t, dir, func(o *Options) {
+		o.CmpLatency = 20 * time.Millisecond
+	})
+	defer s.Drain(context.Background())
+	j, err := s.Submit(JobSpec{N: 400, Seed: 5, Un: 8, DeadlineSeconds: 0.2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitTerminal(t, j, 30*time.Second)
+	if j.State() != StateExpired {
+		t.Fatalf("state %q, want expired (err %q)", j.State(), j.Err())
+	}
+	if _, ok := j.Result(); !ok {
+		t.Fatal("expired job must carry its partial result")
+	}
+	// The expired record survives the codec and a restart does not resume
+	// it. Drain first: the terminal persist may still be in flight (or
+	// parked dirty) when the in-memory state flips; drain is the point the
+	// record is guaranteed durable.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "jobs", j.ID+".job"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State() != StateExpired {
+		t.Fatalf("persisted state %q", got.State())
+	}
+}
+
+// TestIdempotentSubmission pins the dedup contract: same tenant + key is
+// the same job (no second charge), a different tenant with the same key is
+// its own job, and the mapping survives a restart.
+func TestIdempotentSubmission(t *testing.T) {
+	dir := t.TempDir()
+	s := testServer(t, dir, nil)
+	j1, reused, err := s.SubmitIdempotent(JobSpec{N: 60, Seed: 1, Un: 3, IdempotencyKey: "k1"})
+	if err != nil || reused {
+		t.Fatalf("first submit: %v reused=%v", err, reused)
+	}
+	j2, reused, err := s.SubmitIdempotent(JobSpec{N: 60, Seed: 1, Un: 3, IdempotencyKey: "k1"})
+	if err != nil || !reused || j2.ID != j1.ID {
+		t.Fatalf("replay: %v reused=%v id=%s want %s", err, reused, j2.ID, j1.ID)
+	}
+	other, reused, err := s.SubmitIdempotent(JobSpec{Tenant: "other", N: 60, Seed: 1, Un: 3, IdempotencyKey: "k1"})
+	if err != nil || reused || other.ID == j1.ID {
+		t.Fatalf("tenant scoping broken: %v reused=%v id=%s", err, reused, other.ID)
+	}
+	waitTerminal(t, j1, 30*time.Second)
+	waitTerminal(t, other, 30*time.Second)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the retried POST still gets its original job, not a re-run.
+	s2 := testServer(t, dir, nil)
+	defer s2.Drain(context.Background())
+	j3, reused, err := s2.SubmitIdempotent(JobSpec{N: 60, Seed: 1, Un: 3, IdempotencyKey: "k1"})
+	if err != nil || !reused || j3.ID != j1.ID {
+		t.Fatalf("replay across restart: %v reused=%v id=%s want %s", err, reused, j3.ID, j1.ID)
+	}
+	if j3.State() != StateDone {
+		t.Fatalf("replayed job lost its result: %q", j3.State())
+	}
+}
+
+// TestWatchdogFlagsStalledJob runs a job whose comparisons sleep far past
+// the watchdog threshold; the job must be flagged stalled mid-run and the
+// flag must clear once it completes.
+func TestWatchdogFlagsStalledJob(t *testing.T) {
+	s := testServer(t, t.TempDir(), func(o *Options) {
+		o.CmpLatency = 50 * time.Millisecond
+		o.WatchdogAfter = 20 * time.Millisecond
+		o.CheckpointEvery = 1 << 30 // no checkpoint touches mid-phase
+	})
+	defer s.Drain(context.Background())
+	j, err := s.Submit(JobSpec{N: 20, Seed: 4, Un: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	sawStall := false
+	deadline := time.Now().Add(30 * time.Second)
+	for !j.State().terminal() {
+		if j.Stalled() {
+			sawStall = true
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawStall {
+		t.Fatal("watchdog never flagged the slow job")
+	}
+	if j.Stalled() {
+		t.Fatal("stall flag not cleared by the terminal transition")
+	}
+}

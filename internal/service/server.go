@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
-	"os"
 	"path/filepath"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +17,8 @@ import (
 	"crowdmax"
 	"crowdmax/internal/core"
 	"crowdmax/internal/dataset"
+	"crowdmax/internal/dispatch"
+	"crowdmax/internal/faults"
 	"crowdmax/internal/obs"
 )
 
@@ -80,6 +84,20 @@ type Options struct {
 	CheckpointEvery int
 	// RetryAfter is the backoff hint attached to 429 rejections. Default 1s.
 	RetryAfter time.Duration
+	// FS is the filesystem the store and checkpoints write through; nil uses
+	// the real disk. Torture runs install a faults.Injector here.
+	FS faults.FS
+	// AllowFaults permits client-requested fault injection (JobSpec.Fault);
+	// off by default so a production deployment cannot be panicked by a
+	// request body.
+	AllowFaults bool
+	// WatchdogAfter flags a running job as stalled when it makes no
+	// observable progress (state change, phase, decision, checkpoint) for
+	// this long; 0 disables the watchdog.
+	WatchdogAfter time.Duration
+	// PersistAttempts bounds the retries of one job-record write before the
+	// record is parked dirty for the drain-time flush. Default 4.
+	PersistAttempts int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -98,6 +116,7 @@ type tenant struct {
 // Drain.
 type Server struct {
 	opt   Options
+	fsys  faults.FS
 	store *store
 
 	// slots is the session-concurrency semaphore: Submit acquires
@@ -109,6 +128,16 @@ type Server struct {
 
 	seqMu sync.Mutex
 	seq   int64
+
+	// idem maps tenant-scoped idempotency keys to their admitted jobs.
+	// Guarded by admitMu — Submit is already fully serialized under it, and
+	// lookup/insert must be atomic with admission anyway.
+	idem map[string]*Job
+
+	// dirty holds jobs whose latest record write failed even after retries;
+	// the next transition or the drain-time flush tries again.
+	dirtyMu sync.Mutex
+	dirty   map[string]*Job
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -136,25 +165,38 @@ func NewServer(opt Options) (*Server, error) {
 	if opt.RetryAfter <= 0 {
 		opt.RetryAfter = time.Second
 	}
-	st, err := newStore(filepath.Join(opt.Dir, "jobs"))
+	if opt.PersistAttempts <= 0 {
+		opt.PersistAttempts = 4
+	}
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = faults.OS()
+	}
+	st, err := newStore(fsys, filepath.Join(opt.Dir, "jobs"))
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(filepath.Join(opt.Dir, "ck"), 0o755); err != nil {
+	if err := fsys.MkdirAll(filepath.Join(opt.Dir, "ck"), 0o755); err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opt:        opt,
+		fsys:       fsys,
 		store:      st,
 		slots:      make(chan struct{}, opt.MaxConcurrent),
 		tenants:    make(map[string]*tenant),
+		idem:       make(map[string]*Job),
+		dirty:      make(map[string]*Job),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
 	if err := s.recover(); err != nil {
 		cancel()
 		return nil, err
+	}
+	if opt.WatchdogAfter > 0 {
+		go s.watchdog()
 	}
 	return s, nil
 }
@@ -224,14 +266,29 @@ func reservation(sp JobSpec) (naive, expert int64) {
 	return naive, expert
 }
 
-// Submit validates, admits, and starts one job. The admission sequence is
-// slot → tenant job cap → tenant budget reservation, each step rolled back
-// if a later one refuses; on success the job is persisted as queued and its
-// session starts on a pool goroutine. Errors: ErrBadRequest (invalid spec),
-// ErrDraining (shutdown begun), *RejectError (capacity; retry later).
+// Submit validates, admits, and starts one job. See SubmitIdempotent.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	j, _, err := s.SubmitIdempotent(spec)
+	return j, err
+}
+
+// idemKey scopes an idempotency key to its tenant.
+func idemKey(tenant, key string) string { return tenant + "\x00" + key }
+
+// SubmitIdempotent validates, admits, and starts one job. The admission
+// sequence is slot → tenant job cap → tenant budget reservation, each step
+// rolled back if a later one refuses; on success the job is persisted as
+// queued and its session starts on a pool goroutine. A spec carrying an
+// IdempotencyKey already admitted for the tenant returns the existing job
+// with reused=true — a retried POST (client timeout, proxy replay) never
+// charges the budget twice. Errors: ErrBadRequest (invalid spec),
+// ErrDraining (shutdown begun), *RejectError (capacity; retry later).
+func (s *Server) SubmitIdempotent(spec JobSpec) (j *Job, reused bool, err error) {
 	if err := spec.normalize(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if spec.Fault != "" && !s.opt.AllowFaults {
+		return nil, false, fmt.Errorf("%w: fault injection is not enabled on this server", ErrBadRequest)
 	}
 
 	// The admit lock makes "reject new work after the drain flag flips"
@@ -239,15 +296,28 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	// submission can be mid-admission when the base context is cancelled.
 	s.admitMu.Lock()
 	defer s.admitMu.Unlock()
+
+	// Idempotent replay is checked before the drain gate: returning the job
+	// a key already names is a read, and the retried client deserves its
+	// answer even while the server winds down.
+	if spec.IdempotencyKey != "" {
+		if prev, ok := s.idem[idemKey(spec.Tenant, spec.IdempotencyKey)]; ok {
+			if m := obs.Active(); m != nil {
+				m.IdempotentReplay()
+			}
+			s.logf("job %s replayed for idempotency key %q (tenant %q)", prev.ID, spec.IdempotencyKey, spec.Tenant)
+			return prev, true, nil
+		}
+	}
 	if s.draining {
-		return nil, ErrDraining
+		return nil, false, ErrDraining
 	}
 
 	// Slot: the server-wide concurrent-session cap.
 	select {
 	case s.slots <- struct{}{}:
 	default:
-		return nil, &RejectError{
+		return nil, false, &RejectError{
 			Reason:     fmt.Sprintf("server at max concurrent sessions (%d)", s.opt.MaxConcurrent),
 			RetryAfter: s.opt.RetryAfter,
 		}
@@ -259,7 +329,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if t.max > 0 && t.jobs+1 > t.max {
 		t.mu.Unlock()
 		<-s.slots
-		return nil, &RejectError{
+		return nil, false, &RejectError{
 			Reason:     fmt.Sprintf("tenant %q at max concurrent jobs (%d)", spec.Tenant, t.max),
 			RetryAfter: s.opt.RetryAfter,
 		}
@@ -271,20 +341,20 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	rn, re := reservation(spec)
 	if err := t.budget.Spend(crowdmax.Naive, rn); err != nil {
 		s.unadmit(t, 0, 0)
-		return nil, &RejectError{
+		return nil, false, &RejectError{
 			Reason:     fmt.Sprintf("tenant %q budget: %v", spec.Tenant, err),
 			RetryAfter: s.opt.RetryAfter,
 		}
 	}
 	if err := t.budget.Spend(crowdmax.Expert, re); err != nil {
 		s.unadmit(t, rn, 0)
-		return nil, &RejectError{
+		return nil, false, &RejectError{
 			Reason:     fmt.Sprintf("tenant %q budget: %v", spec.Tenant, err),
 			RetryAfter: s.opt.RetryAfter,
 		}
 	}
 
-	j := &Job{
+	j = &Job{
 		ID:             s.nextID(),
 		Spec:           spec,
 		ReservedNaive:  rn,
@@ -292,10 +362,14 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		state:          StateQueued,
 	}
 	j.attachLog()
+	j.touch()
 	s.store.put(j)
 	if err := s.store.persist(j); err != nil {
 		s.unadmit(t, rn, re)
-		return nil, err
+		return nil, false, err
+	}
+	if spec.IdempotencyKey != "" {
+		s.idem[idemKey(spec.Tenant, spec.IdempotencyKey)] = j
 	}
 	scope := s.scope(j)
 	scope.Event("job", obs.Fs("state", "queued"), obs.Fs("mode", spec.Mode),
@@ -303,7 +377,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		obs.Fi("un", int64(spec.Un)), obs.Fi("reserved_naive", rn), obs.Fi("reserved_expert", re))
 	s.wg.Add(1)
 	go s.runJob(j, false)
-	return j, nil
+	return j, false, nil
 }
 
 // unadmit rolls an admission back: slot, tenant job count, and any part of
@@ -382,18 +456,30 @@ func (s *Server) session(j *Job, set *crowdmax.Set, scope *obs.Scope) (*crowdmax
 		valuer = crowdmax.NoisyValuer{Sigma: dn, Seed: j.Spec.Seed + 2}
 	}
 	return crowdmax.NewSession(crowdmax.Config{
-		Naive:      naive,
-		Expert:     expert,
-		Valuer:     valuer,
-		Un:         j.Spec.Un,
-		Prices:     s.opt.Prices,
-		Rand:       crowdmax.NewRand(j.Spec.Seed),
-		Checkpoint: crowdmax.CheckpointConfig{Path: s.ckPath(j.ID), Every: s.opt.CheckpointEvery},
-		Degrade:    &crowdmax.DegradeConfig{},
+		Naive:  naive,
+		Expert: expert,
+		Valuer: valuer,
+		Un:     j.Spec.Un,
+		Prices: s.opt.Prices,
+		Rand:   crowdmax.NewRand(j.Spec.Seed),
+		Checkpoint: crowdmax.CheckpointConfig{
+			Path:       s.ckPath(j.ID),
+			Every:      s.opt.CheckpointEvery,
+			FS:         s.fsys,
+			OnSnapshot: j.touch,
+		},
+		Degrade: &crowdmax.DegradeConfig{},
 		OnPhase: func(phase string, survivors []crowdmax.Item) {
+			j.touch()
 			scope.Event("phase", obs.Fs("phase", phase), obs.Fi("survivors", int64(len(survivors))))
+			if j.Spec.Fault == FaultPanic {
+				// Injected on the session goroutine so the torture harness
+				// exercises the same recovery path a real workload bug would.
+				panic(fmt.Sprintf("injected fault: panic in job %s at phase %s", j.ID, phase))
+			}
 		},
 		OnDecision: func(d crowdmax.DegradeDecision) {
+			j.touch()
 			scope.Event("degrade", obs.Fs("point", d.Point), obs.Fs("from", d.From),
 				obs.Fs("to", d.To), obs.Fi("dir", int64(d.Direction())))
 		},
@@ -401,14 +487,31 @@ func (s *Server) session(j *Job, set *crowdmax.Set, scope *obs.Scope) (*crowdmax
 }
 
 // runJob executes one admitted job to a terminal or interrupted state. It
-// owns the job's slot and waitgroup entry.
+// owns the job's slot and waitgroup entry. A panicking workload — injected
+// or real — is confined to its own job: the recover below settles it failed
+// (full refund, since a panicked run produced no billable result) and the
+// server keeps serving every other tenant.
 func (s *Server) runJob(j *Job, resume bool) {
 	defer s.wg.Done()
 	defer func() { <-s.slots }()
 
 	scope := s.scope(j)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if m := obs.Active(); m != nil {
+			m.JobPanic()
+		}
+		stack := string(debug.Stack())
+		scope.Event("panic", obs.Fs("value", fmt.Sprint(r)), obs.Fs("stack", stack))
+		s.finishFailed(j, scope, crowdmax.Result{}, fmt.Errorf("panic: %v", r))
+		s.logf("job %s panicked (isolated): %v\n%s", j.ID, r, stack)
+	}()
+
 	j.setState(StateRunning, "")
-	s.persistLogged(j)
+	s.persistJob(j)
 	scope.Event("job", obs.Fs("state", "running"))
 
 	set := buildSet(j.Spec)
@@ -422,32 +525,48 @@ func (s *Server) runJob(j *Job, resume bool) {
 		s.finishFailed(j, scope, crowdmax.Result{}, err)
 		return
 	}
+
+	// The job's own deadline layers a timeout over the server context; the
+	// degrade controller sees it (and sheds quality to beat it), and an
+	// expiry that still cuts the run off settles as "expired" with the
+	// partial spend billed.
+	ctx := s.baseCtx
+	if d := j.Spec.DeadlineSeconds; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(d*float64(time.Second)))
+		defer cancel()
+	}
+
 	var res crowdmax.Result
 	ck := s.ckPath(j.ID)
 	if resume {
-		if _, statErr := os.Stat(ck); statErr == nil {
+		if _, statErr := s.fsys.Stat(ck); statErr == nil {
 			// ResumeWorkload pins the snapshot to the job's recorded mode: a
 			// swapped checkpoint file fails instead of silently running a
 			// different workload under this job's ID.
-			res, err = sess.ResumeWorkload(s.baseCtx, w, ck, set.Items())
+			res, err = sess.ResumeWorkload(ctx, w, ck, set.Items())
 		} else {
 			// Drained before the first snapshot landed: run fresh.
-			res, err = sess.Run(s.baseCtx, w, set.Items())
+			res, err = sess.Run(ctx, w, set.Items())
 		}
 	} else {
-		res, err = sess.Run(s.baseCtx, w, set.Items())
+		res, err = sess.Run(ctx, w, set.Items())
 	}
 
 	switch {
 	case err == nil:
 		s.finishDone(j, scope, res)
+	case errors.Is(err, context.DeadlineExceeded):
+		// Checked before Canceled: a WithTimeout expiry reports both through
+		// errors.Is, and the deadline is the cause here.
+		s.finishExpired(j, scope, res)
 	case errors.Is(err, context.Canceled):
 		// Only a drain cancels the base context: the job stops at its last
 		// durable checkpoint, keeps its reservation, and resumes on restart.
 		j.setState(StateInterrupted, "")
-		s.persistLogged(j)
 		scope.Event("job", obs.Fs("state", "interrupted"))
 		j.events.close()
+		s.persistJob(j)
 		s.logf("job %s interrupted (drain); checkpoint %s", j.ID, ck)
 	default:
 		s.finishFailed(j, scope, res, err)
@@ -496,7 +615,7 @@ func (s *Server) finishDone(j *Job, scope *obs.Scope, res crowdmax.Result) {
 			Guarantee: string(rr.Guarantee),
 		})
 	}
-	j.setResult(JobResult{
+	j.setResult(StateDone, JobResult{
 		Mode:              j.Spec.Mode,
 		BestID:            res.Best.ID,
 		BestLabel:         res.Best.Label,
@@ -512,29 +631,64 @@ func (s *Server) finishDone(j *Job, scope *obs.Scope, res crowdmax.Result) {
 	j.mu.Lock()
 	j.result.Phase1Complete = res.Phase1Complete
 	j.mu.Unlock()
-	s.settle(j, res)
-	s.persistLogged(j)
 	scope.Event("job", obs.Fs("state", "done"), obs.Fs("mode", j.Spec.Mode),
 		obs.Fs("rung", res.Rung), obs.Fs("guarantee", string(res.Guarantee)),
 		obs.Fi("ranks", int64(len(res.Ranked))),
 		obs.Fi("naive", res.NaiveComparisons), obs.Fi("expert", res.ExpertComparisons))
+	// Close the stream before settling and persisting: followers of a
+	// terminal job should not hang on a slow (possibly fault-retried) disk.
 	j.events.close()
+	s.settle(j, res)
+	s.persistJob(j)
+}
+
+// finishExpired settles a job whose own deadline cut the run off: the
+// partial spend is billed (the comparisons were bought), the rest of the
+// reservation refunded, and the job lands terminal as "expired".
+func (s *Server) finishExpired(j *Job, scope *obs.Scope, res crowdmax.Result) {
+	if m := obs.Active(); m != nil {
+		m.JobExpiry()
+	}
+	j.setResult(StateExpired, JobResult{
+		Mode:              j.Spec.Mode,
+		BestID:            res.Best.ID,
+		BestLabel:         res.Best.Label,
+		BestValue:         res.Best.Value,
+		Candidates:        len(res.Candidates),
+		NaiveComparisons:  res.NaiveComparisons,
+		ExpertComparisons: res.ExpertComparisons,
+		Cost:              res.Cost,
+		Rung:              res.Rung,
+		Guarantee:         string(res.Guarantee),
+		Phase1Complete:    res.Phase1Complete,
+	})
+	scope.Event("job", obs.Fs("state", "expired"),
+		obs.Fi("naive", res.NaiveComparisons), obs.Fi("expert", res.ExpertComparisons))
+	j.events.close()
+	s.settle(j, res)
+	s.persistJob(j)
+	s.logf("job %s expired at its deadline (%.3fs)", j.ID, j.Spec.DeadlineSeconds)
 }
 
 // finishFailed settles a failed job.
 func (s *Server) finishFailed(j *Job, scope *obs.Scope, res crowdmax.Result, err error) {
 	j.setState(StateFailed, err.Error())
-	s.settle(j, res)
-	s.persistLogged(j)
 	scope.Event("job", obs.Fs("state", "failed"), obs.Fs("error", err.Error()))
 	j.events.close()
+	s.settle(j, res)
+	s.persistJob(j)
 	s.logf("job %s failed: %v", j.ID, err)
 }
 
 // settle refunds the unspent part of the job's reservation (clamped at the
 // actual spend, so a reservation can never be refunded past what was
-// charged) and releases the tenant's job count.
+// charged) and releases the tenant's job count. Settlement is exactly-once:
+// a panic that unwinds through a finish path which already settled must not
+// refund (or decrement the tenant) a second time.
 func (s *Server) settle(j *Job, res crowdmax.Result) {
+	if !j.settled.CompareAndSwap(false, true) {
+		return
+	}
 	t := s.tenant(j.Spec.Tenant)
 	if dn := j.ReservedNaive - res.NaiveComparisons; dn > 0 {
 		t.budget.Refund(crowdmax.Naive, dn)
@@ -547,12 +701,106 @@ func (s *Server) settle(j *Job, res crowdmax.Result) {
 	t.mu.Unlock()
 }
 
-// persistLogged persists the job record, logging (rather than failing the
-// job) on I/O errors: the in-memory state stays authoritative for clients,
-// and the next transition retries the write.
-func (s *Server) persistLogged(j *Job) {
-	if err := s.store.persist(j); err != nil {
-		s.logf("%v", err)
+// persistJob persists the job record through a bounded seeded-jitter retry
+// (the same backoff discipline the dispatch layer retries comparisons
+// with). A record that still cannot be written is parked dirty — the
+// in-memory state stays authoritative for clients, the next transition or
+// the drain-time flush retries — rather than silently dropped.
+func (s *Server) persistJob(j *Job) {
+	h := fnv.New64a()
+	h.Write([]byte(j.ID))
+	bo := dispatch.NewBackoff(dispatch.RetryConfig{
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  200 * time.Millisecond,
+		Seed:        h.Sum64(),
+	})
+	var err error
+	for attempt := 0; attempt < s.opt.PersistAttempts; attempt++ {
+		if attempt > 0 {
+			if m := obs.Active(); m != nil {
+				m.PersistRetry()
+			}
+			time.Sleep(bo.Next())
+		}
+		if err = s.store.persist(j); err == nil {
+			s.dirtyMu.Lock()
+			delete(s.dirty, j.ID)
+			s.dirtyMu.Unlock()
+			return
+		}
+	}
+	if m := obs.Active(); m != nil {
+		m.PersistDeferred()
+	}
+	s.dirtyMu.Lock()
+	s.dirty[j.ID] = j
+	s.dirtyMu.Unlock()
+	s.logf("persist of job %s deferred after %d attempts: %v", j.ID, s.opt.PersistAttempts, err)
+}
+
+// dirtyCount reports how many records are parked awaiting a rewrite.
+func (s *Server) dirtyCount() int {
+	s.dirtyMu.Lock()
+	defer s.dirtyMu.Unlock()
+	return len(s.dirty)
+}
+
+// flushDirty retries every parked record once; called at drain, after all
+// sessions have stopped mutating their jobs.
+func (s *Server) flushDirty() {
+	s.dirtyMu.Lock()
+	pending := make([]*Job, 0, len(s.dirty))
+	for _, j := range s.dirty {
+		pending = append(pending, j)
+	}
+	s.dirtyMu.Unlock()
+	for _, j := range pending {
+		if err := s.store.persist(j); err != nil {
+			s.logf("drain flush: job %s record still unwritable: %v", j.ID, err)
+			continue
+		}
+		s.dirtyMu.Lock()
+		delete(s.dirty, j.ID)
+		s.dirtyMu.Unlock()
+	}
+}
+
+// watchdog periodically flags running jobs that show no observable forward
+// progress for Options.WatchdogAfter: no state change, phase, degrade
+// decision, or checkpoint write. A stall is observability, not enforcement
+// — the job keeps its slot (killing it could strand a checkpoint mid-write)
+// but the flag surfaces in /healthz, the job view, and the metrics, where
+// an operator or the torture harness can see it.
+func (s *Server) watchdog() {
+	interval := s.opt.WatchdogAfter / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-s.opt.WatchdogAfter).UnixNano()
+		for _, j := range s.store.all() {
+			if j.State() != StateRunning {
+				continue
+			}
+			last := j.progress.Load()
+			if last == 0 || last >= cutoff {
+				continue
+			}
+			if j.stalled.CompareAndSwap(false, true) {
+				if m := obs.Active(); m != nil {
+					m.JobStall()
+				}
+				s.scope(j).Event("stall", obs.Fi("idle_ms", (time.Now().UnixNano()-last)/int64(time.Millisecond)))
+				s.logf("watchdog: job %s has made no progress for %s", j.ID, s.opt.WatchdogAfter)
+			}
+		}
 	}
 }
 
@@ -562,16 +810,34 @@ func (s *Server) persistLogged(j *Job) {
 // (Preload — restoring admitted spend cannot be refused) and re-enter the
 // run pool behind a blocking slot acquire.
 func (s *Server) recover() error {
-	jobs, err := s.store.load()
+	jobs, err := s.store.load(s.logf)
 	if err != nil {
 		return err
+	}
+	// Quarantined records still pin the ID sequence: a fresh job must never
+	// reuse the identity of a record that was only moved aside, or a later
+	// un-quarantine would collide two different jobs under one ID.
+	if q, _, _ := s.store.health(); len(q) > 0 {
+		for _, rec := range q {
+			id, _, _ := strings.Cut(rec.Name, ".")
+			if n, perr := strconv.ParseInt(strings.TrimPrefix(id, "j"), 10, 64); perr == nil && n > s.seq {
+				s.seq = n
+			}
+		}
 	}
 	for _, j := range jobs {
 		if n, perr := strconv.ParseInt(strings.TrimPrefix(j.ID, "j"), 10, 64); perr == nil && n > s.seq {
 			s.seq = n
 		}
+		if k := j.Spec.IdempotencyKey; k != "" {
+			// Terminal jobs included: a client retrying its POST after the
+			// restart must still get its original job back, not a re-charge.
+			s.idem[idemKey(j.Spec.Tenant, k)] = j
+		}
 		t := s.tenant(j.Spec.Tenant)
 		if j.State().terminal() {
+			// A settled job must never settle again on some later path.
+			j.settled.Store(true)
 			if r, ok := j.Result(); ok {
 				t.budget.Preload(crowdmax.Naive, r.NaiveComparisons)
 				t.budget.Preload(crowdmax.Expert, r.ExpertComparisons)
@@ -584,9 +850,9 @@ func (s *Server) recover() error {
 		t.jobs++
 		t.mu.Unlock()
 		j.setState(StateInterrupted, "")
-		if err := s.store.persist(j); err != nil {
-			return err
-		}
+		// Non-fatal: a record that cannot be rewritten right now must not
+		// keep the whole server from booting; the next transition retries.
+		s.persistJob(j)
 		s.logf("job %s recovered; resuming", j.ID)
 		s.wg.Add(1)
 		go func(j *Job) {
@@ -633,8 +899,84 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Sessions have stopped mutating their jobs: last chance to land any
+		// record whose writes kept failing mid-run.
+		s.flushDirty()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain did not settle in time: %w", ctx.Err())
 	}
+}
+
+// Health is the server's damage report: what the store quarantined or swept
+// at boot, how many records are parked dirty, and how many running jobs the
+// watchdog currently flags.
+type Health struct {
+	Quarantined []QuarantinedRecord
+	Unmovable   int
+	SweptTmp    int
+	Dirty       int
+	Stalled     int
+}
+
+// Degraded reports whether the server is serving with known damage.
+func (h Health) Degraded() bool {
+	return len(h.Quarantined) > 0 || h.Unmovable > 0 || h.Dirty > 0
+}
+
+// Health snapshots the server's damage report.
+func (s *Server) Health() Health {
+	q, unmovable, swept := s.store.health()
+	stalled := 0
+	for _, j := range s.store.all() {
+		if j.Stalled() {
+			stalled++
+		}
+	}
+	return Health{
+		Quarantined: q,
+		Unmovable:   unmovable,
+		SweptTmp:    swept,
+		Dirty:       s.dirtyCount(),
+		Stalled:     stalled,
+	}
+}
+
+// TenantUsage is one tenant's budget position for the audit endpoint.
+type TenantUsage struct {
+	Tenant     string   `json:"tenant"`
+	Jobs       int      `json:"jobs"`
+	SpentNaive *int64   `json:"spent_naive,omitempty"`
+	SpentExp   *int64   `json:"spent_expert,omitempty"`
+	SpentCost  *float64 `json:"spent_cost,omitempty"`
+}
+
+// TenantUsages reports every known tenant's live job count and cumulative
+// budget spend (nil spends for unlimited tenants, which carry no budget).
+// This is what lets an external auditor reconcile the books: after every
+// job is terminal, a tenant's spend must equal the sum of its jobs'
+// recorded comparisons.
+func (s *Server) TenantUsages() []TenantUsage {
+	s.tmu.Lock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	s.tmu.Unlock()
+	sort.Strings(names)
+	out := make([]TenantUsage, 0, len(names))
+	for _, name := range names {
+		t := s.tenant(name)
+		t.mu.Lock()
+		u := TenantUsage{Tenant: name, Jobs: t.jobs}
+		t.mu.Unlock()
+		if t.budget != nil {
+			n := t.budget.Spent(crowdmax.Naive)
+			e := t.budget.Spent(crowdmax.Expert)
+			c := t.budget.SpentCost()
+			u.SpentNaive, u.SpentExp, u.SpentCost = &n, &e, &c
+		}
+		out = append(out, u)
+	}
+	return out
 }

@@ -14,9 +14,14 @@ import (
 	"crowdmax/internal/checkpoint"
 	"crowdmax/internal/cost"
 	"crowdmax/internal/dispatch"
+	"crowdmax/internal/faults"
 	"crowdmax/internal/obs"
 	"crowdmax/internal/tournament"
 )
+
+// StorageFS is the injectable filesystem durable artifacts are written
+// through; see internal/faults. Nil means the real filesystem.
+type StorageFS = faults.FS
 
 // CheckpointConfig enables crash recovery for Session runs.
 type CheckpointConfig struct {
@@ -28,6 +33,15 @@ type CheckpointConfig struct {
 	// addition to the run-start and phase-boundary snapshots; defaults
 	// to 500. Memo hits are free and do not advance the counter.
 	Every int
+	// FS routes snapshot reads and writes through an injectable
+	// filesystem so durability is testable under injected disk faults;
+	// nil uses the real filesystem.
+	FS StorageFS
+	// OnSnapshot, when non-nil, is called after every successfully
+	// written snapshot. It runs on the snapshotting goroutine under the
+	// writer's lock, so it must be fast and must not block — it exists
+	// for progress stamps (the service watchdog), not for work.
+	OnSnapshot func()
 }
 
 // ChaosPlan declares the semantic faults to inject into a Session run:
@@ -99,7 +113,7 @@ func NewHedgeBackend(inner Backend, delay time.Duration) Backend {
 // and candidate sets bit-identical to an uninterrupted run with the same
 // seed.
 func (s *Session) Resume(ctx context.Context, path string, items []Item) (Result, error) {
-	st, err := checkpoint.Load(path)
+	st, err := checkpoint.LoadFS(s.cfg.Checkpoint.FS, path)
 	if err != nil {
 		return Result{}, err
 	}
@@ -120,7 +134,7 @@ func (s *Session) ResumeWorkload(ctx context.Context, w Workload, path string, i
 	if w == nil {
 		return Result{}, errors.New("crowdmax: nil workload")
 	}
-	st, err := checkpoint.Load(path)
+	st, err := checkpoint.LoadFS(s.cfg.Checkpoint.FS, path)
 	if err != nil {
 		return Result{}, err
 	}
@@ -266,6 +280,8 @@ type ckWriter struct {
 	phase     string
 	survivors []int64
 	build     func(phase string, survivors []int64) *checkpoint.State
+	fs        faults.FS
+	onSnap    func()
 	err       error
 }
 
@@ -274,7 +290,8 @@ func newCkWriter(cfg CheckpointConfig, build func(string, []int64) *checkpoint.S
 	if every <= 0 {
 		every = 500
 	}
-	return &ckWriter{path: cfg.Path, every: every, phase: "start", build: build}
+	return &ckWriter{path: cfg.Path, every: every, phase: "start", build: build,
+		fs: cfg.FS, onSnap: cfg.OnSnapshot}
 }
 
 // wrap decorates a backend so successful answers advance the interval
@@ -323,7 +340,7 @@ func (w *ckWriter) boundary(phase string, survivors []Item) {
 // batches.
 func (w *ckWriter) snapshotLocked(label string) {
 	st := w.build(label, w.survivors)
-	if err := checkpoint.Save(w.path, st); err != nil {
+	if err := checkpoint.SaveFS(w.fs, w.path, st); err != nil {
 		if w.err == nil {
 			w.err = err
 		}
@@ -331,6 +348,9 @@ func (w *ckWriter) snapshotLocked(label string) {
 	}
 	if m := obs.Active(); m != nil {
 		m.CheckpointWrite()
+	}
+	if w.onSnap != nil {
+		w.onSnap()
 	}
 }
 

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# store-torture.sh — crash-and-fault torture of the maxcrowdd job store:
+#
+#   1. pre-seed the state directory with a poisoned record, a zero-byte
+#      record, and an orphaned temp file; boot under disk-fault injection and
+#      assert the server quarantines the damage, sweeps the orphan, reports
+#      "degraded" on /healthz — and still serves;
+#   2. run $CYCLES (default 25) kill -9 cycles: each boots the server under a
+#      rotating fault plan (torn record writes, ENOSPC, failed renames and
+#      fsyncs), submits a batch — some jobs carrying injected workload panics,
+#      per-job deadlines, and idempotency keys, with occasional full replays
+#      of a batch — records every acknowledged job ID, then SIGKILLs the
+#      server mid-flight;
+#   3. corrupt two surviving records by hand, boot one final time with no
+#      fault injection, wait for every job to settle, and audit the books:
+#      every job terminal, every acked ID either on the server or named in
+#      the quarantine report (zero lost jobs), and each tenant's recorded
+#      budget spend exactly equal to the sum of its results' comparisons —
+#      monetary spend reconciled to the cent.
+#
+# loadgen doubles as the HTTP client and auditor, so no curl or jq is needed;
+# the one raw /healthz probe uses bash's /dev/tcp.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+CYCLES=${CYCLES:-25}
+TMP=$(mktemp -d)
+STATE="$TMP/state"
+JOBS="$STATE/jobs"
+IDS="$TMP/acked.ids"
+SRV_PID=
+trap '[ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+echo "store-torture: building maxcrowdd and loadgen"
+$GO build -o "$TMP/maxcrowdd" ./cmd/maxcrowdd
+$GO build -o "$TMP/loadgen" ./cmd/loadgen
+
+# wait_addr FILE — wait for maxcrowdd to write its bound address.
+wait_addr() {
+    for _ in $(seq 100); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "store-torture: server never wrote $1" >&2
+    return 1
+}
+
+# http_get HOST:PORT PATH — one-shot HTTP GET over bash's /dev/tcp.
+http_get() {
+    local hp=$1 path=$2
+    exec 3<>"/dev/tcp/${hp%:*}/${hp##*:}"
+    printf 'GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n' "$path" "$hp" >&3
+    cat <&3
+    exec 3>&- 3<&-
+}
+
+# boot PLAN SEED — start maxcrowdd over $STATE, appending to the shared log.
+boot() {
+    rm -f "$TMP/addr"
+    local fault_args=()
+    [ -n "$1" ] && fault_args=(-faults "$1" -faults-seed "$2")
+    "$TMP/maxcrowdd" -addr 127.0.0.1:0 -addr-file "$TMP/addr" -dir "$STATE" \
+        -cmp-latency 4ms -checkpoint-every 16 -tenant-max-cost 100000000 \
+        -watchdog 2s -allow-faults "${fault_args[@]}" >>"$TMP/server.log" 2>&1 &
+    SRV_PID=$!
+    wait_addr "$TMP/addr"
+}
+
+# 1. Poisoned boot: pre-seeded damage must be quarantined, not fatal.
+mkdir -p "$JOBS"
+printf 'XXXXnot-a-record' > "$JOBS/j00424242.job"   # foreign magic
+: > "$JOBS/j00424243.job"                            # zero-byte record
+printf 'partial' > "$JOBS/j00424242.job.tmp-99"      # orphaned temp file
+
+boot "torn:0.6~0.08%*.job.tmp-*" 1
+http_get "$(cat "$TMP/addr")" /healthz | grep -q '"status": "degraded"' \
+    || { echo "store-torture: poisoned boot did not report degraded" >&2; exit 1; }
+QN=$(ls "$JOBS/quarantine" | wc -l)
+[ "$QN" -ge 2 ] || { echo "store-torture: want >=2 quarantined files, got $QN" >&2; exit 1; }
+if ls "$JOBS"/*.tmp-* >/dev/null 2>&1; then
+    echo "store-torture: orphaned temp file survived the sweep" >&2; exit 1
+fi
+echo "store-torture: poisoned boot serves degraded with $QN files quarantined"
+
+# 2. Kill -9 cycles under rotating fault plans. Submission failures are
+# expected under injected faults (the server fails closed with 500); what
+# must hold is that every *acknowledged* ID survives to the final audit.
+PLANS=(
+    "torn:0.6~0.08%*.job.tmp-*"
+    "enospc~0.1%*.job.tmp-*,renamefail~0.05%*.job"
+    "syncfail~0.08%*.job.tmp-*"
+    ""
+)
+for i in $(seq 1 "$CYCLES"); do
+    [ "$i" -gt 1 ] && boot "${PLANS[$((i % ${#PLANS[@]}))]}" "$i"
+    LG=(-server "http://$(cat "$TMP/addr")" -jobs 6 -n 60 -un 4 -concurrency 4 \
+        -submit-only -idem -seed $((100 * i)) -ids-out "$IDS")
+    [ $((i % 3)) -eq 0 ] && LG+=(-fault-every 3)
+    [ $((i % 4)) -eq 0 ] && LG+=(-deadline 3)
+    "$TMP/loadgen" "${LG[@]}" >/dev/null 2>&1 || true
+    # Every fifth cycle replays the identical batch: the idempotency keys
+    # must dedupe it (same IDs acked again; the audit proves no double
+    # charge, since the books still reconcile exactly).
+    [ $((i % 5)) -eq 0 ] && { "$TMP/loadgen" "${LG[@]}" >/dev/null 2>&1 || true; }
+    sleep 0.4
+    kill -9 "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+    SRV_PID=
+done
+[ -s "$IDS" ] || { echo "store-torture: no job was ever acknowledged" >&2; exit 1; }
+echo "store-torture: $CYCLES kill-9 cycles done, $(sort -u "$IDS" | wc -l) distinct IDs acked"
+
+# 3. Corrupt two surviving records by hand, then the clean final boot: every
+# job settles, the hand-damaged records land in quarantine, and the audit
+# reconciles acked IDs and tenant budgets against what the store kept.
+VICTIMS=("$JOBS"/*.job)
+[ ${#VICTIMS[@]} -ge 2 ] || { echo "store-torture: fewer than 2 records survived" >&2; exit 1; }
+V1=${VICTIMS[0]} V2=${VICTIMS[1]}
+SIZE=$(wc -c <"$V1")
+head -c $((SIZE / 2)) "$V1" > "$V1.cut" && mv "$V1.cut" "$V1"   # truncated record
+printf 'XXXXgarbage' > "$V2"                                     # foreign magic
+
+boot "" 0
+"$TMP/loadgen" -server "http://$(cat "$TMP/addr")" -wait-all -allow-failed -timeout 5m
+"$TMP/loadgen" -server "http://$(cat "$TMP/addr")" -audit -ids-file "$IDS" -allow-failed -ce 10
+http_get "$(cat "$TMP/addr")" /healthz | grep -q '"status": "degraded"' \
+    || { echo "store-torture: final boot lost the damage report" >&2; exit 1; }
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" # set -e: a non-zero exit fails the script
+SRV_PID=
+echo "store-torture: ok"
