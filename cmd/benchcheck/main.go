@@ -1,4 +1,4 @@
-// Command benchcheck validates the repository's benchmark artifacts. Four
+// Command benchcheck validates the repository's benchmark artifacts. Five
 // schemas are recognized, dispatched on the optional top-level "kind" field:
 //
 //   - legacy timing reports written by benchrun -benchout (no kind field):
@@ -23,6 +23,12 @@
 //     (BENCH_workloads.json): the service schema plus a mode mix and per-mode
 //     stats that must cover every mode in the mix, partition the job stream
 //     exactly, and carry ordered per-mode latency quantiles.
+//   - "trust" scorer-sweep reports written by benchrun -trust-out
+//     (BENCH_trust.json): retention and mean cost for the gold, graph, and
+//     hybrid scorer arms per adversary mix. The sweep must be certified
+//     deterministic and must demonstrate the artifact's one claim: at some
+//     colluder-clique mix the gold arm's retention collapses (≤ 90%) while
+//     the graph or hybrid arm sustains ≥ 95%.
 //
 // It is CI's schema gate for the benchmark-smoke and loadtest-smoke jobs —
 // beyond the paired 1-core bound it checks shape, not speed, so it cannot
@@ -101,6 +107,8 @@ func check(data []byte) []error {
 		return checkService(data)
 	case "workloads":
 		return checkWorkloads(data)
+	case "trust":
+		return checkTrust(data)
 	default:
 		return []error{fmt.Errorf("unknown report kind %q", probe.Kind)}
 	}
@@ -480,4 +488,114 @@ func missingOf(hasLock, hasDAG bool) string {
 	default:
 		return "dag"
 	}
+}
+
+// trustReport mirrors experiment.TrustReport. Required numerics are pointers
+// so "missing" and "zero" stay distinguishable.
+type trustReport struct {
+	Seed          *uint64     `json:"seed"`
+	N             int         `json:"n"`
+	Un            int         `json:"un"`
+	Ue            int         `json:"ue"`
+	PoolSize      int         `json:"pool_size"`
+	Trials        int         `json:"trials"`
+	Warmup        *int        `json:"warmup"`
+	Mixes         []trustCell `json:"mixes"`
+	Deterministic *bool       `json:"deterministic"`
+	Hash          string      `json:"hash"`
+}
+
+type trustCell struct {
+	Spammers  *int                     `json:"spammers"`
+	Colluders *int                     `json:"colluders"`
+	Arms      map[string]trustArmStats `json:"arms"`
+}
+
+type trustArmStats struct {
+	RetentionPct *float64 `json:"retention_pct"`
+	MeanCost     *float64 `json:"mean_cost"`
+}
+
+// trustArms is the arm set every mix must report — keep in sync with
+// experiment.TrustArms.
+var trustArms = []string{"gold", "graph", "hybrid"}
+
+// checkTrust validates the scorer-sweep artifact: complete shape, sane
+// ranges, a certified-deterministic double run, and the collapse claim the
+// file exists to make — some colluder mix where gold retention is ≤ 90%
+// while the graph or hybrid arm holds ≥ 95%.
+func checkTrust(data []byte) []error {
+	var r trustReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return []error{fmt.Errorf("not valid JSON: %w", err)}
+	}
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+	if r.Seed == nil {
+		fail("missing seed (the run is not reproducible without it)")
+	}
+	if r.N < 2 {
+		fail("n = %d, want >= 2", r.N)
+	}
+	if r.Un < 1 || r.Ue < 1 {
+		fail("un = %d, ue = %d, want >= 1", r.Un, r.Ue)
+	}
+	if r.PoolSize < 2 {
+		fail("pool_size = %d, want >= 2", r.PoolSize)
+	}
+	if r.Trials < 1 {
+		fail("trials = %d, want >= 1", r.Trials)
+	}
+	if r.Warmup == nil {
+		fail("missing warmup")
+	} else if *r.Warmup < 0 {
+		fail("warmup = %d, want >= 0", *r.Warmup)
+	}
+	if len(r.Mixes) == 0 {
+		fail("no mixes")
+	}
+	if r.Deterministic == nil {
+		fail("missing deterministic")
+	} else if !*r.Deterministic {
+		fail("deterministic = false: the double run diverged")
+	}
+	if r.Hash == "" {
+		fail("missing hash")
+	}
+	claim := false
+	for i, m := range r.Mixes {
+		if m.Spammers == nil || m.Colluders == nil {
+			fail("mix %d: missing spammers/colluders", i)
+			continue
+		}
+		if *m.Spammers < 0 || *m.Colluders < 0 {
+			fail("mix %d: negative adversary count", i)
+		}
+		for _, arm := range trustArms {
+			st, ok := m.Arms[arm]
+			if !ok {
+				fail("mix %d: missing arm %q", i, arm)
+				continue
+			}
+			if st.RetentionPct == nil || st.MeanCost == nil {
+				fail("mix %d arm %q: missing retention_pct or mean_cost", i, arm)
+				continue
+			}
+			if *st.RetentionPct < 0 || *st.RetentionPct > 100 {
+				fail("mix %d arm %q: retention %g outside [0, 100]", i, arm, *st.RetentionPct)
+			}
+			if *st.MeanCost <= 0 {
+				fail("mix %d arm %q: mean cost %g, want > 0", i, arm, *st.MeanCost)
+			}
+		}
+		if g, gr, hy := m.Arms["gold"], m.Arms["graph"], m.Arms["hybrid"]; *m.Colluders > 0 &&
+			g.RetentionPct != nil && gr.RetentionPct != nil && hy.RetentionPct != nil &&
+			*g.RetentionPct <= 90 && (*gr.RetentionPct >= 95 || *hy.RetentionPct >= 95) {
+			claim = true
+		}
+	}
+	if len(errs) == 0 && !claim {
+		fail("no colluder mix shows gold retention <= 90%% with graph or hybrid >= 95%% — the claim the artifact exists to make")
+	}
+	return errs
 }

@@ -315,3 +315,78 @@ func TestCheckSchedMatrixMissingBaseline(t *testing.T) {
 		t.Fatalf("errors %v do not mention the missing baseline", errs)
 	}
 }
+
+// validTrust is a minimal well-formed trust scorer-sweep report.
+const validTrust = `{
+  "kind": "trust",
+  "seed": 2015, "n": 400, "un": 8, "ue": 3,
+  "pool_size": 10, "trials": 40, "warmup": 240,
+  "mixes": [
+    {"spammers": 0, "colluders": 0, "arms": {
+      "gold":   {"retention_pct": 100, "mean_cost": 14400.5},
+      "graph":  {"retention_pct": 100, "mean_cost": 12400.2},
+      "hybrid": {"retention_pct": 100, "mean_cost": 14500.9}
+    }},
+    {"spammers": 0, "colluders": 3, "arms": {
+      "gold":   {"retention_pct": 32.5, "mean_cost": 11300.1},
+      "graph":  {"retention_pct": 100, "mean_cost": 12410.7},
+      "hybrid": {"retention_pct": 97.5, "mean_cost": 14480.3}
+    }}
+  ],
+  "deterministic": true,
+  "hash": "9e619c78d9350c3f"
+}`
+
+func TestCheckTrustValid(t *testing.T) {
+	if errs := check([]byte(validTrust)); len(errs) != 0 {
+		t.Fatalf("valid trust report rejected: %v", errs)
+	}
+}
+
+func TestCheckTrustRejects(t *testing.T) {
+	mut := func(old, new string) string {
+		s := strings.Replace(validTrust, old, new, 1)
+		if s == validTrust {
+			t.Fatalf("mutation %q not applied", old)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"missing seed", mut(`"seed": 2015, `, ``), "missing seed"},
+		{"missing warmup", mut(` "warmup": 240,`, ``), "missing warmup"},
+		{"no mixes", mut(`"trials": 40`, `"trials": 0`), "trials = 0"},
+		{"missing arm", mut(`"graph":  {"retention_pct": 100, "mean_cost": 12400.2},`, ``), `missing arm "graph"`},
+		{"retention out of range", mut(`"retention_pct": 32.5`, `"retention_pct": 132.5`), "outside [0, 100]"},
+		{"zero cost", mut(`"mean_cost": 11300.1`, `"mean_cost": 0`), "mean cost 0"},
+		{"not deterministic", mut(`"deterministic": true`, `"deterministic": false`), "double run diverged"},
+		{"missing determinism", mut(`"deterministic": true,`, ``), "missing deterministic"},
+		{"missing hash", mut(`"hash": "9e619c78d9350c3f"`, `"hash": ""`), "missing hash"},
+		{"gold did not collapse", mut(`"retention_pct": 32.5`, `"retention_pct": 98.0`), "no colluder mix"},
+		{"graph collapsed too", mut(
+			`"graph":  {"retention_pct": 100, "mean_cost": 12410.7},
+      "hybrid": {"retention_pct": 97.5, "mean_cost": 14480.3}`,
+			`"graph":  {"retention_pct": 80, "mean_cost": 12410.7},
+      "hybrid": {"retention_pct": 80, "mean_cost": 14480.3}`), "no colluder mix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := check([]byte(tc.data))
+			if len(errs) == 0 {
+				t.Fatal("invalid trust report accepted")
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("errors %v do not mention %q", errs, tc.want)
+			}
+		})
+	}
+}

@@ -11,8 +11,9 @@
 // retention, table1, table2, search, majority, plus the extensions epsilon
 // (residual-error robustness), cascade (multi-class workers), steps (the
 // Section 3 time model), bracket (the single-elimination baseline under
-// both error models) and adversary (phase-1 retention under poisoned
-// workers, with and without worker health tracking).
+// both error models), adversary (phase-1 retention under poisoned
+// workers, with and without worker health tracking) and trust (gold vs
+// agreement-graph vs hybrid worker scoring under spammer/colluder mixes).
 //
 // Figures with multiple panels (3, 4, 5, 6, 7, 9, 10) print one block per
 // panel, matching the paper's layout: (un, ue) ∈ {(10, 5), (50, 10)} and,
@@ -52,6 +53,7 @@ var (
 	traceOut = flag.String("trace-out", "", "write the structured JSONL event trace to this file")
 	budget   = flag.Int64("budget", 0, "hard cap on total comparisons per trial (0 = unlimited); a trial that hits the cap fails its sweep with the budget error, and the same seed + cap truncates identically on every run")
 	timeout  = flag.Duration("timeout", 0, "wall-clock deadline for the whole run (e.g. 2m); 0 = none")
+	trustOut = flag.String("trust-out", "", "with the trust experiment, also write its kind:\"trust\" JSON report to this file (atomic write; benchcheck-gated)")
 )
 
 // out overrides where figures are rendered (the -benchout timing mode sets
@@ -82,7 +84,8 @@ func main() {
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 			"fig9", "fig10", "retention", "table1", "table2", "search",
-			"majority", "epsilon", "cascade", "steps", "bracket", "adversary"}
+			"majority", "epsilon", "cascade", "steps", "bracket", "adversary",
+			"trust"}
 	}
 	obsCleanup, err := setupObs()
 	if err != nil {
@@ -234,6 +237,9 @@ experiments:
   bracket    extension: single-elimination baseline under both error models
   adversary  extension: phase-1 max retention under poisoned workers, with
              and without gold-probe health tracking
+  trust      extension: gold vs agreement-graph vs hybrid worker scoring
+             under spammer/colluder-clique mixes (retention and cost per
+             arm; -trust-out writes the kind:"trust" JSON report)
   all        everything above
 
 flags:
@@ -468,6 +474,26 @@ func run(ctx context.Context, name string) error {
 			return err
 		}
 		return emit(fig)
+	case "trust":
+		cfg := experiment.TrustConfig{Seed: *seed, Workers: workers}
+		if *quick {
+			cfg.Trials = 8
+			cfg.Mixes = []experiment.TrustMix{{Spammers: 0, Colluders: 0}, {Spammers: 0, Colluders: 3}}
+		}
+		rep, err := experiment.TrustSweep(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if *trustOut != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := checkpoint.WriteFileAtomic(*trustOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		return emit(rep.Figure())
 	case "cascade":
 		cfg := experiment.CascadeConfig{Seed: *seed, Trials: *trials, PriceRatio: 50, Workers: workers}
 		if *quick {

@@ -44,7 +44,7 @@ var (
 	ckPath   = flag.String("checkpoint", "", "write crash-recovery snapshots to this file (alg1 only; switches tie-breaking to an order-independent hash)")
 	ckEvery  = flag.Int("checkpoint-every", 500, "with -checkpoint: also snapshot every N paid comparisons, besides phase boundaries")
 	resumeCk = flag.String("resume", "", "resume a truncated alg1 run from this checkpoint file; flags must match the original run")
-	chaosArg = flag.String("chaos", "", "inject faults (alg1 only): comma-separated spec with optional expert- prefix, fraction ramps, and @from-to comparison windows, e.g. crash:500, spammer:0.2, expert-outage:1.0@1000+, spammer:0.1-0.5@0-2000, adversary, colluder:7, degrader:0.1:0.01")
+	chaosArg = flag.String("chaos", "", "inject faults (alg1 only): comma-separated spec with optional expert- prefix, fraction ramps, and @from-to comparison windows, e.g. crash:500, spammer:0.2, expert-outage:1.0@1000+, spammer:0.1-0.5@0-2000, adversary, colluder:7, clique:0.3:7 (coordinated ring controlling 30% of the crowd, promoting item 7), degrader:0.1:0.01")
 	degraded = flag.Bool("degrade", true, "session runs (-checkpoint/-resume/-chaos): walk down the quality ladder instead of failing when experts, budget, or deadline disappear; -degrade=false restores hard failures")
 	schedArg = flag.String("sched", "lockstep", "comparison schedule: lockstep (one batch per tournament group, the paper's execution) or dag (drain all data-independent groups per logical step); identical answers and cost, fewer rounds")
 	mode     = flag.String("mode", "max", "session workload: max (two-phase max-finding), topk (ranked top -k extraction), score (crowd scoring with -votes cardinal votes per element). topk and score always run through the session engine, so -checkpoint/-resume/-chaos compose with them")

@@ -11,7 +11,11 @@
 // honest and drifts toward randomness as it serves more requests (worker
 // fatigue); an Outage refuses intercepted requests with an error wrapping
 // dispatch.ErrBackendUnavailable — the platform persona that exercises the
-// graceful-degradation ladder. Each persona intercepts a configurable
+// graceful-degradation ladder; a Clique is a coordinated ring whose members
+// share one decision stream — honest on a leaked gold set, promoting one
+// target item, and inverting every other intercepted answer — the adversary
+// that defeats gold probes and motivates the agreement-graph trust layer
+// (internal/trust). Each persona intercepts a configurable
 // fraction of requests and forwards the rest, so a single decorator can also
 // model a partially poisoned worker pool. Personas decorate either worker
 // class: a Plan targets the naïve backend by default and the expert backend
@@ -105,8 +109,13 @@ type PersonaConfig struct {
 	// Delta is the Adversary's discernment threshold: intercepted pairs
 	// farther apart than Delta get the *wrong* answer.
 	Delta float64
-	// TargetID is the item the Colluder promotes.
+	// TargetID is the item the Colluder (and the Clique) promotes.
 	TargetID int
+	// GoldIDs lists item IDs of a leaked gold set the Clique answers
+	// honestly — the shared-gold-answers attack that lets a coordinated
+	// ring sail through gold-probe quality control. Ignored by the other
+	// personas.
+	GoldIDs []int
 	// Rate is the Degrader's initial error probability; Drift is added per
 	// clock tick; MaxRate caps the drift (0 means 1).
 	Rate, Drift, MaxRate float64
@@ -118,6 +127,41 @@ func (c PersonaConfig) fraction() float64 {
 		return 1
 	}
 	return c.Fraction
+}
+
+// fractionAt returns the interception probability at clock position t,
+// applying the linear ramp when one is configured over a bounded window.
+func (c PersonaConfig) fractionAt(t int64) float64 {
+	f := c.fraction()
+	to := c.FractionTo
+	w := c.Window
+	if to <= 0 || to > 1 || w.To <= w.From {
+		return f
+	}
+	pos := float64(t - w.From)
+	span := float64(w.To - w.From)
+	switch {
+	case pos < 0:
+		pos = 0
+	case pos > span:
+		pos = span
+	}
+	return f + (to-f)*pos/span
+}
+
+// hash01 maps (seed, salt, pair) to a uniform float64 in [0, 1) via a
+// SplitMix64-style mix. Value queries additionally mix the vote index, so
+// repeated votes on one element draw independent decisions; comparisons keep
+// the historical pair-only chain, preserving bit-identical replay of
+// existing runs.
+func (c PersonaConfig) hash01(req dispatch.Request, salt uint64) float64 {
+	h := splitmix(c.Seed ^ splitmix(salt))
+	h = splitmix(h ^ uint64(int64(req.A.ID)))
+	h = splitmix(h ^ uint64(int64(req.B.ID)))
+	if req.Kind == dispatch.KindValue {
+		h = splitmix(h ^ uint64(int64(req.Rep))*0x9e3779b97f4a7c15)
+	}
+	return float64(h>>11) / (1 << 53)
 }
 
 // Salts separating the independent randomness draws a persona makes per
@@ -165,7 +209,7 @@ func (p *persona) Answer(ctx context.Context, req dispatch.Request) (dispatch.An
 	p.served++
 	intercept := false
 	if p.cfg.Window.Contains(t) {
-		f := p.fractionAt(t)
+		f := p.cfg.fractionAt(t)
 		intercept = f >= 1 || p.chance(req, saltIntercept, f)
 	}
 	var (
@@ -197,26 +241,6 @@ func (p *persona) Answer(ctx context.Context, req dispatch.Request) (dispatch.An
 	return dispatch.Answer{Winner: winner}, nil
 }
 
-// fractionAt returns the interception probability at clock position t,
-// applying the linear ramp when one is configured over a bounded window.
-func (p *persona) fractionAt(t int64) float64 {
-	f := p.cfg.fraction()
-	to := p.cfg.FractionTo
-	w := p.cfg.Window
-	if to <= 0 || to > 1 || w.To <= w.From {
-		return f
-	}
-	pos := float64(t - w.From)
-	span := float64(w.To - w.From)
-	switch {
-	case pos < 0:
-		pos = 0
-	case pos > span:
-		pos = span
-	}
-	return f + (to-f)*pos/span
-}
-
 // chance draws a Bernoulli(prob) decision for req: from a pure pair-keyed
 // hash in PairHash mode (the same pair draws the same outcome whenever it is
 // asked, which is what survives checkpoint replay), from the sequential
@@ -228,7 +252,7 @@ func (p *persona) chance(req dispatch.Request, salt uint64, prob float64) bool {
 	case prob >= 1:
 		return true
 	case p.cfg.PairHash:
-		return p.hash01(req, salt) < prob
+		return p.cfg.hash01(req, salt) < prob
 	}
 	return p.r.Bernoulli(prob)
 }
@@ -236,24 +260,9 @@ func (p *persona) chance(req dispatch.Request, salt uint64, prob float64) bool {
 // coin draws a fair boolean for req; callers hold p.mu.
 func (p *persona) coin(req dispatch.Request, salt uint64) bool {
 	if p.cfg.PairHash {
-		return p.hash01(req, salt) < 0.5
+		return p.cfg.hash01(req, salt) < 0.5
 	}
 	return p.r.Bool()
-}
-
-// hash01 maps (seed, salt, pair) to a uniform float64 in [0, 1) via a
-// SplitMix64-style mix. Value queries additionally mix the vote index, so
-// repeated votes on one element draw independent decisions; comparisons keep
-// the historical pair-only chain, preserving bit-identical replay of
-// existing runs.
-func (p *persona) hash01(req dispatch.Request, salt uint64) float64 {
-	h := splitmix(p.cfg.Seed ^ splitmix(salt))
-	h = splitmix(h ^ uint64(int64(req.A.ID)))
-	h = splitmix(h ^ uint64(int64(req.B.ID)))
-	if req.Kind == dispatch.KindValue {
-		h = splitmix(h ^ uint64(int64(req.Rep))*0x9e3779b97f4a7c15)
-	}
-	return float64(h>>11) / (1 << 53)
 }
 
 // garbageValue is the spammer-style reply to an intercepted value query: a
@@ -261,7 +270,7 @@ func (p *persona) hash01(req dispatch.Request, salt uint64) float64 {
 // (seed, item, rep) under PairHash, so replay stays bit-identical.
 func (p *persona) garbageValue(req dispatch.Request) float64 {
 	if p.cfg.PairHash {
-		return p.hash01(req, saltAnswer)
+		return p.cfg.hash01(req, saltAnswer)
 	}
 	return p.r.Float64()
 }
@@ -343,6 +352,118 @@ func NewColluder(inner dispatch.Backend, cfg PersonaConfig) dispatch.Backend {
 			return 0, false, nil
 		},
 	}
+}
+
+// Clique coordinates a colluding worker ring — the persona built to defeat
+// gold-probe quality control. Every member shares one seeded decision
+// stream (or, under PairHash, one pure hash), so the whole ring answers
+// each intercepted pair identically:
+//
+//   - pairs touching the leaked gold set (cfg.GoldIDs) are forwarded to the
+//     member's honest inner backend — the ring knows the answers the
+//     platform checks and aces them;
+//   - pairs involving cfg.TargetID report the target as winner — the
+//     promotion the ring was hired for;
+//   - every other intercepted pair gets the *loser* — coordinated
+//     inversion that buries the target's competition.
+//
+// Gold accuracy stays perfect while phase-1 answers are poisoned, which is
+// exactly the adversary the agreement-graph scorer (internal/trust) exists
+// to catch: perfect internal agreement makes the ring a dense clique, but
+// one the honest majority's larger core out-densifies.
+//
+// Build one Clique per ring and decorate each member worker with Member; a
+// Plan applies a single member to the session backend, with Fraction
+// modelling the share of the crowd the ring controls.
+type Clique struct {
+	cfg  PersonaConfig
+	gold map[int]bool
+
+	mu     sync.Mutex
+	r      *rng.Source
+	served int64
+}
+
+// NewClique builds the ring's shared state from cfg.
+func NewClique(cfg PersonaConfig) *Clique {
+	c := &Clique{
+		cfg:  cfg,
+		gold: make(map[int]bool, len(cfg.GoldIDs)),
+		r:    rng.New(cfg.Seed).Child("clique"),
+	}
+	for _, id := range cfg.GoldIDs {
+		c.gold[id] = true
+	}
+	return c
+}
+
+// Member decorates inner as one ring member. All members of one Clique
+// share the ring's decision stream and answer coordinately.
+func (c *Clique) Member(inner dispatch.Backend) dispatch.Backend {
+	return &cliqueMember{c: c, inner: inner}
+}
+
+type cliqueMember struct {
+	c     *Clique
+	inner dispatch.Backend
+}
+
+// Answer implements dispatch.Backend.
+func (m *cliqueMember) Answer(ctx context.Context, req dispatch.Request) (dispatch.Answer, error) {
+	c := m.c
+	c.mu.Lock()
+	t := c.served
+	if c.cfg.Clock != nil {
+		t = c.cfg.Clock()
+	}
+	c.served++
+	intercept := false
+	if c.cfg.Window.Contains(t) {
+		f := c.cfg.fractionAt(t)
+		if f >= 1 {
+			intercept = true
+		} else if c.cfg.PairHash {
+			intercept = c.cfg.hash01(req, saltIntercept) < f
+		} else {
+			intercept = c.r.Bernoulli(f)
+		}
+	}
+	var (
+		winner item.Item
+		value  float64
+		ok     bool
+	)
+	if intercept {
+		if req.Kind == dispatch.KindValue {
+			// The cardinal form of the promotion; non-target value queries
+			// (and everything gold) stay honest — lies there earn nothing.
+			if req.A.ID == c.cfg.TargetID {
+				value, ok = 1e18, true
+			}
+		} else {
+			switch {
+			case c.gold[req.A.ID] || c.gold[req.B.ID]:
+				// Leaked gold: answer honestly and pass the probe.
+			case req.A.ID == c.cfg.TargetID:
+				winner, ok = req.A, true
+			case req.B.ID == c.cfg.TargetID:
+				winner, ok = req.B, true
+			default:
+				winner, ok = loser(req.A, req.B), true
+			}
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		return m.inner.Answer(ctx, req)
+	}
+	if err := ctx.Err(); err != nil {
+		return dispatch.Answer{}, err
+	}
+	if req.Kind == dispatch.KindValue {
+		return dispatch.Answer{Value: value}, nil
+	}
+	return dispatch.Answer{Winner: winner}, nil
 }
 
 // NewDegrader decorates inner with an error rate that starts at cfg.Rate and

@@ -126,6 +126,103 @@ func TestColluderPromotesTarget(t *testing.T) {
 	}
 }
 
+func TestCliqueGoldHonestTargetPromotedRestInverted(t *testing.T) {
+	inner := &truth{}
+	m := NewClique(PersonaConfig{
+		Seed: 3, Fraction: 1, TargetID: 5, GoldIDs: []int{100, 101},
+	}).Member(inner)
+
+	// Leaked gold pairs are forwarded to the honest inner backend — the ring
+	// aces every probe, from either side of the pair.
+	for _, req := range []dispatch.Request{pair(100, 10, 3, 1), pair(3, 1, 101, 10)} {
+		before := inner.calls
+		ans, err := m.Answer(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inner.calls != before+1 {
+			t.Fatalf("gold pair %v was not forwarded to the inner backend", req)
+		}
+		want := worker.Truth.Compare(req.A, req.B).ID
+		if ans.Winner.ID != want {
+			t.Fatalf("gold pair: got winner %d, want honest %d", ans.Winner.ID, want)
+		}
+	}
+
+	// Target pairs promote the target even when it is far weaker.
+	for _, req := range []dispatch.Request{pair(5, 0.1, 9, 10), pair(9, 10, 5, 0.1)} {
+		ans, err := m.Answer(context.Background(), req)
+		if err != nil || ans.Winner.ID != 5 {
+			t.Fatalf("target pair: got winner %d, err %v; want target 5", ans.Winner.ID, err)
+		}
+	}
+
+	// Every other pair is inverted: the loser is reported as winner.
+	ans, err := m.Answer(context.Background(), pair(1, 10, 2, 1))
+	if err != nil || ans.Winner.ID != 2 {
+		t.Fatalf("ordinary pair: got winner %d, err %v; want inverted 2", ans.Winner.ID, err)
+	}
+
+	// Value queries: target inflated, everything else honest.
+	vans, err := m.Answer(context.Background(), dispatch.Request{
+		Kind: dispatch.KindValue, A: item.Item{ID: 5, Value: 0.1},
+	})
+	if err != nil || vans.Value < 1e17 {
+		t.Fatalf("target value query: got %v, err %v; want inflated", vans.Value, err)
+	}
+	before := inner.calls
+	if _, err := m.Answer(context.Background(), dispatch.Request{
+		Kind: dispatch.KindValue, A: item.Item{ID: 7, Value: 2},
+	}); err != nil || inner.calls != before+1 {
+		t.Fatalf("non-target value query was not forwarded (err %v)", err)
+	}
+}
+
+func TestCliqueMembersAnswerCoordinately(t *testing.T) {
+	// Under PairHash the interception decision is a pure function of the
+	// pair, so two ring members at a partial fraction make identical
+	// choices on identical requests.
+	c := NewClique(PersonaConfig{Seed: 9, Fraction: 0.5, TargetID: 5, PairHash: true})
+	m1, m2 := c.Member(&truth{}), c.Member(&truth{})
+	reqs := manyPairs(200)
+	got1 := answers(t, m1, reqs)
+	got2 := answers(t, m2, reqs)
+	if !reflect.DeepEqual(got1, got2) {
+		t.Fatal("two members of one ring diverged on the same request stream")
+	}
+	// The partial fraction must actually split: some pairs inverted, some
+	// forwarded honest.
+	var inverted int
+	for i, id := range got1 {
+		if id == reqs[i].B.ID {
+			inverted++
+		}
+	}
+	if inverted == 0 || inverted == len(reqs) {
+		t.Fatalf("fraction 0.5 ring inverted %d/%d pairs; want a strict split", inverted, len(reqs))
+	}
+}
+
+func TestPlanApplyCliqueDecoratesTarget(t *testing.T) {
+	naive, expert := &truth{}, &truth{}
+	p, err := ParsePlan("clique:1:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed = 1
+	nb, eb, _, err := p.Apply(naive, expert, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb != dispatch.Backend(expert) {
+		t.Fatal("naive-side clique decorated the expert backend")
+	}
+	ans, err := nb.Answer(context.Background(), pair(1, 10, 2, 1))
+	if err != nil || ans.Winner.ID != 2 {
+		t.Fatalf("applied clique: got winner %d, err %v; want inverted 2", ans.Winner.ID, err)
+	}
+}
+
 func TestDegraderDriftsTowardRandomness(t *testing.T) {
 	// Rate 0, no drift: permanently honest.
 	reqs := manyPairs(50)
@@ -224,6 +321,12 @@ func TestParsePlan(t *testing.T) {
 		{spec: "expert-adversary:0.1@200-400", want: Plan{Injections: []Injection{
 			{Persona: PersonaAdversary, Expert: true, Delta: 0.1, Window: Window{From: 200, To: 400}},
 		}}},
+		{spec: "clique:0.3:42", want: Plan{Injections: []Injection{
+			{Persona: PersonaClique, Fraction: 0.3, TargetID: 42},
+		}}},
+		{spec: "expert-clique:1:7@500+", want: Plan{Injections: []Injection{
+			{Persona: PersonaClique, Expert: true, Fraction: 1, TargetID: 7, Window: Window{From: 500}},
+		}}},
 		{spec: "", bad: true},
 		{spec: "spammer:1.5", bad: true},
 		{spec: "crash:0", bad: true},
@@ -237,6 +340,12 @@ func TestParsePlan(t *testing.T) {
 		{spec: "spammer:0.1-0.9", bad: true},       // ramp without a window
 		{spec: "spammer:0.1-0.9@1000+", bad: true}, // ramp needs a bounded window
 		{spec: "outage:0", bad: true},
+		{spec: "clique", bad: true},
+		{spec: "clique:0.3", bad: true},
+		{spec: "clique:1.5:42", bad: true},
+		{spec: "clique:0:42", bad: true},
+		{spec: "clique:0.3:-1", bad: true},
+		{spec: "clique:0.3:x", bad: true},
 	}
 	for _, tc := range cases {
 		got, err := ParsePlan(tc.spec)

@@ -20,6 +20,7 @@ const (
 	PersonaColluder  Persona = "colluder"
 	PersonaDegrader  Persona = "degrader"
 	PersonaOutage    Persona = "outage"
+	PersonaClique    Persona = "clique"
 )
 
 // Injection is one persona applied to one worker class, optionally windowed
@@ -97,6 +98,10 @@ func (p Plan) Apply(naive, expert dispatch.Backend, clock Clock) (nb, eb dispatc
 			*target = NewDegrader(*target, cfg)
 		case PersonaOutage:
 			*target = NewOutage(*target, cfg)
+		case PersonaClique:
+			// One ring member decorates the class backend; Fraction models
+			// the share of the crowd the ring controls.
+			*target = NewClique(cfg).Member(*target)
 		default:
 			return nil, nil, nil, fmt.Errorf("chaos: unknown persona %q", inj.Persona)
 		}
@@ -115,6 +120,8 @@ func (p Plan) Apply(naive, expert dispatch.Backend, clock Clock) (nb, eb dispatc
 //	outage[:frac]            refuse frac of requests (default all)
 //	adversary[:delta]        inverted answers above delta (default 0)
 //	colluder:id              promote item id
+//	clique:k:id              coordinated ring controlling fraction k of the
+//	                         crowd: promotes item id, inverts other answers
 //	degrader[:rate[:drift]]  drifting error rate (defaults 0, 0.001)
 //
 // Any persona token may carry an "expert-" prefix to target the expert
@@ -185,6 +192,21 @@ func ParsePlan(spec string) (Plan, error) {
 				return Plan{}, fmt.Errorf("chaos: colluder wants a target item ID, got %q", tok)
 			}
 			inj.TargetID = id
+		case "clique":
+			inj.Persona = PersonaClique
+			kS, idS, ok := strings.Cut(args, ":")
+			if !ok {
+				return Plan{}, fmt.Errorf("chaos: clique wants k:id (crowd fraction and target item ID), got %q", tok)
+			}
+			k, err := strconv.ParseFloat(kS, 64)
+			if err != nil || k <= 0 || k > 1 {
+				return Plan{}, fmt.Errorf("chaos: clique fraction must be in (0, 1], got %q", tok)
+			}
+			id, err := strconv.Atoi(idS)
+			if err != nil || id < 0 {
+				return Plan{}, fmt.Errorf("chaos: clique wants a target item ID, got %q", tok)
+			}
+			inj.Fraction, inj.TargetID = k, id
 		case "degrader":
 			inj.Persona = PersonaDegrader
 			inj.Drift = 0.001
@@ -204,7 +226,7 @@ func ParsePlan(spec string) (Plan, error) {
 				}
 			}
 		default:
-			return Plan{}, fmt.Errorf("chaos: unknown injection %q (want crash:N, [expert-]spammer, outage, adversary, colluder:id, degrader)", name)
+			return Plan{}, fmt.Errorf("chaos: unknown injection %q (want crash:N, [expert-]spammer, outage, adversary, colluder:id, clique:k:id, degrader)", name)
 		}
 		if inj.FractionTo > 0 && inj.Window.To <= inj.Window.From {
 			return Plan{}, fmt.Errorf("chaos: ramp in %q needs a bounded @from-to window", tok)

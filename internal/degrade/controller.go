@@ -27,6 +27,11 @@ type Signals struct {
 	// ActiveExperts is the expert pool's non-quarantined worker count, or
 	// -1 when no pool exposes one.
 	ActiveExperts int
+	// TrustConfidence is the worker pool's latest agreement-graph
+	// extraction confidence in [0, 1] (dispatch.Pool.TrustConfidence), or
+	// -1 when no graph scorer runs — rungs with MinTrust set refuse to run
+	// on a pool whose trust core has collapsed.
+	TrustConfidence float64
 	// HasDeadline reports whether the run context carries a deadline;
 	// DeadlineLeft is the time remaining when it does.
 	HasDeadline  bool
@@ -40,7 +45,7 @@ type Signals struct {
 // Unconstrained returns a Signals sample carrying no information: budgets
 // unconstrained, pool size unknown, no deadline.
 func Unconstrained() Signals {
-	return Signals{ExpertRemaining: -1, NaiveRemaining: -1, ActiveExperts: -1}
+	return Signals{ExpertRemaining: -1, NaiveRemaining: -1, ActiveExperts: -1, TrustConfidence: -1}
 }
 
 // Config configures a Controller.
@@ -180,6 +185,9 @@ func (c *Controller) blockedLocked(i int, r Rung, sig Signals) string {
 	}
 	if r.MinExperts > 0 && sig.ActiveExperts >= 0 && sig.ActiveExperts < r.MinExperts {
 		return fmt.Sprintf("%d active experts < MinExperts %d", sig.ActiveExperts, r.MinExperts)
+	}
+	if r.MinTrust > 0 && sig.TrustConfidence >= 0 && sig.TrustConfidence < r.MinTrust {
+		return fmt.Sprintf("trust confidence %.2f < MinTrust %.2f", sig.TrustConfidence, r.MinTrust)
 	}
 	cost := r.CostEstimate(sig.Candidates)
 	remaining := sig.NaiveRemaining

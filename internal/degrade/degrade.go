@@ -122,6 +122,10 @@ type Rung struct {
 	// rung's worker class, checked in addition to the cost estimate;
 	// 0 = no floor.
 	MinBudget int64
+	// MinTrust is the minimum agreement-graph extraction confidence
+	// (Signals.TrustConfidence) the rung requires; checked only when a
+	// graph scorer exposes the signal. 0 = no requirement.
+	MinTrust float64
 }
 
 // expert reports whether the rung spends expert comparisons.

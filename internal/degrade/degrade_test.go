@@ -151,6 +151,39 @@ func TestRungPreconditions(t *testing.T) {
 	}
 }
 
+// TestMinTrustGatesExpertRungs checks the MinTrust precondition: a rung
+// demanding agreement-graph confidence is skipped while the extraction is
+// collapsed, but the gate only engages when a graph scorer actually exposes
+// the signal (TrustConfidence ≥ 0).
+func TestMinTrustGatesExpertRungs(t *testing.T) {
+	ladder := DefaultLadder()
+	for i := range ladder {
+		if ladder[i].expert() {
+			ladder[i].MinTrust = 0.5
+		}
+	}
+	cases := []struct {
+		name string
+		conf float64
+		want string
+	}{
+		{name: "no graph scorer: gate disarmed", conf: -1, want: "expert-2maxfind"},
+		{name: "collapsed trust blocks every expert rung", conf: 0.2, want: "naive-majority"},
+		{name: "boundary confidence passes", conf: 0.5, want: "expert-2maxfind"},
+		{name: "confident extraction passes", conf: 0.9, want: "expert-2maxfind"},
+	}
+	for _, tc := range cases {
+		ctl := mustController(t, Config{Ladder: ladder})
+		sig := healthy()
+		sig.TrustConfidence = tc.conf
+		got := ctl.Decide("start", sig)
+		if got.Name != tc.want {
+			t.Errorf("%s: Decide landed on %q, want %q (reason: %s)",
+				tc.name, got.Name, tc.want, ctl.LastDecision().Reason)
+		}
+	}
+}
+
 // TestDeadlineVsCostEstimate checks the CmpLatency precondition: a rung
 // whose estimated comparisons cannot finish before the deadline is skipped
 // in favor of a cheaper one.

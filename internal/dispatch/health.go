@@ -9,8 +9,31 @@ import (
 	"crowdmax/internal/item"
 	"crowdmax/internal/obs"
 	"crowdmax/internal/rng"
+	"crowdmax/internal/trust"
 	"crowdmax/internal/worker"
 )
+
+// ScorerMode selects which detector feeds the quarantine circuit breaker.
+type ScorerMode string
+
+const (
+	// ScorerGold is the historical detector (and the zero value): gold-set
+	// probe accuracy plus the raw disagreement rate.
+	ScorerGold ScorerMode = "gold"
+	// ScorerGraph is the gold-free detector: workers are scored by pooled
+	// agreement with the dense core extracted from the worker agreement
+	// graph (internal/trust), built from the same disagreement-sampling
+	// duplicates the pool already pays for. Catches coordinated cliques
+	// that answer gold honestly; needs no gold set at all.
+	ScorerGraph ScorerMode = "graph"
+	// ScorerHybrid runs both detectors; either may condemn a worker.
+	ScorerHybrid ScorerMode = "hybrid"
+)
+
+// graphVerdictFloor is the minimum extraction confidence at which graph
+// verdicts are applied: below it the graph is too thin (or the core too
+// contested) to evict anyone.
+const graphVerdictFloor = 0.5
 
 // GoldPair is one comparison with a known correct answer, used to probe
 // worker reliability. Algorithm 4's training set is the natural source: it
@@ -84,6 +107,16 @@ type HealthConfig struct {
 	// with a clean scorecard, getting a fresh chance to prove itself (and
 	// getting re-quarantined if still sick). 0 keeps quarantine permanent.
 	ReprobeAfter int
+	// Scorer selects the detector feeding the breaker: ScorerGold (the
+	// zero value, historical behaviour), ScorerGraph (gold-free agreement-
+	// graph extraction), or ScorerHybrid (both). The graph scorers condemn
+	// a worker whose pooled agreement with the extracted core falls below
+	// Floor, once the extraction's confidence clears the verdict floor.
+	Scorer ScorerMode
+	// Trust parameterizes the agreement-graph extractor behind ScorerGraph
+	// and ScorerHybrid; the zero value gets trust.Config's defaults, with
+	// the seed falling back to Seed.
+	Trust trust.Config
 	// Seed seeds probe selection.
 	Seed uint64
 }
@@ -92,7 +125,13 @@ type HealthConfig struct {
 func (c HealthConfig) IsZero() bool {
 	return len(c.Gold) == 0 && c.Floor == 0 && c.MinProbes == 0 && c.ProbeEvery == 0 &&
 		c.DisagreeEvery == 0 && c.MaxDisagree == 0 && c.MinActive == 0 &&
-		c.HedgeAfter == 0 && c.ReprobeAfter == 0 && c.Seed == 0
+		c.HedgeAfter == 0 && c.ReprobeAfter == 0 && c.Seed == 0 &&
+		(c.Scorer == "" || c.Scorer == ScorerGold)
+}
+
+// graphScorer reports whether the config runs the agreement-graph detector.
+func (c HealthConfig) graphScorer() bool {
+	return c.Scorer == ScorerGraph || c.Scorer == ScorerHybrid
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -110,6 +149,19 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	}
 	if c.MinActive <= 0 {
 		c.MinActive = 1
+	}
+	if c.Scorer == "" {
+		c.Scorer = ScorerGold
+	}
+	if c.graphScorer() {
+		// The graph is fed by disagreement-sampling duplicates; a graph
+		// scorer without sampling would never observe anything.
+		if c.DisagreeEvery <= 0 {
+			c.DisagreeEvery = 8
+		}
+		if c.Trust.Seed == 0 {
+			c.Trust.Seed = c.Seed
+		}
 	}
 	return c
 }
@@ -134,6 +186,16 @@ type Scorecard struct {
 	Duplicated, Disagreed int64
 	// Quarantined reports whether the circuit breaker evicted the worker.
 	Quarantined bool
+	// Reason names the detector that quarantined the worker ("gold",
+	// "disagree", or "graph"); "" while not quarantined.
+	Reason string
+	// TrustScore is the worker's pooled agreement rate with the extracted
+	// core from the latest graph extraction, or -1 when no graph scorer
+	// runs (or the worker has too few samples for a score yet).
+	TrustScore float64
+	// InCore reports whether the latest extraction placed the worker in the
+	// dense core. Always false without a graph scorer.
+	InCore bool
 }
 
 // GoldAccuracy returns the worker's gold pass rate (1 with no probes yet).
@@ -155,6 +217,9 @@ type poolWorker struct {
 	disagree    int64
 	sinceProbe  int
 	quarantined bool
+	// reason names the detector that quarantined the worker; "" when not
+	// quarantined.
+	reason string
 	// satOut counts routing decisions this worker has sat out while
 	// quarantined, toward the half-open ReprobeAfter threshold.
 	satOut int
@@ -178,6 +243,13 @@ type Pool struct {
 	cfg        HealthConfig
 	evictions  int64
 	reinstates int64
+
+	// graph is the agreement graph behind the graph/hybrid scorers (nil
+	// under ScorerGold); ext is its latest extraction and sinceExtract the
+	// observations accumulated since, toward Trust.ExtractEvery.
+	graph        *trust.Graph
+	ext          trust.Extraction
+	sinceExtract int
 }
 
 // NewPool builds a pool over the given workers with seeded routing.
@@ -203,6 +275,10 @@ func (p *Pool) EnableHealth(cfg HealthConfig) {
 	p.mu.Lock()
 	p.cfg = cfg.withDefaults()
 	p.health = true
+	if p.cfg.graphScorer() {
+		p.graph = trust.New(p.cfg.Trust)
+		p.cfg.Trust = p.graph.Config() // trust defaults (ExtractEvery &c.)
+	}
 	p.mu.Unlock()
 }
 
@@ -309,39 +385,74 @@ func (p *Pool) sampleDisagreement(ctx context.Context, w *poolWorker, req Reques
 	if err != nil {
 		return
 	}
+	agreed := dupAns.Winner.ID == ans.Winner.ID
 	p.mu.Lock()
 	w.dupN++
-	if dupAns.Winner.ID != ans.Winner.ID {
+	if !agreed {
 		w.disagree++
+	}
+	if p.graph != nil {
+		// The duplicate the pool already paid for doubles as one agreement
+		// observation between the two workers — the graph scorer's entire
+		// input. Extractions run every Trust.ExtractEvery observations and
+		// sweep the whole pool, so a condemning core change lands at once.
+		p.graph.Observe(w.Name, other.Name, agreed)
+		p.sinceExtract++
+		if p.sinceExtract >= p.cfg.Trust.ExtractEvery {
+			p.sinceExtract = 0
+			p.ext = p.graph.Extract()
+			for _, ww := range p.workers {
+				p.maybeQuarantineLocked(ww)
+			}
+		}
 	}
 	p.maybeQuarantineLocked(w)
 	p.mu.Unlock()
 }
 
 // maybeQuarantineLocked applies the circuit breaker to w; callers hold p.mu.
+// Which detectors run depends on the configured Scorer; the first detector
+// to condemn names the quarantine reason.
 func (p *Pool) maybeQuarantineLocked(w *poolWorker) {
 	if !p.health || w.quarantined || p.active <= p.cfg.MinActive {
 		return
 	}
-	sick := false
-	if w.goldN >= int64(p.cfg.MinProbes) &&
-		float64(w.goldOK)/float64(w.goldN) < p.cfg.Floor {
-		sick = true
+	reason := ""
+	if p.cfg.Scorer != ScorerGraph {
+		if w.goldN >= int64(p.cfg.MinProbes) &&
+			float64(w.goldOK)/float64(w.goldN) < p.cfg.Floor {
+			reason = "gold"
+		} else if w.dupN >= int64(p.cfg.MinProbes) &&
+			float64(w.disagree)/float64(w.dupN) > p.cfg.MaxDisagree {
+			reason = "disagree"
+		}
 	}
-	if w.dupN >= int64(p.cfg.MinProbes) &&
-		float64(w.disagree)/float64(w.dupN) > p.cfg.MaxDisagree {
-		sick = true
+	if reason == "" && p.graphCondemnsLocked(w) {
+		reason = "graph"
 	}
-	if !sick {
+	if reason == "" {
 		return
 	}
 	w.quarantined = true
+	w.reason = reason
 	w.satOut = 0
 	p.active--
 	p.evictions++
 	if m := obs.Active(); m != nil {
-		m.Quarantine()
+		m.Quarantine(reason)
 	}
+}
+
+// graphCondemnsLocked reports the agreement-graph verdict on w: condemned
+// when the latest extraction is confident enough to stand behind and w's
+// pooled agreement with the core falls below the reliability floor. Workers
+// without a score yet (too few samples) get no verdict. Callers hold p.mu.
+func (p *Pool) graphCondemnsLocked(w *poolWorker) bool {
+	if p.graph == nil || p.ext.Confidence < graphVerdictFloor {
+		return false
+	}
+	score, ok := p.ext.Scores[w.Name]
+	return ok && score < p.cfg.Floor
 }
 
 // reinstateLocked advances every quarantined worker's probation clock by one
@@ -360,13 +471,23 @@ func (p *Pool) reinstateLocked() {
 		if w.satOut < p.cfg.ReprobeAfter {
 			continue
 		}
+		reason := w.reason
 		w.quarantined = false
+		w.reason = ""
 		w.goldN, w.goldOK, w.dupN, w.disagree = 0, 0, 0, 0
 		w.sinceProbe, w.satOut = 0, 0
+		if p.graph != nil {
+			// The clean scorecard extends to the graph: the worker's edges
+			// are forgotten and its stale extraction score dropped, so the
+			// grudge that evicted it cannot instantly re-condemn — it must
+			// re-earn (or re-lose) its trust from fresh duplicates.
+			p.graph.Forget(w.Name)
+			delete(p.ext.Scores, w.Name)
+		}
 		p.active++
 		p.reinstates++
 		if m := obs.Active(); m != nil {
-			m.Reinstate()
+			m.Reinstate(reason)
 		}
 	}
 }
@@ -389,10 +510,45 @@ func (p *Pool) Scorecards() []Scorecard {
 			Name: w.Name, Answered: w.answered,
 			GoldProbes: w.goldN, GoldCorrect: w.goldOK,
 			Duplicated: w.dupN, Disagreed: w.disagree,
-			Quarantined: w.quarantined,
+			Quarantined: w.quarantined, Reason: w.reason,
+			TrustScore: -1,
+		}
+		if p.graph != nil {
+			if score, ok := p.ext.Scores[w.Name]; ok {
+				out[i].TrustScore = score
+			}
+			out[i].InCore = p.ext.InCore(w.Name)
 		}
 	}
 	return out
+}
+
+// TrustConfidence returns the latest graph extraction's confidence, or -1
+// when no graph scorer runs — the signal the degrade controller samples to
+// react to a collapsing trust core.
+func (p *Pool) TrustConfidence() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.graph == nil {
+		return -1
+	}
+	return p.ext.Confidence
+}
+
+// TrustExtraction returns the latest agreement-graph extraction (the zero
+// Extraction before the first one, or when no graph scorer runs).
+func (p *Pool) TrustExtraction() trust.Extraction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ext := p.ext
+	if ext.Scores != nil {
+		scores := make(map[string]float64, len(ext.Scores))
+		for k, v := range ext.Scores {
+			scores[k] = v
+		}
+		ext.Scores = scores
+	}
+	return ext
 }
 
 // Evictions returns the number of workers quarantined so far.

@@ -111,6 +111,12 @@ type Metrics struct {
 	reinstates          atomic.Int64
 	checkpointWrites    atomic.Int64
 
+	// Per-detector quarantine splits: which detector fired — gold-floor
+	// violation, raw disagreement rate, or an agreement-graph verdict.
+	quarantinesGold     atomic.Int64
+	quarantinesDisagree atomic.Int64
+	quarantinesGraph    atomic.Int64
+
 	// Degradation counters: quality-ladder decisions made by the degrade
 	// controller, split into downgrades (weaker rung than before) and
 	// recoveries (stronger rung after a pool healed).
@@ -223,13 +229,26 @@ func (m *Metrics) GoldProbe(correct bool) {
 }
 
 // Quarantine records one worker evicted by the health circuit breaker.
-func (m *Metrics) Quarantine() {
+// reason names the detector that fired: "gold" (probe accuracy below the
+// floor), "disagree" (raw disagreement rate), or "graph" (an agreement-
+// graph verdict); unknown reasons count toward the total only.
+func (m *Metrics) Quarantine(reason string) {
 	m.quarantines.Add(1)
+	switch reason {
+	case "gold":
+		m.quarantinesGold.Add(1)
+	case "disagree":
+		m.quarantinesDisagree.Add(1)
+	case "graph":
+		m.quarantinesGraph.Add(1)
+	}
 }
 
 // Reinstate records one quarantined worker returned to rotation after its
-// half-open probation elapsed.
-func (m *Metrics) Reinstate() {
+// half-open probation elapsed; reason names the detector that originally
+// evicted it (accepted for trace symmetry with Quarantine).
+func (m *Metrics) Reinstate(reason string) {
+	_ = reason
 	m.reinstates.Add(1)
 }
 
@@ -382,10 +401,13 @@ func (m *Metrics) Snapshot() map[string]any {
 		"hedge_wins":            m.hedgeWins.Load(),
 	}
 	out["health"] = map[string]any{
-		"gold_probes":   m.goldProbes.Load(),
-		"gold_failures": m.goldFailures.Load(),
-		"quarantines":   m.quarantines.Load(),
-		"reinstates":    m.reinstates.Load(),
+		"gold_probes":          m.goldProbes.Load(),
+		"gold_failures":        m.goldFailures.Load(),
+		"quarantines":          m.quarantines.Load(),
+		"quarantines_gold":     m.quarantinesGold.Load(),
+		"quarantines_disagree": m.quarantinesDisagree.Load(),
+		"quarantines_graph":    m.quarantinesGraph.Load(),
+		"reinstates":           m.reinstates.Load(),
 	}
 	out["degrade"] = map[string]any{
 		"decisions":  m.degradeDecisions.Load(),

@@ -1,0 +1,373 @@
+// Package trust extracts a reliable-worker core from a worker agreement
+// graph with no ground truth — the gold-free counterpart of the gold-probe
+// health tracking in internal/dispatch.
+//
+// The paper's Algorithm-4-style quality control assumes an adversary that
+// fails gold questions. A coordinated clique that answers gold honestly but
+// lies everywhere else sails straight through: gold accuracy stays perfect
+// while every real answer is poisoned. Kawase, Kuroki and Miyauchi ("Graph
+// Mining Meets Crowdsourcing") observe that the reliable core can instead be
+// recovered from answers the run already paid for: build a graph whose
+// vertices are workers and whose edge weights measure how often two workers
+// agreed when independently answering the same task, then extract a densest
+// subgraph. Honest workers agree with each other on every pair the threshold
+// model lets them resolve, so they form a large dense core; spammers agree
+// with everyone at chance level and contribute no weight; a colluding clique
+// agrees internally but disagrees with the honest majority, so as long as
+// honest workers outnumber the clique the honest core is strictly denser
+// and the clique is peeled away.
+//
+// Graph accumulates agreement observations online (the dispatch pool feeds
+// it from its disagreement-sampling duplicates) and Extract runs Charikar's
+// greedy peeling — repeatedly remove the vertex of minimum weighted degree,
+// keep the densest prefix seen — a deterministic 1/2-approximation of the
+// densest subgraph. Everyone outside the core is scored by pooled agreement
+// weight into the core; the extraction also carries a confidence signal
+// (core/outside separation scaled by sample sufficiency) that gates verdicts
+// while the graph is still thin and feeds the degrade controller.
+//
+// Determinism: observations are order-independent (per-pair counters), and
+// peeling breaks ties by a seeded hash of the worker name, so the same
+// observation multiset and seed extract the same core on every replay.
+package trust
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Config parameterizes extraction. The zero value gets usable defaults.
+type Config struct {
+	// MinSamples is the pooled sample count a worker needs against the core
+	// before it receives a score (and therefore a verdict). Defaults to 4,
+	// mirroring HealthConfig.MinProbes: one unlucky duplicate cannot
+	// condemn an honest worker.
+	MinSamples int
+	// MinCore is the smallest core Extract will stand behind: a thinner
+	// extraction reports Confidence 0 and condemns nobody. Defaults to 3
+	// (two workers always agree with themselves trivially; three is the
+	// smallest majority worth the name).
+	MinCore int
+	// Penalty is the weight a disagreement subtracts from an edge (an
+	// agreement adds 1); edge weights clip at 0. Defaults to 1, which
+	// zeroes chance-level agreers (spammers) and leaves honest edges with
+	// weight ≈ (2·rate − 1)·samples.
+	Penalty float64
+	// ExtractEvery is the number of observations between extractions when
+	// the graph is driven by a dispatch pool. Defaults to 16. The Graph
+	// itself never extracts spontaneously; this is advice to the caller.
+	ExtractEvery int
+	// Seed orders peeling tie-breaks. Two graphs with the same seed and
+	// observation multiset extract identically.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSamples <= 0 {
+		c.MinSamples = 4
+	}
+	if c.MinCore <= 0 {
+		c.MinCore = 3
+	}
+	if c.Penalty <= 0 {
+		c.Penalty = 1
+	}
+	if c.ExtractEvery <= 0 {
+		c.ExtractEvery = 16
+	}
+	return c
+}
+
+// edge is one unordered worker pair's agreement tally.
+type edge struct {
+	agree, total int64
+}
+
+// Graph is an online worker agreement graph. Safe for concurrent use.
+type Graph struct {
+	mu      sync.Mutex
+	cfg     Config
+	idx     map[string]int
+	names   []string
+	edges   map[[2]int]*edge
+	samples int64
+}
+
+// New returns an empty graph under cfg (defaults applied).
+func New(cfg Config) *Graph {
+	return &Graph{
+		cfg:   cfg.withDefaults(),
+		idx:   map[string]int{},
+		edges: map[[2]int]*edge{},
+	}
+}
+
+// Config returns the graph's effective (defaulted) configuration.
+func (g *Graph) Config() Config {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg
+}
+
+// Observe records that workers a and b independently answered the same task
+// and either agreed or did not. Self-observations are ignored. Observation
+// order does not matter.
+func (g *Graph) Observe(a, b string, agreed bool) {
+	if a == b {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e := g.edgeLocked(g.nodeLocked(a), g.nodeLocked(b))
+	e.total++
+	if agreed {
+		e.agree++
+	}
+	g.samples++
+}
+
+// Forget erases every edge touching name — the fresh start a reinstated
+// worker gets, so a stale grudge cannot instantly re-condemn it. The vertex
+// itself remains (with no edges it carries no weight and no score).
+func (g *Graph) Forget(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	i, ok := g.idx[name]
+	if !ok {
+		return
+	}
+	for key, e := range g.edges {
+		if key[0] == i || key[1] == i {
+			g.samples -= e.total
+			delete(g.edges, key)
+		}
+	}
+}
+
+// Samples returns the total number of observations recorded (and not
+// forgotten).
+func (g *Graph) Samples() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.samples
+}
+
+func (g *Graph) nodeLocked(name string) int {
+	if i, ok := g.idx[name]; ok {
+		return i
+	}
+	i := len(g.names)
+	g.idx[name] = i
+	g.names = append(g.names, name)
+	return i
+}
+
+func (g *Graph) edgeLocked(i, j int) *edge {
+	if i > j {
+		i, j = j, i
+	}
+	key := [2]int{i, j}
+	e := g.edges[key]
+	if e == nil {
+		e = &edge{}
+		g.edges[key] = e
+	}
+	return e
+}
+
+// Extraction is one dense-core extraction: the expert-labelled core, pooled
+// agreement scores, and how much the extraction should be trusted.
+type Extraction struct {
+	// Core lists the extracted core workers, sorted by name. Empty when the
+	// graph carries no positive-weight edge.
+	Core []string
+	// Scores maps each worker with at least MinSamples pooled observations
+	// against core members to its pooled agreement rate with the core, in
+	// [0, 1]. Core members score against the rest of the core. Workers with
+	// too few samples are absent — no verdict, not a bad one.
+	Scores map[string]float64
+	// Density is the core's weighted edge density (total clipped edge
+	// weight over core size), the quantity greedy peeling maximizes.
+	Density float64
+	// Confidence is how much the extraction should be trusted, in [0, 1]:
+	// the core/outside agreement separation scaled by sample sufficiency.
+	// 0 while the graph is too thin (or the core too small) to stand
+	// behind; verdicts must not be applied at 0.
+	Confidence float64
+	// Samples is the observation count the extraction was computed from.
+	Samples int64
+}
+
+// InCore reports whether name is in the extracted core.
+func (x Extraction) InCore(name string) bool {
+	i := sort.SearchStrings(x.Core, name)
+	return i < len(x.Core) && x.Core[i] == name
+}
+
+// Extract runs greedy peeling on the current graph and returns the densest
+// core with scores and confidence. Deterministic in (observations, seed).
+func (g *Graph) Extract() Extraction {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := len(g.names)
+	ext := Extraction{Samples: g.samples}
+	if n == 0 {
+		return ext
+	}
+
+	// Clipped edge weights: agreement minus penalized disagreement, ≥ 0.
+	// A spammer's chance-level edges zero out; honest edges accumulate.
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for key, e := range g.edges {
+		weight := float64(e.agree) - g.cfg.Penalty*float64(e.total-e.agree)
+		if weight <= 0 {
+			continue
+		}
+		w[key[0]][key[1]] = weight
+		w[key[1]][key[0]] = weight
+	}
+
+	// Charikar peeling: repeatedly remove the vertex of minimum weighted
+	// degree (ties broken by a seeded hash of the name, then the name) and
+	// keep the densest surviving set. O(n²) per removal — pools are tens of
+	// workers, not thousands.
+	alive := make([]bool, n)
+	deg := make([]float64, n)
+	var totalW float64
+	for i := 0; i < n; i++ {
+		alive[i] = true
+		for j := 0; j < n; j++ {
+			deg[i] += w[i][j]
+		}
+		totalW += deg[i]
+	}
+	totalW /= 2
+	aliveN := n
+	bestDensity, bestSize := -1.0, 0
+	removed := make([]int, 0, n)
+	for aliveN > 0 {
+		if d := totalW / float64(aliveN); d > bestDensity {
+			bestDensity, bestSize = d, aliveN
+		}
+		min := -1
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			if min < 0 || deg[i] < deg[min] || (deg[i] == deg[min] && g.beforeLocked(i, min)) {
+				min = i
+			}
+		}
+		alive[min] = false
+		aliveN--
+		totalW -= deg[min]
+		for j := 0; j < n; j++ {
+			if alive[j] {
+				deg[j] -= w[min][j]
+			}
+		}
+		removed = append(removed, min)
+	}
+	if bestDensity <= 0 {
+		// No positive-weight structure at all — nothing to stand behind.
+		return ext
+	}
+	// The best prefix is everything not yet removed when it was recorded:
+	// the last bestSize entries of the removal order.
+	core := make([]bool, n)
+	for _, i := range removed[n-bestSize:] {
+		core[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if core[i] {
+			ext.Core = append(ext.Core, g.names[i])
+		}
+	}
+	sort.Strings(ext.Core)
+	ext.Density = bestDensity
+
+	// Pooled agreement against the core, per worker; intra-core and
+	// core↔outside pools feed the confidence margin.
+	agreeIn := make([]int64, n)
+	totalIn := make([]int64, n)
+	var coreAgree, coreTotal, outAgree, outTotal int64
+	for key, e := range g.edges {
+		i, j := key[0], key[1]
+		switch {
+		case core[i] && core[j]:
+			agreeIn[i] += e.agree
+			totalIn[i] += e.total
+			agreeIn[j] += e.agree
+			totalIn[j] += e.total
+			coreAgree += e.agree
+			coreTotal += e.total
+		case core[i]:
+			agreeIn[j] += e.agree
+			totalIn[j] += e.total
+			outAgree += e.agree
+			outTotal += e.total
+		case core[j]:
+			agreeIn[i] += e.agree
+			totalIn[i] += e.total
+			outAgree += e.agree
+			outTotal += e.total
+		}
+	}
+	ext.Scores = map[string]float64{}
+	for i := 0; i < n; i++ {
+		if totalIn[i] >= int64(g.cfg.MinSamples) {
+			ext.Scores[g.names[i]] = float64(agreeIn[i]) / float64(totalIn[i])
+		}
+	}
+
+	if bestSize < g.cfg.MinCore || coreTotal == 0 {
+		return ext // Scores stand, but confidence (and verdicts) do not.
+	}
+	coreRate := float64(coreAgree) / float64(coreTotal)
+	// The baseline the core must separate from: observed outside agreement,
+	// but never below chance — with nobody outside the core, beating a coin
+	// is still the bar.
+	baseline := 0.5
+	if outTotal > 0 {
+		if r := float64(outAgree) / float64(outTotal); r > baseline {
+			baseline = r
+		}
+	}
+	margin := 2 * (coreRate - baseline)
+	sufficiency := float64(coreTotal) / float64(g.cfg.MinSamples*bestSize)
+	ext.Confidence = clamp01(margin) * clamp01(sufficiency)
+	return ext
+}
+
+// beforeLocked orders vertices i before j for peeling tie-breaks: by seeded
+// name hash, then by name. Callers hold g.mu.
+func (g *Graph) beforeLocked(i, j int) bool {
+	hi, hj := g.tieHashLocked(i), g.tieHashLocked(j)
+	if hi != hj {
+		return hi < hj
+	}
+	return g.names[i] < g.names[j]
+}
+
+func (g *Graph) tieHashLocked(i int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(g.names[i]))
+	return splitmix(g.cfg.Seed ^ h.Sum64())
+}
+
+// splitmix is the SplitMix64 finalizer (mirrors internal/rng's mixer).
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}

@@ -17,6 +17,7 @@ import (
 	"crowdmax/internal/faults"
 	"crowdmax/internal/obs"
 	"crowdmax/internal/tournament"
+	"crowdmax/internal/trust"
 )
 
 // StorageFS is the injectable filesystem durable artifacts are written
@@ -70,6 +71,29 @@ type RetryError = dispatch.RetryError
 // HealthConfig configures worker health tracking: gold-set probing,
 // disagreement sampling, the quarantine circuit breaker, and hedging.
 type HealthConfig = dispatch.HealthConfig
+
+// ScorerMode selects the detector feeding a WorkerPool's quarantine
+// breaker: ScorerGold (gold probes + disagreement rate, the zero value),
+// ScorerGraph (gold-free agreement-graph extraction), or ScorerHybrid
+// (both).
+type ScorerMode = dispatch.ScorerMode
+
+// The scorer modes HealthConfig.Scorer accepts.
+const (
+	ScorerGold   = dispatch.ScorerGold
+	ScorerGraph  = dispatch.ScorerGraph
+	ScorerHybrid = dispatch.ScorerHybrid
+)
+
+// TrustConfig parameterizes the agreement-graph extractor behind
+// ScorerGraph and ScorerHybrid (HealthConfig.Trust).
+type TrustConfig = trust.Config
+
+// TrustExtraction is one dense-core extraction from the worker agreement
+// graph: the expert core, everyone's agreement scores, and the confidence
+// the breaker demands before acting on graph verdicts. Read the latest one
+// from WorkerPool.TrustExtraction.
+type TrustExtraction = trust.Extraction
 
 // GoldPair is one probe comparison with a known correct answer.
 type GoldPair = dispatch.GoldPair

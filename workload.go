@@ -58,6 +58,7 @@ type runEnv struct {
 	no, eo     *Oracle
 	ck         *ckWriter
 	expertPool *WorkerPool
+	naivePool  *WorkerPool
 	hooks      *snapHooks
 	// ctl is the run-scoped degrade controller (max-find); per-round
 	// workloads register theirs through hooks instead.
